@@ -1,0 +1,214 @@
+//! Analytical execution-time model of the CPU baselines.
+//!
+//! The reproduction's PIM numbers come from a cycle-level simulator, so
+//! the CPU side of every PIM-vs-CPU figure must also be *modelled* (the
+//! machine running this code is not a Xeon Silver 4110). The model
+//! captures the effects the paper's §4.4 observations hinge on:
+//!
+//! * per-update compute cost grows with the action-space size;
+//! * SEQ/STR sampling streams the dataset through the hardware
+//!   prefetcher at DRAM bandwidth, while RAN sampling pays (partially
+//!   overlapped) DRAM latency per access — the paper's "CPU hardware
+//!   prefetcher's strong capability" takeaway;
+//! * **CPU-V1** shares one Q-table among threads, so small tables (few
+//!   cache lines, e.g. FrozenLake's 4-line table) suffer coherence
+//!   ping-pong that can erase the multithreading gain; **CPU-V2** trains
+//!   thread-local tables and scales almost linearly.
+//!
+//! Constants are exposed as fields with documented defaults.
+
+use crate::specs::MachineSpec;
+use serde::{Deserialize, Serialize};
+use swiftrl_rl::sampling::SamplingStrategy;
+
+/// Which CPU baseline implementation is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuVersion {
+    /// Threads update one shared Q-table.
+    V1,
+    /// Threads update local Q-tables over disjoint dataset chunks.
+    V2,
+}
+
+/// Analytical CPU training-time model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// The machine being modelled.
+    pub spec: MachineSpec,
+    /// Worker threads used by the baselines.
+    pub threads: usize,
+    /// Sustained instructions per cycle of the update loop.
+    pub ipc: f64,
+    /// Instructions per update beyond the per-action scan.
+    pub base_ops_per_update: f64,
+    /// Instructions per action in the `max`/argmax scan.
+    pub ops_per_action: f64,
+    /// Per-core streaming bandwidth for SEQ/STR dataset reads, GB/s.
+    pub stream_bw_per_core_gbps: f64,
+    /// Effective DRAM latency per RAN access after memory-level
+    /// parallelism, nanoseconds.
+    pub random_access_ns: f64,
+    /// Coherence ping-pong factor for CPU-V1: contention multiplier is
+    /// `1 + factor * (threads - 1) / q_table_cache_lines`.
+    pub ping_pong_factor: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Slowdown factor of the multi-agent baseline relative to a tight
+    /// single-learner loop. The paper's measured 996.52 s for 1,000
+    /// agents × 10,000 transitions × 2,000 episodes implies ≈50 ns per
+    /// update with agents executing serially (2,000 agents take exactly
+    /// 1.95× as long) — roughly 7× a tight C update loop, consistent
+    /// with the per-agent framework and cache-thrash overhead of running
+    /// thousands of independent learners. Calibrated to that number.
+    pub multi_agent_overhead: f64,
+}
+
+impl CpuModel {
+    /// The paper's baseline: Xeon Silver 4110 with 8 worker threads.
+    pub fn xeon_4110() -> Self {
+        Self {
+            spec: MachineSpec::xeon_silver_4110(),
+            threads: 8,
+            ipc: 2.0,
+            base_ops_per_update: 14.0,
+            ops_per_action: 2.0,
+            stream_bw_per_core_gbps: 5.0,
+            random_access_ns: 9.0,
+            ping_pong_factor: 7.4,
+            line_bytes: 64,
+            multi_agent_overhead: 7.25,
+        }
+    }
+
+    /// Seconds for one Q-value update on a single thread (compute +
+    /// dataset-access components).
+    pub fn single_thread_update_seconds(
+        &self,
+        num_actions: usize,
+        sampling: SamplingStrategy,
+    ) -> f64 {
+        let ops = self.base_ops_per_update + self.ops_per_action * num_actions as f64;
+        // Turbo clock for the tight loop.
+        let freq = self.spec.frequency_mhz as f64 * 1.0e6 * 1.25;
+        let compute = ops / (self.ipc * freq);
+        let mem = match sampling {
+            SamplingStrategy::Sequential | SamplingStrategy::Stride(_) => {
+                16.0 / (self.stream_bw_per_core_gbps * 1.0e9)
+            }
+            SamplingStrategy::Random => self.random_access_ns * 1.0e-9,
+        };
+        compute + mem
+    }
+
+    /// CPU-V1 contention multiplier for a Q-table of the given shape.
+    pub fn v1_contention(&self, num_states: usize, num_actions: usize) -> f64 {
+        let table_bytes = num_states * num_actions * 4;
+        let lines = (table_bytes / self.line_bytes).max(1) as f64;
+        1.0 + self.ping_pong_factor * (self.threads as f64 - 1.0) / lines
+    }
+
+    /// Modelled wall-clock seconds to perform `total_updates` Q-value
+    /// updates over a dataset with the given table shape.
+    pub fn training_seconds(
+        &self,
+        version: CpuVersion,
+        total_updates: u64,
+        num_states: usize,
+        num_actions: usize,
+        sampling: SamplingStrategy,
+    ) -> f64 {
+        let t1 = self.single_thread_update_seconds(num_actions, sampling);
+        let serial = total_updates as f64 * t1;
+        match version {
+            CpuVersion::V1 => serial * self.v1_contention(num_states, num_actions) / self.threads as f64,
+            CpuVersion::V2 => {
+                // Near-linear scaling plus a final table-merge pass.
+                let merge = (self.threads * num_states * num_actions * 4) as f64
+                    / (self.spec.memory_bandwidth_gbps * 1.0e9);
+                serial / self.threads as f64 + merge
+            }
+        }
+    }
+
+    /// Modelled seconds for the multi-agent CPU baseline: `agents`
+    /// independent tabular learners executed serially (the paper's
+    /// baseline scales exactly linearly in agents), each paying
+    /// [`CpuModel::multi_agent_overhead`] over a tight update loop.
+    pub fn multi_agent_seconds(
+        &self,
+        agents: usize,
+        updates_per_agent: u64,
+        num_actions: usize,
+    ) -> f64 {
+        let t1 = self.single_thread_update_seconds(num_actions, SamplingStrategy::Sequential);
+        agents as f64 * updates_per_agent as f64 * t1 * self.multi_agent_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FL: (usize, usize) = (16, 4);
+    const TAXI: (usize, usize) = (500, 6);
+
+    #[test]
+    fn random_sampling_is_slower_than_sequential() {
+        let m = CpuModel::xeon_4110();
+        let seq = m.single_thread_update_seconds(4, SamplingStrategy::Sequential);
+        let ran = m.single_thread_update_seconds(4, SamplingStrategy::Random);
+        assert!(ran > seq * 1.5, "prefetcher advantage missing: {seq} vs {ran}");
+        let strided = m.single_thread_update_seconds(4, SamplingStrategy::Stride(4));
+        assert_eq!(seq, strided, "stride streams like sequential on CPU");
+    }
+
+    #[test]
+    fn v1_contention_is_severe_on_small_tables_only() {
+        let m = CpuModel::xeon_4110();
+        let fl = m.v1_contention(FL.0, FL.1);
+        let taxi = m.v1_contention(TAXI.0, TAXI.1);
+        assert!(fl > 5.0, "FrozenLake table should thrash: {fl}");
+        assert!(taxi < 1.5, "Taxi table should barely contend: {taxi}");
+    }
+
+    #[test]
+    fn v2_beats_v1_on_small_tables() {
+        let m = CpuModel::xeon_4110();
+        let updates = 2_000_000_000;
+        let v1 = m.training_seconds(CpuVersion::V1, updates, FL.0, FL.1, SamplingStrategy::Sequential);
+        let v2 = m.training_seconds(CpuVersion::V2, updates, FL.0, FL.1, SamplingStrategy::Sequential);
+        assert!(v2 < v1 / 3.0, "V2 {v2}s should far outrun V1 {v1}s on FL");
+    }
+
+    #[test]
+    fn v1_close_to_v2_on_taxi() {
+        let m = CpuModel::xeon_4110();
+        let updates = 10_000_000_000;
+        let v1 = m.training_seconds(CpuVersion::V1, updates, TAXI.0, TAXI.1, SamplingStrategy::Sequential);
+        let v2 = m.training_seconds(CpuVersion::V2, updates, TAXI.0, TAXI.1, SamplingStrategy::Sequential);
+        assert!(v1 / v2 < 1.5, "taxi V1 {v1}s vs V2 {v2}s");
+    }
+
+    #[test]
+    fn time_scales_linearly_in_updates() {
+        let m = CpuModel::xeon_4110();
+        let a = m.training_seconds(CpuVersion::V2, 1_000_000, FL.0, FL.1, SamplingStrategy::Sequential);
+        let b = m.training_seconds(CpuVersion::V2, 2_000_000, FL.0, FL.1, SamplingStrategy::Sequential);
+        assert!((b / a - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn multi_agent_scales_with_agents() {
+        let m = CpuModel::xeon_4110();
+        let t1000 = m.multi_agent_seconds(1_000, 20_000_000, 4);
+        let t2000 = m.multi_agent_seconds(2_000, 20_000_000, 4);
+        assert!((t2000 / t1000 - 2.0).abs() < 1e-9);
+        // Magnitude vs the paper's measured 996.52 s for 1,000 agents ×
+        // 10,000 transitions × 2,000 episodes: within ±30%.
+        let paper_like = m.multi_agent_seconds(1_000, 10_000 * 2_000, 4);
+        assert!(
+            (700.0..1_300.0).contains(&paper_like),
+            "calibration drifted: {paper_like}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Energy estimates for the evaluated systems.
+//!
+//! The paper motivates PIM partly by the energy cost of processor-centric
+//! data movement (§1) but reports no energy numbers; this module is the
+//! reproduction's extension: first-order energy estimates from Table 1
+//! TDPs and modelled execution times, enough to compare the *platforms*
+//! (not a power simulator).
+
+use crate::specs::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// First-order energy estimate for one training run on one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyEstimate {
+    /// System name.
+    pub system: String,
+    /// Execution time used, seconds.
+    pub seconds: f64,
+    /// Average power assumed, watts.
+    pub watts: f64,
+    /// Estimated energy, joules.
+    pub joules: f64,
+}
+
+/// Estimates energy as `TDP × utilization × time`.
+///
+/// `utilization` is the fraction of TDP the workload sustains: ~1.0 for
+/// a busy PIM system (every bank computing), lower for a GPU running a
+/// tiny tabular kernel.
+///
+/// # Panics
+///
+/// Panics if `utilization` is outside `(0, 1]` or `seconds` is negative.
+pub fn estimate(spec: &MachineSpec, seconds: f64, utilization: f64) -> EnergyEstimate {
+    assert!(
+        utilization > 0.0 && utilization <= 1.0,
+        "utilization must be in (0, 1]"
+    );
+    assert!(seconds >= 0.0, "negative execution time");
+    let watts = spec.tdp_w * utilization;
+    EnergyEstimate {
+        system: spec.name.clone(),
+        seconds,
+        watts,
+        joules: watts * seconds,
+    }
+}
+
+/// Default sustained-utilization assumptions for the three Table 1
+/// systems on the tabular-RL workloads: PIM banks all active; the CPU's
+/// update loop keeps cores busy but under-uses vector units; the GPU is
+/// mostly idle on a 64–3,000-entry table.
+pub mod utilization {
+    /// UPMEM PIM running one kernel per DPU.
+    pub const PIM: f64 = 0.9;
+    /// Xeon running the threaded update loop.
+    pub const CPU: f64 = 0.7;
+    /// RTX 3090 running a tiny, conflict-bound kernel.
+    pub const GPU: f64 = 0.25;
+}
+
+/// Convenience: the three-system comparison for given execution times.
+pub fn table1_comparison(pim_s: f64, cpu_s: f64, gpu_s: f64) -> [EnergyEstimate; 3] {
+    [
+        estimate(&MachineSpec::upmem_pim(), pim_s, utilization::PIM),
+        estimate(&MachineSpec::xeon_silver_4110(), cpu_s, utilization::CPU),
+        estimate(&MachineSpec::rtx_3090(), gpu_s, utilization::GPU),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let e = estimate(&MachineSpec::xeon_silver_4110(), 10.0, 0.5);
+        assert!((e.watts - 42.5).abs() < 1e-9);
+        assert!((e.joules - 425.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparison_orders_sanely_for_equal_times() {
+        let [pim, cpu, gpu] = table1_comparison(10.0, 10.0, 10.0);
+        // At equal runtime the GPU's low utilization keeps it below its
+        // 350 W TDP, while PIM draws near its 280 W.
+        assert!(pim.joules > cpu.joules);
+        assert!(gpu.joules < pim.joules);
+    }
+
+    #[test]
+    fn pim_wins_when_faster() {
+        // FrozenLake INT32-ish scenario: PIM 3 s vs CPU 24 s vs GPU 9 s.
+        let [pim, cpu, gpu] = table1_comparison(3.0, 24.0, 9.0);
+        assert!(pim.joules < cpu.joules);
+        assert!(pim.joules < gpu.joules);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_rejected() {
+        estimate(&MachineSpec::upmem_pim(), 1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_time_rejected() {
+        estimate(&MachineSpec::upmem_pim(), -1.0, 0.5);
+    }
+}

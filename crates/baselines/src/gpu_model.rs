@@ -1,0 +1,115 @@
+//! Analytical execution-time model of the GPU baseline.
+//!
+//! No CUDA device is available offline, so the RTX 3090 comparison is a
+//! throughput model (documented substitution, see DESIGN.md). Tabular
+//! Q-learning on a GPU parallelizes the batch of updates across SIMD
+//! lanes, but conflicting updates to the same Q-table entry must
+//! serialize through atomics, so the achievable update rate is capped by
+//! **table parallelism** — tiny tables like FrozenLake's 64 entries leave
+//! almost all of the GPU idle, which is why the paper's GPU is only
+//! modestly faster than PIM on FP32 and *slower* than the INT32 PIM
+//! version (§4.4, observation 4).
+
+use crate::specs::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// Analytical GPU training-time model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// The machine being modelled.
+    pub spec: MachineSpec,
+    /// Serialization latency of conflicting atomic updates to one Q-table
+    /// entry, nanoseconds.
+    pub atomic_latency_ns: f64,
+    /// FLOPs per Q-value update (scan + target + blend).
+    pub flops_per_update: f64,
+    /// Fraction of peak FLOPS achievable on this irregular kernel.
+    pub compute_efficiency: f64,
+    /// Bytes touched per update (record + table lines).
+    pub bytes_per_update: f64,
+    /// Kernel-launch overhead per episode, seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl GpuModel {
+    /// The paper's baseline: RTX 3090.
+    pub fn rtx_3090() -> Self {
+        Self {
+            spec: MachineSpec::rtx_3090(),
+            atomic_latency_ns: 290.0,
+            flops_per_update: 24.0,
+            compute_efficiency: 0.02,
+            bytes_per_update: 40.0,
+            launch_overhead_s: 5.0e-6,
+        }
+    }
+
+    /// Sustainable update rate (updates/second) for a Q-table with
+    /// `table_entries` entries: the minimum of the entry-serialization,
+    /// bandwidth, and compute limits.
+    pub fn update_rate(&self, table_entries: usize) -> f64 {
+        let entry_limit = table_entries as f64 / (self.atomic_latency_ns * 1.0e-9);
+        let bw_limit = self.spec.memory_bandwidth_gbps * 1.0e9 / self.bytes_per_update;
+        let compute_limit =
+            self.spec.peak_gops * 1.0e9 * self.compute_efficiency / self.flops_per_update;
+        entry_limit.min(bw_limit).min(compute_limit)
+    }
+
+    /// Modelled seconds to run `episodes` episodes of `updates_per_episode`
+    /// updates each on a table with `table_entries` entries.
+    pub fn training_seconds(
+        &self,
+        episodes: u64,
+        updates_per_episode: u64,
+        table_entries: usize,
+    ) -> f64 {
+        let updates = episodes as f64 * updates_per_episode as f64;
+        updates / self.update_rate(table_entries) + episodes as f64 * self.launch_overhead_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_tables_are_entry_limited() {
+        let g = GpuModel::rtx_3090();
+        // FrozenLake: 64 entries.
+        let fl_rate = g.update_rate(64);
+        // Entry limit: 64 / 290ns ≈ 221 M/s — far below bandwidth/compute.
+        assert!(fl_rate < 3.0e8, "{fl_rate}");
+        // Taxi: 3000 entries — another limit should bind.
+        let taxi_rate = g.update_rate(3_000);
+        assert!(taxi_rate > fl_rate * 5.0);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_table_size_and_saturates() {
+        let g = GpuModel::rtx_3090();
+        let mut last = 0.0;
+        for entries in [16, 64, 256, 3_000, 100_000, 10_000_000] {
+            let r = g.update_rate(entries);
+            assert!(r >= last);
+            last = r;
+        }
+        // Eventually capped by bandwidth or compute, not entries.
+        assert!(last <= g.spec.memory_bandwidth_gbps * 1.0e9 / g.bytes_per_update + 1.0);
+    }
+
+    #[test]
+    fn training_time_includes_launch_overhead() {
+        let g = GpuModel::rtx_3090();
+        let with_eps = g.training_seconds(2_000, 1, 64);
+        assert!(with_eps >= 2_000.0 * g.launch_overhead_s);
+    }
+
+    #[test]
+    fn frozenlake_magnitude_is_seconds_not_milliseconds() {
+        // 2,000 episodes × 1M updates on 64 entries: the paper's GPU bar
+        // is of the same order as the PIM FP32 bar (a few seconds+).
+        let g = GpuModel::rtx_3090();
+        let t = g.training_seconds(2_000, 1_000_000, 64);
+        assert!(t > 1.0 && t < 120.0, "{t}");
+    }
+}

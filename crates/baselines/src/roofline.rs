@@ -1,0 +1,156 @@
+//! The roofline model of Figure 2.
+//!
+//! Figure 2 plots the CPU versions of the Q-learner ("Q") and SARSA
+//! learner ("S") at two dataset sizes (1M and 20M transitions) against
+//! the compute and DRAM-bandwidth roofs of an Intel i7-9700K, showing
+//! that all four points sit in the memory-bound region — the paper's
+//! motivation for moving RL training to PIM.
+//!
+//! Arithmetic intensity is computed from the update kernels' actual
+//! per-update FLOP and DRAM-byte counts: the Q-table of the small
+//! environments is cache-resident, so DRAM traffic is dominated by
+//! streaming the experience records.
+
+use crate::specs::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// One workload point on the roofline plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Label, e.g. `Q-1M`.
+    pub name: String,
+    /// FLOPs per byte of DRAM traffic.
+    pub arithmetic_intensity: f64,
+    /// Attainable GFLOPS under the roofline: `min(peak, AI × BW)`.
+    pub attainable_gflops: f64,
+    /// True if the bandwidth roof binds (memory-bound region).
+    pub memory_bound: bool,
+}
+
+/// The machine whose roofs Figure 2 uses.
+pub fn figure2_machine() -> MachineSpec {
+    MachineSpec::i7_9700k()
+}
+
+/// Computes a roofline point for a workload on `machine`.
+///
+/// # Panics
+///
+/// Panics if `bytes_per_update` is zero.
+pub fn roofline_point(
+    name: impl Into<String>,
+    flops_per_update: f64,
+    bytes_per_update: f64,
+    machine: &MachineSpec,
+) -> RooflinePoint {
+    assert!(bytes_per_update > 0.0, "bytes per update must be positive");
+    let ai = flops_per_update / bytes_per_update;
+    let bw_roof = ai * machine.memory_bandwidth_gbps;
+    let attainable = bw_roof.min(machine.peak_gops);
+    RooflinePoint {
+        name: name.into(),
+        arithmetic_intensity: ai,
+        attainable_gflops: attainable,
+        memory_bound: bw_roof < machine.peak_gops,
+    }
+}
+
+/// Per-update FLOPs of the Q-learning kernel for `num_actions` actions:
+/// `A − 1` comparisons of the max scan + 2 multiplies + 3 adds/subs.
+pub fn q_learning_flops(num_actions: usize) -> f64 {
+    (num_actions - 1) as f64 + 5.0
+}
+
+/// Per-update FLOPs of the SARSA kernel: the ε-greedy argmax scan + 2
+/// multiplies + 3 adds/subs ("the same arithmetic intensity as
+/// Q-learning", §3.2.2).
+pub fn sarsa_flops(num_actions: usize) -> f64 {
+    (num_actions - 1) as f64 + 5.0
+}
+
+/// DRAM bytes per update when the dataset of `transitions` 16-byte
+/// records does not fit in `llc_bytes` of cache (it streams) and the
+/// Q-table is cache-resident. Larger-than-cache datasets also pay partial
+/// write-back traffic, modelled as 4 extra bytes.
+pub fn bytes_per_update(transitions: usize, llc_bytes: usize) -> f64 {
+    let dataset_bytes = transitions * 16;
+    if dataset_bytes <= llc_bytes {
+        // Fully cached after the first episode: only coherence noise.
+        2.0
+    } else {
+        16.0 + 4.0
+    }
+}
+
+/// The four points of Figure 2: Q/SARSA at 1M and 20M transitions
+/// (FrozenLake-shaped, 4 actions) on the i7-9700K (12 MB LLC).
+pub fn figure2_points() -> Vec<RooflinePoint> {
+    let machine = figure2_machine();
+    let llc = 12 << 20;
+    let mut out = Vec::new();
+    for (tag, flops) in [("Q", q_learning_flops(4)), ("S", sarsa_flops(4))] {
+        for (size_tag, transitions) in [("1M", 1_000_000usize), ("20M", 20_000_000)] {
+            out.push(roofline_point(
+                format!("{tag}-{size_tag}"),
+                flops,
+                bytes_per_update(transitions, llc),
+                &machine,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_all_points_memory_bound() {
+        let points = figure2_points();
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.memory_bound, "{} should be memory bound", p.name);
+            assert!(p.attainable_gflops < figure2_machine().peak_gops);
+        }
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_below_machine_balance() {
+        let m = figure2_machine();
+        let balance = m.peak_gops / m.memory_bandwidth_gbps;
+        for p in figure2_points() {
+            assert!(p.arithmetic_intensity < balance);
+        }
+    }
+
+    #[test]
+    fn q_and_sarsa_share_intensity() {
+        // §3.2.2: "SARSA learner follows the same arithmetic intensity
+        // as Q-learning".
+        assert_eq!(q_learning_flops(4), sarsa_flops(4));
+        assert_eq!(q_learning_flops(6), sarsa_flops(6));
+    }
+
+    #[test]
+    fn cached_dataset_raises_intensity() {
+        let llc = 12 << 20;
+        let small = bytes_per_update(10_000, llc); // 160 KB: cached
+        let large = bytes_per_update(1_000_000, llc); // 16 MB: streams
+        assert!(small < large);
+    }
+
+    #[test]
+    fn compute_bound_kernel_detected() {
+        // A hypothetical high-intensity kernel must hit the flat roof.
+        let p = roofline_point("dense", 10_000.0, 4.0, &figure2_machine());
+        assert!(!p.memory_bound);
+        assert_eq!(p.attainable_gflops, figure2_machine().peak_gops);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bytes_rejected() {
+        roofline_point("bad", 1.0, 0.0, &figure2_machine());
+    }
+}

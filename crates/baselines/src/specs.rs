@@ -1,0 +1,144 @@
+//! Machine specifications from Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A machine row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Process node description.
+    pub process_node: String,
+    /// Core/DPU count description.
+    pub total_cores: String,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: u64,
+    /// Peak throughput in GOPS (integer) or GFLOPS.
+    pub peak_gops: f64,
+    /// Main memory capacity in GB.
+    pub memory_gb: f64,
+    /// Memory bandwidth in GB/s.
+    pub memory_bandwidth_gbps: f64,
+    /// Component TDP in watts.
+    pub tdp_w: f64,
+}
+
+impl MachineSpec {
+    /// The evaluated UPMEM PIM server (2,524 DPUs @ 425 MHz).
+    pub fn upmem_pim() -> Self {
+        Self {
+            name: "UPMEM PIM System".into(),
+            process_node: "2x nm".into(),
+            total_cores: "2,524".into(),
+            frequency_mhz: 425,
+            peak_gops: 1_088.0,
+            memory_gb: 158.0,
+            memory_bandwidth_gbps: 2_145.0,
+            tdp_w: 280.0,
+        }
+    }
+
+    /// The baseline CPU: Intel Xeon Silver 4110.
+    pub fn xeon_silver_4110() -> Self {
+        Self {
+            name: "Intel Xeon Silver 4110 CPU".into(),
+            process_node: "14 nm".into(),
+            total_cores: "8 (16 threads)".into(),
+            frequency_mhz: 2_400,
+            peak_gops: 38.0,
+            memory_gb: 132.0,
+            memory_bandwidth_gbps: 28.8,
+            tdp_w: 85.0,
+        }
+    }
+
+    /// The baseline GPU: NVIDIA Ampere RTX 3090.
+    pub fn rtx_3090() -> Self {
+        Self {
+            name: "NVIDIA Ampere RTX 3090 GPU".into(),
+            process_node: "8 nm".into(),
+            total_cores: "82 cores (10496 SIMD lanes)".into(),
+            frequency_mhz: 1_700,
+            peak_gops: 35_580.0,
+            memory_gb: 24.0,
+            memory_bandwidth_gbps: 936.2,
+            tdp_w: 350.0,
+        }
+    }
+
+    /// The roofline host of Figure 2: Intel Core i7-9700K (Coffee Lake).
+    pub fn i7_9700k() -> Self {
+        Self {
+            name: "Intel Core i7-9700K CPU".into(),
+            process_node: "14 nm".into(),
+            total_cores: "8".into(),
+            frequency_mhz: 3_600,
+            peak_gops: 460.0,
+            memory_gb: 32.0,
+            memory_bandwidth_gbps: 41.6,
+            tdp_w: 95.0,
+        }
+    }
+
+    /// The three Table 1 rows in paper order.
+    pub fn table1() -> [MachineSpec; 3] {
+        [
+            Self::upmem_pim(),
+            Self::xeon_silver_4110(),
+            Self::rtx_3090(),
+        ]
+    }
+
+    /// Peak performance per watt (GOPS/W).
+    pub fn gops_per_watt(&self) -> f64 {
+        self.peak_gops / self.tdp_w
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cores @ {} MHz, {:.0} GOPS peak, {:.0} GB @ {:.1} GB/s, {:.0} W",
+            self.name,
+            self.total_cores,
+            self.frequency_mhz,
+            self.peak_gops,
+            self.memory_gb,
+            self.memory_bandwidth_gbps,
+            self.tdp_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let [pim, cpu, gpu] = MachineSpec::table1();
+        assert_eq!(pim.frequency_mhz, 425);
+        assert_eq!(pim.peak_gops, 1_088.0);
+        assert_eq!(pim.memory_bandwidth_gbps, 2_145.0);
+        assert_eq!(cpu.memory_bandwidth_gbps, 28.8);
+        assert_eq!(cpu.peak_gops, 38.0);
+        assert_eq!(gpu.peak_gops, 35_580.0);
+        assert_eq!(gpu.memory_gb, 24.0);
+    }
+
+    #[test]
+    fn pim_has_most_bandwidth_gpu_most_compute() {
+        let [pim, cpu, gpu] = MachineSpec::table1();
+        assert!(pim.memory_bandwidth_gbps > gpu.memory_bandwidth_gbps);
+        assert!(gpu.memory_bandwidth_gbps > cpu.memory_bandwidth_gbps);
+        assert!(gpu.peak_gops > pim.peak_gops);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = MachineSpec::upmem_pim().to_string();
+        assert!(s.contains("UPMEM") && s.contains("425"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Micro-benchmarks of environment stepping and dataset collection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swiftrl_env::collect::collect_random;
+use swiftrl_env::frozen_lake::FrozenLake;
+use swiftrl_env::taxi::Taxi;
+
+fn bench_envs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("envs");
+    g.bench_function("frozen_lake_collect_10k", |b| {
+        let mut env = FrozenLake::slippery_4x4();
+        b.iter(|| collect_random(&mut env, black_box(10_000), 1))
+    });
+    g.bench_function("taxi_collect_10k", |b| {
+        let mut env = Taxi::new();
+        b.iter(|| collect_random(&mut env, black_box(10_000), 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_envs);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Macro-benchmarks: host wall-clock cost of simulating one PIM kernel
+//! launch per workload variant (simulator throughput, not modelled time).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use swiftrl_core::config::{RunConfig, WorkloadSpec};
+use swiftrl_core::runner::PimRunner;
+use swiftrl_env::collect::collect_random;
+use swiftrl_env::frozen_lake::FrozenLake;
+
+fn bench_pim_kernels(c: &mut Criterion) {
+    let mut env = FrozenLake::slippery_4x4();
+    let dataset = collect_random(&mut env, 4_000, 1);
+
+    let mut g = c.benchmark_group("pim_run");
+    g.sample_size(10);
+    for spec in [
+        WorkloadSpec::q_learning_seq_fp32(),
+        WorkloadSpec::q_learning_seq_int32(),
+        WorkloadSpec::sarsa_seq_fp32(),
+        WorkloadSpec::sarsa_seq_int32(),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &spec| {
+            b.iter(|| {
+                let cfg = RunConfig::paper_defaults()
+                    .with_dpus(4)
+                    .with_episodes(10)
+                    .with_tau(10);
+                PimRunner::new(spec, cfg)
+                    .unwrap()
+                    .run(black_box(&dataset))
+                    .unwrap()
+                    .breakdown
+                    .total_seconds()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pim_kernels);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Micro-benchmarks of the three experience-sampling strategies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swiftrl_rl::sampling::SamplingStrategy;
+
+fn bench_sampling(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let mut g = c.benchmark_group("sampling");
+    for (name, strategy) in [
+        ("seq", SamplingStrategy::Sequential),
+        ("stride4", SamplingStrategy::Stride(4)),
+        ("random", SamplingStrategy::Random),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for i in strategy.indices(black_box(N), 7) {
+                    acc = acc.wrapping_add(i);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the emulated IEEE-754 arithmetic against the host
+//! FPU — quantifies the simulation overhead of the soft-float library.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swiftrl_pim::cost::OpTally;
+use swiftrl_pim::softfloat as sf;
+
+fn bench_softfloat(c: &mut Criterion) {
+    let pairs: Vec<(u32, u32)> = (0..256u32)
+        .map(|i| {
+            (
+                (1.0f32 + i as f32 * 0.37).to_bits(),
+                (0.01f32 * i as f32 - 1.3).to_bits(),
+            )
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("softfloat");
+    g.bench_function("f32_add_emulated", |b| {
+        b.iter(|| {
+            let mut t = OpTally::new();
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc ^= sf::f32_add(black_box(x), black_box(y), &mut t);
+            }
+            acc
+        })
+    });
+    g.bench_function("f32_add_host", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &(x, y) in &pairs {
+                acc += f32::from_bits(black_box(x)) + f32::from_bits(black_box(y));
+            }
+            acc
+        })
+    });
+    g.bench_function("f32_mul_emulated", |b| {
+        b.iter(|| {
+            let mut t = OpTally::new();
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc ^= sf::f32_mul(black_box(x), black_box(y), &mut t);
+            }
+            acc
+        })
+    });
+    g.bench_function("f32_div_emulated", |b| {
+        b.iter(|| {
+            let mut t = OpTally::new();
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc ^= sf::f32_div(black_box(x), black_box(y), &mut t);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_softfloat);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the host-side Q-learning / SARSA update rules in
+//! FP32 and INT32 fixed point (the CPU baselines' inner loops).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swiftrl_env::{Action, State, Transition};
+use swiftrl_rl::fixed::FixedScale;
+use swiftrl_rl::qlearning::{q_update, q_update_fixed};
+use swiftrl_rl::qtable::{FixedQTable, QTable};
+use swiftrl_rl::rng::Lcg32;
+use swiftrl_rl::sarsa::sarsa_update;
+
+fn transitions(n: usize, ns: u32, na: u32) -> Vec<Transition> {
+    let mut rng = Lcg32::new(9);
+    (0..n)
+        .map(|_| Transition {
+            state: State(rng.below(ns)),
+            action: Action(rng.below(na)),
+            reward: if rng.below(100) == 0 { 1.0 } else { 0.0 },
+            next_state: State(rng.below(ns)),
+            done: false,
+        })
+        .collect()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let data = transitions(1_000, 16, 4);
+    let scale = FixedScale::paper();
+
+    let mut g = c.benchmark_group("updates");
+    g.bench_function("q_update_fp32_host", |b| {
+        let mut q = QTable::zeros(16, 4);
+        b.iter(|| {
+            for t in &data {
+                q_update(&mut q, black_box(t), 0.1, 0.95);
+            }
+        })
+    });
+    g.bench_function("q_update_int32_host", |b| {
+        let mut q = FixedQTable::zeros(16, 4, scale);
+        b.iter(|| {
+            for t in &data {
+                q_update_fixed(&mut q, black_box(t), 1_000, 9_500, 0, scale);
+            }
+        })
+    });
+    g.bench_function("sarsa_update_fp32_host", |b| {
+        let mut q = QTable::zeros(16, 4);
+        let mut rng = Lcg32::new(1);
+        b.iter(|| {
+            for t in &data {
+                sarsa_update(&mut q, black_box(t), 0.1, 0.95, 0.1, &mut rng);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

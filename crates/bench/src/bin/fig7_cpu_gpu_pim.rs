@@ -1,0 +1,230 @@
+//! Figure 7: execution time of the RL training phase on CPU, GPU and PIM
+//! for FrozenLake and Taxi — PIM at 2,000 cores (best-performing count),
+//! FP32 vs INT32, against CPU-V1, CPU-V2 and the GPU.
+//!
+//! PIM times come from the cycle-level simulator (extrapolated from a
+//! reduced-scale run); CPU and GPU times come from the analytical Table-1
+//! models (see DESIGN.md on the substitution). The binary also reports
+//! the paper's headline ratios next to the measured ones.
+//!
+//! ```text
+//! cargo run --release -p swiftrl-bench --bin fig7_cpu_gpu_pim
+//! ```
+
+use swiftrl_baselines::cpu_model::{CpuModel, CpuVersion};
+use swiftrl_baselines::gpu_model::GpuModel;
+use swiftrl_bench::{fmt_ratio, fmt_secs, print_table, Extrapolation, HarnessArgs};
+use swiftrl_core::config::{RunConfig, WorkloadSpec};
+use swiftrl_core::runner::PimRunner;
+use swiftrl_env::collect::collect_random;
+use swiftrl_env::frozen_lake::FrozenLake;
+use swiftrl_env::taxi::Taxi;
+use swiftrl_env::ExperienceDataset;
+use swiftrl_rl::sampling::SamplingStrategy;
+use std::collections::HashMap;
+
+const PAPER_EPISODES: u32 = 2_000;
+const TAU: u32 = 50;
+const PIM_CORES: usize = 2_000;
+
+struct EnvCase {
+    tag: &'static str,
+    paper_transitions: usize,
+    dataset: ExperienceDataset,
+}
+
+fn main() {
+    let args = HarnessArgs::parse(0.01);
+
+    let mut fl = FrozenLake::slippery_4x4();
+    let mut taxi = Taxi::new();
+    let cases = [
+        EnvCase {
+            tag: "FL",
+            paper_transitions: 1_000_000,
+            dataset: collect_random(&mut fl, args.scaled(1_000_000, 10_000), 42),
+        },
+        EnvCase {
+            tag: "Taxi",
+            paper_transitions: 5_000_000,
+            dataset: collect_random(&mut taxi, args.scaled(5_000_000, 10_000), 42),
+        },
+    ];
+
+    let cpu = CpuModel::xeon_4110();
+    let gpu = GpuModel::rtx_3090();
+    let episodes = args.scaled_episodes(PAPER_EPISODES, TAU);
+
+    println!("# Figure 7: CPU vs GPU vs PIM (2,000 PIM cores)\n");
+
+    // pim_times[(env_tag, spec)] = paper-scale seconds
+    let mut pim_times: HashMap<(&str, String), f64> = HashMap::new();
+
+    for case in &cases {
+        let extra = Extrapolation::new(
+            case.paper_transitions,
+            case.dataset.len(),
+            PAPER_EPISODES,
+            episodes,
+            TAU,
+        );
+        let ns = case.dataset.num_states();
+        let na = case.dataset.num_actions();
+        let total_updates = case.paper_transitions as u64 * PAPER_EPISODES as u64;
+
+        println!("## {} environment\n", case.tag);
+        let mut rows = Vec::new();
+        for spec in WorkloadSpec::paper_variants() {
+            let cfg = RunConfig::paper_defaults()
+                .with_dpus(PIM_CORES)
+                .with_episodes(episodes)
+                .with_tau(TAU)
+                .with_seed(args.seed.unwrap_or(0xC0FFEE));
+            let outcome = PimRunner::new(spec, cfg)
+                .expect("alloc failed")
+                .run(&case.dataset)
+                .expect("PIM run failed");
+            let pim_s = extra.apply(&outcome.breakdown).total_seconds();
+            pim_times.insert((case.tag, spec.name()), pim_s);
+
+            let v1 = cpu.training_seconds(CpuVersion::V1, total_updates, ns, na, spec.sampling);
+            let v2 = cpu.training_seconds(CpuVersion::V2, total_updates, ns, na, spec.sampling);
+            let gpu_s = gpu.training_seconds(
+                PAPER_EPISODES as u64,
+                case.paper_transitions as u64,
+                ns * na,
+            );
+            rows.push(vec![
+                spec.name(),
+                fmt_secs(pim_s),
+                fmt_secs(v1),
+                fmt_secs(v2),
+                fmt_secs(gpu_s),
+                fmt_ratio(v1 / pim_s),
+                fmt_ratio(gpu_s / pim_s),
+            ]);
+        }
+        print_table(
+            &[
+                "Workload",
+                "PIM (2000)",
+                "CPU-V1",
+                "CPU-V2",
+                "GPU",
+                "CPU-V1/PIM",
+                "GPU/PIM",
+            ],
+            &rows,
+        );
+        println!();
+    }
+
+    headline_checks(&pim_times, &cpu, &gpu);
+    energy_extension(&pim_times, &cpu, &gpu);
+}
+
+/// Extension: first-order energy comparison at Table-1 TDPs for the
+/// FrozenLake Q-learner (the paper motivates PIM with energy but reports
+/// no numbers).
+fn energy_extension(pim: &HashMap<(&str, String), f64>, cpu: &CpuModel, gpu: &GpuModel) {
+    use swiftrl_baselines::energy;
+
+    let fl_updates = 1_000_000u64 * PAPER_EPISODES as u64;
+    let pim_int32 = pim[&("FL", "Q-learner-SEQ-INT32".to_string())];
+    let cpu_v1 = cpu.training_seconds(
+        CpuVersion::V1,
+        fl_updates,
+        16,
+        4,
+        SamplingStrategy::Sequential,
+    );
+    let gpu_s = gpu.training_seconds(PAPER_EPISODES as u64, 1_000_000, 64);
+
+    println!("\n## Extension: energy estimate, FrozenLake Q-learner (TDP × utilization × time)\n");
+    let rows: Vec<Vec<String>> = energy::table1_comparison(pim_int32, cpu_v1, gpu_s)
+        .iter()
+        .map(|e| {
+            vec![
+                e.system.clone(),
+                fmt_secs(e.seconds),
+                format!("{:.0} W", e.watts),
+                format!("{:.0} J", e.joules),
+            ]
+        })
+        .collect();
+    print_table(&["System", "Time", "Avg power", "Energy"], &rows);
+}
+
+fn headline_checks(pim: &HashMap<(&str, String), f64>, cpu: &CpuModel, gpu: &GpuModel) {
+    let t = |env: &str, name: &str| pim[&(env, name.to_string())];
+    let fl_updates = 1_000_000u64 * PAPER_EPISODES as u64;
+    let taxi_updates = 5_000_000u64 * PAPER_EPISODES as u64;
+
+    let cpu_v1 = |ns, na, s| cpu.training_seconds(CpuVersion::V1, fl_updates, ns, na, s);
+    let q_seq_fp32 = t("FL", "Q-learner-SEQ-FP32");
+    let q_ran_fp32 = t("FL", "Q-learner-RAN-FP32");
+    let q_seq_int32 = t("FL", "Q-learner-SEQ-INT32");
+    let s_seq_fp32 = t("FL", "SARSA-SEQ-FP32");
+    let s_seq_int32 = t("FL", "SARSA-SEQ-INT32");
+    let gpu_fl = gpu.training_seconds(PAPER_EPISODES as u64, 1_000_000, 64);
+
+    let taxi_fp32_avg = ["SEQ", "RAN", "STR"]
+        .iter()
+        .map(|s| t("Taxi", &format!("Q-learner-{s}-FP32")))
+        .sum::<f64>()
+        / 3.0;
+    let taxi_cpu_v1_avg = [
+        SamplingStrategy::Sequential,
+        SamplingStrategy::Random,
+        SamplingStrategy::paper_stride(),
+    ]
+    .iter()
+    .map(|&s| cpu.training_seconds(CpuVersion::V1, taxi_updates, 500, 6, s))
+    .sum::<f64>()
+        / 3.0;
+
+    println!("## Headline ratios (paper vs this reproduction)\n");
+    let rows = vec![
+        vec![
+            "Q-SEQ-FP32-FL faster than CPU-V1".into(),
+            "1.84×".into(),
+            fmt_ratio(cpu_v1(16, 4, SamplingStrategy::Sequential) / q_seq_fp32),
+        ],
+        vec![
+            "SARSA-SEQ-FP32-FL faster than CPU-V1".into(),
+            "2.08×".into(),
+            fmt_ratio(cpu_v1(16, 4, SamplingStrategy::Sequential) / s_seq_fp32),
+        ],
+        vec![
+            "Q-RAN-FP32-FL faster than CPU-V1".into(),
+            "1.96×".into(),
+            fmt_ratio(cpu_v1(16, 4, SamplingStrategy::Random) / q_ran_fp32),
+        ],
+        vec![
+            "Q-SEQ-INT32 faster than Q-SEQ-FP32 (FL)".into(),
+            "8.16×".into(),
+            fmt_ratio(q_seq_fp32 / q_seq_int32),
+        ],
+        vec![
+            "SARSA-SEQ-INT32 faster than SARSA-SEQ-FP32 (FL)".into(),
+            "4.73×".into(),
+            fmt_ratio(s_seq_fp32 / s_seq_int32),
+        ],
+        vec![
+            "GPU faster than Q-SEQ-FP32-FL".into(),
+            "1.68×".into(),
+            fmt_ratio(q_seq_fp32 / gpu_fl),
+        ],
+        vec![
+            "Q-SEQ-INT32-FL faster than GPU".into(),
+            "4.84×".into(),
+            fmt_ratio(gpu_fl / q_seq_int32),
+        ],
+        vec![
+            "Taxi: PIM-FP32 speed relative to CPU-V1 (paper: 0.64×, slower)".into(),
+            "0.64×".into(),
+            fmt_ratio(taxi_cpu_v1_avg / taxi_fp32_avg),
+        ],
+    ];
+    print_table(&["Claim", "Paper", "Measured"], &rows);
+}

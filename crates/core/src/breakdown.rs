@@ -1,0 +1,132 @@
+//! Execution-time breakdown: the four components of Figures 5–6.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Modelled execution time split into the paper's categories.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// PIM kernel execution (slowest DPU per launch, summed over rounds).
+    pub pim_kernel_s: f64,
+    /// Initial CPU→PIM dataset/Q-table transfer.
+    pub cpu_pim_s: f64,
+    /// Final PIM→CPU result retrieval.
+    pub pim_cpu_s: f64,
+    /// Inter-PIM-core communication: the τ-periodic host-mediated
+    /// gather + aggregate + broadcast of Q-tables.
+    pub inter_pim_s: f64,
+    /// One-time DPU program-load seconds. Informational: already
+    /// *included* in `cpu_pim_s` (the paper folds setup costs into the
+    /// CPU-PIM category); tracked separately because it does not scale
+    /// with the dataset.
+    pub program_load_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total modelled execution time.
+    pub fn total_seconds(&self) -> f64 {
+        self.pim_kernel_s + self.cpu_pim_s + self.pim_cpu_s + self.inter_pim_s
+    }
+
+    /// Fraction of the total spent in each category, in the order
+    /// (kernel, CPU→PIM, PIM→CPU, inter-PIM). Zero total yields zeros.
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total_seconds();
+        if total <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.pim_kernel_s / total,
+            self.cpu_pim_s / total,
+            self.pim_cpu_s / total,
+            self.inter_pim_s / total,
+        ]
+    }
+
+    /// Scales every component (used to extrapolate reduced-scale runs to
+    /// paper scale).
+    pub fn scaled(&self, factor: f64) -> TimeBreakdown {
+        TimeBreakdown {
+            pim_kernel_s: self.pim_kernel_s * factor,
+            cpu_pim_s: self.cpu_pim_s * factor,
+            pim_cpu_s: self.pim_cpu_s * factor,
+            inter_pim_s: self.inter_pim_s * factor,
+            program_load_s: self.program_load_s * factor,
+        }
+    }
+}
+
+impl AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, rhs: TimeBreakdown) {
+        self.pim_kernel_s += rhs.pim_kernel_s;
+        self.cpu_pim_s += rhs.cpu_pim_s;
+        self.pim_cpu_s += rhs.pim_cpu_s;
+        self.inter_pim_s += rhs.inter_pim_s;
+        self.program_load_s += rhs.program_load_s;
+    }
+}
+
+impl fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.4}s (kernel {:.4}s, CPU-PIM {:.4}s, PIM-CPU {:.4}s, inter-PIM {:.4}s)",
+            self.total_seconds(),
+            self.pim_kernel_s,
+            self.cpu_pim_s,
+            self.pim_cpu_s,
+            self.inter_pim_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeBreakdown {
+        TimeBreakdown {
+            pim_kernel_s: 4.0,
+            cpu_pim_s: 1.0,
+            pim_cpu_s: 0.5,
+            inter_pim_s: 2.5,
+            program_load_s: 0.25,
+        }
+    }
+
+    #[test]
+    fn total_and_fractions() {
+        let b = sample();
+        assert_eq!(b.total_seconds(), 8.0);
+        let f = b.fractions();
+        assert!((f[0] - 0.5).abs() < 1e-12);
+        assert!((f[3] - 0.3125).abs() < 1e-12);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_fractions_are_zero() {
+        assert_eq!(TimeBreakdown::default().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = sample();
+        a += sample();
+        assert_eq!(a.total_seconds(), 16.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_components() {
+        let b = sample().scaled(2.0);
+        assert_eq!(b.pim_kernel_s, 8.0);
+        assert_eq!(b.total_seconds(), 16.0);
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let s = sample().to_string();
+        assert!(s.contains("kernel") && s.contains("inter-PIM"));
+    }
+}

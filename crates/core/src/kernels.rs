@@ -1,0 +1,911 @@
+//! The SwiftRL DPU kernels: Q-learning and SARSA in FP32 and INT32, with
+//! SEQ/STR/RAN sampling.
+//!
+//! One kernel runs per DPU with a single tasklet (the paper's
+//! configuration). The kernel:
+//!
+//! 1. reads its [`KernelHeader`] and DMAs the
+//!    local Q-table from MRAM into WRAM;
+//! 2. for each of the launch's `τ` episodes, walks its chunk in the
+//!    sampling strategy's order, streaming transition records from MRAM
+//!    (batched DMA for SEQ; per-record DMA for STR and RAN, whose
+//!    irregular patterns defeat batching);
+//! 3. applies the update rule with *emulated* arithmetic — soft-float
+//!    FP32 or the paper's scaled INT32 — charging every operation to the
+//!    DPU cycle counter;
+//! 4. DMAs the updated Q-table back to MRAM for the host to gather.
+//!
+//! The arithmetic is bit-identical to the host reference in
+//! `swiftrl_rl::{qlearning, sarsa}`: an integration test trains both ways
+//! and compares Q-tables exactly.
+
+use crate::config::{Algorithm, DataType, WorkloadSpec};
+use crate::layout::{episode_seed, sampling_kind, KernelHeader, HEADER_BYTES, Q_TABLE_OFFSET};
+use swiftrl_pim::kernel::{DpuContext, Kernel, KernelError, F32};
+
+/// Transition records DMA'd per batch in SEQ order (32 records = 512 B).
+const SEQ_BATCH: usize = 32;
+/// Bytes per transition record.
+const RECORD_BYTES: usize = 16;
+/// Bit of the action word carrying the terminal flag
+/// (`Transition::DONE_BIT`).
+const DONE_BIT: u32 = 1 << 31;
+
+/// The SwiftRL training kernel for one workload variant.
+///
+/// The same kernel object is launched on every DPU of a set; per-DPU
+/// behaviour (chunk size, seeds) comes from the header each DPU carries
+/// in its own MRAM.
+#[derive(Debug, Clone, Copy)]
+pub struct SwiftRlKernel {
+    spec: WorkloadSpec,
+    tasklets: usize,
+}
+
+impl SwiftRlKernel {
+    /// Creates the single-tasklet kernel for a workload variant (the
+    /// paper's configuration).
+    pub fn new(spec: WorkloadSpec) -> Self {
+        Self::with_tasklets(spec, 1)
+    }
+
+    /// Creates the tasklet-parallel kernel: each DPU's chunk is further
+    /// sub-partitioned across `tasklets` hardware threads sharing the
+    /// WRAM Q-table. At ≥11 tasklets the DPU pipeline reaches its 1-IPC
+    /// peak (the extension the paper leaves as future work).
+    ///
+    /// The simulator serializes tasklet bodies, so shared-table updates
+    /// interleave at tasklet granularity — an idealization of the
+    /// lossy concurrent updates a real multi-tasklet kernel would make
+    /// (CPU-V1-style), while the *timing* reflects the fine-grained
+    /// multithreaded pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasklets` is zero.
+    pub fn with_tasklets(spec: WorkloadSpec, tasklets: usize) -> Self {
+        assert!(tasklets > 0, "need at least one tasklet");
+        Self { spec, tasklets }
+    }
+
+    /// The workload variant this kernel implements.
+    pub fn spec(&self) -> WorkloadSpec {
+        self.spec
+    }
+}
+
+impl Kernel for SwiftRlKernel {
+    fn tasklets(&self) -> usize {
+        self.tasklets
+    }
+
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+        // Header load: one DMA + field decodes (every tasklet reads it,
+        // as UPMEM tasklets each execute main()).
+        let mut hdr_buf = vec![0u8; HEADER_BYTES];
+        ctx.mram_read(0, &mut hdr_buf)?;
+        ctx.charge_alu(13); // unpack the 13 header words into registers
+        let hdr = KernelHeader::from_bytes(&hdr_buf).map_err(KernelError::Fault)?;
+
+        let body = KernelBody::new(self.spec, hdr, ctx.tasklet_id(), self.tasklets);
+        body.run(ctx)
+    }
+}
+
+/// WRAM address map used by the kernel body.
+#[derive(Debug, Clone, Copy)]
+struct WramMap {
+    /// Q-table at offset 0.
+    q: usize,
+    /// Transition staging buffer after the Q-table (8-byte aligned).
+    batch: usize,
+    q_bytes: usize,
+}
+
+impl WramMap {
+    fn new(hdr: &KernelHeader) -> Self {
+        let q_bytes = hdr.q_table_bytes();
+        Self {
+            q: 0,
+            batch: q_bytes.div_ceil(8) * 8,
+            q_bytes,
+        }
+    }
+
+    #[inline]
+    fn q_entry(&self, num_actions: u32, state: u32, action: u32) -> usize {
+        self.q + (state * num_actions + action) as usize * 4
+    }
+}
+
+/// One decoded transition record.
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    state: u32,
+    action: u32,
+    /// FP32 bits or scaled i32, depending on the workload data type.
+    reward_raw: u32,
+    next_state: u32,
+    /// Terminal flag (bit 31 of the action word): do not bootstrap.
+    done: bool,
+}
+
+struct KernelBody {
+    spec: WorkloadSpec,
+    hdr: KernelHeader,
+    map: WramMap,
+    /// This tasklet's contiguous sub-range of the DPU's chunk.
+    range: std::ops::Range<usize>,
+    tasklet_id: usize,
+    tasklets: usize,
+}
+
+impl KernelBody {
+    fn new(spec: WorkloadSpec, hdr: KernelHeader, tasklet_id: usize, tasklets: usize) -> Self {
+        let map = WramMap::new(&hdr);
+        // Contiguous sub-partition of the chunk, sizes within one.
+        let n = hdr.n_transitions as usize;
+        let base = n / tasklets;
+        let extra = n % tasklets;
+        let start = tasklet_id * base + tasklet_id.min(extra);
+        let len = base + usize::from(tasklet_id < extra);
+        Self {
+            spec,
+            hdr,
+            map,
+            range: start..start + len,
+            tasklet_id,
+            tasklets,
+        }
+    }
+
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+        let hdr = &self.hdr;
+        if hdr.num_states == 0 || hdr.num_actions == 0 {
+            return Err(KernelError::Fault("empty Q-table shape".into()));
+        }
+
+        // Tasklet 0 stages the shared Q-table into WRAM; the others
+        // arrive at a barrier (charged as control slots).
+        if self.tasklet_id == 0 {
+            ctx.mram_to_wram(Q_TABLE_OFFSET, self.map.q, self.map.q_bytes)?;
+        } else {
+            ctx.charge_control(2); // barrier wait
+        }
+
+        // SARSA's ε-greedy policy stream persists across the launch's
+        // episodes, seeded like the host reference trainer (decorrelated
+        // per tasklet beyond tasklet 0).
+        let mut policy_state = (hdr.seed ^ 0x5A85_AA11)
+            .wrapping_add((self.tasklet_id as u32).wrapping_mul(0x9E37_79B9));
+
+        let n = self.range.len();
+        for ep in 0..hdr.episodes {
+            ctx.charge_control(2); // episode loop bookkeeping + barrier
+            if n == 0 {
+                continue;
+            }
+            let ep_seed = episode_seed(hdr.seed, hdr.episode_base + ep)
+                .wrapping_add(self.tasklet_id as u32);
+            self.run_episode(ctx, ep_seed, &mut policy_state)?;
+        }
+
+        // The last tasklet publishes the updated table for the host
+        // gather and advances the header's episode window so the next
+        // launch continues where this one stopped (no host-side header
+        // re-arm between rounds).
+        if self.tasklet_id + 1 == self.tasklets {
+            ctx.wram_to_mram(self.map.q, Q_TABLE_OFFSET, self.map.q_bytes)?;
+            let mut next_hdr = *hdr;
+            next_hdr.episode_base = hdr.episode_base.wrapping_add(hdr.episodes);
+            ctx.mram_write(0, &next_hdr.to_bytes())?;
+            ctx.charge_alu(2);
+        }
+        Ok(())
+    }
+
+    /// WRAM offset of this tasklet's private transition staging buffer.
+    fn batch_off(&self) -> usize {
+        self.map.batch + self.tasklet_id * SEQ_BATCH * RECORD_BYTES
+    }
+
+    /// MRAM offset of record `i` of this tasklet's sub-range.
+    fn record_off(&self, i: usize) -> usize {
+        self.hdr.transition_offset(self.range.start + i)
+    }
+
+    fn run_episode(
+        &self,
+        ctx: &mut DpuContext<'_>,
+        ep_seed: u32,
+        policy_state: &mut u32,
+    ) -> Result<(), KernelError> {
+        let n = self.range.len();
+        let batch = self.batch_off();
+        match self.hdr.sampling {
+            sampling_kind::SEQ => {
+                // Stream the chunk in batches.
+                let mut fetched_base = usize::MAX;
+                for i in 0..n {
+                    let batch_base = i - (i % SEQ_BATCH);
+                    if batch_base != fetched_base {
+                        let count = SEQ_BATCH.min(n - batch_base);
+                        ctx.mram_to_wram(
+                            self.record_off(batch_base),
+                            batch,
+                            count * RECORD_BYTES,
+                        )?;
+                        fetched_base = batch_base;
+                    }
+                    let rec = self.read_record(ctx, batch + (i - batch_base) * RECORD_BYTES)?;
+                    self.apply_update(ctx, &rec, policy_state)?;
+                }
+            }
+            sampling_kind::STR => {
+                // The stride walk of SamplingStrategy::Stride, index by
+                // index; each record needs its own DMA.
+                let k = self.hdr.stride as usize;
+                if k == 0 {
+                    return Err(KernelError::Fault("stride must be positive".into()));
+                }
+                let mut cursor = 0usize;
+                let mut offset = 0usize;
+                for _ in 0..n {
+                    let i = cursor;
+                    cursor += k;
+                    if cursor >= n {
+                        offset += 1;
+                        cursor = offset;
+                    }
+                    ctx.charge_alu(3); // stride bookkeeping
+                    ctx.mram_to_wram(self.record_off(i), batch, RECORD_BYTES)?;
+                    let rec = self.read_record(ctx, batch)?;
+                    self.apply_update(ctx, &rec, policy_state)?;
+                }
+            }
+            sampling_kind::RAN => {
+                // Uniform draws with the in-kernel LCG, matching the host
+                // SampleIndices stream for the same seed.
+                let mut sample_state = ep_seed;
+                for _ in 0..n {
+                    let i = ctx.lcg_below(&mut sample_state, n as u32) as usize;
+                    ctx.mram_to_wram(self.record_off(i), batch, RECORD_BYTES)?;
+                    let rec = self.read_record(ctx, batch)?;
+                    self.apply_update(ctx, &rec, policy_state)?;
+                }
+            }
+            other => {
+                return Err(KernelError::Fault(format!(
+                    "unknown sampling kind {other}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and validates one staged record from WRAM.
+    fn read_record(&self, ctx: &mut DpuContext<'_>, wram_off: usize) -> Result<Record, KernelError> {
+        let state = ctx.wram_read_u32(wram_off)?;
+        let action_word = ctx.wram_read_u32(wram_off + 4)?;
+        let reward_raw = ctx.wram_read_u32(wram_off + 8)?;
+        let next_state = ctx.wram_read_u32(wram_off + 12)?;
+        // Unpack the terminal flag from bit 31 of the action word.
+        let done = action_word & DONE_BIT != 0;
+        let action = action_word & !DONE_BIT;
+        ctx.charge_alu(2);
+        if state >= self.hdr.num_states
+            || next_state >= self.hdr.num_states
+            || action >= self.hdr.num_actions
+        {
+            return Err(KernelError::Fault(format!(
+                "record out of space: s={state} a={action} s'={next_state}"
+            )));
+        }
+        Ok(Record {
+            state,
+            action,
+            reward_raw,
+            next_state,
+            done,
+        })
+    }
+
+    fn apply_update(
+        &self,
+        ctx: &mut DpuContext<'_>,
+        rec: &Record,
+        policy_state: &mut u32,
+    ) -> Result<(), KernelError> {
+        ctx.charge_control(1); // update-call overhead
+        match (self.spec.algorithm, self.spec.dtype) {
+            (Algorithm::QLearning, DataType::Fp32) => self.q_update_fp32(ctx, rec),
+            (Algorithm::QLearning, DataType::Int32) => self.q_update_int32(ctx, rec),
+            (Algorithm::Sarsa, DataType::Fp32) => self.sarsa_update_fp32(ctx, rec, policy_state),
+            (Algorithm::Sarsa, DataType::Int32) => self.sarsa_update_int32(ctx, rec, policy_state),
+        }
+    }
+
+    // ---- FP32 updates ------------------------------------------------------
+
+    /// `max_a' Q(s', a')` with emulated comparisons.
+    fn max_next_fp32(&self, ctx: &mut DpuContext<'_>, next_state: u32) -> Result<F32, KernelError> {
+        let na = self.hdr.num_actions;
+        ctx.charge_alu(2); // row base address
+        let mut best = ctx.wram_read_f32(self.map.q_entry(na, next_state, 0))?;
+        for a in 1..na {
+            ctx.charge_alu(1);
+            let v = ctx.wram_read_f32(self.map.q_entry(na, next_state, a))?;
+            best = ctx.fmax(best, v);
+        }
+        Ok(best)
+    }
+
+    fn q_update_fp32(&self, ctx: &mut DpuContext<'_>, rec: &Record) -> Result<(), KernelError> {
+        let na = self.hdr.num_actions;
+        let alpha = F32(self.hdr.alpha);
+        let gamma = F32(self.hdr.gamma);
+        let reward = F32(rec.reward_raw);
+
+        ctx.charge_control(1); // terminal-flag branch
+        let target = if rec.done {
+            reward
+        } else {
+            let max_next = self.max_next_fp32(ctx, rec.next_state)?;
+            let discounted = ctx.fmul(gamma, max_next);
+            ctx.fadd(reward, discounted)
+        };
+        ctx.charge_alu(2);
+        let entry = self.map.q_entry(na, rec.state, rec.action);
+        let old = ctx.wram_read_f32(entry)?;
+        let delta = ctx.fsub(target, old);
+        let scaled = ctx.fmul(alpha, delta);
+        let new = ctx.fadd(old, scaled);
+        ctx.wram_write_f32(entry, new)?;
+        Ok(())
+    }
+
+    /// ε-greedy a' over the WRAM Q-table, bit-identical to the host's
+    /// `epsilon_greedy` (integer threshold draw, then either a uniform
+    /// action or a first-max argmax).
+    fn epsilon_greedy_fp32(
+        &self,
+        ctx: &mut DpuContext<'_>,
+        state: u32,
+        policy_state: &mut u32,
+    ) -> Result<u32, KernelError> {
+        let na = self.hdr.num_actions;
+        let draw = ctx.lcg_next(policy_state);
+        ctx.charge_alu(1);
+        if draw < self.hdr.epsilon_threshold {
+            return Ok(ctx.lcg_below(policy_state, na));
+        }
+        ctx.charge_alu(2);
+        let mut best_a = 0u32;
+        let mut best_v = ctx.wram_read_f32(self.map.q_entry(na, state, 0))?;
+        for a in 1..na {
+            ctx.charge_alu(1);
+            let v = ctx.wram_read_f32(self.map.q_entry(na, state, a))?;
+            if ctx.fgt(v, best_v) {
+                best_v = v;
+                best_a = a;
+            }
+        }
+        Ok(best_a)
+    }
+
+    fn sarsa_update_fp32(
+        &self,
+        ctx: &mut DpuContext<'_>,
+        rec: &Record,
+        policy_state: &mut u32,
+    ) -> Result<(), KernelError> {
+        let na = self.hdr.num_actions;
+        let alpha = F32(self.hdr.alpha);
+        let gamma = F32(self.hdr.gamma);
+        let reward = F32(rec.reward_raw);
+
+        ctx.charge_control(1); // terminal-flag branch
+        let target = if rec.done {
+            reward
+        } else {
+            let a_next = self.epsilon_greedy_fp32(ctx, rec.next_state, policy_state)?;
+            ctx.charge_alu(2);
+            let q_next = ctx.wram_read_f32(self.map.q_entry(na, rec.next_state, a_next))?;
+            let discounted = ctx.fmul(gamma, q_next);
+            ctx.fadd(reward, discounted)
+        };
+        ctx.charge_alu(2);
+        let entry = self.map.q_entry(na, rec.state, rec.action);
+        let old = ctx.wram_read_f32(entry)?;
+        let delta = ctx.fsub(target, old);
+        let scaled = ctx.fmul(alpha, delta);
+        let new = ctx.fadd(old, scaled);
+        ctx.wram_write_f32(entry, new)?;
+        Ok(())
+    }
+
+    // ---- INT32 fixed-point updates -------------------------------------
+
+    /// `max_a' Q(s', a')` with native integer comparisons (last max wins
+    /// on value ties, which is value-identical to any tie choice).
+    fn max_next_int32(&self, ctx: &mut DpuContext<'_>, next_state: u32) -> Result<i32, KernelError> {
+        let na = self.hdr.num_actions;
+        ctx.charge_alu(2);
+        let mut best = ctx.wram_read_i32(self.map.q_entry(na, next_state, 0))?;
+        for a in 1..na {
+            ctx.charge_alu(1);
+            let v = ctx.wram_read_i32(self.map.q_entry(na, next_state, a))?;
+            if ctx.igt(v, best) {
+                best = v;
+            }
+        }
+        Ok(best)
+    }
+
+    /// `(a * b) / scale` with the emulated wide multiply + divide, exactly
+    /// like `FixedScale::mul`.
+    #[inline]
+    fn fixed_mul(&self, ctx: &mut DpuContext<'_>, a: i32, b: i32) -> i32 {
+        let wide = ctx.mul_wide(a, b);
+        ctx.div_wide(wide, self.hdr.scale as i32) as i32
+    }
+
+    fn q_update_int32(&self, ctx: &mut DpuContext<'_>, rec: &Record) -> Result<(), KernelError> {
+        let na = self.hdr.num_actions;
+        let alpha_s = self.hdr.alpha as i32;
+        let gamma_s = self.hdr.gamma as i32;
+        let reward_s = rec.reward_raw as i32;
+
+        ctx.charge_control(1); // terminal-flag branch
+        let target = if rec.done {
+            reward_s
+        } else {
+            let max_next = self.max_next_int32(ctx, rec.next_state)?;
+            let discounted = self.fixed_mul(ctx, gamma_s, max_next);
+            ctx.iadd(reward_s, discounted)
+        };
+        ctx.charge_alu(2);
+        let entry = self.map.q_entry(na, rec.state, rec.action);
+        let old = ctx.wram_read_i32(entry)?;
+        let diff = ctx.isub(target, old);
+        let delta = self.fixed_mul(ctx, alpha_s, diff);
+        let new = ctx.iadd(old, delta);
+        ctx.wram_write_i32(entry, new)?;
+        Ok(())
+    }
+
+    fn epsilon_greedy_int32(
+        &self,
+        ctx: &mut DpuContext<'_>,
+        state: u32,
+        policy_state: &mut u32,
+    ) -> Result<u32, KernelError> {
+        let na = self.hdr.num_actions;
+        let draw = ctx.lcg_next(policy_state);
+        ctx.charge_alu(1);
+        if draw < self.hdr.epsilon_threshold {
+            return Ok(ctx.lcg_below(policy_state, na));
+        }
+        ctx.charge_alu(2);
+        let mut best_a = 0u32;
+        let mut best_v = ctx.wram_read_i32(self.map.q_entry(na, state, 0))?;
+        for a in 1..na {
+            ctx.charge_alu(1);
+            let v = ctx.wram_read_i32(self.map.q_entry(na, state, a))?;
+            if ctx.igt(v, best_v) {
+                best_v = v;
+                best_a = a;
+            }
+        }
+        Ok(best_a)
+    }
+
+    fn sarsa_update_int32(
+        &self,
+        ctx: &mut DpuContext<'_>,
+        rec: &Record,
+        policy_state: &mut u32,
+    ) -> Result<(), KernelError> {
+        let na = self.hdr.num_actions;
+        let alpha_s = self.hdr.alpha as i32;
+        let gamma_s = self.hdr.gamma as i32;
+        let reward_s = rec.reward_raw as i32;
+
+        ctx.charge_control(1); // terminal-flag branch
+        let target = if rec.done {
+            reward_s
+        } else {
+            let a_next = self.epsilon_greedy_int32(ctx, rec.next_state, policy_state)?;
+            ctx.charge_alu(2);
+            let q_next = ctx.wram_read_i32(self.map.q_entry(na, rec.next_state, a_next))?;
+            let discounted = self.fixed_mul(ctx, gamma_s, q_next);
+            ctx.iadd(reward_s, discounted)
+        };
+        ctx.charge_alu(2);
+        let entry = self.map.q_entry(na, rec.state, rec.action);
+        let old = ctx.wram_read_i32(entry)?;
+        let diff = ctx.isub(target, old);
+        let delta = self.fixed_mul(ctx, alpha_s, diff);
+        let new = ctx.iadd(old, delta);
+        ctx.wram_write_i32(entry, new)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::dpu_seed;
+    use swiftrl_env::{Action, State, Transition};
+    use swiftrl_pim::config::PimConfig;
+    use swiftrl_pim::host::PimSystem;
+    use swiftrl_rl::fixed::FixedScale;
+    use swiftrl_rl::policy::epsilon_threshold;
+    use swiftrl_rl::qtable::{FixedQTable, QTable};
+    use swiftrl_rl::sampling::SamplingStrategy;
+
+    fn tiny_transitions() -> Vec<Transition> {
+        vec![
+            Transition {
+                state: State(0),
+                action: Action(0),
+                reward: 0.0,
+                next_state: State(1),
+                done: false,
+            },
+            Transition {
+                state: State(1),
+                action: Action(1),
+                reward: 1.0,
+                next_state: State(2),
+                done: false,
+            },
+            Transition {
+                state: State(2),
+                action: Action(0),
+                reward: -0.5,
+                next_state: State(0),
+                done: false,
+            },
+        ]
+    }
+
+    /// Loads a DPU with a header + zero Q-table + transitions, runs the
+    /// kernel, returns the Q-table bytes.
+    fn run_kernel_once(
+        spec: WorkloadSpec,
+        hdr: KernelHeader,
+        transitions: &[Transition],
+        int32_scale: Option<i32>,
+    ) -> Vec<u8> {
+        let mut sys = PimSystem::new(PimConfig::builder().dpus(1).mram_bytes(1 << 20).build());
+        let mut set = sys.alloc(1).unwrap();
+        set.copy_to(0, 0, &hdr.to_bytes()).unwrap();
+        let q_bytes = vec![0u8; hdr.q_table_bytes()];
+        set.copy_to(0, Q_TABLE_OFFSET, &q_bytes).unwrap();
+        let mut data = Vec::new();
+        for t in transitions {
+            match int32_scale {
+                Some(scale) => t.encode_int32(scale, &mut data),
+                None => t.encode_fp32(&mut data),
+            }
+        }
+        set.copy_to(0, hdr.transitions_offset(), &data).unwrap();
+        set.launch(&SwiftRlKernel::new(spec)).unwrap();
+        set.copy_from(0, Q_TABLE_OFFSET, hdr.q_table_bytes()).unwrap()
+    }
+
+    fn header_for(
+        spec: WorkloadSpec,
+        n: usize,
+        episodes: u32,
+        seed: u32,
+    ) -> KernelHeader {
+        let scale = FixedScale::paper();
+        let (alpha, gamma) = match spec.dtype {
+            DataType::Fp32 => (0.1f32.to_bits(), 0.95f32.to_bits()),
+            DataType::Int32 => (scale.to_fixed(0.1) as u32, scale.to_fixed(0.95) as u32),
+        };
+        let sampling = match spec.sampling {
+            SamplingStrategy::Sequential => sampling_kind::SEQ,
+            SamplingStrategy::Stride(_) => sampling_kind::STR,
+            SamplingStrategy::Random => sampling_kind::RAN,
+        };
+        let stride = match spec.sampling {
+            SamplingStrategy::Stride(k) => k as u32,
+            _ => 0,
+        };
+        KernelHeader {
+            n_transitions: n as u32,
+            num_states: 3,
+            num_actions: 2,
+            episodes,
+            episode_base: 0,
+            sampling,
+            stride,
+            seed,
+            alpha,
+            gamma,
+            epsilon_threshold: epsilon_threshold(0.1).min(u32::MAX as u64) as u32,
+            scale: 10_000,
+        }
+    }
+
+    #[test]
+    fn q_fp32_seq_matches_host_reference_bitwise() {
+        let spec = WorkloadSpec::q_learning_seq_fp32();
+        let data = tiny_transitions();
+        let seed = dpu_seed(1, 0);
+        let hdr = header_for(spec, data.len(), 7, seed);
+        let bytes = run_kernel_once(spec, hdr, &data, None);
+        let pim_q = QTable::from_bytes(3, 2, &bytes);
+
+        let mut host_q = QTable::zeros(3, 2);
+        let cfg = swiftrl_rl::qlearning::QLearningConfig {
+            alpha: 0.1,
+            gamma: 0.95,
+            episodes: 7,
+        };
+        swiftrl_rl::qlearning::train_offline_into(
+            &mut host_q,
+            &data,
+            &cfg,
+            SamplingStrategy::Sequential,
+            seed,
+        );
+        assert_eq!(pim_q, host_q, "PIM and host FP32 Q-tables must be bit-identical");
+        assert!(pim_q.values().iter().any(|&v| v != 0.0), "training happened");
+    }
+
+    #[test]
+    fn q_fp32_ran_matches_host_reference_bitwise() {
+        let spec = WorkloadSpec {
+            sampling: SamplingStrategy::Random,
+            ..WorkloadSpec::q_learning_seq_fp32()
+        };
+        let data = tiny_transitions();
+        let seed = dpu_seed(3, 0);
+        let hdr = header_for(spec, data.len(), 5, seed);
+        let bytes = run_kernel_once(spec, hdr, &data, None);
+        let pim_q = QTable::from_bytes(3, 2, &bytes);
+
+        let mut host_q = QTable::zeros(3, 2);
+        let cfg = swiftrl_rl::qlearning::QLearningConfig {
+            alpha: 0.1,
+            gamma: 0.95,
+            episodes: 5,
+        };
+        swiftrl_rl::qlearning::train_offline_into(
+            &mut host_q,
+            &data,
+            &cfg,
+            SamplingStrategy::Random,
+            seed,
+        );
+        assert_eq!(pim_q, host_q);
+    }
+
+    #[test]
+    fn q_int32_stride_matches_host_reference_exactly() {
+        let spec = WorkloadSpec {
+            sampling: SamplingStrategy::Stride(4),
+            dtype: DataType::Int32,
+            ..WorkloadSpec::q_learning_seq_int32()
+        };
+        let data = tiny_transitions();
+        let seed = dpu_seed(5, 0);
+        let hdr = header_for(spec, data.len(), 9, seed);
+        let bytes = run_kernel_once(spec, hdr, &data, Some(10_000));
+        let scale = FixedScale::paper();
+        let pim_q = FixedQTable::from_bytes(3, 2, scale, &bytes);
+
+        // Host fixed-point reference.
+        let mut d = swiftrl_env::ExperienceDataset::new("tiny", 3, 2);
+        d.extend(data.clone());
+        let cfg = swiftrl_rl::qlearning::QLearningConfig {
+            alpha: 0.1,
+            gamma: 0.95,
+            episodes: 9,
+        };
+        let host_q = swiftrl_rl::qlearning::train_offline_fixed(
+            &d,
+            &cfg,
+            SamplingStrategy::Stride(4),
+            scale,
+            seed,
+        );
+        assert_eq!(pim_q, host_q);
+    }
+
+    #[test]
+    fn sarsa_fp32_seq_matches_host_reference_bitwise() {
+        let spec = WorkloadSpec::sarsa_seq_fp32();
+        let data = tiny_transitions();
+        let seed = dpu_seed(11, 0);
+        let hdr = header_for(spec, data.len(), 6, seed);
+        let bytes = run_kernel_once(spec, hdr, &data, None);
+        let pim_q = QTable::from_bytes(3, 2, &bytes);
+
+        let mut d = swiftrl_env::ExperienceDataset::new("tiny", 3, 2);
+        d.extend(data.clone());
+        let cfg = swiftrl_rl::sarsa::SarsaConfig {
+            alpha: 0.1,
+            gamma: 0.95,
+            episodes: 6,
+            epsilon: 0.1,
+        };
+        let host_q =
+            swiftrl_rl::sarsa::train_offline(&d, &cfg, SamplingStrategy::Sequential, seed);
+        assert_eq!(pim_q, host_q);
+    }
+
+    #[test]
+    fn sarsa_int32_seq_matches_host_reference_exactly() {
+        let spec = WorkloadSpec::sarsa_seq_int32();
+        let data = tiny_transitions();
+        let seed = dpu_seed(13, 0);
+        let hdr = header_for(spec, data.len(), 6, seed);
+        let bytes = run_kernel_once(spec, hdr, &data, Some(10_000));
+        let scale = FixedScale::paper();
+        let pim_q = FixedQTable::from_bytes(3, 2, scale, &bytes);
+
+        let mut d = swiftrl_env::ExperienceDataset::new("tiny", 3, 2);
+        d.extend(data.clone());
+        let cfg = swiftrl_rl::sarsa::SarsaConfig {
+            alpha: 0.1,
+            gamma: 0.95,
+            episodes: 6,
+            epsilon: 0.1,
+        };
+        let host_q = swiftrl_rl::sarsa::train_offline_fixed(
+            &d,
+            &cfg,
+            SamplingStrategy::Sequential,
+            scale,
+            seed,
+        );
+        assert_eq!(pim_q, host_q);
+    }
+
+    #[test]
+    fn fp32_kernel_costs_several_times_int32_kernel() {
+        // The paper's headline INT32-vs-FP32 result at kernel granularity.
+        let data = tiny_transitions();
+        let mut cycles = std::collections::HashMap::new();
+        for spec in [
+            WorkloadSpec::q_learning_seq_fp32(),
+            WorkloadSpec::q_learning_seq_int32(),
+        ] {
+            let hdr = header_for(spec, data.len(), 20, 1);
+            let mut sys =
+                PimSystem::new(PimConfig::builder().dpus(1).mram_bytes(1 << 20).build());
+            let mut set = sys.alloc(1).unwrap();
+            set.copy_to(0, 0, &hdr.to_bytes()).unwrap();
+            set.copy_to(0, Q_TABLE_OFFSET, &vec![0u8; hdr.q_table_bytes()])
+                .unwrap();
+            let mut bytes = Vec::new();
+            for t in &data {
+                match spec.dtype {
+                    DataType::Fp32 => t.encode_fp32(&mut bytes),
+                    DataType::Int32 => t.encode_int32(10_000, &mut bytes),
+                }
+            }
+            set.copy_to(0, hdr.transitions_offset(), &bytes).unwrap();
+            set.launch(&SwiftRlKernel::new(spec)).unwrap();
+            cycles.insert(spec.dtype, set.last_launch().max_cycles);
+        }
+        let ratio = cycles[&DataType::Fp32] as f64 / cycles[&DataType::Int32] as f64;
+        assert!(
+            ratio > 2.0,
+            "FP32 kernel should far out-cost INT32, got ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn multi_tasklet_kernel_fills_the_pipeline() {
+        // Same work, more tasklets: DPU cycles should shrink roughly
+        // linearly until the pipeline fills at 11 tasklets, then flatten
+        // — the fine-grained-multithreading behaviour of the hardware.
+        let data: Vec<Transition> = (0..240)
+            .map(|i| Transition {
+                state: State(i % 3),
+                action: Action(i % 2),
+                reward: 0.25,
+                next_state: State((i + 1) % 3),
+                done: false,
+            })
+            .collect();
+        let spec = WorkloadSpec::q_learning_seq_int32();
+        let mut cycles = Vec::new();
+        for tasklets in [1usize, 2, 4, 11, 16] {
+            let hdr = header_for(spec, data.len(), 10, 1);
+            let mut sys =
+                PimSystem::new(PimConfig::builder().dpus(1).mram_bytes(1 << 20).build());
+            let mut set = sys.alloc(1).unwrap();
+            set.copy_to(0, 0, &hdr.to_bytes()).unwrap();
+            set.copy_to(0, Q_TABLE_OFFSET, &vec![0u8; hdr.q_table_bytes()])
+                .unwrap();
+            let mut bytes = Vec::new();
+            for t in &data {
+                t.encode_int32(10_000, &mut bytes);
+            }
+            set.copy_to(0, hdr.transitions_offset(), &bytes).unwrap();
+            set.launch(&SwiftRlKernel::with_tasklets(spec, tasklets))
+                .unwrap();
+            cycles.push(set.last_launch().max_cycles);
+        }
+        let [t1, t2, t4, t11, t16] = cycles[..] else {
+            panic!("expected 5 samples")
+        };
+        assert!(t2 < t1 * 6 / 10, "2 tasklets: {t1} -> {t2}");
+        assert!(t4 < t2 * 6 / 10, "4 tasklets: {t2} -> {t4}");
+        assert!(t11 < t4, "11 tasklets: {t4} -> {t11}");
+        // Past 11 the issue interval grows with the tasklet count, so the
+        // time stops improving.
+        assert!(
+            t16 as f64 > t11 as f64 * 0.85,
+            "beyond pipeline fill should flatten: {t11} -> {t16}"
+        );
+    }
+
+    #[test]
+    fn multi_tasklet_kernel_still_learns() {
+        let data = tiny_transitions();
+        let spec = WorkloadSpec::q_learning_seq_fp32();
+        let hdr = header_for(spec, data.len(), 10, 3);
+        let mut sys = PimSystem::new(PimConfig::builder().dpus(1).mram_bytes(1 << 20).build());
+        let mut set = sys.alloc(1).unwrap();
+        set.copy_to(0, 0, &hdr.to_bytes()).unwrap();
+        set.copy_to(0, Q_TABLE_OFFSET, &vec![0u8; hdr.q_table_bytes()])
+            .unwrap();
+        let mut bytes = Vec::new();
+        for t in &data {
+            t.encode_fp32(&mut bytes);
+        }
+        set.copy_to(0, hdr.transitions_offset(), &bytes).unwrap();
+        set.launch(&SwiftRlKernel::with_tasklets(spec, 3)).unwrap();
+        let out = set.copy_from(0, Q_TABLE_OFFSET, hdr.q_table_bytes()).unwrap();
+        let q = QTable::from_bytes(3, 2, &out);
+        assert!(q.values().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn empty_chunk_is_a_no_op() {
+        let spec = WorkloadSpec::q_learning_seq_fp32();
+        let hdr = header_for(spec, 0, 10, 1);
+        let bytes = run_kernel_once(spec, hdr, &[], None);
+        assert!(bytes.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn corrupt_record_faults() {
+        let spec = WorkloadSpec::q_learning_seq_fp32();
+        let bad = vec![Transition {
+            state: State(0),
+            action: Action(0),
+            reward: 0.0,
+            next_state: State(2),
+            done: false,
+        }];
+        let mut hdr = header_for(spec, 1, 1, 1);
+        hdr.num_states = 1; // record's next_state (2) now out of range
+        hdr.num_actions = 1;
+        let mut sys = PimSystem::new(PimConfig::builder().dpus(1).mram_bytes(1 << 20).build());
+        let mut set = sys.alloc(1).unwrap();
+        set.copy_to(0, 0, &hdr.to_bytes()).unwrap();
+        set.copy_to(0, Q_TABLE_OFFSET, &vec![0u8; hdr.q_table_bytes()])
+            .unwrap();
+        let mut data = Vec::new();
+        bad[0].encode_fp32(&mut data);
+        set.copy_to(0, hdr.transitions_offset(), &data).unwrap();
+        assert!(set.launch(&SwiftRlKernel::new(spec)).is_err());
+    }
+
+    #[test]
+    fn missing_header_faults() {
+        let spec = WorkloadSpec::q_learning_seq_fp32();
+        let mut sys = PimSystem::new(PimConfig::builder().dpus(1).mram_bytes(1 << 20).build());
+        let mut set = sys.alloc(1).unwrap();
+        assert!(set.launch(&SwiftRlKernel::new(spec)).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Dataset partitioning across PIM cores.
+//!
+//! SwiftRL partitions the training dataset so each PIM core handles a
+//! distinct chunk (§3.2.1, step 1). Chunks are contiguous, cover the
+//! dataset exactly once, and differ in size by at most one transition so
+//! the strong-scaling experiments stay load-balanced.
+
+use std::ops::Range;
+
+/// Splits `0..len` into `parts` contiguous ranges whose sizes differ by
+/// at most one (larger chunks first).
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn partition_even(len: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_once() {
+        let parts = partition_even(10, 3);
+        assert_eq!(parts, vec![0..4, 4..7, 7..10]);
+    }
+
+    #[test]
+    fn even_split() {
+        let parts = partition_even(8, 4);
+        assert!(parts.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn more_parts_than_items_yields_empty_tails() {
+        let parts = partition_even(2, 4);
+        assert_eq!(parts, vec![0..1, 1..2, 2..2, 2..2]);
+    }
+
+    #[test]
+    fn zero_length() {
+        let parts = partition_even(0, 3);
+        assert!(parts.iter().all(|r| r.is_empty()));
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_panics() {
+        partition_even(5, 0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn partition_is_exact_cover(len in 0usize..100_000, parts in 1usize..3_000) {
+            let ranges = partition_even(len, parts);
+            prop_assert_eq!(ranges.len(), parts);
+            // Contiguous cover.
+            let mut expect_start = 0;
+            for r in &ranges {
+                prop_assert_eq!(r.start, expect_start);
+                expect_start = r.end;
+            }
+            prop_assert_eq!(expect_start, len);
+            // Balanced within one.
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The SwiftRL execution driver (the paper's Figure 4).
+//!
+//! [`PimRunner`] owns a freshly allocated DPU set and drives the four
+//! phases: load (CPU→PIM), kernel rounds, τ-periodic inter-PIM-core
+//! synchronization through the host, and final retrieval (PIM→CPU) +
+//! aggregation. It reports the trained Q-table and a
+//! [`TimeBreakdown`] with the same four categories as Figures 5–6.
+
+use crate::breakdown::TimeBreakdown;
+use crate::config::{DataType, RunConfig, WorkloadSpec};
+use crate::kernels::SwiftRlKernel;
+use crate::layout::{dpu_seed, sampling_kind, KernelHeader, Q_TABLE_OFFSET};
+use crate::partition::partition_even;
+use swiftrl_env::ExperienceDataset;
+use swiftrl_pim::config::PimConfig;
+use swiftrl_pim::host::{DpuSet, PimError, PimSystem};
+use swiftrl_rl::policy::epsilon_threshold;
+use swiftrl_rl::qtable::{FixedQTable, QTable};
+use swiftrl_rl::sampling::SamplingStrategy;
+
+/// Host DRAM bandwidth assumed for the aggregation (averaging) step, in
+/// bytes/second. The averaging of N small Q-tables is bandwidth-bound on
+/// the host; 20 GB/s is a conservative single-socket figure.
+const HOST_AGGREGATE_BW: f64 = 20.0e9;
+
+/// Result of a SwiftRL training run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The final aggregated Q-table (descaled to FP32 for INT32 runs,
+    /// exactly as the PIM cores convert before the final transfer).
+    pub q_table: QTable,
+    /// Modelled execution-time breakdown.
+    pub breakdown: TimeBreakdown,
+    /// Synchronization rounds performed (`E/τ`).
+    pub comm_rounds: u32,
+    /// DPUs used.
+    pub dpus: usize,
+}
+
+/// Drives one workload variant on a simulated PIM platform.
+#[derive(Debug)]
+pub struct PimRunner {
+    spec: WorkloadSpec,
+    cfg: RunConfig,
+    set: DpuSet,
+}
+
+impl PimRunner {
+    /// Allocates `cfg.dpus` DPUs on a default-shaped platform big enough
+    /// for the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PimError`] if the allocation fails.
+    pub fn new(spec: WorkloadSpec, cfg: RunConfig) -> Result<Self, PimError> {
+        let platform = PimConfig::builder().dpus(cfg.dpus).build();
+        Self::with_platform(spec, cfg, platform)
+    }
+
+    /// Allocates the DPU set on a custom platform configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PimError`] if fewer than `cfg.dpus` DPUs are available.
+    pub fn with_platform(
+        spec: WorkloadSpec,
+        cfg: RunConfig,
+        platform: PimConfig,
+    ) -> Result<Self, PimError> {
+        let mut system = PimSystem::new(platform);
+        let set = system.alloc(cfg.dpus)?;
+        Ok(Self { spec, cfg, set })
+    }
+
+    /// The workload variant.
+    pub fn spec(&self) -> WorkloadSpec {
+        self.spec
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Trains over `dataset` and returns the aggregated Q-table with the
+    /// time breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PimError`] on kernel faults or transfer failures
+    /// (e.g. a chunk that does not fit in MRAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `episodes` is not divisible by `tau` (see
+    /// [`RunConfig::comm_rounds`]).
+    pub fn run(mut self, dataset: &ExperienceDataset) -> Result<RunOutcome, PimError> {
+        let rounds = self.cfg.comm_rounds();
+        let ndpus = self.set.ndpus();
+        let ns = dataset.num_states();
+        let na = dataset.num_actions();
+        let q_bytes = ns * na * 4;
+        let scale = self.cfg.scale();
+
+        let mut breakdown = TimeBreakdown::default();
+
+        // ---- Phase 1: CPU→PIM program + dataset + header + Q-table load ----
+        self.set.reset_stats();
+        self.set.load_program();
+        let ranges = partition_even(dataset.len(), ndpus);
+        let headers: Vec<KernelHeader> = ranges
+            .iter()
+            .enumerate()
+            .map(|(dpu, range)| self.header_for(dpu, range.len(), ns, na, 0))
+            .collect();
+
+        let header_parts: Vec<Vec<u8>> = headers.iter().map(|h| h.to_bytes()).collect();
+        self.set.scatter(0, &header_parts)?;
+
+        // Zero-initialized Q-tables need no transfer (fresh MRAM reads as
+        // zero); an arbitrary initial value is broadcast to every DPU.
+        if self.cfg.initial_q != 0.0 {
+            let init = match self.spec.dtype {
+                DataType::Fp32 => QTable::filled(ns, na, self.cfg.initial_q).to_bytes(),
+                DataType::Int32 => FixedQTable::filled(
+                    ns,
+                    na,
+                    scale,
+                    scale.to_fixed(self.cfg.initial_q),
+                )
+                .to_bytes(),
+            };
+            self.set.broadcast(Q_TABLE_OFFSET, &init)?;
+        }
+        let trans_offset = headers[0].transitions_offset();
+        let chunk_parts: Vec<Vec<u8>> = ranges
+            .iter()
+            .map(|r| match self.spec.dtype {
+                DataType::Fp32 => dataset.encode_range_fp32(r.clone()),
+                DataType::Int32 => dataset.encode_range_int32(r.clone(), scale.factor()),
+            })
+            .collect();
+        self.set.scatter(trans_offset, &chunk_parts)?;
+        breakdown.cpu_pim_s = self.set.stats().cpu_to_pim_seconds;
+        breakdown.program_load_s = self.set.stats().program_load_seconds;
+
+        // ---- Phase 2+3: kernel rounds with τ-periodic synchronization ----
+        let kernel = SwiftRlKernel::with_tasklets(self.spec, self.cfg.tasklets);
+        let mut final_tables: Vec<Vec<u8>> = Vec::new();
+        for round in 0..rounds {
+            // The kernel advances its own episode window in MRAM, so no
+            // header re-arm is needed between rounds.
+            let kernel_before = self.set.stats().kernel_seconds;
+            let sync_cpu_before = self.set.stats().cpu_to_pim_seconds;
+            let sync_pim_before = self.set.stats().pim_to_cpu_seconds;
+
+            self.set.launch(&kernel)?;
+
+            // Gather local Q-tables.
+            let tables = self.set.gather(Q_TABLE_OFFSET, q_bytes)?;
+            let is_last = round + 1 == rounds;
+
+            if is_last {
+                final_tables = tables;
+            } else {
+                // Host-side aggregation + broadcast of the average.
+                let avg = self.aggregate(&tables, ns, na);
+                breakdown.inter_pim_s += self.aggregate_seconds(ndpus, q_bytes);
+                self.set.broadcast(Q_TABLE_OFFSET, &avg)?;
+            }
+
+            let kernel_delta = self.set.stats().kernel_seconds - kernel_before;
+            breakdown.pim_kernel_s += kernel_delta;
+            let sync_cpu = self.set.stats().cpu_to_pim_seconds - sync_cpu_before;
+            let sync_pim = self.set.stats().pim_to_cpu_seconds - sync_pim_before;
+            if is_last {
+                // The final gather is the PIM→CPU retrieval phase.
+                breakdown.pim_cpu_s += sync_pim;
+                breakdown.inter_pim_s += sync_cpu;
+            } else {
+                breakdown.inter_pim_s += sync_cpu + sync_pim;
+            }
+        }
+
+        // ---- Phase 4: final aggregation on the host ----
+        let avg = self.aggregate(&final_tables, ns, na);
+        breakdown.pim_cpu_s += self.aggregate_seconds(ndpus, q_bytes);
+        let q_table = match self.spec.dtype {
+            DataType::Fp32 => QTable::from_bytes(ns, na, &avg),
+            DataType::Int32 => FixedQTable::from_bytes(ns, na, scale, &avg).to_float(),
+        };
+
+        Ok(RunOutcome {
+            q_table,
+            breakdown,
+            comm_rounds: rounds,
+            dpus: ndpus,
+        })
+    }
+
+    /// Builds the per-DPU header for an episode window starting at
+    /// `episode_base`.
+    fn header_for(
+        &self,
+        dpu: usize,
+        chunk_len: usize,
+        ns: usize,
+        na: usize,
+        episode_base: u32,
+    ) -> KernelHeader {
+        let scale = self.cfg.scale();
+        let (alpha, gamma) = match self.spec.dtype {
+            DataType::Fp32 => (self.cfg.alpha.to_bits(), self.cfg.gamma.to_bits()),
+            DataType::Int32 => (
+                scale.to_fixed(self.cfg.alpha) as u32,
+                scale.to_fixed(self.cfg.gamma) as u32,
+            ),
+        };
+        let (sampling, stride) = match self.spec.sampling {
+            SamplingStrategy::Sequential => (sampling_kind::SEQ, 0),
+            SamplingStrategy::Stride(k) => (sampling_kind::STR, k as u32),
+            SamplingStrategy::Random => (sampling_kind::RAN, 0),
+        };
+        KernelHeader {
+            n_transitions: chunk_len as u32,
+            num_states: ns as u32,
+            num_actions: na as u32,
+            episodes: self.cfg.tau,
+            episode_base,
+            sampling,
+            stride,
+            seed: dpu_seed(self.cfg.seed, dpu),
+            alpha,
+            gamma,
+            epsilon_threshold: epsilon_threshold(self.cfg.epsilon).min(u32::MAX as u64) as u32,
+            scale: scale.factor() as u32,
+        }
+    }
+
+    /// Averages gathered Q-table blobs in the run's data type.
+    fn aggregate(&self, tables: &[Vec<u8>], ns: usize, na: usize) -> Vec<u8> {
+        match self.spec.dtype {
+            DataType::Fp32 => {
+                let parsed: Vec<QTable> = tables
+                    .iter()
+                    .map(|b| QTable::from_bytes(ns, na, b))
+                    .collect();
+                QTable::mean_of(&parsed).to_bytes()
+            }
+            DataType::Int32 => {
+                let scale = self.cfg.scale();
+                let parsed: Vec<FixedQTable> = tables
+                    .iter()
+                    .map(|b| FixedQTable::from_bytes(ns, na, scale, b))
+                    .collect();
+                FixedQTable::mean_of(&parsed).to_bytes()
+            }
+        }
+    }
+
+    /// Modelled host time to average `n` Q-tables of `q_bytes` each.
+    fn aggregate_seconds(&self, n: usize, q_bytes: usize) -> f64 {
+        ((n + 1) * q_bytes) as f64 / HOST_AGGREGATE_BW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftrl_env::collect::collect_random;
+    use swiftrl_env::frozen_lake::FrozenLake;
+
+    fn dataset() -> ExperienceDataset {
+        let mut env = FrozenLake::slippery_4x4();
+        collect_random(&mut env, 2_000, 42)
+    }
+
+    fn quick_cfg(dpus: usize) -> RunConfig {
+        RunConfig::paper_defaults()
+            .with_dpus(dpus)
+            .with_episodes(20)
+            .with_tau(10)
+    }
+
+    #[test]
+    fn run_produces_breakdown_and_table() {
+        let d = dataset();
+        let out = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), quick_cfg(4))
+            .unwrap()
+            .run(&d)
+            .unwrap();
+        assert_eq!(out.comm_rounds, 2);
+        assert_eq!(out.dpus, 4);
+        assert!(out.breakdown.pim_kernel_s > 0.0);
+        assert!(out.breakdown.cpu_pim_s > 0.0);
+        assert!(out.breakdown.pim_cpu_s > 0.0);
+        assert!(out.breakdown.inter_pim_s > 0.0);
+        // Training moved some Q-values.
+        assert!(out.q_table.values().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn single_dpu_single_round_matches_host_training() {
+        let d = dataset();
+        let cfg = quick_cfg(1).with_episodes(10).with_tau(10);
+        let out = PimRunner::new(WorkloadSpec::q_learning_seq_fp32(), cfg)
+            .unwrap()
+            .run(&d)
+            .unwrap();
+
+        let mut host = QTable::zeros(d.num_states(), d.num_actions());
+        let qcfg = swiftrl_rl::qlearning::QLearningConfig {
+            alpha: 0.1,
+            gamma: 0.95,
+            episodes: 10,
+        };
+        swiftrl_rl::qlearning::train_offline_into(
+            &mut host,
+            d.transitions(),
+            &qcfg,
+            SamplingStrategy::Sequential,
+            dpu_seed(cfg.seed, 0),
+        );
+        assert_eq!(out.q_table, host, "1-DPU PIM run must equal host training");
+    }
+
+    #[test]
+    fn more_dpus_cut_kernel_time() {
+        let d = dataset();
+        let t = |dpus| {
+            PimRunner::new(WorkloadSpec::q_learning_seq_int32(), quick_cfg(dpus))
+                .unwrap()
+                .run(&d)
+                .unwrap()
+                .breakdown
+                .pim_kernel_s
+        };
+        let t4 = t(4);
+        let t16 = t(16);
+        assert!(
+            t16 < t4 / 2.0,
+            "strong scaling failed: 4 DPUs {t4}s vs 16 DPUs {t16}s"
+        );
+    }
+
+    #[test]
+    fn int32_outcome_close_to_fp32_outcome() {
+        let d = dataset();
+        let fp = PimRunner::new(WorkloadSpec::q_learning_seq_fp32(), quick_cfg(4))
+            .unwrap()
+            .run(&d)
+            .unwrap();
+        let ix = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), quick_cfg(4))
+            .unwrap()
+            .run(&d)
+            .unwrap();
+        let diff = fp.q_table.max_abs_diff(&ix.q_table);
+        assert!(diff < 0.05, "INT32 drifted {diff} from FP32");
+    }
+
+    #[test]
+    fn all_twelve_variants_run() {
+        let d = dataset();
+        for spec in WorkloadSpec::paper_variants() {
+            let out = PimRunner::new(spec, quick_cfg(2).with_episodes(4).with_tau(2))
+                .unwrap()
+                .run(&d)
+                .unwrap_or_else(|e| panic!("{spec} failed: {e}"));
+            assert!(out.breakdown.total_seconds() > 0.0, "{spec}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The CliffWalking environment (Gym `CliffWalking-v0`).
+//!
+//! A 4×12 grid: the agent starts at the bottom-left corner (state 36) and
+//! must reach the bottom-right corner (state 47). Stepping onto the cliff
+//! (states 37–46) yields −100 and teleports the agent back to the start;
+//! every other move costs −1. The episode ends only at the goal (Gym puts
+//! no step limit on this environment; we add a configurable safety cap
+//! for offline collection).
+//!
+//! Actions: 0 = up, 1 = right, 2 = down, 3 = left (Gym encoding).
+//!
+//! Not part of the SwiftRL evaluation — included as the third runnable
+//! environment for examples and extension experiments.
+
+use crate::env::{Action, DiscreteEnv, State, Step};
+
+const ROWS: u32 = 4;
+const COLS: u32 = 12;
+const START: u32 = 36;
+const GOAL: u32 = 47;
+
+/// The CliffWalking grid world.
+///
+/// ```rust
+/// use swiftrl_env::cliff_walking::CliffWalking;
+/// use swiftrl_env::DiscreteEnv;
+///
+/// let env = CliffWalking::new();
+/// assert_eq!(env.num_states(), 48);
+/// assert_eq!(env.num_actions(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CliffWalking {
+    state: State,
+    steps: u32,
+    max_steps: u32,
+    done: bool,
+    started: bool,
+}
+
+impl Default for CliffWalking {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CliffWalking {
+    /// Creates the environment with a 1,000-step safety cap.
+    pub fn new() -> Self {
+        Self::with_step_cap(1_000)
+    }
+
+    /// Creates the environment with a custom step cap (0 disables it).
+    pub fn with_step_cap(max_steps: u32) -> Self {
+        Self {
+            state: State(START),
+            steps: 0,
+            max_steps,
+            done: true,
+            started: false,
+        }
+    }
+
+    fn is_cliff(state: u32) -> bool {
+        (START + 1..GOAL).contains(&state)
+    }
+}
+
+impl DiscreteEnv for CliffWalking {
+    fn name(&self) -> &str {
+        "cliff_walking"
+    }
+
+    fn num_states(&self) -> usize {
+        (ROWS * COLS) as usize
+    }
+
+    fn num_actions(&self) -> usize {
+        4
+    }
+
+    fn reset(&mut self, _rng: &mut dyn rand::RngCore) -> State {
+        self.state = State(START);
+        self.steps = 0;
+        self.done = false;
+        self.started = true;
+        self.state
+    }
+
+    fn step(&mut self, action: Action, _rng: &mut dyn rand::RngCore) -> Step {
+        assert!(self.started && !self.done, "step called on finished episode");
+        let s = self.state.0;
+        let (row, col) = (s / COLS, s % COLS);
+        let (row, col) = match action.0 {
+            0 => (row.saturating_sub(1), col),          // up
+            1 => (row, (col + 1).min(COLS - 1)),        // right
+            2 => ((row + 1).min(ROWS - 1), col),        // down
+            3 => (row, col.saturating_sub(1)),          // left
+            other => panic!("invalid CliffWalking action {other}"),
+        };
+        let next = row * COLS + col;
+        self.steps += 1;
+        let (next, reward, mut done) = if Self::is_cliff(next) {
+            (START, -100.0, false)
+        } else if next == GOAL {
+            (GOAL, -1.0, true)
+        } else {
+            (next, -1.0, false)
+        };
+        if self.max_steps > 0 && self.steps >= self.max_steps {
+            done = true;
+        }
+        self.state = State(next);
+        self.done = done;
+        Step {
+            next_state: self.state,
+            reward,
+            done,
+        }
+    }
+
+    fn state(&self) -> State {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn starts_bottom_left() {
+        let mut env = CliffWalking::new();
+        assert_eq!(env.reset(&mut rng()), State(36));
+    }
+
+    #[test]
+    fn cliff_resets_to_start_with_minus_100() {
+        let mut env = CliffWalking::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        let s = env.step(Action(1), &mut r); // right into the cliff
+        assert_eq!(s.reward, -100.0);
+        assert_eq!(s.next_state, State(36));
+        assert!(!s.done);
+    }
+
+    #[test]
+    fn optimal_path_reaches_goal() {
+        let mut env = CliffWalking::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        let mut total = 0.0;
+        env.step(Action(0), &mut r); // up
+        for _ in 0..11 {
+            let s = env.step(Action(1), &mut r); // right along row 2
+            total += s.reward;
+        }
+        let s = env.step(Action(2), &mut r); // down into the goal
+        total += s.reward;
+        assert!(s.done);
+        assert_eq!(s.next_state, State(47));
+        assert_eq!(total, -12.0);
+    }
+
+    #[test]
+    fn walls_clamp() {
+        let mut env = CliffWalking::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        assert_eq!(env.step(Action(3), &mut r).next_state, State(36)); // left
+        assert_eq!(env.step(Action(2), &mut r).next_state, State(36)); // down
+    }
+
+    #[test]
+    fn step_cap_terminates() {
+        let mut env = CliffWalking::with_step_cap(5);
+        let mut r = rng();
+        env.reset(&mut r);
+        for i in 0..5 {
+            let s = env.step(Action(3), &mut r);
+            assert_eq!(s.done, i == 4);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline dataset collection with a behaviour policy.
+//!
+//! SwiftRL trains offline: a behaviour policy (random action selection in
+//! the paper) interacts with the environment *once* to log experiences,
+//! and all training then happens from the logged dataset (§2.1, §3.2.1).
+
+use crate::dataset::{ExperienceDataset, Transition};
+use crate::env::{uniform_below, Action, DiscreteEnv, State};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Collects `n` transitions by running the uniform-random behaviour
+/// policy, resetting the environment whenever an episode ends.
+///
+/// Deterministic in `seed`.
+///
+/// ```rust
+/// use swiftrl_env::frozen_lake::FrozenLake;
+/// use swiftrl_env::collect::collect_random;
+///
+/// let mut env = FrozenLake::slippery_4x4();
+/// let d = collect_random(&mut env, 100, 1);
+/// assert_eq!(d.len(), 100);
+/// ```
+pub fn collect_random<E: DiscreteEnv + ?Sized>(
+    env: &mut E,
+    n: usize,
+    seed: u64,
+) -> ExperienceDataset {
+    let actions = env.num_actions() as u32;
+    collect_with(env, n, seed, |rng, _s| Action(uniform_below(rng, actions)))
+}
+
+/// Collects `n` transitions using a custom behaviour policy
+/// `policy(rng, state) -> action`.
+///
+/// Deterministic in `seed` for a deterministic policy.
+pub fn collect_with<E, F>(env: &mut E, n: usize, seed: u64, mut policy: F) -> ExperienceDataset
+where
+    E: DiscreteEnv + ?Sized,
+    F: FnMut(&mut dyn rand::RngCore, State) -> Action,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dataset = ExperienceDataset::new(env.name(), env.num_states(), env.num_actions());
+    let mut state = env.reset(&mut rng);
+    for _ in 0..n {
+        let action = policy(&mut rng, state);
+        let step = env.step(action, &mut rng);
+        dataset.push(Transition {
+            state,
+            action,
+            reward: step.reward,
+            next_state: step.next_state,
+            done: step.done,
+        });
+        state = if step.done {
+            env.reset(&mut rng)
+        } else {
+            step.next_state
+        };
+    }
+    dataset
+}
+
+/// Collects one dataset per agent for multi-agent training, with
+/// decorrelated seeds (§3.2.1, multi-agent Q-learning: "each agent
+/// maintains its own experience dataset").
+pub fn collect_per_agent<E: DiscreteEnv + ?Sized>(
+    env: &mut E,
+    agents: usize,
+    transitions_per_agent: usize,
+    seed: u64,
+) -> Vec<ExperienceDataset> {
+    (0..agents)
+        .map(|agent| {
+            collect_random(
+                env,
+                transitions_per_agent,
+                seed.wrapping_add(agent as u64).wrapping_mul(0x9E37_79B9),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen_lake::FrozenLake;
+    use crate::taxi::Taxi;
+
+    #[test]
+    fn collection_is_deterministic_in_seed() {
+        let mut env = FrozenLake::slippery_4x4();
+        let a = collect_random(&mut env, 500, 9);
+        let b = collect_random(&mut env, 500, 9);
+        assert_eq!(a, b);
+        let c = collect_random(&mut env, 500, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn transitions_chain_within_episodes() {
+        let mut env = FrozenLake::slippery_4x4();
+        let d = collect_random(&mut env, 1_000, 4);
+        // Wherever an episode did not end, s' of record i equals s of
+        // record i+1; the start state 0 follows terminal transitions.
+        let ts = d.transitions();
+        for w in ts.windows(2) {
+            let cont = w[0].next_state == w[1].state;
+            let restarted = w[1].state == State(0);
+            assert!(cont || restarted, "broken chain: {w:?}");
+        }
+    }
+
+    #[test]
+    fn taxi_collection_covers_reward_values() {
+        let mut env = Taxi::new();
+        let d = collect_random(&mut env, 20_000, 11);
+        let mut seen_minus1 = false;
+        let mut seen_minus10 = false;
+        for t in &d {
+            match t.reward {
+                r if r == -1.0 => seen_minus1 = true,
+                r if r == -10.0 => seen_minus10 = true,
+                _ => {}
+            }
+        }
+        assert!(seen_minus1 && seen_minus10);
+    }
+
+    #[test]
+    fn custom_policy_is_used() {
+        let mut env = FrozenLake::deterministic_4x4();
+        // Always move right.
+        let d = collect_with(&mut env, 50, 1, |_rng, _s| Action(2));
+        assert!(d.iter().all(|t| t.action == Action(2)));
+    }
+
+    #[test]
+    fn per_agent_datasets_differ() {
+        let mut env = FrozenLake::slippery_4x4();
+        let ds = collect_per_agent(&mut env, 4, 100, 5);
+        assert_eq!(ds.len(), 4);
+        assert!(ds.iter().all(|d| d.len() == 100));
+        assert_ne!(ds[0], ds[1]);
+        assert_ne!(ds[1], ds[2]);
+    }
+}

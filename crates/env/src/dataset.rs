@@ -1,0 +1,267 @@
+//! Offline experience datasets and their PIM byte layout.
+//!
+//! A [`Transition`] is the experience tuple `(s, a, r, s')` of SwiftRL
+//! §3.2.1. Datasets are collected once by a behaviour policy and then
+//! partitioned into per-DPU chunks; each transition is serialized as a
+//! 16-byte little-endian record so kernels can stream it from MRAM.
+//!
+//! The INT32 encodings scale the reward by the paper's constant scale
+//! factor at *load* time ("we scale up the reward r for each experience"),
+//! so the fixed-point kernels never touch floating point.
+
+use crate::env::{Action, State};
+use serde::{Deserialize, Serialize};
+
+/// One experience tuple `(s, a, r, s', done)`.
+///
+/// `done` marks `next_state` as terminal, so update rules do not
+/// bootstrap from it. (With zero-initialized Q-tables, masking is
+/// equivalent to bootstrapping from the never-updated terminal row — but
+/// arbitrary initial values require the explicit flag.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// State the action was taken in.
+    pub state: State,
+    /// Action taken.
+    pub action: Action,
+    /// Immediate reward.
+    pub reward: f32,
+    /// Resulting state.
+    pub next_state: State,
+    /// True if the transition ended its episode.
+    pub done: bool,
+}
+
+impl Transition {
+    /// Bytes per serialized transition record (both encodings).
+    pub const RECORD_BYTES: usize = 16;
+    /// Bit of the action word carrying the terminal flag.
+    pub const DONE_BIT: u32 = 1 << 31;
+
+    fn action_word(&self) -> u32 {
+        debug_assert!(self.action.0 < Self::DONE_BIT, "action index too large");
+        self.action.0 | if self.done { Self::DONE_BIT } else { 0 }
+    }
+
+    /// Serializes as `[state, done|action, reward_f32_bits, next_state]`,
+    /// little-endian, for the FP32 kernels.
+    pub fn encode_fp32(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.state.0.to_le_bytes());
+        out.extend_from_slice(&self.action_word().to_le_bytes());
+        out.extend_from_slice(&self.reward.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.next_state.0.to_le_bytes());
+    }
+
+    /// Serializes as `[state, done|action, reward_scaled_i32, next_state]`
+    /// for the INT32 kernels, with the reward pre-scaled by `scale`.
+    pub fn encode_int32(&self, scale: i32, out: &mut Vec<u8>) {
+        let scaled = (self.reward * scale as f32).round() as i32;
+        out.extend_from_slice(&self.state.0.to_le_bytes());
+        out.extend_from_slice(&self.action_word().to_le_bytes());
+        out.extend_from_slice(&scaled.to_le_bytes());
+        out.extend_from_slice(&self.next_state.0.to_le_bytes());
+    }
+
+    /// Decodes a 16-byte FP32 record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != 16`.
+    pub fn decode_fp32(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), Self::RECORD_BYTES);
+        let word = |i: usize| {
+            u32::from_le_bytes([bytes[4 * i], bytes[4 * i + 1], bytes[4 * i + 2], bytes[4 * i + 3]])
+        };
+        let action_word = word(1);
+        Transition {
+            state: State(word(0)),
+            action: Action(action_word & !Self::DONE_BIT),
+            reward: f32::from_bits(word(2)),
+            next_state: State(word(3)),
+            done: action_word & Self::DONE_BIT != 0,
+        }
+    }
+}
+
+/// A dataset of experiences collected from one environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperienceDataset {
+    env_name: String,
+    num_states: usize,
+    num_actions: usize,
+    transitions: Vec<Transition>,
+}
+
+impl ExperienceDataset {
+    /// Creates an empty dataset tagged with its environment's spaces.
+    pub fn new(env_name: impl Into<String>, num_states: usize, num_actions: usize) -> Self {
+        Self {
+            env_name: env_name.into(),
+            num_states,
+            num_actions,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Environment this dataset was collected from.
+    pub fn env_name(&self) -> &str {
+        &self.env_name
+    }
+
+    /// Size of the source observation space.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Size of the source action space.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True if the dataset holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Appends a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition's indices fall outside the declared
+    /// state/action spaces (a collection bug).
+    pub fn push(&mut self, t: Transition) {
+        assert!(t.state.index() < self.num_states, "state out of space");
+        assert!(t.next_state.index() < self.num_states, "next state out of space");
+        assert!(t.action.index() < self.num_actions, "action out of space");
+        self.transitions.push(t);
+    }
+
+    /// The transitions as a slice.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Iterates over the transitions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transition> {
+        self.transitions.iter()
+    }
+
+    /// Serializes `range` of transitions in the FP32 record layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn encode_range_fp32(&self, range: std::ops::Range<usize>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(range.len() * Transition::RECORD_BYTES);
+        for t in &self.transitions[range] {
+            t.encode_fp32(&mut out);
+        }
+        out
+    }
+
+    /// Serializes `range` of transitions in the INT32 record layout with
+    /// rewards pre-scaled by `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn encode_range_int32(&self, range: std::ops::Range<usize>, scale: i32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(range.len() * Transition::RECORD_BYTES);
+        for t in &self.transitions[range] {
+            t.encode_int32(scale, &mut out);
+        }
+        out
+    }
+}
+
+impl Extend<Transition> for ExperienceDataset {
+    fn extend<I: IntoIterator<Item = Transition>>(&mut self, iter: I) {
+        for t in iter {
+            self.push(t);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ExperienceDataset {
+    type Item = &'a Transition;
+    type IntoIter = std::slice::Iter<'a, Transition>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.transitions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, a: u32, r: f32, ns: u32) -> Transition {
+        Transition {
+            state: State(s),
+            action: Action(a),
+            reward: r,
+            next_state: State(ns),
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fp32_record_round_trips() {
+        let tr = t(3, 1, -10.0, 14);
+        let mut buf = Vec::new();
+        tr.encode_fp32(&mut buf);
+        assert_eq!(buf.len(), Transition::RECORD_BYTES);
+        assert_eq!(Transition::decode_fp32(&buf), tr);
+    }
+
+    #[test]
+    fn int32_record_scales_reward() {
+        let tr = t(0, 2, 1.0, 5);
+        let mut buf = Vec::new();
+        tr.encode_int32(10_000, &mut buf);
+        let reward = i32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        assert_eq!(reward, 10_000);
+        let tr2 = t(0, 2, -0.5, 5);
+        buf.clear();
+        tr2.encode_int32(10_000, &mut buf);
+        let reward = i32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        assert_eq!(reward, -5_000);
+    }
+
+    #[test]
+    fn dataset_validates_spaces() {
+        let mut d = ExperienceDataset::new("test", 16, 4);
+        d.push(t(15, 3, 0.0, 0));
+        assert_eq!(d.len(), 1);
+        let bad = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut d2 = d.clone();
+            d2.push(t(16, 0, 0.0, 0));
+        }));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn encode_range_concatenates_records() {
+        let mut d = ExperienceDataset::new("test", 16, 4);
+        for i in 0..4 {
+            d.push(t(i, 0, i as f32, i));
+        }
+        let bytes = d.encode_range_fp32(1..3);
+        assert_eq!(bytes.len(), 2 * Transition::RECORD_BYTES);
+        let first = Transition::decode_fp32(&bytes[..16]);
+        assert_eq!(first.state, State(1));
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut d = ExperienceDataset::new("test", 4, 2);
+        d.extend([t(0, 0, 0.0, 1), t(1, 1, 1.0, 2)]);
+        assert_eq!(d.iter().count(), 2);
+        assert_eq!((&d).into_iter().count(), 2);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! The Taxi environment (Gym `Taxi-v3`).
+//!
+//! A taxi navigates a 5×5 grid with interior walls, picks up a passenger
+//! at one of four depots (R, G, Y, B) and drops them at a destination
+//! depot. The paper uses this environment for its larger state space:
+//! `Discrete(500)` = 25 taxi positions × 5 passenger locations (4 depots +
+//! in-taxi) × 4 destinations, with `Discrete(6)` actions.
+//!
+//! Semantics match Gym: −1 per step, +20 for a successful drop-off, −10
+//! for illegal pickup/drop-off; moving into a wall leaves the position
+//! unchanged (and still costs −1); episodes are capped at 200 steps.
+//!
+//! Actions: 0 = south, 1 = north, 2 = east, 3 = west, 4 = pickup,
+//! 5 = drop-off.
+
+use crate::env::{uniform_below, Action, DiscreteEnv, State, Step};
+
+/// Interior rows of the Gym map; `':'` between cells means passable,
+/// `'|'` means wall.
+const MAP: [&str; 5] = [
+    "|R: | : :G|",
+    "| : | : : |",
+    "| : : : : |",
+    "| | : | : |",
+    "|Y| : |B: |",
+];
+
+/// Depot coordinates (row, col) for R, G, Y, B.
+const DEPOTS: [(u32, u32); 4] = [(0, 0), (0, 4), (4, 0), (4, 3)];
+
+const GRID: u32 = 5;
+const MAX_STEPS: u32 = 200;
+
+/// Passenger location: depot index 0–3, or 4 = in the taxi.
+const IN_TAXI: u32 = 4;
+
+/// The Taxi grid world.
+///
+/// ```rust
+/// use swiftrl_env::taxi::Taxi;
+/// use swiftrl_env::DiscreteEnv;
+///
+/// let env = Taxi::new();
+/// assert_eq!(env.num_states(), 500); // Discrete(500), as in the paper
+/// assert_eq!(env.num_actions(), 6);  // Discrete(6)
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Taxi {
+    row: u32,
+    col: u32,
+    pass_loc: u32,
+    dest: u32,
+    steps: u32,
+    done: bool,
+    started: bool,
+}
+
+impl Taxi {
+    /// Creates the environment (episode must be started with `reset`).
+    pub fn new() -> Self {
+        Self {
+            done: true,
+            ..Self::default()
+        }
+    }
+
+    /// Encodes (taxi_row, taxi_col, pass_loc, dest) into a state index,
+    /// exactly as Gym's `Taxi.encode`.
+    pub fn encode(row: u32, col: u32, pass_loc: u32, dest: u32) -> State {
+        debug_assert!(row < GRID && col < GRID && pass_loc <= IN_TAXI && dest < 4);
+        State(((row * GRID + col) * 5 + pass_loc) * 4 + dest)
+    }
+
+    /// Decodes a state index into (taxi_row, taxi_col, pass_loc, dest).
+    pub fn decode(state: State) -> (u32, u32, u32, u32) {
+        let mut v = state.0;
+        let dest = v % 4;
+        v /= 4;
+        let pass_loc = v % 5;
+        v /= 5;
+        let col = v % GRID;
+        let row = v / GRID;
+        (row, col, pass_loc, dest)
+    }
+
+    /// True if the taxi can move east from `(row, col)` (no wall).
+    fn passable_east(row: u32, col: u32) -> bool {
+        debug_assert!(col < GRID - 1);
+        MAP[row as usize].as_bytes()[(2 * col + 2) as usize] == b':'
+    }
+
+    fn sync_state(&self) -> State {
+        Self::encode(self.row, self.col, self.pass_loc, self.dest)
+    }
+}
+
+impl DiscreteEnv for Taxi {
+    fn name(&self) -> &str {
+        "taxi"
+    }
+
+    fn num_states(&self) -> usize {
+        500
+    }
+
+    fn num_actions(&self) -> usize {
+        6
+    }
+
+    fn reset(&mut self, rng: &mut dyn rand::RngCore) -> State {
+        self.row = uniform_below(rng, GRID);
+        self.col = uniform_below(rng, GRID);
+        self.pass_loc = uniform_below(rng, 4);
+        // Destination differs from the passenger's start depot.
+        loop {
+            self.dest = uniform_below(rng, 4);
+            if self.dest != self.pass_loc {
+                break;
+            }
+        }
+        self.steps = 0;
+        self.done = false;
+        self.started = true;
+        self.sync_state()
+    }
+
+    fn step(&mut self, action: Action, _rng: &mut dyn rand::RngCore) -> Step {
+        assert!(self.started && !self.done, "step called on finished episode");
+        let mut reward = -1.0f32;
+        let mut done = false;
+        match action.0 {
+            0 => self.row = (self.row + 1).min(GRID - 1), // south
+            1 => self.row = self.row.saturating_sub(1),   // north
+            2 => {
+                // east
+                if self.col < GRID - 1 && Self::passable_east(self.row, self.col) {
+                    self.col += 1;
+                }
+            }
+            3 => {
+                // west
+                if self.col > 0 && Self::passable_east(self.row, self.col - 1) {
+                    self.col -= 1;
+                }
+            }
+            4 => {
+                // pickup
+                let here = (self.row, self.col);
+                if self.pass_loc < IN_TAXI && DEPOTS[self.pass_loc as usize] == here {
+                    self.pass_loc = IN_TAXI;
+                } else {
+                    reward = -10.0;
+                }
+            }
+            5 => {
+                // drop-off
+                let here = (self.row, self.col);
+                if self.pass_loc == IN_TAXI && DEPOTS[self.dest as usize] == here {
+                    reward = 20.0;
+                    self.pass_loc = self.dest;
+                    done = true;
+                } else if self.pass_loc == IN_TAXI {
+                    if let Some(depot) = DEPOTS.iter().position(|&d| d == here) {
+                        // Legal drop at the wrong depot: passenger gets out.
+                        self.pass_loc = depot as u32;
+                    } else {
+                        reward = -10.0;
+                    }
+                } else {
+                    reward = -10.0;
+                }
+            }
+            other => panic!("invalid Taxi action {other}"),
+        }
+        self.steps += 1;
+        if self.steps >= MAX_STEPS {
+            done = true;
+        }
+        self.done = done;
+        Step {
+            next_state: self.sync_state(),
+            reward,
+            done,
+        }
+    }
+
+    fn state(&self) -> State {
+        self.sync_state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn spaces_match_paper() {
+        let env = Taxi::new();
+        assert_eq!(env.num_states(), 500);
+        assert_eq!(env.num_actions(), 6);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_states() {
+        for row in 0..5 {
+            for col in 0..5 {
+                for pass in 0..5 {
+                    for dest in 0..4 {
+                        let s = Taxi::encode(row, col, pass, dest);
+                        assert!(s.0 < 500);
+                        assert_eq!(Taxi::decode(s), (row, col, pass, dest));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_produces_valid_initial_states() {
+        let mut env = Taxi::new();
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let s = env.reset(&mut r);
+            let (_, _, pass, dest) = Taxi::decode(s);
+            assert!(pass < 4, "passenger starts at a depot");
+            assert_ne!(pass, dest, "destination differs from start depot");
+        }
+    }
+
+    #[test]
+    fn walls_block_east_west() {
+        let mut env = Taxi::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        // Wall between (0,1) and (0,2) in the Gym map.
+        env.row = 0;
+        env.col = 1;
+        let before = env.col;
+        env.step(Action(2), &mut r); // east into wall
+        assert_eq!(env.col, before);
+        // Passage between (0,0) and (0,1).
+        env.col = 0;
+        env.done = false;
+        env.step(Action(2), &mut r);
+        assert_eq!(env.col, 1);
+    }
+
+    #[test]
+    fn movement_encoding_is_gym_order() {
+        let mut env = Taxi::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        env.row = 2;
+        env.col = 2;
+        env.step(Action(0), &mut r);
+        assert_eq!((env.row, env.col), (3, 2), "0 = south");
+        env.step(Action(1), &mut r);
+        assert_eq!((env.row, env.col), (2, 2), "1 = north");
+        env.step(Action(2), &mut r);
+        assert_eq!((env.row, env.col), (2, 3), "2 = east");
+        env.step(Action(3), &mut r);
+        assert_eq!((env.row, env.col), (2, 2), "3 = west");
+    }
+
+    #[test]
+    fn illegal_pickup_costs_ten() {
+        let mut env = Taxi::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        env.row = 2;
+        env.col = 2; // not a depot
+        let s = env.step(Action(4), &mut r);
+        assert_eq!(s.reward, -10.0);
+    }
+
+    #[test]
+    fn full_trip_ends_with_plus_twenty() {
+        let mut env = Taxi::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        // Put the taxi at the passenger's depot, pick up, teleport to the
+        // destination depot (manipulating internals, which the test module
+        // may), and drop off.
+        let (pr, pc) = DEPOTS[env.pass_loc as usize];
+        env.row = pr;
+        env.col = pc;
+        let s = env.step(Action(4), &mut r);
+        assert_eq!(s.reward, -1.0);
+        let (_, _, pass, _) = Taxi::decode(env.state());
+        assert_eq!(pass, IN_TAXI);
+        let (dr, dc) = DEPOTS[env.dest as usize];
+        env.row = dr;
+        env.col = dc;
+        let s = env.step(Action(5), &mut r);
+        assert_eq!(s.reward, 20.0);
+        assert!(s.done);
+    }
+
+    #[test]
+    fn wrong_depot_dropoff_releases_passenger() {
+        let mut env = Taxi::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        let (pr, pc) = DEPOTS[env.pass_loc as usize];
+        let origin = env.pass_loc;
+        env.row = pr;
+        env.col = pc;
+        env.step(Action(4), &mut r); // pickup
+        let s = env.step(Action(5), &mut r); // drop at the same (wrong) depot
+        assert_eq!(s.reward, -1.0);
+        assert!(!s.done);
+        let (_, _, pass, _) = Taxi::decode(env.state());
+        assert_eq!(pass, origin);
+    }
+
+    #[test]
+    fn dropoff_without_passenger_costs_ten() {
+        let mut env = Taxi::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        let s = env.step(Action(5), &mut r);
+        assert_eq!(s.reward, -10.0);
+    }
+
+    #[test]
+    fn episode_caps_at_200_steps() {
+        let mut env = Taxi::new();
+        let mut r = rng();
+        env.reset(&mut r);
+        let mut steps = 0;
+        loop {
+            let s = env.step(Action(1), &mut r); // bump north forever
+            steps += 1;
+            if s.done {
+                break;
+            }
+            assert!(steps < 400);
+        }
+        assert_eq!(steps, 200);
+    }
+
+    #[test]
+    fn states_stay_in_space_under_random_play() {
+        let mut env = Taxi::new();
+        let mut r = rng();
+        for _ in 0..50 {
+            env.reset(&mut r);
+            loop {
+                let a = Action(crate::env::uniform_below(&mut r, 6));
+                let s = env.step(a, &mut r);
+                assert!(s.next_state.0 < 500);
+                assert!([-1.0, -10.0, 20.0].contains(&s.reward));
+                if s.done {
+                    break;
+                }
+            }
+        }
+    }
+}

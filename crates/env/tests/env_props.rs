@@ -1,0 +1,117 @@
+//! Property tests: environment invariants under arbitrary play.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swiftrl_env::cliff_walking::CliffWalking;
+use swiftrl_env::frozen_lake::FrozenLake;
+use swiftrl_env::taxi::Taxi;
+use swiftrl_env::{Action, DiscreteEnv, State};
+
+/// Plays `steps` random actions (resetting on done) and checks the
+/// universal invariants: states stay in the space, rewards come from the
+/// environment's finite reward set, and `state()` tracks the last
+/// transition.
+fn check_invariants<E: DiscreteEnv>(
+    env: &mut E,
+    seed: u64,
+    steps: usize,
+    rewards: &[f32],
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = env.reset(&mut rng);
+    prop_assert!(state.index() < env.num_states());
+    for _ in 0..steps {
+        let a = Action((rng.next_u32() % env.num_actions() as u32) as u32);
+        let step = env.step(a, &mut rng);
+        prop_assert!(step.next_state.index() < env.num_states());
+        prop_assert!(
+            rewards.contains(&step.reward),
+            "unexpected reward {}",
+            step.reward
+        );
+        prop_assert_eq!(env.state(), step.next_state);
+        state = if step.done {
+            env.reset(&mut rng)
+        } else {
+            step.next_state
+        };
+        prop_assert!(state.index() < env.num_states());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frozen_lake_invariants(seed in any::<u64>()) {
+        let mut env = FrozenLake::slippery_4x4();
+        check_invariants(&mut env, seed, 300, &[0.0, 1.0])?;
+    }
+
+    #[test]
+    fn frozen_lake_8x8_invariants(seed in any::<u64>()) {
+        let mut env = FrozenLake::slippery_8x8();
+        check_invariants(&mut env, seed, 300, &[0.0, 1.0])?;
+    }
+
+    #[test]
+    fn taxi_invariants(seed in any::<u64>()) {
+        let mut env = Taxi::new();
+        check_invariants(&mut env, seed, 300, &[-1.0, -10.0, 20.0])?;
+    }
+
+    #[test]
+    fn cliff_walking_invariants(seed in any::<u64>()) {
+        let mut env = CliffWalking::new();
+        check_invariants(&mut env, seed, 300, &[-1.0, -100.0])?;
+    }
+
+    #[test]
+    fn taxi_encode_decode_bijection(row in 0u32..5, col in 0u32..5, pass in 0u32..5, dest in 0u32..4) {
+        let s = Taxi::encode(row, col, pass, dest);
+        prop_assert!(s.0 < 500);
+        prop_assert_eq!(Taxi::decode(s), (row, col, pass, dest));
+    }
+
+    #[test]
+    fn taxi_decode_is_total_over_the_space(idx in 0u32..500) {
+        let (row, col, pass, dest) = Taxi::decode(State(idx));
+        prop_assert!(row < 5 && col < 5 && pass < 5 && dest < 4);
+        prop_assert_eq!(Taxi::encode(row, col, pass, dest), State(idx));
+    }
+
+    #[test]
+    fn frozen_lake_episode_terminates(seed in any::<u64>()) {
+        // Every FrozenLake episode ends within the step limit.
+        let mut env = FrozenLake::slippery_4x4();
+        let mut rng = StdRng::seed_from_u64(seed);
+        env.reset(&mut rng);
+        let mut steps = 0;
+        loop {
+            let a = Action(rng.next_u32() % 4);
+            steps += 1;
+            prop_assert!(steps <= 100, "episode exceeded the limit");
+            if env.step(a, &mut rng).done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_flags_match_episode_boundaries(seed in any::<u64>(), n in 100usize..1_000) {
+        // In a collected dataset, every `done` is followed by a start
+        // state and every non-`done` chains to the next record.
+        let mut env = FrozenLake::slippery_4x4();
+        let d = swiftrl_env::collect::collect_random(&mut env, n, seed);
+        let ts = d.transitions();
+        for w in ts.windows(2) {
+            if w[0].done {
+                prop_assert_eq!(w[1].state, State(0), "restart after terminal");
+            } else {
+                prop_assert_eq!(w[0].next_state, w[1].state, "chain within episode");
+            }
+        }
+    }
+}

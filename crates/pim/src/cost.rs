@@ -1,0 +1,201 @@
+//! Cycle accounting for a simulated DPU tasklet.
+//!
+//! Every intrinsic on [`crate::kernel::DpuContext`] reports the number of
+//! *instruction slots* it occupies; the [`CycleCounter`] converts slots to
+//! cycles using the tasklet issue interval (11 cycles for a lone tasklet on
+//! UPMEM) and tracks DMA cycles separately, since the DMA engine stalls the
+//! issuing tasklet for the full transfer duration.
+
+use serde::{Deserialize, Serialize};
+
+/// Classes of charged work, used for per-kernel breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Native single-slot ALU instruction (add/sub/logic/shift/compare/move).
+    Alu,
+    /// WRAM load or store.
+    WramAccess,
+    /// Control-flow instruction (branch/jump/call/return).
+    Control,
+    /// Slot executed inside the 32-bit integer multiply/divide emulation.
+    IntEmul,
+    /// Slot executed inside the soft-float runtime library.
+    FloatEmul,
+    /// MRAM↔WRAM DMA (charged in cycles, not slots).
+    Dma,
+}
+
+/// Per-tasklet instruction/cycle accounting.
+///
+/// `slots` are native instruction dispatch slots; the conversion to cycles
+/// multiplies by the issue interval of the tasklet configuration. DMA
+/// cycles are added verbatim.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleCounter {
+    /// Native instruction slots charged, by class.
+    pub alu_slots: u64,
+    /// WRAM access slots charged.
+    pub wram_slots: u64,
+    /// Control-flow slots charged.
+    pub control_slots: u64,
+    /// Slots executed by the integer multiply/divide emulation routines.
+    pub int_emul_slots: u64,
+    /// Slots executed by the soft-float runtime library.
+    pub float_emul_slots: u64,
+    /// Cycles spent in MRAM↔WRAM DMA transfers.
+    pub dma_cycles: u64,
+    /// Bytes moved over the MRAM↔WRAM DMA engine.
+    pub dma_bytes: u64,
+}
+
+impl CycleCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `n` instruction slots of the given class.
+    #[inline]
+    pub fn charge(&mut self, class: OpClass, n: u64) {
+        match class {
+            OpClass::Alu => self.alu_slots += n,
+            OpClass::WramAccess => self.wram_slots += n,
+            OpClass::Control => self.control_slots += n,
+            OpClass::IntEmul => self.int_emul_slots += n,
+            OpClass::FloatEmul => self.float_emul_slots += n,
+            OpClass::Dma => self.dma_cycles += n,
+        }
+    }
+
+    /// Charges a DMA transfer of `bytes` costing `cycles`.
+    #[inline]
+    pub fn charge_dma(&mut self, bytes: u64, cycles: u64) {
+        self.dma_bytes += bytes;
+        self.dma_cycles += cycles;
+    }
+
+    /// Total instruction slots charged (everything except DMA).
+    pub fn total_slots(&self) -> u64 {
+        self.alu_slots
+            + self.wram_slots
+            + self.control_slots
+            + self.int_emul_slots
+            + self.float_emul_slots
+    }
+
+    /// Converts the counter to cycles given the per-tasklet issue interval.
+    ///
+    /// With a single tasklet the interval is 11: one instruction slot
+    /// occupies 11 pipeline cycles from the tasklet's point of view.
+    pub fn cycles(&self, issue_interval: u64) -> u64 {
+        self.total_slots() * issue_interval + self.dma_cycles
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &CycleCounter) {
+        self.alu_slots += other.alu_slots;
+        self.wram_slots += other.wram_slots;
+        self.control_slots += other.control_slots;
+        self.int_emul_slots += other.int_emul_slots;
+        self.float_emul_slots += other.float_emul_slots;
+        self.dma_cycles += other.dma_cycles;
+        self.dma_bytes += other.dma_bytes;
+    }
+
+    /// Fraction of instruction slots spent in arithmetic emulation
+    /// (integer + float runtime-library routines).
+    pub fn emulation_fraction(&self) -> f64 {
+        let total = self.total_slots();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.int_emul_slots + self.float_emul_slots) as f64 / total as f64
+    }
+}
+
+/// A lightweight running tally used by the emulation libraries, which do
+/// not have access to the full context. Counts primitive integer
+/// operations; the caller transfers the tally into a [`CycleCounter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTally(pub u64);
+
+impl OpTally {
+    /// Creates a zeroed tally.
+    #[inline]
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds `n` primitive operations.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Number of operations tallied.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_routes_to_class() {
+        let mut c = CycleCounter::new();
+        c.charge(OpClass::Alu, 3);
+        c.charge(OpClass::WramAccess, 2);
+        c.charge(OpClass::Control, 1);
+        c.charge(OpClass::IntEmul, 10);
+        c.charge(OpClass::FloatEmul, 20);
+        assert_eq!(c.alu_slots, 3);
+        assert_eq!(c.wram_slots, 2);
+        assert_eq!(c.control_slots, 1);
+        assert_eq!(c.int_emul_slots, 10);
+        assert_eq!(c.float_emul_slots, 20);
+        assert_eq!(c.total_slots(), 36);
+    }
+
+    #[test]
+    fn cycles_scale_with_issue_interval() {
+        let mut c = CycleCounter::new();
+        c.charge(OpClass::Alu, 10);
+        c.charge_dma(64, 100);
+        assert_eq!(c.cycles(11), 10 * 11 + 100);
+        assert_eq!(c.cycles(24), 10 * 24 + 100);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CycleCounter::new();
+        a.charge(OpClass::Alu, 5);
+        let mut b = CycleCounter::new();
+        b.charge(OpClass::FloatEmul, 7);
+        b.charge_dma(8, 81);
+        a.merge(&b);
+        assert_eq!(a.alu_slots, 5);
+        assert_eq!(a.float_emul_slots, 7);
+        assert_eq!(a.dma_bytes, 8);
+        assert_eq!(a.dma_cycles, 81);
+    }
+
+    #[test]
+    fn emulation_fraction_bounds() {
+        let mut c = CycleCounter::new();
+        assert_eq!(c.emulation_fraction(), 0.0);
+        c.charge(OpClass::Alu, 1);
+        c.charge(OpClass::FloatEmul, 3);
+        assert!((c.emulation_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_counts() {
+        let mut t = OpTally::new();
+        t.add(4);
+        t.add(1);
+        assert_eq!(t.count(), 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! A single simulated DPU (PIM core) and its kernel executor.
+
+use crate::config::PimConfig;
+use crate::cost::CycleCounter;
+use crate::kernel::{DpuContext, Kernel, KernelError};
+use crate::memory::DpuMemory;
+
+/// One DPU: a processing element with its private MRAM bank and WRAM
+/// scratchpad.
+///
+/// DPUs cannot see each other's memories; all inter-DPU communication is
+/// routed through the host, as on UPMEM hardware.
+#[derive(Debug)]
+pub struct Dpu {
+    id: usize,
+    memory: DpuMemory,
+    last_counter: CycleCounter,
+}
+
+impl Dpu {
+    /// Creates a DPU with the platform's memory capacities.
+    pub fn new(id: usize, config: &PimConfig) -> Self {
+        Self {
+            id,
+            memory: DpuMemory::new(config.mram_bytes, config.wram_bytes),
+            last_counter: CycleCounter::new(),
+        }
+    }
+
+    /// Index of this DPU within its set.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Host-side access to the MRAM bank (valid only between launches).
+    pub fn mram(&self) -> &crate::memory::Bank {
+        &self.memory.mram
+    }
+
+    /// Host-side mutable access to the MRAM bank.
+    pub fn mram_mut(&mut self) -> &mut crate::memory::Bank {
+        &mut self.memory.mram
+    }
+
+    /// Cycle accounting of the most recent kernel execution on this DPU.
+    pub fn last_counter(&self) -> &CycleCounter {
+        &self.last_counter
+    }
+
+    /// Executes `kernel` on this DPU and returns the cycles it took.
+    ///
+    /// Tasklets run sequentially (the simulator does not model preemption
+    /// within a DPU); the cycle count uses the fine-grained multithreading
+    /// model: each tasklet's instruction stream issues at an interval of
+    /// `max(tasklets, issue_period)` cycles, and the DPU finishes when its
+    /// slowest tasklet does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`KernelError`] raised by any tasklet.
+    pub fn execute(&mut self, kernel: &dyn Kernel, config: &PimConfig) -> Result<u64, KernelError> {
+        let tasklets = kernel.tasklets().clamp(1, config.tasklets_per_dpu);
+        let interval = config.cost.tasklet_issue_interval(tasklets);
+        let mut max_cycles = 0u64;
+        let mut merged = CycleCounter::new();
+        for tasklet in 0..tasklets {
+            let mut ctx = DpuContext::new(self.id, tasklet, &mut self.memory, &config.cost);
+            kernel.run(&mut ctx)?;
+            let counter = ctx.into_counter();
+            max_cycles = max_cycles.max(counter.cycles(interval));
+            merged.merge(&counter);
+        }
+        self.last_counter = merged;
+        Ok(max_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimConfig;
+
+    struct NopKernel;
+    impl Kernel for NopKernel {
+        fn run(&self, _ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+            Ok(())
+        }
+    }
+
+    struct AluKernel {
+        n: u64,
+        tasklets: usize,
+    }
+    impl Kernel for AluKernel {
+        fn tasklets(&self) -> usize {
+            self.tasklets
+        }
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+            ctx.charge_alu(self.n);
+            Ok(())
+        }
+    }
+
+    fn small_config() -> PimConfig {
+        PimConfig::builder().mram_bytes(1 << 20).build()
+    }
+
+    #[test]
+    fn nop_kernel_takes_zero_cycles() {
+        let cfg = small_config();
+        let mut dpu = Dpu::new(0, &cfg);
+        assert_eq!(dpu.execute(&NopKernel, &cfg).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_tasklet_pays_issue_period() {
+        let cfg = small_config();
+        let mut dpu = Dpu::new(0, &cfg);
+        let cycles = dpu.execute(&AluKernel { n: 100, tasklets: 1 }, &cfg).unwrap();
+        assert_eq!(cycles, 100 * 11);
+    }
+
+    #[test]
+    fn eleven_tasklets_saturate_pipeline() {
+        let cfg = small_config();
+        let mut dpu = Dpu::new(0, &cfg);
+        // Each of the 11 tasklets runs 100 slots; per-tasklet interval is
+        // still 11, so the DPU finishes in 1100 cycles — the same wall
+        // cycles as one tasklet, but 11× the work: full pipeline usage.
+        let cycles = dpu
+            .execute(&AluKernel { n: 100, tasklets: 11 }, &cfg)
+            .unwrap();
+        assert_eq!(cycles, 100 * 11);
+        assert_eq!(dpu.last_counter().alu_slots, 100 * 11);
+    }
+
+    #[test]
+    fn oversubscribed_tasklets_slow_each_stream() {
+        let cfg = small_config();
+        let mut dpu = Dpu::new(0, &cfg);
+        let cycles = dpu
+            .execute(&AluKernel { n: 100, tasklets: 22 }, &cfg)
+            .unwrap();
+        assert_eq!(cycles, 100 * 22);
+    }
+
+    #[test]
+    fn tasklet_count_clamped_to_hardware() {
+        let cfg = small_config();
+        let mut dpu = Dpu::new(0, &cfg);
+        let cycles = dpu
+            .execute(&AluKernel { n: 10, tasklets: 1000 }, &cfg)
+            .unwrap();
+        // Clamped to 24 tasklets.
+        assert_eq!(cycles, 10 * 24);
+        assert_eq!(dpu.last_counter().alu_slots, 10 * 24);
+    }
+}

@@ -1,0 +1,333 @@
+//! Integer runtime-library emulation: wide multiplies, divides, and the
+//! linear congruential generator.
+//!
+//! UPMEM DPUs natively support 32-bit integer add/sub and an 8-bit
+//! multiply; 32-bit (and wider) multiplication and all division is
+//! emulated by the runtime library with shift-and-add / restoring-division
+//! loops (SwiftRL §2.2, PrIM §3.1.2). The routines here compute exact
+//! results while tallying the primitive operations the emulation loop
+//! executes, so callers can charge either the tally or the calibrated
+//! per-op constants from [`crate::config::OpCosts`].
+//!
+//! [`Lcg32`] is the linear congruential generator SwiftRL implements as a
+//! custom routine because `rand()` is unavailable inside PIM cores
+//! (§3.2.1, citing L'Ecuyer & Blouin).
+
+use crate::cost::OpTally;
+
+/// Shift-and-add 32×32→64 unsigned multiply, iterating over the
+/// lower-bit-length operand (the emulation's early-exit optimization).
+///
+/// Returns the exact 64-bit product; `t` receives the executed primitive
+/// operation count (≈3 per iteration plus setup).
+pub fn umul32_wide(a: u32, b: u32, t: &mut OpTally) -> u64 {
+    // Iterate over the operand with fewer significant bits.
+    t.add(4);
+    let (big, mut small) = if a.leading_zeros() >= b.leading_zeros() {
+        (b as u64, a)
+    } else {
+        (a as u64, b)
+    };
+    let mut acc: u64 = 0;
+    let mut shifted = big;
+    while small != 0 {
+        if small & 1 != 0 {
+            acc = acc.wrapping_add(shifted);
+            t.add(2); // 64-bit add = two 32-bit adds
+        }
+        shifted <<= 1;
+        small >>= 1;
+        t.add(3); // shift, shift, branch
+    }
+    acc
+}
+
+/// Signed 32×32→64 multiply via [`umul32_wide`] on magnitudes.
+pub fn imul32_wide(a: i32, b: i32, t: &mut OpTally) -> i64 {
+    t.add(4);
+    let neg = (a < 0) ^ (b < 0);
+    let mag = umul32_wide(a.unsigned_abs(), b.unsigned_abs(), t);
+    let mag = mag as i64;
+    if neg {
+        t.add(1);
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Signed 32×32→32 multiply (wrapping, like the C `int` multiply the
+/// runtime library implements).
+pub fn imul32(a: i32, b: i32, t: &mut OpTally) -> i32 {
+    umul32_wide(a as u32, b as u32, t) as u32 as i32
+}
+
+/// Restoring unsigned division with early exit, returning `(quotient,
+/// remainder)`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`, like the runtime trap on the real hardware.
+pub fn udiv32(n: u32, d: u32, t: &mut OpTally) -> (u32, u32) {
+    assert!(d != 0, "division by zero in emulated udiv32");
+    t.add(4);
+    if n < d {
+        return (0, n);
+    }
+    // Restoring loop over only the quotient bits actually produced
+    // (early-exit: bit-length difference of the operands).
+    let steps = d.leading_zeros() - n.leading_zeros() + 1;
+    let mut rem: u32 = if steps >= 32 { 0 } else { n >> steps };
+    let mut q: u32 = 0;
+    for i in (0..steps).rev() {
+        rem = (rem << 1) | ((n >> i) & 1);
+        q <<= 1;
+        if rem >= d {
+            rem -= d;
+            q |= 1;
+            t.add(2);
+        }
+        t.add(4);
+    }
+    (q, rem)
+}
+
+/// Signed division truncating toward zero (C semantics), returning
+/// `(quotient, remainder)`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn idiv32(n: i32, d: i32, t: &mut OpTally) -> (i32, i32) {
+    t.add(4);
+    let (uq, ur) = udiv32(n.unsigned_abs(), d.unsigned_abs(), t);
+    let q = if (n < 0) ^ (d < 0) {
+        -(uq as i64)
+    } else {
+        uq as i64
+    };
+    let r = if n < 0 { -(ur as i64) } else { ur as i64 };
+    (q as i32, r as i32)
+}
+
+/// Restoring 64-by-32 unsigned division (used to descale wide fixed-point
+/// products), returning `(quotient, remainder)`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or the quotient overflows 64 bits (it cannot for a
+/// 32-bit divisor).
+pub fn udiv64(n: u64, d: u32, t: &mut OpTally) -> (u64, u32) {
+    assert!(d != 0, "division by zero in emulated udiv64");
+    t.add(6);
+    if n < d as u64 {
+        return (0, n as u32);
+    }
+    let steps = 64 - n.leading_zeros();
+    let mut q: u64 = 0;
+    let mut rem: u64 = 0;
+    for i in (0..steps).rev() {
+        rem = (rem << 1) | ((n >> i) & 1);
+        q <<= 1;
+        if rem >= d as u64 {
+            rem -= d as u64;
+            q |= 1;
+            t.add(2);
+        }
+        t.add(5); // 64-bit shifts cost two slots each
+    }
+    (q, rem as u32)
+}
+
+/// Signed 64-by-32 division truncating toward zero.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn idiv64(n: i64, d: i32, t: &mut OpTally) -> i64 {
+    t.add(4);
+    let (uq, _) = udiv64(n.unsigned_abs(), d.unsigned_abs(), t);
+    if (n < 0) ^ (d < 0) {
+        -(uq as i64)
+    } else {
+        uq as i64
+    }
+}
+
+/// The 32-bit linear congruential generator used in place of `rand()`
+/// inside PIM kernels (Numerical Recipes constants; SwiftRL §3.2.1).
+///
+/// The same generator is deliberately available host-side (in
+/// `swiftrl-rl`) so CPU baselines and PIM kernels can be driven by
+/// identical random streams.
+///
+/// ```rust
+/// use swiftrl_pim::emul::Lcg32;
+///
+/// let mut rng = Lcg32::new(42);
+/// let a = rng.next_u32();
+/// let b = rng.next_u32();
+/// assert_ne!(a, b);
+/// assert_eq!(Lcg32::new(42).next_u32(), a); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg32 {
+    state: u32,
+}
+
+impl Lcg32 {
+    /// Multiplier (Numerical Recipes).
+    pub const MULTIPLIER: u32 = 1_664_525;
+    /// Increment (Numerical Recipes).
+    pub const INCREMENT: u32 = 1_013_904_223;
+
+    /// Creates a generator from a seed.
+    pub fn new(seed: u32) -> Self {
+        Self { state: seed }
+    }
+
+    /// Advances the state and returns the next raw 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(Self::MULTIPLIER)
+            .wrapping_add(Self::INCREMENT);
+        self.state
+    }
+
+    /// Returns a value uniform in `[0, bound)` by multiply-shift reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "next_below bound must be positive");
+        ((self.next_u32() as u64 * bound as u64) >> 32) as u32
+    }
+
+    /// Current internal state (for checkpointing).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> OpTally {
+        OpTally::new()
+    }
+
+    #[test]
+    fn umul_matches_hardware() {
+        let cases = [
+            (0u32, 0u32),
+            (1, 1),
+            (0xFFFF_FFFF, 0xFFFF_FFFF),
+            (9_500, 123_456),
+            (1_000, 2_000_000),
+            (3, 0x8000_0000),
+        ];
+        for (a, b) in cases {
+            assert_eq!(umul32_wide(a, b, &mut t()), a as u64 * b as u64);
+        }
+    }
+
+    #[test]
+    fn imul_matches_hardware() {
+        let cases = [(-5i32, 7i32), (9500, -20000), (-1, -1), (i32::MIN + 1, 2)];
+        for (a, b) in cases {
+            assert_eq!(imul32_wide(a, b, &mut t()), a as i64 * b as i64);
+            assert_eq!(imul32(a, b, &mut t()), a.wrapping_mul(b));
+        }
+    }
+
+    #[test]
+    fn mul_early_exit_is_cheaper_for_small_operands() {
+        let mut small = t();
+        umul32_wide(3, 0xFFFF_FFFF, &mut small);
+        let mut large = t();
+        umul32_wide(0xFFFF_FFF1, 0xFFFF_FFFF, &mut large);
+        assert!(small.count() < large.count());
+    }
+
+    #[test]
+    fn udiv_matches_hardware() {
+        let cases = [
+            (0u32, 1u32),
+            (100, 7),
+            (0xFFFF_FFFF, 10_000),
+            (0xFFFF_FFFF, 1),
+            (10_000, 10_001),
+            (123_456_789, 10_000),
+        ];
+        for (n, d) in cases {
+            assert_eq!(udiv32(n, d, &mut t()), (n / d, n % d));
+        }
+    }
+
+    #[test]
+    fn idiv_truncates_toward_zero() {
+        let cases = [(-7i32, 2i32), (7, -2), (-7, -2), (19_000_000, 10_000)];
+        for (n, d) in cases {
+            assert_eq!(idiv32(n, d, &mut t()), (n / d, n % d));
+        }
+    }
+
+    #[test]
+    fn udiv64_matches_hardware() {
+        let cases = [
+            (0u64, 1u32),
+            (19_000_000_000, 10_000),
+            (u64::MAX, 0xFFFF_FFFF),
+            (9_999, 10_000),
+        ];
+        for (n, d) in cases {
+            assert_eq!(udiv64(n, d, &mut t()), (n / d as u64, (n % d as u64) as u32));
+        }
+    }
+
+    #[test]
+    fn idiv64_signs() {
+        assert_eq!(idiv64(-19_000_000_000, 10_000, &mut t()), -1_900_000);
+        assert_eq!(idiv64(19_000_000_000, -10_000, &mut t()), -1_900_000);
+        assert_eq!(idiv64(-5, -5, &mut t()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn udiv_by_zero_panics() {
+        udiv32(1, 0, &mut t());
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_full_period_sampled() {
+        let mut a = Lcg32::new(7);
+        let mut b = Lcg32::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        // Different seeds diverge.
+        let mut c = Lcg32::new(8);
+        assert_ne!(a.next_u32(), c.next_u32());
+    }
+
+    #[test]
+    fn lcg_next_below_in_range_and_roughly_uniform() {
+        let mut rng = Lcg32::new(123);
+        let bound = 10u32;
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = rng.next_below(bound);
+            assert!(v < bound);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket should hold roughly 10% ± 3%.
+            assert!((7_000..13_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Host-side interface: DPU allocation, data transfers, kernel launches.
+//!
+//! Mirrors the structure of the UPMEM host API (`dpu_alloc`,
+//! `dpu_copy_to`, parallel `dpu_push_xfer` scatter/gather,
+//! `dpu_launch`): the host can touch MRAM between launches, kernels run
+//! to completion, and all timing is accumulated in [`SystemStats`].
+
+use crate::config::PimConfig;
+use crate::dpu::Dpu;
+use crate::kernel::{Kernel, KernelError};
+use crate::memory::MemoryError;
+use crate::stats::{LaunchStats, SystemStats};
+use crate::xfer::{Direction, TransferLedger, TransferRecord};
+use std::fmt;
+
+/// Error raised by host-side PIM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PimError {
+    /// Requested more DPUs than the system has available.
+    Alloc {
+        /// DPUs requested.
+        requested: usize,
+        /// DPUs still available.
+        available: usize,
+    },
+    /// A DPU index was out of range for the set.
+    BadDpu {
+        /// The offending index.
+        index: usize,
+        /// Number of DPUs in the set.
+        dpus: usize,
+    },
+    /// A host-side MRAM access failed.
+    Memory(MemoryError),
+    /// A kernel failed during a launch.
+    Kernel {
+        /// DPU on which the kernel faulted.
+        dpu: usize,
+        /// The kernel's error.
+        error: KernelError,
+    },
+    /// An argument was invalid (e.g. mismatched scatter part count).
+    BadArgument(String),
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::Alloc {
+                requested,
+                available,
+            } => write!(f, "requested {requested} DPUs but only {available} are available"),
+            PimError::BadDpu { index, dpus } => {
+                write!(f, "DPU index {index} out of range for a set of {dpus}")
+            }
+            PimError::Memory(e) => write!(f, "host MRAM access failed: {e}"),
+            PimError::Kernel { dpu, error } => write!(f, "kernel fault on DPU {dpu}: {error}"),
+            PimError::BadArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PimError::Memory(e) => Some(e),
+            PimError::Kernel { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemoryError> for PimError {
+    fn from(e: MemoryError) -> Self {
+        PimError::Memory(e)
+    }
+}
+
+/// The whole PIM platform; allocates [`DpuSet`]s.
+#[derive(Debug)]
+pub struct PimSystem {
+    config: PimConfig,
+    allocated: usize,
+}
+
+impl PimSystem {
+    /// Creates a system with the given platform configuration.
+    pub fn new(config: PimConfig) -> Self {
+        Self {
+            config,
+            allocated: 0,
+        }
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// DPUs not yet allocated to a set.
+    pub fn available_dpus(&self) -> usize {
+        self.config.dpus - self.allocated
+    }
+
+    /// Allocates a set of `dpus` DPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Alloc`] if fewer than `dpus` remain, or
+    /// [`PimError::BadArgument`] for an empty request.
+    pub fn alloc(&mut self, dpus: usize) -> Result<DpuSet, PimError> {
+        if dpus == 0 {
+            return Err(PimError::BadArgument("cannot allocate 0 DPUs".into()));
+        }
+        let available = self.available_dpus();
+        if dpus > available {
+            return Err(PimError::Alloc {
+                requested: dpus,
+                available,
+            });
+        }
+        self.allocated += dpus;
+        Ok(DpuSet::new(self.config.clone(), dpus))
+    }
+
+    /// Returns a set's DPUs to the pool.
+    pub fn free(&mut self, set: DpuSet) {
+        self.allocated -= set.ndpus();
+    }
+}
+
+/// A set of allocated DPUs operated on collectively, like a UPMEM
+/// `dpu_set_t`.
+#[derive(Debug)]
+pub struct DpuSet {
+    config: PimConfig,
+    dpus: Vec<Dpu>,
+    stats: SystemStats,
+    ledger: TransferLedger,
+    last_launch: LaunchStats,
+    program_loaded: bool,
+}
+
+impl DpuSet {
+    fn new(config: PimConfig, n: usize) -> Self {
+        let dpus = (0..n).map(|i| Dpu::new(i, &config)).collect();
+        Self {
+            config,
+            dpus,
+            stats: SystemStats::default(),
+            ledger: TransferLedger::new(),
+            last_launch: LaunchStats::default(),
+            program_loaded: false,
+        }
+    }
+
+    /// Number of DPUs in the set.
+    pub fn ndpus(&self) -> usize {
+        self.dpus.len()
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// Cumulative time/byte statistics.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// Statistics of the most recent launch.
+    pub fn last_launch(&self) -> &LaunchStats {
+        &self.last_launch
+    }
+
+    /// The transfer ledger (every recorded transfer, in order).
+    pub fn ledger(&self) -> &TransferLedger {
+        &self.ledger
+    }
+
+    /// Resets cumulative statistics (keeps memory contents and the
+    /// loaded program).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.ledger.clear();
+        self.last_launch = LaunchStats::default();
+    }
+
+    fn check_dpu(&self, index: usize) -> Result<(), PimError> {
+        if index >= self.dpus.len() {
+            return Err(PimError::BadDpu {
+                index,
+                dpus: self.dpus.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn ranks(&self) -> usize {
+        self.config.ranks_for(self.dpus.len())
+    }
+
+    fn record(&mut self, direction: Direction, bytes: u64, dpus: usize, seconds: f64) {
+        self.ledger.record(TransferRecord {
+            direction,
+            bytes,
+            dpus,
+            seconds,
+        });
+        match direction {
+            Direction::CpuToPim => {
+                self.stats.cpu_to_pim_seconds += seconds;
+                self.stats.cpu_to_pim_bytes += bytes;
+            }
+            Direction::PimToCpu => {
+                self.stats.pim_to_cpu_seconds += seconds;
+                self.stats.pim_to_cpu_bytes += bytes;
+            }
+        }
+    }
+
+    // ---- transfers -------------------------------------------------------
+
+    /// Copies `data` into one DPU's MRAM at `mram_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad DPU index or an out-of-range MRAM write.
+    pub fn copy_to(&mut self, dpu: usize, mram_offset: usize, data: &[u8]) -> Result<(), PimError> {
+        self.check_dpu(dpu)?;
+        self.dpus[dpu].mram_mut().write(mram_offset, data)?;
+        let seconds = self.config.transfer.scatter_gather_seconds(data.len(), 1);
+        self.record(Direction::CpuToPim, data.len() as u64, 1, seconds);
+        Ok(())
+    }
+
+    /// Reads `len` bytes from one DPU's MRAM at `mram_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad DPU index or an out-of-range MRAM read.
+    pub fn copy_from(
+        &mut self,
+        dpu: usize,
+        mram_offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, PimError> {
+        self.check_dpu(dpu)?;
+        let mut buf = vec![0u8; len];
+        self.dpus[dpu].mram().read(mram_offset, &mut buf)?;
+        let seconds = self.config.transfer.scatter_gather_seconds(len, 1);
+        self.record(Direction::PimToCpu, len as u64, 1, seconds);
+        Ok(buf)
+    }
+
+    /// Parallel scatter: part `i` of `parts` goes to DPU `i` at
+    /// `mram_offset`. This is the UPMEM `dpu_push_xfer(..., TO_DPU)`
+    /// equivalent and the fast path for dataset-chunk loading.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `parts.len() != ndpus()` or any MRAM write is out of range.
+    pub fn scatter(&mut self, mram_offset: usize, parts: &[Vec<u8>]) -> Result<(), PimError> {
+        if parts.len() != self.dpus.len() {
+            return Err(PimError::BadArgument(format!(
+                "scatter expects {} parts, got {}",
+                self.dpus.len(),
+                parts.len()
+            )));
+        }
+        let mut total = 0u64;
+        for (dpu, part) in self.dpus.iter_mut().zip(parts) {
+            dpu.mram_mut().write(mram_offset, part)?;
+            total += part.len() as u64;
+        }
+        let ranks = self.ranks();
+        let seconds = self
+            .config
+            .transfer
+            .scatter_gather_seconds(total as usize, ranks);
+        let n = self.dpus.len();
+        self.record(Direction::CpuToPim, total, n, seconds);
+        Ok(())
+    }
+
+    /// Broadcast: copies the same buffer to every DPU at `mram_offset`
+    /// (UPMEM `dpu_broadcast_to`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the MRAM write is out of range.
+    pub fn broadcast(&mut self, mram_offset: usize, data: &[u8]) -> Result<(), PimError> {
+        for dpu in &mut self.dpus {
+            dpu.mram_mut().write(mram_offset, data)?;
+        }
+        let n = self.dpus.len();
+        let seconds = self
+            .config
+            .transfer
+            .broadcast_seconds(data.len(), n, self.ranks());
+        self.record(Direction::CpuToPim, (data.len() * n) as u64, n, seconds);
+        Ok(())
+    }
+
+    /// Parallel gather: reads `len` bytes at `mram_offset` from every DPU
+    /// (UPMEM `dpu_push_xfer(..., FROM_DPU)`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any MRAM read is out of range.
+    pub fn gather(&mut self, mram_offset: usize, len: usize) -> Result<Vec<Vec<u8>>, PimError> {
+        let mut out = Vec::with_capacity(self.dpus.len());
+        for dpu in &self.dpus {
+            let mut buf = vec![0u8; len];
+            dpu.mram().read(mram_offset, &mut buf)?;
+            out.push(buf);
+        }
+        let n = self.dpus.len();
+        let total = (len * n) as u64;
+        let seconds = self
+            .config
+            .transfer
+            .scatter_gather_seconds(total as usize, self.ranks());
+        self.record(Direction::PimToCpu, total, n, seconds);
+        Ok(out)
+    }
+
+    // ---- launch ----------------------------------------------------------
+
+    /// One-time `dpu_load` of the kernel binary into the set's IRAMs.
+    /// Charged to the CPU→PIM category (and tracked separately in
+    /// [`SystemStats::program_load_seconds`]). Idempotent; `launch` calls
+    /// it implicitly if the host has not done so.
+    pub fn load_program(&mut self) {
+        if self.program_loaded {
+            return;
+        }
+        let n = self.dpus.len();
+        let seconds = self.config.transfer.program_load_seconds(n);
+        let bytes = (self.config.iram_bytes * n) as u64;
+        self.record(Direction::CpuToPim, bytes, n, seconds);
+        self.stats.program_load_seconds += seconds;
+        self.program_loaded = true;
+    }
+
+    /// Launches `kernel` on every DPU in the set and blocks until all
+    /// finish. Launch latency is the slowest DPU's cycle count at the
+    /// platform clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first kernel fault with its DPU index.
+    pub fn launch(&mut self, kernel: &dyn Kernel) -> Result<&LaunchStats, PimError> {
+        self.load_program();
+        let mut max_cycles = 0u64;
+        let mut min_cycles = u64::MAX;
+        let mut sum_cycles = 0u128;
+        let mut merged = crate::cost::CycleCounter::new();
+        for dpu in &mut self.dpus {
+            let cycles = dpu
+                .execute(kernel, &self.config)
+                .map_err(|error| PimError::Kernel {
+                    dpu: dpu.id(),
+                    error,
+                })?;
+            max_cycles = max_cycles.max(cycles);
+            min_cycles = min_cycles.min(cycles);
+            sum_cycles += cycles as u128;
+            merged.merge(dpu.last_counter());
+        }
+        let n = self.dpus.len();
+        let seconds = self.config.cycles_to_seconds(max_cycles);
+        self.last_launch = LaunchStats {
+            dpus: n,
+            max_cycles,
+            min_cycles: if n == 0 { 0 } else { min_cycles },
+            mean_cycles: if n == 0 {
+                0.0
+            } else {
+                (sum_cycles / n as u128) as f64
+            },
+            seconds,
+            merged,
+        };
+        self.stats.launches += 1;
+        self.stats.last_kernel_seconds = seconds;
+        self.stats.kernel_seconds += seconds;
+        Ok(&self.last_launch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::DpuContext;
+
+    fn tiny_system() -> PimSystem {
+        PimSystem::new(
+            PimConfig::builder()
+                .dpus(8)
+                .mram_bytes(1 << 16)
+                .build(),
+        )
+    }
+
+    struct IdKernel;
+    impl Kernel for IdKernel {
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+            let id = ctx.dpu_id() as u32;
+            ctx.charge_alu(10 * (id as u64 + 1)); // skewed load
+            ctx.mram_write(0, &id.to_le_bytes())?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn alloc_respects_capacity() {
+        let mut sys = tiny_system();
+        assert!(sys.alloc(0).is_err());
+        let a = sys.alloc(5).unwrap();
+        assert_eq!(sys.available_dpus(), 3);
+        assert!(matches!(sys.alloc(4), Err(PimError::Alloc { .. })));
+        sys.free(a);
+        assert_eq!(sys.available_dpus(), 8);
+    }
+
+    #[test]
+    fn scatter_gather_round_trip() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        let parts: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 16]).collect();
+        set.scatter(0, &parts).unwrap();
+        let back = set.gather(0, 16).unwrap();
+        assert_eq!(back, parts);
+        assert_eq!(set.stats().cpu_to_pim_bytes, 64);
+        assert_eq!(set.stats().pim_to_cpu_bytes, 64);
+        assert!(set.stats().cpu_to_pim_seconds > 0.0);
+    }
+
+    #[test]
+    fn scatter_part_count_validated() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        let parts = vec![vec![0u8; 4]; 3];
+        assert!(matches!(
+            set.scatter(0, &parts),
+            Err(PimError::BadArgument(_))
+        ));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_dpus() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(3).unwrap();
+        set.broadcast(8, &[7u8; 8]).unwrap();
+        for dpu in 0..3 {
+            assert_eq!(set.copy_from(dpu, 8, 8).unwrap(), vec![7u8; 8]);
+        }
+    }
+
+    #[test]
+    fn launch_reports_skewed_load() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        set.launch(&IdKernel).unwrap();
+        let stats = set.last_launch();
+        assert_eq!(stats.dpus, 4);
+        assert_eq!(stats.max_cycles, 40 * 11 + set.config().cost.dma_cycles(4));
+        assert!(stats.imbalance() > 1.0);
+        // Each DPU wrote its id.
+        for dpu in 0..4 {
+            let bytes = set.copy_from(dpu, 0, 4).unwrap();
+            assert_eq!(u32::from_le_bytes(bytes.try_into().unwrap()), dpu as u32);
+        }
+    }
+
+    #[test]
+    fn kernel_fault_names_dpu() {
+        struct Faulty;
+        impl Kernel for Faulty {
+            fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                if ctx.dpu_id() == 2 {
+                    return Err(KernelError::Fault("boom".into()));
+                }
+                Ok(())
+            }
+        }
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        match set.launch(&Faulty) {
+            Err(PimError::Kernel { dpu, .. }) => assert_eq!(dpu, 2),
+            other => panic!("expected kernel fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(2).unwrap();
+        set.broadcast(0, &[1u8; 32]).unwrap();
+        set.launch(&IdKernel).unwrap();
+        assert_eq!(set.stats().launches, 1);
+        assert!(set.stats().total_seconds() > 0.0);
+        set.reset_stats();
+        assert_eq!(set.stats().launches, 0);
+        assert_eq!(set.stats().total_seconds(), 0.0);
+        assert!(set.ledger().records().is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-DPU memories: the MRAM DRAM bank and the WRAM scratchpad.
+//!
+//! On UPMEM hardware each DPU owns a 64-MB DRAM bank (MRAM) and a 64-KB
+//! SRAM scratchpad (WRAM). The DPU pipeline can only operate on WRAM;
+//! data moves between MRAM and WRAM through an explicit DMA engine with
+//! 8-byte granularity. The host can read and write MRAM (but not WRAM)
+//! while no kernel is running.
+//!
+//! Memories are allocated lazily: a bank only consumes host memory for the
+//! highest offset actually touched, which keeps thousand-DPU simulations
+//! affordable while still enforcing the capacity limits.
+
+use std::fmt;
+
+/// Error raised by out-of-range or misaligned memory accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The access extends past the bank capacity.
+    OutOfRange {
+        /// Attempted end offset of the access.
+        end: usize,
+        /// Capacity of the bank in bytes.
+        capacity: usize,
+        /// Which memory was accessed.
+        kind: MemoryKind,
+    },
+}
+
+/// Which memory an error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryKind {
+    /// The per-DPU DRAM bank.
+    Mram,
+    /// The per-DPU scratchpad.
+    Wram,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfRange {
+                end,
+                capacity,
+                kind,
+            } => {
+                let name = match kind {
+                    MemoryKind::Mram => "MRAM",
+                    MemoryKind::Wram => "WRAM",
+                };
+                write!(
+                    f,
+                    "{name} access ends at byte {end} but the bank holds {capacity} bytes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// A lazily-grown byte bank with a hard capacity.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    data: Vec<u8>,
+    capacity: usize,
+    kind: MemoryKind,
+}
+
+impl Bank {
+    /// Creates an empty bank with the given capacity.
+    pub fn new(capacity: usize, kind: MemoryKind) -> Self {
+        Self {
+            data: Vec::new(),
+            capacity,
+            kind,
+        }
+    }
+
+    /// Bank capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently backed by host memory (high-water mark).
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    fn check(&self, offset: usize, len: usize) -> Result<usize, MemoryError> {
+        let end = offset.checked_add(len).ok_or(MemoryError::OutOfRange {
+            end: usize::MAX,
+            capacity: self.capacity,
+            kind: self.kind,
+        })?;
+        if end > self.capacity {
+            return Err(MemoryError::OutOfRange {
+                end,
+                capacity: self.capacity,
+                kind: self.kind,
+            });
+        }
+        Ok(end)
+    }
+
+    /// Reads `dst.len()` bytes starting at `offset`. Unwritten bytes read
+    /// as zero, like freshly powered DRAM contents after host clearing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
+    pub fn read(&self, offset: usize, dst: &mut [u8]) -> Result<(), MemoryError> {
+        self.check(offset, dst.len())?;
+        let have = self.data.len().saturating_sub(offset);
+        let n = have.min(dst.len());
+        if n > 0 {
+            dst[..n].copy_from_slice(&self.data[offset..offset + n]);
+        }
+        dst[n..].fill(0);
+        Ok(())
+    }
+
+    /// Writes `src` starting at `offset`, growing the resident region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
+    pub fn write(&mut self, offset: usize, src: &[u8]) -> Result<(), MemoryError> {
+        let end = self.check(offset, src.len())?;
+        if end > self.data.len() {
+            self.data.resize(end, 0);
+        }
+        self.data[offset..end].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
+    pub fn read_u32(&self, offset: usize) -> Result<u32, MemoryError> {
+        let mut buf = [0u8; 4];
+        self.read(offset, &mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u32` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
+    pub fn write_u32(&mut self, offset: usize, value: u32) -> Result<(), MemoryError> {
+        self.write(offset, &value.to_le_bytes())
+    }
+}
+
+/// The per-DPU memory pair.
+#[derive(Debug, Clone)]
+pub struct DpuMemory {
+    /// The DRAM bank (host-visible, kernel-visible via DMA only).
+    pub mram: Bank,
+    /// The scratchpad (kernel-visible only).
+    pub wram: Bank,
+}
+
+impl DpuMemory {
+    /// Creates the memory pair with the given capacities.
+    pub fn new(mram_bytes: usize, wram_bytes: usize) -> Self {
+        Self {
+            mram: Bank::new(mram_bytes, MemoryKind::Mram),
+            wram: Bank::new(wram_bytes, MemoryKind::Wram),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_bytes_read_zero() {
+        let bank = Bank::new(64, MemoryKind::Mram);
+        let mut buf = [0xFFu8; 8];
+        bank.read(16, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+        assert_eq!(bank.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut bank = Bank::new(64, MemoryKind::Wram);
+        bank.write(8, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 6];
+        bank.read(7, &mut buf).unwrap();
+        assert_eq!(buf, [0, 1, 2, 3, 4, 0]);
+        assert_eq!(bank.resident_bytes(), 12);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut bank = Bank::new(16, MemoryKind::Mram);
+        assert!(bank.write(12, &[0u8; 8]).is_err());
+        let mut buf = [0u8; 8];
+        assert!(bank.read(9, &mut buf).is_err());
+        // Exactly at the boundary is fine.
+        assert!(bank.write(8, &[0u8; 8]).is_ok());
+    }
+
+    #[test]
+    fn offset_overflow_rejected() {
+        let bank = Bank::new(16, MemoryKind::Mram);
+        let mut buf = [0u8; 1];
+        assert!(bank.read(usize::MAX, &mut buf).is_err());
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut bank = Bank::new(32, MemoryKind::Wram);
+        bank.write_u32(4, 0xDEAD_BEEF).unwrap();
+        assert_eq!(bank.read_u32(4).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(bank.read_u32(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_display_names_memory() {
+        let e = MemoryError::OutOfRange {
+            end: 100,
+            capacity: 64,
+            kind: MemoryKind::Wram,
+        };
+        assert!(e.to_string().contains("WRAM"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Human-readable reports of launch statistics.
+//!
+//! The experiment binaries use these to show *why* a kernel costs what it
+//! does: the instruction-slot mix (native ALU vs WRAM vs control vs
+//! emulated integer vs emulated float) and the DMA traffic, per launch.
+
+use crate::config::PimConfig;
+use crate::stats::LaunchStats;
+use std::fmt;
+
+/// A formatted view of one launch's cost composition.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    stats: LaunchStats,
+    frequency_mhz: u64,
+}
+
+impl LaunchReport {
+    /// Builds a report from launch statistics and the platform clock.
+    pub fn new(stats: &LaunchStats, config: &PimConfig) -> Self {
+        Self {
+            stats: stats.clone(),
+            frequency_mhz: config.frequency_mhz,
+        }
+    }
+
+    /// Slot-share of each instruction class, in the order
+    /// (ALU, WRAM, control, int-emul, float-emul). Zero-work launches
+    /// report all zeros.
+    pub fn slot_shares(&self) -> [f64; 5] {
+        let m = &self.stats.merged;
+        let total = m.total_slots();
+        if total == 0 {
+            return [0.0; 5];
+        }
+        let t = total as f64;
+        [
+            m.alu_slots as f64 / t,
+            m.wram_slots as f64 / t,
+            m.control_slots as f64 / t,
+            m.int_emul_slots as f64 / t,
+            m.float_emul_slots as f64 / t,
+        ]
+    }
+
+    /// Fraction of the slowest DPU's cycles spent waiting on DMA.
+    pub fn dma_fraction(&self) -> f64 {
+        if self.stats.max_cycles == 0 {
+            return 0.0;
+        }
+        // DMA cycles are aggregated over DPUs; approximate the per-DPU
+        // share using the mean.
+        let per_dpu_dma = if self.stats.dpus == 0 {
+            0.0
+        } else {
+            self.stats.merged.dma_cycles as f64 / self.stats.dpus as f64
+        };
+        (per_dpu_dma / self.stats.max_cycles as f64).min(1.0)
+    }
+}
+
+impl fmt::Display for LaunchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.stats;
+        let [alu, wram, control, int_emul, float_emul] = self.slot_shares();
+        writeln!(
+            f,
+            "launch over {} DPUs @ {} MHz: {:.6}s ({} cycles max, imbalance {:.2})",
+            s.dpus,
+            self.frequency_mhz,
+            s.seconds,
+            s.max_cycles,
+            s.imbalance()
+        )?;
+        writeln!(
+            f,
+            "  slots: {:.1}% alu, {:.1}% wram, {:.1}% control, {:.1}% int-emul, {:.1}% float-emul",
+            alu * 100.0,
+            wram * 100.0,
+            control * 100.0,
+            int_emul * 100.0,
+            float_emul * 100.0
+        )?;
+        write!(
+            f,
+            "  emulation fraction {:.1}%, DMA {:.1}% of critical path ({} bytes)",
+            s.merged.emulation_fraction() * 100.0,
+            self.dma_fraction() * 100.0,
+            s.merged.dma_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CycleCounter;
+    use crate::cost::OpClass;
+
+    fn stats() -> LaunchStats {
+        let mut merged = CycleCounter::new();
+        merged.charge(OpClass::Alu, 50);
+        merged.charge(OpClass::FloatEmul, 150);
+        merged.charge_dma(1024, 500);
+        LaunchStats {
+            dpus: 2,
+            max_cycles: 2_500,
+            min_cycles: 2_000,
+            mean_cycles: 2_250.0,
+            seconds: 2_500.0 / 425.0e6,
+            merged,
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let report = LaunchReport::new(&stats(), &PimConfig::default());
+        let shares = report.slot_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[4] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_launch_reports_zeros() {
+        let report = LaunchReport::new(&LaunchStats::default(), &PimConfig::default());
+        assert_eq!(report.slot_shares(), [0.0; 5]);
+        assert_eq!(report.dma_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dma_fraction_bounded() {
+        let report = LaunchReport::new(&stats(), &PimConfig::default());
+        let f = report.dma_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        assert!((f - 250.0 / 2_500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let report = LaunchReport::new(&stats(), &PimConfig::default());
+        let text = report.to_string();
+        assert!(text.contains("DPUs"));
+        assert!(text.contains("float-emul"));
+        assert!(text.contains("DMA"));
+    }
+}

@@ -1,0 +1,738 @@
+//! Bit-accurate IEEE-754 binary32 software floating point.
+//!
+//! UPMEM DPUs have no floating-point unit: the runtime library emulates
+//! every FP operation with integer instructions, which is the paper's
+//! stated reason for the FP32 workloads' poor performance and for the
+//! INT32 fixed-point optimization (SwiftRL §3.2.1, §5). This module is the
+//! simulator's runtime library: each routine computes the exact IEEE-754
+//! round-to-nearest-even result using integer operations only, while
+//! tallying the primitive integer operations it executes into an
+//! [`OpTally`]. The tally is charged to the DPU as
+//! [`OpClass::FloatEmul`](crate::cost::OpClass) slots, so emulated floating
+//! point is *naturally* data-dependently expensive, exactly like the real
+//! runtime library ("tens to thousands of cycles").
+//!
+//! All functions operate on raw `u32` bit patterns so that kernels cannot
+//! accidentally fall back to host floating point.
+//!
+//! NaN results are canonicalized to the quiet NaN `0x7FC0_0000`; inputs
+//! with any NaN produce that canonical NaN. All other results (including
+//! signed zeros, subnormals and infinities) are bit-exact with hardware
+//! IEEE-754 arithmetic, which the property tests in `tests/softfloat.rs`
+//! verify against the host FPU.
+
+use crate::cost::OpTally;
+
+/// Canonical quiet NaN returned by all emulated operations.
+pub const QNAN: u32 = 0x7FC0_0000;
+/// Positive infinity bit pattern.
+pub const PLUS_INF: u32 = 0x7F80_0000;
+/// Negative infinity bit pattern.
+pub const MINUS_INF: u32 = 0xFF80_0000;
+
+const SIGN_MASK: u32 = 0x8000_0000;
+const EXP_MASK: u32 = 0x7F80_0000;
+const FRAC_MASK: u32 = 0x007F_FFFF;
+const IMPLICIT_BIT: u32 = 0x0080_0000;
+
+/// Returns `true` if `bits` encodes a NaN.
+#[inline]
+pub fn is_nan(bits: u32) -> bool {
+    (bits & EXP_MASK) == EXP_MASK && (bits & FRAC_MASK) != 0
+}
+
+/// Returns `true` if `bits` encodes ±∞.
+#[inline]
+pub fn is_inf(bits: u32) -> bool {
+    (bits & !SIGN_MASK) == PLUS_INF
+}
+
+/// Returns `true` if `bits` encodes ±0.
+#[inline]
+pub fn is_zero(bits: u32) -> bool {
+    (bits & !SIGN_MASK) == 0
+}
+
+#[inline]
+fn sign(bits: u32) -> u32 {
+    bits >> 31
+}
+
+#[inline]
+fn biased_exp(bits: u32) -> i32 {
+    ((bits & EXP_MASK) >> 23) as i32
+}
+
+#[inline]
+fn fraction(bits: u32) -> u32 {
+    bits & FRAC_MASK
+}
+
+/// Unpacks into (sign, exponent, significand-with-implicit-bit), treating
+/// subnormals as exponent 1 without the implicit bit. Must not be called
+/// on NaN/∞.
+#[inline]
+fn unpack_finite(bits: u32) -> (u32, i32, u32) {
+    let e = biased_exp(bits);
+    let f = fraction(bits);
+    if e == 0 {
+        (sign(bits), 1, f)
+    } else {
+        (sign(bits), e, f | IMPLICIT_BIT)
+    }
+}
+
+/// Right-shifts `m` by `amount`, OR-ing all shifted-out bits into the
+/// lowest result bit (sticky shift), as required by IEEE rounding.
+#[inline]
+fn shift_right_sticky(m: u32, amount: u32, t: &mut OpTally) -> u32 {
+    t.add(3);
+    if amount == 0 {
+        m
+    } else if amount >= 32 {
+        u32::from(m != 0)
+    } else {
+        let sticky = u32::from(m & ((1u32 << amount) - 1) != 0);
+        (m >> amount) | sticky
+    }
+}
+
+/// Rounds a significand carrying 3 extra GRS bits to nearest-even and packs
+/// the result. `exp` is the biased exponent of the (possibly denormalized)
+/// significand whose implicit bit, when present, sits at bit 26.
+fn round_and_pack(sign: u32, mut exp: i32, mut m: u32, t: &mut OpTally) -> u32 {
+    // Round to nearest, ties to even, on the low 3 bits.
+    t.add(6);
+    let grs = m & 0x7;
+    m >>= 3;
+    if grs > 4 || (grs == 4 && (m & 1) != 0) {
+        m += 1;
+        t.add(1);
+        if m == (1 << 24) {
+            // Rounding overflowed the significand: renormalize.
+            m >>= 1;
+            exp += 1;
+            t.add(2);
+        }
+    }
+    t.add(3);
+    if exp >= 255 {
+        return (sign << 31) | PLUS_INF;
+    }
+    if m & IMPLICIT_BIT == 0 {
+        // Subnormal (or zero): exponent field is 0. Reachable only when the
+        // normalization loop bottomed out at exp == 1.
+        debug_assert!(exp == 1 || m == 0);
+        return (sign << 31) | m;
+    }
+    (sign << 31) | ((exp as u32) << 23) | (m & FRAC_MASK)
+}
+
+/// Emulated IEEE-754 addition: `a + b` with round-to-nearest-even.
+pub fn f32_add(a: u32, b: u32, t: &mut OpTally) -> u32 {
+    // Unpack + classification overhead of the runtime routine.
+    t.add(10);
+    if is_nan(a) || is_nan(b) {
+        return QNAN;
+    }
+    if is_inf(a) {
+        t.add(2);
+        if is_inf(b) && sign(a) != sign(b) {
+            return QNAN;
+        }
+        return a;
+    }
+    if is_inf(b) {
+        return b;
+    }
+    if is_zero(b) {
+        t.add(2);
+        if is_zero(a) {
+            // (+0)+(+0)=+0, (-0)+(-0)=-0, mixed = +0 under RNE.
+            return a & b & SIGN_MASK;
+        }
+        return a;
+    }
+    if is_zero(a) {
+        return b;
+    }
+
+    let (sa, ea, ma) = unpack_finite(a);
+    let (sb, eb, mb) = unpack_finite(b);
+    t.add(8);
+
+    // 3 guard bits for rounding.
+    let mut ma = ma << 3;
+    let mut mb = mb << 3;
+    t.add(2);
+
+    // Align to the larger exponent.
+    let exp = if ea >= eb {
+        mb = shift_right_sticky(mb, (ea - eb) as u32, t);
+        ea
+    } else {
+        ma = shift_right_sticky(ma, (eb - ea) as u32, t);
+        eb
+    };
+    t.add(2);
+
+    let (rsign, mut m, mut exp) = if sa == sb {
+        t.add(1);
+        (sa, ma + mb, exp)
+    } else {
+        // Effective subtraction: larger magnitude wins the sign.
+        t.add(3);
+        if ma > mb {
+            (sa, ma - mb, exp)
+        } else if mb > ma {
+            (sb, mb - ma, exp)
+        } else {
+            // Exact cancellation: +0 under round-to-nearest.
+            return 0;
+        }
+    };
+
+    // Normalize. The aligned significand with implicit bit occupies bit 26;
+    // same-sign addition can carry into bit 27.
+    t.add(2);
+    if m & (1 << 27) != 0 {
+        let sticky = m & 1;
+        m = (m >> 1) | sticky;
+        exp += 1;
+        t.add(3);
+    } else {
+        while m & (1 << 26) == 0 && exp > 1 {
+            m <<= 1;
+            exp -= 1;
+            t.add(3);
+        }
+    }
+
+    round_and_pack(rsign, exp, m, t)
+}
+
+/// Emulated IEEE-754 subtraction: `a - b`.
+pub fn f32_sub(a: u32, b: u32, t: &mut OpTally) -> u32 {
+    t.add(1);
+    if is_nan(b) {
+        return QNAN;
+    }
+    f32_add(a, b ^ SIGN_MASK, t)
+}
+
+/// Multiplies two 24-bit significands into a 48-bit product using the
+/// DPU's native 8×8-bit multiply steps (nine partial products), tallying
+/// each step. This mirrors how the UPMEM runtime composes wide multiplies
+/// from `mul_step` instructions.
+fn mul24x24(a: u32, b: u32, t: &mut OpTally) -> u64 {
+    let mut acc: u64 = 0;
+    let mut shift_a = 0u32;
+    let mut aa = a;
+    while aa != 0 {
+        let byte_a = (aa & 0xFF) as u64;
+        let mut bb = b;
+        let mut shift_b = 0u32;
+        while bb != 0 {
+            let byte_b = (bb & 0xFF) as u64;
+            // mul8 + shift + 64-bit add (two 32-bit adds on the DPU).
+            acc += (byte_a * byte_b) << (shift_a + shift_b);
+            t.add(4);
+            bb >>= 8;
+            shift_b += 8;
+            t.add(2);
+        }
+        aa >>= 8;
+        shift_a += 8;
+        t.add(2);
+    }
+    acc
+}
+
+/// Emulated IEEE-754 multiplication: `a * b` with round-to-nearest-even.
+pub fn f32_mul(a: u32, b: u32, t: &mut OpTally) -> u32 {
+    t.add(10);
+    if is_nan(a) || is_nan(b) {
+        return QNAN;
+    }
+    let rsign = sign(a) ^ sign(b);
+    t.add(2);
+    if is_inf(a) || is_inf(b) {
+        t.add(2);
+        if is_zero(a) || is_zero(b) {
+            return QNAN; // 0 × ∞
+        }
+        return (rsign << 31) | PLUS_INF;
+    }
+    if is_zero(a) || is_zero(b) {
+        return rsign << 31;
+    }
+
+    let (_, ea, mut ma) = unpack_finite(a);
+    let (_, eb, mut mb) = unpack_finite(b);
+    t.add(8);
+
+    // Pre-normalize subnormal significands so the implicit bit is at 23.
+    let mut exp = ea + eb - 127;
+    while ma & IMPLICIT_BIT == 0 {
+        ma <<= 1;
+        exp -= 1;
+        t.add(3);
+    }
+    while mb & IMPLICIT_BIT == 0 {
+        mb <<= 1;
+        exp -= 1;
+        t.add(3);
+    }
+
+    // 24×24 → 48-bit product; top bit at 47 or 46.
+    let prod = mul24x24(ma, mb, t);
+    t.add(4);
+
+    // Reduce to a 27-bit significand (24 + 3 GRS) with sticky.
+    let (mut m, mut exp) = if prod & (1u64 << 47) != 0 {
+        // Keep bits [47..21]; sticky from bits [20..0].
+        let sticky = u64::from(prod & ((1u64 << 21) - 1) != 0);
+        (((prod >> 21) | sticky) as u32, exp + 1)
+    } else {
+        let sticky = u64::from(prod & ((1u64 << 20) - 1) != 0);
+        (((prod >> 20) | sticky) as u32, exp)
+    };
+    t.add(4);
+
+    // Underflow toward subnormal: shift right until exp reaches 1.
+    if exp < 1 {
+        let shift = (1 - exp) as u32;
+        m = shift_right_sticky(m, shift, t);
+        exp = 1;
+        t.add(2);
+    }
+
+    round_and_pack(rsign, exp, m, t)
+}
+
+/// Emulated IEEE-754 division: `a / b` with round-to-nearest-even.
+///
+/// Uses a bit-at-a-time restoring division over the significands, as the
+/// runtime library does — by far the slowest emulated operation.
+pub fn f32_div(a: u32, b: u32, t: &mut OpTally) -> u32 {
+    t.add(10);
+    if is_nan(a) || is_nan(b) {
+        return QNAN;
+    }
+    let rsign = sign(a) ^ sign(b);
+    t.add(2);
+    if is_inf(a) {
+        t.add(1);
+        if is_inf(b) {
+            return QNAN;
+        }
+        return (rsign << 31) | PLUS_INF;
+    }
+    if is_inf(b) {
+        return rsign << 31;
+    }
+    if is_zero(b) {
+        t.add(1);
+        if is_zero(a) {
+            return QNAN; // 0 / 0
+        }
+        return (rsign << 31) | PLUS_INF;
+    }
+    if is_zero(a) {
+        return rsign << 31;
+    }
+
+    let (_, ea, mut ma) = unpack_finite(a);
+    let (_, eb, mut mb) = unpack_finite(b);
+    t.add(8);
+
+    let mut exp = ea - eb + 127;
+    while ma & IMPLICIT_BIT == 0 {
+        ma <<= 1;
+        exp -= 1;
+        t.add(3);
+    }
+    // Normalizing the divisor shrinks it, so the quotient grows.
+    while mb & IMPLICIT_BIT == 0 {
+        mb <<= 1;
+        exp += 1;
+        t.add(3);
+    }
+
+    // Long division producing 24 quotient bits + guard/round, plus sticky
+    // from any remainder.
+    let mut rem = (ma as u64) << 26; // numerator with room for 26 quotient bits
+    let den = (mb as u64) << 26;
+    let mut q: u32 = 0;
+    // Normalize quotient position: ma/mb ∈ [0.5, 2).
+    if (ma as u64) < (mb as u64) {
+        exp -= 1;
+        rem <<= 1;
+        t.add(2);
+    }
+    for _ in 0..26 {
+        q <<= 1;
+        if rem >= den {
+            rem -= den;
+            q |= 1;
+            t.add(2);
+        }
+        rem <<= 1;
+        t.add(4);
+    }
+    let sticky = u32::from(rem != 0);
+    let mut m = (q << 1) | sticky; // 26 bits + sticky = 27-bit GRS form
+    t.add(3);
+
+    if exp < 1 {
+        let shift = (1 - exp) as u32;
+        m = shift_right_sticky(m, shift, t);
+        exp = 1;
+        t.add(2);
+    }
+
+    round_and_pack(rsign, exp, m, t)
+}
+
+/// Total ordering comparison used by the emulated relational operators.
+/// Returns `None` when either operand is NaN (all comparisons false).
+pub fn f32_cmp(a: u32, b: u32, t: &mut OpTally) -> Option<core::cmp::Ordering> {
+    t.add(8);
+    if is_nan(a) || is_nan(b) {
+        return None;
+    }
+    if is_zero(a) && is_zero(b) {
+        return Some(core::cmp::Ordering::Equal);
+    }
+    // Flip negative values to make the bit patterns totally ordered.
+    let ka = if a & SIGN_MASK != 0 { !a } else { a | SIGN_MASK };
+    let kb = if b & SIGN_MASK != 0 { !b } else { b | SIGN_MASK };
+    t.add(4);
+    Some(ka.cmp(&kb))
+}
+
+/// Emulated `a > b` (false on NaN).
+pub fn f32_gt(a: u32, b: u32, t: &mut OpTally) -> bool {
+    matches!(f32_cmp(a, b, t), Some(core::cmp::Ordering::Greater))
+}
+
+/// Emulated `a < b` (false on NaN).
+pub fn f32_lt(a: u32, b: u32, t: &mut OpTally) -> bool {
+    matches!(f32_cmp(a, b, t), Some(core::cmp::Ordering::Less))
+}
+
+/// IEEE-754 `maxNum`-style maximum: propagates the non-NaN operand,
+/// canonical NaN if both are NaN, and prefers +0 over −0.
+pub fn f32_max(a: u32, b: u32, t: &mut OpTally) -> u32 {
+    t.add(4);
+    match (is_nan(a), is_nan(b)) {
+        (true, true) => QNAN,
+        (true, false) => b,
+        (false, true) => a,
+        (false, false) => match f32_cmp(a, b, t) {
+            Some(core::cmp::Ordering::Less) => b,
+            Some(core::cmp::Ordering::Equal) => {
+                // max(+0, -0) = +0 by sign preference.
+                if sign(a) == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            _ => a,
+        },
+    }
+}
+
+/// Converts a signed 32-bit integer to the nearest f32 (RNE), emulated.
+pub fn i32_to_f32(v: i32, t: &mut OpTally) -> u32 {
+    t.add(4);
+    if v == 0 {
+        return 0;
+    }
+    let sign = u32::from(v < 0);
+    let mag = v.unsigned_abs();
+    t.add(3);
+    // Position of the leading one (DPU has a native clz).
+    let lz = mag.leading_zeros();
+    let msb = 31 - lz;
+    t.add(2);
+    let exp = 127 + msb as i32;
+    // Build a 27-bit (24 + GRS) significand with the leading one at bit 26.
+    let m = if msb <= 26 {
+        t.add(1);
+        mag << (26 - msb)
+    } else {
+        shift_right_sticky(mag, msb - 26, t)
+    };
+    round_and_pack(sign, exp, m, t)
+}
+
+/// Converts an f32 to i32 with truncation toward zero (C semantics),
+/// saturating on overflow and returning 0 for NaN, emulated.
+pub fn f32_to_i32(bits: u32, t: &mut OpTally) -> i32 {
+    t.add(6);
+    if is_nan(bits) {
+        return 0;
+    }
+    let neg = sign(bits) == 1;
+    let e = biased_exp(bits);
+    if e < 127 {
+        // |x| < 1 truncates to 0 (covers zeros and subnormals).
+        return 0;
+    }
+    let exp = e - 127;
+    t.add(4);
+    if exp >= 31 {
+        // Saturate like the runtime conversion helpers do; also covers ∞.
+        // i32::MIN is exactly representable, so accept exp == 31 for it.
+        if neg && exp == 31 && fraction(bits) == 0 && !is_inf(bits) {
+            return i32::MIN;
+        }
+        return if neg { i32::MIN } else { i32::MAX };
+    }
+    let m = fraction(bits) | IMPLICIT_BIT;
+    t.add(3);
+    let mag = if exp >= 23 {
+        (m as u64) << (exp - 23)
+    } else {
+        (m >> (23 - exp)) as u64
+    };
+    t.add(2);
+    let val = mag as i64;
+    if neg {
+        (-val) as i32
+    } else {
+        val as i32
+    }
+}
+
+/// Emulated negation (sign-bit flip; NaN is canonicalized).
+pub fn f32_neg(a: u32, t: &mut OpTally) -> u32 {
+    t.add(1);
+    if is_nan(a) {
+        return QNAN;
+    }
+    a ^ SIGN_MASK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> OpTally {
+        OpTally::new()
+    }
+
+    fn add_f(a: f32, b: f32) -> f32 {
+        f32::from_bits(f32_add(a.to_bits(), b.to_bits(), &mut t()))
+    }
+
+    fn mul_f(a: f32, b: f32) -> f32 {
+        f32::from_bits(f32_mul(a.to_bits(), b.to_bits(), &mut t()))
+    }
+
+    fn div_f(a: f32, b: f32) -> f32 {
+        f32::from_bits(f32_div(a.to_bits(), b.to_bits(), &mut t()))
+    }
+
+    fn assert_bits_eq(ours: f32, host: f32) {
+        assert_eq!(
+            ours.to_bits(),
+            host.to_bits(),
+            "ours={ours} ({:#010x}) host={host} ({:#010x})",
+            ours.to_bits(),
+            host.to_bits()
+        );
+    }
+
+    #[test]
+    fn add_simple_cases() {
+        for (a, b) in [
+            (1.0f32, 2.0f32),
+            (0.1, 0.2),
+            (1.5e-3, -2.5e-3),
+            (3.4e38, 3.4e38),
+            (1.0, -1.0),
+            (-0.0, 0.0),
+            (1e-40, 1e-40),
+            (1.0, 1e-30),
+            (123456.78, -123456.70),
+        ] {
+            assert_bits_eq(add_f(a, b), a + b);
+        }
+    }
+
+    #[test]
+    fn add_signed_zero_rules() {
+        assert_eq!(add_f(0.0, -0.0).to_bits(), 0);
+        assert_eq!(add_f(-0.0, -0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(add_f(1.0, -1.0).to_bits(), 0);
+    }
+
+    #[test]
+    fn add_infinities() {
+        assert_eq!(add_f(f32::INFINITY, 1.0), f32::INFINITY);
+        assert_eq!(add_f(f32::NEG_INFINITY, -1.0), f32::NEG_INFINITY);
+        assert!(add_f(f32::INFINITY, f32::NEG_INFINITY).is_nan());
+    }
+
+    #[test]
+    fn add_nan_propagates_canonical() {
+        assert_eq!(f32_add(QNAN, 0x3F80_0000, &mut t()), QNAN);
+        assert_eq!(f32_add(0x3F80_0000, 0x7FC0_0001, &mut t()), QNAN);
+    }
+
+    #[test]
+    fn add_overflow_to_infinity() {
+        assert_eq!(add_f(f32::MAX, f32::MAX), f32::INFINITY);
+        assert_eq!(add_f(f32::MIN, f32::MIN), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mul_simple_cases() {
+        for (a, b) in [
+            (1.0f32, 2.0f32),
+            (0.1, 0.95),
+            (-3.25, 7.5),
+            (1e-20, 1e-20),
+            (1e20, 1e20),
+            (1.0000001, 0.9999999),
+            (6.0e-39, 0.5), // subnormal result
+            (1.2e-38, 1e-5),
+        ] {
+            assert_bits_eq(mul_f(a, b), a * b);
+        }
+    }
+
+    #[test]
+    fn mul_special_values() {
+        assert!(mul_f(0.0, f32::INFINITY).is_nan());
+        assert_eq!(mul_f(-2.0, f32::INFINITY), f32::NEG_INFINITY);
+        assert_eq!(mul_f(-0.0, 5.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(mul_f(1e30, 1e30), f32::INFINITY);
+    }
+
+    #[test]
+    fn mul_subnormal_operands() {
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        assert_bits_eq(mul_f(tiny, 2.0), tiny * 2.0);
+        assert_bits_eq(mul_f(tiny, 0.5), tiny * 0.5);
+        let sub = f32::from_bits(0x0000_1234);
+        assert_bits_eq(mul_f(sub, 1024.0), sub * 1024.0);
+    }
+
+    #[test]
+    fn div_simple_cases() {
+        for (a, b) in [
+            (1.0f32, 3.0f32),
+            (10.0, 4.0),
+            (-7.0, 2.0),
+            (1.0, 10000.0),
+            (0.1, 0.95),
+            (1e30, 1e-10),
+            (5.0e-39, 2.0),
+        ] {
+            assert_bits_eq(div_f(a, b), a / b);
+        }
+    }
+
+    #[test]
+    fn div_special_values() {
+        assert!(div_f(0.0, 0.0).is_nan());
+        assert!(div_f(f32::INFINITY, f32::INFINITY).is_nan());
+        assert_eq!(div_f(1.0, 0.0), f32::INFINITY);
+        assert_eq!(div_f(-1.0, 0.0), f32::NEG_INFINITY);
+        assert_eq!(div_f(1.0, f32::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn cmp_matches_host() {
+        let vals = [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            1e-40,
+            -1e-40,
+            3.5,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let ours = f32_cmp(a.to_bits(), b.to_bits(), &mut t());
+                assert_eq!(ours, a.partial_cmp(&b), "cmp({a}, {b})");
+            }
+        }
+        assert_eq!(f32_cmp(QNAN, 0, &mut t()), None);
+    }
+
+    #[test]
+    fn max_prefers_non_nan_and_positive_zero() {
+        assert_eq!(f32_max(QNAN, 0x3F80_0000, &mut t()), 0x3F80_0000);
+        assert_eq!(f32_max(0x3F80_0000, QNAN, &mut t()), 0x3F80_0000);
+        assert_eq!(f32_max(QNAN, QNAN, &mut t()), QNAN);
+        let pz = 0.0f32.to_bits();
+        let nz = (-0.0f32).to_bits();
+        assert_eq!(f32_max(nz, pz, &mut t()), pz);
+        assert_eq!(f32_max(pz, nz, &mut t()), pz);
+    }
+
+    #[test]
+    fn i32_conversion_round_trip() {
+        for v in [
+            0i32,
+            1,
+            -1,
+            42,
+            -9999,
+            10_000,
+            16_777_216,
+            16_777_217, // rounds: not exactly representable
+            i32::MAX,
+            i32::MIN,
+        ] {
+            let ours = f32::from_bits(i32_to_f32(v, &mut t()));
+            assert_bits_eq(ours, v as f32);
+        }
+    }
+
+    #[test]
+    fn f32_to_i32_truncates() {
+        for v in [0.0f32, 0.9, -0.9, 1.5, -1.5, 12345.678, -12345.678, 2.0e9] {
+            assert_eq!(f32_to_i32(v.to_bits(), &mut t()), v as i32, "conv {v}");
+        }
+        assert_eq!(f32_to_i32(QNAN, &mut t()), 0);
+        assert_eq!(f32_to_i32(PLUS_INF, &mut t()), i32::MAX);
+        assert_eq!(f32_to_i32(MINUS_INF, &mut t()), i32::MIN);
+        assert_eq!(f32_to_i32((-2.147483648e9f32).to_bits(), &mut t()), i32::MIN);
+    }
+
+    #[test]
+    fn ops_are_tallied() {
+        let mut tally = OpTally::new();
+        f32_mul(0.1f32.to_bits(), 0.95f32.to_bits(), &mut tally);
+        let mul_cost = tally.count();
+        assert!(mul_cost > 30, "fp mul should be expensive, got {mul_cost}");
+
+        let mut tally = OpTally::new();
+        f32_add(1.0f32.to_bits(), 2.0f32.to_bits(), &mut tally);
+        let add_cost = tally.count();
+        assert!(add_cost > 15, "fp add should cost real work, got {add_cost}");
+
+        let mut tally = OpTally::new();
+        f32_div(1.0f32.to_bits(), 3.0f32.to_bits(), &mut tally);
+        let div_cost = tally.count();
+        assert!(
+            div_cost > mul_cost,
+            "div ({div_cost}) should out-cost mul ({mul_cost})"
+        );
+    }
+
+    #[test]
+    fn neg_flips_sign() {
+        assert_eq!(f32_neg(1.0f32.to_bits(), &mut t()), (-1.0f32).to_bits());
+        assert_eq!(f32_neg(QNAN, &mut t()), QNAN);
+    }
+}

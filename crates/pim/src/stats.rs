@@ -1,0 +1,106 @@
+//! Execution statistics reported by the host interface.
+
+use crate::cost::CycleCounter;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a single kernel launch across a DPU set.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// Number of DPUs that executed the kernel.
+    pub dpus: usize,
+    /// Cycles of the slowest DPU (determines launch latency).
+    pub max_cycles: u64,
+    /// Cycles of the fastest DPU.
+    pub min_cycles: u64,
+    /// Mean cycles across DPUs.
+    pub mean_cycles: f64,
+    /// Launch latency in seconds (`max_cycles / f_clk`).
+    pub seconds: f64,
+    /// Merged per-class instruction accounting over all DPUs.
+    pub merged: CycleCounter,
+}
+
+impl LaunchStats {
+    /// Load imbalance: slowest DPU cycles over mean cycles (1.0 = perfectly
+    /// balanced). Returns 1.0 for an empty launch.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_cycles <= 0.0 {
+            return 1.0;
+        }
+        self.max_cycles as f64 / self.mean_cycles
+    }
+}
+
+/// Cumulative statistics of a [`DpuSet`](crate::host::DpuSet).
+///
+/// Groups the four time components the paper's figures break execution
+/// into: PIM kernel time, CPU→PIM transfer, PIM→CPU transfer; inter-PIM
+/// synchronization (which is host-mediated) is accounted by the
+/// orchestration layer on top using these same transfer primitives.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// Number of kernel launches performed.
+    pub launches: u64,
+    /// Seconds of the most recent launch.
+    pub last_kernel_seconds: f64,
+    /// Total PIM kernel seconds across launches.
+    pub kernel_seconds: f64,
+    /// Total CPU→PIM transfer seconds (includes the one-time program
+    /// load, also reported separately in `program_load_seconds`).
+    pub cpu_to_pim_seconds: f64,
+    /// One-time DPU program-load seconds (subset of `cpu_to_pim_seconds`).
+    pub program_load_seconds: f64,
+    /// Total PIM→CPU transfer seconds.
+    pub pim_to_cpu_seconds: f64,
+    /// Total bytes moved CPU→PIM.
+    pub cpu_to_pim_bytes: u64,
+    /// Total bytes moved PIM→CPU.
+    pub pim_to_cpu_bytes: u64,
+}
+
+impl SystemStats {
+    /// Total modelled seconds (kernel + both transfer directions).
+    pub fn total_seconds(&self) -> f64 {
+        self.kernel_seconds + self.cpu_to_pim_seconds + self.pim_to_cpu_seconds
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = SystemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_empty_launch_is_one() {
+        let s = LaunchStats::default();
+        assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_reflects_skew() {
+        let s = LaunchStats {
+            dpus: 2,
+            max_cycles: 200,
+            min_cycles: 100,
+            mean_cycles: 150.0,
+            seconds: 0.0,
+            merged: CycleCounter::new(),
+        };
+        assert!((s.imbalance() - 200.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_seconds_sums_components() {
+        let mut s = SystemStats::default();
+        s.kernel_seconds = 1.0;
+        s.cpu_to_pim_seconds = 0.25;
+        s.pim_to_cpu_seconds = 0.5;
+        assert!((s.total_seconds() - 1.75).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.total_seconds(), 0.0);
+    }
+}

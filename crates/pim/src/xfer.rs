@@ -1,0 +1,110 @@
+//! CPU↔PIM transfer bookkeeping.
+//!
+//! The cost formulas live in [`crate::config::TransferModel`]; this module
+//! provides the direction type and a ledger that the host interface uses
+//! to attribute time and bytes to the paper's breakdown categories
+//! (CPU-PIM setup, PIM-CPU retrieval).
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a host transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Host main memory → PIM MRAM banks (dataset loading, broadcasts).
+    CpuToPim,
+    /// PIM MRAM banks → host main memory (result retrieval, gathers).
+    PimToCpu,
+}
+
+/// A single recorded transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Direction of the transfer.
+    pub direction: Direction,
+    /// Total bytes moved (summed over all DPUs involved).
+    pub bytes: u64,
+    /// Number of DPUs involved.
+    pub dpus: usize,
+    /// Modelled duration in seconds.
+    pub seconds: f64,
+}
+
+/// Accumulates transfer records for a DPU set.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransferLedger {
+    records: Vec<TransferRecord>,
+}
+
+impl TransferLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, record: TransferRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in order.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Total seconds spent in the given direction.
+    pub fn seconds(&self, direction: Direction) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.direction == direction)
+            .map(|r| r.seconds)
+            .sum()
+    }
+
+    /// Total bytes moved in the given direction.
+    pub fn bytes(&self, direction: Direction) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.direction == direction)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Clears all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_sums_by_direction() {
+        let mut ledger = TransferLedger::new();
+        ledger.record(TransferRecord {
+            direction: Direction::CpuToPim,
+            bytes: 100,
+            dpus: 4,
+            seconds: 0.5,
+        });
+        ledger.record(TransferRecord {
+            direction: Direction::PimToCpu,
+            bytes: 40,
+            dpus: 4,
+            seconds: 0.2,
+        });
+        ledger.record(TransferRecord {
+            direction: Direction::CpuToPim,
+            bytes: 10,
+            dpus: 1,
+            seconds: 0.1,
+        });
+        assert_eq!(ledger.bytes(Direction::CpuToPim), 110);
+        assert_eq!(ledger.bytes(Direction::PimToCpu), 40);
+        assert!((ledger.seconds(Direction::CpuToPim) - 0.6).abs() < 1e-12);
+        assert_eq!(ledger.records().len(), 3);
+        ledger.clear();
+        assert!(ledger.records().is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the integer runtime-library emulation.
+
+use proptest::prelude::*;
+use swiftrl_pim::cost::OpTally;
+use swiftrl_pim::emul;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn umul_wide_exact(a in any::<u32>(), b in any::<u32>()) {
+        let mut t = OpTally::new();
+        prop_assert_eq!(emul::umul32_wide(a, b, &mut t), a as u64 * b as u64);
+    }
+
+    #[test]
+    fn imul_wide_exact(a in any::<i32>(), b in any::<i32>()) {
+        let mut t = OpTally::new();
+        prop_assert_eq!(emul::imul32_wide(a, b, &mut t), a as i64 * b as i64);
+    }
+
+    #[test]
+    fn imul_wraps_like_c(a in any::<i32>(), b in any::<i32>()) {
+        let mut t = OpTally::new();
+        prop_assert_eq!(emul::imul32(a, b, &mut t), a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn udiv_exact(n in any::<u32>(), d in 1u32..) {
+        let mut t = OpTally::new();
+        prop_assert_eq!(emul::udiv32(n, d, &mut t), (n / d, n % d));
+    }
+
+    #[test]
+    fn idiv_exact(n in any::<i32>(), d in any::<i32>()) {
+        prop_assume!(d != 0);
+        prop_assume!(!(n == i32::MIN && d == -1)); // UB in C, overflow here
+        let mut t = OpTally::new();
+        prop_assert_eq!(emul::idiv32(n, d, &mut t), (n / d, n % d));
+    }
+
+    #[test]
+    fn udiv64_exact(n in any::<u64>(), d in 1u32..) {
+        let mut t = OpTally::new();
+        prop_assert_eq!(emul::udiv64(n, d, &mut t), (n / d as u64, (n % d as u64) as u32));
+    }
+
+    #[test]
+    fn idiv64_exact(n in any::<i64>(), d in any::<i32>()) {
+        prop_assume!(d != 0);
+        prop_assume!(n != i64::MIN);
+        let mut t = OpTally::new();
+        prop_assert_eq!(emul::idiv64(n, d, &mut t), n / d as i64);
+    }
+
+    #[test]
+    fn lcg_below_uniform_bound(seed in any::<u32>(), bound in 1u32..) {
+        let mut rng = emul::Lcg32::new(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn mul_cost_monotone_in_smaller_operand_bits(a in 1u32.., shift in 0u32..31) {
+        // Cost of multiplying by a k-bit operand grows with k.
+        let small = a >> shift.max(16);
+        prop_assume!(small > 0);
+        let mut t_small = OpTally::new();
+        emul::umul32_wide(small, u32::MAX, &mut t_small);
+        let mut t_big = OpTally::new();
+        emul::umul32_wide(u32::MAX, u32::MAX, &mut t_big);
+        prop_assert!(t_small.count() <= t_big.count());
+    }
+}

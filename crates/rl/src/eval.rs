@@ -1,0 +1,170 @@
+//! Policy evaluation: greedy rollouts and mean reward (§4.2's metric).
+//!
+//! The paper reports "average mean reward for 1,000 episodes" of the
+//! trained (aggregated) Q-table, played greedily in the live environment.
+
+use crate::qtable::{FixedQTable, QTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use swiftrl_env::DiscreteEnv;
+
+/// Summary statistics of an evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Episodes played.
+    pub episodes: u32,
+    /// Mean episodic return.
+    pub mean_reward: f64,
+    /// Standard deviation of episodic returns.
+    pub std_reward: f64,
+    /// Minimum episodic return.
+    pub min_reward: f64,
+    /// Maximum episodic return.
+    pub max_reward: f64,
+    /// Mean episode length in steps.
+    pub mean_length: f64,
+}
+
+/// Plays `episodes` greedy episodes with an FP32 Q-table.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `episodes == 0` or the Q-table shape does not match the
+/// environment's spaces.
+pub fn evaluate_greedy<E: DiscreteEnv + ?Sized>(
+    env: &mut E,
+    q: &QTable,
+    episodes: u32,
+    seed: u64,
+) -> EvalStats {
+    assert_eq!(q.num_states(), env.num_states(), "Q-table/env state mismatch");
+    assert_eq!(q.num_actions(), env.num_actions(), "Q-table/env action mismatch");
+    evaluate_with(env, episodes, seed, |s| q.greedy_action(s))
+}
+
+/// Plays `episodes` greedy episodes with a fixed-point Q-table.
+///
+/// # Panics
+///
+/// Panics if `episodes == 0` or the Q-table shape does not match the
+/// environment's spaces.
+pub fn evaluate_greedy_fixed<E: DiscreteEnv + ?Sized>(
+    env: &mut E,
+    q: &FixedQTable,
+    episodes: u32,
+    seed: u64,
+) -> EvalStats {
+    assert_eq!(q.num_states(), env.num_states(), "Q-table/env state mismatch");
+    assert_eq!(q.num_actions(), env.num_actions(), "Q-table/env action mismatch");
+    evaluate_with(env, episodes, seed, |s| q.greedy_action(s))
+}
+
+/// Plays `episodes` episodes selecting actions with `policy(state)`.
+///
+/// # Panics
+///
+/// Panics if `episodes == 0`.
+pub fn evaluate_with<E, F>(env: &mut E, episodes: u32, seed: u64, mut policy: F) -> EvalStats
+where
+    E: DiscreteEnv + ?Sized,
+    F: FnMut(swiftrl_env::State) -> swiftrl_env::Action,
+{
+    assert!(episodes > 0, "need at least one evaluation episode");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut returns = Vec::with_capacity(episodes as usize);
+    let mut total_len = 0u64;
+    for _ in 0..episodes {
+        let mut state = env.reset(&mut rng);
+        let mut ret = 0.0f64;
+        loop {
+            let step = env.step(policy(state), &mut rng);
+            ret += step.reward as f64;
+            total_len += 1;
+            if step.done {
+                break;
+            }
+            state = step.next_state;
+        }
+        returns.push(ret);
+    }
+    let n = returns.len() as f64;
+    let mean = returns.iter().sum::<f64>() / n;
+    let var = returns.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+    EvalStats {
+        episodes,
+        mean_reward: mean,
+        std_reward: var.sqrt(),
+        min_reward: returns.iter().copied().fold(f64::INFINITY, f64::min),
+        max_reward: returns.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        mean_length: total_len as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftrl_env::cliff_walking::CliffWalking;
+    use swiftrl_env::frozen_lake::FrozenLake;
+    use swiftrl_env::{Action, State};
+
+    /// Hand-built optimal deterministic FrozenLake policy table.
+    fn good_table_for_deterministic_lake() -> QTable {
+        let mut q = QTable::zeros(16, 4);
+        // Route 0→4→8→9→10→14→15 avoiding holes (down/right moves).
+        for (s, a) in [(0u32, 1u32), (4, 1), (8, 2), (9, 2), (10, 1), (14, 2)] {
+            q.set(State(s), Action(a), 1.0);
+        }
+        q
+    }
+
+    #[test]
+    fn optimal_policy_scores_one_on_deterministic_lake() {
+        let mut env = FrozenLake::deterministic_4x4();
+        let q = good_table_for_deterministic_lake();
+        let stats = evaluate_greedy(&mut env, &q, 50, 1);
+        assert_eq!(stats.mean_reward, 1.0);
+        assert_eq!(stats.min_reward, 1.0);
+        assert_eq!(stats.mean_length, 6.0);
+        assert_eq!(stats.std_reward, 0.0);
+    }
+
+    #[test]
+    fn zero_table_fails_on_cliff_walking_within_cap() {
+        // All-zero table always picks action 0 (up); the agent wanders and
+        // hits the step cap with a very negative return.
+        let mut env = CliffWalking::with_step_cap(50);
+        let q = QTable::zeros(48, 4);
+        let stats = evaluate_greedy(&mut env, &q, 5, 2);
+        assert!(stats.mean_reward <= -50.0);
+    }
+
+    #[test]
+    fn fixed_and_float_evaluate_identically_for_equivalent_tables() {
+        let mut env = FrozenLake::deterministic_4x4();
+        let q = good_table_for_deterministic_lake();
+        let f = q.to_fixed(crate::fixed::FixedScale::paper());
+        let a = evaluate_greedy(&mut env, &q, 20, 3);
+        let b = evaluate_greedy_fixed(&mut env, &f, 20, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut env = FrozenLake::slippery_4x4();
+        let q = good_table_for_deterministic_lake();
+        let a = evaluate_greedy(&mut env, &q, 100, 5);
+        let b = evaluate_greedy(&mut env, &q, 100, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "state mismatch")]
+    fn shape_mismatch_rejected() {
+        let mut env = FrozenLake::slippery_4x4();
+        let q = QTable::zeros(48, 4);
+        evaluate_greedy(&mut env, &q, 1, 0);
+    }
+}

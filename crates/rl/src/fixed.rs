@@ -1,0 +1,127 @@
+//! Fixed-point scaling: the paper's INT32 optimization.
+//!
+//! Real PIM cores only support limited-precision arithmetic natively, so
+//! SwiftRL replaces FP32 Q-value updates with 32-bit fixed point: reward,
+//! learning rate and discount factor are scaled up by a constant factor
+//! of 10,000 ("chosen to prevent overflow and underflow errors while
+//! ensuring sufficient precision", §3.2.1), products are descaled after
+//! each update, and values are converted back to FP32 only when the
+//! partial results leave the PIM cores.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's constant scale factor.
+pub const PAPER_SCALE: i32 = 10_000;
+
+/// A fixed-point format: values are stored as `round(x * scale)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedScale {
+    scale: i32,
+}
+
+impl Default for FixedScale {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl FixedScale {
+    /// The paper's scale factor, 10,000.
+    pub fn paper() -> Self {
+        Self { scale: PAPER_SCALE }
+    }
+
+    /// A custom positive scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0`.
+    pub fn new(scale: i32) -> Self {
+        assert!(scale > 0, "scale factor must be positive");
+        Self { scale }
+    }
+
+    /// The raw scale factor.
+    #[inline]
+    pub fn factor(self) -> i32 {
+        self.scale
+    }
+
+    /// Encodes a float into fixed point (round to nearest).
+    #[inline]
+    pub fn to_fixed(self, x: f32) -> i32 {
+        (x * self.scale as f32).round() as i32
+    }
+
+    /// Decodes fixed point back to a float.
+    #[inline]
+    pub fn to_float(self, v: i32) -> f32 {
+        v as f32 / self.scale as f32
+    }
+
+    /// Fixed-point multiply with descaling: `(a * b) / scale`, computed in
+    /// 64 bits exactly as the INT32 kernels do.
+    #[inline]
+    pub fn mul(self, a: i32, b: i32) -> i32 {
+        ((a as i64 * b as i64) / self.scale as i64) as i32
+    }
+
+    /// Quantization step of this format (the largest representation error
+    /// of a single value is half of this).
+    pub fn resolution(self) -> f32 {
+        1.0 / self.scale as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_ten_thousand() {
+        assert_eq!(FixedScale::paper().factor(), 10_000);
+        assert_eq!(PAPER_SCALE, 10_000);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_resolution() {
+        let s = FixedScale::paper();
+        for &x in &[0.0f32, 1.0, -1.0, 0.1, 0.95, 19.87, -123.456] {
+            let err = (s.to_float(s.to_fixed(x)) - x).abs();
+            assert!(err <= s.resolution() / 2.0 + 1e-6, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn paper_constants_encode_exactly() {
+        let s = FixedScale::paper();
+        assert_eq!(s.to_fixed(0.1), 1_000); // alpha
+        assert_eq!(s.to_fixed(0.95), 9_500); // gamma
+        assert_eq!(s.to_fixed(1.0), 10_000); // FrozenLake goal reward
+        assert_eq!(s.to_fixed(-10.0), -100_000); // Taxi illegal action
+        assert_eq!(s.to_fixed(20.0), 200_000); // Taxi drop-off
+    }
+
+    #[test]
+    fn fixed_mul_descales() {
+        let s = FixedScale::paper();
+        // 0.95 * 2.0 = 1.9
+        assert_eq!(s.mul(9_500, 20_000), 19_000);
+        // Sign handling: -0.5 * 0.1 = -0.05
+        assert_eq!(s.mul(-5_000, 1_000), -500);
+    }
+
+    #[test]
+    fn mul_uses_wide_intermediate() {
+        let s = FixedScale::paper();
+        // 400.0 * 0.95 would overflow i32 in the raw product
+        // (4_000_000 * 9_500 = 3.8e10) but must compute exactly.
+        assert_eq!(s.mul(4_000_000, 9_500), 3_800_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_scale_rejected() {
+        FixedScale::new(0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Action-selection policies over Q-tables.
+
+use crate::qtable::{FixedQTable, QTable};
+use crate::rng::Lcg32;
+use swiftrl_env::{Action, State};
+
+/// Uniform random action (the paper's behaviour policy for dataset
+/// collection).
+pub fn random_action(num_actions: usize, rng: &mut Lcg32) -> Action {
+    Action(rng.below(num_actions as u32))
+}
+
+/// Converts an exploration rate into the integer draw threshold used by
+/// the ε-greedy selectors: a raw 32-bit LCG draw below the threshold
+/// means "explore". Integer thresholding is what the PIM kernels do (no
+/// floating point needed), so the host reference uses it too, keeping the
+/// two bit-identical.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not within `[0, 1]`.
+pub fn epsilon_threshold(epsilon: f32) -> u64 {
+    assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+    (epsilon as f64 * 4_294_967_296.0) as u64
+}
+
+/// ε-greedy selection over an FP32 Q-table: random with probability
+/// `epsilon`, greedy otherwise (used by SARSA to pick the next action a',
+/// Eq. 1).
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not within `[0, 1]`.
+pub fn epsilon_greedy(q: &QTable, s: State, epsilon: f32, rng: &mut Lcg32) -> Action {
+    let threshold = epsilon_threshold(epsilon);
+    if (rng.next_raw() as u64) < threshold {
+        random_action(q.num_actions(), rng)
+    } else {
+        q.greedy_action(s)
+    }
+}
+
+/// ε-greedy selection over a fixed-point Q-table.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not within `[0, 1]`.
+pub fn epsilon_greedy_fixed(q: &FixedQTable, s: State, epsilon: f32, rng: &mut Lcg32) -> Action {
+    let threshold = epsilon_threshold(epsilon);
+    if (rng.next_raw() as u64) < threshold {
+        random_action(q.num_actions(), rng)
+    } else {
+        q.greedy_action(s)
+    }
+}
+
+/// Boltzmann (softmax) selection with temperature `tau` — one of the
+/// alternative behaviour policies the paper mentions (§3.2.1).
+///
+/// # Panics
+///
+/// Panics if `tau <= 0`.
+pub fn boltzmann(q: &QTable, s: State, tau: f32, rng: &mut Lcg32) -> Action {
+    assert!(tau > 0.0, "temperature must be positive");
+    let row = q.row(s);
+    // Stabilize the exponentials by subtracting the max.
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let weights: Vec<f32> = row.iter().map(|&v| ((v - max) / tau).exp()).collect();
+    let total: f32 = weights.iter().sum();
+    let mut draw = rng.unit_f32() * total;
+    for (i, w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return Action(i as u32);
+        }
+    }
+    Action((row.len() - 1) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> QTable {
+        let mut q = QTable::zeros(2, 4);
+        q.set(State(0), Action(2), 5.0);
+        q.set(State(1), Action(0), 1.0);
+        q
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let q = table();
+        let mut rng = Lcg32::new(1);
+        for _ in 0..50 {
+            assert_eq!(epsilon_greedy(&q, State(0), 0.0, &mut rng), Action(2));
+        }
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform() {
+        let q = table();
+        let mut rng = Lcg32::new(2);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[epsilon_greedy(&q, State(0), 1.0, &mut rng).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn epsilon_intermediate_mostly_greedy() {
+        let q = table();
+        let mut rng = Lcg32::new(3);
+        let greedy = (0..10_000)
+            .filter(|_| epsilon_greedy(&q, State(0), 0.1, &mut rng) == Action(2))
+            .count();
+        // P(greedy) = 0.9 + 0.1/4 = 0.925.
+        assert!((8_700..9_700).contains(&greedy), "greedy count {greedy}");
+    }
+
+    #[test]
+    fn fixed_epsilon_greedy_agrees_with_float() {
+        let q = table();
+        let f = q.to_fixed(crate::fixed::FixedScale::paper());
+        let mut r1 = Lcg32::new(9);
+        let mut r2 = Lcg32::new(9);
+        for s in [State(0), State(1)] {
+            for _ in 0..200 {
+                assert_eq!(
+                    epsilon_greedy(&q, s, 0.3, &mut r1),
+                    epsilon_greedy_fixed(&f, s, 0.3, &mut r2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boltzmann_prefers_high_values_at_low_temperature() {
+        let q = table();
+        let mut rng = Lcg32::new(5);
+        let best = (0..2_000)
+            .filter(|_| boltzmann(&q, State(0), 0.1, &mut rng) == Action(2))
+            .count();
+        assert!(best > 1_900, "best action chosen {best}/2000");
+    }
+
+    #[test]
+    fn boltzmann_high_temperature_approaches_uniform() {
+        let q = table();
+        let mut rng = Lcg32::new(6);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[boltzmann(&q, State(0), 1_000.0, &mut rng).index()] += 1;
+        }
+        for &c in &counts {
+            assert!((1_500..2_500).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_rejected() {
+        let q = table();
+        let mut rng = Lcg32::new(7);
+        epsilon_greedy(&q, State(0), 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,457 @@
+//! Dense Q-tables in FP32 and fixed-point INT32.
+//!
+//! Q-tables store the quality value of every `(state, action)` pair in
+//! row-major order. The byte encodings here are the exact layouts the PIM
+//! kernels read from and write to MRAM, and [`QTable::mean_of`] is the
+//! host-side aggregation SwiftRL performs at every synchronization round
+//! ("the final aggregated Q-estimate as the average of all local
+//! Q-tables", §4.2).
+
+use crate::fixed::FixedScale;
+use swiftrl_env::{Action, State};
+
+/// A dense FP32 Q-table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTable {
+    num_states: usize,
+    num_actions: usize,
+    values: Vec<f32>,
+}
+
+impl QTable {
+    /// Creates a zero-initialized table (the paper initializes Q-tables
+    /// with zeros/arbitrary values; zero is the reproducible choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(num_states: usize, num_actions: usize) -> Self {
+        Self::filled(num_states, num_actions, 0.0)
+    }
+
+    /// Creates a table initialized to a constant value. Pessimistic
+    /// initialization (below the minimum return) is useful for offline
+    /// training on all-negative-reward environments, where zero-init is
+    /// optimistic and draws the greedy policy toward unvisited pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(num_states: usize, num_actions: usize, value: f32) -> Self {
+        assert!(num_states > 0 && num_actions > 0, "empty Q-table");
+        Self {
+            num_states,
+            num_actions,
+            values: vec![value; num_states * num_actions],
+        }
+    }
+
+    /// Number of states (rows).
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of actions (columns).
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    #[inline]
+    fn idx(&self, s: State, a: Action) -> usize {
+        debug_assert!(s.index() < self.num_states && a.index() < self.num_actions);
+        s.index() * self.num_actions + a.index()
+    }
+
+    /// Q-value of `(s, a)`.
+    #[inline]
+    pub fn get(&self, s: State, a: Action) -> f32 {
+        self.values[self.idx(s, a)]
+    }
+
+    /// Sets the Q-value of `(s, a)`.
+    #[inline]
+    pub fn set(&mut self, s: State, a: Action, v: f32) {
+        let i = self.idx(s, a);
+        self.values[i] = v;
+    }
+
+    /// The action row for `s`.
+    pub fn row(&self, s: State) -> &[f32] {
+        let start = s.index() * self.num_actions;
+        &self.values[start..start + self.num_actions]
+    }
+
+    /// Maximum Q-value over actions in `s` (the `max_a' Q(s', a')` term).
+    pub fn max_value(&self, s: State) -> f32 {
+        self.row(s).iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Greedy action in `s` (first maximum wins ties, matching the
+    /// kernels' deterministic argmax).
+    pub fn greedy_action(&self, s: State) -> Action {
+        let row = self.row(s);
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate().skip(1) {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        Action(best as u32)
+    }
+
+    /// Raw values (row-major).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Serializes as little-endian f32 bits (the MRAM layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.values.len() * 4);
+        for v in &self.values {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from the MRAM layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != num_states * num_actions * 4`.
+    pub fn from_bytes(num_states: usize, num_actions: usize, bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), num_states * num_actions * 4, "bad Q-table size");
+        let values = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect();
+        Self {
+            num_states,
+            num_actions,
+            values,
+        }
+    }
+
+    /// Element-wise mean of several same-shape tables: the host-side
+    /// aggregation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or shapes differ.
+    pub fn mean_of(tables: &[QTable]) -> QTable {
+        assert!(!tables.is_empty(), "cannot average zero Q-tables");
+        let (ns, na) = (tables[0].num_states, tables[0].num_actions);
+        let mut out = QTable::zeros(ns, na);
+        for t in tables {
+            assert_eq!((t.num_states, t.num_actions), (ns, na), "shape mismatch");
+            for (o, v) in out.values.iter_mut().zip(&t.values) {
+                *o += v;
+            }
+        }
+        let n = tables.len() as f32;
+        for o in &mut out.values {
+            *o /= n;
+        }
+        out
+    }
+
+    /// Converts to fixed point with the given scale.
+    pub fn to_fixed(&self, scale: FixedScale) -> FixedQTable {
+        FixedQTable {
+            num_states: self.num_states,
+            num_actions: self.num_actions,
+            scale,
+            values: self.values.iter().map(|&v| scale.to_fixed(v)).collect(),
+        }
+    }
+
+    /// Largest absolute difference with another same-shape table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &QTable) -> f32 {
+        assert_eq!(
+            (self.num_states, self.num_actions),
+            (other.num_states, other.num_actions),
+            "shape mismatch"
+        );
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// A dense fixed-point (INT32) Q-table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedQTable {
+    num_states: usize,
+    num_actions: usize,
+    scale: FixedScale,
+    values: Vec<i32>,
+}
+
+impl FixedQTable {
+    /// Creates a zero-initialized fixed-point table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(num_states: usize, num_actions: usize, scale: FixedScale) -> Self {
+        Self::filled(num_states, num_actions, scale, 0)
+    }
+
+    /// Creates a table initialized to a constant scaled value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(num_states: usize, num_actions: usize, scale: FixedScale, value: i32) -> Self {
+        assert!(num_states > 0 && num_actions > 0, "empty Q-table");
+        Self {
+            num_states,
+            num_actions,
+            scale,
+            values: vec![value; num_states * num_actions],
+        }
+    }
+
+    /// Number of states (rows).
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of actions (columns).
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// The fixed-point format.
+    pub fn scale(&self) -> FixedScale {
+        self.scale
+    }
+
+    #[inline]
+    fn idx(&self, s: State, a: Action) -> usize {
+        debug_assert!(s.index() < self.num_states && a.index() < self.num_actions);
+        s.index() * self.num_actions + a.index()
+    }
+
+    /// Scaled Q-value of `(s, a)`.
+    #[inline]
+    pub fn get(&self, s: State, a: Action) -> i32 {
+        self.values[self.idx(s, a)]
+    }
+
+    /// Sets the scaled Q-value of `(s, a)`.
+    #[inline]
+    pub fn set(&mut self, s: State, a: Action, v: i32) {
+        let i = self.idx(s, a);
+        self.values[i] = v;
+    }
+
+    /// The action row for `s`.
+    pub fn row(&self, s: State) -> &[i32] {
+        let start = s.index() * self.num_actions;
+        &self.values[start..start + self.num_actions]
+    }
+
+    /// Maximum scaled Q-value over actions in `s`.
+    pub fn max_value(&self, s: State) -> i32 {
+        *self.row(s).iter().max().expect("non-empty row")
+    }
+
+    /// Greedy action in `s` (first maximum wins ties).
+    pub fn greedy_action(&self, s: State) -> Action {
+        let row = self.row(s);
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate().skip(1) {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        Action(best as u32)
+    }
+
+    /// Serializes as little-endian i32 (the MRAM layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.values.len() * 4);
+        for v in &self.values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from the MRAM layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != num_states * num_actions * 4`.
+    pub fn from_bytes(
+        num_states: usize,
+        num_actions: usize,
+        scale: FixedScale,
+        bytes: &[u8],
+    ) -> Self {
+        assert_eq!(bytes.len(), num_states * num_actions * 4, "bad Q-table size");
+        let values = bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Self {
+            num_states,
+            num_actions,
+            scale,
+            values,
+        }
+    }
+
+    /// Element-wise mean (computed in i64 to avoid overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or shapes/scales differ.
+    pub fn mean_of(tables: &[FixedQTable]) -> FixedQTable {
+        assert!(!tables.is_empty(), "cannot average zero Q-tables");
+        let (ns, na, sc) = (
+            tables[0].num_states,
+            tables[0].num_actions,
+            tables[0].scale,
+        );
+        let mut sums = vec![0i64; ns * na];
+        for t in tables {
+            assert_eq!((t.num_states, t.num_actions), (ns, na), "shape mismatch");
+            assert_eq!(t.scale, sc, "scale mismatch");
+            for (o, v) in sums.iter_mut().zip(&t.values) {
+                *o += *v as i64;
+            }
+        }
+        let n = tables.len() as i64;
+        FixedQTable {
+            num_states: ns,
+            num_actions: na,
+            scale: sc,
+            values: sums.iter().map(|&s| (s / n) as i32).collect(),
+        }
+    }
+
+    /// Converts back to FP32 (the descaling done before PIM→CPU transfer).
+    pub fn to_float(&self) -> QTable {
+        QTable {
+            num_states: self.num_states,
+            num_actions: self.num_actions,
+            values: self.values.iter().map(|&v| self.scale.to_float(v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> State {
+        State(i)
+    }
+    fn a(i: u32) -> Action {
+        Action(i)
+    }
+
+    #[test]
+    fn zeros_and_get_set() {
+        let mut q = QTable::zeros(16, 4);
+        assert_eq!(q.get(s(3), a(2)), 0.0);
+        q.set(s(3), a(2), 1.5);
+        assert_eq!(q.get(s(3), a(2)), 1.5);
+        assert_eq!(q.get(s(3), a(1)), 0.0);
+        assert_eq!(q.values().len(), 64);
+    }
+
+    #[test]
+    fn greedy_and_max_with_ties() {
+        let mut q = QTable::zeros(2, 3);
+        q.set(s(0), a(1), 2.0);
+        q.set(s(0), a(2), 2.0);
+        assert_eq!(q.greedy_action(s(0)), a(1), "first max wins");
+        assert_eq!(q.max_value(s(0)), 2.0);
+        // All-zero row: action 0.
+        assert_eq!(q.greedy_action(s(1)), a(0));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut q = QTable::zeros(4, 2);
+        q.set(s(1), a(0), -0.25);
+        q.set(s(3), a(1), 7.0);
+        let q2 = QTable::from_bytes(4, 2, &q.to_bytes());
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn mean_of_averages() {
+        let mut q1 = QTable::zeros(2, 2);
+        let mut q2 = QTable::zeros(2, 2);
+        q1.set(s(0), a(0), 1.0);
+        q2.set(s(0), a(0), 3.0);
+        q2.set(s(1), a(1), 4.0);
+        let m = QTable::mean_of(&[q1, q2]);
+        assert_eq!(m.get(s(0), a(0)), 2.0);
+        assert_eq!(m.get(s(1), a(1)), 2.0);
+        assert_eq!(m.get(s(0), a(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero Q-tables")]
+    fn mean_of_empty_panics() {
+        QTable::mean_of(&[]);
+    }
+
+    #[test]
+    fn fixed_round_trip_via_float() {
+        let scale = FixedScale::paper();
+        let mut q = QTable::zeros(3, 2);
+        q.set(s(0), a(1), 0.7312);
+        q.set(s(2), a(0), -8.6);
+        let f = q.to_fixed(scale);
+        assert_eq!(f.get(s(0), a(1)), 7_312);
+        let back = f.to_float();
+        assert!(back.max_abs_diff(&q) <= scale.resolution());
+    }
+
+    #[test]
+    fn fixed_bytes_round_trip() {
+        let scale = FixedScale::paper();
+        let mut q = FixedQTable::zeros(4, 3, scale);
+        q.set(s(2), a(2), -12_345);
+        let q2 = FixedQTable::from_bytes(4, 3, scale, &q.to_bytes());
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn fixed_mean_no_overflow() {
+        let scale = FixedScale::paper();
+        let mut q1 = FixedQTable::zeros(1, 1, scale);
+        let mut q2 = FixedQTable::zeros(1, 1, scale);
+        q1.set(s(0), a(0), i32::MAX);
+        q2.set(s(0), a(0), i32::MAX - 1);
+        let m = FixedQTable::mean_of(&[q1, q2]);
+        assert_eq!(m.get(s(0), a(0)), i32::MAX - 1);
+    }
+
+    #[test]
+    fn fixed_greedy_matches_float_greedy() {
+        let mut q = QTable::zeros(4, 4);
+        q.set(s(1), a(3), 0.9);
+        q.set(s(1), a(0), 0.2);
+        let f = q.to_fixed(FixedScale::paper());
+        for st in 0..4 {
+            assert_eq!(q.greedy_action(s(st)), f.greedy_action(s(st)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty Q-table")]
+    fn empty_table_rejected() {
+        QTable::zeros(0, 4);
+    }
+}

@@ -1,0 +1,127 @@
+//! The linear congruential generator shared by host and PIM code paths.
+//!
+//! SwiftRL implements an LCG inside PIM kernels because the C `rand()` is
+//! unavailable there (§3.2.1). The same generator is provided host-side so
+//! CPU baselines and quality checks can be driven by identical random
+//! streams; the constants must match `swiftrl_pim::emul::Lcg32` (an
+//! integration test enforces this).
+
+use rand::RngCore;
+
+/// 32-bit linear congruential generator (Numerical Recipes constants).
+///
+/// ```rust
+/// use swiftrl_rl::rng::Lcg32;
+///
+/// let mut a = Lcg32::new(1);
+/// let mut b = Lcg32::new(1);
+/// assert_eq!(a.next_raw(), b.next_raw());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg32 {
+    state: u32,
+}
+
+impl Lcg32 {
+    /// Multiplier (Numerical Recipes).
+    pub const MULTIPLIER: u32 = 1_664_525;
+    /// Increment (Numerical Recipes).
+    pub const INCREMENT: u32 = 1_013_904_223;
+
+    /// Creates a generator from a seed.
+    pub fn new(seed: u32) -> Self {
+        Self { state: seed }
+    }
+
+    /// Advances and returns the next raw value.
+    #[inline]
+    pub fn next_raw(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(Self::MULTIPLIER)
+            .wrapping_add(Self::INCREMENT);
+        self.state
+    }
+
+    /// Uniform value in `[0, bound)` (multiply-shift reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "below() bound must be positive");
+        ((self.next_raw() as u64 * bound as u64) >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_raw() >> 8) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Current state (for checkpointing).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+impl RngCore for Lcg32 {
+    fn next_u32(&mut self) -> u32 {
+        self.next_raw()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (self.next_raw() as u64) << 32 | self.next_raw() as u64
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_raw().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Lcg32::new(99);
+        let expected: Vec<u32> = (0..8).map(|_| a.next_raw()).collect();
+        let mut b = Lcg32::new(99);
+        let again: Vec<u32> = (0..8).map(|_| b.next_raw()).collect();
+        assert_eq!(expected, again);
+    }
+
+    #[test]
+    fn unit_f32_in_range() {
+        let mut r = Lcg32::new(5);
+        for _ in 0..10_000 {
+            let v = r.unit_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_in_range_and_covering() {
+        let mut r = Lcg32::new(17);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = r.below(6);
+            assert!(v < 6);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_works() {
+        let mut r = Lcg32::new(1);
+        let mut buf = [0u8; 10];
+        r.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 10]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Experience-sampling strategies: SEQ, STR, RAN (SwiftRL §3.2.1).
+//!
+//! Each training episode walks the dataset chunk in an order determined
+//! by the sampling strategy:
+//!
+//! * **SEQ** — sequential: indices `0, 1, 2, …` (streaming locality);
+//! * **STR** — stride-based: indices at regular intervals
+//!   (`0, k, 2k, …, 1, k+1, …`), the paper uses stride 4;
+//! * **RAN** — random: uniform draws with replacement from the chunk,
+//!   modelling the exploratory sampling of complex environments (the
+//!   source of irregular memory access patterns, §3.1).
+//!
+//! The iterator always yields exactly `n` indices per episode so all
+//! strategies perform the same number of updates.
+
+use crate::rng::Lcg32;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's stride value for the STR experiments (Figs. 5–6).
+pub const PAPER_STRIDE: usize = 4;
+
+/// How experiences are sampled from a dataset chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplingStrategy {
+    /// Sequential walk (SEQ).
+    Sequential,
+    /// Stride-based walk with the given stride (STR).
+    Stride(usize),
+    /// Uniform random draws with replacement (RAN).
+    Random,
+}
+
+impl SamplingStrategy {
+    /// The paper's STR configuration (stride 4).
+    pub fn paper_stride() -> Self {
+        SamplingStrategy::Stride(PAPER_STRIDE)
+    }
+
+    /// Short uppercase tag used in workload names (SEQ/STR/RAN).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SamplingStrategy::Sequential => "SEQ",
+            SamplingStrategy::Stride(_) => "STR",
+            SamplingStrategy::Random => "RAN",
+        }
+    }
+
+    /// Iterator over the `n` sample indices of one episode.
+    ///
+    /// `seed` only matters for [`SamplingStrategy::Random`]; pass a
+    /// per-episode seed so episodes draw different samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stride of 0 is used with a non-empty chunk.
+    pub fn indices(&self, n: usize, seed: u32) -> SampleIndices {
+        if let SamplingStrategy::Stride(0) = self {
+            assert!(n == 0, "stride must be positive");
+        }
+        SampleIndices {
+            strategy: *self,
+            n,
+            produced: 0,
+            cursor: 0,
+            offset: 0,
+            rng: Lcg32::new(seed),
+        }
+    }
+}
+
+impl fmt::Display for SamplingStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingStrategy::Stride(k) => write!(f, "STR(stride={k})"),
+            other => write!(f, "{}", other.tag()),
+        }
+    }
+}
+
+/// Iterator produced by [`SamplingStrategy::indices`].
+#[derive(Debug, Clone)]
+pub struct SampleIndices {
+    strategy: SamplingStrategy,
+    n: usize,
+    produced: usize,
+    cursor: usize,
+    offset: usize,
+    rng: Lcg32,
+}
+
+impl Iterator for SampleIndices {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.produced >= self.n {
+            return None;
+        }
+        self.produced += 1;
+        Some(match self.strategy {
+            SamplingStrategy::Sequential => self.produced - 1,
+            SamplingStrategy::Stride(k) => {
+                let idx = self.cursor;
+                self.cursor += k;
+                if self.cursor >= self.n {
+                    // Wrap to the next interleaving offset.
+                    self.offset += 1;
+                    self.cursor = self.offset;
+                }
+                idx
+            }
+            SamplingStrategy::Random => self.rng.below(self.n as u32) as usize,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.n - self.produced;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for SampleIndices {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_identity() {
+        let idx: Vec<_> = SamplingStrategy::Sequential.indices(5, 0).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stride_visits_regular_intervals_then_interleaves() {
+        let idx: Vec<_> = SamplingStrategy::Stride(4).indices(10, 0).collect();
+        assert_eq!(idx, vec![0, 4, 8, 1, 5, 9, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn stride_is_a_permutation() {
+        for n in [1usize, 7, 16, 100, 101] {
+            for k in [1usize, 2, 3, 4, 7] {
+                let mut idx: Vec<_> = SamplingStrategy::Stride(k).indices(n, 0).collect();
+                idx.sort_unstable();
+                let expect: Vec<_> = (0..n).collect();
+                assert_eq!(idx, expect, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn stride_one_equals_sequential() {
+        let a: Vec<_> = SamplingStrategy::Stride(1).indices(9, 0).collect();
+        let b: Vec<_> = SamplingStrategy::Sequential.indices(9, 0).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_yields_n_in_range_and_is_seeded() {
+        let a: Vec<_> = SamplingStrategy::Random.indices(50, 123).collect();
+        let b: Vec<_> = SamplingStrategy::Random.indices(50, 123).collect();
+        let c: Vec<_> = SamplingStrategy::Random.indices(50, 124).collect();
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|&i| i < 50));
+        assert_eq!(a, b, "deterministic in seed");
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn empty_chunk_yields_nothing() {
+        for s in [
+            SamplingStrategy::Sequential,
+            SamplingStrategy::Stride(4),
+            SamplingStrategy::Random,
+        ] {
+            assert_eq!(s.indices(0, 0).count(), 0);
+        }
+    }
+
+    #[test]
+    fn tags_and_display() {
+        assert_eq!(SamplingStrategy::Sequential.tag(), "SEQ");
+        assert_eq!(SamplingStrategy::paper_stride().tag(), "STR");
+        assert_eq!(SamplingStrategy::Random.tag(), "RAN");
+        assert_eq!(SamplingStrategy::Stride(4).to_string(), "STR(stride=4)");
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let mut it = SamplingStrategy::Sequential.indices(3, 0);
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+    }
+}

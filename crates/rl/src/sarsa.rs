@@ -1,0 +1,256 @@
+//! SARSA learning (Equation 1 of the paper).
+//!
+//! SARSA is on-policy: instead of the max over next actions, it bootstraps
+//! from `Q(s', a')` where `a'` is the action the learned policy would
+//! actually take. In SwiftRL's offline adaptation, `a'` is chosen by an
+//! ε-greedy rule over the current Q-table, using the custom LCG `rand()`
+//! replacement inside the kernel (§3.2.2); this module is the bit-faithful
+//! host reference.
+
+use crate::fixed::FixedScale;
+use crate::policy::{epsilon_greedy, epsilon_greedy_fixed};
+use crate::qlearning::QLearningConfig;
+use crate::qtable::{FixedQTable, QTable};
+use crate::rng::Lcg32;
+use crate::sampling::SamplingStrategy;
+use serde::{Deserialize, Serialize};
+use swiftrl_env::{ExperienceDataset, Transition};
+
+/// Hyper-parameters of offline SARSA: Q-learning's plus the exploration
+/// rate used to pick the next action.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SarsaConfig {
+    /// Learning rate α.
+    pub alpha: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Training episodes.
+    pub episodes: u32,
+    /// ε of the ε-greedy next-action selection.
+    pub epsilon: f32,
+}
+
+impl SarsaConfig {
+    /// The paper's hyper-parameters with a conventional ε = 0.1.
+    pub fn paper_defaults() -> Self {
+        Self {
+            alpha: 0.1,
+            gamma: 0.95,
+            episodes: 2_000,
+            epsilon: 0.1,
+        }
+    }
+
+    /// Returns a copy with a different episode count.
+    pub fn with_episodes(mut self, episodes: u32) -> Self {
+        self.episodes = episodes;
+        self
+    }
+
+    /// The Q-learning view of these hyper-parameters.
+    pub fn as_qlearning(&self) -> QLearningConfig {
+        QLearningConfig {
+            alpha: self.alpha,
+            gamma: self.gamma,
+            episodes: self.episodes,
+        }
+    }
+}
+
+/// Applies one FP32 SARSA update in place, selecting `a'` ε-greedily with
+/// the provided LCG (mirroring the kernel's in-PIM `rand()`).
+#[inline]
+pub fn sarsa_update(
+    q: &mut QTable,
+    t: &Transition,
+    alpha: f32,
+    gamma: f32,
+    epsilon: f32,
+    rng: &mut Lcg32,
+) {
+    let target = if t.done {
+        // Terminal: no next action exists, no bootstrap (and no RNG
+        // draw, matching the PIM kernel exactly).
+        t.reward
+    } else {
+        let a_next = epsilon_greedy(q, t.next_state, epsilon, rng);
+        t.reward + gamma * q.get(t.next_state, a_next)
+    };
+    let old = q.get(t.state, t.action);
+    q.set(t.state, t.action, old + alpha * (target - old));
+}
+
+/// Applies one INT32 fixed-point SARSA update in place.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn sarsa_update_fixed(
+    q: &mut FixedQTable,
+    t: &Transition,
+    alpha_scaled: i32,
+    gamma_scaled: i32,
+    reward_scaled: i32,
+    epsilon: f32,
+    scale: FixedScale,
+    rng: &mut Lcg32,
+) {
+    let target = if t.done {
+        reward_scaled
+    } else {
+        let a_next = epsilon_greedy_fixed(q, t.next_state, epsilon, rng);
+        reward_scaled + scale.mul(gamma_scaled, q.get(t.next_state, a_next))
+    };
+    let old = q.get(t.state, t.action);
+    let delta = scale.mul(alpha_scaled, target - old);
+    q.set(t.state, t.action, old + delta);
+}
+
+/// Trains an FP32 Q-table offline with SARSA.
+pub fn train_offline(
+    dataset: &ExperienceDataset,
+    config: &SarsaConfig,
+    sampling: SamplingStrategy,
+    seed: u32,
+) -> QTable {
+    let mut q = QTable::zeros(dataset.num_states(), dataset.num_actions());
+    let transitions = dataset.transitions();
+    let mut rng = Lcg32::new(seed ^ 0x5A85_AA11);
+    for episode in 0..config.episodes {
+        let ep_seed = seed.wrapping_add(episode).wrapping_mul(0x9E37_79B9);
+        for i in sampling.indices(transitions.len(), ep_seed) {
+            sarsa_update(
+                &mut q,
+                &transitions[i],
+                config.alpha,
+                config.gamma,
+                config.epsilon,
+                &mut rng,
+            );
+        }
+    }
+    q
+}
+
+/// Trains an INT32 fixed-point Q-table offline with SARSA and the scaling
+/// optimization.
+pub fn train_offline_fixed(
+    dataset: &ExperienceDataset,
+    config: &SarsaConfig,
+    sampling: SamplingStrategy,
+    scale: FixedScale,
+    seed: u32,
+) -> FixedQTable {
+    let mut q = FixedQTable::zeros(dataset.num_states(), dataset.num_actions(), scale);
+    let alpha_s = scale.to_fixed(config.alpha);
+    let gamma_s = scale.to_fixed(config.gamma);
+    let rewards: Vec<i32> = dataset.iter().map(|t| scale.to_fixed(t.reward)).collect();
+    let transitions = dataset.transitions();
+    let mut rng = Lcg32::new(seed ^ 0x5A85_AA11);
+    for episode in 0..config.episodes {
+        let ep_seed = seed.wrapping_add(episode).wrapping_mul(0x9E37_79B9);
+        for i in sampling.indices(transitions.len(), ep_seed) {
+            sarsa_update_fixed(
+                &mut q,
+                &transitions[i],
+                alpha_s,
+                gamma_s,
+                rewards[i],
+                config.epsilon,
+                scale,
+                &mut rng,
+            );
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftrl_env::{Action, State};
+
+    fn t(s: u32, a: u32, r: f32, ns: u32) -> Transition {
+        Transition {
+            state: State(s),
+            action: Action(a),
+            reward: r,
+            next_state: State(ns),
+            done: false,
+        }
+    }
+
+    #[test]
+    fn greedy_sarsa_update_matches_q_when_epsilon_zero_and_greedy_is_max() {
+        let mut q1 = QTable::zeros(3, 2);
+        q1.set(State(1), Action(1), 0.8);
+        let mut q2 = q1.clone();
+        let mut rng = Lcg32::new(1);
+        sarsa_update(&mut q1, &t(0, 0, 1.0, 1), 0.1, 0.95, 0.0, &mut rng);
+        crate::qlearning::q_update(&mut q2, &t(0, 0, 1.0, 1), 0.1, 0.95);
+        assert_eq!(q1.get(State(0), Action(0)), q2.get(State(0), Action(0)));
+    }
+
+    #[test]
+    fn exploratory_sarsa_bootstraps_below_max() {
+        // With epsilon = 1 the next action is uniform, so the expected
+        // target is the mean of the next row, lower than the max.
+        let mut q = QTable::zeros(2, 2);
+        q.set(State(1), Action(0), 1.0); // other action stays 0
+        let mut rng = Lcg32::new(2);
+        let mut acc = 0.0;
+        let n = 2_000;
+        for _ in 0..n {
+            let mut qc = q.clone();
+            sarsa_update(&mut qc, &t(0, 0, 0.0, 1), 1.0, 1.0, 1.0, &mut rng);
+            acc += qc.get(State(0), Action(0));
+        }
+        let mean_target = acc / n as f32;
+        assert!((mean_target - 0.5).abs() < 0.05, "mean target {mean_target}");
+    }
+
+    #[test]
+    fn fixed_sarsa_tracks_float_sarsa() {
+        let scale = FixedScale::paper();
+        let mut qf = QTable::zeros(3, 2);
+        let mut qi = FixedQTable::zeros(3, 2, scale);
+        let data = [t(0, 0, 1.0, 1), t(1, 1, 0.5, 2), t(2, 0, -1.0, 0)];
+        // Drive both with the same LCG so the epsilon draws coincide.
+        let mut r1 = Lcg32::new(7);
+        let mut r2 = Lcg32::new(7);
+        for _ in 0..300 {
+            for tr in &data {
+                sarsa_update(&mut qf, tr, 0.1, 0.95, 0.1, &mut r1);
+                sarsa_update_fixed(
+                    &mut qi,
+                    tr,
+                    1_000,
+                    9_500,
+                    scale.to_fixed(tr.reward),
+                    0.1,
+                    scale,
+                    &mut r2,
+                );
+            }
+        }
+        let diff = qi.to_float().max_abs_diff(&qf);
+        assert!(diff < 0.05, "fixed-point drift too large: {diff}");
+    }
+
+    #[test]
+    fn offline_training_deterministic() {
+        let mut d = ExperienceDataset::new("chain", 3, 2);
+        d.extend([t(0, 0, 0.0, 1), t(1, 0, 1.0, 2), t(2, 1, 0.0, 0)]);
+        let c = SarsaConfig::paper_defaults().with_episodes(20);
+        let a = train_offline(&d, &c, SamplingStrategy::Sequential, 3);
+        let b = train_offline(&d, &c, SamplingStrategy::Sequential, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_conversion() {
+        let c = SarsaConfig::paper_defaults();
+        let q = c.as_qlearning();
+        assert_eq!(q.alpha, c.alpha);
+        assert_eq!(q.gamma, c.gamma);
+        assert_eq!(q.episodes, c.episodes);
+    }
+}

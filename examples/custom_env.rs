@@ -1,0 +1,116 @@
+//! Bring your own environment: implement [`DiscreteEnv`] for a custom
+//! task and train it on the PIM system unchanged.
+//!
+//! The environment here is a windy corridor: the agent walks right toward
+//! a goal, but wind occasionally pushes it back one cell.
+//!
+//! ```text
+//! cargo run --release --example custom_env
+//! ```
+
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::runner::PimRunner;
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::{Action, DiscreteEnv, State, Step};
+use swiftrl::rl::eval::evaluate_greedy;
+
+/// A 1-D corridor of `n` cells. Actions: 0 = left, 1 = right. Reaching
+/// the last cell yields +1 and ends the episode; wind pushes the agent
+/// one cell left with probability 1/4 regardless of the action.
+#[derive(Debug)]
+struct WindyCorridor {
+    n: u32,
+    pos: u32,
+    steps: u32,
+    done: bool,
+}
+
+impl WindyCorridor {
+    fn new(n: u32) -> Self {
+        assert!(n >= 2);
+        Self {
+            n,
+            pos: 0,
+            steps: 0,
+            done: true,
+        }
+    }
+}
+
+impl DiscreteEnv for WindyCorridor {
+    fn name(&self) -> &str {
+        "windy_corridor"
+    }
+
+    fn num_states(&self) -> usize {
+        self.n as usize
+    }
+
+    fn num_actions(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self, _rng: &mut dyn rand::RngCore) -> State {
+        self.pos = 0;
+        self.steps = 0;
+        self.done = false;
+        State(0)
+    }
+
+    fn step(&mut self, action: Action, rng: &mut dyn rand::RngCore) -> Step {
+        assert!(!self.done, "episode finished");
+        // Intended move.
+        self.pos = match action.0 {
+            0 => self.pos.saturating_sub(1),
+            1 => (self.pos + 1).min(self.n - 1),
+            a => panic!("invalid action {a}"),
+        };
+        // Wind: 1-in-4 chance of being blown back.
+        if rng.next_u32() % 4 == 0 {
+            self.pos = self.pos.saturating_sub(1);
+        }
+        self.steps += 1;
+        let done = self.pos == self.n - 1 || self.steps >= 200;
+        let reward = if self.pos == self.n - 1 { 1.0 } else { 0.0 };
+        self.done = done;
+        Step {
+            next_state: State(self.pos),
+            reward,
+            done,
+        }
+    }
+
+    fn state(&self) -> State {
+        State(self.pos)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut env = WindyCorridor::new(12);
+    let dataset = collect_random(&mut env, 50_000, 5);
+    println!(
+        "custom environment '{}': {} states, {} actions, {} transitions collected",
+        env.name(),
+        env.num_states(),
+        env.num_actions(),
+        dataset.len()
+    );
+
+    let outcome = PimRunner::new(
+        WorkloadSpec::q_learning_seq_int32(),
+        RunConfig::paper_defaults()
+            .with_dpus(16)
+            .with_episodes(100)
+            .with_tau(50),
+    )?
+    .run(&dataset)?;
+
+    let stats = evaluate_greedy(&mut env, &outcome.q_table, 500, 1);
+    println!("modelled PIM time: {}", outcome.breakdown);
+    println!(
+        "mean reward {:.3}, mean episode length {:.1} steps \
+         (always-right baseline needs ~14.7 steps over 11 cells of wind)",
+        stats.mean_reward, stats.mean_length
+    );
+    Ok(())
+}

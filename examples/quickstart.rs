@@ -1,0 +1,58 @@
+//! Quickstart: train tabular Q-learning on FrozenLake with SwiftRL's
+//! PIM execution model, then evaluate the learned policy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::runner::PimRunner;
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::rl::eval::evaluate_greedy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Offline data collection: a random behaviour policy interacts
+    //    with the environment once and logs (s, a, r, s') experiences.
+    let mut env = FrozenLake::slippery_4x4();
+    let dataset = collect_random(&mut env, 100_000, 42);
+    println!(
+        "collected {} transitions from {} ({} states x {} actions)",
+        dataset.len(),
+        dataset.env_name(),
+        dataset.num_states(),
+        dataset.num_actions()
+    );
+
+    // 2. Train on 64 simulated PIM cores with the paper's INT32
+    //    fixed-point optimization: the dataset is chunked across DPUs,
+    //    each trains a local Q-table, and the host averages them every
+    //    tau = 50 episodes.
+    let spec = WorkloadSpec::q_learning_seq_int32();
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(64)
+        .with_episodes(200)
+        .with_tau(50);
+    println!("training {spec} on {} PIM cores...", cfg.dpus);
+    let outcome = PimRunner::new(spec, cfg)?.run(&dataset)?;
+
+    // 3. Inspect the modelled execution-time breakdown (the four
+    //    components of the paper's Figures 5-6).
+    println!("modelled PIM time: {}", outcome.breakdown);
+
+    // 4. Evaluate the aggregated policy greedily in the live environment.
+    let stats = evaluate_greedy(&mut env, &outcome.q_table, 1_000, 7);
+    println!(
+        "mean reward over {} episodes: {:.3} (optimal on slippery 4x4 is ~0.74)",
+        stats.episodes, stats.mean_reward
+    );
+
+    // 5. Show the learned policy on the lake map.
+    println!("learned policy (H = hole, G = goal):");
+    let q = &outcome.q_table;
+    print!(
+        "{}",
+        env.render_policy(|s| q.greedy_action(swiftrl::env::State(s)).0)
+    );
+    Ok(())
+}

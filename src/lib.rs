@@ -1,0 +1,59 @@
+//! # SwiftRL (reproduction)
+//!
+//! A from-scratch Rust reproduction of *SwiftRL: Towards Efficient
+//! Reinforcement Learning on Real Processing-In-Memory Systems*
+//! (Gogineni et al., ISPASS 2024): offline tabular Q-learning and SARSA
+//! accelerated on an UPMEM-class processing-in-memory platform,
+//! reproduced on a cycle-approximate simulator.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`pim`] — the PIM platform simulator (DPUs, MRAM/WRAM, emulated
+//!   arithmetic, host transfers);
+//! * [`env`](mod@env) — Gym-faithful FrozenLake / Taxi / CliffWalking and offline
+//!   dataset collection;
+//! * [`rl`] — tabular RL substrate (Q-tables, update rules, sampling
+//!   strategies, policies, evaluation);
+//! * [`core`] — the SwiftRL system itself (kernels, partitioning,
+//!   τ-periodic synchronization, multi-agent training, time breakdowns);
+//! * [`baselines`] — CPU-V1/CPU-V2 baselines, CPU/GPU analytical models,
+//!   Table 1 specs and the Figure 2 roofline.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use swiftrl::core::config::{RunConfig, WorkloadSpec};
+//! use swiftrl::core::runner::PimRunner;
+//! use swiftrl::env::collect::collect_random;
+//! use swiftrl::env::frozen_lake::FrozenLake;
+//! use swiftrl::rl::eval::evaluate_greedy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Collect an offline dataset with a random behaviour policy.
+//! let mut env = FrozenLake::slippery_4x4();
+//! let dataset = collect_random(&mut env, 10_000, 1);
+//!
+//! // 2. Train Q-learning on 8 simulated PIM cores with the paper's
+//! //    INT32 fixed-point optimization.
+//! let outcome = PimRunner::new(
+//!     WorkloadSpec::q_learning_seq_int32(),
+//!     RunConfig::paper_defaults().with_dpus(8).with_episodes(100),
+//! )?
+//! .run(&dataset)?;
+//!
+//! // 3. Evaluate the learned policy and inspect the time breakdown.
+//! let stats = evaluate_greedy(&mut env, &outcome.q_table, 100, 7);
+//! println!("mean reward {:.3}", stats.mean_reward);
+//! println!("{}", outcome.breakdown);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use swiftrl_baselines as baselines;
+pub use swiftrl_core as core;
+pub use swiftrl_env as env;
+pub use swiftrl_pim as pim;
+pub use swiftrl_rl as rl;

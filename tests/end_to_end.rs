@@ -1,0 +1,131 @@
+//! End-to-end integration: collect → partition → PIM-train → aggregate →
+//! evaluate, across environments and workload variants.
+
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::runner::PimRunner;
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::env::taxi::Taxi;
+use swiftrl::rl::eval::evaluate_greedy;
+
+#[test]
+fn frozen_lake_int32_learns_good_policy() {
+    let mut env = FrozenLake::slippery_4x4();
+    let dataset = collect_random(&mut env, 60_000, 42);
+    let outcome = PimRunner::new(
+        WorkloadSpec::q_learning_seq_int32(),
+        RunConfig::paper_defaults()
+            .with_dpus(32)
+            .with_episodes(150)
+            .with_tau(50),
+    )
+    .unwrap()
+    .run(&dataset)
+    .unwrap();
+    let stats = evaluate_greedy(&mut env, &outcome.q_table, 500, 9);
+    assert!(
+        stats.mean_reward > 0.55,
+        "policy quality too low: {:.3}",
+        stats.mean_reward
+    );
+}
+
+#[test]
+fn frozen_lake_fp32_and_int32_agree() {
+    let mut env = FrozenLake::slippery_4x4();
+    let dataset = collect_random(&mut env, 40_000, 1);
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(16)
+        .with_episodes(100)
+        .with_tau(50);
+    let fp = PimRunner::new(WorkloadSpec::q_learning_seq_fp32(), cfg)
+        .unwrap()
+        .run(&dataset)
+        .unwrap();
+    let ix = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg)
+        .unwrap()
+        .run(&dataset)
+        .unwrap();
+    // Same greedy policy nearly everywhere and close Q-values.
+    let diff = fp.q_table.max_abs_diff(&ix.q_table);
+    assert!(diff < 0.05, "FP32/INT32 divergence {diff}");
+    // And the INT32 kernel must be meaningfully faster.
+    assert!(
+        fp.breakdown.pim_kernel_s > 3.0 * ix.breakdown.pim_kernel_s,
+        "FP32 {} vs INT32 {}",
+        fp.breakdown.pim_kernel_s,
+        ix.breakdown.pim_kernel_s
+    );
+}
+
+#[test]
+fn taxi_smoke_all_samplings() {
+    let mut env = Taxi::new();
+    let dataset = collect_random(&mut env, 30_000, 3);
+    for spec in WorkloadSpec::paper_variants()
+        .into_iter()
+        .filter(|s| s.dtype == swiftrl::core::config::DataType::Int32)
+    {
+        let outcome = PimRunner::new(
+            spec,
+            RunConfig::paper_defaults()
+                .with_dpus(8)
+                .with_episodes(20)
+                .with_tau(10),
+        )
+        .unwrap()
+        .run(&dataset)
+        .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert!(outcome.q_table.values().iter().any(|&v| v != 0.0), "{spec}");
+        assert!(outcome.breakdown.total_seconds() > 0.0, "{spec}");
+    }
+}
+
+#[test]
+fn breakdown_components_are_consistent() {
+    let mut env = FrozenLake::slippery_4x4();
+    let dataset = collect_random(&mut env, 10_000, 5);
+    let outcome = PimRunner::new(
+        WorkloadSpec::sarsa_seq_int32(),
+        RunConfig::paper_defaults()
+            .with_dpus(8)
+            .with_episodes(100)
+            .with_tau(25),
+    )
+    .unwrap()
+    .run(&dataset)
+    .unwrap();
+    let b = &outcome.breakdown;
+    assert!(b.pim_kernel_s > 0.0);
+    assert!(b.cpu_pim_s > 0.0);
+    assert!(b.pim_cpu_s > 0.0);
+    assert!(b.inter_pim_s > 0.0, "4 rounds must include syncs");
+    assert!(b.program_load_s > 0.0);
+    assert!(b.program_load_s <= b.cpu_pim_s, "load is part of CPU-PIM");
+    let total = b.total_seconds();
+    assert!(
+        (total - (b.pim_kernel_s + b.cpu_pim_s + b.pim_cpu_s + b.inter_pim_s)).abs() < 1e-12
+    );
+    assert_eq!(outcome.comm_rounds, 4);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let mut env = FrozenLake::slippery_4x4();
+    let dataset = collect_random(&mut env, 20_000, 11);
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(16)
+        .with_episodes(50)
+        .with_tau(50)
+        .with_seed(77);
+    let a = PimRunner::new(WorkloadSpec::q_learning_seq_fp32(), cfg)
+        .unwrap()
+        .run(&dataset)
+        .unwrap();
+    let b = PimRunner::new(WorkloadSpec::q_learning_seq_fp32(), cfg)
+        .unwrap()
+        .run(&dataset)
+        .unwrap();
+    assert_eq!(a.q_table, b.q_table);
+    assert_eq!(a.breakdown, b.breakdown);
+}

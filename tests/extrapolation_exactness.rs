@@ -1,0 +1,75 @@
+//! Validates the harness's central measurement claim: the simulated time
+//! components are *exactly linear* in dataset size, episodes (kernel) and
+//! synchronization rounds (inter-PIM), so a reduced-scale run extrapolates
+//! exactly to what a larger run would report.
+
+use swiftrl::core::breakdown::TimeBreakdown;
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::runner::PimRunner;
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::env::ExperienceDataset;
+use swiftrl_bench::Extrapolation;
+
+fn run(data: &ExperienceDataset, episodes: u32, tau: u32) -> TimeBreakdown {
+    PimRunner::new(
+        WorkloadSpec::q_learning_seq_int32(),
+        RunConfig::paper_defaults()
+            .with_dpus(8)
+            .with_episodes(episodes)
+            .with_tau(tau),
+    )
+    .unwrap()
+    .run(data)
+    .unwrap()
+    .breakdown
+}
+
+fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+    let rel = (a - b).abs() / b.abs().max(1e-12);
+    assert!(rel < tol, "{what}: extrapolated {a} vs direct {b} (rel {rel:.4})");
+}
+
+#[test]
+fn small_run_extrapolates_to_large_run() {
+    let mut env = FrozenLake::slippery_4x4();
+    // The large dataset's prefix IS the small dataset (same collection
+    // seed), so the workloads are directly comparable; sizes are chosen
+    // as multiples of 8 DPUs × 32-record batches to avoid rounding noise.
+    let large = collect_random(&mut env, 16_384, 7);
+    let mut small = ExperienceDataset::new(
+        large.env_name(),
+        large.num_states(),
+        large.num_actions(),
+    );
+    small.extend(large.transitions()[..4_096].iter().copied());
+
+    let tau = 25;
+    let small_b = run(&small, 50, tau); // 2 rounds
+    let large_b = run(&large, 200, tau); // 8 rounds
+
+    let extra = Extrapolation::new(large.len(), small.len(), 200, 50, tau);
+    let predicted = extra.apply(&small_b);
+
+    // Kernel time: linear in dataset × episodes. The small and large
+    // datasets have different *contents* beyond the shared prefix, and
+    // RAN-free INT32 SEQ cost is content-dependent only through the
+    // emulated multiply early-exit, which the calibrated charging mode
+    // does not use — so this should be extremely tight.
+    assert_close(predicted.pim_kernel_s, large_b.pim_kernel_s, 0.02, "kernel");
+    // Inter-PIM: linear in intermediate rounds.
+    assert_close(predicted.inter_pim_s, large_b.inter_pim_s, 0.02, "inter-PIM");
+    // CPU→PIM: program load constant + dataset-linear part.
+    assert_close(predicted.cpu_pim_s, large_b.cpu_pim_s, 0.02, "CPU-PIM");
+    // PIM→CPU: scale-invariant.
+    assert_close(predicted.pim_cpu_s, large_b.pim_cpu_s, 0.02, "PIM-CPU");
+}
+
+#[test]
+fn extrapolation_is_identity_at_equal_scale() {
+    let mut env = FrozenLake::slippery_4x4();
+    let data = collect_random(&mut env, 2_000, 3);
+    let b = run(&data, 50, 25);
+    let same = Extrapolation::new(data.len(), data.len(), 50, 50, 25).apply(&b);
+    assert_eq!(b, same);
+}

@@ -1,0 +1,81 @@
+//! Failure-injection tests: the system reports errors instead of
+//! silently corrupting state when resources are exceeded or inputs are
+//! malformed.
+
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::runner::PimRunner;
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::pim::config::PimConfig;
+use swiftrl::pim::host::{PimError, PimSystem};
+
+#[test]
+fn chunk_larger_than_mram_is_rejected() {
+    let mut env = FrozenLake::slippery_4x4();
+    // 4,000 records × 16 B = 64 KB of transitions per DPU, but the bank
+    // below only holds 16 KB total (header + Q-table + records).
+    let dataset = collect_random(&mut env, 4_000, 1);
+    let platform = PimConfig::builder().dpus(1).mram_bytes(16 << 10).build();
+    let runner = PimRunner::with_platform(
+        WorkloadSpec::q_learning_seq_int32(),
+        RunConfig::paper_defaults().with_dpus(1).with_episodes(2).with_tau(2),
+        platform,
+    )
+    .unwrap();
+    match runner.run(&dataset) {
+        Err(PimError::Memory(_)) => {}
+        other => panic!("expected an MRAM capacity error, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_allocation_is_rejected() {
+    let mut system = PimSystem::new(PimConfig::builder().dpus(100).build());
+    assert!(matches!(
+        system.alloc(101),
+        Err(PimError::Alloc {
+            requested: 101,
+            available: 100
+        })
+    ));
+    // Partial allocations reduce the pool.
+    let set = system.alloc(60).unwrap();
+    assert!(system.alloc(41).is_err());
+    system.free(set);
+    assert!(system.alloc(100).is_ok());
+}
+
+#[test]
+fn q_table_larger_than_wram_faults_in_kernel() {
+    // A synthetic environment with a Q-table bigger than the 64-KB WRAM:
+    // 10,000 states × 4 actions × 4 B = 160 KB.
+    let mut d = swiftrl::env::ExperienceDataset::new("huge", 10_000, 4);
+    d.extend([swiftrl::env::Transition {
+        state: swiftrl::env::State(0),
+        action: swiftrl::env::Action(0),
+        reward: 0.0,
+        next_state: swiftrl::env::State(1),
+        done: false,
+    }]);
+    let out = PimRunner::new(
+        WorkloadSpec::q_learning_seq_int32(),
+        RunConfig::paper_defaults().with_dpus(1).with_episodes(1).with_tau(1),
+    )
+    .unwrap()
+    .run(&d);
+    match out {
+        Err(PimError::Kernel { .. }) => {}
+        other => panic!("expected a WRAM kernel fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn mismatched_tau_panics_before_any_work() {
+    let result = std::panic::catch_unwind(|| {
+        RunConfig::paper_defaults()
+            .with_episodes(100)
+            .with_tau(33)
+            .comm_rounds()
+    });
+    assert!(result.is_err());
+}

@@ -1,0 +1,32 @@
+//! The LCG `rand()` replacement must be the *same generator* on the host
+//! (swiftrl-rl) and inside PIM kernels (swiftrl-pim) — otherwise the
+//! SARSA and RAN-sampling parity guarantees silently break.
+
+use swiftrl::pim::emul::Lcg32 as PimLcg;
+use swiftrl::rl::rng::Lcg32 as HostLcg;
+
+#[test]
+fn constants_match() {
+    assert_eq!(PimLcg::MULTIPLIER, HostLcg::MULTIPLIER);
+    assert_eq!(PimLcg::INCREMENT, HostLcg::INCREMENT);
+}
+
+#[test]
+fn streams_match() {
+    let mut pim = PimLcg::new(123);
+    let mut host = HostLcg::new(123);
+    for _ in 0..10_000 {
+        assert_eq!(pim.next_u32(), host.next_raw());
+    }
+}
+
+#[test]
+fn bounded_draws_match() {
+    let mut pim = PimLcg::new(7);
+    let mut host = HostLcg::new(7);
+    for bound in [2u32, 4, 6, 500, 10_000] {
+        for _ in 0..100 {
+            assert_eq!(pim.next_below(bound), host.below(bound));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests on the system-level timing behaviour: strong scaling,
+//! monotonicity, and invariances that the paper's figures rely on.
+
+use proptest::prelude::*;
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::runner::PimRunner;
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::env::ExperienceDataset;
+
+fn dataset(n: usize) -> ExperienceDataset {
+    let mut env = FrozenLake::slippery_4x4();
+    collect_random(&mut env, n, 13)
+}
+
+fn kernel_seconds(data: &ExperienceDataset, dpus: usize, episodes: u32) -> f64 {
+    PimRunner::new(
+        WorkloadSpec::q_learning_seq_int32(),
+        RunConfig::paper_defaults()
+            .with_dpus(dpus)
+            .with_episodes(episodes)
+            .with_tau(episodes),
+    )
+    .unwrap()
+    .run(data)
+    .unwrap()
+    .breakdown
+    .pim_kernel_s
+}
+
+#[test]
+fn strong_scaling_near_linear() {
+    let data = dataset(8_000);
+    let t1 = kernel_seconds(&data, 1, 4);
+    let t8 = kernel_seconds(&data, 8, 4);
+    let t64 = kernel_seconds(&data, 64, 4);
+    let s8 = t1 / t8;
+    let s64 = t1 / t64;
+    assert!(
+        (6.0..=8.5).contains(&s8),
+        "8-DPU speedup off linear: {s8:.2}"
+    );
+    assert!(
+        (45.0..=68.0).contains(&s64),
+        "64-DPU speedup off linear: {s64:.2}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn kernel_time_monotone_in_dpus(n in 500usize..3_000, seed in 0u64..100) {
+        let mut env = FrozenLake::slippery_4x4();
+        let data = collect_random(&mut env, n, seed);
+        let t2 = kernel_seconds(&data, 2, 2);
+        let t4 = kernel_seconds(&data, 4, 2);
+        let t8 = kernel_seconds(&data, 8, 2);
+        prop_assert!(t4 <= t2, "t4 {t4} > t2 {t2}");
+        prop_assert!(t8 <= t4, "t8 {t8} > t4 {t4}");
+    }
+
+    #[test]
+    fn kernel_time_linear_in_episodes(n in 500usize..2_000) {
+        let data = dataset(n);
+        let t2 = kernel_seconds(&data, 4, 2);
+        let t4 = kernel_seconds(&data, 4, 4);
+        let ratio = t4 / t2;
+        prop_assert!((1.9..=2.1).contains(&ratio), "episodes not linear: {ratio}");
+    }
+
+    #[test]
+    fn fp32_always_slower_than_int32(n in 300usize..1_500, dpus in 1usize..8) {
+        let data = dataset(n);
+        let run = |spec| {
+            PimRunner::new(
+                spec,
+                RunConfig::paper_defaults()
+                    .with_dpus(dpus)
+                    .with_episodes(2)
+                    .with_tau(2),
+            )
+            .unwrap()
+            .run(&data)
+            .unwrap()
+            .breakdown
+            .pim_kernel_s
+        };
+        let fp = run(WorkloadSpec::q_learning_seq_fp32());
+        let ix = run(WorkloadSpec::q_learning_seq_int32());
+        prop_assert!(fp > 2.0 * ix, "fp {fp} vs int {ix}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Runner-level tests of the tasklet-parallel extension.
+
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::runner::PimRunner;
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::rl::eval::evaluate_greedy;
+
+fn cfg(tasklets: usize) -> RunConfig {
+    RunConfig::paper_defaults()
+        .with_dpus(16)
+        .with_episodes(100)
+        .with_tau(50)
+        .with_tasklets(tasklets)
+}
+
+#[test]
+fn tasklets_cut_kernel_time_without_hurting_quality() {
+    let mut env = FrozenLake::slippery_4x4();
+    let dataset = collect_random(&mut env, 40_000, 9);
+
+    let one = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg(1))
+        .unwrap()
+        .run(&dataset)
+        .unwrap();
+    let eleven = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg(11))
+        .unwrap()
+        .run(&dataset)
+        .unwrap();
+
+    // ~11× kernel speedup at the pipeline-fill point.
+    let speedup = one.breakdown.pim_kernel_s / eleven.breakdown.pim_kernel_s;
+    assert!(
+        (8.0..=11.5).contains(&speedup),
+        "tasklet speedup {speedup:.2} outside the pipeline-fill band"
+    );
+
+    // Sub-chunked training still learns an equivalent policy.
+    let q1 = evaluate_greedy(&mut env, &one.q_table, 500, 3).mean_reward;
+    let q11 = evaluate_greedy(&mut env, &eleven.q_table, 500, 3).mean_reward;
+    assert!(q1 > 0.5, "single-tasklet quality {q1:.3}");
+    assert!(q11 > 0.5, "11-tasklet quality {q11:.3}");
+}
+
+#[test]
+fn oversubscription_beyond_pipeline_fill_does_not_help() {
+    let mut env = FrozenLake::slippery_4x4();
+    let dataset = collect_random(&mut env, 20_000, 4);
+    let t11 = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg(11))
+        .unwrap()
+        .run(&dataset)
+        .unwrap()
+        .breakdown
+        .pim_kernel_s;
+    let t24 = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg(24))
+        .unwrap()
+        .run(&dataset)
+        .unwrap()
+        .breakdown
+        .pim_kernel_s;
+    assert!(
+        t24 > t11 * 0.85,
+        "beyond 11 tasklets the pipeline is saturated: {t11} -> {t24}"
+    );
+}
