@@ -1,0 +1,141 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `swiftrl-analysis` — a rustc-tidy-style static lint pass for the SwiftRL
+//! workspace, enforcing the *charged-intrinsics contract* that the whole
+//! cycle-accounting argument of the paper rests on.
+//!
+//! The analyzer is deliberately dependency-free (DESIGN.md §5): it lexes
+//! Rust source with a hand-rolled [`scanner`] and applies token-level
+//! [`rules`]. It is not a Rust parser — the rules are designed so the
+//! approximation errs on the side of *no false positives on this codebase*,
+//! and the `tests/analysis_clean.rs` integration test keeps it that way.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run -p swiftrl-analysis              # lint the workspace
+//! cargo run -p swiftrl-analysis -- --explain K001
+//! cargo run -p swiftrl-analysis -- --fix-hints
+//! ```
+//!
+//! Rules: **K001** no host floats in kernel code, **K002** no
+//! nondeterminism/free work in kernel bodies, **K003** every `DpuContext`
+//! intrinsic charges a cost (and every `OpCosts` field has a consumer),
+//! **K004** MRAM layout constants are 8-byte aligned, **W001** no
+//! `unwrap`/`expect` in library code.
+
+pub mod rules;
+pub mod scanner;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_charge_coverage, check_file, rule_info, Finding, RuleInfo, RULES};
+
+/// Result of analyzing a workspace tree.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+/// Directories never descended into when collecting sources.
+const SKIP_DIRS: &[&str] = &["target", ".git", "related"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over all `.rs` files under `root` (the workspace root).
+///
+/// Single-file rules run on each source; the cross-file K003 charge-coverage
+/// check runs on `crates/pim/src/kernel.rs` against
+/// `crates/pim/src/config.rs` when both exist.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut analysis = Analysis::default();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        analysis.findings.extend(rules::check_file(rel, &src));
+        analysis.files_scanned += 1;
+    }
+
+    let kernel_path = root.join("crates/pim/src/kernel.rs");
+    let config_path = root.join("crates/pim/src/config.rs");
+    if kernel_path.is_file() && config_path.is_file() {
+        let kernel_src = fs::read_to_string(&kernel_path)?;
+        let config_src = fs::read_to_string(&config_path)?;
+        analysis.findings.extend(rules::check_charge_coverage(
+            Path::new("crates/pim/src/kernel.rs"),
+            &kernel_src,
+            Path::new("crates/pim/src/config.rs"),
+            &config_src,
+        ));
+    }
+
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(analysis)
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]`. Used by the CLI to locate the repo root.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_walks_upward() {
+        // The analysis crate lives two levels below the workspace root.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates/analysis").is_dir());
+    }
+
+    #[test]
+    fn workspace_scan_covers_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let analysis = analyze_workspace(&root).expect("scan");
+        assert!(analysis.files_scanned > 10);
+    }
+}

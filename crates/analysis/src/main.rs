@@ -1,0 +1,112 @@
+//! CLI for the SwiftRL kernel-discipline analyzer.
+//!
+//! ```text
+//! cargo run -p swiftrl-analysis                 # lint the workspace, exit 1 on findings
+//! cargo run -p swiftrl-analysis -- --list       # list all rules
+//! cargo run -p swiftrl-analysis -- --explain K003
+//! cargo run -p swiftrl-analysis -- --fix-hints  # findings with fix suggestions
+//! cargo run -p swiftrl-analysis -- --root PATH  # lint a different tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use swiftrl_analysis::{analyze_workspace, find_workspace_root, rule_info, RULES};
+
+fn usage() -> &'static str {
+    "usage: swiftrl-analysis [--root PATH] [--fix-hints] [--list] [--explain RULE]"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut fix_hints = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    eprintln!("--explain needs a rule ID (e.g. K001)\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                let Some(info) = rule_info(&id) else {
+                    eprintln!("unknown rule `{id}`; known rules:");
+                    for r in RULES {
+                        eprintln!("  {} — {}", r.id, r.title);
+                    }
+                    return ExitCode::from(2);
+                };
+                println!("{} — {}\n\n{}\n\nfix: {}", info.id, info.title, info.explain, info.fix_hint);
+                return ExitCode::SUCCESS;
+            }
+            "--list" => {
+                for r in RULES {
+                    println!("{} — {}", r.id, r.title);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--fix-hints" => fix_hints = true,
+            "--root" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--root needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot determine current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no workspace root found above {}; pass --root", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &analysis.findings {
+        println!("{f}");
+        if fix_hints {
+            if let Some(info) = rule_info(f.rule) {
+                println!("    hint: {}", info.fix_hint);
+            }
+        }
+    }
+    eprintln!(
+        "swiftrl-analysis: {} files scanned, {} finding(s)",
+        analysis.files_scanned,
+        analysis.findings.len()
+    );
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1031 @@
+//! The lint rule registry and rule implementations.
+//!
+//! Every rule has a stable ID (`K00x` for kernel-discipline rules, `W00x`
+//! for workspace-hygiene rules), a one-paragraph explanation available via
+//! `--explain`, and a fix hint available via `--fix-hints`. Rules operate
+//! on the token stream produced by [`crate::scanner`]; literal contents are
+//! opaque, so violations quoted inside strings (e.g. in this file's own
+//! tests) never trip the analyzer.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::scanner::{matching_brace, tokenize, Token, TokenKind};
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable rule ID (`K001`..`K004`, `W001`).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule,
+            self.file.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Static metadata for one rule, surfaced by `--explain` / `--fix-hints`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule ID.
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// Multi-line explanation of what the rule enforces and why.
+    pub explain: &'static str,
+    /// Short suggestion for fixing a violation.
+    pub fix_hint: &'static str,
+}
+
+/// All registered rules, in ID order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "K001",
+        title: "no host floats in kernel code",
+        explain: "Kernel code (any `impl Kernel for ...` block, or any function \
+taking a `DpuContext` parameter) must not use host `f32`/`f64` types or float \
+literals. The DPU has no FPU: every float op must be an emulated, *charged* \
+intrinsic (`DpuContext::fadd`, `fmul`, ...) operating on the \
+`swiftrl_pim::kernel::F32` bit-pattern newtype. Host-float leaks silently \
+skip the soft-float cycle charges that SwiftRL's FP32-vs-INT32 comparison \
+(ISPASS'24 Fig. 7) is built on, making reported cycle counts too fast.",
+        fix_hint: "wrap the bits in `F32` and route arithmetic through \
+`DpuContext::{fadd,fsub,fmul,fdiv,fgt,fmax,i32_to_f32,f32_to_i32}`",
+    },
+    RuleInfo {
+        id: "K002",
+        title: "no nondeterminism or free work in kernel bodies",
+        explain: "Kernel bodies must be deterministic and fully charged. Heap \
+allocation (`vec!`, `Vec`, `Box`, `String`, `to_vec`, `to_bytes`, ...), host \
+I/O (`println!`, `dbg!`), wall-clock time (`std::time`, `Instant`), threads, \
+and `rand::` are all host-runtime services a real DPU tasklet does not have; \
+using them either costs zero charged cycles (free work) or makes runs \
+non-reproducible. Use fixed-size stack buffers, the charged `lcg_next` \
+intrinsic for randomness, and `DpuContext` DMA for data movement. \
+(`format!` on fault paths is exempt: faults abort cycle accounting anyway.)",
+        fix_hint: "replace heap buffers with fixed-size arrays, encode into \
+caller-provided `&mut [u8]`, and delete host I/O from kernel bodies",
+    },
+    RuleInfo {
+        id: "K003",
+        title: "every DpuContext intrinsic charges a cost",
+        explain: "Every public `&mut self` method on `DpuContext` is an \
+intrinsic kernels can call, so it must charge at least one `OpClass` — \
+directly (`charge_alu`, `charge_dma`, ...) or by delegating to a charged \
+intrinsic. Additionally every field of `pim::config::OpCosts` must be \
+referenced by some intrinsic, so a calibrated cost can never silently go \
+unused. Adding an intrinsic without a charge (or a cost without a consumer) \
+is exactly the bug class that would quietly corrupt the paper's cycle model.",
+        fix_hint: "add the appropriate `self.charge_*(...)` call to the new \
+intrinsic, or wire the new `OpCosts` field into the intrinsic that consumes it",
+    },
+    RuleInfo {
+        id: "K004",
+        title: "MRAM layout constants are 8-byte aligned",
+        explain: "The UPMEM DMA engine moves MRAM<->WRAM data in 8-byte \
+granules, and the simulator (like the hardware) rejects misaligned \
+transfers. Any constant named `*_OFFSET` or `*_BYTES` that describes MRAM \
+layout must therefore be a multiple of 8. The rule evaluates simple constant \
+expressions (literals, references to other constants, `+`, `-`, `*`, `<<`) \
+and flags any resolvable value not divisible by 8.",
+        fix_hint: "round the offset/record size up to the next multiple of 8 \
+and pad the on-MRAM layout accordingly",
+    },
+    RuleInfo {
+        id: "W001",
+        title: "no unwrap/expect in library code",
+        explain: "Library crates (`crates/*/src/**`, excluding binaries and \
+`#[cfg(test)]` code) must not call `.unwrap()` or `.expect(...)`: a panic \
+inside the simulator or an RL loop tears down the whole host process instead \
+of surfacing a typed error. Return `Result`, use `unwrap_or`/`map_or` with a \
+documented default, or `std::panic::resume_unwind` when re-raising a worker \
+panic is genuinely intended.",
+        fix_hint: "propagate a typed error with `?`, or handle the `None`/`Err` \
+arm explicitly",
+    },
+];
+
+/// Looks up rule metadata by ID (case-insensitive).
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES
+        .iter()
+        .find(|r| r.id.eq_ignore_ascii_case(id.trim()))
+}
+
+// ---------------------------------------------------------------------------
+// Region detection
+// ---------------------------------------------------------------------------
+
+/// Returns the matching close delimiter index for the opener at `open_idx`.
+fn matching_delim(tokens: &[Token<'_>], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Token index ranges (inclusive of braces) that count as *kernel code*:
+/// bodies of `impl Kernel for ...` blocks and bodies of functions that take
+/// a `DpuContext` parameter.
+fn kernel_regions(tokens: &[Token<'_>]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("impl") {
+            let mut j = i + 1;
+            let (mut saw_kernel, mut saw_for) = (false, false);
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                saw_kernel |= tokens[j].is_ident("Kernel");
+                saw_for |= tokens[j].is_ident("for");
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('{') && saw_kernel && saw_for {
+                let end = matching_brace(tokens, j);
+                regions.push((j, end));
+                i = end + 1;
+                continue;
+            }
+        }
+        if tokens[i].is_ident("fn") {
+            let mut j = i + 1;
+            while j < tokens.len()
+                && !tokens[j].is_punct('(')
+                && !tokens[j].is_punct('{')
+                && !tokens[j].is_punct(';')
+            {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('(') {
+                let close = matching_delim(tokens, j, '(', ')');
+                let has_ctx = tokens[j..close.min(tokens.len())]
+                    .iter()
+                    .any(|t| t.is_ident("DpuContext"));
+                if has_ctx {
+                    let mut k = close + 1;
+                    while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';')
+                    {
+                        k += 1;
+                    }
+                    if k < tokens.len() && tokens[k].is_punct('{') {
+                        let end = matching_brace(tokens, k);
+                        regions.push((k, end));
+                        i = end + 1;
+                        continue;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+// ---------------------------------------------------------------------------
+// K001 / K002: kernel-body discipline
+// ---------------------------------------------------------------------------
+
+const K002_ALLOC: &[&str] = &[
+    "vec", "Vec", "Box", "String", "to_vec", "to_string", "to_owned", "to_bytes", "HashMap",
+    "BTreeMap", "VecDeque",
+];
+const K002_IO: &[&str] = &["println", "print", "eprintln", "eprint", "dbg", "write", "writeln"];
+const K002_NONDET: &[&str] = &["rand", "Instant", "SystemTime", "thread", "sleep", "spawn"];
+
+fn check_kernel_regions(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Finding>) {
+    for &(start, end) in &kernel_regions(tokens) {
+        let body = &tokens[start..=end.min(tokens.len() - 1)];
+        for (off, t) in body.iter().enumerate() {
+            match t.kind {
+                TokenKind::FloatLit => findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: t.line,
+                    rule: "K001",
+                    message: format!(
+                        "host float literal `{}` in kernel code; use `F32` bits and \
+                         charged `DpuContext` intrinsics",
+                        t.text
+                    ),
+                }),
+                TokenKind::Ident if t.text == "f32" || t.text == "f64" => {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: t.line,
+                        rule: "K001",
+                        message: format!(
+                            "host `{}` type in kernel code; the DPU has no FPU — use \
+                             `F32` and the soft-float intrinsics",
+                            t.text
+                        ),
+                    })
+                }
+                TokenKind::Ident => {
+                    let reason = if K002_ALLOC.contains(&t.text) {
+                        Some("heap allocation")
+                    } else if K002_IO.contains(&t.text) {
+                        // `write`/`writeln` only matter as macros; a plain
+                        // method call `x.write(...)` is fine, so gate the io
+                        // set on a following `!`.
+                        if body.get(off + 1).is_some_and(|n| n.is_punct('!')) {
+                            Some("host I/O")
+                        } else {
+                            None
+                        }
+                    } else if K002_NONDET.contains(&t.text) {
+                        Some("nondeterministic host service")
+                    } else if t.text == "time"
+                        && off >= 3
+                        && body[off - 1].is_punct(':')
+                        && body[off - 2].is_punct(':')
+                        && body[off - 3].is_ident("std")
+                    {
+                        Some("wall-clock time")
+                    } else {
+                        None
+                    };
+                    if let Some(reason) = reason {
+                        findings.push(Finding {
+                            file: file.to_path_buf(),
+                            line: t.line,
+                            rule: "K002",
+                            message: format!(
+                                "`{}` in kernel body ({reason}); kernels must be \
+                                 deterministic and fully cycle-charged",
+                                t.text
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// K004: layout alignment
+// ---------------------------------------------------------------------------
+
+struct ConstDef {
+    line: u32,
+    expr: (usize, usize), // token range [start, end) of the initializer
+}
+
+/// Collects `const NAME: TY = EXPR;` definitions (at any nesting depth).
+fn collect_consts<'s>(tokens: &'s [Token<'s>]) -> HashMap<&'s str, ConstDef> {
+    let mut defs = HashMap::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("const")
+            && tokens[i + 1].kind == TokenKind::Ident
+            && tokens[i + 2].is_punct(':')
+        {
+            let name = tokens[i + 1].text;
+            let line = tokens[i + 1].line;
+            // Skip the type annotation up to the `=` (or bail at `;`).
+            let mut j = i + 3;
+            while j < tokens.len() && !tokens[j].is_punct('=') && !tokens[j].is_punct(';') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('=') {
+                let expr_start = j + 1;
+                let mut k = expr_start;
+                let mut depth = 0i32;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('(') || tokens[k].is_punct('[') {
+                        depth += 1;
+                    } else if tokens[k].is_punct(')') || tokens[k].is_punct(']') {
+                        depth -= 1;
+                    } else if tokens[k].is_punct(';') && depth <= 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                defs.insert(name, ConstDef { line, expr: (expr_start, k) });
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    defs
+}
+
+/// Evaluates a small constant-expression subset: integer literals, names of
+/// other constants in the same file, parentheses, `+`, `-`, `*`, `<<`.
+/// Returns `None` for anything it does not understand (method calls, paths).
+struct ConstEval<'s, 'd> {
+    tokens: &'s [Token<'s>],
+    defs: &'d HashMap<&'s str, ConstDef>,
+    memo: HashMap<&'s str, Option<u64>>,
+    visiting: BTreeSet<String>,
+}
+
+impl<'s, 'd> ConstEval<'s, 'd> {
+    fn resolve(&mut self, name: &'s str) -> Option<u64> {
+        if let Some(v) = self.memo.get(name) {
+            return *v;
+        }
+        if self.visiting.contains(name) {
+            return None; // cycle
+        }
+        self.visiting.insert(name.to_string());
+        let v = match self.defs.get(name).map(|d| d.expr) {
+            Some((s, e)) => self.eval_range(s, e),
+            None => None,
+        };
+        self.visiting.remove(name);
+        self.memo.insert(name, v);
+        v
+    }
+
+    fn eval_range(&mut self, start: usize, end: usize) -> Option<u64> {
+        let mut pos = start;
+        let v = self.shift(&mut pos, end)?;
+        if pos == end {
+            Some(v)
+        } else {
+            None // trailing tokens we do not understand
+        }
+    }
+
+    fn shift(&mut self, pos: &mut usize, end: usize) -> Option<u64> {
+        let mut acc = self.additive(pos, end)?;
+        while *pos + 1 < end
+            && self.tokens[*pos].is_punct('<')
+            && self.tokens[*pos + 1].is_punct('<')
+        {
+            *pos += 2;
+            let rhs = self.additive(pos, end)?;
+            acc = acc.checked_shl(u32::try_from(rhs).ok()?)?;
+        }
+        Some(acc)
+    }
+
+    fn additive(&mut self, pos: &mut usize, end: usize) -> Option<u64> {
+        let mut acc = self.multiplicative(pos, end)?;
+        while *pos < end {
+            if self.tokens[*pos].is_punct('+') {
+                *pos += 1;
+                acc = acc.checked_add(self.multiplicative(pos, end)?)?;
+            } else if self.tokens[*pos].is_punct('-') {
+                *pos += 1;
+                acc = acc.checked_sub(self.multiplicative(pos, end)?)?;
+            } else {
+                break;
+            }
+        }
+        Some(acc)
+    }
+
+    fn multiplicative(&mut self, pos: &mut usize, end: usize) -> Option<u64> {
+        let mut acc = self.atom(pos, end)?;
+        while *pos < end && self.tokens[*pos].is_punct('*') {
+            *pos += 1;
+            acc = acc.checked_mul(self.atom(pos, end)?)?;
+        }
+        Some(acc)
+    }
+
+    fn atom(&mut self, pos: &mut usize, end: usize) -> Option<u64> {
+        if *pos >= end {
+            return None;
+        }
+        let t = &self.tokens[*pos];
+        let v = if t.is_punct('(') {
+            let close = matching_delim(self.tokens, *pos, '(', ')');
+            if close >= end {
+                return None;
+            }
+            let inner = self.eval_range(*pos + 1, close)?;
+            *pos = close + 1;
+            inner
+        } else if t.kind == TokenKind::IntLit {
+            *pos += 1;
+            parse_int(t.text)?
+        } else if t.kind == TokenKind::Ident {
+            let name = t.text;
+            *pos += 1;
+            self.resolve(name)?
+        } else {
+            return None;
+        };
+        // Tolerate a trailing `as <type>` cast.
+        if *pos + 1 < end && self.tokens[*pos].is_ident("as") {
+            if self.tokens[*pos + 1].kind == TokenKind::Ident {
+                *pos += 2;
+            } else {
+                return None;
+            }
+        }
+        Some(v)
+    }
+}
+
+/// Parses a Rust integer literal (underscores, radix prefixes, suffixes).
+fn parse_int(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let (body, radix): (&str, u32) = if let Some(rest) = clean.strip_prefix("0x") {
+        (rest, 16)
+    } else if let Some(rest) = clean.strip_prefix("0b") {
+        (rest, 2)
+    } else if let Some(rest) = clean.strip_prefix("0o") {
+        (rest, 8)
+    } else {
+        (clean.as_str(), 10)
+    };
+    // Split the digits from any type suffix (`u32`, `usize`, ...).
+    let end = body
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(body.len());
+    u64::from_str_radix(&body[..end], radix).ok()
+}
+
+fn check_alignment(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Finding>) {
+    let defs = collect_consts(tokens);
+    let mut eval = ConstEval {
+        tokens,
+        defs: &defs,
+        memo: HashMap::new(),
+        visiting: BTreeSet::new(),
+    };
+    let mut names: Vec<&str> = defs
+        .keys()
+        .copied()
+        .filter(|n| n.ends_with("_OFFSET") || n.ends_with("_BYTES"))
+        .collect();
+    names.sort_unstable();
+    for name in names {
+        if let Some(v) = eval.resolve(name) {
+            if v % 8 != 0 {
+                let line = eval.defs.get(name).map_or(0, |d| d.line);
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line,
+                    rule: "K004",
+                    message: format!(
+                        "layout constant `{name}` = {v} is not 8-byte aligned \
+                         (DMA granule)",
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// W001: unwrap/expect in library code
+// ---------------------------------------------------------------------------
+
+/// True if W001 applies to this repo-relative path: library sources under
+/// `crates/*/src/`, excluding binary roots (`src/main.rs`, `src/bin/`).
+fn w001_applies(file: &Path) -> bool {
+    let p: Vec<&str> = file
+        .iter()
+        .map(|c| c.to_str().unwrap_or_default())
+        .collect();
+    if p.first() != Some(&"crates") {
+        return false;
+    }
+    let Some(src_at) = p.iter().position(|c| *c == "src") else {
+        return false;
+    };
+    if p.get(src_at + 1) == Some(&"bin") {
+        return false;
+    }
+    p.last() != Some(&"main.rs")
+}
+
+/// Computes which token indexes sit inside `#[cfg(test)]`-gated items.
+fn cfg_test_mask(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i + 3 < tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+        {
+            let close_paren = matching_delim(tokens, i + 3, '(', ')');
+            let attr = &tokens[i + 3..close_paren.min(tokens.len())];
+            // `cfg(not(test))` gates *production* code: never mask it.
+            let gated_on_test =
+                attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"));
+            let attr_end = close_paren + 1; // the `]`
+            if gated_on_test && attr_end < tokens.len() {
+                // Skip the gated item: to the first `{` (then its match) or
+                // a `;`, whichever comes first.
+                let mut j = attr_end + 1;
+                while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                    j += 1;
+                }
+                let item_end = if j < tokens.len() && tokens[j].is_punct('{') {
+                    matching_brace(tokens, j)
+                } else {
+                    j
+                };
+                for m in mask
+                    .iter_mut()
+                    .take(item_end.saturating_add(1).min(tokens.len()))
+                    .skip(i)
+                {
+                    *m = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn check_unwraps(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Finding>) {
+    if !w001_applies(file) {
+        return;
+    }
+    let mask = cfg_test_mask(tokens);
+    for i in 1..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: t.line,
+                rule: "W001",
+                message: format!(
+                    "`.{}()` in library code; propagate a typed error instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// K003: charge coverage of DpuContext intrinsics and OpCosts fields
+// ---------------------------------------------------------------------------
+
+struct Method<'s> {
+    name: &'s str,
+    line: u32,
+    is_pub: bool,
+    takes_mut_self: bool,
+    body: (usize, usize),
+}
+
+/// Extracts methods from every inherent `impl ... DpuContext ...` block
+/// (trait impls — headers containing `for` — are exempt).
+fn dpu_context_methods<'s>(tokens: &'s [Token<'s>]) -> Vec<Method<'s>> {
+    let mut methods = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let (mut saw_ctx, mut saw_for) = (false, false);
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            saw_ctx |= tokens[j].is_ident("DpuContext");
+            saw_for |= tokens[j].is_ident("for");
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is_punct('{') || !saw_ctx || saw_for {
+            i = j + 1;
+            continue;
+        }
+        let block_end = matching_brace(tokens, j);
+        let mut k = j + 1;
+        let mut last_item_boundary = j; // `{`, `}`, or `;` before the item
+        while k < block_end {
+            if tokens[k].is_punct('{') {
+                // A nested block that is not a method body we recognized —
+                // skip it wholesale (e.g. const items with blocks).
+                k = matching_brace(tokens, k) + 1;
+                last_item_boundary = k.saturating_sub(1);
+                continue;
+            }
+            if tokens[k].is_punct(';') {
+                last_item_boundary = k;
+                k += 1;
+                continue;
+            }
+            if tokens[k].is_ident("fn") {
+                let is_pub = tokens[last_item_boundary..k]
+                    .iter()
+                    .any(|t| t.is_ident("pub"));
+                let name_idx = k + 1;
+                let name = match tokens.get(name_idx) {
+                    Some(t) if t.kind == TokenKind::Ident => t.text,
+                    _ => {
+                        k += 1;
+                        continue;
+                    }
+                };
+                let line = tokens[name_idx].line;
+                let mut p = name_idx + 1;
+                while p < block_end && !tokens[p].is_punct('(') {
+                    p += 1;
+                }
+                let params_end = matching_delim(tokens, p, '(', ')');
+                let takes_mut_self = {
+                    let ps = &tokens[p + 1..params_end.min(tokens.len())];
+                    ps.first().is_some_and(|t| t.is_punct('&'))
+                        && ps.iter().take(4).any(|t| t.is_ident("mut"))
+                        && ps.iter().take(4).any(|t| t.is_ident("self"))
+                };
+                let mut b = params_end + 1;
+                while b < block_end && !tokens[b].is_punct('{') && !tokens[b].is_punct(';') {
+                    b += 1;
+                }
+                if b < block_end && tokens[b].is_punct('{') {
+                    let body_end = matching_brace(tokens, b);
+                    methods.push(Method {
+                        name,
+                        line,
+                        is_pub,
+                        takes_mut_self,
+                        body: (b, body_end),
+                    });
+                    k = body_end + 1;
+                    last_item_boundary = body_end;
+                    continue;
+                }
+                k = b + 1;
+                last_item_boundary = b;
+                continue;
+            }
+            k += 1;
+        }
+        i = block_end + 1;
+    }
+    methods
+}
+
+/// Checks that every public `&mut self` intrinsic on `DpuContext` charges an
+/// `OpClass`, and that every `OpCosts` field is consumed by some intrinsic.
+pub fn check_charge_coverage(
+    kernel_file: &Path,
+    kernel_src: &str,
+    config_file: &Path,
+    config_src: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let tokens = tokenize(kernel_src);
+    let methods = dpu_context_methods(&tokens);
+
+    // Direct charges: any identifier starting with `charge` in the body.
+    let mut charged: BTreeSet<&str> = methods
+        .iter()
+        .filter(|m| {
+            tokens[m.body.0..=m.body.1.min(tokens.len() - 1)]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text.starts_with("charge"))
+        })
+        .map(|m| m.name)
+        .collect();
+
+    // Transitive: a method that calls `self.<charged>(...)` is charged too.
+    loop {
+        let mut grew = false;
+        for m in &methods {
+            if charged.contains(m.name) {
+                continue;
+            }
+            let body = &tokens[m.body.0..=m.body.1.min(tokens.len() - 1)];
+            let delegates = body.windows(4).any(|w| {
+                w[0].is_ident("self")
+                    && w[1].is_punct('.')
+                    && w[2].kind == TokenKind::Ident
+                    && charged.contains(w[2].text)
+                    && w[3].is_punct('(')
+            });
+            if delegates {
+                charged.insert(m.name);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    for m in &methods {
+        if m.is_pub && m.takes_mut_self && !charged.contains(m.name) {
+            findings.push(Finding {
+                file: kernel_file.to_path_buf(),
+                line: m.line,
+                rule: "K003",
+                message: format!(
+                    "intrinsic `DpuContext::{}` never charges an OpClass; every \
+                     public `&mut self` intrinsic must cost cycles",
+                    m.name
+                ),
+            });
+        }
+    }
+
+    // OpCosts fields must all be consumed by kernel.rs.
+    let cfg_tokens = tokenize(config_src);
+    let mut fields: Vec<(&str, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < cfg_tokens.len() {
+        if cfg_tokens[i].is_ident("struct") && cfg_tokens[i + 1].is_ident("OpCosts") {
+            let mut j = i + 2;
+            while j < cfg_tokens.len() && !cfg_tokens[j].is_punct('{') {
+                j += 1;
+            }
+            let end = matching_brace(&cfg_tokens, j);
+            let mut k = j + 1;
+            while k + 1 < end {
+                if cfg_tokens[k].kind == TokenKind::Ident
+                    && cfg_tokens[k + 1].is_punct(':')
+                    && !cfg_tokens[k].is_ident("pub")
+                {
+                    fields.push((cfg_tokens[k].text, cfg_tokens[k].line));
+                    // Skip the field's type up to the comma at depth 0.
+                    let mut depth = 0i32;
+                    while k < end {
+                        if cfg_tokens[k].is_punct('<') || cfg_tokens[k].is_punct('(') {
+                            depth += 1;
+                        } else if cfg_tokens[k].is_punct('>') || cfg_tokens[k].is_punct(')') {
+                            depth -= 1;
+                        } else if cfg_tokens[k].is_punct(',') && depth <= 0 {
+                            break;
+                        }
+                        k += 1;
+                    }
+                }
+                k += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    for (field, line) in fields {
+        let used = tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == field);
+        if !used {
+            findings.push(Finding {
+                file: config_file.to_path_buf(),
+                line,
+                rule: "K003",
+                message: format!(
+                    "`OpCosts::{field}` is never referenced by any DpuContext \
+                     intrinsic; a calibrated cost must have a consumer"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Per-file entry point
+// ---------------------------------------------------------------------------
+
+/// Runs all single-file rules (K001, K002, K004, W001) over one source file.
+/// `file` must be the repo-relative path; it selects which rules apply.
+pub fn check_file(file: &Path, src: &str) -> Vec<Finding> {
+    let tokens = tokenize(src);
+    let mut findings = Vec::new();
+    check_kernel_regions(file, &tokens, &mut findings);
+    check_alignment(file, &tokens, &mut findings);
+    check_unwraps(file, &tokens, &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(file: &str, src: &str) -> Vec<&'static str> {
+        let mut r: Vec<&'static str> = check_file(Path::new(file), src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        r.dedup();
+        r
+    }
+
+    #[test]
+    fn k001_flags_host_float_kernel() {
+        let src = r#"
+            impl Kernel for Bad {
+                fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                    let x = 0.5f32;
+                    let y = 2.0 * x as f64;
+                    Ok(())
+                }
+            }
+        "#;
+        let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
+        let k001: Vec<_> = findings.iter().filter(|f| f.rule == "K001").collect();
+        assert_eq!(k001.len(), 3, "{findings:?}"); // 0.5f32, 2.0, f64
+        assert_eq!(k001[0].line, 4);
+    }
+
+    #[test]
+    fn k001_flags_fn_taking_context_outside_impl() {
+        let src = r#"
+            fn helper(ctx: &mut DpuContext<'_>, v: u32) -> u32 {
+                (v as f32) as u32
+            }
+        "#;
+        assert_eq!(rules_hit("crates/core/src/kernels.rs", src), ["K001"]);
+    }
+
+    #[test]
+    fn k001_ignores_host_code_and_strings() {
+        let src = r##"
+            fn host_side(x: f32) -> f32 { x * 0.5 }
+            const MSG: &str = "kernel uses 0.5f32 internally";
+            impl Kernel for Good {
+                fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                    let s = r#"fake 1.5f32 in a raw string"#;
+                    let _ = ctx.fadd(F32::ZERO, F32::ONE);
+                    Ok(())
+                }
+            }
+        "##;
+        assert!(rules_hit("crates/core/src/kernels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn k002_flags_heap_io_and_nondeterminism() {
+        let src = r#"
+            impl Kernel for Sloppy {
+                fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                    let buf = vec![0u8; 64];
+                    let t = std::time::Instant::now();
+                    println!("free work");
+                    Ok(())
+                }
+            }
+        "#;
+        let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
+        let k002: Vec<_> = findings.iter().filter(|f| f.rule == "K002").collect();
+        assert!(k002.len() >= 3, "{findings:?}");
+    }
+
+    #[test]
+    fn k002_exempts_format_on_fault_paths() {
+        let src = r#"
+            impl Kernel for Faulting {
+                fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                    Err(KernelError::Fault(format!("bad header {}", 1)))
+                }
+            }
+        "#;
+        assert!(rules_hit("crates/core/src/kernels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn k004_flags_misaligned_layout_constant() {
+        let src = r#"
+            pub const HEADER_BYTES: usize = 64;
+            pub const BAD_OFFSET: usize = HEADER_BYTES + 4;
+            pub const RECORD_BYTES: usize = 2 * 6;
+            pub const FINE_OFFSET: usize = (1 << 10) + 8 * 3;
+            const NOT_LAYOUT: usize = 3;
+        "#;
+        let findings = check_file(Path::new("crates/core/src/layout.rs"), src);
+        let k004: Vec<_> = findings.iter().filter(|f| f.rule == "K004").collect();
+        let names: Vec<_> = k004.iter().map(|f| f.message.clone()).collect();
+        assert_eq!(k004.len(), 2, "{names:?}");
+        assert!(names.iter().any(|m| m.contains("BAD_OFFSET")));
+        assert!(names.iter().any(|m| m.contains("RECORD_BYTES")));
+    }
+
+    #[test]
+    fn k004_skips_unevaluable_expressions() {
+        let src = r#"
+            pub const DYNAMIC_BYTES: usize = core::mem::size_of::<Header>();
+        "#;
+        assert!(rules_hit("crates/core/src/layout.rs", src).is_empty());
+    }
+
+    #[test]
+    fn w001_flags_unwrap_outside_tests_only() {
+        let src = r#"
+            pub fn lib_code(v: Option<u32>) -> u32 { v.unwrap() }
+            pub fn lib_code2(v: Option<u32>) -> u32 { v.expect("msg") }
+            pub fn fine(v: Option<u32>) -> u32 { v.unwrap_or(0) }
+            #[cfg(test)]
+            mod tests {
+                fn test_code(v: Option<u32>) -> u32 { v.unwrap() }
+            }
+        "#;
+        let findings = check_file(Path::new("crates/pim/src/host.rs"), src);
+        let w001: Vec<_> = findings.iter().filter(|f| f.rule == "W001").collect();
+        assert_eq!(w001.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn w001_skips_bins_tests_and_out_of_scope_paths() {
+        let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }";
+        assert!(rules_hit("crates/bench/src/bin/sweep.rs", src).is_empty());
+        assert!(rules_hit("crates/analysis/src/main.rs", src).is_empty());
+        assert!(rules_hit("tests/failure_paths.rs", src).is_empty());
+        assert!(rules_hit("examples/custom_kernel.rs", src).is_empty());
+        assert_eq!(rules_hit("crates/rl/src/qtable.rs", src), ["W001"]);
+    }
+
+    #[test]
+    fn k003_flags_uncharged_intrinsic() {
+        let kernel_src = r#"
+            impl<'a> DpuContext<'a> {
+                pub fn charge_alu(&mut self, n: u64) { self.counter.charge(OpClass::Alu, n); }
+                pub fn add32(&mut self, a: u32, b: u32) -> u32 {
+                    self.charge_alu(1);
+                    a.wrapping_add(b)
+                }
+                pub fn double(&mut self, a: u32) -> u32 { self.add32(a, a) }
+                pub fn sneaky(&mut self, a: u32) -> u32 { a ^ 1 }
+                pub fn tasklet_id(&self) -> usize { self.tasklet_id }
+                fn internal(&mut self) {}
+            }
+        "#;
+        let config_src = r#"
+            pub struct OpCosts { pub mul32_slots: u64, pub unused_slots: u64 }
+        "#;
+        let findings = check_charge_coverage(
+            Path::new("crates/pim/src/kernel.rs"),
+            kernel_src,
+            Path::new("crates/pim/src/config.rs"),
+            config_src,
+        );
+        let msgs: Vec<_> = findings.iter().map(|f| f.message.as_str()).collect();
+        // `sneaky` is uncharged; `double` delegates to add32 (charged);
+        // accessors and private helpers are exempt. `unused_slots` has no
+        // consumer; `mul32_slots` is absent from this synthetic kernel too.
+        assert!(msgs.iter().any(|m| m.contains("sneaky")), "{msgs:?}");
+        assert!(!msgs.iter().any(|m| m.contains("double")), "{msgs:?}");
+        assert!(!msgs.iter().any(|m| m.contains("tasklet_id")), "{msgs:?}");
+        assert!(!msgs.iter().any(|m| m.contains("internal")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("unused_slots")), "{msgs:?}");
+    }
+
+    #[test]
+    fn k003_transitive_delegation_wave() {
+        // c -> b -> a -> charge: requires more than one fixed-point pass.
+        let kernel_src = r#"
+            impl<'a> DpuContext<'a> {
+                pub fn a(&mut self) { self.counter.charge(OpClass::Alu, 1); }
+                pub fn b(&mut self) { self.a(); }
+                pub fn c(&mut self) { self.b(); }
+            }
+        "#;
+        let findings = check_charge_coverage(
+            Path::new("k.rs"),
+            kernel_src,
+            Path::new("c.rs"),
+            "pub struct OpCosts {}",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn rule_registry_is_complete() {
+        let ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
+        assert_eq!(ids, ["K001", "K002", "K003", "K004", "W001"]);
+        for r in RULES {
+            assert!(!r.explain.is_empty() && !r.fix_hint.is_empty());
+        }
+        assert!(rule_info("k002").is_some());
+        assert!(rule_info("K999").is_none());
+    }
+}

@@ -1,0 +1,506 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The analyzer deliberately avoids `syn`/`proc-macro2` (DESIGN.md §5: zero
+//! new dependencies), so this module implements the small slice of Rust
+//! lexing the lint rules need: comments (line, nested block), string / raw
+//! string / byte-string / char literals, lifetimes, numeric literals with
+//! float-vs-integer disambiguation (`1.max(2)` is an integer plus a method
+//! call; `0.5f32` and `1.0e-3` are floats), identifiers (including raw
+//! identifiers), and single-character punctuation. Literal *contents* are
+//! never inspected by any rule, which is what lets the analysis crate seed
+//! violations inside raw strings in its own tests without tripping itself.
+
+/// The coarse classification a lint rule can dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `impl`, `f32`, `charge_alu`, ...).
+    Ident,
+    /// Integer literal, including hex/octal/binary and integer-suffixed forms.
+    IntLit,
+    /// Floating-point literal (`0.5`, `1.0e-3`, `1f32`, `65_536.0`).
+    FloatLit,
+    /// String, raw string, byte string, or character literal. Contents opaque.
+    StrLit,
+    /// A lifetime such as `'a` or `'_`.
+    Lifetime,
+    /// A single punctuation character (`{`, `}`, `(`, `.`, `&`, ...).
+    Punct,
+}
+
+/// One lexed token, borrowing its text from the source buffer.
+#[derive(Debug, Clone)]
+pub struct Token<'s> {
+    /// Classification used by the rules.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'s str,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl<'s> Token<'s> {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a token stream, discarding comments and whitespace.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    Scanner {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Scanner<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token<'s>>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'s> Scanner<'s> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = &self.src[start..self.pos];
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token<'s>> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
+                b'"' => self.scan_string(),
+                b'\'' => self.scan_quote(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                _ if b.is_ascii_digit() => self.scan_number(),
+                _ if is_ident_start(b) => self.scan_ident(),
+                _ => self.scan_punct(),
+            }
+        }
+        self.out
+    }
+
+    fn skip_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        // Rust block comments nest.
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br"…"`, `b'x'`.
+    /// Returns true (and consumes) if the current position starts one of
+    /// those forms; otherwise leaves the position for `scan_ident`.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let b = self.bytes[self.pos];
+        let mut i = self.pos + 1;
+        if b == b'b' {
+            match self.bytes.get(i).copied() {
+                Some(b'"') => {
+                    self.pos = i;
+                    self.scan_string_from(start, line);
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.pos = i;
+                    self.scan_byte_char(start, line);
+                    return true;
+                }
+                Some(b'r') => i += 1,
+                _ => {
+                    self.scan_ident();
+                    return true;
+                }
+            }
+        }
+        // At this point `i` indexes just past `r` (or `br`).
+        let mut hashes = 0usize;
+        while self.bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if self.bytes.get(i) == Some(&b'"') {
+            self.pos = i + 1;
+            self.scan_raw_string_tail(start, line, hashes);
+            true
+        } else if b == b'r' && hashes == 1 && self.bytes.get(i).copied().is_some_and(is_ident_start)
+        {
+            // Raw identifier `r#type`.
+            self.pos = i;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Ident, start, line);
+            true
+        } else {
+            self.scan_ident();
+            true
+        }
+    }
+
+    fn scan_string(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.scan_string_from(start, line);
+    }
+
+    /// Scans a `"…"` body with escapes; `self.pos` is at the opening quote.
+    fn scan_string_from(&mut self, start: usize, line: u32) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::StrLit, start, line);
+    }
+
+    fn scan_raw_string_tail(&mut self, start: usize, line: u32, hashes: usize) {
+        // `self.pos` is just past the opening quote.
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if self.peek(1 + k) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    self.pos += 1;
+                    if ok {
+                        self.pos += hashes;
+                        break;
+                    }
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::StrLit, start, line);
+    }
+
+    fn scan_byte_char(&mut self, start: usize, line: u32) {
+        // `self.pos` at the opening `'` of `b'x'` / `b'\n'`.
+        self.pos += 1;
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 1;
+        }
+        self.pos += 1;
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+        self.push(TokenKind::StrLit, start, line);
+    }
+
+    /// Disambiguates char literals from lifetimes at a `'`.
+    fn scan_quote(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote.
+                self.pos += 2;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                self.push(TokenKind::StrLit, start, line);
+            }
+            Some(c) if c >= 0x80 => {
+                // Multi-byte char literal: find the closing quote nearby.
+                self.pos += 1;
+                let limit = (self.pos + 5).min(self.bytes.len());
+                while self.pos < limit && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                self.push(TokenKind::StrLit, start, line);
+            }
+            Some(_) if self.peek(2) == Some(b'\'') => {
+                // 'x'
+                self.pos += 3;
+                self.push(TokenKind::StrLit, start, line);
+            }
+            _ => {
+                // Lifetime: `'` followed by identifier characters (or `'_`).
+                self.pos += 1;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Lifetime, start, line);
+            }
+        }
+    }
+
+    fn scan_number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut kind = TokenKind::IntLit;
+        if self.bytes[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x') | Some(b'b') | Some(b'o'))
+        {
+            // Radix-prefixed literal: digits and suffix are all ident chars.
+            self.pos += 2;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            self.push(kind, start, line);
+            return;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                // `1.max(2)` / `0..n`: the dot is not part of the literal.
+                Some(n) if is_ident_start(n) || n == b'.' => {}
+                _ => {
+                    // `65_536.0`, `1.` — a float.
+                    kind = TokenKind::FloatLit;
+                    self.pos += 1;
+                    while self
+                        .peek(0)
+                        .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
+            let (a, b2) = (self.peek(1), self.peek(2));
+            let exp = match a {
+                Some(d) if d.is_ascii_digit() => true,
+                Some(b'+') | Some(b'-') => b2.is_some_and(|d| d.is_ascii_digit()),
+                _ => false,
+            };
+            if exp {
+                kind = TokenKind::FloatLit;
+                self.pos += 1;
+                if matches!(self.peek(0), Some(b'+') | Some(b'-')) {
+                    self.pos += 1;
+                }
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Type suffix (`u32`, `usize`, `f32`, ...).
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix == "f32" || suffix == "f64" {
+            kind = TokenKind::FloatLit;
+        }
+        self.push(kind, start, line);
+    }
+
+    fn scan_ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn scan_punct(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let b = self.bytes[self.pos];
+        if b < 0x80 {
+            self.pos += 1;
+        } else {
+            // Stray non-ASCII character outside a literal: consume the whole
+            // UTF-8 sequence so we never split a code point.
+            self.pos += 1;
+            while self.peek(0).is_some_and(|x| (0x80..0xC0).contains(&x)) {
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+/// Returns the index of the matching close brace for the open brace at
+/// `open_idx` (which must be a `{` token), or `tokens.len()` if unbalanced.
+pub fn matching_brace(tokens: &[Token<'_>], open_idx: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let toks = kinds("a // line\nb /* block /* nested */ still */ c");
+        let idents: Vec<_> = toks.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn float_vs_int_disambiguation() {
+        let toks = kinds("1.max(2) 0..n 0.5 1f32 2u32 1.0e-3 65_536.0 0xFFu64");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::FloatLit)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(floats, ["0.5", "1f32", "1.0e-3", "65_536.0"]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::IntLit)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ints, ["1", "2", "0", "2u32", "0xFFu64"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("<'a> 'x' '\\n' b'S' &'_ ()");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'_"]);
+        let strs = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::StrLit)
+            .count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn raw_strings_hide_contents() {
+        let toks = kinds(r####"let s = r#"0.5f32 .unwrap() vec![]"#; x"####);
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::FloatLit));
+        assert!(!toks.iter().any(|(_, s)| s == "unwrap" || s == "vec"));
+        assert!(toks.iter().any(|(_, s)| s == "x"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let toks = kinds(r#"b"SFFH" br"raw" r#type bare"#);
+        let strs = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::StrLit)
+            .count();
+        assert_eq!(strs, 2);
+        assert!(toks.iter().any(|(_, s)| s == "r#type"));
+        assert!(toks.iter().any(|(_, s)| s == "bare"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\n/* c\n */ b";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 5); // `b` after multi-line comment
+    }
+
+    #[test]
+    fn brace_matching() {
+        let toks = tokenize("fn f() { if x { y } else { z } } fn g() {}");
+        let open = toks.iter().position(|t| t.is_punct('{')).unwrap();
+        let close = matching_brace(&toks, open);
+        assert!(toks[close].is_punct('}'));
+        // Everything between belongs to `f`.
+        assert!(toks[open..close].iter().any(|t| t.is_ident("z")));
+        assert!(!toks[open..close].iter().any(|t| t.is_ident("g")));
+    }
+}

@@ -95,6 +95,9 @@ impl SharedQ<'_> {
 /// # Panics
 ///
 /// Panics if `threads == 0` or the dataset is empty.
+// The flat parameter list mirrors the paper's training-call signature
+// (Algorithm 1); bundling into a config struct would only obscure it.
+#[allow(clippy::too_many_arguments)]
 pub fn train_cpu_v1(
     dataset: &ExperienceDataset,
     rule: UpdateRule,
@@ -117,7 +120,7 @@ pub fn train_cpu_v1(
     };
 
     let start = Instant::now();
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for (tid, range) in chunks.iter().enumerate() {
             let values = &values;
             let transitions = &dataset.transitions()[range.clone()];
@@ -156,8 +159,10 @@ pub fn train_cpu_v1(
                 }
             });
         }
-    })
-    .expect("baseline worker panicked");
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
     let seconds = start.elapsed().as_secs_f64();
 
     let mut q = QTable::zeros(ns, na);
@@ -183,6 +188,8 @@ pub fn train_cpu_v1(
 /// # Panics
 ///
 /// Panics if `threads == 0` or the dataset is empty.
+// Same flat signature as `train_cpu_v1`, for side-by-side comparison.
+#[allow(clippy::too_many_arguments)]
 pub fn train_cpu_v2(
     dataset: &ExperienceDataset,
     rule: UpdateRule,
@@ -200,7 +207,7 @@ pub fn train_cpu_v2(
     let chunks = split_ranges(dataset.len(), threads);
 
     let start = Instant::now();
-    let locals: Vec<QTable> = crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .enumerate()
@@ -236,9 +243,18 @@ pub fn train_cpu_v2(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("baseline worker panicked");
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(q) => q,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let locals: Vec<QTable> = match scope_result {
+        Ok(locals) => locals,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
     let q_table = QTable::mean_of(&locals);
     let seconds = start.elapsed().as_secs_f64();
 

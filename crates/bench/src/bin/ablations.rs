@@ -38,7 +38,7 @@ fn main() {
     println!("## 1. Synchronization period τ (Q-learner-SEQ-INT32)\n");
     let mut rows = Vec::new();
     for tau in [10u32, 25, 50, 100] {
-        if episodes % tau != 0 {
+        if !episodes.is_multiple_of(tau) {
             continue;
         }
         let cfg = RunConfig::paper_defaults()

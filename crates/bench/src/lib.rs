@@ -38,6 +38,9 @@ impl HarnessArgs {
     ///
     /// Panics with a usage message on malformed flags.
     pub fn parse(default_scale: f64) -> Self {
+        fn usage(msg: &str) -> ! {
+            panic!("{msg}; try --help")
+        }
         let mut out = Self {
             scale: default_scale,
             dpus: None,
@@ -47,22 +50,28 @@ impl HarnessArgs {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--scale" => {
-                    let v = args.next().expect("--scale needs a value");
-                    out.scale = v.parse().expect("--scale must be a float");
+                    let v = args.next().unwrap_or_else(|| usage("--scale needs a value"));
+                    out.scale = v.parse().unwrap_or_else(|_| usage("--scale must be a float"));
                     assert!(out.scale > 0.0 && out.scale <= 1.0, "--scale must be in (0, 1]");
                 }
                 "--paper-scale" => out.scale = 1.0,
                 "--dpus" => {
-                    let v = args.next().expect("--dpus needs a comma-separated list");
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--dpus needs a comma-separated list"));
                     out.dpus = Some(
                         v.split(',')
-                            .map(|s| s.trim().parse().expect("--dpus must be integers"))
+                            .map(|s| {
+                                s.trim()
+                                    .parse()
+                                    .unwrap_or_else(|_| usage("--dpus must be integers"))
+                            })
                             .collect(),
                     );
                 }
                 "--seed" => {
-                    let v = args.next().expect("--seed needs a value");
-                    out.seed = Some(v.parse().expect("--seed must be a u32"));
+                    let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    out.seed = Some(v.parse().unwrap_or_else(|_| usage("--seed must be a u32")));
                 }
                 "--help" | "-h" => {
                     eprintln!(

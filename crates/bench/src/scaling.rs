@@ -87,9 +87,9 @@ pub fn run_scaling_figure(
                 .with_tau(fig.tau)
                 .with_seed(args.seed.unwrap_or(0xC0FFEE));
             let outcome = PimRunner::new(spec, cfg)
-                .expect("DPU allocation failed")
+                .unwrap_or_else(|e| panic!("DPU allocation failed: {e}"))
                 .run(dataset)
-                .expect("PIM run failed");
+                .unwrap_or_else(|e| panic!("PIM run failed: {e}"));
             let b = extra.apply(&outcome.breakdown);
             rows.push(vec![
                 dpus.to_string(),
@@ -114,11 +114,11 @@ pub fn run_scaling_figure(
             &["PIM cores", "PIM kernel", "CPU-PIM", "PIM-CPU", "Inter-PIM", "Total"],
             &rows,
         );
-        if let (Some(first), Some(last)) = (first_total, last_total) {
+        if let (Some(first), Some(last), [lo_dpus, .., hi_dpus]) =
+            (first_total, last_total, dpu_counts.as_slice())
+        {
             println!(
-                "\nspeedup {}→{} cores: {:.2}×\n",
-                dpu_counts.first().unwrap(),
-                dpu_counts.last().unwrap(),
+                "\nspeedup {lo_dpus}→{hi_dpus} cores: {:.2}×\n",
                 first / last
             );
         }
@@ -129,10 +129,9 @@ pub fn run_scaling_figure(
 }
 
 fn summarize(cells: &[ScalingCell], dpu_counts: &[usize]) {
-    if dpu_counts.len() < 2 {
-        return;
-    }
-    let (lo, hi) = (dpu_counts[0], *dpu_counts.last().unwrap());
+    let &[lo, .., hi] = dpu_counts else {
+        return; // fewer than two counts: no speedup to report
+    };
     let mut kernel_speedups = Vec::new();
     for spec in WorkloadSpec::paper_variants() {
         let t = |d: usize| {

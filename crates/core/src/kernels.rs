@@ -81,8 +81,9 @@ impl Kernel for SwiftRlKernel {
 
     fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
         // Header load: one DMA + field decodes (every tasklet reads it,
-        // as UPMEM tasklets each execute main()).
-        let mut hdr_buf = vec![0u8; HEADER_BYTES];
+        // as UPMEM tasklets each execute main()). Stack buffer: kernels
+        // must not heap-allocate (K002).
+        let mut hdr_buf = [0u8; HEADER_BYTES];
         ctx.mram_read(0, &mut hdr_buf)?;
         ctx.charge_alu(13); // unpack the 13 header words into registers
         let hdr = KernelHeader::from_bytes(&hdr_buf).map_err(KernelError::Fault)?;
@@ -99,7 +100,6 @@ struct WramMap {
     q: usize,
     /// Transition staging buffer after the Q-table (8-byte aligned).
     batch: usize,
-    q_bytes: usize,
 }
 
 impl WramMap {
@@ -108,13 +108,20 @@ impl WramMap {
         Self {
             q: 0,
             batch: q_bytes.div_ceil(8) * 8,
-            q_bytes,
         }
     }
 
     #[inline]
     fn q_entry(&self, num_actions: u32, state: u32, action: u32) -> usize {
         self.q + (state * num_actions + action) as usize * 4
+    }
+
+    /// Q-table DMA length: `q_bytes` rounded up to the 8-byte DMA
+    /// granule. The pad bytes fall in the reserved gap before `batch`
+    /// (WRAM) and before the transition records (MRAM).
+    #[inline]
+    fn q_dma_bytes(&self) -> usize {
+        self.batch - self.q
     }
 }
 
@@ -168,7 +175,7 @@ impl KernelBody {
         // Tasklet 0 stages the shared Q-table into WRAM; the others
         // arrive at a barrier (charged as control slots).
         if self.tasklet_id == 0 {
-            ctx.mram_to_wram(Q_TABLE_OFFSET, self.map.q, self.map.q_bytes)?;
+            ctx.mram_to_wram(Q_TABLE_OFFSET, self.map.q, self.map.q_dma_bytes())?;
         } else {
             ctx.charge_control(2); // barrier wait
         }
@@ -195,10 +202,12 @@ impl KernelBody {
         // launch continues where this one stopped (no host-side header
         // re-arm between rounds).
         if self.tasklet_id + 1 == self.tasklets {
-            ctx.wram_to_mram(self.map.q, Q_TABLE_OFFSET, self.map.q_bytes)?;
+            ctx.wram_to_mram(self.map.q, Q_TABLE_OFFSET, self.map.q_dma_bytes())?;
             let mut next_hdr = *hdr;
             next_hdr.episode_base = hdr.episode_base.wrapping_add(hdr.episodes);
-            ctx.mram_write(0, &next_hdr.to_bytes())?;
+            let mut hdr_out = [0u8; HEADER_BYTES];
+            next_hdr.encode_into(&mut hdr_out);
+            ctx.mram_write(0, &hdr_out)?;
             ctx.charge_alu(2);
         }
         Ok(())
@@ -880,7 +889,7 @@ mod tests {
     #[test]
     fn corrupt_record_faults() {
         let spec = WorkloadSpec::q_learning_seq_fp32();
-        let bad = vec![Transition {
+        let bad = [Transition {
             state: State(0),
             action: Action(0),
             reward: 0.0,

@@ -70,8 +70,10 @@ pub struct KernelHeader {
 }
 
 impl KernelHeader {
-    /// Serializes to the 64-byte MRAM block.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serializes into a caller-provided 64-byte block without heap
+    /// allocation — the form kernels use (K002: no free work in kernel
+    /// bodies). Trailing pad bytes are zeroed.
+    pub fn encode_into(&self, out: &mut [u8; HEADER_BYTES]) {
         let words = [
             HEADER_MAGIC,
             self.n_transitions,
@@ -87,12 +89,17 @@ impl KernelHeader {
             self.epsilon_threshold,
             self.scale,
         ];
-        let mut out = Vec::with_capacity(HEADER_BYTES);
-        for w in words {
-            out.extend_from_slice(&w.to_le_bytes());
+        *out = [0u8; HEADER_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
         }
-        out.resize(HEADER_BYTES, 0);
-        out
+    }
+
+    /// Serializes to the 64-byte MRAM block (host-side convenience).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = [0u8; HEADER_BYTES];
+        self.encode_into(&mut out);
+        out.to_vec()
     }
 
     /// Deserializes from the 64-byte MRAM block.

@@ -14,6 +14,7 @@ use crate::partition::partition_even;
 use swiftrl_env::ExperienceDataset;
 use swiftrl_pim::config::PimConfig;
 use swiftrl_pim::host::{DpuSet, PimError, PimSystem};
+use swiftrl_pim::report::SanitizerReport;
 use swiftrl_rl::policy::epsilon_threshold;
 use swiftrl_rl::qtable::{FixedQTable, QTable};
 use swiftrl_rl::sampling::SamplingStrategy;
@@ -35,6 +36,10 @@ pub struct RunOutcome {
     pub comm_rounds: u32,
     /// DPUs used.
     pub dpus: usize,
+    /// Accumulated runtime-sanitizer findings over every launch of the
+    /// run. Empty (and `is_clean()`) when the platform runs with
+    /// [`swiftrl_pim::sanitize::SanitizeLevel::Off`].
+    pub sanitizer: SanitizerReport,
 }
 
 /// Drives one workload variant on a simulated PIM platform.
@@ -195,6 +200,7 @@ impl PimRunner {
             breakdown,
             comm_rounds: rounds,
             dpus: ndpus,
+            sanitizer: self.set.sanitizer_report().clone(),
         })
     }
 

@@ -119,10 +119,11 @@ mod tests {
         let mut seen_minus1 = false;
         let mut seen_minus10 = false;
         for t in &d {
-            match t.reward {
-                r if r == -1.0 => seen_minus1 = true,
-                r if r == -10.0 => seen_minus10 = true,
-                _ => {}
+            if t.reward == -1.0 {
+                seen_minus1 = true;
+            }
+            if t.reward == -10.0 {
+                seen_minus10 = true;
             }
         }
         assert!(seen_minus1 && seen_minus10);

@@ -138,11 +138,11 @@ impl FrozenLake {
     }
 
     fn start_state(&self) -> State {
-        let idx = self
-            .tiles
-            .iter()
-            .position(|t| *t == Tile::Start)
-            .expect("validated at construction");
+        let idx = match self.tiles.iter().position(|t| *t == Tile::Start) {
+            Some(i) => i,
+            // Constructors reject grids without a start tile.
+            None => panic!("grid has no start tile"),
+        };
         State(idx as u32)
     }
 

@@ -22,7 +22,7 @@ fn check_invariants<E: DiscreteEnv>(
     let mut state = env.reset(&mut rng);
     prop_assert!(state.index() < env.num_states());
     for _ in 0..steps {
-        let a = Action((rng.next_u32() % env.num_actions() as u32) as u32);
+        let a = Action(rng.next_u32() % env.num_actions() as u32);
         let step = env.step(a, &mut rng);
         prop_assert!(step.next_state.index() < env.num_states());
         prop_assert!(

@@ -42,6 +42,9 @@ pub struct PimConfig {
     pub cost: CostModel,
     /// CPU↔PIM transfer model constants.
     pub transfer: TransferModel,
+    /// Runtime sanitizer level applied to every launch (default: off).
+    #[serde(default)]
+    pub sanitize: crate::sanitize::SanitizeLevel,
 }
 
 impl Default for PimConfig {
@@ -56,6 +59,7 @@ impl Default for PimConfig {
             dpus_per_rank: 64,
             cost: CostModel::default(),
             transfer: TransferModel::default(),
+            sanitize: crate::sanitize::SanitizeLevel::Off,
         }
     }
 }
@@ -133,6 +137,12 @@ impl PimConfigBuilder {
     /// Overrides the transfer model.
     pub fn transfer(mut self, transfer: TransferModel) -> Self {
         self.inner.transfer = transfer;
+        self
+    }
+
+    /// Sets the runtime sanitizer level for every launch on the platform.
+    pub fn sanitize(mut self, level: crate::sanitize::SanitizeLevel) -> Self {
+        self.inner.sanitize = level;
         self
     }
 

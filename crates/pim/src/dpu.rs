@@ -4,6 +4,7 @@ use crate::config::PimConfig;
 use crate::cost::CycleCounter;
 use crate::kernel::{DpuContext, Kernel, KernelError};
 use crate::memory::DpuMemory;
+use crate::sanitize::DpuSanitizer;
 
 /// One DPU: a processing element with its private MRAM bank and WRAM
 /// scratchpad.
@@ -15,6 +16,7 @@ pub struct Dpu {
     id: usize,
     memory: DpuMemory,
     last_counter: CycleCounter,
+    sanitizer: DpuSanitizer,
 }
 
 impl Dpu {
@@ -24,6 +26,7 @@ impl Dpu {
             id,
             memory: DpuMemory::new(config.mram_bytes, config.wram_bytes),
             last_counter: CycleCounter::new(),
+            sanitizer: DpuSanitizer::new(id),
         }
     }
 
@@ -47,6 +50,12 @@ impl Dpu {
         &self.last_counter
     }
 
+    /// The runtime sanitizer attached to this DPU (drained by the host
+    /// after every launch).
+    pub fn sanitizer_mut(&mut self) -> &mut DpuSanitizer {
+        &mut self.sanitizer
+    }
+
     /// Executes `kernel` on this DPU and returns the cycles it took.
     ///
     /// Tasklets run sequentially (the simulator does not model preemption
@@ -61,15 +70,28 @@ impl Dpu {
     pub fn execute(&mut self, kernel: &dyn Kernel, config: &PimConfig) -> Result<u64, KernelError> {
         let tasklets = kernel.tasklets().clamp(1, config.tasklets_per_dpu);
         let interval = config.cost.tasklet_issue_interval(tasklets);
+        let sanitize = config.sanitize;
+        self.sanitizer.begin_launch(sanitize, tasklets);
         let mut max_cycles = 0u64;
         let mut merged = CycleCounter::new();
+        let mut result = Ok(());
         for tasklet in 0..tasklets {
             let mut ctx = DpuContext::new(self.id, tasklet, &mut self.memory, &config.cost);
-            kernel.run(&mut ctx)?;
+            if sanitize.enabled() {
+                ctx = ctx.with_sanitizer(&mut self.sanitizer);
+            }
+            result = kernel.run(&mut ctx);
             let counter = ctx.into_counter();
+            if result.is_err() {
+                break;
+            }
             max_cycles = max_cycles.max(counter.cycles(interval));
             merged.merge(&counter);
         }
+        // Run the race detector (and release per-launch logs) even when a
+        // tasklet faulted: partial access sets still carry diagnostics.
+        self.sanitizer.finish_launch();
+        result?;
         self.last_counter = merged;
         Ok(max_cycles)
     }

@@ -9,6 +9,8 @@ use crate::config::PimConfig;
 use crate::dpu::Dpu;
 use crate::kernel::{Kernel, KernelError};
 use crate::memory::MemoryError;
+use crate::report::SanitizerReport;
+use crate::sanitize::{FindingKind, SanitizeLevel, SanitizerFinding};
 use crate::stats::{LaunchStats, SystemStats};
 use crate::xfer::{Direction, TransferLedger, TransferRecord};
 use std::fmt;
@@ -139,11 +141,17 @@ pub struct DpuSet {
     ledger: TransferLedger,
     last_launch: LaunchStats,
     program_loaded: bool,
+    sanitizer_report: SanitizerReport,
+    kernel_running: bool,
 }
 
 impl DpuSet {
     fn new(config: PimConfig, n: usize) -> Self {
         let dpus = (0..n).map(|i| Dpu::new(i, &config)).collect();
+        let sanitizer_report = SanitizerReport {
+            level: config.sanitize,
+            ..SanitizerReport::default()
+        };
         Self {
             config,
             dpus,
@@ -151,6 +159,8 @@ impl DpuSet {
             ledger: TransferLedger::new(),
             last_launch: LaunchStats::default(),
             program_loaded: false,
+            sanitizer_report,
+            kernel_running: false,
         }
     }
 
@@ -185,6 +195,41 @@ impl DpuSet {
         self.stats.reset();
         self.ledger.clear();
         self.last_launch = LaunchStats::default();
+    }
+
+    /// Sets the runtime sanitization level for subsequent launches.
+    ///
+    /// Sanitization is observation-only: Q-tables and cycle counts are
+    /// bit-identical with it on or off; only diagnostics are collected.
+    pub fn set_sanitize_level(&mut self, level: SanitizeLevel) {
+        self.config.sanitize = level;
+        self.sanitizer_report.level = level;
+    }
+
+    /// The sanitization level launches currently run at.
+    pub fn sanitize_level(&self) -> SanitizeLevel {
+        self.config.sanitize
+    }
+
+    /// Accumulated sanitizer diagnostics across launches.
+    pub fn sanitizer_report(&self) -> &SanitizerReport {
+        &self.sanitizer_report
+    }
+
+    /// Clears accumulated sanitizer findings (keeps the level).
+    pub fn reset_sanitizer_report(&mut self) {
+        self.sanitizer_report.reset();
+    }
+
+    /// Records a host MRAM access inside an async launch window.
+    fn note_host_access(&mut self, dpu: usize, offset: usize, len: usize) {
+        if self.kernel_running && self.config.sanitize.enabled() {
+            self.sanitizer_report.findings.push(SanitizerFinding {
+                dpu,
+                tasklet: None,
+                kind: FindingKind::HostAccessDuringLaunch { offset, len },
+            });
+        }
     }
 
     fn check_dpu(&self, index: usize) -> Result<(), PimError> {
@@ -229,6 +274,7 @@ impl DpuSet {
     /// Fails on a bad DPU index or an out-of-range MRAM write.
     pub fn copy_to(&mut self, dpu: usize, mram_offset: usize, data: &[u8]) -> Result<(), PimError> {
         self.check_dpu(dpu)?;
+        self.note_host_access(dpu, mram_offset, data.len());
         self.dpus[dpu].mram_mut().write(mram_offset, data)?;
         let seconds = self.config.transfer.scatter_gather_seconds(data.len(), 1);
         self.record(Direction::CpuToPim, data.len() as u64, 1, seconds);
@@ -247,6 +293,7 @@ impl DpuSet {
         len: usize,
     ) -> Result<Vec<u8>, PimError> {
         self.check_dpu(dpu)?;
+        self.note_host_access(dpu, mram_offset, len);
         let mut buf = vec![0u8; len];
         self.dpus[dpu].mram().read(mram_offset, &mut buf)?;
         let seconds = self.config.transfer.scatter_gather_seconds(len, 1);
@@ -268,6 +315,9 @@ impl DpuSet {
                 self.dpus.len(),
                 parts.len()
             )));
+        }
+        for (i, part) in parts.iter().enumerate() {
+            self.note_host_access(i, mram_offset, part.len());
         }
         let mut total = 0u64;
         for (dpu, part) in self.dpus.iter_mut().zip(parts) {
@@ -291,6 +341,9 @@ impl DpuSet {
     ///
     /// Fails if the MRAM write is out of range.
     pub fn broadcast(&mut self, mram_offset: usize, data: &[u8]) -> Result<(), PimError> {
+        for i in 0..self.dpus.len() {
+            self.note_host_access(i, mram_offset, data.len());
+        }
         for dpu in &mut self.dpus {
             dpu.mram_mut().write(mram_offset, data)?;
         }
@@ -310,6 +363,9 @@ impl DpuSet {
     ///
     /// Fails if any MRAM read is out of range.
     pub fn gather(&mut self, mram_offset: usize, len: usize) -> Result<Vec<Vec<u8>>, PimError> {
+        for i in 0..self.dpus.len() {
+            self.note_host_access(i, mram_offset, len);
+        }
         let mut out = Vec::with_capacity(self.dpus.len());
         for dpu in &self.dpus {
             let mut buf = vec![0u8; len];
@@ -346,28 +402,68 @@ impl DpuSet {
 
     /// Launches `kernel` on every DPU in the set and blocks until all
     /// finish. Launch latency is the slowest DPU's cycle count at the
-    /// platform clock.
+    /// platform clock. Equivalent to [`Self::launch_async`] followed by
+    /// [`Self::sync`].
     ///
     /// # Errors
     ///
     /// Returns the first kernel fault with its DPU index.
     pub fn launch(&mut self, kernel: &dyn Kernel) -> Result<&LaunchStats, PimError> {
+        self.launch_async(kernel)?;
+        Ok(self.sync())
+    }
+
+    /// Starts a launch without closing its window (UPMEM
+    /// `DPU_ASYNCHRONOUS`). The simulator executes the kernel eagerly,
+    /// but host MRAM accesses before [`Self::sync`] are flagged by the
+    /// sanitizer as [`FindingKind::HostAccessDuringLaunch`] — on real
+    /// hardware they would race the running kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first kernel fault with its DPU index (unlike real
+    /// hardware, faults are reported here rather than at `sync`).
+    pub fn launch_async(&mut self, kernel: &dyn Kernel) -> Result<(), PimError> {
         self.load_program();
+        self.kernel_running = true;
         let mut max_cycles = 0u64;
         let mut min_cycles = u64::MAX;
         let mut sum_cycles = 0u128;
         let mut merged = crate::cost::CycleCounter::new();
+        let mut fault = None;
         for dpu in &mut self.dpus {
-            let cycles = dpu
-                .execute(kernel, &self.config)
-                .map_err(|error| PimError::Kernel {
-                    dpu: dpu.id(),
-                    error,
-                })?;
-            max_cycles = max_cycles.max(cycles);
-            min_cycles = min_cycles.min(cycles);
-            sum_cycles += cycles as u128;
-            merged.merge(dpu.last_counter());
+            match dpu.execute(kernel, &self.config) {
+                Ok(cycles) => {
+                    max_cycles = max_cycles.max(cycles);
+                    min_cycles = min_cycles.min(cycles);
+                    sum_cycles += cycles as u128;
+                    merged.merge(dpu.last_counter());
+                }
+                Err(error) => {
+                    fault = Some(PimError::Kernel {
+                        dpu: dpu.id(),
+                        error,
+                    });
+                    break;
+                }
+            }
+        }
+        // Drain sanitizer findings even when a DPU faulted: partial
+        // access sets still carry diagnostics.
+        let mut launch_findings = 0u64;
+        for dpu in &mut self.dpus {
+            let (findings, dropped) = dpu.sanitizer_mut().drain();
+            launch_findings += findings.len() as u64;
+            self.sanitizer_report.findings.extend(findings);
+            self.sanitizer_report.dropped += dropped;
+        }
+        if self.config.sanitize.enabled() {
+            self.sanitizer_report.level = self.config.sanitize;
+            self.sanitizer_report.sanitized_launches += 1;
+        }
+        if let Some(e) = fault {
+            self.kernel_running = false;
+            return Err(e);
         }
         let n = self.dpus.len();
         let seconds = self.config.cycles_to_seconds(max_cycles);
@@ -382,11 +478,20 @@ impl DpuSet {
             },
             seconds,
             merged,
+            sanitizer_findings: launch_findings,
         };
         self.stats.launches += 1;
         self.stats.last_kernel_seconds = seconds;
         self.stats.kernel_seconds += seconds;
-        Ok(&self.last_launch)
+        Ok(())
+    }
+
+    /// Closes the launch window opened by [`Self::launch_async`]: after
+    /// this the host may touch MRAM freely again. Returns the launch's
+    /// statistics. Idempotent.
+    pub fn sync(&mut self) -> &LaunchStats {
+        self.kernel_running = false;
+        &self.last_launch
     }
 }
 
@@ -407,8 +512,8 @@ mod tests {
     struct IdKernel;
     impl Kernel for IdKernel {
         fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
-            let id = ctx.dpu_id() as u32;
-            ctx.charge_alu(10 * (id as u64 + 1)); // skewed load
+            let id = ctx.dpu_id() as u64;
+            ctx.charge_alu(10 * (id + 1)); // skewed load
             ctx.mram_write(0, &id.to_le_bytes())?;
             Ok(())
         }
@@ -466,13 +571,52 @@ mod tests {
         set.launch(&IdKernel).unwrap();
         let stats = set.last_launch();
         assert_eq!(stats.dpus, 4);
-        assert_eq!(stats.max_cycles, 40 * 11 + set.config().cost.dma_cycles(4));
+        assert_eq!(stats.max_cycles, 40 * 11 + set.config().cost.dma_cycles(8));
         assert!(stats.imbalance() > 1.0);
         // Each DPU wrote its id.
         for dpu in 0..4 {
-            let bytes = set.copy_from(dpu, 0, 4).unwrap();
-            assert_eq!(u32::from_le_bytes(bytes.try_into().unwrap()), dpu as u32);
+            let bytes = set.copy_from(dpu, 0, 8).unwrap();
+            assert_eq!(u64::from_le_bytes(bytes.try_into().unwrap()), dpu as u64);
         }
+    }
+
+    #[test]
+    fn host_access_during_async_launch_is_flagged() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(2).unwrap();
+        set.set_sanitize_level(SanitizeLevel::Memory);
+        set.launch_async(&IdKernel).unwrap();
+        // The launch window is still open: this read races the kernel.
+        let _ = set.copy_from(0, 0, 8).unwrap();
+        set.sync();
+        let report = set.sanitizer_report();
+        assert_eq!(report.counts(), [0, 0, 0, 1]);
+        // After sync the window is closed; accesses are clean again.
+        let _ = set.copy_from(0, 0, 8).unwrap();
+        assert_eq!(set.sanitizer_report().counts(), [0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn sanitized_launch_of_clean_kernel_reports_clean() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        set.set_sanitize_level(SanitizeLevel::Full);
+        set.launch(&IdKernel).unwrap();
+        assert!(set.sanitizer_report().is_clean());
+        assert_eq!(set.sanitizer_report().sanitized_launches, 1);
+        assert_eq!(set.last_launch().sanitizer_findings, 0);
+    }
+
+    #[test]
+    fn sanitize_level_off_records_nothing() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(2).unwrap();
+        assert_eq!(set.sanitize_level(), SanitizeLevel::Off);
+        set.launch_async(&IdKernel).unwrap();
+        let _ = set.copy_from(0, 0, 8).unwrap();
+        set.sync();
+        assert!(set.sanitizer_report().is_clean());
+        assert_eq!(set.sanitizer_report().sanitized_launches, 0);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 use crate::config::{CostModel, EmulationCharging};
 use crate::cost::{CycleCounter, OpClass, OpTally};
 use crate::emul;
-use crate::memory::{DpuMemory, MemoryError};
+use crate::memory::{DpuMemory, MemoryError, MemoryKind};
+use crate::sanitize::DpuSanitizer;
 use crate::softfloat;
 use std::fmt;
 
@@ -136,6 +137,9 @@ pub struct DpuContext<'a> {
     mem: &'a mut DpuMemory,
     cost: &'a CostModel,
     counter: CycleCounter,
+    /// Runtime sanitizer hook; `None` when sanitization is off. Strictly
+    /// observation-only — it never alters memory contents or charges.
+    san: Option<&'a mut DpuSanitizer>,
 }
 
 impl<'a> DpuContext<'a> {
@@ -152,7 +156,16 @@ impl<'a> DpuContext<'a> {
             mem,
             cost,
             counter: CycleCounter::new(),
+            san: None,
         }
+    }
+
+    /// Attaches a runtime sanitizer to this context (builder-style; used by
+    /// the DPU executor when the configured [`crate::sanitize::SanitizeLevel`]
+    /// enables checking).
+    pub(crate) fn with_sanitizer(mut self, san: &'a mut DpuSanitizer) -> Self {
+        self.san = Some(san);
+        self
     }
 
     /// Index of this DPU within its set.
@@ -431,6 +444,9 @@ impl<'a> DpuContext<'a> {
     #[inline]
     pub fn wram_read_u32(&mut self, offset: usize) -> Result<u32, KernelError> {
         self.counter.charge(OpClass::WramAccess, 1);
+        if let Some(san) = self.san.as_mut() {
+            san.note_wram_read(self.tasklet_id, offset, 4);
+        }
         Ok(self.mem.wram.read_u32(offset)?)
     }
 
@@ -442,6 +458,9 @@ impl<'a> DpuContext<'a> {
     #[inline]
     pub fn wram_write_u32(&mut self, offset: usize, value: u32) -> Result<(), KernelError> {
         self.counter.charge(OpClass::WramAccess, 1);
+        if let Some(san) = self.san.as_mut() {
+            san.note_wram_write(self.tasklet_id, offset, 4);
+        }
         Ok(self.mem.wram.write_u32(offset, value)?)
     }
 
@@ -487,15 +506,44 @@ impl<'a> DpuContext<'a> {
 
     // ---- MRAM DMA ------------------------------------------------------
 
+    /// Enforces the DMA engine's alignment contract: offset and length must
+    /// be multiples of the configured granule (8 bytes on UPMEM), exactly
+    /// as on real hardware. Also reports the attempt to the sanitizer.
+    fn check_dma_align(
+        &mut self,
+        kind: MemoryKind,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), KernelError> {
+        let granule = self.cost.dma_granule_bytes.max(1);
+        if !offset.is_multiple_of(granule) || !len.is_multiple_of(granule) {
+            if let Some(san) = self.san.as_mut() {
+                san.note_misaligned(self.tasklet_id, kind, offset, len);
+            }
+            return Err(KernelError::Memory(MemoryError::Misaligned {
+                offset,
+                len,
+                granule,
+                kind,
+            }));
+        }
+        Ok(())
+    }
+
     /// DMA-reads `dst.len()` bytes from MRAM into a host buffer standing in
     /// for registers/WRAM temporaries. Charged as one DMA transfer.
     ///
     /// # Errors
     ///
-    /// Returns a memory fault if the access exceeds MRAM capacity.
+    /// Returns a memory fault if the access exceeds MRAM capacity or is not
+    /// aligned to the DMA granule.
     pub fn mram_read(&mut self, offset: usize, dst: &mut [u8]) -> Result<(), KernelError> {
+        self.check_dma_align(MemoryKind::Mram, offset, dst.len())?;
         let cycles = self.cost.dma_cycles(dst.len());
         self.counter.charge_dma(dst.len() as u64, cycles);
+        if let Some(san) = self.san.as_mut() {
+            san.note_mram_read(self.tasklet_id, offset, dst.len());
+        }
         Ok(self.mem.mram.read(offset, dst)?)
     }
 
@@ -503,10 +551,15 @@ impl<'a> DpuContext<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a memory fault if the access exceeds MRAM capacity.
+    /// Returns a memory fault if the access exceeds MRAM capacity or is not
+    /// aligned to the DMA granule.
     pub fn mram_write(&mut self, offset: usize, src: &[u8]) -> Result<(), KernelError> {
+        self.check_dma_align(MemoryKind::Mram, offset, src.len())?;
         let cycles = self.cost.dma_cycles(src.len());
         self.counter.charge_dma(src.len() as u64, cycles);
+        if let Some(san) = self.san.as_mut() {
+            san.note_mram_write(self.tasklet_id, offset, src.len());
+        }
         Ok(self.mem.mram.write(offset, src)?)
     }
 
@@ -514,18 +567,25 @@ impl<'a> DpuContext<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a memory fault if either range exceeds its bank capacity.
+    /// Returns a memory fault if either range exceeds its bank capacity or
+    /// either offset (or the length) is not aligned to the DMA granule.
     pub fn mram_to_wram(
         &mut self,
         mram_offset: usize,
         wram_offset: usize,
         len: usize,
     ) -> Result<(), KernelError> {
+        self.check_dma_align(MemoryKind::Mram, mram_offset, len)?;
+        self.check_dma_align(MemoryKind::Wram, wram_offset, len)?;
         let mut buf = vec![0u8; len];
         self.mem.mram.read(mram_offset, &mut buf)?;
         self.mem.wram.write(wram_offset, &buf)?;
         let cycles = self.cost.dma_cycles(len);
         self.counter.charge_dma(len as u64, cycles);
+        if let Some(san) = self.san.as_mut() {
+            san.note_mram_read(self.tasklet_id, mram_offset, len);
+            san.note_wram_write(self.tasklet_id, wram_offset, len);
+        }
         Ok(())
     }
 
@@ -533,18 +593,25 @@ impl<'a> DpuContext<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a memory fault if either range exceeds its bank capacity.
+    /// Returns a memory fault if either range exceeds its bank capacity or
+    /// either offset (or the length) is not aligned to the DMA granule.
     pub fn wram_to_mram(
         &mut self,
         wram_offset: usize,
         mram_offset: usize,
         len: usize,
     ) -> Result<(), KernelError> {
+        self.check_dma_align(MemoryKind::Wram, wram_offset, len)?;
+        self.check_dma_align(MemoryKind::Mram, mram_offset, len)?;
         let mut buf = vec![0u8; len];
         self.mem.wram.read(wram_offset, &mut buf)?;
         self.mem.mram.write(mram_offset, &buf)?;
         let cycles = self.cost.dma_cycles(len);
         self.counter.charge_dma(len as u64, cycles);
+        if let Some(san) = self.san.as_mut() {
+            san.note_wram_read(self.tasklet_id, wram_offset, len);
+            san.note_mram_write(self.tasklet_id, mram_offset, len);
+        }
         Ok(())
     }
 }
@@ -695,5 +762,75 @@ mod tests {
         for _ in 0..1000 {
             assert!(ctx.lcg_below(&mut s, 6) < 6);
         }
+    }
+
+    #[test]
+    fn misaligned_dma_is_rejected_before_charging() {
+        let (mut mem, cost) = ctx_fixture();
+        let mut ctx = DpuContext::new(0, 0, &mut mem, &cost);
+        // Misaligned offset.
+        assert!(matches!(
+            ctx.mram_write(3, &[0u8; 8]),
+            Err(KernelError::Memory(MemoryError::Misaligned { .. }))
+        ));
+        // Misaligned length.
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            ctx.mram_read(0, &mut buf),
+            Err(KernelError::Memory(MemoryError::Misaligned { .. }))
+        ));
+        // Misaligned WRAM side of a bank-to-bank transfer.
+        assert!(matches!(
+            ctx.mram_to_wram(0, 4, 8),
+            Err(KernelError::Memory(MemoryError::Misaligned {
+                kind: MemoryKind::Wram,
+                ..
+            }))
+        ));
+        assert!(matches!(
+            ctx.wram_to_mram(0, 4, 8),
+            Err(KernelError::Memory(MemoryError::Misaligned {
+                kind: MemoryKind::Mram,
+                ..
+            }))
+        ));
+        // Rejected transfers charge nothing.
+        assert_eq!(ctx.counter().dma_bytes, 0);
+        assert_eq!(ctx.counter().dma_cycles, 0);
+    }
+
+    #[test]
+    fn sanitizer_hook_observes_accesses_without_changing_results() {
+        let (mut mem, cost) = ctx_fixture();
+        let mut san = DpuSanitizer::new(0);
+        san.begin_launch(crate::sanitize::SanitizeLevel::Memory, 1);
+        {
+            let mut ctx = DpuContext::new(0, 0, &mut mem, &cost).with_sanitizer(&mut san);
+            // Read-before-write: flagged, but still returns the
+            // simulator's deterministic zero-fill.
+            assert_eq!(ctx.wram_read_u32(16).unwrap(), 0);
+            ctx.wram_write_u32(16, 7).unwrap();
+            assert_eq!(ctx.wram_read_u32(16).unwrap(), 7);
+            // A misaligned DMA is both a finding and a hard error.
+            assert!(ctx.mram_write(1, &[0u8; 8]).is_err());
+            assert_eq!(ctx.counter().wram_slots, 3);
+        }
+        san.finish_launch();
+        let (findings, dropped) = san.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(findings.len(), 2);
+        assert!(matches!(
+            findings[0].kind,
+            crate::sanitize::FindingKind::UninitWramRead { offset: 16, len: 4 }
+        ));
+        assert!(matches!(
+            findings[1].kind,
+            crate::sanitize::FindingKind::MisalignedDma {
+                kind: MemoryKind::Mram,
+                offset: 1,
+                len: 8
+            }
+        ));
+        assert_eq!(san.wram_initialized_bytes(), 4);
     }
 }

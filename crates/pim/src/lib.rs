@@ -56,7 +56,8 @@
 //!             let v = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
 //!             sum = ctx.add32(sum, v);
 //!         }
-//!         ctx.mram_write(0, &sum.to_le_bytes())?;
+//!         // MRAM DMA is 8-byte granular: widen the result word.
+//!         ctx.mram_write(0, &(sum as u64).to_le_bytes())?;
 //!         Ok(())
 //!     }
 //! }
@@ -69,8 +70,8 @@
 //!     set.copy_to(dpu, 0, &data)?;
 //! }
 //! set.launch(&SumKernel { words: 16 })?;
-//! let out = set.copy_from(0, 0, 4)?;
-//! assert_eq!(u32::from_le_bytes([out[0], out[1], out[2], out[3]]), 120);
+//! let out = set.copy_from(0, 0, 8)?;
+//! assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 120);
 //! assert!(set.stats().last_kernel_seconds > 0.0);
 //! # Ok(())
 //! # }
@@ -87,6 +88,7 @@ pub mod host;
 pub mod kernel;
 pub mod memory;
 pub mod report;
+pub mod sanitize;
 pub mod softfloat;
 pub mod stats;
 pub mod xfer;
@@ -94,4 +96,6 @@ pub mod xfer;
 pub use config::{CostModel, PimConfig};
 pub use host::{DpuSet, PimError, PimSystem};
 pub use kernel::{DpuContext, Kernel, KernelError};
+pub use report::SanitizerReport;
+pub use sanitize::{FindingKind, SanitizeLevel, SanitizerFinding};
 pub use stats::{LaunchStats, SystemStats};

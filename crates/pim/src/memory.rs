@@ -24,6 +24,17 @@ pub enum MemoryError {
         /// Which memory was accessed.
         kind: MemoryKind,
     },
+    /// A DMA transfer violated the engine's alignment/granularity rules.
+    Misaligned {
+        /// Offset the transfer started at.
+        offset: usize,
+        /// Length of the transfer in bytes.
+        len: usize,
+        /// Required alignment/granule in bytes.
+        granule: usize,
+        /// Which memory was accessed.
+        kind: MemoryKind,
+    },
 }
 
 /// Which memory an error refers to.
@@ -50,6 +61,22 @@ impl fmt::Display for MemoryError {
                 write!(
                     f,
                     "{name} access ends at byte {end} but the bank holds {capacity} bytes"
+                )
+            }
+            MemoryError::Misaligned {
+                offset,
+                len,
+                granule,
+                kind,
+            } => {
+                let name = match kind {
+                    MemoryKind::Mram => "MRAM",
+                    MemoryKind::Wram => "WRAM",
+                };
+                write!(
+                    f,
+                    "misaligned {name} DMA: offset {offset} / length {len} must be \
+                     multiples of the {granule}-byte DMA granule"
                 )
             }
         }
@@ -204,6 +231,20 @@ mod tests {
         assert!(bank.read(9, &mut buf).is_err());
         // Exactly at the boundary is fine.
         assert!(bank.write(8, &[0u8; 8]).is_ok());
+    }
+
+    #[test]
+    fn misaligned_error_names_the_granule() {
+        let e = MemoryError::Misaligned {
+            offset: 3,
+            len: 4,
+            granule: 8,
+            kind: MemoryKind::Wram,
+        };
+        let text = e.to_string();
+        assert!(text.contains("WRAM"));
+        assert!(text.contains("offset 3"));
+        assert!(text.contains("8-byte"));
     }
 
     #[test]

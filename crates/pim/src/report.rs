@@ -5,6 +5,7 @@
 //! emulated integer vs emulated float) and the DMA traffic, per launch.
 
 use crate::config::PimConfig;
+use crate::sanitize::{FindingKind, SanitizeLevel, SanitizerFinding};
 use crate::stats::LaunchStats;
 use std::fmt;
 
@@ -91,6 +92,83 @@ impl fmt::Display for LaunchReport {
     }
 }
 
+/// Accumulated sanitizer diagnostics for a DPU set.
+///
+/// Populated by [`crate::host::DpuSet::launch`] from every DPU's
+/// [`crate::sanitize::DpuSanitizer`]; inspect with
+/// [`crate::host::DpuSet::sanitizer_report`].
+#[derive(Debug, Clone, Default)]
+pub struct SanitizerReport {
+    /// Level the most recent launch ran at.
+    pub level: SanitizeLevel,
+    /// Launches observed while sanitization was enabled.
+    pub sanitized_launches: u64,
+    /// All retained findings, in (launch, DPU) order.
+    pub findings: Vec<SanitizerFinding>,
+    /// Findings dropped over the per-DPU retention cap.
+    pub dropped: u64,
+}
+
+impl SanitizerReport {
+    /// True if no findings were recorded (and none dropped).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.dropped == 0
+    }
+
+    /// Number of findings of each kind:
+    /// (uninit-WRAM, misaligned-DMA, tasklet-race, host-during-launch).
+    pub fn counts(&self) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for f in &self.findings {
+            match f.kind {
+                FindingKind::UninitWramRead { .. } => c[0] += 1,
+                FindingKind::MisalignedDma { .. } => c[1] += 1,
+                FindingKind::TaskletRace { .. } => c[2] += 1,
+                FindingKind::HostAccessDuringLaunch { .. } => c[3] += 1,
+            }
+        }
+        c
+    }
+
+    /// Clears all accumulated findings and counters.
+    pub fn reset(&mut self) {
+        *self = SanitizerReport {
+            level: self.level,
+            ..SanitizerReport::default()
+        };
+    }
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [uninit, misaligned, races, host] = self.counts();
+        writeln!(
+            f,
+            "sanitizer ({:?}): {} finding(s) over {} sanitized launch(es){}",
+            self.level,
+            self.findings.len(),
+            self.sanitized_launches,
+            if self.dropped > 0 {
+                format!(" (+{} dropped)", self.dropped)
+            } else {
+                String::new()
+            }
+        )?;
+        writeln!(
+            f,
+            "  {uninit} uninit-WRAM read(s), {misaligned} misaligned DMA(s), \
+             {races} tasklet race(s), {host} host-during-launch access(es)"
+        )?;
+        for finding in self.findings.iter().take(16) {
+            writeln!(f, "  - {finding}")?;
+        }
+        if self.findings.len() > 16 {
+            writeln!(f, "  ... {} more", self.findings.len() - 16)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +187,7 @@ mod tests {
             mean_cycles: 2_250.0,
             seconds: 2_500.0 / 425.0e6,
             merged,
+            sanitizer_findings: 0,
         }
     }
 
@@ -142,5 +221,38 @@ mod tests {
         assert!(text.contains("DPUs"));
         assert!(text.contains("float-emul"));
         assert!(text.contains("DMA"));
+    }
+
+    #[test]
+    fn sanitizer_report_counts_and_display() {
+        use crate::memory::MemoryKind;
+
+        let mut r = SanitizerReport::default();
+        assert!(r.is_clean());
+        r.sanitized_launches = 2;
+        r.findings.push(SanitizerFinding {
+            dpu: 0,
+            tasklet: Some(0),
+            kind: FindingKind::UninitWramRead { offset: 8, len: 4 },
+        });
+        r.findings.push(SanitizerFinding {
+            dpu: 1,
+            tasklet: None,
+            kind: FindingKind::TaskletRace {
+                kind: MemoryKind::Wram,
+                tasklet_a: 0,
+                tasklet_b: 1,
+                start: 0,
+                end: 8,
+                write_write: true,
+            },
+        });
+        assert!(!r.is_clean());
+        assert_eq!(r.counts(), [1, 0, 1, 0]);
+        let text = r.to_string();
+        assert!(text.contains("2 finding(s)"));
+        assert!(text.contains("uninit-WRAM"));
+        r.reset();
+        assert!(r.is_clean());
     }
 }

@@ -1,0 +1,608 @@
+//! Runtime sanitizer for the DPU simulator.
+//!
+//! The static analyzer (`swiftrl-analysis`) enforces kernel discipline at
+//! the source level; this module enforces it at *run time*, observing every
+//! WRAM access and DMA transfer a kernel issues. It is strictly
+//! observation-only: enabling it never changes kernel results or cycle
+//! counts (a property pinned by the `sanitizer_parity` tests), so it can be
+//! left on in CI and turned off in production sweeps.
+//!
+//! Checks by [`SanitizeLevel`]:
+//!
+//! * [`SanitizeLevel::Memory`] — reads of WRAM bytes no kernel ever wrote
+//!   (the scratchpad powers up with undefined contents on real hardware;
+//!   the simulator's deterministic zero-fill would mask the bug), plus
+//!   misaligned-DMA and host-access-during-launch observations.
+//! * [`SanitizeLevel::Full`] — everything above, plus a per-launch tasklet
+//!   access-set race detector: write-write or read-write overlap between
+//!   two tasklets within one launch is reported, since tasklet interleaving
+//!   on real hardware makes such kernels nondeterministic.
+//!
+//! Findings accumulate per DPU and are drained by the host into a
+//! [`crate::report::SanitizerReport`] after every launch.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::memory::MemoryKind;
+
+/// How much runtime checking the simulator performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SanitizeLevel {
+    /// No checking, no overhead (the default).
+    #[default]
+    Off,
+    /// Shadow-memory checks: uninitialized WRAM reads, misaligned DMA,
+    /// host access during a launch.
+    Memory,
+    /// `Memory` plus the cross-tasklet race detector.
+    Full,
+}
+
+impl SanitizeLevel {
+    /// True if any checking is enabled.
+    pub fn enabled(self) -> bool {
+        self != SanitizeLevel::Off
+    }
+
+    /// True if the race detector is enabled.
+    pub fn races(self) -> bool {
+        self == SanitizeLevel::Full
+    }
+}
+
+/// A set of disjoint, sorted, non-adjacent `[start, end)` byte intervals.
+///
+/// Used both as shadow memory (which WRAM bytes have been initialized) and
+/// as per-tasklet access logs for the race detector.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet {
+    // start -> end, maintained disjoint and non-adjacent.
+    runs: BTreeMap<usize, usize>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes all intervals.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+    }
+
+    /// True if no bytes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Inserts `[start, start + len)`, merging with neighbours.
+    pub fn insert(&mut self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let end = start.saturating_add(len);
+        let mut new_start = start;
+        let mut new_end = end;
+        // Absorb any run beginning at or before `end` that touches us.
+        // A predecessor run that reaches `start` (or beyond) merges too.
+        if let Some((&s, &e)) = self.runs.range(..=new_end).next_back() {
+            if e >= new_start {
+                new_start = new_start.min(s);
+                new_end = new_end.max(e);
+            }
+        }
+        let absorbed: Vec<usize> = self
+            .runs
+            .range(new_start..=new_end)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in absorbed {
+            if let Some(e) = self.runs.remove(&s) {
+                new_end = new_end.max(e);
+            }
+        }
+        // The predecessor (if merged) may start before `new_start`'s range.
+        if let Some((&s, &e)) = self.runs.range(..new_start).next_back() {
+            if e >= new_start {
+                self.runs.remove(&s);
+                new_start = s;
+                new_end = new_end.max(e);
+            }
+        }
+        self.runs.insert(new_start, new_end);
+    }
+
+    /// True if every byte of `[start, start + len)` is covered.
+    pub fn covers(&self, start: usize, len: usize) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let end = start.saturating_add(len);
+        match self.runs.range(..=start).next_back() {
+            Some((_, &e)) => e >= end,
+            None => false,
+        }
+    }
+
+    /// Returns the first overlapping byte range between `self` and `other`,
+    /// if any.
+    pub fn first_overlap(&self, other: &IntervalSet) -> Option<(usize, usize)> {
+        // Merge-walk the two sorted run lists.
+        let mut a = self.runs.iter();
+        let mut b = other.runs.iter();
+        let (mut ra, mut rb) = (a.next(), b.next());
+        while let (Some((&as_, &ae)), Some((&bs, &be))) = (ra, rb) {
+            let lo = as_.max(bs);
+            let hi = ae.min(be);
+            if lo < hi {
+                return Some((lo, hi));
+            }
+            if ae <= be {
+                ra = a.next();
+            } else {
+                rb = b.next();
+            }
+        }
+        None
+    }
+
+    /// Total number of bytes covered.
+    pub fn covered_bytes(&self) -> usize {
+        self.runs.iter().map(|(s, e)| e - s).sum()
+    }
+}
+
+/// What a sanitizer finding reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A kernel read WRAM bytes that were never written.
+    UninitWramRead {
+        /// Start offset of the read.
+        offset: usize,
+        /// Length of the read in bytes.
+        len: usize,
+    },
+    /// A DMA transfer violated the 8-byte alignment/granularity contract.
+    MisalignedDma {
+        /// Which memory the misaligned side touched.
+        kind: MemoryKind,
+        /// Transfer offset.
+        offset: usize,
+        /// Transfer length.
+        len: usize,
+    },
+    /// Two tasklets touched the same bytes in one launch and at least one
+    /// of them wrote: the kernel's result depends on tasklet interleaving.
+    TaskletRace {
+        /// Which memory the overlap is in.
+        kind: MemoryKind,
+        /// First tasklet involved.
+        tasklet_a: usize,
+        /// Second tasklet involved.
+        tasklet_b: usize,
+        /// Start of the overlapping byte range.
+        start: usize,
+        /// End (exclusive) of the overlapping byte range.
+        end: usize,
+        /// True for write-write overlap, false for read-write.
+        write_write: bool,
+    },
+    /// The host touched MRAM while a kernel was running on the set.
+    HostAccessDuringLaunch {
+        /// MRAM offset of the host access.
+        offset: usize,
+        /// Length of the host access.
+        len: usize,
+    },
+}
+
+/// One sanitizer diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizerFinding {
+    /// DPU the finding occurred on.
+    pub dpu: usize,
+    /// Tasklet that triggered it, when attributable to one.
+    pub tasklet: Option<usize>,
+    /// What happened.
+    pub kind: FindingKind,
+}
+
+impl fmt::Display for SanitizerFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dpu {}", self.dpu)?;
+        if let Some(t) = self.tasklet {
+            write!(f, " tasklet {t}")?;
+        }
+        match &self.kind {
+            FindingKind::UninitWramRead { offset, len } => {
+                write!(
+                    f,
+                    ": read of uninitialized WRAM [{offset}, {})",
+                    offset + len
+                )
+            }
+            FindingKind::MisalignedDma { kind, offset, len } => {
+                let name = match kind {
+                    MemoryKind::Mram => "MRAM",
+                    MemoryKind::Wram => "WRAM",
+                };
+                write!(f, ": misaligned {name} DMA at offset {offset}, len {len}")
+            }
+            FindingKind::TaskletRace {
+                kind,
+                tasklet_a,
+                tasklet_b,
+                start,
+                end,
+                write_write,
+            } => {
+                let name = match kind {
+                    MemoryKind::Mram => "MRAM",
+                    MemoryKind::Wram => "WRAM",
+                };
+                let what = if *write_write {
+                    "write-write"
+                } else {
+                    "read-write"
+                };
+                write!(
+                    f,
+                    ": {what} race on {name} [{start}, {end}) between tasklets \
+                     {tasklet_a} and {tasklet_b}"
+                )
+            }
+            FindingKind::HostAccessDuringLaunch { offset, len } => {
+                write!(
+                    f,
+                    ": host MRAM access [{offset}, {}) while a kernel is running",
+                    offset + len
+                )
+            }
+        }
+    }
+}
+
+/// Per-tasklet access log for one launch.
+#[derive(Debug, Clone, Default)]
+struct TaskletLog {
+    wram_reads: IntervalSet,
+    wram_writes: IntervalSet,
+    mram_reads: IntervalSet,
+    mram_writes: IntervalSet,
+}
+
+/// Cap on findings retained per DPU; the rest are counted but dropped so a
+/// pathological kernel cannot exhaust host memory with diagnostics.
+pub const MAX_FINDINGS_PER_DPU: usize = 64;
+
+/// The per-DPU runtime sanitizer.
+///
+/// Owned by [`crate::dpu::Dpu`]; attached to each [`crate::kernel::DpuContext`]
+/// while a launch is in flight (when the configured level enables it).
+/// Strictly observation-only: it never mutates memory or cycle counters.
+#[derive(Debug, Clone, Default)]
+pub struct DpuSanitizer {
+    dpu_id: usize,
+    level: SanitizeLevel,
+    /// Shadow memory: WRAM bytes some kernel has written. Persists across
+    /// launches, like the SRAM contents themselves.
+    wram_init: IntervalSet,
+    /// Per-tasklet access logs for the launch in flight (race detection).
+    logs: Vec<TaskletLog>,
+    findings: Vec<SanitizerFinding>,
+    /// Findings dropped beyond [`MAX_FINDINGS_PER_DPU`].
+    dropped: u64,
+}
+
+impl DpuSanitizer {
+    /// Creates an idle sanitizer for one DPU.
+    pub fn new(dpu_id: usize) -> Self {
+        Self {
+            dpu_id,
+            ..Self::default()
+        }
+    }
+
+    /// The level configured for the launch in flight.
+    pub fn level(&self) -> SanitizeLevel {
+        self.level
+    }
+
+    /// Starts a launch window: sets the level and resets per-launch state.
+    pub fn begin_launch(&mut self, level: SanitizeLevel, tasklets: usize) {
+        self.level = level;
+        self.logs.clear();
+        if level.races() {
+            self.logs.resize_with(tasklets, TaskletLog::default);
+        }
+    }
+
+    /// Ends the launch window: runs the race detector over the per-tasklet
+    /// access logs and releases them.
+    pub fn finish_launch(&mut self) {
+        if self.level.races() {
+            self.detect_races();
+        }
+        self.logs.clear();
+        self.level = SanitizeLevel::Off;
+    }
+
+    fn push(&mut self, tasklet: Option<usize>, kind: FindingKind) {
+        if self.findings.len() >= MAX_FINDINGS_PER_DPU {
+            self.dropped += 1;
+            return;
+        }
+        self.findings.push(SanitizerFinding {
+            dpu: self.dpu_id,
+            tasklet,
+            kind,
+        });
+    }
+
+    /// Records a kernel WRAM write.
+    pub fn note_wram_write(&mut self, tasklet: usize, offset: usize, len: usize) {
+        self.wram_init.insert(offset, len);
+        if let Some(log) = self.logs.get_mut(tasklet) {
+            log.wram_writes.insert(offset, len);
+        }
+    }
+
+    /// Records a kernel WRAM read, flagging uninitialized bytes.
+    pub fn note_wram_read(&mut self, tasklet: usize, offset: usize, len: usize) {
+        if !self.wram_init.covers(offset, len) {
+            self.push(Some(tasklet), FindingKind::UninitWramRead { offset, len });
+        }
+        if let Some(log) = self.logs.get_mut(tasklet) {
+            log.wram_reads.insert(offset, len);
+        }
+    }
+
+    /// Records a kernel-side MRAM read (DMA into WRAM or a direct buffer).
+    pub fn note_mram_read(&mut self, tasklet: usize, offset: usize, len: usize) {
+        if let Some(log) = self.logs.get_mut(tasklet) {
+            log.mram_reads.insert(offset, len);
+        }
+    }
+
+    /// Records a kernel-side MRAM write.
+    pub fn note_mram_write(&mut self, tasklet: usize, offset: usize, len: usize) {
+        if let Some(log) = self.logs.get_mut(tasklet) {
+            log.mram_writes.insert(offset, len);
+        }
+    }
+
+    /// Records a misaligned DMA attempt (also a hard [`crate::memory::MemoryError`]).
+    pub fn note_misaligned(&mut self, tasklet: usize, kind: MemoryKind, offset: usize, len: usize) {
+        self.push(
+            Some(tasklet),
+            FindingKind::MisalignedDma { kind, offset, len },
+        );
+    }
+
+    /// Records a host MRAM access that raced a running kernel.
+    pub fn note_host_access(&mut self, offset: usize, len: usize) {
+        self.push(None, FindingKind::HostAccessDuringLaunch { offset, len });
+    }
+
+    fn detect_races(&mut self) {
+        let mut found = Vec::new();
+        for a in 0..self.logs.len() {
+            for b in (a + 1)..self.logs.len() {
+                let (la, lb) = (&self.logs[a], &self.logs[b]);
+                let pairs: [(MemoryKind, &IntervalSet, &IntervalSet, bool); 6] = [
+                    (MemoryKind::Wram, &la.wram_writes, &lb.wram_writes, true),
+                    (MemoryKind::Wram, &la.wram_reads, &lb.wram_writes, false),
+                    (MemoryKind::Wram, &la.wram_writes, &lb.wram_reads, false),
+                    (MemoryKind::Mram, &la.mram_writes, &lb.mram_writes, true),
+                    (MemoryKind::Mram, &la.mram_reads, &lb.mram_writes, false),
+                    (MemoryKind::Mram, &la.mram_writes, &lb.mram_reads, false),
+                ];
+                for (kind, sa, sb, write_write) in pairs {
+                    if let Some((start, end)) = sa.first_overlap(sb) {
+                        found.push(FindingKind::TaskletRace {
+                            kind,
+                            tasklet_a: a,
+                            tasklet_b: b,
+                            start,
+                            end,
+                            write_write,
+                        });
+                    }
+                }
+            }
+        }
+        for kind in found {
+            self.push(None, kind);
+        }
+    }
+
+    /// Takes all findings accumulated since the last drain, plus the count
+    /// of findings dropped over the per-DPU cap.
+    pub fn drain(&mut self) -> (Vec<SanitizerFinding>, u64) {
+        let dropped = std::mem::take(&mut self.dropped);
+        (std::mem::take(&mut self.findings), dropped)
+    }
+
+    /// Bytes of WRAM currently tracked as initialized (for stats/tests).
+    pub fn wram_initialized_bytes(&self) -> usize {
+        self.wram_init.covered_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_insert_merges_and_covers() {
+        let mut s = IntervalSet::new();
+        s.insert(8, 8);
+        s.insert(24, 8);
+        assert!(s.covers(8, 8));
+        assert!(!s.covers(8, 16));
+        assert!(!s.covers(0, 4));
+        // Fill the gap: [8,16) + [16,24) + [24,32) merge into [8,32).
+        s.insert(16, 8);
+        assert!(s.covers(8, 24));
+        assert_eq!(s.covered_bytes(), 24);
+        assert_eq!(s.runs.len(), 1);
+    }
+
+    #[test]
+    fn interval_insert_absorbs_contained_runs() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 2);
+        s.insert(20, 2);
+        s.insert(30, 2);
+        s.insert(0, 100);
+        assert_eq!(s.runs.len(), 1);
+        assert!(s.covers(0, 100));
+        // Overlapping-left extension.
+        let mut t = IntervalSet::new();
+        t.insert(10, 10);
+        t.insert(5, 10);
+        assert!(t.covers(5, 15));
+        assert_eq!(t.runs.len(), 1);
+    }
+
+    #[test]
+    fn interval_overlap_walks_both_sets() {
+        let mut a = IntervalSet::new();
+        a.insert(0, 8);
+        a.insert(100, 8);
+        let mut b = IntervalSet::new();
+        b.insert(8, 8); // adjacent, not overlapping
+        b.insert(104, 2);
+        assert_eq!(a.first_overlap(&b), Some((104, 106)));
+        let empty = IntervalSet::new();
+        assert_eq!(a.first_overlap(&empty), None);
+    }
+
+    #[test]
+    fn uninit_read_flagged_until_written() {
+        let mut san = DpuSanitizer::new(3);
+        san.begin_launch(SanitizeLevel::Memory, 1);
+        san.note_wram_read(0, 64, 8);
+        san.note_wram_write(0, 64, 8);
+        san.note_wram_read(0, 64, 8); // now initialized — clean
+        san.finish_launch();
+        let (findings, dropped) = san.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].dpu, 3);
+        assert_eq!(findings[0].tasklet, Some(0));
+        assert!(matches!(
+            findings[0].kind,
+            FindingKind::UninitWramRead { offset: 64, len: 8 }
+        ));
+    }
+
+    #[test]
+    fn wram_init_persists_across_launches() {
+        let mut san = DpuSanitizer::new(0);
+        san.begin_launch(SanitizeLevel::Memory, 1);
+        san.note_wram_write(0, 0, 128);
+        san.finish_launch();
+        san.begin_launch(SanitizeLevel::Memory, 1);
+        san.note_wram_read(0, 0, 128);
+        san.finish_launch();
+        assert!(san.drain().0.is_empty());
+    }
+
+    #[test]
+    fn race_detector_flags_write_write_and_read_write() {
+        let mut san = DpuSanitizer::new(0);
+        san.begin_launch(SanitizeLevel::Full, 3);
+        // Tasklets 0 and 1 both write [0,8): WW race.
+        san.note_wram_write(0, 0, 8);
+        san.note_wram_write(1, 0, 8);
+        // Tasklet 2 reads what tasklet 0 wrote: RW race.
+        san.note_wram_read(2, 0, 4);
+        san.finish_launch();
+        let (findings, _) = san.drain();
+        let ww = findings.iter().any(|f| {
+            matches!(
+                f.kind,
+                FindingKind::TaskletRace {
+                    write_write: true,
+                    tasklet_a: 0,
+                    tasklet_b: 1,
+                    ..
+                }
+            )
+        });
+        let rw = findings.iter().any(
+            |f| matches!(f.kind, FindingKind::TaskletRace { write_write: false, .. }),
+        );
+        assert!(ww, "{findings:?}");
+        assert!(rw, "{findings:?}");
+    }
+
+    #[test]
+    fn disjoint_tasklets_are_race_free() {
+        let mut san = DpuSanitizer::new(0);
+        san.begin_launch(SanitizeLevel::Full, 2);
+        san.note_wram_write(0, 0, 64);
+        san.note_wram_write(1, 64, 64);
+        san.note_wram_read(0, 0, 64);
+        san.note_wram_read(1, 64, 64);
+        // Shared read-only MRAM is fine.
+        san.note_mram_read(0, 0, 1024);
+        san.note_mram_read(1, 0, 1024);
+        san.finish_launch();
+        assert!(san.drain().0.is_empty());
+    }
+
+    #[test]
+    fn race_detection_off_below_full() {
+        let mut san = DpuSanitizer::new(0);
+        san.begin_launch(SanitizeLevel::Memory, 2);
+        san.note_wram_write(0, 0, 8);
+        san.note_wram_write(1, 0, 8);
+        san.finish_launch();
+        assert!(san.drain().0.is_empty());
+    }
+
+    #[test]
+    fn findings_cap_counts_dropped() {
+        let mut san = DpuSanitizer::new(0);
+        san.begin_launch(SanitizeLevel::Memory, 1);
+        for i in 0..(MAX_FINDINGS_PER_DPU + 10) {
+            san.note_wram_read(0, i * 16, 8);
+        }
+        san.finish_launch();
+        let (findings, dropped) = san.drain();
+        assert_eq!(findings.len(), MAX_FINDINGS_PER_DPU);
+        assert_eq!(dropped, 10);
+        // Drain resets both.
+        assert_eq!(san.drain(), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn finding_display_is_informative() {
+        let f = SanitizerFinding {
+            dpu: 7,
+            tasklet: Some(2),
+            kind: FindingKind::UninitWramRead { offset: 32, len: 8 },
+        };
+        let s = f.to_string();
+        assert!(s.contains("dpu 7") && s.contains("tasklet 2") && s.contains("[32, 40)"));
+        let r = SanitizerFinding {
+            dpu: 0,
+            tasklet: None,
+            kind: FindingKind::TaskletRace {
+                kind: MemoryKind::Wram,
+                tasklet_a: 0,
+                tasklet_b: 1,
+                start: 0,
+                end: 8,
+                write_write: true,
+            },
+        };
+        assert!(r.to_string().contains("write-write race on WRAM"));
+    }
+}

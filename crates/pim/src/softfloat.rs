@@ -557,7 +557,7 @@ mod tests {
             (-0.0, 0.0),
             (1e-40, 1e-40),
             (1.0, 1e-30),
-            (123456.78, -123456.70),
+            (123456.78, -123_456.7),
         ] {
             assert_bits_eq(add_f(a, b), a + b);
         }
@@ -706,7 +706,7 @@ mod tests {
         assert_eq!(f32_to_i32(QNAN, &mut t()), 0);
         assert_eq!(f32_to_i32(PLUS_INF, &mut t()), i32::MAX);
         assert_eq!(f32_to_i32(MINUS_INF, &mut t()), i32::MIN);
-        assert_eq!(f32_to_i32((-2.147483648e9f32).to_bits(), &mut t()), i32::MIN);
+        assert_eq!(f32_to_i32((-2.147_483_6e9_f32).to_bits(), &mut t()), i32::MIN);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct LaunchStats {
     pub seconds: f64,
     /// Merged per-class instruction accounting over all DPUs.
     pub merged: CycleCounter,
+    /// Sanitizer findings raised during this launch (0 when sanitization
+    /// is off or the launch was clean).
+    #[serde(default)]
+    pub sanitizer_findings: u64,
 }
 
 impl LaunchStats {
@@ -89,16 +93,19 @@ mod tests {
             mean_cycles: 150.0,
             seconds: 0.0,
             merged: CycleCounter::new(),
+            sanitizer_findings: 0,
         };
         assert!((s.imbalance() - 200.0 / 150.0).abs() < 1e-12);
     }
 
     #[test]
     fn total_seconds_sums_components() {
-        let mut s = SystemStats::default();
-        s.kernel_seconds = 1.0;
-        s.cpu_to_pim_seconds = 0.25;
-        s.pim_to_cpu_seconds = 0.5;
+        let mut s = SystemStats {
+            kernel_seconds: 1.0,
+            cpu_to_pim_seconds: 0.25,
+            pim_to_cpu_seconds: 0.5,
+            ..SystemStats::default()
+        };
         assert!((s.total_seconds() - 1.75).abs() < 1e-12);
         s.reset();
         assert_eq!(s.total_seconds(), 0.0);

@@ -257,9 +257,10 @@ impl FixedQTable {
         &self.values[start..start + self.num_actions]
     }
 
-    /// Maximum scaled Q-value over actions in `s`.
+    /// Maximum scaled Q-value over actions in `s`. Rows are non-empty by
+    /// construction; an empty row would yield `i32::MIN`.
     pub fn max_value(&self, s: State) -> i32 {
-        *self.row(s).iter().max().expect("non-empty row")
+        self.row(s).iter().copied().fold(i32::MIN, i32::max)
     }
 
     /// Greedy action in `s` (first maximum wins ties).

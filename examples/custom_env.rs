@@ -66,7 +66,7 @@ impl DiscreteEnv for WindyCorridor {
             a => panic!("invalid action {a}"),
         };
         // Wind: 1-in-4 chance of being blown back.
-        if rng.next_u32() % 4 == 0 {
+        if rng.next_u32().is_multiple_of(4) {
             self.pos = self.pos.saturating_sub(1);
         }
         self.steps += 1;

@@ -25,8 +25,9 @@ struct DotFp32;
 
 impl Kernel for DotFp32 {
     fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
-        let mut a = vec![0u8; 4 * N];
-        let mut b = vec![0u8; 4 * N];
+        // WRAM-sized stack buffers: kernels must not heap-allocate (K002).
+        let mut a = [0u8; 4 * N];
+        let mut b = [0u8; 4 * N];
         ctx.mram_read(A_OFFSET, &mut a)?;
         ctx.mram_read(B_OFFSET, &mut b)?;
         let word = |buf: &[u8], i: usize| {
@@ -42,7 +43,8 @@ impl Kernel for DotFp32 {
             let prod = ctx.fmul(word(&a, i), word(&b, i));
             acc = ctx.fadd(acc, prod);
         }
-        ctx.mram_write(OUT_OFFSET, &acc.bits().to_le_bytes())?;
+        // Widen to the 8-byte DMA granule; the host reads the low word.
+        ctx.mram_write(OUT_OFFSET, &u64::from(acc.bits()).to_le_bytes())?;
         Ok(())
     }
 }
@@ -52,8 +54,8 @@ struct DotFixed;
 
 impl Kernel for DotFixed {
     fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
-        let mut a = vec![0u8; 4 * N];
-        let mut b = vec![0u8; 4 * N];
+        let mut a = [0u8; 4 * N];
+        let mut b = [0u8; 4 * N];
         ctx.mram_read(A_OFFSET, &mut a)?;
         ctx.mram_read(B_OFFSET, &mut b)?;
         let word = |buf: &[u8], i: usize| {
@@ -67,7 +69,7 @@ impl Kernel for DotFixed {
             acc = acc.wrapping_add(prod >> 16);
             ctx.charge_alu(2); // 64-bit add
         }
-        ctx.mram_write(OUT_OFFSET, &(acc as i32).to_le_bytes())?;
+        ctx.mram_write(OUT_OFFSET, &u64::from(acc as i32 as u32).to_le_bytes())?;
         Ok(())
     }
 }
@@ -85,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     set.launch(&DotFp32)?;
     let fp32_cycles = set.last_launch().max_cycles;
     let out = set.copy_from(0, OUT_OFFSET, 4)?;
-    let fp32_result = f32::from_bits(u32::from_le_bytes(out.try_into().unwrap()));
+    let fp32_result = f32::from_bits(u32::from_le_bytes(out.try_into().expect("copy_from returned 4 bytes")));
 
     // Reload as 16.16 fixed point for the integer kernel.
     let to_fixed = |v: &[f32]| -> Vec<u8> {
@@ -98,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     set.launch(&DotFixed)?;
     let fixed_cycles = set.last_launch().max_cycles;
     let out = set.copy_from(0, OUT_OFFSET, 4)?;
-    let fixed_result = i32::from_le_bytes(out.try_into().unwrap()) as f32 / 65_536.0;
+    let fixed_result = i32::from_le_bytes(out.try_into().expect("copy_from returned 4 bytes")) as f32 / 65_536.0;
 
     let host: f32 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
     println!("dot product of {N} elements on one DPU:");

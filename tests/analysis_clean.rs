@@ -1,0 +1,23 @@
+//! The kernel-discipline analyzer must report zero findings on the
+//! workspace's own sources — the same gate `cargo run -p swiftrl-analysis`
+//! enforces from the command line.
+
+use swiftrl_analysis::{analyze_workspace, find_workspace_root};
+
+#[test]
+fn workspace_has_no_kernel_discipline_findings() {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root with Cargo.toml");
+    let analysis = analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        analysis.files_scanned > 50,
+        "suspiciously small scan: {} files",
+        analysis.files_scanned
+    );
+    let rendered: Vec<String> = analysis.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        analysis.findings.is_empty(),
+        "kernel-discipline violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -8,6 +8,8 @@ use swiftrl::env::collect::collect_random;
 use swiftrl::env::frozen_lake::FrozenLake;
 use swiftrl::pim::config::PimConfig;
 use swiftrl::pim::host::{PimError, PimSystem};
+use swiftrl::pim::kernel::{DpuContext, Kernel, KernelError};
+use swiftrl::pim::memory::MemoryError;
 
 #[test]
 fn chunk_larger_than_mram_is_rejected() {
@@ -67,6 +69,35 @@ fn q_table_larger_than_wram_faults_in_kernel() {
         Err(PimError::Kernel { .. }) => {}
         other => panic!("expected a WRAM kernel fault, got {other:?}"),
     }
+}
+
+#[test]
+fn misaligned_dma_faults_the_launch() {
+    // The DMA engine moves data in 8-byte granules; a kernel that asks
+    // for a 4-byte transfer at offset 3 must fault before any cycles or
+    // bytes are charged, and the fault must carry the Misaligned cause.
+    struct MisalignedKernel;
+    impl Kernel for MisalignedKernel {
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+            ctx.mram_write(3, &[0u8; 4])?;
+            Ok(())
+        }
+    }
+
+    let mut system = PimSystem::new(PimConfig::builder().dpus(1).build());
+    let mut set = system.alloc(1).unwrap();
+    set.load_program();
+    match set.launch(&MisalignedKernel) {
+        Err(PimError::Kernel {
+            dpu: 0,
+            error: KernelError::Memory(MemoryError::Misaligned { offset, len, granule, .. }),
+        }) => {
+            assert_eq!((offset, len, granule), (3, 4, 8));
+        }
+        other => panic!("expected a Misaligned kernel fault, got {other:?}"),
+    }
+    // The faulted launch charged no kernel time.
+    assert_eq!(set.stats().kernel_seconds, 0.0);
 }
 
 #[test]

@@ -1,0 +1,242 @@
+//! Runtime-sanitizer tests: the sanitizer catches seeded bugs (tasklet
+//! races, uninitialized-WRAM reads, misaligned DMA, host access during a
+//! launch window), stays silent on the paper's twelve clean variants, and
+//! never perturbs simulation results — sanitized and unsanitized runs are
+//! bit-identical in Q-tables and cycle counts.
+
+// Test scaffolding outside `#[test]` bodies may unwrap, matching the
+// allow-unwrap-in-tests policy in clippy.toml.
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::runner::{PimRunner, RunOutcome};
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::env::ExperienceDataset;
+use swiftrl::pim::config::PimConfig;
+use swiftrl::pim::host::PimSystem;
+use swiftrl::pim::kernel::{DpuContext, Kernel, KernelError};
+use swiftrl::pim::sanitize::{FindingKind, SanitizeLevel};
+
+fn dataset(n: usize, seed: u64) -> ExperienceDataset {
+    let mut env = FrozenLake::slippery_4x4();
+    collect_random(&mut env, n, seed)
+}
+
+fn run_variant(
+    spec: WorkloadSpec,
+    data: &ExperienceDataset,
+    level: SanitizeLevel,
+    episodes: u32,
+    dpus: usize,
+) -> RunOutcome {
+    let platform = PimConfig::builder().dpus(dpus).sanitize(level).build();
+    PimRunner::with_platform(
+        spec,
+        RunConfig::paper_defaults()
+            .with_dpus(dpus)
+            .with_episodes(episodes)
+            .with_tau(episodes),
+        platform,
+    )
+    .unwrap()
+    .run(data)
+    .unwrap()
+}
+
+/// Two tasklets write the same WRAM word without synchronization.
+struct RacyKernel;
+impl Kernel for RacyKernel {
+    fn tasklets(&self) -> usize {
+        2
+    }
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+        let t = ctx.tasklet_id() as u32;
+        ctx.wram_write_u32(0, t + 1)?;
+        Ok(())
+    }
+}
+
+/// Two tasklets write disjoint WRAM words — a clean partitioning.
+struct PartitionedKernel;
+impl Kernel for PartitionedKernel {
+    fn tasklets(&self) -> usize {
+        2
+    }
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+        let t = ctx.tasklet_id();
+        ctx.wram_write_u32(4 * t, 7)?;
+        Ok(())
+    }
+}
+
+/// Reads a WRAM word nothing ever wrote.
+struct UninitReadKernel;
+impl Kernel for UninitReadKernel {
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+        let v = ctx.wram_read_u32(128)?;
+        ctx.charge_alu(u64::from(v) + 1);
+        Ok(())
+    }
+}
+
+#[test]
+fn race_detector_flags_ww_conflict_at_full() {
+    let platform = PimConfig::builder()
+        .dpus(1)
+        .sanitize(SanitizeLevel::Full)
+        .build();
+    let mut system = PimSystem::new(platform);
+    let mut set = system.alloc(1).unwrap();
+    set.launch(&RacyKernel).unwrap();
+
+    let report = set.sanitizer_report();
+    assert_eq!(report.counts(), [0, 0, 1, 0], "findings: {report}");
+    match &report.findings[0].kind {
+        FindingKind::TaskletRace {
+            tasklet_a,
+            tasklet_b,
+            start,
+            end,
+            write_write,
+            ..
+        } => {
+            assert_eq!((*tasklet_a, *tasklet_b), (0, 1));
+            assert_eq!((*start, *end), (0, 4));
+            assert!(*write_write, "both tasklets wrote");
+        }
+        other => panic!("expected a TaskletRace, got {other:?}"),
+    }
+}
+
+#[test]
+fn race_detector_accepts_disjoint_tasklet_writes() {
+    let platform = PimConfig::builder()
+        .dpus(1)
+        .sanitize(SanitizeLevel::Full)
+        .build();
+    let mut system = PimSystem::new(platform);
+    let mut set = system.alloc(1).unwrap();
+    set.launch(&PartitionedKernel).unwrap();
+    assert!(set.sanitizer_report().is_clean());
+}
+
+#[test]
+fn memory_level_skips_race_detection() {
+    // SanitizeLevel::Memory tracks initialization and alignment only;
+    // the racy kernel passes without findings.
+    let platform = PimConfig::builder()
+        .dpus(1)
+        .sanitize(SanitizeLevel::Memory)
+        .build();
+    let mut system = PimSystem::new(platform);
+    let mut set = system.alloc(1).unwrap();
+    set.launch(&RacyKernel).unwrap();
+    assert!(set.sanitizer_report().is_clean());
+}
+
+#[test]
+fn uninitialized_wram_read_is_caught() {
+    let platform = PimConfig::builder()
+        .dpus(1)
+        .sanitize(SanitizeLevel::Memory)
+        .build();
+    let mut system = PimSystem::new(platform);
+    let mut set = system.alloc(1).unwrap();
+    set.launch(&UninitReadKernel).unwrap();
+
+    let report = set.sanitizer_report();
+    assert_eq!(report.counts(), [1, 0, 0, 0], "findings: {report}");
+    assert!(matches!(
+        report.findings[0].kind,
+        FindingKind::UninitWramRead { offset: 128, len: 4 }
+    ));
+    // The same read after a write is clean.
+    set.reset_sanitizer_report();
+    struct InitThenRead;
+    impl Kernel for InitThenRead {
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+            ctx.wram_write_u32(128, 9)?;
+            let v = ctx.wram_read_u32(128)?;
+            ctx.charge_alu(u64::from(v));
+            Ok(())
+        }
+    }
+    set.launch(&InitThenRead).unwrap();
+    assert!(set.sanitizer_report().is_clean());
+}
+
+#[test]
+fn q_seq_fp32_training_is_sanitizer_clean_at_full() {
+    let data = dataset(2_000, 42);
+    let out = run_variant(
+        WorkloadSpec::q_learning_seq_fp32(),
+        &data,
+        SanitizeLevel::Full,
+        8,
+        4,
+    );
+    assert!(
+        out.sanitizer.is_clean(),
+        "Q-SEQ-FP32 raised findings: {}",
+        out.sanitizer
+    );
+    assert_eq!(out.sanitizer.sanitized_launches, 1);
+}
+
+#[test]
+fn all_twelve_paper_variants_are_sanitizer_clean() {
+    let data = dataset(1_200, 7);
+    for spec in WorkloadSpec::paper_variants() {
+        let out = run_variant(spec, &data, SanitizeLevel::Full, 4, 2);
+        assert!(
+            out.sanitizer.is_clean(),
+            "{spec} raised findings: {}",
+            out.sanitizer
+        );
+    }
+}
+
+#[test]
+fn sanitized_run_is_bit_identical_to_unsanitized() {
+    let data = dataset(2_000, 42);
+    for spec in [
+        WorkloadSpec::q_learning_seq_fp32(),
+        WorkloadSpec::q_learning_seq_int32(),
+    ] {
+        let off = run_variant(spec, &data, SanitizeLevel::Off, 8, 4);
+        let full = run_variant(spec, &data, SanitizeLevel::Full, 8, 4);
+        assert_eq!(off.q_table, full.q_table, "{spec}: Q-tables diverged");
+        assert_eq!(
+            off.breakdown.pim_kernel_s.to_bits(),
+            full.breakdown.pim_kernel_s.to_bits(),
+            "{spec}: kernel time diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Observation-only invariant: for any workload shape, enabling the
+    /// sanitizer changes nothing about the simulated results.
+    #[test]
+    fn sanitizer_never_perturbs_results(
+        n in 300usize..1_500,
+        seed in 0u64..50,
+        dpus in 1usize..5,
+        variant in 0usize..12,
+    ) {
+        let data = dataset(n, seed);
+        let spec = WorkloadSpec::paper_variants()[variant];
+        let off = run_variant(spec, &data, SanitizeLevel::Off, 4, dpus);
+        let full = run_variant(spec, &data, SanitizeLevel::Full, 4, dpus);
+        prop_assert!(full.sanitizer.is_clean(), "{spec}: {}", full.sanitizer);
+        prop_assert_eq!(&off.q_table, &full.q_table);
+        prop_assert_eq!(
+            off.breakdown.pim_kernel_s.to_bits(),
+            full.breakdown.pim_kernel_s.to_bits()
+        );
+    }
+}
