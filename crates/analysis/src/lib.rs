@@ -22,8 +22,9 @@
 //! Rules: **K001** no host floats in kernel code, **K002** no
 //! nondeterminism/free work in kernel bodies, **K003** every `DpuContext`
 //! intrinsic charges a cost (and every `OpCosts` field has a consumer),
-//! **K004** MRAM layout constants are 8-byte aligned, **W001** no
-//! `unwrap`/`expect` in library code.
+//! **K004** MRAM layout constants are 8-byte aligned, **K005** no host
+//! threading in kernel code (parallelism belongs to the execution
+//! engine), **W001** no `unwrap`/`expect` in library code.
 
 pub mod rules;
 pub mod scanner;

@@ -20,7 +20,7 @@ pub struct Finding {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: u32,
-    /// Stable rule ID (`K001`..`K004`, `W001`).
+    /// Stable rule ID (`K001`..`K005`, `W001`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -72,12 +72,13 @@ skip the soft-float cycle charges that SwiftRL's FP32-vs-INT32 comparison \
         title: "no nondeterminism or free work in kernel bodies",
         explain: "Kernel bodies must be deterministic and fully charged. Heap \
 allocation (`vec!`, `Vec`, `Box`, `String`, `to_vec`, `to_bytes`, ...), host \
-I/O (`println!`, `dbg!`), wall-clock time (`std::time`, `Instant`), threads, \
-and `rand::` are all host-runtime services a real DPU tasklet does not have; \
+I/O (`println!`, `dbg!`), wall-clock time (`std::time`, `Instant`), and \
+`rand::` are all host-runtime services a real DPU tasklet does not have; \
 using them either costs zero charged cycles (free work) or makes runs \
 non-reproducible. Use fixed-size stack buffers, the charged `lcg_next` \
 intrinsic for randomness, and `DpuContext` DMA for data movement. \
-(`format!` on fault paths is exempt: faults abort cycle accounting anyway.)",
+(`format!` on fault paths is exempt: faults abort cycle accounting anyway. \
+Host threading has its own rule, K005.)",
         fix_hint: "replace heap buffers with fixed-size arrays, encode into \
 caller-provided `&mut [u8]`, and delete host I/O from kernel bodies",
     },
@@ -105,6 +106,20 @@ expressions (literals, references to other constants, `+`, `-`, `*`, `<<`) \
 and flags any resolvable value not divisible by 8.",
         fix_hint: "round the offset/record size up to the next multiple of 8 \
 and pad the on-MRAM layout accordingly",
+    },
+    RuleInfo {
+        id: "K005",
+        title: "no host threading in kernel code",
+        explain: "Kernel code must not use host threading primitives — \
+`std::thread`, `spawn`, `crossbeam`, `rayon`. Host-level parallelism belongs \
+to the execution engine (`pim::engine::ExecutionEngine`), which already fans \
+DPU execution out over worker threads and guarantees bit-identical results \
+via its ordered merge. A kernel that spawns its own OS threads does work the \
+cycle model never charges, races the engine's disjoint-chunk ownership of \
+DPU state, and destroys the Serial/Threaded determinism contract. Intra-DPU \
+parallelism must instead go through the charged tasklet model.",
+        fix_hint: "delete the threading; parallelism across DPUs comes from \
+`PimConfig::engine`, parallelism within a DPU from tasklets",
     },
     RuleInfo {
         id: "W001",
@@ -214,7 +229,8 @@ const K002_ALLOC: &[&str] = &[
     "BTreeMap", "VecDeque",
 ];
 const K002_IO: &[&str] = &["println", "print", "eprintln", "eprint", "dbg", "write", "writeln"];
-const K002_NONDET: &[&str] = &["rand", "Instant", "SystemTime", "thread", "sleep", "spawn"];
+const K002_NONDET: &[&str] = &["rand", "Instant", "SystemTime", "sleep"];
+const K005_THREADING: &[&str] = &["thread", "spawn", "crossbeam", "rayon"];
 
 fn check_kernel_regions(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Finding>) {
     for &(start, end) in &kernel_regions(tokens) {
@@ -239,6 +255,18 @@ fn check_kernel_regions(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Fi
                         message: format!(
                             "host `{}` type in kernel code; the DPU has no FPU — use \
                              `F32` and the soft-float intrinsics",
+                            t.text
+                        ),
+                    })
+                }
+                TokenKind::Ident if K005_THREADING.contains(&t.text) => {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: t.line,
+                        rule: "K005",
+                        message: format!(
+                            "`{}` in kernel body (host threading); parallelism \
+                             belongs to the execution engine and the tasklet model",
                             t.text
                         ),
                     })
@@ -817,7 +845,8 @@ pub fn check_charge_coverage(
 // Per-file entry point
 // ---------------------------------------------------------------------------
 
-/// Runs all single-file rules (K001, K002, K004, W001) over one source file.
+/// Runs all single-file rules (K001, K002, K004, K005, W001) over one
+/// source file.
 /// `file` must be the repo-relative path; it selects which rules apply.
 pub fn check_file(file: &Path, src: &str) -> Vec<Finding> {
     let tokens = tokenize(src);
@@ -911,6 +940,27 @@ mod tests {
             }
         "#;
         assert!(rules_hit("crates/core/src/kernels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn k005_flags_host_threading_in_kernels_only() {
+        let src = r#"
+            impl Kernel for Bad {
+                fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                    std::thread::spawn(|| {});
+                    crossbeam::scope(|s| {});
+                    Ok(())
+                }
+            }
+            fn host_engine(n: usize) {
+                crossbeam::scope(|s| { s.spawn(|_| {}); });
+            }
+        "#;
+        let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
+        let k005: Vec<_> = findings.iter().filter(|f| f.rule == "K005").collect();
+        // thread, spawn, crossbeam — all inside the kernel body only.
+        assert_eq!(k005.len(), 3, "{findings:?}");
+        assert!(k005.iter().all(|f| f.line <= 7), "{k005:?}");
     }
 
     #[test]
@@ -1021,7 +1071,7 @@ mod tests {
     #[test]
     fn rule_registry_is_complete() {
         let ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
-        assert_eq!(ids, ["K001", "K002", "K003", "K004", "W001"]);
+        assert_eq!(ids, ["K001", "K002", "K003", "K004", "K005", "W001"]);
         for r in RULES {
             assert!(!r.explain.is_empty() && !r.fix_hint.is_empty());
         }

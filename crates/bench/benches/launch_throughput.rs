@@ -1,0 +1,52 @@
+//! Simulator throughput of the execution engines: host wall-clock cost of
+//! the same training run under the serial and threaded DPU engines.
+//!
+//! Modelled (simulated) time is bit-identical between engines by
+//! construction — `tests/engine_determinism.rs` asserts it — so this
+//! benchmark measures the only thing the engine choice can change: how
+//! fast the simulator itself gets through launches.
+
+// Benchmark scaffolding may unwrap, same policy as test code.
+#![allow(clippy::unwrap_used)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use swiftrl_core::config::{RunConfig, WorkloadSpec};
+use swiftrl_core::runner::PimRunner;
+use swiftrl_env::collect::collect_random;
+use swiftrl_env::frozen_lake::FrozenLake;
+use swiftrl_pim::config::PimConfig;
+use swiftrl_pim::ExecutionEngine;
+
+fn bench_launch_throughput(c: &mut Criterion) {
+    let mut env = FrozenLake::slippery_4x4();
+    let dataset = collect_random(&mut env, 8_000, 1);
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+
+    let mut g = c.benchmark_group("launch_throughput");
+    g.sample_size(10);
+    for dpus in [8usize, 32, 128] {
+        let cfg = RunConfig::paper_defaults()
+            .with_dpus(dpus)
+            .with_episodes(10)
+            .with_tau(10);
+        for (name, engine) in [
+            ("serial", ExecutionEngine::Serial),
+            ("threaded", ExecutionEngine::Threaded { workers }),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, dpus), &engine, |b, &engine| {
+                let platform = PimConfig::builder().dpus(dpus).engine(engine).build();
+                let runner = PimRunner::with_platform(
+                    WorkloadSpec::q_learning_seq_int32(),
+                    cfg,
+                    platform,
+                )
+                .unwrap();
+                b.iter(|| runner.run(black_box(&dataset)).unwrap().comm_rounds)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_launch_throughput);
+criterion_main!(benches);

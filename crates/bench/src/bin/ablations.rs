@@ -10,18 +10,38 @@
 //!    optimization to the scale constant (the paper picked 10,000 to
 //!    balance overflow and precision).
 //!
+//! Every configuration runs through the [`TrainingBackend`] trait.
+//!
 //! ```text
 //! cargo run --release -p swiftrl-bench --bin ablations
 //! ```
 
 use swiftrl_bench::{fmt_secs, print_table, HarnessArgs};
+use swiftrl_core::backend::{BackendStats, TrainingBackend, TrainingReport};
 use swiftrl_core::config::{DataType, RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;
 use swiftrl_env::collect::collect_random;
 use swiftrl_env::frozen_lake::FrozenLake;
+use swiftrl_env::ExperienceDataset;
 use swiftrl_pim::config::{EmulationCharging, PimConfig};
 use swiftrl_rl::eval::evaluate_greedy;
 use swiftrl_rl::sampling::SamplingStrategy;
+
+/// Trains through the backend interface, panicking with the backend's
+/// name on failure (acceptable in an experiment binary).
+fn train(backend: &dyn TrainingBackend, dataset: &ExperienceDataset) -> TrainingReport {
+    backend
+        .train(dataset)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", backend.name()))
+}
+
+/// Synchronization rounds reported by a PIM backend.
+fn comm_rounds(report: &TrainingReport) -> u32 {
+    match &report.stats {
+        BackendStats::Pim { comm_rounds, .. } => *comm_rounds,
+        other => panic!("expected Pim stats, got {other:?}"),
+    }
+}
 
 fn main() {
     let args = HarnessArgs::parse(0.05);
@@ -45,16 +65,14 @@ fn main() {
             .with_dpus(dpus)
             .with_episodes(episodes)
             .with_tau(tau);
-        let out = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg)
-            .expect("alloc")
-            .run(&dataset)
-            .expect("run");
-        let quality = evaluate_greedy(&mut env, &out.q_table, 500, 1).mean_reward;
+        let backend = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg).expect("alloc");
+        let report = train(&backend, &dataset);
+        let quality = evaluate_greedy(&mut env, &report.q_table, 500, 1).mean_reward;
         rows.push(vec![
             tau.to_string(),
-            out.comm_rounds.to_string(),
-            fmt_secs(out.breakdown.inter_pim_s),
-            fmt_secs(out.breakdown.total_seconds()),
+            comm_rounds(&report).to_string(),
+            fmt_secs(report.breakdown.inter_pim_s),
+            fmt_secs(report.breakdown.total_seconds()),
             format!("{quality:.3}"),
         ]);
     }
@@ -80,12 +98,10 @@ fn main() {
                 .with_dpus(dpus)
                 .with_episodes(100)
                 .with_tau(100);
-            let out = PimRunner::with_platform(spec, cfg, platform)
-                .expect("alloc")
-                .run(&dataset)
-                .expect("run");
-            times.push(out.breakdown.pim_kernel_s);
-            cells.push(fmt_secs(out.breakdown.pim_kernel_s));
+            let backend = PimRunner::with_platform(spec, cfg, platform).expect("alloc");
+            let report = train(&backend, &dataset);
+            times.push(report.breakdown.pim_kernel_s);
+            cells.push(fmt_secs(report.breakdown.pim_kernel_s));
         }
         cells.push(format!("{:.2}×", times[1] / times[0]));
         rows.push(cells);
@@ -112,14 +128,12 @@ fn main() {
             .with_dpus(dpus)
             .with_episodes(100)
             .with_tau(100);
-        let out = PimRunner::new(spec, cfg)
-            .expect("alloc")
-            .run(&dataset)
-            .expect("run");
+        let backend = PimRunner::new(spec, cfg).expect("alloc");
+        let report = train(&backend, &dataset);
         rows.push(vec![
             stride.to_string(),
-            fmt_secs(out.breakdown.pim_kernel_s),
-            fmt_secs(out.breakdown.total_seconds()),
+            fmt_secs(report.breakdown.pim_kernel_s),
+            fmt_secs(report.breakdown.total_seconds()),
         ]);
     }
     print_table(&["Stride", "PIM kernel", "Total"], &rows);
@@ -137,11 +151,9 @@ fn main() {
             .with_episodes(episodes.min(200))
             .with_tau(50);
         cfg.scale_factor = scale;
-        let out = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg)
-            .expect("alloc")
-            .run(&dataset)
-            .expect("run");
-        let quality = evaluate_greedy(&mut env, &out.q_table, 500, 1).mean_reward;
+        let backend = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg).expect("alloc");
+        let report = train(&backend, &dataset);
+        let quality = evaluate_greedy(&mut env, &report.q_table, 500, 1).mean_reward;
         rows.push(vec![scale.to_string(), format!("{quality:.3}")]);
     }
     print_table(&["Scale factor", "Mean reward"], &rows);
@@ -161,11 +173,9 @@ fn main() {
             .with_episodes(100)
             .with_tau(100)
             .with_tasklets(tasklets);
-        let out = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg)
-            .expect("alloc")
-            .run(&dataset)
-            .expect("run");
-        let t = out.breakdown.pim_kernel_s;
+        let backend = PimRunner::new(WorkloadSpec::q_learning_seq_int32(), cfg).expect("alloc");
+        let report = train(&backend, &dataset);
+        let t = report.breakdown.pim_kernel_s;
         let base = *baseline.get_or_insert(t);
         rows.push(vec![
             tasklets.to_string(),

@@ -13,6 +13,7 @@
 //! ```
 
 use swiftrl_bench::{print_table, HarnessArgs};
+use swiftrl_core::backend::TrainingBackend;
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;
 use swiftrl_env::collect::collect_random;
@@ -22,18 +23,19 @@ use swiftrl_rl::eval::evaluate_greedy;
 use swiftrl_rl::online::{collect_partially_trained, OnlineConfig};
 
 fn train_and_eval(dataset: &ExperienceDataset, episodes: u32) -> f64 {
-    let outcome = PimRunner::new(
-        WorkloadSpec::q_learning_seq_int32(),
-        RunConfig::paper_defaults()
-            .with_dpus(64)
-            .with_episodes(episodes)
-            .with_tau(50),
-    )
-    .expect("alloc")
-    .run(dataset)
-    .expect("run");
+    let backend: Box<dyn TrainingBackend> = Box::new(
+        PimRunner::new(
+            WorkloadSpec::q_learning_seq_int32(),
+            RunConfig::paper_defaults()
+                .with_dpus(64)
+                .with_episodes(episodes)
+                .with_tau(50),
+        )
+        .expect("alloc"),
+    );
+    let report = backend.train(dataset).expect("run");
     let mut env = FrozenLake::slippery_4x4();
-    evaluate_greedy(&mut env, &outcome.q_table, 1_000, 11).mean_reward
+    evaluate_greedy(&mut env, &report.q_table, 1_000, 11).mean_reward
 }
 
 fn goal_fraction(d: &ExperienceDataset) -> f64 {

@@ -7,6 +7,7 @@
 //! ```
 
 use swiftrl_bench::{fmt_secs, print_table, HarnessArgs};
+use swiftrl_core::backend::TrainingBackend;
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;
 use swiftrl_env::cliff_walking::CliffWalking;
@@ -36,23 +37,24 @@ fn run_dataset<E: DiscreteEnv>(
     initial_q: f32,
     reference: &str,
 ) -> Vec<String> {
-    let out = PimRunner::new(
-        WorkloadSpec::q_learning_seq_int32(),
-        RunConfig::paper_defaults()
-            .with_dpus(dpus)
-            .with_episodes(episodes)
-            .with_tau(50)
-            .with_initial_q(initial_q),
-    )
-    .expect("alloc")
-    .run(&dataset)
-    .expect("run");
-    let stats = evaluate_greedy(env, &out.q_table, 500, 5);
+    let backend: Box<dyn TrainingBackend> = Box::new(
+        PimRunner::new(
+            WorkloadSpec::q_learning_seq_int32(),
+            RunConfig::paper_defaults()
+                .with_dpus(dpus)
+                .with_episodes(episodes)
+                .with_tau(50)
+                .with_initial_q(initial_q),
+        )
+        .expect("alloc"),
+    );
+    let report = backend.train(&dataset).expect("run");
+    let stats = evaluate_greedy(env, &report.q_table, 500, 5);
     vec![
         env.name().to_string(),
         format!("{}x{}", env.num_states(), env.num_actions()),
         dataset.len().to_string(),
-        fmt_secs(out.breakdown.total_seconds()),
+        fmt_secs(report.breakdown.total_seconds()),
         format!("{:.2}", stats.mean_reward),
         reference.to_string(),
     ]

@@ -8,6 +8,7 @@
 //! ```
 
 use swiftrl_bench::{fmt_secs, print_table, HarnessArgs};
+use swiftrl_core::backend::TrainingBackend;
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;
 use swiftrl_env::collect::collect_random;
@@ -37,17 +38,18 @@ fn main() {
             PER_DPU_TRANSITIONS * dpus,
             args.seed.unwrap_or(17) as u64,
         );
-        let out = PimRunner::new(
-            WorkloadSpec::q_learning_seq_int32(),
-            RunConfig::paper_defaults()
-                .with_dpus(dpus)
-                .with_episodes(EPISODES)
-                .with_tau(50),
-        )
-        .expect("alloc")
-        .run(&dataset)
-        .expect("run");
-        let b = &out.breakdown;
+        let backend: Box<dyn TrainingBackend> = Box::new(
+            PimRunner::new(
+                WorkloadSpec::q_learning_seq_int32(),
+                RunConfig::paper_defaults()
+                    .with_dpus(dpus)
+                    .with_episodes(EPISODES)
+                    .with_tau(50),
+            )
+            .expect("alloc"),
+        );
+        let report = backend.train(&dataset).expect("run");
+        let b = &report.breakdown;
         let base = *baseline.get_or_insert(b.pim_kernel_s);
         rows.push(vec![
             dpus.to_string(),

@@ -2,36 +2,48 @@
 //! for FrozenLake and Taxi — PIM at 2,000 cores (best-performing count),
 //! FP32 vs INT32, against CPU-V1, CPU-V2 and the GPU.
 //!
-//! PIM times come from the cycle-level simulator (extrapolated from a
-//! reduced-scale run); CPU and GPU times come from the analytical Table-1
-//! models (see DESIGN.md on the substitution). The binary also reports
-//! the paper's headline ratios next to the measured ones.
+//! Every comparator runs through the [`TrainingBackend`] trait: PIM
+//! times come from the cycle-level simulator (extrapolated from a
+//! reduced-scale run); CPU and GPU times come from the analytical
+//! Table-1 model backends (see DESIGN.md on the substitution). The
+//! binary also reports the paper's headline ratios next to the measured
+//! ones.
 //!
 //! ```text
 //! cargo run --release -p swiftrl-bench --bin fig7_cpu_gpu_pim
 //! ```
 
+use std::collections::HashMap;
 use swiftrl_baselines::cpu_model::{CpuModel, CpuVersion};
 use swiftrl_baselines::gpu_model::GpuModel;
 use swiftrl_bench::{fmt_ratio, fmt_secs, print_table, Extrapolation, HarnessArgs};
+use swiftrl_core::backend::{BackendStats, CpuModelBackend, GpuModelBackend, TrainingBackend};
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;
 use swiftrl_env::collect::collect_random;
 use swiftrl_env::frozen_lake::FrozenLake;
 use swiftrl_env::taxi::Taxi;
 use swiftrl_env::ExperienceDataset;
-use swiftrl_rl::sampling::SamplingStrategy;
-use std::collections::HashMap;
 
 const PAPER_EPISODES: u32 = 2_000;
 const TAU: u32 = 50;
 const PIM_CORES: usize = 2_000;
+
+/// Backend names as produced by `TrainingBackend::name`, used as keys
+/// into the collected time table by the headline/energy sections (which
+/// only consult the PIM, CPU-V1, and GPU comparators).
+const PIM_NAME: &str = "PIM (2000 DPUs)";
+const V1_NAME: &str = "CPU-V1";
+const GPU_NAME: &str = "GPU";
 
 struct EnvCase {
     tag: &'static str,
     paper_transitions: usize,
     dataset: ExperienceDataset,
 }
+
+/// times[(env_tag, workload name, backend name)] = paper-scale seconds.
+type TimeTable = HashMap<(&'static str, String, String), f64>;
 
 fn main() {
     let args = HarnessArgs::parse(0.01);
@@ -57,8 +69,7 @@ fn main() {
 
     println!("# Figure 7: CPU vs GPU vs PIM (2,000 PIM cores)\n");
 
-    // pim_times[(env_tag, spec)] = paper-scale seconds
-    let mut pim_times: HashMap<(&str, String), f64> = HashMap::new();
+    let mut times: TimeTable = HashMap::new();
 
     for case in &cases {
         let extra = Extrapolation::new(
@@ -68,8 +79,10 @@ fn main() {
             episodes,
             TAU,
         );
-        let ns = case.dataset.num_states();
-        let na = case.dataset.num_actions();
+        // The CPU/GPU model backends are given the paper-scale schedule
+        // directly (the V2 merge term is not linear in updates, so
+        // extrapolating a reduced-scale model run would not reproduce
+        // the paper-scale figure).
         let total_updates = case.paper_transitions as u64 * PAPER_EPISODES as u64;
 
         println!("## {} environment\n", case.tag);
@@ -80,20 +93,41 @@ fn main() {
                 .with_episodes(episodes)
                 .with_tau(TAU)
                 .with_seed(args.seed.unwrap_or(0xC0FFEE));
-            let outcome = PimRunner::new(spec, cfg)
-                .expect("alloc failed")
-                .run(&case.dataset)
-                .expect("PIM run failed");
-            let pim_s = extra.apply(&outcome.breakdown).total_seconds();
-            pim_times.insert((case.tag, spec.name()), pim_s);
+            // The four comparators of the figure, behind one interface.
+            let backends: Vec<Box<dyn TrainingBackend>> = vec![
+                Box::new(PimRunner::new(spec, cfg).expect("alloc failed")),
+                Box::new(
+                    CpuModelBackend::new(CpuVersion::V1, cpu.clone(), spec, cfg)
+                        .with_total_updates(total_updates),
+                ),
+                Box::new(
+                    CpuModelBackend::new(CpuVersion::V2, cpu.clone(), spec, cfg)
+                        .with_total_updates(total_updates),
+                ),
+                Box::new(GpuModelBackend::new(
+                    gpu.clone(),
+                    PAPER_EPISODES as u64,
+                    case.paper_transitions as u64,
+                )),
+            ];
 
-            let v1 = cpu.training_seconds(CpuVersion::V1, total_updates, ns, na, spec.sampling);
-            let v2 = cpu.training_seconds(CpuVersion::V2, total_updates, ns, na, spec.sampling);
-            let gpu_s = gpu.training_seconds(
-                PAPER_EPISODES as u64,
-                case.paper_transitions as u64,
-                ns * na,
-            );
+            let mut row_secs = Vec::new();
+            for backend in &backends {
+                let report = backend
+                    .train(&case.dataset)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", backend.name()));
+                // Simulator reports are reduced-scale and need the
+                // extrapolation; modelled backends are paper-scale.
+                let secs = match &report.stats {
+                    BackendStats::Pim { .. } => extra.apply(&report.breakdown).total_seconds(),
+                    _ => report.total_seconds(),
+                };
+                times.insert((case.tag, spec.name(), backend.name()), secs);
+                row_secs.push(secs);
+            }
+            let [pim_s, v1, v2, gpu_s] = row_secs[..] else {
+                unreachable!("four backends per workload");
+            };
             rows.push(vec![
                 spec.name(),
                 fmt_secs(pim_s),
@@ -119,26 +153,24 @@ fn main() {
         println!();
     }
 
-    headline_checks(&pim_times, &cpu, &gpu);
-    energy_extension(&pim_times, &cpu, &gpu);
+    headline_checks(&times);
+    energy_extension(&times);
+}
+
+/// Looks one (env, workload, backend) time up from the collected table.
+fn t(times: &TimeTable, env: &'static str, workload: &str, backend: &str) -> f64 {
+    times[&(env, workload.to_string(), backend.to_string())]
 }
 
 /// Extension: first-order energy comparison at Table-1 TDPs for the
 /// FrozenLake Q-learner (the paper motivates PIM with energy but reports
-/// no numbers).
-fn energy_extension(pim: &HashMap<(&str, String), f64>, cpu: &CpuModel, gpu: &GpuModel) {
+/// no numbers). All times are read back from the backend runs above.
+fn energy_extension(times: &TimeTable) {
     use swiftrl_baselines::energy;
 
-    let fl_updates = 1_000_000u64 * PAPER_EPISODES as u64;
-    let pim_int32 = pim[&("FL", "Q-learner-SEQ-INT32".to_string())];
-    let cpu_v1 = cpu.training_seconds(
-        CpuVersion::V1,
-        fl_updates,
-        16,
-        4,
-        SamplingStrategy::Sequential,
-    );
-    let gpu_s = gpu.training_seconds(PAPER_EPISODES as u64, 1_000_000, 64);
+    let pim_int32 = t(times, "FL", "Q-learner-SEQ-INT32", PIM_NAME);
+    let cpu_v1 = t(times, "FL", "Q-learner-SEQ-FP32", V1_NAME);
+    let gpu_s = t(times, "FL", "Q-learner-SEQ-FP32", GPU_NAME);
 
     println!("\n## Extension: energy estimate, FrozenLake Q-learner (TDP × utilization × time)\n");
     let rows: Vec<Vec<String>> = energy::table1_comparison(pim_int32, cpu_v1, gpu_s)
@@ -155,32 +187,25 @@ fn energy_extension(pim: &HashMap<(&str, String), f64>, cpu: &CpuModel, gpu: &Gp
     print_table(&["System", "Time", "Avg power", "Energy"], &rows);
 }
 
-fn headline_checks(pim: &HashMap<(&str, String), f64>, cpu: &CpuModel, gpu: &GpuModel) {
-    let t = |env: &str, name: &str| pim[&(env, name.to_string())];
-    let fl_updates = 1_000_000u64 * PAPER_EPISODES as u64;
-    let taxi_updates = 5_000_000u64 * PAPER_EPISODES as u64;
-
-    let cpu_v1 = |ns, na, s| cpu.training_seconds(CpuVersion::V1, fl_updates, ns, na, s);
-    let q_seq_fp32 = t("FL", "Q-learner-SEQ-FP32");
-    let q_ran_fp32 = t("FL", "Q-learner-RAN-FP32");
-    let q_seq_int32 = t("FL", "Q-learner-SEQ-INT32");
-    let s_seq_fp32 = t("FL", "SARSA-SEQ-FP32");
-    let s_seq_int32 = t("FL", "SARSA-SEQ-INT32");
-    let gpu_fl = gpu.training_seconds(PAPER_EPISODES as u64, 1_000_000, 64);
+fn headline_checks(times: &TimeTable) {
+    let q_seq_fp32 = t(times, "FL", "Q-learner-SEQ-FP32", PIM_NAME);
+    let q_ran_fp32 = t(times, "FL", "Q-learner-RAN-FP32", PIM_NAME);
+    let q_seq_int32 = t(times, "FL", "Q-learner-SEQ-INT32", PIM_NAME);
+    let s_seq_fp32 = t(times, "FL", "SARSA-SEQ-FP32", PIM_NAME);
+    let s_seq_int32 = t(times, "FL", "SARSA-SEQ-INT32", PIM_NAME);
+    let cpu_v1_seq = t(times, "FL", "Q-learner-SEQ-FP32", V1_NAME);
+    let cpu_v1_ran = t(times, "FL", "Q-learner-RAN-FP32", V1_NAME);
+    let gpu_fl = t(times, "FL", "Q-learner-SEQ-FP32", GPU_NAME);
 
     let taxi_fp32_avg = ["SEQ", "RAN", "STR"]
         .iter()
-        .map(|s| t("Taxi", &format!("Q-learner-{s}-FP32")))
+        .map(|s| t(times, "Taxi", &format!("Q-learner-{s}-FP32"), PIM_NAME))
         .sum::<f64>()
         / 3.0;
-    let taxi_cpu_v1_avg = [
-        SamplingStrategy::Sequential,
-        SamplingStrategy::Random,
-        SamplingStrategy::paper_stride(),
-    ]
-    .iter()
-    .map(|&s| cpu.training_seconds(CpuVersion::V1, taxi_updates, 500, 6, s))
-    .sum::<f64>()
+    let taxi_cpu_v1_avg = ["SEQ", "RAN", "STR"]
+        .iter()
+        .map(|s| t(times, "Taxi", &format!("Q-learner-{s}-FP32"), V1_NAME))
+        .sum::<f64>()
         / 3.0;
 
     println!("## Headline ratios (paper vs this reproduction)\n");
@@ -188,17 +213,17 @@ fn headline_checks(pim: &HashMap<(&str, String), f64>, cpu: &CpuModel, gpu: &Gpu
         vec![
             "Q-SEQ-FP32-FL faster than CPU-V1".into(),
             "1.84×".into(),
-            fmt_ratio(cpu_v1(16, 4, SamplingStrategy::Sequential) / q_seq_fp32),
+            fmt_ratio(cpu_v1_seq / q_seq_fp32),
         ],
         vec![
             "SARSA-SEQ-FP32-FL faster than CPU-V1".into(),
             "2.08×".into(),
-            fmt_ratio(cpu_v1(16, 4, SamplingStrategy::Sequential) / s_seq_fp32),
+            fmt_ratio(cpu_v1_seq / s_seq_fp32),
         ],
         vec![
             "Q-RAN-FP32-FL faster than CPU-V1".into(),
             "1.96×".into(),
-            fmt_ratio(cpu_v1(16, 4, SamplingStrategy::Random) / q_ran_fp32),
+            fmt_ratio(cpu_v1_ran / q_ran_fp32),
         ],
         vec![
             "Q-SEQ-INT32 faster than Q-SEQ-FP32 (FL)".into(),

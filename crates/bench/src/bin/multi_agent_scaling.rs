@@ -2,6 +2,10 @@
 //! agents (10,000 FrozenLake transitions each, 2,000 episodes) on one
 //! PIM core per agent, against the paper's measured Xeon baseline.
 //!
+//! Both comparators run through the [`TrainingBackend`] trait:
+//! [`MultiAgentRunner`] (one learner per DPU) against
+//! [`CpuMultiAgentBackend`] (Table 1 Xeon model).
+//!
 //! Paper: CPU takes ≈996.52 s (1,000 agents) and ≈1,943.78 s (2,000);
 //! SwiftRL achieves ≈11.23× and ≈21.92× speedup respectively.
 //!
@@ -11,10 +15,13 @@
 
 use swiftrl_baselines::cpu_model::CpuModel;
 use swiftrl_bench::{fmt_ratio, fmt_secs, print_table, HarnessArgs};
+use swiftrl_core::backend::{
+    BackendStats, CpuMultiAgentBackend, MultiAgentRunner, TrainingBackend,
+};
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
-use swiftrl_core::multi_agent::train_multi_agent;
 use swiftrl_env::collect::collect_per_agent;
 use swiftrl_env::frozen_lake::FrozenLake;
+use swiftrl_env::ExperienceDataset;
 
 const PAPER_TRANSITIONS_PER_AGENT: usize = 10_000;
 const PAPER_EPISODES: u32 = 2_000;
@@ -31,18 +38,43 @@ fn main() {
     let episodes = args.scaled_episodes(PAPER_EPISODES, 50);
 
     let mut env = FrozenLake::slippery_4x4();
+    // The backend interface takes one combined dataset; the runner
+    // re-splits it into equal contiguous per-agent chunks, which
+    // round-trips the per-agent collection exactly.
     let datasets = collect_per_agent(&mut env, sim_agents, transitions, 42);
+    let mut combined = ExperienceDataset::new(
+        datasets[0].env_name(),
+        datasets[0].num_states(),
+        datasets[0].num_actions(),
+    );
+    for d in &datasets {
+        combined.extend(d.transitions().iter().copied());
+    }
+
     let spec = WorkloadSpec::q_learning_seq_int32();
     let cfg = RunConfig::paper_defaults()
         .with_episodes(episodes)
         .with_tau(episodes);
-    let outcome = train_multi_agent(spec, &cfg, &datasets).expect("multi-agent run failed");
+    let cpu = CpuModel::xeon_4110();
+
+    // The two comparators of the figure, behind one interface.
+    let pim_backend: Box<dyn TrainingBackend> =
+        Box::new(MultiAgentRunner::new(spec, cfg, sim_agents).expect("bad agent count"));
+    let cpu_backend: Box<dyn TrainingBackend> = Box::new(
+        CpuMultiAgentBackend::new(cpu, sim_agents, episodes).expect("bad agent count"),
+    );
+
+    let pim_report = pim_backend
+        .train(&combined)
+        .expect("multi-agent run failed");
+    let cpu_report = cpu_backend.train(&combined).expect("CPU model failed");
 
     // Per-agent work extrapolation for the kernel; transfers scale with
-    // agents × per-agent bytes.
+    // agents × per-agent bytes. The CPU model is exactly linear in
+    // agents × updates, so the simulated-scale figure extrapolates to
+    // paper scale by the same two factors.
     let update_factor = (PAPER_TRANSITIONS_PER_AGENT as f64 * PAPER_EPISODES as f64)
         / (transitions as f64 * episodes as f64);
-    let cpu = CpuModel::xeon_4110();
 
     println!("# §4.4 Multi-agent Q-learning scaling ({spec})\n");
     println!(
@@ -54,16 +86,12 @@ fn main() {
     for (agents, paper_cpu_s, paper_speedup) in PAPER_POINTS {
         let agents_ratio = agents as f64 / sim_agents as f64;
         let xfer_factor = agents_ratio * PAPER_TRANSITIONS_PER_AGENT as f64 / transitions as f64;
-        let b = &outcome.breakdown;
+        let b = &pim_report.breakdown;
         let pim_s = b.pim_kernel_s * update_factor
             + b.program_load_s * agents_ratio
             + (b.cpu_pim_s - b.program_load_s) * xfer_factor
             + b.pim_cpu_s * agents_ratio;
-        let cpu_model_s = cpu.multi_agent_seconds(
-            agents,
-            PAPER_TRANSITIONS_PER_AGENT as u64 * PAPER_EPISODES as u64,
-            4,
-        );
+        let cpu_model_s = cpu_report.total_seconds() * agents_ratio * update_factor;
         rows.push(vec![
             agents.to_string(),
             format!("{} (paper {paper_cpu_s:.2}s)", fmt_secs(cpu_model_s)),
@@ -76,10 +104,13 @@ fn main() {
         &rows,
     );
 
+    let agent_tables = match &pim_report.stats {
+        BackendStats::MultiAgent { q_tables } => q_tables.len(),
+        other => panic!("expected MultiAgent stats, got {other:?}"),
+    };
     println!(
         "\nIndependence check: {} per-agent Q-tables returned, no inter-PIM \
          communication time ({}s).",
-        outcome.q_tables.len(),
-        outcome.breakdown.inter_pim_s
+        agent_tables, pim_report.breakdown.inter_pim_s
     );
 }

@@ -1,6 +1,10 @@
 //! §4.2 — RL training quality: mean evaluation reward of the PIM-trained
 //! (τ-synchronized, aggregated) policies against CPU-trained references.
 //!
+//! Both sides run through the [`TrainingBackend`] trait — the PIM rows
+//! via [`PimRunner`], the CPU rows via [`CpuModelBackend`] (whose
+//! Q-table is the real host-trained reference).
+//!
 //! Paper numbers (1,000 evaluation episodes):
 //!
 //! * FrozenLake, Q-learner-SEQ: mean reward 0.74 / 0.7295 / 0.70 at
@@ -13,7 +17,9 @@
 //! cargo run --release -p swiftrl-bench --bin quality_training
 //! ```
 
+use swiftrl_baselines::cpu_model::{CpuModel, CpuVersion};
 use swiftrl_bench::{print_table, HarnessArgs};
+use swiftrl_core::backend::{CpuModelBackend, TrainingBackend};
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;
 use swiftrl_env::collect::collect_random;
@@ -21,29 +27,44 @@ use swiftrl_env::frozen_lake::FrozenLake;
 use swiftrl_env::taxi::Taxi;
 use swiftrl_env::{DiscreteEnv, ExperienceDataset};
 use swiftrl_rl::eval::evaluate_greedy;
-use swiftrl_rl::qlearning::{train_offline, QLearningConfig};
-use swiftrl_rl::sampling::SamplingStrategy;
-use swiftrl_rl::sarsa::{self, SarsaConfig};
 
 const EVAL_EPISODES: u32 = 1_000;
 const DPUS: usize = 125;
+/// Seed of the CPU reference runs (kept distinct from the PIM seed so
+/// the comparison is across independent training streams).
+const CPU_SEED: u32 = 7;
 
-fn pim_quality<E: DiscreteEnv>(
+/// Trains through any backend and evaluates the resulting greedy policy.
+fn quality<E: DiscreteEnv>(
     env: &mut E,
     dataset: &ExperienceDataset,
-    spec: WorkloadSpec,
-    episodes: u32,
-    tau: u32,
+    backend: &dyn TrainingBackend,
 ) -> f64 {
+    let report = backend
+        .train(dataset)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", backend.name()));
+    evaluate_greedy(env, &report.q_table, EVAL_EPISODES, 1).mean_reward
+}
+
+fn pim_backend(spec: WorkloadSpec, episodes: u32, tau: u32) -> Box<dyn TrainingBackend> {
     let cfg = RunConfig::paper_defaults()
         .with_dpus(DPUS)
         .with_episodes(episodes)
         .with_tau(tau);
-    let outcome = PimRunner::new(spec, cfg)
-        .expect("alloc failed")
-        .run(dataset)
-        .expect("PIM run failed");
-    evaluate_greedy(env, &outcome.q_table, EVAL_EPISODES, 1).mean_reward
+    Box::new(PimRunner::new(spec, cfg).expect("alloc failed"))
+}
+
+fn cpu_backend(spec: WorkloadSpec, episodes: u32) -> Box<dyn TrainingBackend> {
+    let cfg = RunConfig::paper_defaults()
+        .with_episodes(episodes)
+        .with_tau(episodes)
+        .with_seed(CPU_SEED);
+    Box::new(CpuModelBackend::new(
+        CpuVersion::V2,
+        CpuModel::xeon_4110(),
+        spec,
+        cfg,
+    ))
 }
 
 fn main() {
@@ -64,13 +85,8 @@ fn main() {
 
     // Q-learner-SEQ at τ ∈ {10, 25, 50}.
     for (tau, paper) in [(10u32, 0.74f64), (25, 0.7295), (50, 0.70)] {
-        let mean = pim_quality(
-            &mut fl,
-            &fl_data,
-            WorkloadSpec::q_learning_seq_fp32(),
-            fl_episodes,
-            tau,
-        );
+        let backend = pim_backend(WorkloadSpec::q_learning_seq_fp32(), fl_episodes, tau);
+        let mean = quality(&mut fl, &fl_data, backend.as_ref());
         rows.push(vec![
             format!("FL Q-learner-SEQ PIM τ={tau}"),
             format!("{paper:.3}"),
@@ -79,13 +95,8 @@ fn main() {
     }
 
     // CPU reference (single learner over the full dataset).
-    let cpu_q = train_offline(
-        &fl_data,
-        &QLearningConfig::paper_defaults().with_episodes(fl_episodes),
-        SamplingStrategy::Sequential,
-        7,
-    );
-    let cpu_q_mean = evaluate_greedy(&mut fl, &cpu_q, EVAL_EPISODES, 1).mean_reward;
+    let backend = cpu_backend(WorkloadSpec::q_learning_seq_fp32(), fl_episodes);
+    let cpu_q_mean = quality(&mut fl, &fl_data, backend.as_ref());
     rows.push(vec![
         "FL Q-learner-SEQ CPU".into(),
         "≈0.70–0.74".into(),
@@ -93,25 +104,15 @@ fn main() {
     ]);
 
     // SARSA τ = 50 vs CPU.
-    let sarsa_mean = pim_quality(
-        &mut fl,
-        &fl_data,
-        WorkloadSpec::sarsa_seq_fp32(),
-        fl_episodes,
-        50,
-    );
+    let backend = pim_backend(WorkloadSpec::sarsa_seq_fp32(), fl_episodes, 50);
+    let sarsa_mean = quality(&mut fl, &fl_data, backend.as_ref());
     rows.push(vec![
         "FL SARSA-SEQ PIM τ=50".into(),
         "0.71".into(),
         format!("{sarsa_mean:.3}"),
     ]);
-    let cpu_sarsa = sarsa::train_offline(
-        &fl_data,
-        &SarsaConfig::paper_defaults().with_episodes(fl_episodes),
-        SamplingStrategy::Sequential,
-        7,
-    );
-    let cpu_sarsa_mean = evaluate_greedy(&mut fl, &cpu_sarsa, EVAL_EPISODES, 1).mean_reward;
+    let backend = cpu_backend(WorkloadSpec::sarsa_seq_fp32(), fl_episodes);
+    let cpu_sarsa_mean = quality(&mut fl, &fl_data, backend.as_ref());
     rows.push(vec![
         "FL SARSA-SEQ CPU".into(),
         "0.723".into(),
@@ -134,51 +135,30 @@ fn main() {
         "Taxi: {taxi_transitions} transitions, {taxi_episodes} training episodes, {DPUS} DPUs\n"
     );
 
-    let taxi_q = pim_quality(
-        &mut taxi,
-        &taxi_data,
-        WorkloadSpec::q_learning_seq_int32(),
-        taxi_episodes,
-        50,
-    );
+    let backend = pim_backend(WorkloadSpec::q_learning_seq_int32(), taxi_episodes, 50);
+    let taxi_q = quality(&mut taxi, &taxi_data, backend.as_ref());
     rows.push(vec![
         "Taxi Q-learner-SEQ PIM τ=50 (INT32)".into(),
         "-7.9".into(),
         format!("{taxi_q:.2}"),
     ]);
-    let taxi_cpu_q = train_offline(
-        &taxi_data,
-        &QLearningConfig::paper_defaults().with_episodes(taxi_episodes),
-        SamplingStrategy::Sequential,
-        7,
-    );
-    let taxi_cpu_q_mean = evaluate_greedy(&mut taxi, &taxi_cpu_q, EVAL_EPISODES, 1).mean_reward;
+    let backend = cpu_backend(WorkloadSpec::q_learning_seq_fp32(), taxi_episodes);
+    let taxi_cpu_q_mean = quality(&mut taxi, &taxi_data, backend.as_ref());
     rows.push(vec![
         "Taxi Q-learner-SEQ CPU".into(),
         "-8.6".into(),
         format!("{taxi_cpu_q_mean:.2}"),
     ]);
 
-    let taxi_sarsa = pim_quality(
-        &mut taxi,
-        &taxi_data,
-        WorkloadSpec::sarsa_seq_int32(),
-        taxi_episodes,
-        50,
-    );
+    let backend = pim_backend(WorkloadSpec::sarsa_seq_int32(), taxi_episodes, 50);
+    let taxi_sarsa = quality(&mut taxi, &taxi_data, backend.as_ref());
     rows.push(vec![
         "Taxi SARSA-SEQ PIM τ=50 (INT32)".into(),
         "-8.8".into(),
         format!("{taxi_sarsa:.2}"),
     ]);
-    let taxi_cpu_sarsa = sarsa::train_offline(
-        &taxi_data,
-        &SarsaConfig::paper_defaults().with_episodes(taxi_episodes),
-        SamplingStrategy::Sequential,
-        7,
-    );
-    let taxi_cpu_sarsa_mean =
-        evaluate_greedy(&mut taxi, &taxi_cpu_sarsa, EVAL_EPISODES, 1).mean_reward;
+    let backend = cpu_backend(WorkloadSpec::sarsa_seq_fp32(), taxi_episodes);
+    let taxi_cpu_sarsa_mean = quality(&mut taxi, &taxi_data, backend.as_ref());
     rows.push(vec![
         "Taxi SARSA-SEQ CPU".into(),
         "-8.2".into(),

@@ -1,6 +1,7 @@
 //! Shared driver for the strong-scaling figures (Figs. 5 and 6).
 
 use crate::{fmt_secs, print_table, Extrapolation, HarnessArgs};
+use swiftrl_core::backend::TrainingBackend;
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;
 use swiftrl_env::ExperienceDataset;
@@ -86,11 +87,14 @@ pub fn run_scaling_figure(
                 .with_episodes(episodes)
                 .with_tau(fig.tau)
                 .with_seed(args.seed.unwrap_or(0xC0FFEE));
-            let outcome = PimRunner::new(spec, cfg)
-                .unwrap_or_else(|e| panic!("DPU allocation failed: {e}"))
-                .run(dataset)
+            let backend: Box<dyn TrainingBackend> = Box::new(
+                PimRunner::new(spec, cfg)
+                    .unwrap_or_else(|e| panic!("DPU allocation failed: {e}")),
+            );
+            let report = backend
+                .train(dataset)
                 .unwrap_or_else(|e| panic!("PIM run failed: {e}"));
-            let b = extra.apply(&outcome.breakdown);
+            let b = extra.apply(&report.breakdown);
             rows.push(vec![
                 dpus.to_string(),
                 fmt_secs(b.pim_kernel_s),

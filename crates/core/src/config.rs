@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use swiftrl_pim::host::PimError;
 use swiftrl_rl::fixed::{FixedScale, PAPER_SCALE};
 use swiftrl_rl::sampling::{SamplingStrategy, PAPER_STRIDE};
 
@@ -231,21 +232,24 @@ impl RunConfig {
 
     /// Communication rounds `E/τ`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `τ` is zero or does not divide the episode count — the
-    /// paper assumes divisibility ("the total number of episodes … is
-    /// assumed to be divisible by τ").
-    pub fn comm_rounds(&self) -> u32 {
-        assert!(self.tau > 0, "tau must be positive");
-        assert_eq!(
-            self.episodes % self.tau,
-            0,
-            "episodes ({}) must be divisible by tau ({})",
-            self.episodes,
-            self.tau
-        );
-        self.episodes / self.tau
+    /// Returns [`PimError::BadArgument`] if `τ` is zero or does not
+    /// divide the episode count — the paper assumes divisibility ("the
+    /// total number of episodes … is assumed to be divisible by τ").
+    pub fn comm_rounds(&self) -> Result<u32, PimError> {
+        if self.tau == 0 {
+            return Err(PimError::BadArgument(
+                "tau must be positive".to_string(),
+            ));
+        }
+        if !self.episodes.is_multiple_of(self.tau) {
+            return Err(PimError::BadArgument(format!(
+                "episodes ({}) must be divisible by tau ({})",
+                self.episodes, self.tau
+            )));
+        }
+        Ok(self.episodes / self.tau)
     }
 }
 
@@ -272,7 +276,7 @@ mod tests {
         assert_eq!(c.alpha, 0.1);
         assert_eq!(c.gamma, 0.95);
         assert_eq!(c.scale_factor, 10_000);
-        assert_eq!(c.comm_rounds(), 40);
+        assert_eq!(c.comm_rounds().unwrap(), 40);
     }
 
     #[test]
@@ -283,17 +287,27 @@ mod tests {
             .with_tau(25)
             .with_seed(9);
         assert_eq!(c.dpus, 125);
-        assert_eq!(c.comm_rounds(), 4);
+        assert_eq!(c.comm_rounds().unwrap(), 4);
         assert_eq!(c.seed, 9);
     }
 
     #[test]
-    #[should_panic(expected = "divisible")]
     fn indivisible_tau_rejected() {
-        RunConfig::paper_defaults()
+        let err = RunConfig::paper_defaults()
             .with_episodes(100)
             .with_tau(33)
-            .comm_rounds();
+            .comm_rounds()
+            .unwrap_err();
+        match err {
+            PimError::BadArgument(msg) => assert!(msg.contains("divisible"), "{msg}"),
+            other => panic!("expected BadArgument, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_tau_rejected() {
+        let err = RunConfig::paper_defaults().with_tau(0).comm_rounds().unwrap_err();
+        assert!(matches!(err, PimError::BadArgument(_)), "{err:?}");
     }
 
     #[test]

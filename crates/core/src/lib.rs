@@ -23,6 +23,10 @@
 //! [`breakdown::TimeBreakdown`] with exactly the four components of the
 //! paper's Figures 5–6. [`multi_agent`] implements the multi-agent
 //! variant (one independent learner per DPU, no aggregation).
+//! [`backend::TrainingBackend`] puts the PIM runner, the multi-agent
+//! runner, and the CPU/GPU baselines behind one
+//! `train(dataset) → report` interface, so experiment binaries
+//! enumerate comparators instead of hand-rolling per-executor loops.
 //!
 //! ## Example
 //!
@@ -54,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod breakdown;
 pub mod config;
 pub mod kernels;
@@ -62,6 +67,7 @@ pub mod multi_agent;
 pub mod partition;
 pub mod runner;
 
+pub use backend::{BackendStats, MultiAgentRunner, TrainingBackend, TrainingReport};
 pub use breakdown::TimeBreakdown;
 pub use config::{Algorithm, DataType, RunConfig, WorkloadSpec};
 pub use runner::{PimRunner, RunOutcome};

@@ -1,6 +1,6 @@
 //! The SwiftRL execution driver (the paper's Figure 4).
 //!
-//! [`PimRunner`] owns a freshly allocated DPU set and drives the four
+//! [`PimRunner`] allocates a fresh DPU set per run and drives the four
 //! phases: load (CPU→PIM), kernel rounds, τ-periodic inter-PIM-core
 //! synchronization through the host, and final retrieval (PIM→CPU) +
 //! aggregation. It reports the trained Q-table and a
@@ -11,9 +11,10 @@ use crate::config::{DataType, RunConfig, WorkloadSpec};
 use crate::kernels::SwiftRlKernel;
 use crate::layout::{dpu_seed, sampling_kind, KernelHeader, Q_TABLE_OFFSET};
 use crate::partition::partition_even;
+use swiftrl_baselines::specs::MachineSpec;
 use swiftrl_env::ExperienceDataset;
 use swiftrl_pim::config::PimConfig;
-use swiftrl_pim::host::{DpuSet, PimError, PimSystem};
+use swiftrl_pim::host::{PimError, PimSystem};
 use swiftrl_pim::report::SanitizerReport;
 use swiftrl_rl::policy::epsilon_threshold;
 use swiftrl_rl::qtable::{FixedQTable, QTable};
@@ -21,8 +22,12 @@ use swiftrl_rl::sampling::SamplingStrategy;
 
 /// Host DRAM bandwidth assumed for the aggregation (averaging) step, in
 /// bytes/second. The averaging of N small Q-tables is bandwidth-bound on
-/// the host; 20 GB/s is a conservative single-socket figure.
-const HOST_AGGREGATE_BW: f64 = 20.0e9;
+/// the host, so this is the Table 1 memory bandwidth of the paper's CPU
+/// baseline (Xeon Silver 4110), sourced from `baselines::specs` so the
+/// figure lives in exactly one place.
+fn host_aggregate_bw() -> f64 {
+    MachineSpec::xeon_silver_4110().memory_bandwidth_gbps * 1.0e9
+}
 
 /// Result of a SwiftRL training run.
 #[derive(Debug, Clone)]
@@ -43,38 +48,53 @@ pub struct RunOutcome {
 }
 
 /// Drives one workload variant on a simulated PIM platform.
-#[derive(Debug)]
+///
+/// Construction validates the schedule (`episodes` divisible by `τ`) and
+/// probes the DPU allocation, so a successfully built runner is known to
+/// be executable. Each [`run`](PimRunner::run) allocates a fresh DPU set
+/// on the stored platform configuration, so the runner is reusable and
+/// every run starts from zeroed simulated memory.
+#[derive(Debug, Clone)]
 pub struct PimRunner {
     spec: WorkloadSpec,
     cfg: RunConfig,
-    set: DpuSet,
+    platform: PimConfig,
 }
 
 impl PimRunner {
-    /// Allocates `cfg.dpus` DPUs on a default-shaped platform big enough
-    /// for the run.
+    /// Builds a runner on a default-shaped platform big enough for the
+    /// run.
     ///
     /// # Errors
     ///
-    /// Returns a [`PimError`] if the allocation fails.
+    /// Returns a [`PimError`] if the configuration is invalid (see
+    /// [`Self::with_platform`]).
     pub fn new(spec: WorkloadSpec, cfg: RunConfig) -> Result<Self, PimError> {
         let platform = PimConfig::builder().dpus(cfg.dpus).build();
         Self::with_platform(spec, cfg, platform)
     }
 
-    /// Allocates the DPU set on a custom platform configuration.
+    /// Builds a runner on a custom platform configuration.
     ///
     /// # Errors
     ///
-    /// Returns a [`PimError`] if fewer than `cfg.dpus` DPUs are available.
+    /// Returns [`PimError::BadArgument`] if `cfg.episodes` is not
+    /// divisible by `cfg.tau`, or [`PimError::Alloc`] if fewer than
+    /// `cfg.dpus` DPUs are available on the platform.
     pub fn with_platform(
         spec: WorkloadSpec,
         cfg: RunConfig,
         platform: PimConfig,
     ) -> Result<Self, PimError> {
-        let mut system = PimSystem::new(platform);
-        let set = system.alloc(cfg.dpus)?;
-        Ok(Self { spec, cfg, set })
+        cfg.comm_rounds()?;
+        // Probe the allocation now so a bad DPU count fails at
+        // construction, before any dataset work.
+        PimSystem::new(platform.clone()).alloc(cfg.dpus)?;
+        Ok(Self {
+            spec,
+            cfg,
+            platform,
+        })
     }
 
     /// The workload variant.
@@ -87,6 +107,11 @@ impl PimRunner {
         &self.cfg
     }
 
+    /// The platform configuration each run allocates its DPU set on.
+    pub fn platform(&self) -> &PimConfig {
+        &self.platform
+    }
+
     /// Trains over `dataset` and returns the aggregated Q-table with the
     /// time breakdown.
     ///
@@ -94,14 +119,11 @@ impl PimRunner {
     ///
     /// Returns a [`PimError`] on kernel faults or transfer failures
     /// (e.g. a chunk that does not fit in MRAM).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `episodes` is not divisible by `tau` (see
-    /// [`RunConfig::comm_rounds`]).
-    pub fn run(mut self, dataset: &ExperienceDataset) -> Result<RunOutcome, PimError> {
-        let rounds = self.cfg.comm_rounds();
-        let ndpus = self.set.ndpus();
+    pub fn run(&self, dataset: &ExperienceDataset) -> Result<RunOutcome, PimError> {
+        let rounds = self.cfg.comm_rounds()?;
+        let mut system = PimSystem::new(self.platform.clone());
+        let mut set = system.alloc(self.cfg.dpus)?;
+        let ndpus = set.ndpus();
         let ns = dataset.num_states();
         let na = dataset.num_actions();
         let q_bytes = ns * na * 4;
@@ -110,8 +132,8 @@ impl PimRunner {
         let mut breakdown = TimeBreakdown::default();
 
         // ---- Phase 1: CPU→PIM program + dataset + header + Q-table load ----
-        self.set.reset_stats();
-        self.set.load_program();
+        set.reset_stats();
+        set.load_program();
         let ranges = partition_even(dataset.len(), ndpus);
         let headers: Vec<KernelHeader> = ranges
             .iter()
@@ -120,7 +142,7 @@ impl PimRunner {
             .collect();
 
         let header_parts: Vec<Vec<u8>> = headers.iter().map(|h| h.to_bytes()).collect();
-        self.set.scatter(0, &header_parts)?;
+        set.scatter(0, &header_parts)?;
 
         // Zero-initialized Q-tables need no transfer (fresh MRAM reads as
         // zero); an arbitrary initial value is broadcast to every DPU.
@@ -135,7 +157,7 @@ impl PimRunner {
                 )
                 .to_bytes(),
             };
-            self.set.broadcast(Q_TABLE_OFFSET, &init)?;
+            set.broadcast(Q_TABLE_OFFSET, &init)?;
         }
         let trans_offset = headers[0].transitions_offset();
         let chunk_parts: Vec<Vec<u8>> = ranges
@@ -145,9 +167,9 @@ impl PimRunner {
                 DataType::Int32 => dataset.encode_range_int32(r.clone(), scale.factor()),
             })
             .collect();
-        self.set.scatter(trans_offset, &chunk_parts)?;
-        breakdown.cpu_pim_s = self.set.stats().cpu_to_pim_seconds;
-        breakdown.program_load_s = self.set.stats().program_load_seconds;
+        set.scatter(trans_offset, &chunk_parts)?;
+        breakdown.cpu_pim_s = set.stats().cpu_to_pim_seconds;
+        breakdown.program_load_s = set.stats().program_load_seconds;
 
         // ---- Phase 2+3: kernel rounds with τ-periodic synchronization ----
         let kernel = SwiftRlKernel::with_tasklets(self.spec, self.cfg.tasklets);
@@ -155,14 +177,14 @@ impl PimRunner {
         for round in 0..rounds {
             // The kernel advances its own episode window in MRAM, so no
             // header re-arm is needed between rounds.
-            let kernel_before = self.set.stats().kernel_seconds;
-            let sync_cpu_before = self.set.stats().cpu_to_pim_seconds;
-            let sync_pim_before = self.set.stats().pim_to_cpu_seconds;
+            let kernel_before = set.stats().kernel_seconds;
+            let sync_cpu_before = set.stats().cpu_to_pim_seconds;
+            let sync_pim_before = set.stats().pim_to_cpu_seconds;
 
-            self.set.launch(&kernel)?;
+            set.launch(&kernel)?;
 
             // Gather local Q-tables.
-            let tables = self.set.gather(Q_TABLE_OFFSET, q_bytes)?;
+            let tables = set.gather(Q_TABLE_OFFSET, q_bytes)?;
             let is_last = round + 1 == rounds;
 
             if is_last {
@@ -171,13 +193,13 @@ impl PimRunner {
                 // Host-side aggregation + broadcast of the average.
                 let avg = self.aggregate(&tables, ns, na);
                 breakdown.inter_pim_s += self.aggregate_seconds(ndpus, q_bytes);
-                self.set.broadcast(Q_TABLE_OFFSET, &avg)?;
+                set.broadcast(Q_TABLE_OFFSET, &avg)?;
             }
 
-            let kernel_delta = self.set.stats().kernel_seconds - kernel_before;
+            let kernel_delta = set.stats().kernel_seconds - kernel_before;
             breakdown.pim_kernel_s += kernel_delta;
-            let sync_cpu = self.set.stats().cpu_to_pim_seconds - sync_cpu_before;
-            let sync_pim = self.set.stats().pim_to_cpu_seconds - sync_pim_before;
+            let sync_cpu = set.stats().cpu_to_pim_seconds - sync_cpu_before;
+            let sync_pim = set.stats().pim_to_cpu_seconds - sync_pim_before;
             if is_last {
                 // The final gather is the PIM→CPU retrieval phase.
                 breakdown.pim_cpu_s += sync_pim;
@@ -200,7 +222,7 @@ impl PimRunner {
             breakdown,
             comm_rounds: rounds,
             dpus: ndpus,
-            sanitizer: self.set.sanitizer_report().clone(),
+            sanitizer: set.sanitizer_report().clone(),
         })
     }
 
@@ -266,7 +288,7 @@ impl PimRunner {
 
     /// Modelled host time to average `n` Q-tables of `q_bytes` each.
     fn aggregate_seconds(&self, n: usize, q_bytes: usize) -> f64 {
-        ((n + 1) * q_bytes) as f64 / HOST_AGGREGATE_BW
+        ((n + 1) * q_bytes) as f64 / host_aggregate_bw()
     }
 }
 

@@ -45,6 +45,12 @@ pub struct PimConfig {
     /// Runtime sanitizer level applied to every launch (default: off).
     #[serde(default)]
     pub sanitize: crate::sanitize::SanitizeLevel,
+    /// Execution engine used to schedule DPU execution on the host
+    /// (default: threaded over the host's available parallelism). Every
+    /// engine produces bit-identical simulated results; only wall-clock
+    /// differs. See [`crate::engine::ExecutionEngine`].
+    #[serde(default)]
+    pub engine: crate::engine::ExecutionEngine,
 }
 
 impl Default for PimConfig {
@@ -60,6 +66,7 @@ impl Default for PimConfig {
             cost: CostModel::default(),
             transfer: TransferModel::default(),
             sanitize: crate::sanitize::SanitizeLevel::Off,
+            engine: crate::engine::ExecutionEngine::default(),
         }
     }
 }
@@ -137,6 +144,12 @@ impl PimConfigBuilder {
     /// Overrides the transfer model.
     pub fn transfer(mut self, transfer: TransferModel) -> Self {
         self.inner.transfer = transfer;
+        self
+    }
+
+    /// Sets the execution engine used to schedule DPU execution.
+    pub fn engine(mut self, engine: crate::engine::ExecutionEngine) -> Self {
+        self.inner.engine = engine;
         self
     }
 

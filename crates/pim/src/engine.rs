@@ -1,0 +1,177 @@
+//! Execution engines: how the simulator schedules DPU execution on the
+//! host machine.
+//!
+//! The paper's platform runs 2,524 DPUs *concurrently*; simulating them
+//! one after another on the host thread taxes a `--paper-scale` run with
+//! a ~2,000× serialization factor in wall-clock. The
+//! [`ExecutionEngine`] selected through
+//! [`PimConfig::engine`](crate::config::PimConfig) removes that tax by
+//! fanning DPU execution out over OS threads — without changing a single
+//! simulated bit:
+//!
+//! * every [`Dpu`] is self-contained (private MRAM/WRAM, cycle counter,
+//!   sanitizer), so concurrent execution shares no mutable state;
+//! * the engine returns per-DPU results **in DPU-index order**, and the
+//!   caller merges cycle statistics, counters, and sanitizer findings in
+//!   that same order — so Q-tables, `max/min/mean_cycles`, fault
+//!   attribution, and report ordering are bit-identical to
+//!   [`ExecutionEngine::Serial`].
+//!
+//! Wall-clock is the only observable difference between engines.
+
+use crate::config::PimConfig;
+use crate::dpu::Dpu;
+use crate::kernel::{Kernel, KernelError};
+use serde::{Deserialize, Serialize};
+
+/// How DPU execution is scheduled on the host simulating it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionEngine {
+    /// Execute DPUs one at a time on the calling thread. The reference
+    /// engine: simplest possible schedule, no threads involved.
+    Serial,
+    /// Fan DPU execution out over `workers` OS threads (crossbeam scoped
+    /// threads over disjoint DPU chunks). `workers == 0` means "use the
+    /// host's available parallelism". Bit-identical to `Serial` by the
+    /// ordered-merge construction described in the module docs.
+    Threaded {
+        /// Worker threads; `0` = available host parallelism.
+        workers: usize,
+    },
+}
+
+impl Default for ExecutionEngine {
+    /// Threaded over the host's available parallelism.
+    fn default() -> Self {
+        ExecutionEngine::Threaded { workers: 0 }
+    }
+}
+
+impl ExecutionEngine {
+    /// The number of worker threads this engine would use for `dpus`
+    /// DPUs: 1 for `Serial`, otherwise the configured worker count
+    /// (defaulting to the host's available parallelism) clamped to the
+    /// DPU count.
+    pub fn workers_for(&self, dpus: usize) -> usize {
+        match *self {
+            ExecutionEngine::Serial => 1,
+            ExecutionEngine::Threaded { workers } => {
+                let requested = if workers == 0 {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                } else {
+                    workers
+                };
+                requested.clamp(1, dpus.max(1))
+            }
+        }
+    }
+
+    /// Executes `kernel` on every DPU and returns the per-DPU results in
+    /// DPU-index order. Threaded engines split the DPU slice into
+    /// contiguous chunks, one per worker; each worker owns its chunk
+    /// exclusively, so no simulated state is shared across threads.
+    pub(crate) fn execute_all(
+        &self,
+        config: &PimConfig,
+        dpus: &mut [Dpu],
+        kernel: &dyn Kernel,
+    ) -> Vec<Result<u64, KernelError>> {
+        let n = dpus.len();
+        let workers = self.workers_for(n);
+        if workers <= 1 || n <= 1 {
+            return dpus
+                .iter_mut()
+                .map(|dpu| dpu.execute(kernel, config))
+                .collect();
+        }
+
+        // Pre-filled sentinel slots; every slot is overwritten because the
+        // result chunks are split with the same chunk size as the DPU
+        // chunks, so the zipped pairs cover the whole slice.
+        let mut results: Vec<Result<u64, KernelError>> =
+            vec![Err(KernelError::Fault("engine: DPU not executed".into())); n];
+        let chunk = n.div_ceil(workers);
+        let scope_result = crossbeam::scope(|scope| {
+            for (dpu_chunk, out_chunk) in dpus.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (dpu, slot) in dpu_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                        *slot = dpu.execute(kernel, config);
+                    }
+                });
+            }
+        });
+        if let Err(payload) = scope_result {
+            // A worker panicked (kernel bug): surface it on the caller.
+            std::panic::resume_unwind(payload);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::DpuContext;
+
+    struct SkewKernel;
+    impl Kernel for SkewKernel {
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+            let id = ctx.dpu_id() as u64;
+            ctx.charge_alu(5 * (id + 1));
+            ctx.mram_write(0, &id.to_le_bytes())?;
+            Ok(())
+        }
+    }
+
+    fn fresh_dpus(config: &PimConfig, n: usize) -> Vec<Dpu> {
+        (0..n).map(|id| Dpu::new(id, config)).collect()
+    }
+
+    #[test]
+    fn serial_uses_one_worker() {
+        assert_eq!(ExecutionEngine::Serial.workers_for(64), 1);
+    }
+
+    #[test]
+    fn threaded_workers_clamp_to_dpu_count() {
+        let e = ExecutionEngine::Threaded { workers: 16 };
+        assert_eq!(e.workers_for(4), 4);
+        assert_eq!(e.workers_for(64), 16);
+        assert_eq!(e.workers_for(0), 1);
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        let e = ExecutionEngine::Threaded { workers: 0 };
+        assert!(e.workers_for(1_000) >= 1);
+    }
+
+    #[test]
+    fn default_engine_is_threaded_auto() {
+        assert_eq!(
+            ExecutionEngine::default(),
+            ExecutionEngine::Threaded { workers: 0 }
+        );
+    }
+
+    #[test]
+    fn threaded_results_match_serial_in_index_order() {
+        let config = PimConfig::builder().dpus(8).mram_bytes(1 << 16).build();
+        let mut serial_dpus = fresh_dpus(&config, 7);
+        let mut threaded_dpus = fresh_dpus(&config, 7);
+        let serial = ExecutionEngine::Serial.execute_all(&config, &mut serial_dpus, &SkewKernel);
+        let threaded = ExecutionEngine::Threaded { workers: 3 }.execute_all(
+            &config,
+            &mut threaded_dpus,
+            &SkewKernel,
+        );
+        assert_eq!(serial, threaded);
+        // Side effects (MRAM writes, counters) are also identical per DPU.
+        for (s, t) in serial_dpus.iter().zip(threaded_dpus.iter()) {
+            assert_eq!(s.mram().read_u32(0).ok(), t.mram().read_u32(0).ok());
+            assert_eq!(s.last_counter(), t.last_counter());
+        }
+    }
+}

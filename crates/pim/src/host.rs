@@ -414,25 +414,39 @@ impl DpuSet {
     }
 
     /// Starts a launch without closing its window (UPMEM
-    /// `DPU_ASYNCHRONOUS`). The simulator executes the kernel eagerly,
-    /// but host MRAM accesses before [`Self::sync`] are flagged by the
-    /// sanitizer as [`FindingKind::HostAccessDuringLaunch`] — on real
-    /// hardware they would race the running kernel.
+    /// `DPU_ASYNCHRONOUS`). The simulator executes the kernel eagerly —
+    /// scheduled across host threads per the configured
+    /// [`crate::engine::ExecutionEngine`] — but host MRAM accesses before
+    /// [`Self::sync`] are flagged by the sanitizer as
+    /// [`FindingKind::HostAccessDuringLaunch`] — on real hardware they
+    /// would race the running kernel.
+    ///
+    /// All DPUs execute (as they would on hardware, where every core runs
+    /// to completion or fault independently); results are then merged in
+    /// DPU-index order, so cycle statistics, sanitizer finding order, and
+    /// fault attribution are identical for every engine.
     ///
     /// # Errors
     ///
-    /// Returns the first kernel fault with its DPU index (unlike real
-    /// hardware, faults are reported here rather than at `sync`).
+    /// Returns the lowest-indexed kernel fault with its DPU index (unlike
+    /// real hardware, faults are reported here rather than at `sync`).
     pub fn launch_async(&mut self, kernel: &dyn Kernel) -> Result<(), PimError> {
         self.load_program();
         self.kernel_running = true;
+        let results = self
+            .config
+            .engine
+            .execute_all(&self.config, &mut self.dpus, kernel);
+
+        // Ordered merge: walk the per-DPU results strictly in DPU-index
+        // order so every engine reports bit-identical statistics.
         let mut max_cycles = 0u64;
         let mut min_cycles = u64::MAX;
         let mut sum_cycles = 0u128;
         let mut merged = crate::cost::CycleCounter::new();
         let mut fault = None;
-        for dpu in &mut self.dpus {
-            match dpu.execute(kernel, &self.config) {
+        for (dpu, result) in self.dpus.iter().zip(results) {
+            match result {
                 Ok(cycles) => {
                     max_cycles = max_cycles.max(cycles);
                     min_cycles = min_cycles.min(cycles);
@@ -440,11 +454,12 @@ impl DpuSet {
                     merged.merge(dpu.last_counter());
                 }
                 Err(error) => {
-                    fault = Some(PimError::Kernel {
-                        dpu: dpu.id(),
-                        error,
-                    });
-                    break;
+                    if fault.is_none() {
+                        fault = Some(PimError::Kernel {
+                            dpu: dpu.id(),
+                            error,
+                        });
+                    }
                 }
             }
         }

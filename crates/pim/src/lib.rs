@@ -84,6 +84,7 @@ pub mod config;
 pub mod cost;
 pub mod dpu;
 pub mod emul;
+pub mod engine;
 pub mod host;
 pub mod kernel;
 pub mod memory;
@@ -94,6 +95,7 @@ pub mod stats;
 pub mod xfer;
 
 pub use config::{CostModel, PimConfig};
+pub use engine::ExecutionEngine;
 pub use host::{DpuSet, PimError, PimSystem};
 pub use kernel::{DpuContext, Kernel, KernelError};
 pub use report::SanitizerReport;

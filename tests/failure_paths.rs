@@ -101,12 +101,23 @@ fn misaligned_dma_faults_the_launch() {
 }
 
 #[test]
-fn mismatched_tau_panics_before_any_work() {
-    let result = std::panic::catch_unwind(|| {
-        RunConfig::paper_defaults()
-            .with_episodes(100)
-            .with_tau(33)
-            .comm_rounds()
-    });
-    assert!(result.is_err());
+fn mismatched_tau_is_a_typed_error_before_any_work() {
+    // An indivisible schedule is rejected as a typed error both from the
+    // config query and from runner construction — no work is attempted
+    // and nothing panics.
+    let cfg = RunConfig::paper_defaults().with_episodes(100).with_tau(33);
+    match cfg.comm_rounds() {
+        Err(PimError::BadArgument(msg)) => assert!(msg.contains("divisible"), "{msg}"),
+        other => panic!("expected BadArgument, got {other:?}"),
+    }
+    match PimRunner::new(WorkloadSpec::q_learning_seq_fp32(), cfg) {
+        Err(PimError::BadArgument(msg)) => assert!(msg.contains("divisible"), "{msg}"),
+        other => panic!("expected BadArgument from construction, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_tau_is_a_typed_error() {
+    let cfg = RunConfig::paper_defaults().with_tau(0);
+    assert!(matches!(cfg.comm_rounds(), Err(PimError::BadArgument(_))));
 }
