@@ -24,7 +24,9 @@
 //! intrinsic charges a cost (and every `OpCosts` field has a consumer),
 //! **K004** MRAM layout constants are 8-byte aligned, **K005** no host
 //! threading in kernel code (parallelism belongs to the execution
-//! engine), **W001** no `unwrap`/`expect` in library code.
+//! engine), **K006** no fault-plan access in kernel code (faults are a
+//! platform behaviour; kernels stay oblivious), **W001** no
+//! `unwrap`/`expect` in library code.
 
 pub mod rules;
 pub mod scanner;

@@ -20,7 +20,7 @@ pub struct Finding {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: u32,
-    /// Stable rule ID (`K001`..`K005`, `W001`).
+    /// Stable rule ID (`K001`..`K006`, `W001`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -120,6 +120,21 @@ DPU state, and destroys the Serial/Threaded determinism contract. Intra-DPU \
 parallelism must instead go through the charged tasklet model.",
         fix_hint: "delete the threading; parallelism across DPUs comes from \
 `PimConfig::engine`, parallelism within a DPU from tasklets",
+    },
+    RuleInfo {
+        id: "K006",
+        title: "no fault-plan access in kernel code",
+        explain: "Kernel code must not read or mention the fault-injection \
+plan (`FaultPlan`, the `faults` field of `PimConfig`). Fault injection is a \
+*platform* behaviour: the simulated DPU aborts, straggles, or corrupts \
+memory from the outside, exactly as real hardware fails underneath an \
+oblivious kernel. A kernel that branches on the fault plan simulates a \
+program that knows when it will crash — its cycle accounting and its \
+Serial/Threaded determinism contract both stop meaning anything, and the \
+resilience layer's retry-replay argument (a faulted launch left MRAM \
+untouched) silently breaks.",
+        fix_hint: "delete the fault-plan access; inject faults only through \
+`PimConfig::faults`, and keep kernels oblivious to them",
     },
     RuleInfo {
         id: "W001",
@@ -231,6 +246,7 @@ const K002_ALLOC: &[&str] = &[
 const K002_IO: &[&str] = &["println", "print", "eprintln", "eprint", "dbg", "write", "writeln"];
 const K002_NONDET: &[&str] = &["rand", "Instant", "SystemTime", "sleep"];
 const K005_THREADING: &[&str] = &["thread", "spawn", "crossbeam", "rayon"];
+const K006_FAULTS: &[&str] = &["FaultPlan", "faults"];
 
 fn check_kernel_regions(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Finding>) {
     for &(start, end) in &kernel_regions(tokens) {
@@ -267,6 +283,19 @@ fn check_kernel_regions(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Fi
                         message: format!(
                             "`{}` in kernel body (host threading); parallelism \
                              belongs to the execution engine and the tasklet model",
+                            t.text
+                        ),
+                    })
+                }
+                TokenKind::Ident if K006_FAULTS.contains(&t.text) => {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: t.line,
+                        rule: "K006",
+                        message: format!(
+                            "`{}` in kernel body (fault-plan access); faults are \
+                             a platform behaviour and kernels must stay oblivious \
+                             to them",
                             t.text
                         ),
                     })
@@ -845,7 +874,7 @@ pub fn check_charge_coverage(
 // Per-file entry point
 // ---------------------------------------------------------------------------
 
-/// Runs all single-file rules (K001, K002, K004, K005, W001) over one
+/// Runs all single-file rules (K001, K002, K004, K005, K006, W001) over one
 /// source file.
 /// `file` must be the repo-relative path; it selects which rules apply.
 pub fn check_file(file: &Path, src: &str) -> Vec<Finding> {
@@ -964,6 +993,27 @@ mod tests {
     }
 
     #[test]
+    fn k006_flags_fault_plan_access_in_kernels_only() {
+        let src = r#"
+            impl Kernel for Cheating {
+                fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                    if self.config.faults.kernel_fault(0, 0) { return Ok(()); }
+                    Ok(())
+                }
+            }
+            fn host_side(config: &PimConfig) -> bool {
+                let plan: &FaultPlan = &config.faults;
+                plan.is_none()
+            }
+        "#;
+        let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
+        let k006: Vec<_> = findings.iter().filter(|f| f.rule == "K006").collect();
+        // Only the access inside the kernel body is flagged.
+        assert_eq!(k006.len(), 1, "{findings:?}");
+        assert!(k006[0].message.contains("faults"), "{k006:?}");
+    }
+
+    #[test]
     fn k004_flags_misaligned_layout_constant() {
         let src = r#"
             pub const HEADER_BYTES: usize = 64;
@@ -1071,7 +1121,7 @@ mod tests {
     #[test]
     fn rule_registry_is_complete() {
         let ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
-        assert_eq!(ids, ["K001", "K002", "K003", "K004", "K005", "W001"]);
+        assert_eq!(ids, ["K001", "K002", "K003", "K004", "K005", "K006", "W001"]);
         for r in RULES {
             assert!(!r.explain.is_empty() && !r.fix_hint.is_empty());
         }

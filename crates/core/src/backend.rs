@@ -24,6 +24,7 @@ use crate::breakdown::TimeBreakdown;
 use crate::config::{Algorithm, RunConfig, WorkloadSpec};
 use crate::multi_agent::train_multi_agent;
 use crate::partition::partition_even;
+use crate::resilience::ResilienceStats;
 use crate::runner::PimRunner;
 use swiftrl_baselines::cpu_exec::{train_cpu_v1, train_cpu_v2, UpdateRule};
 use swiftrl_baselines::cpu_model::{CpuModel, CpuVersion};
@@ -68,6 +69,8 @@ pub enum BackendStats {
         comm_rounds: u32,
         /// Accumulated runtime-sanitizer findings.
         sanitizer: SanitizerReport,
+        /// Resilience actions taken (faults, retries, degraded DPUs).
+        resilience: ResilienceStats,
     },
     /// A [`MultiAgentRunner`] run.
     MultiAgent {
@@ -124,6 +127,7 @@ impl TrainingBackend for PimRunner {
                 dpus: out.dpus,
                 comm_rounds: out.comm_rounds,
                 sanitizer: out.sanitizer,
+                resilience: out.resilience,
             },
         })
     }

@@ -65,9 +65,11 @@ pub mod kernels;
 pub mod layout;
 pub mod multi_agent;
 pub mod partition;
+pub mod resilience;
 pub mod runner;
 
 pub use backend::{BackendStats, MultiAgentRunner, TrainingBackend, TrainingReport};
 pub use breakdown::TimeBreakdown;
 pub use config::{Algorithm, DataType, RunConfig, WorkloadSpec};
+pub use resilience::{ResilienceConfig, ResilienceStats};
 pub use runner::{PimRunner, RunOutcome};

@@ -1,0 +1,157 @@
+//! Host-side resilience policy for PIM training runs.
+//!
+//! The fault plan ([`swiftrl_pim::faults::FaultPlan`]) breaks DPUs;
+//! this module decides what the host does about it. Three independent
+//! mechanisms compose, all driven by [`crate::runner::PimRunner`]:
+//!
+//! 1. **Retry** — a faulted launch is re-attempted on exactly the
+//!    faulted DPUs (the survivors' results stand), up to
+//!    [`ResilienceConfig::max_retries`] times. Injected faults abort
+//!    before any kernel work, so the faulted DPU's MRAM — including its
+//!    self-advancing episode window — is untouched and a relaunch
+//!    replays the identical episode window.
+//! 2. **Checkpoint / rollback** — every
+//!    [`ResilienceConfig::checkpoint_every`] synchronization rounds the
+//!    host keeps the aggregated Q-table it just broadcast (host memory
+//!    only: zero modelled transfer time). When a DPU is declared dead,
+//!    training rolls back to the checkpointed round instead of losing
+//!    the dead DPU's episodes since then.
+//! 3. **Degrade** — a DPU that exhausts its retries is dropped from the
+//!    run and its dataset chunk is re-partitioned onto the surviving
+//!    DPUs (appended behind their own chunks), so training completes on
+//!    a smaller machine rather than failing.
+//!
+//! With the default [`ResilienceConfig::none`] every mechanism is off
+//! and a faulted launch propagates as the [`swiftrl_pim::host::PimError`]
+//! it always was — the resilient path is strictly opt-in.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs for the host-side resilience loop. Default: everything off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Relaunch attempts for the faulted subset of a launch before the
+    /// DPUs are declared dead (0 = a single fault is fatal).
+    #[serde(default)]
+    pub max_retries: u32,
+    /// Keep a host-side copy of the aggregated Q-table every this many
+    /// synchronization rounds (0 = never checkpoint). On degradation the
+    /// run rolls back to the most recent checkpoint.
+    #[serde(default)]
+    pub checkpoint_every: u32,
+    /// Drop dead DPUs and remap their dataset chunks onto the survivors
+    /// instead of failing the run.
+    #[serde(default)]
+    pub degrade: bool,
+}
+
+impl ResilienceConfig {
+    /// No retries, no checkpoints, no degradation: faults are fatal,
+    /// exactly as without a resilience layer.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            checkpoint_every: 0,
+            degrade: false,
+        }
+    }
+
+    /// Sets the relaunch-retry budget per faulted launch.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Checkpoints the aggregated Q-table every `rounds` sync rounds.
+    pub fn with_checkpoint_every(mut self, rounds: u32) -> Self {
+        self.checkpoint_every = rounds;
+        self
+    }
+
+    /// Enables remapping dead DPUs' chunks onto survivors.
+    pub fn with_degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// True when every mechanism is disabled.
+    pub fn is_none(&self) -> bool {
+        *self == Self::none()
+    }
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// What the resilience loop actually did during one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Per-DPU kernel faults observed (a DPU faulting in the initial
+    /// launch and again in a retry counts twice).
+    pub faults_seen: u64,
+    /// Subset relaunch attempts performed.
+    pub retries: u64,
+    /// DPUs dropped from the run, in the order they were declared dead.
+    pub degraded_dpus: Vec<usize>,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Total bytes of Q-table snapshots kept on the host.
+    pub checkpoint_bytes: u64,
+    /// Rollbacks to a checkpointed round.
+    pub rollbacks: u64,
+    /// Modelled seconds spent on launches that ended in a fault (wasted
+    /// work; kept out of the clean kernel counters by the host).
+    pub faulted_kernel_seconds: f64,
+}
+
+impl ResilienceStats {
+    /// True when the run needed no resilience action at all.
+    pub fn is_clean(&self) -> bool {
+        self.faults_seen == 0
+            && self.retries == 0
+            && self.degraded_dpus.is_empty()
+            && self.rollbacks == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_none_and_inert() {
+        let c = ResilienceConfig::default();
+        assert!(c.is_none());
+        assert_eq!(c, ResilienceConfig::none());
+        assert_eq!(c.max_retries, 0);
+        assert_eq!(c.checkpoint_every, 0);
+        assert!(!c.degrade);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = ResilienceConfig::none()
+            .with_max_retries(3)
+            .with_checkpoint_every(2)
+            .with_degrade(true);
+        assert!(!c.is_none());
+        assert_eq!(c.max_retries, 3);
+        assert_eq!(c.checkpoint_every, 2);
+        assert!(c.degrade);
+    }
+
+    #[test]
+    fn stats_cleanliness_tracks_actions() {
+        let mut s = ResilienceStats::default();
+        assert!(s.is_clean());
+        // Checkpoints alone are proactive, not a fault response.
+        s.checkpoints = 2;
+        s.checkpoint_bytes = 512;
+        assert!(s.is_clean());
+        s.faults_seen = 1;
+        assert!(!s.is_clean());
+    }
+}

@@ -9,12 +9,14 @@
 use crate::breakdown::TimeBreakdown;
 use crate::config::{DataType, RunConfig, WorkloadSpec};
 use crate::kernels::SwiftRlKernel;
-use crate::layout::{dpu_seed, sampling_kind, KernelHeader, Q_TABLE_OFFSET};
+use crate::layout::{dpu_seed, sampling_kind, KernelHeader, HEADER_BYTES, Q_TABLE_OFFSET};
 use crate::partition::partition_even;
+use crate::resilience::{ResilienceConfig, ResilienceStats};
+use std::ops::Range;
 use swiftrl_baselines::specs::MachineSpec;
-use swiftrl_env::ExperienceDataset;
+use swiftrl_env::{ExperienceDataset, Transition};
 use swiftrl_pim::config::PimConfig;
-use swiftrl_pim::host::{PimError, PimSystem};
+use swiftrl_pim::host::{DpuSet, PimError, PimSystem};
 use swiftrl_pim::report::SanitizerReport;
 use swiftrl_rl::policy::epsilon_threshold;
 use swiftrl_rl::qtable::{FixedQTable, QTable};
@@ -45,6 +47,10 @@ pub struct RunOutcome {
     /// run. Empty (and `is_clean()`) when the platform runs with
     /// [`swiftrl_pim::sanitize::SanitizeLevel::Off`].
     pub sanitizer: SanitizerReport,
+    /// What the resilience loop did: faults seen, retries, degraded
+    /// DPUs, checkpoints, rollbacks. All-zero (`is_clean()`) for a
+    /// fault-free run.
+    pub resilience: ResilienceStats,
 }
 
 /// Drives one workload variant on a simulated PIM platform.
@@ -59,6 +65,7 @@ pub struct PimRunner {
     spec: WorkloadSpec,
     cfg: RunConfig,
     platform: PimConfig,
+    resilience: ResilienceConfig,
 }
 
 impl PimRunner {
@@ -94,7 +101,20 @@ impl PimRunner {
             spec,
             cfg,
             platform,
+            resilience: ResilienceConfig::none(),
         })
+    }
+
+    /// Sets the host-side resilience policy (retry / checkpoint /
+    /// degrade) applied by every subsequent [`run`](Self::run).
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// The resilience policy in effect.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
     }
 
     /// The workload variant.
@@ -130,6 +150,7 @@ impl PimRunner {
         let scale = self.cfg.scale();
 
         let mut breakdown = TimeBreakdown::default();
+        let mut res = ResilienceStats::default();
 
         // ---- Phase 1: CPU→PIM program + dataset + header + Q-table load ----
         set.reset_stats();
@@ -172,28 +193,73 @@ impl PimRunner {
         breakdown.program_load_s = set.stats().program_load_seconds;
 
         // ---- Phase 2+3: kernel rounds with τ-periodic synchronization ----
+        //
+        // The resilient form of the plain `for round in 0..rounds` loop:
+        // `alive` tracks the DPUs still in the run, `assignments`/`counts`
+        // which dataset ranges each holds (for degrade remapping), and
+        // `checkpoint` the most recent host-side Q-table snapshot. While
+        // every DPU is alive the loop takes exactly the same full-set
+        // launch/gather/broadcast path as before, so fault-free runs are
+        // bit-identical to the non-resilient driver.
         let kernel = SwiftRlKernel::with_tasklets(self.spec, self.cfg.tasklets);
+        let mut alive: Vec<usize> = (0..ndpus).collect();
+        let mut assignments: Vec<Vec<Range<usize>>> =
+            ranges.iter().map(|r| vec![r.clone()]).collect();
+        let mut counts: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let mut checkpoint: Option<(u32, Vec<u8>)> = None;
         let mut final_tables: Vec<Vec<u8>> = Vec::new();
-        for round in 0..rounds {
+        let mut round: u32 = 0;
+        while round < rounds {
             // The kernel advances its own episode window in MRAM, so no
             // header re-arm is needed between rounds.
             let kernel_before = set.stats().kernel_seconds;
             let sync_cpu_before = set.stats().cpu_to_pim_seconds;
             let sync_pim_before = set.stats().pim_to_cpu_seconds;
 
-            set.launch(&kernel)?;
-
-            // Gather local Q-tables.
-            let tables = set.gather(Q_TABLE_OFFSET, q_bytes)?;
-            let is_last = round + 1 == rounds;
-
-            if is_last {
-                final_tables = tables;
+            let dead = self.launch_with_retry(&mut set, &kernel, &alive, ndpus, &mut res)?;
+            let rollback = if dead.is_empty() {
+                None
             } else {
-                // Host-side aggregation + broadcast of the average.
-                let avg = self.aggregate(&tables, ns, na);
-                breakdown.inter_pim_s += self.aggregate_seconds(ndpus, q_bytes);
-                set.broadcast(Q_TABLE_OFFSET, &avg)?;
+                self.degrade(
+                    &mut set,
+                    dataset,
+                    &mut alive,
+                    &mut assignments,
+                    &mut counts,
+                    &dead,
+                    checkpoint.as_ref(),
+                    trans_offset,
+                    &mut res,
+                )?
+            };
+
+            let is_last = rollback.is_none() && round + 1 == rounds;
+            if rollback.is_none() {
+                // Gather local Q-tables (survivors only once degraded).
+                let tables = if alive.len() == ndpus {
+                    set.gather(Q_TABLE_OFFSET, q_bytes)?
+                } else {
+                    set.gather_subset(Q_TABLE_OFFSET, q_bytes, &alive)?
+                };
+
+                if is_last {
+                    final_tables = tables;
+                } else {
+                    // Host-side aggregation + broadcast of the average.
+                    let avg = self.aggregate(&tables, ns, na);
+                    breakdown.inter_pim_s += self.aggregate_seconds(alive.len(), q_bytes);
+                    if alive.len() == ndpus {
+                        set.broadcast(Q_TABLE_OFFSET, &avg)?;
+                    } else {
+                        set.broadcast_subset(Q_TABLE_OFFSET, &avg, &alive)?;
+                    }
+                    let every = self.resilience.checkpoint_every;
+                    if every > 0 && (round + 1).is_multiple_of(every) {
+                        res.checkpoints += 1;
+                        res.checkpoint_bytes += avg.len() as u64;
+                        checkpoint = Some((round + 1, avg));
+                    }
+                }
             }
 
             let kernel_delta = set.stats().kernel_seconds - kernel_before;
@@ -205,17 +271,30 @@ impl PimRunner {
                 breakdown.pim_cpu_s += sync_pim;
                 breakdown.inter_pim_s += sync_cpu;
             } else {
+                // Repair traffic (rollback broadcast, chunk remapping)
+                // rides the same host-mediated path as synchronization.
                 breakdown.inter_pim_s += sync_cpu + sync_pim;
             }
+
+            round = match rollback {
+                Some(ck_round) => ck_round,
+                None => round + 1,
+            };
         }
 
         // ---- Phase 4: final aggregation on the host ----
         let avg = self.aggregate(&final_tables, ns, na);
-        breakdown.pim_cpu_s += self.aggregate_seconds(ndpus, q_bytes);
+        breakdown.pim_cpu_s += self.aggregate_seconds(alive.len(), q_bytes);
         let q_table = match self.spec.dtype {
             DataType::Fp32 => QTable::from_bytes(ns, na, &avg),
             DataType::Int32 => FixedQTable::from_bytes(ns, na, scale, &avg).to_float(),
         };
+
+        // Launches that ended in a fault still cost modelled wall time
+        // (the host waited on the slowest survivor); the DpuSet keeps
+        // them out of its clean kernel counters, so fold them in here.
+        breakdown.pim_kernel_s += set.stats().faulted_kernel_seconds;
+        res.faulted_kernel_seconds = set.stats().faulted_kernel_seconds;
 
         Ok(RunOutcome {
             q_table,
@@ -223,7 +302,159 @@ impl PimRunner {
             comm_rounds: rounds,
             dpus: ndpus,
             sanitizer: set.sanitizer_report().clone(),
+            resilience: res,
         })
+    }
+
+    /// Launches one round on `alive`, retrying the faulted subset up to
+    /// the configured budget. Returns the DPUs still faulting after all
+    /// retries (empty on a clean round) — non-empty only when degrade
+    /// mode may absorb them; otherwise the launch error propagates.
+    fn launch_with_retry(
+        &self,
+        set: &mut DpuSet,
+        kernel: &SwiftRlKernel,
+        alive: &[usize],
+        ndpus: usize,
+        res: &mut ResilienceStats,
+    ) -> Result<Vec<usize>, PimError> {
+        let first = if alive.len() == ndpus {
+            set.launch(kernel).map(|_| ())
+        } else {
+            set.launch_subset(kernel, alive).map(|_| ())
+        };
+        let mut last_err = match first {
+            Ok(()) => return Ok(Vec::new()),
+            Err(e) => e,
+        };
+        // Survivors of a faulted launch completed their episode window;
+        // only the faulted DPUs are relaunched. An injected fault aborts
+        // before any kernel work, so the faulted DPU's MRAM — episode
+        // window included — is untouched and the relaunch replays it.
+        let mut pending = set.last_launch().faulted_dpus.clone();
+        res.faults_seen += pending.len() as u64;
+        for _ in 0..self.resilience.max_retries {
+            res.retries += 1;
+            match set.launch_subset(kernel, &pending) {
+                Ok(_) => return Ok(Vec::new()),
+                Err(e) => {
+                    pending = set.last_launch().faulted_dpus.clone();
+                    res.faults_seen += pending.len() as u64;
+                    last_err = e;
+                }
+            }
+        }
+        if self.resilience.degrade && pending.len() < alive.len() {
+            Ok(pending)
+        } else {
+            Err(last_err)
+        }
+    }
+
+    /// Drops `dead` from the run and remaps their dataset chunks onto
+    /// the survivors (appended behind each survivor's own records, with
+    /// a header patch for the new transition count). With a checkpoint
+    /// available the survivors are also rolled back to it — Q-table
+    /// snapshot re-broadcast, episode windows re-armed — and the
+    /// checkpointed round index is returned so the caller replays from
+    /// there; without one, training simply continues degraded (episodes
+    /// the dead DPUs would have run on their chunks are lost).
+    #[allow(clippy::too_many_arguments)]
+    fn degrade(
+        &self,
+        set: &mut DpuSet,
+        dataset: &ExperienceDataset,
+        alive: &mut Vec<usize>,
+        assignments: &mut [Vec<Range<usize>>],
+        counts: &mut [usize],
+        dead: &[usize],
+        checkpoint: Option<&(u32, Vec<u8>)>,
+        trans_offset: usize,
+        res: &mut ResilienceStats,
+    ) -> Result<Option<u32>, PimError> {
+        alive.retain(|d| !dead.contains(d));
+        res.degraded_dpus.extend_from_slice(dead);
+        if alive.is_empty() {
+            return Err(PimError::BadArgument(
+                "every DPU faulted; no survivors to degrade onto".to_string(),
+            ));
+        }
+
+        // Orphaned dataset ranges, in dead-DPU order.
+        let mut orphans: Vec<Range<usize>> = Vec::new();
+        for &d in dead {
+            orphans.append(&mut assignments[d]);
+            counts[d] = 0;
+        }
+        let total: usize = orphans.iter().map(|r| r.len()).sum();
+
+        // Cut the orphan ranges into contiguous per-survivor shares,
+        // using the same even split as the initial partition.
+        let shares = partition_even(total, alive.len());
+        let mut pieces: Vec<Vec<Range<usize>>> = vec![Vec::new(); alive.len()];
+        let mut slot = 0usize;
+        let mut filled = 0usize;
+        for mut r in orphans {
+            while !r.is_empty() && slot < pieces.len() {
+                let room = shares[slot].len() - filled;
+                if room == 0 {
+                    slot += 1;
+                    filled = 0;
+                    continue;
+                }
+                let take = room.min(r.len());
+                pieces[slot].push(r.start..r.start + take);
+                r.start += take;
+                filled += take;
+            }
+        }
+
+        // Roll back to the latest checkpoint if one exists: survivors
+        // get the snapshot Q-table and replay from that round, so no
+        // episodes on the orphaned data are lost since the checkpoint.
+        let rollback = match checkpoint {
+            Some((ck_round, snapshot)) => {
+                set.broadcast_subset(Q_TABLE_OFFSET, snapshot, alive)?;
+                res.rollbacks += 1;
+                Some(*ck_round)
+            }
+            None => None,
+        };
+
+        for (slot, &dpu) in alive.iter().enumerate() {
+            let added: usize = pieces[slot].iter().map(|r| r.len()).sum();
+            if added > 0 {
+                let mut bytes = Vec::with_capacity(added * Transition::RECORD_BYTES);
+                for r in &pieces[slot] {
+                    let part = match self.spec.dtype {
+                        DataType::Fp32 => dataset.encode_range_fp32(r.clone()),
+                        DataType::Int32 => {
+                            dataset.encode_range_int32(r.clone(), self.cfg.scale().factor())
+                        }
+                    };
+                    bytes.extend_from_slice(&part);
+                }
+                set.copy_to(
+                    dpu,
+                    trans_offset + counts[dpu] * Transition::RECORD_BYTES,
+                    &bytes,
+                )?;
+                assignments[dpu].append(&mut pieces[slot]);
+                counts[dpu] += added;
+            }
+            if added > 0 || rollback.is_some() {
+                // Read-modify-write the header so the kernel-advanced
+                // episode window survives a pure chunk-count patch.
+                let raw = set.copy_from(dpu, 0, HEADER_BYTES)?;
+                let mut header = KernelHeader::from_bytes(&raw).map_err(PimError::BadArgument)?;
+                header.n_transitions = counts[dpu] as u32;
+                if let Some(ck_round) = rollback {
+                    header.episode_base = ck_round * self.cfg.tau;
+                }
+                set.copy_to(dpu, 0, &header.to_bytes())?;
+            }
+        }
+        Ok(rollback)
     }
 
     /// Builds the per-DPU header for an episode window starting at

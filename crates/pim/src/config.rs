@@ -51,6 +51,11 @@ pub struct PimConfig {
     /// differs. See [`crate::engine::ExecutionEngine`].
     #[serde(default)]
     pub engine: crate::engine::ExecutionEngine,
+    /// Deterministic fault-injection plan (default: no faults). A seeded
+    /// plan injects identical faults under every execution engine. See
+    /// [`crate::faults::FaultPlan`].
+    #[serde(default)]
+    pub faults: crate::faults::FaultPlan,
 }
 
 impl Default for PimConfig {
@@ -67,6 +72,7 @@ impl Default for PimConfig {
             transfer: TransferModel::default(),
             sanitize: crate::sanitize::SanitizeLevel::Off,
             engine: crate::engine::ExecutionEngine::default(),
+            faults: crate::faults::FaultPlan::none(),
         }
     }
 }
@@ -156,6 +162,12 @@ impl PimConfigBuilder {
     /// Sets the runtime sanitizer level for every launch on the platform.
     pub fn sanitize(mut self, level: crate::sanitize::SanitizeLevel) -> Self {
         self.inner.sanitize = level;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan to the platform.
+    pub fn faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.inner.faults = plan;
         self
     }
 

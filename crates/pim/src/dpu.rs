@@ -17,6 +17,7 @@ pub struct Dpu {
     memory: DpuMemory,
     last_counter: CycleCounter,
     sanitizer: DpuSanitizer,
+    launches: u64,
 }
 
 impl Dpu {
@@ -27,6 +28,7 @@ impl Dpu {
             memory: DpuMemory::new(config.mram_bytes, config.wram_bytes),
             last_counter: CycleCounter::new(),
             sanitizer: DpuSanitizer::new(id),
+            launches: 0,
         }
     }
 
@@ -56,6 +58,14 @@ impl Dpu {
         &mut self.sanitizer
     }
 
+    /// Number of kernel executions attempted on this DPU, including
+    /// faulted ones. This is the per-DPU launch index the fault plan
+    /// keys its decisions on; it advances identically under every
+    /// execution engine.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
     /// Executes `kernel` on this DPU and returns the cycles it took.
     ///
     /// Tasklets run sequentially (the simulator does not model preemption
@@ -68,6 +78,27 @@ impl Dpu {
     ///
     /// Propagates the first [`KernelError`] raised by any tasklet.
     pub fn execute(&mut self, kernel: &dyn Kernel, config: &PimConfig) -> Result<u64, KernelError> {
+        let launch = self.launches;
+        self.launches += 1;
+        if !config.faults.is_none() {
+            // All fault decisions key on (seed, dpu, launch) — pure data,
+            // so injection is engine-invariant.
+            if let Some((byte, mask)) = config.faults.bitflip(self.id, launch) {
+                let mut cell = [0u8; 1];
+                if self.memory.mram.read(byte, &mut cell).is_ok() {
+                    cell[0] ^= mask;
+                    let _ = self.memory.mram.write(byte, &cell);
+                }
+            }
+            if config.faults.kernel_fault(self.id, launch) {
+                // The abort happens before any kernel work: MRAM is left
+                // untouched, so a host-side relaunch is sound.
+                return Err(KernelError::Fault(format!(
+                    "injected fault (dpu {}, launch {launch})",
+                    self.id
+                )));
+            }
+        }
         let tasklets = kernel.tasklets().clamp(1, config.tasklets_per_dpu);
         let interval = config.cost.tasklet_issue_interval(tasklets);
         let sanitize = config.sanitize;
@@ -93,7 +124,9 @@ impl Dpu {
         self.sanitizer.finish_launch();
         result?;
         self.last_counter = merged;
-        Ok(max_cycles)
+        // Stragglers stretch the modelled wall cycles of this launch only;
+        // the per-class instruction accounting is the real work done.
+        Ok(config.faults.scale_cycles(self.id, launch, max_cycles))
     }
 }
 
@@ -164,6 +197,63 @@ mod tests {
             .execute(&AluKernel { n: 100, tasklets: 22 }, &cfg)
             .unwrap();
         assert_eq!(cycles, 100 * 22);
+    }
+
+    #[test]
+    fn injected_fault_aborts_before_kernel_work() {
+        use crate::faults::FaultPlan;
+        let cfg = PimConfig::builder()
+            .mram_bytes(1 << 20)
+            .faults(FaultPlan::seeded(1).with_dead_dpus(vec![0], 1))
+            .build();
+        let mut dpu = Dpu::new(0, &cfg);
+        // Launch 0 is clean, launch 1+ faults (dead_from_launch = 1).
+        assert!(dpu.execute(&AluKernel { n: 5, tasklets: 1 }, &cfg).is_ok());
+        assert_eq!(dpu.launches(), 1);
+        let err = dpu
+            .execute(&AluKernel { n: 5, tasklets: 1 }, &cfg)
+            .unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        // The counter still advanced: retries see a fresh launch index.
+        assert_eq!(dpu.launches(), 2);
+    }
+
+    #[test]
+    fn straggler_scales_wall_cycles_not_accounting() {
+        use crate::faults::FaultPlan;
+        let cfg = PimConfig::builder()
+            .mram_bytes(1 << 20)
+            .faults(FaultPlan::seeded(3).with_stragglers(1.0, 4.0))
+            .build();
+        let mut dpu = Dpu::new(0, &cfg);
+        // Find a (dpu, launch) pair that actually straggles.
+        let mut saw_slowdown = false;
+        for _ in 0..8 {
+            let cycles = dpu.execute(&AluKernel { n: 100, tasklets: 1 }, &cfg).unwrap();
+            assert!(cycles >= 100 * 11);
+            assert_eq!(dpu.last_counter().alu_slots, 100);
+            if cycles > 100 * 11 {
+                saw_slowdown = true;
+            }
+        }
+        assert!(saw_slowdown);
+    }
+
+    #[test]
+    fn bitflip_lands_inside_the_configured_region() {
+        use crate::faults::{FaultPlan, MramRegion};
+        let region = MramRegion { offset: 64, len: 8 };
+        let cfg = PimConfig::builder()
+            .mram_bytes(1 << 20)
+            .faults(FaultPlan::seeded(5).with_bitflips(1.0, region))
+            .build();
+        let mut dpu = Dpu::new(0, &cfg);
+        dpu.mram_mut().write(64, &[0u8; 8]).unwrap();
+        dpu.execute(&NopKernel, &cfg).unwrap();
+        let mut after = [0u8; 8];
+        dpu.mram().read(64, &mut after).unwrap();
+        let flipped: u32 = after.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1);
     }
 
     #[test]

@@ -72,10 +72,27 @@ impl ExecutionEngine {
     /// DPU-index order. Threaded engines split the DPU slice into
     /// contiguous chunks, one per worker; each worker owns its chunk
     /// exclusively, so no simulated state is shared across threads.
+    #[cfg(test)]
     pub(crate) fn execute_all(
         &self,
         config: &PimConfig,
         dpus: &mut [Dpu],
+        kernel: &dyn Kernel,
+    ) -> Vec<Result<u64, KernelError>> {
+        let mut refs: Vec<&mut Dpu> = dpus.iter_mut().collect();
+        self.execute_refs(config, &mut refs, kernel)
+    }
+
+    /// Executes `kernel` on an arbitrary selection of DPUs (given as
+    /// mutable references) and returns results in selection order. This
+    /// is the primitive behind both full-set launches and the host's
+    /// subset relaunches of faulted DPUs; the scheduling construction is
+    /// identical, so subset launches keep the engine's bit-identity
+    /// guarantee.
+    pub(crate) fn execute_refs(
+        &self,
+        config: &PimConfig,
+        dpus: &mut [&mut Dpu],
         kernel: &dyn Kernel,
     ) -> Vec<Result<u64, KernelError>> {
         let n = dpus.len();

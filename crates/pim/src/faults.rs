@@ -1,0 +1,380 @@
+//! Deterministic, seeded fault injection for the simulated platform.
+//!
+//! SwiftRL's platform is 2,524 real DPUs; individual cores fault
+//! independently and the host observes failures only at sync. The PrIM
+//! characterization the paper builds on (Gómez-Luna et al., IEEE Access
+//! 2022) additionally reports rank-level variability and stragglers as
+//! first-class effects. A [`FaultPlan`] attached to
+//! [`PimConfig`](crate::config::PimConfig) reproduces those effects in
+//! the simulator:
+//!
+//! * **failed/stuck DPUs** — the kernel aborts before executing, leaving
+//!   the DPU's MRAM untouched (a relaunch is therefore sound);
+//! * **stragglers** — a per-DPU multiplier on the launch's modelled
+//!   cycle count (wall time only; instruction accounting is unchanged);
+//! * **MRAM bit flips** — a single bit flipped in a chosen MRAM region
+//!   before the kernel runs;
+//! * **host-transfer faults** — a CPU→PIM transfer payload corrupted
+//!   (one byte XORed) or dropped in flight (time and bytes are still
+//!   charged — the host does not know the transfer failed).
+//!
+//! Every decision is a pure function of `(plan seed, fault stream, DPU
+//! index, per-DPU launch counter | host transfer sequence number)`. The
+//! launch counter is owned by the [`Dpu`](crate::dpu::Dpu) and the
+//! transfer sequence by the [`DpuSet`](crate::host::DpuSet) — both are
+//! engine-invariant, so a seeded plan produces bit-identical faults under
+//! [`ExecutionEngine::Serial`](crate::engine::ExecutionEngine) and
+//! `Threaded`, for any worker count. [`FaultPlan::none`] (the default)
+//! injects nothing and leaves every simulated observable bit-identical
+//! to a build without this module.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte region `[offset, offset + len)` of a DPU's MRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MramRegion {
+    /// First byte of the region.
+    pub offset: usize,
+    /// Region length in bytes.
+    pub len: usize,
+}
+
+/// A deterministic, seeded plan of faults to inject during execution.
+///
+/// All rates are probabilities in `[0, 1]` evaluated independently per
+/// `(DPU, launch)` or per `(transfer, DPU)` event. The plan is plain
+/// data: cloning or serializing it preserves the exact fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault schedule. Two plans with equal fields produce
+    /// identical faults on identical workloads.
+    pub seed: u64,
+    /// Probability that a DPU's kernel aborts on a given launch.
+    #[serde(default)]
+    pub dpu_fail_rate: f64,
+    /// DPUs that fail deterministically on every launch whose per-DPU
+    /// launch counter is `>= dead_from_launch` (permanent failures).
+    #[serde(default)]
+    pub dead_dpus: Vec<usize>,
+    /// First per-DPU launch index at which `dead_dpus` start failing.
+    #[serde(default)]
+    pub dead_from_launch: u64,
+    /// Probability that a DPU straggles on a given launch.
+    #[serde(default)]
+    pub straggler_rate: f64,
+    /// Worst-case cycle multiplier for a straggling DPU; the actual
+    /// multiplier is drawn uniformly from `[1, straggler_slowdown]`.
+    #[serde(default = "one")]
+    pub straggler_slowdown: f64,
+    /// Probability that one MRAM bit flips in `bitflip_region` before a
+    /// DPU executes a launch. Ignored unless a region is set.
+    #[serde(default)]
+    pub bitflip_rate: f64,
+    /// MRAM region bit flips are confined to (e.g. the Q-table).
+    #[serde(default)]
+    pub bitflip_region: Option<MramRegion>,
+    /// Probability that a CPU→PIM transfer to a given DPU lands with one
+    /// byte XOR-corrupted.
+    #[serde(default)]
+    pub transfer_corrupt_rate: f64,
+    /// Probability that a CPU→PIM transfer to a given DPU is dropped in
+    /// flight (the payload never lands; time and bytes are still charged
+    /// because the host cannot observe the loss).
+    #[serde(default)]
+    pub transfer_drop_rate: f64,
+}
+
+// Referenced only through `#[serde(default = "one")]` above.
+#[allow(dead_code)]
+fn one() -> f64 {
+    1.0
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+// Distinct per-kind stream constants keep the fault categories
+// statistically independent under one seed.
+const STREAM_FAIL: u64 = 0xA1;
+const STREAM_STRAGGLE: u64 = 0xB2;
+const STREAM_STRAGGLE_MUL: u64 = 0xB3;
+const STREAM_FLIP: u64 = 0xC4;
+const STREAM_FLIP_POS: u64 = 0xC5;
+const STREAM_XFER_CORRUPT: u64 = 0xD6;
+const STREAM_XFER_DROP: u64 = 0xD7;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing. Simulated results are
+    /// bit-identical to a platform without fault injection.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            dpu_fail_rate: 0.0,
+            dead_dpus: Vec::new(),
+            dead_from_launch: 0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
+            bitflip_rate: 0.0,
+            bitflip_region: None,
+            transfer_corrupt_rate: 0.0,
+            transfer_drop_rate: 0.0,
+        }
+    }
+
+    /// A plan with the given schedule seed and no faults enabled yet.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Sets the per-launch kernel-abort probability.
+    pub fn with_dpu_fail_rate(mut self, rate: f64) -> Self {
+        self.dpu_fail_rate = rate;
+        self
+    }
+
+    /// Marks DPUs as permanently dead from per-DPU launch index
+    /// `from_launch` onward.
+    pub fn with_dead_dpus(mut self, dpus: Vec<usize>, from_launch: u64) -> Self {
+        self.dead_dpus = dpus;
+        self.dead_from_launch = from_launch;
+        self
+    }
+
+    /// Sets the straggler probability and worst-case slowdown.
+    pub fn with_stragglers(mut self, rate: f64, slowdown: f64) -> Self {
+        self.straggler_rate = rate;
+        self.straggler_slowdown = slowdown.max(1.0);
+        self
+    }
+
+    /// Sets the per-launch MRAM bit-flip probability within `region`.
+    pub fn with_bitflips(mut self, rate: f64, region: MramRegion) -> Self {
+        self.bitflip_rate = rate;
+        self.bitflip_region = Some(region);
+        self
+    }
+
+    /// Sets the CPU→PIM corruption and drop probabilities.
+    pub fn with_transfer_faults(mut self, corrupt_rate: f64, drop_rate: f64) -> Self {
+        self.transfer_corrupt_rate = corrupt_rate;
+        self.transfer_drop_rate = drop_rate;
+        self
+    }
+
+    /// True if this plan can never inject a fault. The hot paths use
+    /// this to skip fault evaluation entirely.
+    pub fn is_none(&self) -> bool {
+        self.dpu_fail_rate <= 0.0
+            && self.dead_dpus.is_empty()
+            && self.straggler_rate <= 0.0
+            && (self.bitflip_rate <= 0.0 || self.bitflip_region.is_none())
+            && self.transfer_corrupt_rate <= 0.0
+            && self.transfer_drop_rate <= 0.0
+    }
+
+    fn draw(&self, stream: u64, a: u64, b: u64) -> u64 {
+        mix64(self.seed ^ mix64(stream ^ mix64(a ^ mix64(b))))
+    }
+
+    /// A uniform draw in `[0, 1)` for the given stream and event key.
+    fn unit(&self, stream: u64, a: u64, b: u64) -> f64 {
+        // 53 high bits -> exactly representable dyadic rational in [0,1).
+        (self.draw(stream, a, b) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Should DPU `dpu`'s kernel abort on its `launch`-th execution?
+    pub fn kernel_fault(&self, dpu: usize, launch: u64) -> bool {
+        if launch >= self.dead_from_launch && self.dead_dpus.contains(&dpu) {
+            return true;
+        }
+        self.dpu_fail_rate > 0.0 && self.unit(STREAM_FAIL, dpu as u64, launch) < self.dpu_fail_rate
+    }
+
+    /// Applies the straggler multiplier (if any) to a launch's cycle
+    /// count. Identity when the DPU does not straggle.
+    pub fn scale_cycles(&self, dpu: usize, launch: u64, cycles: u64) -> u64 {
+        if self.straggler_rate <= 0.0
+            || self.straggler_slowdown <= 1.0
+            || self.unit(STREAM_STRAGGLE, dpu as u64, launch) >= self.straggler_rate
+        {
+            return cycles;
+        }
+        let extra = self.unit(STREAM_STRAGGLE_MUL, dpu as u64, launch)
+            * (self.straggler_slowdown - 1.0);
+        (cycles as f64 * (1.0 + extra)).round() as u64
+    }
+
+    /// The MRAM bit flip (byte offset, bit mask) to apply before DPU
+    /// `dpu` executes launch `launch`, if any.
+    pub fn bitflip(&self, dpu: usize, launch: u64) -> Option<(usize, u8)> {
+        let region = self.bitflip_region?;
+        if self.bitflip_rate <= 0.0
+            || region.len == 0
+            || self.unit(STREAM_FLIP, dpu as u64, launch) >= self.bitflip_rate
+        {
+            return None;
+        }
+        let bit = self.draw(STREAM_FLIP_POS, dpu as u64, launch) as usize % (region.len * 8);
+        Some((region.offset + bit / 8, 1u8 << (bit % 8)))
+    }
+
+    /// The in-flight corruption (byte index, XOR mask) for CPU→PIM
+    /// transfer number `seq` to DPU `dpu`, if any. `len` is the payload
+    /// length in bytes.
+    pub fn corrupt_transfer(&self, seq: u64, dpu: usize, len: usize) -> Option<(usize, u8)> {
+        if self.transfer_corrupt_rate <= 0.0
+            || len == 0
+            || self.unit(STREAM_XFER_CORRUPT, seq, dpu as u64) >= self.transfer_corrupt_rate
+        {
+            return None;
+        }
+        let r = self.draw(STREAM_XFER_CORRUPT ^ 1, seq, dpu as u64);
+        let pos = (r >> 8) as usize % len;
+        // Guarantee a non-zero mask so a "corrupted" transfer always
+        // differs from the intended payload.
+        let mask = 1u8 << (r % 8);
+        Some((pos, mask))
+    }
+
+    /// Is CPU→PIM transfer number `seq` to DPU `dpu` dropped in flight?
+    pub fn drop_transfer(&self, seq: u64, dpu: usize) -> bool {
+        self.transfer_drop_rate > 0.0
+            && self.unit(STREAM_XFER_DROP, seq, dpu as u64) < self.transfer_drop_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert_and_default() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert_eq!(plan, FaultPlan::default());
+        assert!(!plan.kernel_fault(0, 0));
+        assert_eq!(plan.scale_cycles(3, 7, 1000), 1000);
+        assert_eq!(plan.bitflip(0, 0), None);
+        assert_eq!(plan.corrupt_transfer(0, 0, 64), None);
+        assert!(!plan.drop_transfer(0, 0));
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::seeded(42)
+            .with_dpu_fail_rate(0.3)
+            .with_stragglers(0.5, 4.0)
+            .with_bitflips(0.5, MramRegion { offset: 64, len: 256 })
+            .with_transfer_faults(0.2, 0.2);
+        let b = a.clone();
+        for dpu in 0..32 {
+            for launch in 0..16u64 {
+                assert_eq!(a.kernel_fault(dpu, launch), b.kernel_fault(dpu, launch));
+                assert_eq!(
+                    a.scale_cycles(dpu, launch, 999),
+                    b.scale_cycles(dpu, launch, 999)
+                );
+                assert_eq!(a.bitflip(dpu, launch), b.bitflip(dpu, launch));
+                assert_eq!(
+                    a.corrupt_transfer(launch, dpu, 64),
+                    b.corrupt_transfer(launch, dpu, 64)
+                );
+                assert_eq!(a.drop_transfer(launch, dpu), b.drop_transfer(launch, dpu));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::seeded(1).with_dpu_fail_rate(0.5);
+        let b = FaultPlan::seeded(2).with_dpu_fail_rate(0.5);
+        let hits_a: Vec<bool> = (0..64).map(|d| a.kernel_fault(d, 0)).collect();
+        let hits_b: Vec<bool> = (0..64).map(|d| b.kernel_fault(d, 0)).collect();
+        assert_ne!(hits_a, hits_b);
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let plan = FaultPlan::seeded(7).with_dpu_fail_rate(1.0);
+        for dpu in 0..64 {
+            assert!(plan.kernel_fault(dpu, 3));
+        }
+    }
+
+    #[test]
+    fn rates_approximate_probabilities() {
+        let plan = FaultPlan::seeded(11).with_dpu_fail_rate(0.25);
+        let hits = (0..4000)
+            .filter(|&d| plan.kernel_fault(d, 0))
+            .count() as f64;
+        assert!((hits / 4000.0 - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn dead_dpus_fail_from_the_configured_launch() {
+        let plan = FaultPlan::seeded(0).with_dead_dpus(vec![2, 5], 3);
+        assert!(!plan.kernel_fault(2, 0));
+        assert!(!plan.kernel_fault(2, 2));
+        assert!(plan.kernel_fault(2, 3));
+        assert!(plan.kernel_fault(5, 100));
+        assert!(!plan.kernel_fault(4, 100));
+    }
+
+    #[test]
+    fn straggler_never_speeds_up_and_is_bounded() {
+        let plan = FaultPlan::seeded(9).with_stragglers(1.0, 3.0);
+        for dpu in 0..64 {
+            let scaled = plan.scale_cycles(dpu, 0, 10_000);
+            assert!(scaled >= 10_000);
+            assert!(scaled <= 30_000 + 1);
+        }
+        // Some DPU actually straggles at rate 1.0.
+        assert!((0..64).any(|d| plan.scale_cycles(d, 0, 10_000) > 10_000));
+    }
+
+    #[test]
+    fn bitflips_stay_inside_the_region() {
+        let region = MramRegion { offset: 128, len: 40 };
+        let plan = FaultPlan::seeded(13).with_bitflips(1.0, region);
+        for dpu in 0..64 {
+            let (byte, mask) = plan.bitflip(dpu, 1).unwrap();
+            assert!(byte >= region.offset);
+            assert!(byte < region.offset + region.len);
+            assert_eq!(mask.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn transfer_corruption_indexes_the_payload() {
+        let plan = FaultPlan::seeded(17).with_transfer_faults(1.0, 0.0);
+        for seq in 0..64u64 {
+            let (pos, mask) = plan.corrupt_transfer(seq, 0, 24).unwrap();
+            assert!(pos < 24);
+            assert_ne!(mask, 0);
+        }
+    }
+
+    #[test]
+    fn seeded_builder_chain_matches_field_construction() {
+        let plan = FaultPlan::seeded(23)
+            .with_dpu_fail_rate(0.1)
+            .with_bitflips(0.2, MramRegion { offset: 0, len: 8 });
+        assert_eq!(plan.seed, 23);
+        assert!(!plan.is_none());
+        assert_eq!(plan.bitflip_region, Some(MramRegion { offset: 0, len: 8 }));
+    }
+}

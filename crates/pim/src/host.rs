@@ -143,6 +143,10 @@ pub struct DpuSet {
     program_loaded: bool,
     sanitizer_report: SanitizerReport,
     kernel_running: bool,
+    // Host-side serial number of CPU→PIM transfer operations; the fault
+    // plan keys in-flight corruption/drop decisions on it, which makes
+    // transfer faults engine-invariant by construction.
+    transfer_seq: u64,
 }
 
 impl DpuSet {
@@ -161,6 +165,7 @@ impl DpuSet {
             program_loaded: false,
             sanitizer_report,
             kernel_running: false,
+            transfer_seq: 0,
         }
     }
 
@@ -246,6 +251,64 @@ impl DpuSet {
         self.config.ranks_for(self.dpus.len())
     }
 
+    /// Validates a DPU index list for a subset operation: non-empty,
+    /// strictly increasing, all in range.
+    fn check_indices(&self, indices: &[usize]) -> Result<(), PimError> {
+        if indices.is_empty() {
+            return Err(PimError::BadArgument(
+                "subset operation expects at least one DPU index".into(),
+            ));
+        }
+        for w in indices.windows(2) {
+            if w[0] >= w[1] {
+                return Err(PimError::BadArgument(
+                    "subset DPU indices must be strictly increasing".into(),
+                ));
+            }
+        }
+        match indices.last() {
+            Some(&last) => self.check_dpu(last),
+            None => Ok(()),
+        }
+    }
+
+    fn next_transfer_seq(&mut self) -> u64 {
+        let seq = self.transfer_seq;
+        self.transfer_seq += 1;
+        seq
+    }
+
+    /// Lands `data` in `dpu`'s MRAM, subject to the fault plan's
+    /// in-flight decisions for CPU→PIM transfer operation `seq`. A
+    /// dropped payload never reaches the bank; a corrupted one lands
+    /// with a single byte XORed. The host cannot observe either, so
+    /// callers charge time and bytes as if the transfer succeeded.
+    fn deliver(
+        &mut self,
+        seq: u64,
+        dpu: usize,
+        mram_offset: usize,
+        data: &[u8],
+    ) -> Result<(), PimError> {
+        if self.config.faults.is_none() {
+            self.dpus[dpu].mram_mut().write(mram_offset, data)?;
+            return Ok(());
+        }
+        if self.config.faults.drop_transfer(seq, dpu) {
+            self.stats.injected_transfer_faults += 1;
+            return Ok(());
+        }
+        if let Some((pos, mask)) = self.config.faults.corrupt_transfer(seq, dpu, data.len()) {
+            let mut corrupted = data.to_vec();
+            corrupted[pos] ^= mask;
+            self.dpus[dpu].mram_mut().write(mram_offset, &corrupted)?;
+            self.stats.injected_transfer_faults += 1;
+            return Ok(());
+        }
+        self.dpus[dpu].mram_mut().write(mram_offset, data)?;
+        Ok(())
+    }
+
     fn record(&mut self, direction: Direction, bytes: u64, dpus: usize, seconds: f64) {
         self.ledger.record(TransferRecord {
             direction,
@@ -275,7 +338,8 @@ impl DpuSet {
     pub fn copy_to(&mut self, dpu: usize, mram_offset: usize, data: &[u8]) -> Result<(), PimError> {
         self.check_dpu(dpu)?;
         self.note_host_access(dpu, mram_offset, data.len());
-        self.dpus[dpu].mram_mut().write(mram_offset, data)?;
+        let seq = self.next_transfer_seq();
+        self.deliver(seq, dpu, mram_offset, data)?;
         let seconds = self.config.transfer.scatter_gather_seconds(data.len(), 1);
         self.record(Direction::CpuToPim, data.len() as u64, 1, seconds);
         Ok(())
@@ -319,9 +383,10 @@ impl DpuSet {
         for (i, part) in parts.iter().enumerate() {
             self.note_host_access(i, mram_offset, part.len());
         }
+        let seq = self.next_transfer_seq();
         let mut total = 0u64;
-        for (dpu, part) in self.dpus.iter_mut().zip(parts) {
-            dpu.mram_mut().write(mram_offset, part)?;
+        for (i, part) in parts.iter().enumerate() {
+            self.deliver(seq, i, mram_offset, part)?;
             total += part.len() as u64;
         }
         let ranks = self.ranks();
@@ -344,14 +409,45 @@ impl DpuSet {
         for i in 0..self.dpus.len() {
             self.note_host_access(i, mram_offset, data.len());
         }
-        for dpu in &mut self.dpus {
-            dpu.mram_mut().write(mram_offset, data)?;
+        let seq = self.next_transfer_seq();
+        for i in 0..self.dpus.len() {
+            self.deliver(seq, i, mram_offset, data)?;
         }
         let n = self.dpus.len();
         let seconds = self
             .config
             .transfer
             .broadcast_seconds(data.len(), n, self.ranks());
+        self.record(Direction::CpuToPim, (data.len() * n) as u64, n, seconds);
+        Ok(())
+    }
+
+    /// [`Self::broadcast`] restricted to the DPUs in `indices` (strictly
+    /// increasing). Used by resilient hosts to refresh only the healthy
+    /// subset, e.g. when rolling back to a Q-table checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid index list or an out-of-range MRAM write.
+    pub fn broadcast_subset(
+        &mut self,
+        mram_offset: usize,
+        data: &[u8],
+        indices: &[usize],
+    ) -> Result<(), PimError> {
+        self.check_indices(indices)?;
+        for &i in indices {
+            self.note_host_access(i, mram_offset, data.len());
+        }
+        let seq = self.next_transfer_seq();
+        for &i in indices {
+            self.deliver(seq, i, mram_offset, data)?;
+        }
+        let n = indices.len();
+        let seconds =
+            self.config
+                .transfer
+                .broadcast_seconds(data.len(), n, self.config.ranks_for(n));
         self.record(Direction::CpuToPim, (data.len() * n) as u64, n, seconds);
         Ok(())
     }
@@ -378,6 +474,39 @@ impl DpuSet {
             .config
             .transfer
             .scatter_gather_seconds(total as usize, self.ranks());
+        self.record(Direction::PimToCpu, total, n, seconds);
+        Ok(out)
+    }
+
+    /// [`Self::gather`] restricted to the DPUs in `indices` (strictly
+    /// increasing); buffers are returned in index order. Used by
+    /// resilient hosts to collect Q-tables from the healthy subset only.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid index list or an out-of-range MRAM read.
+    pub fn gather_subset(
+        &mut self,
+        mram_offset: usize,
+        len: usize,
+        indices: &[usize],
+    ) -> Result<Vec<Vec<u8>>, PimError> {
+        self.check_indices(indices)?;
+        for &i in indices {
+            self.note_host_access(i, mram_offset, len);
+        }
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let mut buf = vec![0u8; len];
+            self.dpus[i].mram().read(mram_offset, &mut buf)?;
+            out.push(buf);
+        }
+        let n = indices.len();
+        let total = (len * n) as u64;
+        let seconds = self
+            .config
+            .transfer
+            .scatter_gather_seconds(total as usize, self.config.ranks_for(n));
         self.record(Direction::PimToCpu, total, n, seconds);
         Ok(out)
     }
@@ -431,35 +560,86 @@ impl DpuSet {
     /// Returns the lowest-indexed kernel fault with its DPU index (unlike
     /// real hardware, faults are reported here rather than at `sync`).
     pub fn launch_async(&mut self, kernel: &dyn Kernel) -> Result<(), PimError> {
+        let indices: Vec<usize> = (0..self.dpus.len()).collect();
+        self.launch_on(kernel, &indices)
+    }
+
+    /// Launches `kernel` on the DPUs in `indices` only (strictly
+    /// increasing) and blocks until they finish. The other DPUs are left
+    /// untouched — their MRAM, counters, and launch indices do not
+    /// advance. This is the host's relaunch primitive for faulted DPUs
+    /// and the degraded-mode launch path.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid index list; otherwise as [`Self::launch`].
+    pub fn launch_subset(
+        &mut self,
+        kernel: &dyn Kernel,
+        indices: &[usize],
+    ) -> Result<&LaunchStats, PimError> {
+        self.launch_subset_async(kernel, indices)?;
+        Ok(self.sync())
+    }
+
+    /// [`Self::launch_subset`] without closing the launch window; pair
+    /// with [`Self::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid index list; otherwise as
+    /// [`Self::launch_async`].
+    pub fn launch_subset_async(
+        &mut self,
+        kernel: &dyn Kernel,
+        indices: &[usize],
+    ) -> Result<(), PimError> {
+        self.check_indices(indices)?;
+        self.launch_on(kernel, indices)
+    }
+
+    fn launch_on(&mut self, kernel: &dyn Kernel, indices: &[usize]) -> Result<(), PimError> {
         self.load_program();
         self.kernel_running = true;
-        let results = self
-            .config
-            .engine
-            .execute_all(&self.config, &mut self.dpus, kernel);
+        let results = {
+            // Collect mutable references to the selected DPUs in index
+            // order; the engine schedules exactly this selection.
+            let mut refs: Vec<&mut Dpu> = Vec::with_capacity(indices.len());
+            let mut want = indices.iter().copied().peekable();
+            for (i, dpu) in self.dpus.iter_mut().enumerate() {
+                if want.peek() == Some(&i) {
+                    refs.push(dpu);
+                    want.next();
+                }
+            }
+            self.config.engine.execute_refs(&self.config, &mut refs, kernel)
+        };
 
         // Ordered merge: walk the per-DPU results strictly in DPU-index
-        // order so every engine reports bit-identical statistics.
+        // order so every engine reports bit-identical statistics. Cycle
+        // aggregates cover the DPUs that completed; faulted DPUs are
+        // listed in `faulted_dpus` instead.
         let mut max_cycles = 0u64;
         let mut min_cycles = u64::MAX;
         let mut sum_cycles = 0u128;
+        let mut survivors = 0usize;
         let mut merged = crate::cost::CycleCounter::new();
+        let mut faulted_dpus = Vec::new();
         let mut fault = None;
-        for (dpu, result) in self.dpus.iter().zip(results) {
+        for (&idx, result) in indices.iter().zip(results) {
             match result {
                 Ok(cycles) => {
+                    survivors += 1;
                     max_cycles = max_cycles.max(cycles);
                     min_cycles = min_cycles.min(cycles);
                     sum_cycles += cycles as u128;
-                    merged.merge(dpu.last_counter());
+                    merged.merge(self.dpus[idx].last_counter());
                 }
                 Err(error) => {
                     if fault.is_none() {
-                        fault = Some(PimError::Kernel {
-                            dpu: dpu.id(),
-                            error,
-                        });
+                        fault = Some(PimError::Kernel { dpu: idx, error });
                     }
+                    faulted_dpus.push(idx);
                 }
             }
         }
@@ -476,25 +656,34 @@ impl DpuSet {
             self.sanitizer_report.level = self.config.sanitize;
             self.sanitizer_report.sanitized_launches += 1;
         }
-        if let Some(e) = fault {
-            self.kernel_running = false;
-            return Err(e);
-        }
-        let n = self.dpus.len();
         let seconds = self.config.cycles_to_seconds(max_cycles);
+        // Even a faulted launch overwrites `last_launch`: `sync()` after
+        // a fault reports the faulted launch (marked via `faulted_dpus`,
+        // with the survivors' merged cycle accounting), never the stale
+        // statistics of an earlier launch.
         self.last_launch = LaunchStats {
-            dpus: n,
+            dpus: indices.len(),
             max_cycles,
-            min_cycles: if n == 0 { 0 } else { min_cycles },
-            mean_cycles: if n == 0 {
+            min_cycles: if survivors == 0 { 0 } else { min_cycles },
+            mean_cycles: if survivors == 0 {
                 0.0
             } else {
-                (sum_cycles / n as u128) as f64
+                sum_cycles as f64 / survivors as f64
             },
             seconds,
             merged,
             sanitizer_findings: launch_findings,
+            faulted_dpus,
         };
+        if let Some(e) = fault {
+            self.kernel_running = false;
+            // Faulted launches never contribute to `launches` or
+            // `kernel_seconds`; the time the host spent waiting on the
+            // surviving DPUs is tracked separately.
+            self.stats.faulted_launches += 1;
+            self.stats.faulted_kernel_seconds += seconds;
+            return Err(e);
+        }
         self.stats.launches += 1;
         self.stats.last_kernel_seconds = seconds;
         self.stats.kernel_seconds += seconds;
@@ -634,23 +823,176 @@ mod tests {
         assert_eq!(set.sanitizer_report().sanitized_launches, 0);
     }
 
+    struct FaultyOn2;
+    impl Kernel for FaultyOn2 {
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+            if ctx.dpu_id() == 2 {
+                return Err(KernelError::Fault("boom".into()));
+            }
+            ctx.charge_alu(10);
+            Ok(())
+        }
+    }
+
     #[test]
     fn kernel_fault_names_dpu() {
-        struct Faulty;
-        impl Kernel for Faulty {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        match set.launch(&FaultyOn2) {
+            Err(PimError::Kernel { dpu, .. }) => assert_eq!(dpu, 2),
+            other => panic!("expected kernel fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mean_cycles_keeps_fractional_part() {
+        // Two DPUs at 11 and 22 cycles: the true mean is 16.5 — the old
+        // u128 integer division truncated it to 16.0 and skewed
+        // imbalance().
+        struct Uneven;
+        impl Kernel for Uneven {
             fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
-                if ctx.dpu_id() == 2 {
-                    return Err(KernelError::Fault("boom".into()));
-                }
+                ctx.charge_alu(ctx.dpu_id() as u64 + 1);
                 Ok(())
             }
         }
         let mut sys = tiny_system();
+        let mut set = sys.alloc(2).unwrap();
+        set.launch(&Uneven).unwrap();
+        let stats = set.last_launch();
+        assert_eq!(stats.max_cycles, 22);
+        assert_eq!(stats.min_cycles, 11);
+        assert_eq!(stats.mean_cycles, 16.5);
+        assert!((stats.imbalance() - 22.0 / 16.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulted_launch_overwrites_last_launch_and_merges_survivors() {
+        let mut sys = tiny_system();
         let mut set = sys.alloc(4).unwrap();
-        match set.launch(&Faulty) {
-            Err(PimError::Kernel { dpu, .. }) => assert_eq!(dpu, 2),
-            other => panic!("expected kernel fault, got {other:?}"),
+        // A first, clean launch seeds last_launch with stale stats.
+        set.launch(&IdKernel).unwrap();
+        assert!(!set.last_launch().is_faulted());
+        let stale_max = set.last_launch().max_cycles;
+
+        assert!(set.launch(&FaultyOn2).is_err());
+        let stats = set.last_launch();
+        // sync()/last_launch now describe the faulted launch, not the
+        // previous one.
+        assert_eq!(stats.faulted_dpus, vec![2]);
+        assert!(stats.is_faulted());
+        assert_eq!(stats.dpus, 4);
+        // Survivors (DPUs 0, 1, 3) each charged 10 ALU slots.
+        assert_eq!(stats.merged.alu_slots, 30);
+        assert_eq!(stats.max_cycles, 10 * 11);
+        assert_ne!(stats.max_cycles, stale_max);
+        assert_eq!(stats.mean_cycles, 110.0);
+        // Accounting: the clean launch counted, the faulted one went to
+        // the faulted counters.
+        assert_eq!(set.stats().launches, 1);
+        assert_eq!(set.stats().faulted_launches, 1);
+        assert!(set.stats().faulted_kernel_seconds > 0.0);
+        let synced = set.sync().clone();
+        assert_eq!(synced.faulted_dpus, vec![2]);
+    }
+
+    #[test]
+    fn subset_launch_touches_only_selected_dpus() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        let stats = set.launch_subset(&IdKernel, &[1, 3]).unwrap().clone();
+        assert_eq!(stats.dpus, 2);
+        assert_eq!(stats.max_cycles, 40 * 11 + set.config().cost.dma_cycles(8));
+        // Selected DPUs wrote their ids; the others still hold zeros.
+        for dpu in [1usize, 3] {
+            let bytes = set.copy_from(dpu, 0, 8).unwrap();
+            assert_eq!(u64::from_le_bytes(bytes.try_into().unwrap()), dpu as u64);
         }
+        for dpu in [0usize, 2] {
+            assert_eq!(set.copy_from(dpu, 0, 8).unwrap(), vec![0u8; 8]);
+        }
+    }
+
+    #[test]
+    fn subset_indices_validated() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        assert!(matches!(
+            set.launch_subset(&IdKernel, &[]),
+            Err(PimError::BadArgument(_))
+        ));
+        assert!(matches!(
+            set.launch_subset(&IdKernel, &[1, 1]),
+            Err(PimError::BadArgument(_))
+        ));
+        assert!(matches!(
+            set.launch_subset(&IdKernel, &[3, 1]),
+            Err(PimError::BadArgument(_))
+        ));
+        assert!(matches!(
+            set.launch_subset(&IdKernel, &[0, 7]),
+            Err(PimError::BadDpu { .. })
+        ));
+        assert!(matches!(
+            set.gather_subset(0, 8, &[2, 2]),
+            Err(PimError::BadArgument(_))
+        ));
+        assert!(matches!(
+            set.broadcast_subset(0, &[0u8; 8], &[9]),
+            Err(PimError::BadDpu { .. })
+        ));
+    }
+
+    #[test]
+    fn subset_gather_and_broadcast_follow_indices() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        set.broadcast_subset(0, &[5u8; 8], &[0, 2]).unwrap();
+        let picked = set.gather_subset(0, 8, &[0, 2]).unwrap();
+        assert_eq!(picked, vec![vec![5u8; 8], vec![5u8; 8]]);
+        // DPUs 1 and 3 were not addressed.
+        assert_eq!(set.copy_from(1, 0, 8).unwrap(), vec![0u8; 8]);
+        assert_eq!(set.copy_from(3, 0, 8).unwrap(), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn dropped_transfer_charges_time_but_loses_payload() {
+        use crate::faults::FaultPlan;
+        let mut sys = PimSystem::new(
+            PimConfig::builder()
+                .dpus(4)
+                .mram_bytes(1 << 16)
+                .faults(FaultPlan::seeded(1).with_transfer_faults(0.0, 1.0))
+                .build(),
+        );
+        let mut set = sys.alloc(2).unwrap();
+        set.broadcast(0, &[9u8; 16]).unwrap();
+        // Every payload was dropped in flight; banks still hold zeros.
+        for dpu in 0..2 {
+            assert_eq!(set.copy_from(dpu, 0, 16).unwrap(), vec![0u8; 16]);
+        }
+        // The host cannot observe the loss: bytes and seconds recorded.
+        assert_eq!(set.stats().cpu_to_pim_bytes, 32);
+        assert!(set.stats().cpu_to_pim_seconds > 0.0);
+        assert_eq!(set.stats().injected_transfer_faults, 2);
+    }
+
+    #[test]
+    fn corrupted_transfer_flips_exactly_one_byte() {
+        use crate::faults::FaultPlan;
+        let mut sys = PimSystem::new(
+            PimConfig::builder()
+                .dpus(4)
+                .mram_bytes(1 << 16)
+                .faults(FaultPlan::seeded(2).with_transfer_faults(1.0, 0.0))
+                .build(),
+        );
+        let mut set = sys.alloc(1).unwrap();
+        set.copy_to(0, 0, &[0u8; 32]).unwrap();
+        let landed = set.copy_from(0, 0, 32).unwrap();
+        let differing = landed.iter().filter(|&&b| b != 0).count();
+        assert_eq!(differing, 1);
+        assert_eq!(set.stats().injected_transfer_faults, 1);
     }
 
     #[test]

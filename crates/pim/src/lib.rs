@@ -85,6 +85,7 @@ pub mod cost;
 pub mod dpu;
 pub mod emul;
 pub mod engine;
+pub mod faults;
 pub mod host;
 pub mod kernel;
 pub mod memory;
@@ -96,6 +97,7 @@ pub mod xfer;
 
 pub use config::{CostModel, PimConfig};
 pub use engine::ExecutionEngine;
+pub use faults::{FaultPlan, MramRegion};
 pub use host::{DpuSet, PimError, PimSystem};
 pub use kernel::{DpuContext, Kernel, KernelError};
 pub use report::SanitizerReport;

@@ -66,12 +66,17 @@ impl fmt::Display for LaunchReport {
         let [alu, wram, control, int_emul, float_emul] = self.slot_shares();
         writeln!(
             f,
-            "launch over {} DPUs @ {} MHz: {:.6}s ({} cycles max, imbalance {:.2})",
+            "launch over {} DPUs @ {} MHz: {:.6}s ({} cycles max, imbalance {:.2}{})",
             s.dpus,
             self.frequency_mhz,
             s.seconds,
             s.max_cycles,
-            s.imbalance()
+            s.imbalance(),
+            if s.is_faulted() {
+                format!(", {} faulted", s.faulted_dpus.len())
+            } else {
+                String::new()
+            }
         )?;
         writeln!(
             f,
@@ -188,6 +193,7 @@ mod tests {
             seconds: 2_500.0 / 425.0e6,
             merged,
             sanitizer_findings: 0,
+            faulted_dpus: Vec::new(),
         }
     }
 

@@ -22,6 +22,11 @@ pub struct LaunchStats {
     /// is off or the launch was clean).
     #[serde(default)]
     pub sanitizer_findings: u64,
+    /// DPUs whose kernel faulted during this launch, in DPU-index order
+    /// (empty for a clean launch). Cycle fields (`max`/`min`/`mean`,
+    /// `merged`) cover only the DPUs that completed.
+    #[serde(default)]
+    pub faulted_dpus: Vec<usize>,
 }
 
 impl LaunchStats {
@@ -32,6 +37,11 @@ impl LaunchStats {
             return 1.0;
         }
         self.max_cycles as f64 / self.mean_cycles
+    }
+
+    /// True if any DPU faulted during this launch.
+    pub fn is_faulted(&self) -> bool {
+        !self.faulted_dpus.is_empty()
     }
 }
 
@@ -60,6 +70,19 @@ pub struct SystemStats {
     pub cpu_to_pim_bytes: u64,
     /// Total bytes moved PIM→CPU.
     pub pim_to_cpu_bytes: u64,
+    /// Launches in which at least one DPU faulted. Faulted launches are
+    /// not counted in `launches` and their time is kept out of
+    /// `kernel_seconds` (tracked in `faulted_kernel_seconds` instead).
+    #[serde(default)]
+    pub faulted_launches: u64,
+    /// Modelled seconds the host spent waiting on launches that ended in
+    /// a fault (the slowest *surviving* DPU of each such launch).
+    #[serde(default)]
+    pub faulted_kernel_seconds: f64,
+    /// CPU→PIM transfers corrupted or dropped in flight by the fault
+    /// plan.
+    #[serde(default)]
+    pub injected_transfer_faults: u64,
 }
 
 impl SystemStats {
@@ -94,8 +117,10 @@ mod tests {
             seconds: 0.0,
             merged: CycleCounter::new(),
             sanitizer_findings: 0,
+            faulted_dpus: Vec::new(),
         };
         assert!((s.imbalance() - 200.0 / 150.0).abs() < 1e-12);
+        assert!(!s.is_faulted());
     }
 
     #[test]

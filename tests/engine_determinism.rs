@@ -18,6 +18,7 @@ use swiftrl::env::collect::collect_random;
 use swiftrl::env::frozen_lake::FrozenLake;
 use swiftrl::env::ExperienceDataset;
 use swiftrl::pim::config::PimConfig;
+use swiftrl::pim::faults::FaultPlan;
 use swiftrl::pim::host::PimSystem;
 use swiftrl::pim::kernel::{DpuContext, Kernel, KernelError};
 use swiftrl::pim::sanitize::SanitizeLevel;
@@ -130,6 +131,40 @@ fn launch_stats_and_finding_order_match_serial() {
             "finding {dpu} out of order: {finding}"
         );
     }
+}
+
+/// Faulted launches are bit-identical across engines too: the same DPUs
+/// fault (decisions key on pure data, not schedule), the first-faulting
+/// DPU reported in the error is the same, the surviving DPUs'
+/// merged statistics match, and the faulted-launch accounting agrees.
+#[test]
+fn faulted_launches_match_across_engines() {
+    let launch = |engine| {
+        let mut sys = PimSystem::new(
+            PimConfig::builder()
+                .dpus(8)
+                .mram_bytes(1 << 16)
+                .engine(engine)
+                .sanitize(SanitizeLevel::Full)
+                .faults(FaultPlan::seeded(5).with_dpu_fail_rate(0.4))
+                .build(),
+        );
+        let mut set = sys.alloc(8).unwrap();
+        let err = match set.launch(&SkewedDirtyKernel) {
+            Err(e) => format!("{e:?}"),
+            Ok(stats) => panic!("expected a faulted launch, got clean stats {stats:?}"),
+        };
+        (err, set.last_launch().clone(), set.stats().clone())
+    };
+    let (serial_err, serial_launch, serial_stats) = launch(ExecutionEngine::Serial);
+    let (threaded_err, threaded_launch, threaded_stats) =
+        launch(ExecutionEngine::Threaded { workers: 3 });
+    assert!(serial_launch.is_faulted());
+    assert_eq!(serial_err, threaded_err);
+    assert_eq!(serial_launch, threaded_launch);
+    assert_eq!(serial_stats, threaded_stats);
+    assert_eq!(serial_stats.faulted_launches, 1);
+    assert_eq!(serial_stats.launches, 0);
 }
 
 proptest! {

@@ -7,9 +7,11 @@ use swiftrl::core::runner::PimRunner;
 use swiftrl::env::collect::collect_random;
 use swiftrl::env::frozen_lake::FrozenLake;
 use swiftrl::pim::config::PimConfig;
+use swiftrl::pim::faults::FaultPlan;
 use swiftrl::pim::host::{PimError, PimSystem};
 use swiftrl::pim::kernel::{DpuContext, Kernel, KernelError};
 use swiftrl::pim::memory::MemoryError;
+use swiftrl::pim::sanitize::SanitizeLevel;
 
 #[test]
 fn chunk_larger_than_mram_is_rejected() {
@@ -98,6 +100,69 @@ fn misaligned_dma_faults_the_launch() {
     }
     // The faulted launch charged no kernel time.
     assert_eq!(set.stats().kernel_seconds, 0.0);
+}
+
+#[test]
+fn injected_fault_reports_the_dpu_and_refreshes_last_launch() {
+    // One DPU (index 2 of 4) is configured dead; the launch must fault
+    // with that index, and `last_launch` must describe *this* faulted
+    // launch — survivors' cycles merged, the dead DPU listed — instead
+    // of retaining the stats of a previous clean launch.
+    struct DirtyWork;
+    impl Kernel for DirtyWork {
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+            ctx.charge_alu(10);
+            // Never written: one sanitizer finding per surviving DPU.
+            let _ = ctx.wram_read_u32(256)?;
+            Ok(())
+        }
+    }
+
+    let mut system = PimSystem::new(
+        PimConfig::builder()
+            .dpus(4)
+            .sanitize(SanitizeLevel::Full)
+            .faults(FaultPlan::seeded(1).with_dead_dpus(vec![2], 1))
+            .build(),
+    );
+    let mut set = system.alloc(4).unwrap();
+    set.load_program();
+
+    // Launch 0 is clean (the DPU dies from launch 1).
+    let clean = set.launch(&DirtyWork).unwrap().clone();
+    assert!(!clean.is_faulted());
+
+    match set.launch(&DirtyWork) {
+        Err(PimError::Kernel {
+            dpu: 2,
+            error: KernelError::Fault(msg),
+        }) => assert!(msg.contains("injected fault"), "{msg}"),
+        other => panic!("expected an injected fault on DPU 2, got {other:?}"),
+    }
+
+    let faulted = set.last_launch().clone();
+    assert_eq!(faulted.faulted_dpus, vec![2]);
+    assert!(faulted.is_faulted());
+    assert_eq!(faulted.dpus, 4);
+    // Survivor cycle counters are merged (3 DPUs × 10 ALU slots).
+    assert_eq!(faulted.merged.alu_slots, 30);
+    assert!(faulted.max_cycles > 0);
+    // `sync` after a faulted async-style launch reports the same stats.
+    assert!(set.sync().is_faulted());
+
+    // Accounting: the faulted launch is kept out of the clean counters.
+    assert_eq!(set.stats().launches, 1);
+    assert_eq!(set.stats().faulted_launches, 1);
+    assert!(set.stats().faulted_kernel_seconds > 0.0);
+
+    // Sanitizer findings are still drained on the fault path: one
+    // uninit-WRAM read per surviving DPU, for both launches.
+    assert_eq!(set.sanitizer_report().findings.len(), 4 + 3);
+
+    // The survivors remain usable after the fault.
+    let after = set.launch_subset(&DirtyWork, &[0, 1, 3]).unwrap();
+    assert!(!after.is_faulted());
+    assert_eq!(after.dpus, 3);
 }
 
 #[test]

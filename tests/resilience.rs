@@ -1,0 +1,204 @@
+//! End-to-end resilience tests: deterministic fault injection at the
+//! platform layer ([`swiftrl::pim::faults::FaultPlan`]) against the
+//! host-side retry / checkpoint / degrade policy of
+//! [`swiftrl::core::resilience::ResilienceConfig`].
+
+// Test scaffolding outside `#[test]` bodies may unwrap, matching the
+// allow-unwrap-in-tests policy in clippy.toml.
+#![allow(clippy::unwrap_used)]
+
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::resilience::ResilienceConfig;
+use swiftrl::core::runner::PimRunner;
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::ExperienceDataset;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::pim::config::PimConfig;
+use swiftrl::pim::faults::FaultPlan;
+use swiftrl::pim::ExecutionEngine;
+
+fn dataset() -> ExperienceDataset {
+    let mut env = FrozenLake::slippery_4x4();
+    collect_random(&mut env, 2_000, 42)
+}
+
+fn cfg(dpus: usize) -> RunConfig {
+    RunConfig::paper_defaults()
+        .with_dpus(dpus)
+        .with_episodes(20)
+        .with_tau(5)
+}
+
+/// Transient faults absorbed by retries leave no trace in the learned
+/// policy: an injected fault aborts before any kernel work, so the
+/// relaunch replays the identical episode window and the final Q-table
+/// is bit-identical to the faultless run.
+#[test]
+fn retries_reproduce_the_faultless_q_table() {
+    let d = dataset();
+    let spec = WorkloadSpec::q_learning_seq_fp32();
+    let clean = PimRunner::new(spec, cfg(4)).unwrap().run(&d).unwrap();
+
+    let platform = PimConfig::builder()
+        .dpus(4)
+        .faults(FaultPlan::seeded(7).with_dpu_fail_rate(0.3))
+        .build();
+    let out = PimRunner::with_platform(spec, cfg(4), platform)
+        .unwrap()
+        .with_resilience(ResilienceConfig::none().with_max_retries(8))
+        .run(&d)
+        .unwrap();
+
+    assert!(
+        out.resilience.faults_seen > 0,
+        "fault plan never fired; the test is vacuous"
+    );
+    assert!(out.resilience.retries > 0);
+    assert!(out.resilience.degraded_dpus.is_empty());
+    assert!(out.resilience.faulted_kernel_seconds > 0.0);
+    assert_eq!(out.q_table, clean.q_table);
+    assert_eq!(out.comm_rounds, clean.comm_rounds);
+}
+
+/// A permanently dead DPU is dropped and its chunk remapped onto the
+/// survivors; training completes and still learns.
+#[test]
+fn degraded_run_completes_without_the_dead_dpu() {
+    let d = dataset();
+    let spec = WorkloadSpec::q_learning_seq_int32();
+    let platform = PimConfig::builder()
+        .dpus(4)
+        .faults(FaultPlan::seeded(1).with_dead_dpus(vec![2], 0))
+        .build();
+    let out = PimRunner::with_platform(spec, cfg(4), platform)
+        .unwrap()
+        .with_resilience(
+            ResilienceConfig::none()
+                .with_max_retries(1)
+                .with_degrade(true),
+        )
+        .run(&d)
+        .unwrap();
+
+    assert_eq!(out.resilience.degraded_dpus, vec![2]);
+    // The dead DPU faulted in the initial launch and again in the retry.
+    assert_eq!(out.resilience.faults_seen, 2);
+    assert_eq!(out.resilience.retries, 1);
+    assert_eq!(out.resilience.rollbacks, 0, "no checkpoint was configured");
+    assert!(out.resilience.faulted_kernel_seconds > 0.0);
+    assert!(out.q_table.values().iter().any(|&v| v != 0.0));
+}
+
+/// With checkpointing enabled, losing a DPU mid-run rolls the survivors
+/// back to the last snapshot and replays from there instead of losing
+/// the dead DPU's episodes since the checkpoint.
+#[test]
+fn rollback_replays_from_the_checkpointed_round() {
+    let d = dataset();
+    let spec = WorkloadSpec::q_learning_seq_fp32();
+    // DPU 1 dies at its third launch (sync round 2); snapshots are taken
+    // every round, so the run rolls back to the round-2 checkpoint.
+    let platform = PimConfig::builder()
+        .dpus(4)
+        .faults(FaultPlan::seeded(9).with_dead_dpus(vec![1], 2))
+        .build();
+    let out = PimRunner::with_platform(spec, cfg(4), platform)
+        .unwrap()
+        .with_resilience(
+            ResilienceConfig::none()
+                .with_checkpoint_every(1)
+                .with_degrade(true),
+        )
+        .run(&d)
+        .unwrap();
+
+    assert_eq!(out.resilience.degraded_dpus, vec![1]);
+    assert_eq!(out.resilience.rollbacks, 1);
+    assert!(out.resilience.checkpoints >= 2);
+    assert!(out.resilience.checkpoint_bytes > 0);
+    assert!(out.q_table.values().iter().any(|&v| v != 0.0));
+}
+
+/// A resilience policy without faults to respond to changes nothing:
+/// every paper variant stays bit-identical to the plain runner, even
+/// with retries armed, checkpoints taken every round, and degrade on.
+#[test]
+fn resilience_machinery_is_invisible_without_faults() {
+    let d = dataset();
+    for spec in WorkloadSpec::paper_variants() {
+        let c = cfg(4).with_episodes(4).with_tau(2);
+        let plain = PimRunner::new(spec, c).unwrap().run(&d).unwrap();
+        let resilient = PimRunner::new(spec, c)
+            .unwrap()
+            .with_resilience(
+                ResilienceConfig::none()
+                    .with_max_retries(3)
+                    .with_checkpoint_every(1)
+                    .with_degrade(true),
+            )
+            .run(&d)
+            .unwrap();
+        assert_eq!(plain.q_table, resilient.q_table, "{spec}");
+        assert_eq!(plain.breakdown, resilient.breakdown, "{spec}");
+        assert!(resilient.resilience.is_clean(), "{spec}");
+        assert!(resilient.resilience.checkpoints > 0, "{spec}");
+    }
+}
+
+/// Faulted, degraded, straggler-skewed runs are still bit-identical
+/// between the serial and threaded engines: every fault decision keys
+/// on pure data (seed, DPU, per-DPU launch index), never on schedule.
+#[test]
+fn faulted_resilient_runs_are_engine_deterministic() {
+    let d = dataset();
+    let spec = WorkloadSpec::q_learning_seq_int32();
+    let run = |engine| {
+        let platform = PimConfig::builder()
+            .dpus(6)
+            .engine(engine)
+            .faults(
+                FaultPlan::seeded(11)
+                    .with_dpu_fail_rate(0.2)
+                    .with_stragglers(0.3, 2.5),
+            )
+            .build();
+        PimRunner::with_platform(spec, cfg(6), platform)
+            .unwrap()
+            .with_resilience(
+                ResilienceConfig::none()
+                    .with_max_retries(4)
+                    .with_checkpoint_every(1)
+                    .with_degrade(true),
+            )
+            .run(&d)
+            .unwrap()
+    };
+    let serial = run(ExecutionEngine::Serial);
+    let threaded = run(ExecutionEngine::Threaded { workers: 3 });
+    assert!(
+        serial.resilience.faults_seen > 0,
+        "fault plan never fired; the test is vacuous"
+    );
+    assert_eq!(serial.q_table, threaded.q_table);
+    assert_eq!(serial.breakdown, threaded.breakdown);
+    assert_eq!(serial.resilience, threaded.resilience);
+}
+
+/// Without a resilience policy a fault is fatal, exactly as before the
+/// resilience layer existed.
+#[test]
+fn faults_stay_fatal_without_a_policy() {
+    let d = dataset();
+    let platform = PimConfig::builder()
+        .dpus(4)
+        .faults(FaultPlan::seeded(1).with_dead_dpus(vec![3], 0))
+        .build();
+    let err = PimRunner::with_platform(WorkloadSpec::q_learning_seq_fp32(), cfg(4), platform)
+        .unwrap()
+        .run(&d)
+        .unwrap_err();
+    match err {
+        swiftrl::pim::host::PimError::Kernel { dpu, .. } => assert_eq!(dpu, 3),
+        other => panic!("expected a kernel fault on DPU 3, got {other:?}"),
+    }
+}
