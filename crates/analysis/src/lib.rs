@@ -25,8 +25,10 @@
 //! **K004** MRAM layout constants are 8-byte aligned, **K005** no host
 //! threading in kernel code (parallelism belongs to the execution
 //! engine), **K006** no fault-plan access in kernel code (faults are a
-//! platform behaviour; kernels stay oblivious), **W001** no
-//! `unwrap`/`expect` in library code.
+//! platform behaviour; kernels stay oblivious), **K007** no direct
+//! `softfloat`/`emul`/`fastpath` calls in kernel code (arithmetic goes
+//! through the charged, tier-dispatching `DpuContext` intrinsics),
+//! **W001** no `unwrap`/`expect` in library code.
 
 pub mod rules;
 pub mod scanner;

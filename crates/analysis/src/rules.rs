@@ -20,7 +20,7 @@ pub struct Finding {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: u32,
-    /// Stable rule ID (`K001`..`K006`, `W001`).
+    /// Stable rule ID (`K001`..`K007`, `W001`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -137,6 +137,22 @@ untouched) silently breaks.",
 `PimConfig::faults`, and keep kernels oblivious to them",
     },
     RuleInfo {
+        id: "K007",
+        title: "no direct arithmetic-library calls in kernel code",
+        explain: "Kernel code must not call the arithmetic libraries \
+(`softfloat`, `emul`, `fastpath`) directly: those modules compute values \
+without charging DPU cycles, so a direct call does work the cycle model \
+never sees. Worse, it bypasses the two-tier dispatch — the `DpuContext` \
+intrinsics are the only place where the configured `ArithTier` selects \
+between the instrumented reference implementation and the fast host-native \
+one, and both tiers are proven bit- and cycle-identical only through that \
+dispatch. A kernel calling `softfloat::f32_add` directly pins one tier, \
+charges nothing, and silently breaks the parity contract.",
+        fix_hint: "go through the charged `DpuContext` intrinsics (`fadd`, \
+`fmul`, `mul32`, `lcg_next`, ...); they charge cycles and dispatch to the \
+configured arithmetic tier",
+    },
+    RuleInfo {
         id: "W001",
         title: "no unwrap/expect in library code",
         explain: "Library crates (`crates/*/src/**`, excluding binaries and \
@@ -247,6 +263,7 @@ const K002_IO: &[&str] = &["println", "print", "eprintln", "eprint", "dbg", "wri
 const K002_NONDET: &[&str] = &["rand", "Instant", "SystemTime", "sleep"];
 const K005_THREADING: &[&str] = &["thread", "spawn", "crossbeam", "rayon"];
 const K006_FAULTS: &[&str] = &["FaultPlan", "faults"];
+const K007_ARITH: &[&str] = &["softfloat", "emul", "fastpath"];
 
 fn check_kernel_regions(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Finding>) {
     for &(start, end) in &kernel_regions(tokens) {
@@ -296,6 +313,20 @@ fn check_kernel_regions(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Fi
                             "`{}` in kernel body (fault-plan access); faults are \
                              a platform behaviour and kernels must stay oblivious \
                              to them",
+                            t.text
+                        ),
+                    })
+                }
+                TokenKind::Ident if K007_ARITH.contains(&t.text) => {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: t.line,
+                        rule: "K007",
+                        message: format!(
+                            "`{}` in kernel body (uncharged arithmetic-library \
+                             call); go through the charged `DpuContext` \
+                             intrinsics, which also dispatch the configured \
+                             arithmetic tier",
                             t.text
                         ),
                     })
@@ -874,8 +905,8 @@ pub fn check_charge_coverage(
 // Per-file entry point
 // ---------------------------------------------------------------------------
 
-/// Runs all single-file rules (K001, K002, K004, K005, K006, W001) over one
-/// source file.
+/// Runs all single-file rules (K001, K002, K004, K005, K006, K007, W001)
+/// over one source file.
 /// `file` must be the repo-relative path; it selects which rules apply.
 pub fn check_file(file: &Path, src: &str) -> Vec<Finding> {
     let tokens = tokenize(src);
@@ -1014,6 +1045,31 @@ mod tests {
     }
 
     #[test]
+    fn k007_flags_direct_arith_library_calls_in_kernels_only() {
+        let src = r#"
+            impl Kernel for Bypassing {
+                fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                    let mut t = OpTally::new();
+                    let r = softfloat::f32_add(a, b, &mut t);
+                    let w = emul::umul32_wide(x, y, &mut t);
+                    let q = fastpath::f32_mul(a, b);
+                    Ok(())
+                }
+            }
+            fn host_side(a: u32, b: u32) -> u32 {
+                softfloat::f32_add(a, b, &mut OpTally::new())
+            }
+        "#;
+        let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
+        let k007: Vec<_> = findings.iter().filter(|f| f.rule == "K007").collect();
+        // Only the three calls inside the kernel body are flagged.
+        assert_eq!(k007.len(), 3, "{findings:?}");
+        assert!(k007[0].message.contains("softfloat"), "{k007:?}");
+        assert!(k007[1].message.contains("emul"), "{k007:?}");
+        assert!(k007[2].message.contains("fastpath"), "{k007:?}");
+    }
+
+    #[test]
     fn k004_flags_misaligned_layout_constant() {
         let src = r#"
             pub const HEADER_BYTES: usize = 64;
@@ -1121,7 +1177,10 @@ mod tests {
     #[test]
     fn rule_registry_is_complete() {
         let ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
-        assert_eq!(ids, ["K001", "K002", "K003", "K004", "K005", "K006", "W001"]);
+        assert_eq!(
+            ids,
+            ["K001", "K002", "K003", "K004", "K005", "K006", "K007", "W001"]
+        );
         for r in RULES {
             assert!(!r.explain.is_empty() && !r.fix_hint.is_empty());
         }

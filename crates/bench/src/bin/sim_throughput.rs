@@ -1,0 +1,287 @@
+//! Simulator throughput: host wall-clock cost per simulated kernel-second
+//! under the reference (instrumented soft-float) and fast (host-native
+//! arithmetic, closed-form cycle tallies) tiers, across FrozenLake and
+//! Taxi workload variants.
+//!
+//! Both tiers produce bit-identical Q-tables and cycle totals (enforced
+//! here and proven in `tests/fastpath_parity.rs`); the only difference is
+//! how fast the host gets there. Results land in
+//! `BENCH_SIM_THROUGHPUT.json` in the current directory.
+//!
+//! ```text
+//! cargo run --release -p swiftrl-bench --bin sim_throughput
+//! cargo run --release -p swiftrl-bench --bin sim_throughput -- --quick
+//! ```
+
+use std::time::Instant;
+use swiftrl_core::config::{RunConfig, WorkloadSpec};
+use swiftrl_core::runner::{PimRunner, RunOutcome};
+use swiftrl_env::collect::collect_random;
+use swiftrl_env::frozen_lake::FrozenLake;
+use swiftrl_env::taxi::Taxi;
+use swiftrl_env::ExperienceDataset;
+use swiftrl_pim::config::{ArithTier, PimConfig};
+
+/// One (environment, workload) point of the sweep.
+struct Case {
+    env: &'static str,
+    figure: &'static str,
+    spec: WorkloadSpec,
+    dataset: ExperienceDataset,
+    cfg: RunConfig,
+}
+
+/// One tier's measurement for a case.
+struct Measurement {
+    tier: ArithTier,
+    wall_s: f64,
+    kernel_wall_s: f64,
+    sim_kernel_s: f64,
+    sim_total_s: f64,
+    q_bytes: Vec<u8>,
+}
+
+fn tier_name(tier: ArithTier) -> &'static str {
+    match tier {
+        ArithTier::Reference => "reference",
+        ArithTier::Fast => "fast",
+    }
+}
+
+fn run_tier(case: &Case, tier: ArithTier, repeats: usize) -> Measurement {
+    let platform = PimConfig::builder()
+        .dpus(case.cfg.dpus)
+        .arith_tier(tier)
+        .build();
+    let runner = PimRunner::with_platform(case.spec, case.cfg, platform).expect("runner");
+    let mut best_wall = f64::INFINITY;
+    let mut best_kernel_wall = f64::INFINITY;
+    let mut outcome: Option<RunOutcome> = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let out = runner.run(&case.dataset).expect("run");
+        best_wall = best_wall.min(start.elapsed().as_secs_f64());
+        best_kernel_wall = best_kernel_wall.min(out.host_kernel_s);
+        outcome = Some(out);
+    }
+    let out = outcome.expect("at least one repeat");
+    Measurement {
+        tier,
+        wall_s: best_wall,
+        kernel_wall_s: best_kernel_wall,
+        sim_kernel_s: out.breakdown.pim_kernel_s,
+        sim_total_s: out.breakdown.total_seconds(),
+        q_bytes: out.q_table.to_bytes(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("flags: --quick (smaller dataset/episodes for CI)");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Best-of-N wall clock per tier: on a busy host only the cleanest
+    // run reflects the simulator's cost, and both tiers get the same
+    // treatment. `--quick` covers the Q-learner SEQ variants only; the
+    // full sweep runs every paper variant, because the fig5/fig7 kernel
+    // phase is the sum over all twelve.
+    let (transitions, episodes, tau, dpus, repeats) = if quick {
+        (10_000, 20, 10, 8, 1)
+    } else {
+        (50_000, 100, 50, 16, 5)
+    };
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(dpus)
+        .with_episodes(episodes)
+        .with_tau(tau);
+
+    let mut fl = FrozenLake::slippery_4x4();
+    let fl_data = collect_random(&mut fl, transitions, 42);
+    let mut taxi = Taxi::new();
+    let taxi_data = collect_random(&mut taxi, transitions, 42);
+
+    let specs = if quick {
+        vec![
+            WorkloadSpec::q_learning_seq_fp32(),
+            WorkloadSpec::q_learning_seq_int32(),
+        ]
+    } else {
+        WorkloadSpec::paper_variants()
+    };
+    let mut cases = Vec::new();
+    for (env, figure, dataset) in [
+        ("frozen_lake", "fig5", &fl_data),
+        ("taxi", "fig7", &taxi_data),
+    ] {
+        for &spec in &specs {
+            cases.push(Case {
+                env,
+                figure,
+                spec,
+                dataset: dataset.clone(),
+                cfg,
+            });
+        }
+    }
+
+    println!("# Simulator throughput: reference vs fast arithmetic tier\n");
+    println!(
+        "{} transitions, {episodes} episodes, tau {tau}, {dpus} DPUs{}\n",
+        transitions,
+        if quick { " (--quick)" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    // figure -> (ref kernel, fast kernel, ref wall, fast wall) sums.
+    let mut phase_sums: Vec<(&str, &str, f64, f64, f64, f64)> = Vec::new();
+    for case in &cases {
+        let reference = run_tier(case, ArithTier::Reference, repeats);
+        let fast = run_tier(case, ArithTier::Fast, repeats);
+        // The contract the speedup rests on: same bits, same cycles.
+        assert_eq!(
+            reference.q_bytes, fast.q_bytes,
+            "{} {}: Q-table bytes diverged between tiers",
+            case.env,
+            case.spec
+        );
+        assert_eq!(
+            reference.sim_kernel_s, fast.sim_kernel_s,
+            "{} {}: simulated kernel seconds diverged between tiers",
+            case.env,
+            case.spec
+        );
+        assert_eq!(
+            reference.sim_total_s, fast.sim_total_s,
+            "{} {}: simulated total seconds diverged between tiers",
+            case.env,
+            case.spec
+        );
+        let kernel_speedup = reference.kernel_wall_s / fast.kernel_wall_s;
+        let total_speedup = reference.wall_s / fast.wall_s;
+        rows.push(vec![
+            format!("{} ({})", case.env, case.figure),
+            case.spec.to_string(),
+            swiftrl_bench::fmt_secs(reference.kernel_wall_s),
+            swiftrl_bench::fmt_secs(fast.kernel_wall_s),
+            swiftrl_bench::fmt_ratio(kernel_speedup),
+            swiftrl_bench::fmt_secs(reference.wall_s),
+            swiftrl_bench::fmt_secs(fast.wall_s),
+            swiftrl_bench::fmt_ratio(total_speedup),
+        ]);
+        for m in [&reference, &fast] {
+            entries.push(format!(
+                "    {{\"env\": \"{}\", \"figure\": \"{}\", \"workload\": \"{}\", \
+                 \"tier\": \"{}\", \"host_kernel_wall_s\": {:.6}, \
+                 \"host_wall_s\": {:.6}, \"sim_kernel_s\": {:.9}, \
+                 \"host_kernel_wall_per_sim_kernel_s\": {:.6}}}",
+                json_escape(case.env),
+                json_escape(case.figure),
+                json_escape(&case.spec.to_string()),
+                tier_name(m.tier),
+                m.kernel_wall_s,
+                m.wall_s,
+                m.sim_kernel_s,
+                m.kernel_wall_s / m.sim_kernel_s,
+            ));
+        }
+        speedups.push(format!(
+            "    {{\"env\": \"{}\", \"figure\": \"{}\", \"workload\": \"{}\", \
+             \"kernel_phase_fast_over_reference\": {:.3}, \
+             \"end_to_end_fast_over_reference\": {:.3}}}",
+            json_escape(case.env),
+            json_escape(case.figure),
+            json_escape(&case.spec.to_string()),
+            kernel_speedup,
+            total_speedup
+        ));
+        match phase_sums.iter_mut().find(|p| p.1 == case.figure) {
+            Some(p) => {
+                p.2 += reference.kernel_wall_s;
+                p.3 += fast.kernel_wall_s;
+                p.4 += reference.wall_s;
+                p.5 += fast.wall_s;
+            }
+            None => phase_sums.push((
+                case.env,
+                case.figure,
+                reference.kernel_wall_s,
+                fast.kernel_wall_s,
+                reference.wall_s,
+                fast.wall_s,
+            )),
+        }
+    }
+
+    swiftrl_bench::print_table(
+        &[
+            "Environment",
+            "Workload",
+            "Ref kernel",
+            "Fast kernel",
+            "Kernel speedup",
+            "Ref total",
+            "Fast total",
+            "Total speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "\nBoth tiers produced byte-identical Q-tables and identical simulated \
+         times in every case; the speedup is pure host wall-clock.\n"
+    );
+
+    // The figure-level kernel phase is the sum over its variants: this is
+    // the number that answers "how much faster does the whole fig5/fig7
+    // kernel phase run under the fast tier".
+    let mut aggregates = Vec::new();
+    for (env, figure, ref_kernel, fast_kernel, ref_wall, fast_wall) in &phase_sums {
+        println!(
+            "{figure} ({env}) kernel phase over {} variant(s): {} -> {} ({} speedup)",
+            cases.iter().filter(|c| c.figure == *figure).count(),
+            swiftrl_bench::fmt_secs(*ref_kernel),
+            swiftrl_bench::fmt_secs(*fast_kernel),
+            swiftrl_bench::fmt_ratio(ref_kernel / fast_kernel),
+        );
+        aggregates.push(format!(
+            "    {{\"env\": \"{}\", \"figure\": \"{}\", \
+             \"ref_kernel_wall_s\": {:.6}, \"fast_kernel_wall_s\": {:.6}, \
+             \"kernel_phase_fast_over_reference\": {:.3}, \
+             \"end_to_end_fast_over_reference\": {:.3}}}",
+            json_escape(env),
+            json_escape(figure),
+            ref_kernel,
+            fast_kernel,
+            ref_kernel / fast_kernel,
+            ref_wall / fast_wall,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sim_throughput\",\n  \"quick\": {quick},\n  \
+         \"transitions\": {transitions},\n  \"episodes\": {episodes},\n  \
+         \"tau\": {tau},\n  \"dpus\": {dpus},\n  \"entries\": [\n{}\n  ],\n  \
+         \"speedups\": [\n{}\n  ],\n  \"aggregates\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        speedups.join(",\n"),
+        aggregates.join(",\n")
+    );
+    std::fs::write("BENCH_SIM_THROUGHPUT.json", json).expect("write BENCH_SIM_THROUGHPUT.json");
+    println!("\nWrote BENCH_SIM_THROUGHPUT.json");
+}

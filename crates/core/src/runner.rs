@@ -13,6 +13,7 @@ use crate::layout::{dpu_seed, sampling_kind, KernelHeader, HEADER_BYTES, Q_TABLE
 use crate::partition::partition_even;
 use crate::resilience::{ResilienceConfig, ResilienceStats};
 use std::ops::Range;
+use std::time::Instant;
 use swiftrl_baselines::specs::MachineSpec;
 use swiftrl_env::{ExperienceDataset, Transition};
 use swiftrl_pim::config::PimConfig;
@@ -51,6 +52,11 @@ pub struct RunOutcome {
     /// DPUs, checkpoints, rollbacks. All-zero (`is_clean()`) for a
     /// fault-free run.
     pub resilience: ResilienceStats,
+    /// Host wall-clock seconds this process spent inside DPU kernel
+    /// launches — the simulator's own compute cost, not a modelled
+    /// quantity. Machine- and tier-dependent; excluded from every
+    /// determinism comparison.
+    pub host_kernel_s: f64,
 }
 
 /// Drives one workload variant on a simulated PIM platform.
@@ -151,6 +157,7 @@ impl PimRunner {
 
         let mut breakdown = TimeBreakdown::default();
         let mut res = ResilienceStats::default();
+        let mut host_kernel_s = 0.0_f64;
 
         // ---- Phase 1: CPU→PIM program + dataset + header + Q-table load ----
         set.reset_stats();
@@ -207,7 +214,11 @@ impl PimRunner {
             ranges.iter().map(|r| vec![r.clone()]).collect();
         let mut counts: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
         let mut checkpoint: Option<(u32, Vec<u8>)> = None;
-        let mut final_tables: Vec<Vec<u8>> = Vec::new();
+        // One flat gather buffer reused every sync round (stride
+        // `q_bytes` per live DPU) — the per-round Vec-of-Vec allocation
+        // the gather used to make is gone.
+        let mut q_scratch = vec![0u8; q_bytes * ndpus];
+        let mut final_live = 0usize;
         let mut round: u32 = 0;
         while round < rounds {
             // The kernel advances its own episode window in MRAM, so no
@@ -216,7 +227,9 @@ impl PimRunner {
             let sync_cpu_before = set.stats().cpu_to_pim_seconds;
             let sync_pim_before = set.stats().pim_to_cpu_seconds;
 
+            let launch_started = Instant::now();
             let dead = self.launch_with_retry(&mut set, &kernel, &alive, ndpus, &mut res)?;
+            host_kernel_s += launch_started.elapsed().as_secs_f64();
             let rollback = if dead.is_empty() {
                 None
             } else {
@@ -235,18 +248,23 @@ impl PimRunner {
 
             let is_last = rollback.is_none() && round + 1 == rounds;
             if rollback.is_none() {
-                // Gather local Q-tables (survivors only once degraded).
-                let tables = if alive.len() == ndpus {
-                    set.gather(Q_TABLE_OFFSET, q_bytes)?
+                // Gather local Q-tables (survivors only once degraded)
+                // into the reused flat scratch buffer.
+                let live = alive.len();
+                let tables = &mut q_scratch[..q_bytes * live];
+                if live == ndpus {
+                    set.gather_into(Q_TABLE_OFFSET, q_bytes, tables)?;
                 } else {
-                    set.gather_subset(Q_TABLE_OFFSET, q_bytes, &alive)?
-                };
+                    set.gather_subset_into(Q_TABLE_OFFSET, q_bytes, &alive, tables)?;
+                }
 
                 if is_last {
-                    final_tables = tables;
+                    // The scratch buffer already holds the final tables;
+                    // remember how many live chunks it contains.
+                    final_live = live;
                 } else {
                     // Host-side aggregation + broadcast of the average.
-                    let avg = self.aggregate(&tables, ns, na);
+                    let avg = self.aggregate(&q_scratch[..q_bytes * live], ns, na);
                     breakdown.inter_pim_s += self.aggregate_seconds(alive.len(), q_bytes);
                     if alive.len() == ndpus {
                         set.broadcast(Q_TABLE_OFFSET, &avg)?;
@@ -283,7 +301,7 @@ impl PimRunner {
         }
 
         // ---- Phase 4: final aggregation on the host ----
-        let avg = self.aggregate(&final_tables, ns, na);
+        let avg = self.aggregate(&q_scratch[..q_bytes * final_live], ns, na);
         breakdown.pim_cpu_s += self.aggregate_seconds(alive.len(), q_bytes);
         let q_table = match self.spec.dtype {
             DataType::Fp32 => QTable::from_bytes(ns, na, &avg),
@@ -303,6 +321,7 @@ impl PimRunner {
             dpus: ndpus,
             sanitizer: set.sanitizer_report().clone(),
             resilience: res,
+            host_kernel_s,
         })
     }
 
@@ -496,12 +515,15 @@ impl PimRunner {
         }
     }
 
-    /// Averages gathered Q-table blobs in the run's data type.
-    fn aggregate(&self, tables: &[Vec<u8>], ns: usize, na: usize) -> Vec<u8> {
+    /// Averages gathered Q-table blobs in the run's data type. `tables`
+    /// is a flat buffer of per-DPU blobs packed with stride
+    /// `ns * na * 4` (exactly the [`DpuSet::gather_into`] layout).
+    fn aggregate(&self, tables: &[u8], ns: usize, na: usize) -> Vec<u8> {
+        let q_bytes = ns * na * 4;
         match self.spec.dtype {
             DataType::Fp32 => {
                 let parsed: Vec<QTable> = tables
-                    .iter()
+                    .chunks_exact(q_bytes)
                     .map(|b| QTable::from_bytes(ns, na, b))
                     .collect();
                 QTable::mean_of(&parsed).to_bytes()
@@ -509,7 +531,7 @@ impl PimRunner {
             DataType::Int32 => {
                 let scale = self.cfg.scale();
                 let parsed: Vec<FixedQTable> = tables
-                    .iter()
+                    .chunks_exact(q_bytes)
                     .map(|b| FixedQTable::from_bytes(ns, na, scale, b))
                     .collect();
                 FixedQTable::mean_of(&parsed).to_bytes()

@@ -153,6 +153,13 @@ impl PimConfigBuilder {
         self
     }
 
+    /// Selects the arithmetic tier (fast closed-form charging vs. the
+    /// instrumented reference loops). See [`ArithTier`].
+    pub fn arith_tier(mut self, tier: ArithTier) -> Self {
+        self.inner.cost.arith_tier = tier;
+        self
+    }
+
     /// Sets the execution engine used to schedule DPU execution.
     pub fn engine(mut self, engine: crate::engine::ExecutionEngine) -> Self {
         self.inner.engine = engine;
@@ -203,6 +210,10 @@ pub struct CostModel {
     /// How emulated-arithmetic cost (integer multiply/divide and all
     /// floating point) is charged.
     pub emulation_charging: EmulationCharging,
+    /// Which arithmetic tier executes the emulated operations (default:
+    /// the fast tier, proven bit- and cycle-identical to the reference).
+    #[serde(default)]
+    pub arith_tier: ArithTier,
 }
 
 impl Default for CostModel {
@@ -215,8 +226,30 @@ impl Default for CostModel {
             dma_granule_bytes: 8,
             ops: OpCosts::default(),
             emulation_charging: EmulationCharging::Calibrated,
+            arith_tier: ArithTier::default(),
         }
     }
+}
+
+/// Which implementation tier computes emulated arithmetic (integer
+/// multiply/divide and all floating point) inside
+/// [`DpuContext`](crate::kernel::DpuContext) intrinsics.
+///
+/// Both tiers produce bit-identical results and charge identical cycles in
+/// both [`EmulationCharging`] modes — the contract "the fast path may never
+/// change a bit or a cycle" is enforced differentially by
+/// `tests/fastpath_parity.rs`. Only host wall-clock differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArithTier {
+    /// Execute the instrumented soft-float / shift-add loops in
+    /// [`crate::softfloat`] and [`crate::emul`], tallying every primitive
+    /// op. The ground truth; keep for audits and the parity suite.
+    Reference,
+    /// Compute results with host-native arithmetic and charge cycles from
+    /// the closed-form tally formulas in [`crate::fastpath`]. The default:
+    /// same bits, same cycles, a fraction of the host time.
+    #[default]
+    Fast,
 }
 
 /// Charging policy for emulated arithmetic (integer multiply/divide and
@@ -300,11 +333,31 @@ impl CostModel {
     /// DMA cost in cycles for a transfer of `bytes` bytes.
     ///
     /// The transfer is rounded up to the DMA granule.
+    #[inline]
     pub fn dma_cycles(&self, bytes: usize) -> u64 {
         let granule = self.dma_granule_bytes.max(1);
-        let rounded = bytes.div_ceil(granule) * granule;
-        self.dma_setup_cycles
-            + (rounded as u64 * self.dma_cycles_per_byte_num).div_ceil(self.dma_cycles_per_byte_den)
+        // Identical arithmetic to the div_ceil forms below, but free of
+        // runtime division for the (default) power-of-two parameters —
+        // this sits on the per-DMA hot path of the simulator.
+        let rounded = if granule.is_power_of_two() {
+            bytes.checked_add(granule - 1).map(|n| n & !(granule - 1))
+        } else {
+            bytes.div_ceil(granule).checked_mul(granule)
+        };
+        let rounded = match rounded {
+            Some(r) => r,
+            None => bytes.div_ceil(granule).wrapping_mul(granule),
+        };
+        let scaled = rounded as u64 * self.dma_cycles_per_byte_num;
+        let den = self.dma_cycles_per_byte_den;
+        let per_byte = if den.is_power_of_two() {
+            scaled
+                .checked_add(den - 1)
+                .map_or_else(|| scaled.div_ceil(den), |n| n >> den.trailing_zeros())
+        } else {
+            scaled.div_ceil(den)
+        };
+        self.dma_setup_cycles + per_byte
     }
 }
 

@@ -72,49 +72,61 @@ impl ExecutionEngine {
     /// DPU-index order. Threaded engines split the DPU slice into
     /// contiguous chunks, one per worker; each worker owns its chunk
     /// exclusively, so no simulated state is shared across threads.
-    #[cfg(test)]
+    ///
+    /// Operates directly on the owned `Dpu` slice — full-set launches
+    /// never materialise a per-launch selection vector.
     pub(crate) fn execute_all(
         &self,
         config: &PimConfig,
         dpus: &mut [Dpu],
         kernel: &dyn Kernel,
     ) -> Vec<Result<u64, KernelError>> {
-        let mut refs: Vec<&mut Dpu> = dpus.iter_mut().collect();
-        self.execute_refs(config, &mut refs, kernel)
+        self.execute_chunks(dpus, |dpu| dpu.execute(kernel, config))
     }
 
     /// Executes `kernel` on an arbitrary selection of DPUs (given as
     /// mutable references) and returns results in selection order. This
-    /// is the primitive behind both full-set launches and the host's
-    /// subset relaunches of faulted DPUs; the scheduling construction is
-    /// identical, so subset launches keep the engine's bit-identity
-    /// guarantee.
+    /// is the primitive behind the host's subset relaunches of faulted
+    /// DPUs; the scheduling construction is identical to
+    /// [`execute_all`](Self::execute_all), so subset launches keep the
+    /// engine's bit-identity guarantee.
     pub(crate) fn execute_refs(
         &self,
         config: &PimConfig,
         dpus: &mut [&mut Dpu],
         kernel: &dyn Kernel,
     ) -> Vec<Result<u64, KernelError>> {
-        let n = dpus.len();
+        self.execute_chunks(dpus, |dpu| dpu.execute(kernel, config))
+    }
+
+    /// Shared scheduling core: runs `run` over every item of `items`
+    /// (each item is one DPU's worth of work) and returns the results in
+    /// item order. Serial engines (or degenerate worker/item counts) run
+    /// inline on the calling thread; threaded engines split the slice
+    /// into contiguous chunks, one per worker.
+    fn execute_chunks<T: Send>(
+        &self,
+        items: &mut [T],
+        run: impl Fn(&mut T) -> Result<u64, KernelError> + Sync,
+    ) -> Vec<Result<u64, KernelError>> {
+        let n = items.len();
         let workers = self.workers_for(n);
         if workers <= 1 || n <= 1 {
-            return dpus
-                .iter_mut()
-                .map(|dpu| dpu.execute(kernel, config))
-                .collect();
+            return items.iter_mut().map(run).collect();
         }
 
         // Pre-filled sentinel slots; every slot is overwritten because the
-        // result chunks are split with the same chunk size as the DPU
+        // result chunks are split with the same chunk size as the item
         // chunks, so the zipped pairs cover the whole slice.
         let mut results: Vec<Result<u64, KernelError>> =
             vec![Err(KernelError::Fault("engine: DPU not executed".into())); n];
         let chunk = n.div_ceil(workers);
+        let run = &run;
         let scope_result = crossbeam::scope(|scope| {
-            for (dpu_chunk, out_chunk) in dpus.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+            for (item_chunk, out_chunk) in items.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
                 scope.spawn(move |_| {
-                    for (dpu, slot) in dpu_chunk.iter_mut().zip(out_chunk.iter_mut()) {
-                        *slot = dpu.execute(kernel, config);
+                    for (item, slot) in item_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                        *slot = run(item);
                     }
                 });
             }

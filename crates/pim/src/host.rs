@@ -283,6 +283,11 @@ impl DpuSet {
     /// dropped payload never reaches the bank; a corrupted one lands
     /// with a single byte XORed. The host cannot observe either, so
     /// callers charge time and bytes as if the transfer succeeded.
+    ///
+    /// The clean path (and the dropped path) never copies the payload;
+    /// only a corrupted transfer touches extra bytes, and even then the
+    /// payload lands directly and the single corrupted byte is patched
+    /// in place afterwards — `deliver` allocates nothing on any path.
     fn deliver(
         &mut self,
         seq: u64,
@@ -298,14 +303,16 @@ impl DpuSet {
             self.stats.injected_transfer_faults += 1;
             return Ok(());
         }
-        if let Some((pos, mask)) = self.config.faults.corrupt_transfer(seq, dpu, data.len()) {
-            let mut corrupted = data.to_vec();
-            corrupted[pos] ^= mask;
-            self.dpus[dpu].mram_mut().write(mram_offset, &corrupted)?;
-            self.stats.injected_transfer_faults += 1;
-            return Ok(());
-        }
         self.dpus[dpu].mram_mut().write(mram_offset, data)?;
+        if let Some((pos, mask)) = self.config.faults.corrupt_transfer(seq, dpu, data.len()) {
+            // Patch the single corrupted byte in place: read-modify-write
+            // of one byte instead of cloning the whole payload.
+            let mut byte = [0u8; 1];
+            self.dpus[dpu].mram().read(mram_offset + pos, &mut byte)?;
+            byte[0] ^= mask;
+            self.dpus[dpu].mram_mut().write(mram_offset + pos, &byte)?;
+            self.stats.injected_transfer_faults += 1;
+        }
         Ok(())
     }
 
@@ -511,6 +518,90 @@ impl DpuSet {
         Ok(out)
     }
 
+    /// Zero-allocation [`Self::gather`]: reads `len` bytes at
+    /// `mram_offset` from every DPU into the caller-owned flat buffer
+    /// `out` (DPU `i`'s chunk lands at `out[i * len .. (i + 1) * len]`).
+    /// Sync-loop hosts reuse one scratch buffer across rounds instead of
+    /// allocating `ndpus` fresh vectors per gather.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `out.len() != len * ndpus()` or any MRAM read is out of
+    /// range.
+    pub fn gather_into(
+        &mut self,
+        mram_offset: usize,
+        len: usize,
+        out: &mut [u8],
+    ) -> Result<(), PimError> {
+        let expected = len * self.dpus.len();
+        if out.len() != expected {
+            return Err(PimError::BadArgument(format!(
+                "gather_into expects a {expected}-byte buffer, got {}",
+                out.len()
+            )));
+        }
+        for i in 0..self.dpus.len() {
+            self.note_host_access(i, mram_offset, len);
+        }
+        if len > 0 {
+            for (dpu, chunk) in self.dpus.iter().zip(out.chunks_exact_mut(len)) {
+                dpu.mram().read(mram_offset, chunk)?;
+            }
+        }
+        let n = self.dpus.len();
+        let total = (len * n) as u64;
+        let seconds = self
+            .config
+            .transfer
+            .scatter_gather_seconds(total as usize, self.ranks());
+        self.record(Direction::PimToCpu, total, n, seconds);
+        Ok(())
+    }
+
+    /// Zero-allocation [`Self::gather_subset`]: reads `len` bytes at
+    /// `mram_offset` from the DPUs in `indices` (strictly increasing)
+    /// into the caller-owned flat buffer `out`, packed in index order
+    /// with stride `len`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid index list, if
+    /// `out.len() != len * indices.len()`, or on an out-of-range MRAM
+    /// read.
+    pub fn gather_subset_into(
+        &mut self,
+        mram_offset: usize,
+        len: usize,
+        indices: &[usize],
+        out: &mut [u8],
+    ) -> Result<(), PimError> {
+        self.check_indices(indices)?;
+        let expected = len * indices.len();
+        if out.len() != expected {
+            return Err(PimError::BadArgument(format!(
+                "gather_subset_into expects a {expected}-byte buffer, got {}",
+                out.len()
+            )));
+        }
+        for &i in indices {
+            self.note_host_access(i, mram_offset, len);
+        }
+        if len > 0 {
+            for (&i, chunk) in indices.iter().zip(out.chunks_exact_mut(len)) {
+                self.dpus[i].mram().read(mram_offset, chunk)?;
+            }
+        }
+        let n = indices.len();
+        let total = (len * n) as u64;
+        let seconds = self
+            .config
+            .transfer
+            .scatter_gather_seconds(total as usize, self.config.ranks_for(n));
+        self.record(Direction::PimToCpu, total, n, seconds);
+        Ok(())
+    }
+
     // ---- launch ----------------------------------------------------------
 
     /// One-time `dpu_load` of the kernel binary into the set's IRAMs.
@@ -560,8 +651,9 @@ impl DpuSet {
     /// Returns the lowest-indexed kernel fault with its DPU index (unlike
     /// real hardware, faults are reported here rather than at `sync`).
     pub fn launch_async(&mut self, kernel: &dyn Kernel) -> Result<(), PimError> {
-        let indices: Vec<usize> = (0..self.dpus.len()).collect();
-        self.launch_on(kernel, &indices)
+        // Full-set launch: no per-launch index vector is materialised —
+        // the engine runs directly over the owned DPU slice.
+        self.launch_on(kernel, None)
     }
 
     /// Launches `kernel` on the DPUs in `indices` only (strictly
@@ -595,25 +687,36 @@ impl DpuSet {
         indices: &[usize],
     ) -> Result<(), PimError> {
         self.check_indices(indices)?;
-        self.launch_on(kernel, indices)
+        self.launch_on(kernel, Some(indices))
     }
 
-    fn launch_on(&mut self, kernel: &dyn Kernel, indices: &[usize]) -> Result<(), PimError> {
+    /// Shared launch core. `indices: None` launches the full set (the
+    /// engine runs over the owned DPU slice directly, no selection
+    /// vector); `Some(indices)` launches that strictly-increasing
+    /// subset.
+    fn launch_on(&mut self, kernel: &dyn Kernel, indices: Option<&[usize]>) -> Result<(), PimError> {
         self.load_program();
         self.kernel_running = true;
-        let results = {
-            // Collect mutable references to the selected DPUs in index
-            // order; the engine schedules exactly this selection.
-            let mut refs: Vec<&mut Dpu> = Vec::with_capacity(indices.len());
-            let mut want = indices.iter().copied().peekable();
-            for (i, dpu) in self.dpus.iter_mut().enumerate() {
-                if want.peek() == Some(&i) {
-                    refs.push(dpu);
-                    want.next();
+        let results = match indices {
+            None => self
+                .config
+                .engine
+                .execute_all(&self.config, &mut self.dpus, kernel),
+            Some(indices) => {
+                // Collect mutable references to the selected DPUs in index
+                // order; the engine schedules exactly this selection.
+                let mut refs: Vec<&mut Dpu> = Vec::with_capacity(indices.len());
+                let mut want = indices.iter().copied().peekable();
+                for (i, dpu) in self.dpus.iter_mut().enumerate() {
+                    if want.peek() == Some(&i) {
+                        refs.push(dpu);
+                        want.next();
+                    }
                 }
+                self.config.engine.execute_refs(&self.config, &mut refs, kernel)
             }
-            self.config.engine.execute_refs(&self.config, &mut refs, kernel)
         };
+        let launched = indices.map_or(self.dpus.len(), <[usize]>::len);
 
         // Ordered merge: walk the per-DPU results strictly in DPU-index
         // order so every engine reports bit-identical statistics. Cycle
@@ -626,7 +729,11 @@ impl DpuSet {
         let mut merged = crate::cost::CycleCounter::new();
         let mut faulted_dpus = Vec::new();
         let mut fault = None;
-        for (&idx, result) in indices.iter().zip(results) {
+        for (i, result) in results.into_iter().enumerate() {
+            let idx = match indices {
+                None => i,
+                Some(indices) => indices[i],
+            };
             match result {
                 Ok(cycles) => {
                     survivors += 1;
@@ -662,7 +769,7 @@ impl DpuSet {
         // with the survivors' merged cycle accounting), never the stale
         // statistics of an earlier launch.
         self.last_launch = LaunchStats {
-            dpus: indices.len(),
+            dpus: launched,
             max_cycles,
             min_cycles: if survivors == 0 { 0 } else { min_cycles },
             mean_cycles: if survivors == 0 {
@@ -992,6 +1099,95 @@ mod tests {
         let landed = set.copy_from(0, 0, 32).unwrap();
         let differing = landed.iter().filter(|&&b| b != 0).count();
         assert_eq!(differing, 1);
+        assert_eq!(set.stats().injected_transfer_faults, 1);
+    }
+
+    #[test]
+    fn gather_into_matches_gather() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        let parts: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i + 1; 16]).collect();
+        set.scatter(0, &parts).unwrap();
+        let nested = set.gather(0, 16).unwrap();
+        let mut flat = vec![0u8; 16 * 4];
+        set.gather_into(0, 16, &mut flat).unwrap();
+        for (i, part) in nested.iter().enumerate() {
+            assert_eq!(&flat[i * 16..(i + 1) * 16], part.as_slice());
+        }
+        // Same transfer accounting as the allocating variant.
+        let records = set.ledger().records();
+        let (a, b) = (&records[records.len() - 2], &records[records.len() - 1]);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.dpus, b.dpus);
+        assert_eq!(a.seconds, b.seconds);
+        // A mis-sized buffer is rejected before any read.
+        let mut short = vec![0u8; 7];
+        assert!(matches!(
+            set.gather_into(0, 16, &mut short),
+            Err(PimError::BadArgument(_))
+        ));
+    }
+
+    #[test]
+    fn gather_subset_into_matches_gather_subset() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        let parts: Vec<Vec<u8>> = (0..4u8).map(|i| vec![10 * (i + 1); 8]).collect();
+        set.scatter(0, &parts).unwrap();
+        let nested = set.gather_subset(0, 8, &[1, 3]).unwrap();
+        let mut flat = vec![0u8; 8 * 2];
+        set.gather_subset_into(0, 8, &[1, 3], &mut flat).unwrap();
+        assert_eq!(&flat[..8], nested[0].as_slice());
+        assert_eq!(&flat[8..], nested[1].as_slice());
+        assert!(matches!(
+            set.gather_subset_into(0, 8, &[3, 1], &mut flat),
+            Err(PimError::BadArgument(_))
+        ));
+        let mut short = vec![0u8; 8];
+        assert!(matches!(
+            set.gather_subset_into(0, 8, &[1, 3], &mut short),
+            Err(PimError::BadArgument(_))
+        ));
+    }
+
+    #[test]
+    fn clean_delivery_is_byte_identical_under_a_fault_plan() {
+        use crate::faults::FaultPlan;
+        // A fault plan with zero transfer-fault probability exercises the
+        // fault-aware deliver path; payloads still land untouched.
+        let mut sys = PimSystem::new(
+            PimConfig::builder()
+                .dpus(2)
+                .mram_bytes(1 << 16)
+                .faults(FaultPlan::seeded(3).with_transfer_faults(0.0, 0.0))
+                .build(),
+        );
+        let mut set = sys.alloc(2).unwrap();
+        let payload: Vec<u8> = (0..64u8).collect();
+        set.copy_to(0, 0, &payload).unwrap();
+        assert_eq!(set.copy_from(0, 0, 64).unwrap(), payload);
+        assert_eq!(set.stats().injected_transfer_faults, 0);
+    }
+
+    #[test]
+    fn corrupted_delivery_patches_exactly_one_byte_in_place() {
+        use crate::faults::FaultPlan;
+        let mut sys = PimSystem::new(
+            PimConfig::builder()
+                .dpus(2)
+                .mram_bytes(1 << 16)
+                .faults(FaultPlan::seeded(5).with_transfer_faults(1.0, 0.0))
+                .build(),
+        );
+        let mut set = sys.alloc(1).unwrap();
+        let payload: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        set.copy_to(0, 0, &payload).unwrap();
+        let landed = set.copy_from(0, 0, 128).unwrap();
+        let diffs: Vec<usize> = (0..128).filter(|&i| landed[i] != payload[i]).collect();
+        assert_eq!(diffs.len(), 1, "exactly one byte must differ");
+        // The flipped byte differs by a single XOR mask; every other
+        // byte is byte-identical to the source buffer.
+        assert_ne!(landed[diffs[0]], payload[diffs[0]]);
         assert_eq!(set.stats().injected_transfer_faults, 1);
     }
 

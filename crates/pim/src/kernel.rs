@@ -15,9 +15,10 @@
 //! with [`DpuContext::charge_control`] where a real program would execute
 //! branches. The RL kernels in `swiftrl-core` follow this discipline.
 
-use crate::config::{CostModel, EmulationCharging};
+use crate::config::{ArithTier, CostModel, EmulationCharging};
 use crate::cost::{CycleCounter, OpClass, OpTally};
 use crate::emul;
+use crate::fastpath;
 use crate::memory::{DpuMemory, MemoryError, MemoryKind};
 use crate::sanitize::DpuSanitizer;
 use crate::softfloat;
@@ -128,6 +129,20 @@ pub trait Kernel: Sync {
     fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError>;
 }
 
+/// Pre-resolved arithmetic dispatch mode: the cross product of
+/// [`ArithTier`] and [`EmulationCharging`] that matters per op, computed
+/// once per context so the per-intrinsic hot path is one enum match.
+#[derive(Debug, Clone, Copy)]
+enum ArithMode {
+    /// Instrumented reference loops; charging per [`EmulationCharging`].
+    Reference,
+    /// Fast tier under calibrated charging: native result, constant
+    /// charge, no tally computed at all.
+    FastCalibrated,
+    /// Fast tier under tally charging: native result, closed-form tally.
+    FastTally,
+}
+
 /// Execution context handed to a kernel tasklet: the gateway to the DPU's
 /// memories, arithmetic units, and cycle accounting.
 #[derive(Debug)]
@@ -136,6 +151,7 @@ pub struct DpuContext<'a> {
     tasklet_id: usize,
     mem: &'a mut DpuMemory,
     cost: &'a CostModel,
+    arith: ArithMode,
     counter: CycleCounter,
     /// Runtime sanitizer hook; `None` when sanitization is off. Strictly
     /// observation-only — it never alters memory contents or charges.
@@ -150,11 +166,17 @@ impl<'a> DpuContext<'a> {
         mem: &'a mut DpuMemory,
         cost: &'a CostModel,
     ) -> Self {
+        let arith = match (cost.arith_tier, cost.emulation_charging) {
+            (ArithTier::Reference, _) => ArithMode::Reference,
+            (ArithTier::Fast, EmulationCharging::Calibrated) => ArithMode::FastCalibrated,
+            (ArithTier::Fast, EmulationCharging::Tally) => ArithMode::FastTally,
+        };
         Self {
             dpu_id,
             tasklet_id,
             mem,
             cost,
+            arith,
             counter: CycleCounter::new(),
             san: None,
         }
@@ -224,6 +246,20 @@ impl<'a> DpuContext<'a> {
         self.counter.charge(OpClass::FloatEmul, n);
     }
 
+    /// Fast-tier integer charge: the slot count is already fully resolved
+    /// (calibrated constant or closed-form tally).
+    #[inline]
+    fn charge_int_slots(&mut self, n: u64) {
+        self.counter.charge(OpClass::IntEmul, n);
+    }
+
+    /// Fast-tier float charge; callers in tally mode have already added
+    /// [`crate::config::OpCosts::fp_call_overhead_slots`].
+    #[inline]
+    fn charge_float_slots(&mut self, n: u64) {
+        self.counter.charge(OpClass::FloatEmul, n);
+    }
+
     // ---- native integer ops ------------------------------------------------
 
     /// Native wrapping 32-bit add (1 slot).
@@ -287,19 +323,43 @@ impl<'a> DpuContext<'a> {
     /// Emulated signed 32×32→32 multiply (runtime-library shift-and-add).
     #[inline]
     pub fn mul32(&mut self, a: i32, b: i32) -> i32 {
-        let mut t = OpTally::new();
-        let r = emul::imul32(a, b, &mut t);
-        self.charge_int_emul(self.cost.ops.mul32_slots, &t);
-        r
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = emul::imul32(a, b, &mut t);
+                self.charge_int_emul(self.cost.ops.mul32_slots, &t);
+                r
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_int_slots(self.cost.ops.mul32_slots);
+                fastpath::imul32(a, b)
+            }
+            ArithMode::FastTally => {
+                self.charge_int_slots(fastpath::imul32_tally(a, b));
+                fastpath::imul32(a, b)
+            }
+        }
     }
 
     /// Emulated signed 32×32→64 multiply.
     #[inline]
     pub fn mul_wide(&mut self, a: i32, b: i32) -> i64 {
-        let mut t = OpTally::new();
-        let r = emul::imul32_wide(a, b, &mut t);
-        self.charge_int_emul(self.cost.ops.mul64_slots, &t);
-        r
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = emul::imul32_wide(a, b, &mut t);
+                self.charge_int_emul(self.cost.ops.mul64_slots, &t);
+                r
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_int_slots(self.cost.ops.mul64_slots);
+                fastpath::imul32_wide(a, b)
+            }
+            ArithMode::FastTally => {
+                self.charge_int_slots(fastpath::imul32_wide_tally(a, b));
+                fastpath::imul32_wide(a, b)
+            }
+        }
     }
 
     /// Emulated signed 32-bit divide (truncating).
@@ -309,10 +369,24 @@ impl<'a> DpuContext<'a> {
     /// Panics if `d == 0`, mirroring the hardware trap.
     #[inline]
     pub fn div32(&mut self, n: i32, d: i32) -> i32 {
-        let mut t = OpTally::new();
-        let (q, _) = emul::idiv32(n, d, &mut t);
-        self.charge_int_emul(self.cost.ops.div32_slots, &t);
-        q
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let (q, _) = emul::idiv32(n, d, &mut t);
+                self.charge_int_emul(self.cost.ops.div32_slots, &t);
+                q
+            }
+            ArithMode::FastCalibrated => {
+                let (q, _) = fastpath::idiv32(n, d);
+                self.charge_int_slots(self.cost.ops.div32_slots);
+                q
+            }
+            ArithMode::FastTally => {
+                let (q, _) = fastpath::idiv32(n, d);
+                self.charge_int_slots(fastpath::idiv32_tally(n, d));
+                q
+            }
+        }
     }
 
     /// Emulated signed 64-by-32 divide (truncating), used to descale wide
@@ -323,10 +397,24 @@ impl<'a> DpuContext<'a> {
     /// Panics if `d == 0`.
     #[inline]
     pub fn div_wide(&mut self, n: i64, d: i32) -> i64 {
-        let mut t = OpTally::new();
-        let q = emul::idiv64(n, d, &mut t);
-        self.charge_int_emul(self.cost.ops.div64_slots, &t);
-        q
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let q = emul::idiv64(n, d, &mut t);
+                self.charge_int_emul(self.cost.ops.div64_slots, &t);
+                q
+            }
+            ArithMode::FastCalibrated => {
+                let q = fastpath::idiv64(n, d);
+                self.charge_int_slots(self.cost.ops.div64_slots);
+                q
+            }
+            ArithMode::FastTally => {
+                let q = fastpath::idiv64(n, d);
+                self.charge_int_slots(fastpath::idiv64_tally(n, d));
+                q
+            }
+        }
     }
 
     // ---- emulated floating point -------------------------------------------
@@ -334,73 +422,183 @@ impl<'a> DpuContext<'a> {
     /// Emulated FP32 add.
     #[inline]
     pub fn fadd(&mut self, a: F32, b: F32) -> F32 {
-        let mut t = OpTally::new();
-        let r = softfloat::f32_add(a.0, b.0, &mut t);
-        self.charge_float_emul(self.cost.ops.fadd_slots, &t);
-        F32(r)
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = softfloat::f32_add(a.0, b.0, &mut t);
+                self.charge_float_emul(self.cost.ops.fadd_slots, &t);
+                F32(r)
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_float_slots(self.cost.ops.fadd_slots);
+                F32(fastpath::f32_add(a.0, b.0))
+            }
+            ArithMode::FastTally => {
+                let slots =
+                    fastpath::f32_add_tally(a.0, b.0) + self.cost.ops.fp_call_overhead_slots;
+                self.charge_float_slots(slots);
+                F32(fastpath::f32_add(a.0, b.0))
+            }
+        }
     }
 
     /// Emulated FP32 subtract.
     #[inline]
     pub fn fsub(&mut self, a: F32, b: F32) -> F32 {
-        let mut t = OpTally::new();
-        let r = softfloat::f32_sub(a.0, b.0, &mut t);
-        self.charge_float_emul(self.cost.ops.fadd_slots, &t);
-        F32(r)
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = softfloat::f32_sub(a.0, b.0, &mut t);
+                self.charge_float_emul(self.cost.ops.fadd_slots, &t);
+                F32(r)
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_float_slots(self.cost.ops.fadd_slots);
+                F32(fastpath::f32_sub(a.0, b.0))
+            }
+            ArithMode::FastTally => {
+                let slots =
+                    fastpath::f32_sub_tally(a.0, b.0) + self.cost.ops.fp_call_overhead_slots;
+                self.charge_float_slots(slots);
+                F32(fastpath::f32_sub(a.0, b.0))
+            }
+        }
     }
 
     /// Emulated FP32 multiply.
     #[inline]
     pub fn fmul(&mut self, a: F32, b: F32) -> F32 {
-        let mut t = OpTally::new();
-        let r = softfloat::f32_mul(a.0, b.0, &mut t);
-        self.charge_float_emul(self.cost.ops.fmul_slots, &t);
-        F32(r)
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = softfloat::f32_mul(a.0, b.0, &mut t);
+                self.charge_float_emul(self.cost.ops.fmul_slots, &t);
+                F32(r)
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_float_slots(self.cost.ops.fmul_slots);
+                F32(fastpath::f32_mul(a.0, b.0))
+            }
+            ArithMode::FastTally => {
+                let slots =
+                    fastpath::f32_mul_tally(a.0, b.0) + self.cost.ops.fp_call_overhead_slots;
+                self.charge_float_slots(slots);
+                F32(fastpath::f32_mul(a.0, b.0))
+            }
+        }
     }
 
     /// Emulated FP32 divide.
     #[inline]
     pub fn fdiv(&mut self, a: F32, b: F32) -> F32 {
-        let mut t = OpTally::new();
-        let r = softfloat::f32_div(a.0, b.0, &mut t);
-        self.charge_float_emul(self.cost.ops.fdiv_slots, &t);
-        F32(r)
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = softfloat::f32_div(a.0, b.0, &mut t);
+                self.charge_float_emul(self.cost.ops.fdiv_slots, &t);
+                F32(r)
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_float_slots(self.cost.ops.fdiv_slots);
+                F32(fastpath::f32_div(a.0, b.0))
+            }
+            ArithMode::FastTally => {
+                let slots =
+                    fastpath::f32_div_tally(a.0, b.0) + self.cost.ops.fp_call_overhead_slots;
+                self.charge_float_slots(slots);
+                F32(fastpath::f32_div(a.0, b.0))
+            }
+        }
     }
 
     /// Emulated FP32 `a > b` (false on NaN).
     #[inline]
     pub fn fgt(&mut self, a: F32, b: F32) -> bool {
-        let mut t = OpTally::new();
-        let r = softfloat::f32_gt(a.0, b.0, &mut t);
-        self.charge_float_emul(self.cost.ops.fcmp_slots, &t);
-        r
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = softfloat::f32_gt(a.0, b.0, &mut t);
+                self.charge_float_emul(self.cost.ops.fcmp_slots, &t);
+                r
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_float_slots(self.cost.ops.fcmp_slots);
+                fastpath::f32_gt(a.0, b.0)
+            }
+            ArithMode::FastTally => {
+                let slots =
+                    fastpath::f32_cmp_tally(a.0, b.0) + self.cost.ops.fp_call_overhead_slots;
+                self.charge_float_slots(slots);
+                fastpath::f32_gt(a.0, b.0)
+            }
+        }
     }
 
     /// Emulated FP32 `maxNum(a, b)`.
     #[inline]
     pub fn fmax(&mut self, a: F32, b: F32) -> F32 {
-        let mut t = OpTally::new();
-        let r = softfloat::f32_max(a.0, b.0, &mut t);
-        self.charge_float_emul(self.cost.ops.fcmp_slots, &t);
-        F32(r)
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = softfloat::f32_max(a.0, b.0, &mut t);
+                self.charge_float_emul(self.cost.ops.fcmp_slots, &t);
+                F32(r)
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_float_slots(self.cost.ops.fcmp_slots);
+                F32(fastpath::f32_max(a.0, b.0))
+            }
+            ArithMode::FastTally => {
+                let slots =
+                    fastpath::f32_max_tally(a.0, b.0) + self.cost.ops.fp_call_overhead_slots;
+                self.charge_float_slots(slots);
+                F32(fastpath::f32_max(a.0, b.0))
+            }
+        }
     }
 
     /// Emulated i32 → FP32 conversion.
     #[inline]
     pub fn i32_to_f32(&mut self, v: i32) -> F32 {
-        let mut t = OpTally::new();
-        let r = softfloat::i32_to_f32(v, &mut t);
-        self.charge_float_emul(self.cost.ops.fconv_slots, &t);
-        F32(r)
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = softfloat::i32_to_f32(v, &mut t);
+                self.charge_float_emul(self.cost.ops.fconv_slots, &t);
+                F32(r)
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_float_slots(self.cost.ops.fconv_slots);
+                F32(fastpath::i32_to_f32(v))
+            }
+            ArithMode::FastTally => {
+                let slots = fastpath::i32_to_f32_tally(v) + self.cost.ops.fp_call_overhead_slots;
+                self.charge_float_slots(slots);
+                F32(fastpath::i32_to_f32(v))
+            }
+        }
     }
 
     /// Emulated FP32 → i32 conversion (truncating; 0 on NaN, saturating).
     #[inline]
     pub fn f32_to_i32(&mut self, v: F32) -> i32 {
-        let mut t = OpTally::new();
-        let r = softfloat::f32_to_i32(v.0, &mut t);
-        self.charge_float_emul(self.cost.ops.fconv_slots, &t);
-        r
+        match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let r = softfloat::f32_to_i32(v.0, &mut t);
+                self.charge_float_emul(self.cost.ops.fconv_slots, &t);
+                r
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_float_slots(self.cost.ops.fconv_slots);
+                fastpath::f32_to_i32(v.0)
+            }
+            ArithMode::FastTally => {
+                let slots = fastpath::f32_to_i32_tally(v.0) + self.cost.ops.fp_call_overhead_slots;
+                self.charge_float_slots(slots);
+                fastpath::f32_to_i32(v.0)
+            }
+        }
     }
 
     // ---- random numbers ----------------------------------------------------
@@ -409,9 +607,23 @@ impl<'a> DpuContext<'a> {
     /// exactly the custom `rand()` replacement SwiftRL implements (§3.2.1).
     #[inline]
     pub fn lcg_next(&mut self, state: &mut u32) -> u32 {
-        let mut t = OpTally::new();
-        let m = emul::umul32_wide(*state, emul::Lcg32::MULTIPLIER, &mut t) as u32;
-        self.charge_int_emul(self.cost.ops.mul32_slots, &t);
+        let m = match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let m = emul::umul32_wide(*state, emul::Lcg32::MULTIPLIER, &mut t) as u32;
+                self.charge_int_emul(self.cost.ops.mul32_slots, &t);
+                m
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_int_slots(self.cost.ops.mul32_slots);
+                fastpath::umul32_wide(*state, emul::Lcg32::MULTIPLIER) as u32
+            }
+            ArithMode::FastTally => {
+                let slots = fastpath::umul32_wide_tally(*state, emul::Lcg32::MULTIPLIER);
+                self.charge_int_slots(slots);
+                fastpath::umul32_wide(*state, emul::Lcg32::MULTIPLIER) as u32
+            }
+        };
         self.charge_alu(1);
         *state = m.wrapping_add(emul::Lcg32::INCREMENT);
         *state
@@ -427,9 +639,23 @@ impl<'a> DpuContext<'a> {
     pub fn lcg_below(&mut self, state: &mut u32, bound: u32) -> u32 {
         assert!(bound > 0, "lcg_below bound must be positive");
         let raw = self.lcg_next(state);
-        let mut t = OpTally::new();
-        let wide = emul::umul32_wide(raw, bound, &mut t);
-        self.charge_int_emul(self.cost.ops.mul64_slots, &t);
+        let wide = match self.arith {
+            ArithMode::Reference => {
+                let mut t = OpTally::new();
+                let wide = emul::umul32_wide(raw, bound, &mut t);
+                self.charge_int_emul(self.cost.ops.mul64_slots, &t);
+                wide
+            }
+            ArithMode::FastCalibrated => {
+                self.charge_int_slots(self.cost.ops.mul64_slots);
+                fastpath::umul32_wide(raw, bound)
+            }
+            ArithMode::FastTally => {
+                let slots = fastpath::umul32_wide_tally(raw, bound);
+                self.charge_int_slots(slots);
+                fastpath::umul32_wide(raw, bound)
+            }
+        };
         self.charge_alu(1);
         (wide >> 32) as u32
     }
@@ -516,7 +742,14 @@ impl<'a> DpuContext<'a> {
         len: usize,
     ) -> Result<(), KernelError> {
         let granule = self.cost.dma_granule_bytes.max(1);
-        if !offset.is_multiple_of(granule) || !len.is_multiple_of(granule) {
+        // Mask test for the (default) power-of-two granule; the modulo
+        // pair below is the same predicate for arbitrary granules.
+        let misaligned = if granule.is_power_of_two() {
+            (offset | len) & (granule - 1) != 0
+        } else {
+            !offset.is_multiple_of(granule) || !len.is_multiple_of(granule)
+        };
+        if misaligned {
             if let Some(san) = self.san.as_mut() {
                 san.note_misaligned(self.tasklet_id, kind, offset, len);
             }
@@ -577,9 +810,7 @@ impl<'a> DpuContext<'a> {
     ) -> Result<(), KernelError> {
         self.check_dma_align(MemoryKind::Mram, mram_offset, len)?;
         self.check_dma_align(MemoryKind::Wram, wram_offset, len)?;
-        let mut buf = vec![0u8; len];
-        self.mem.mram.read(mram_offset, &mut buf)?;
-        self.mem.wram.write(wram_offset, &buf)?;
+        self.mem.copy_mram_to_wram(mram_offset, wram_offset, len)?;
         let cycles = self.cost.dma_cycles(len);
         self.counter.charge_dma(len as u64, cycles);
         if let Some(san) = self.san.as_mut() {
@@ -603,9 +834,7 @@ impl<'a> DpuContext<'a> {
     ) -> Result<(), KernelError> {
         self.check_dma_align(MemoryKind::Wram, wram_offset, len)?;
         self.check_dma_align(MemoryKind::Mram, mram_offset, len)?;
-        let mut buf = vec![0u8; len];
-        self.mem.wram.read(wram_offset, &mut buf)?;
-        self.mem.mram.write(mram_offset, &buf)?;
+        self.mem.copy_wram_to_mram(wram_offset, mram_offset, len)?;
         let cycles = self.cost.dma_cycles(len);
         self.counter.charge_dma(len as u64, cycles);
         if let Some(san) = self.san.as_mut() {

@@ -85,6 +85,7 @@ pub mod cost;
 pub mod dpu;
 pub mod emul;
 pub mod engine;
+pub mod fastpath;
 pub mod faults;
 pub mod host;
 pub mod kernel;
@@ -95,7 +96,7 @@ pub mod softfloat;
 pub mod stats;
 pub mod xfer;
 
-pub use config::{CostModel, PimConfig};
+pub use config::{ArithTier, CostModel, PimConfig};
 pub use engine::ExecutionEngine;
 pub use faults::{FaultPlan, MramRegion};
 pub use host::{DpuSet, PimError, PimSystem};

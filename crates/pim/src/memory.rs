@@ -135,6 +135,7 @@ impl Bank {
     /// # Errors
     ///
     /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
+    #[inline]
     pub fn read(&self, offset: usize, dst: &mut [u8]) -> Result<(), MemoryError> {
         self.check(offset, dst.len())?;
         let have = self.data.len().saturating_sub(offset);
@@ -151,6 +152,7 @@ impl Bank {
     /// # Errors
     ///
     /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
+    #[inline]
     pub fn write(&mut self, offset: usize, src: &[u8]) -> Result<(), MemoryError> {
         let end = self.check(offset, src.len())?;
         if end > self.data.len() {
@@ -165,7 +167,17 @@ impl Bank {
     /// # Errors
     ///
     /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
+    #[inline]
     pub fn read_u32(&self, offset: usize) -> Result<u32, MemoryError> {
+        // Hot path: the word is fully resident — one unchecked-growth,
+        // bounds-checked slice load.
+        if let Some(bytes) = self
+            .data
+            .get(offset..offset.wrapping_add(4))
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        {
+            return Ok(u32::from_le_bytes(bytes));
+        }
         let mut buf = [0u8; 4];
         self.read(offset, &mut buf)?;
         Ok(u32::from_le_bytes(buf))
@@ -176,7 +188,13 @@ impl Bank {
     /// # Errors
     ///
     /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
+    #[inline]
     pub fn write_u32(&mut self, offset: usize, value: u32) -> Result<(), MemoryError> {
+        // Hot path: the word is already resident — store in place.
+        if let Some(slot) = self.data.get_mut(offset..offset.wrapping_add(4)) {
+            slot.copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
         self.write(offset, &value.to_le_bytes())
     }
 }
@@ -198,6 +216,64 @@ impl DpuMemory {
             wram: Bank::new(wram_bytes, MemoryKind::Wram),
         }
     }
+
+    /// Copies `len` bytes MRAM → WRAM without a staging buffer,
+    /// preserving [`Bank::read`]'s zero-fill of unresident source bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if either range exceeds its
+    /// bank's capacity; nothing is copied in that case.
+    #[inline]
+    pub fn copy_mram_to_wram(
+        &mut self,
+        mram_offset: usize,
+        wram_offset: usize,
+        len: usize,
+    ) -> Result<(), MemoryError> {
+        copy_between(&self.mram, &mut self.wram, mram_offset, wram_offset, len)
+    }
+
+    /// Copies `len` bytes WRAM → MRAM without a staging buffer,
+    /// preserving [`Bank::read`]'s zero-fill of unresident source bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if either range exceeds its
+    /// bank's capacity; nothing is copied in that case.
+    #[inline]
+    pub fn copy_wram_to_mram(
+        &mut self,
+        wram_offset: usize,
+        mram_offset: usize,
+        len: usize,
+    ) -> Result<(), MemoryError> {
+        copy_between(&self.wram, &mut self.mram, wram_offset, mram_offset, len)
+    }
+}
+
+/// Direct bank-to-bank copy with the exact semantics of a `read` into a
+/// zeroed buffer followed by a `write`: both ranges are validated before
+/// any byte moves, and source bytes past the resident region read as zero.
+fn copy_between(
+    src: &Bank,
+    dst: &mut Bank,
+    src_offset: usize,
+    dst_offset: usize,
+    len: usize,
+) -> Result<(), MemoryError> {
+    src.check(src_offset, len)?;
+    let dst_end = dst.check(dst_offset, len)?;
+    if dst_end > dst.data.len() {
+        dst.data.resize(dst_end, 0);
+    }
+    let have = src.data.len().saturating_sub(src_offset);
+    let n = have.min(len);
+    if n > 0 {
+        dst.data[dst_offset..dst_offset + n].copy_from_slice(&src.data[src_offset..src_offset + n]);
+    }
+    dst.data[dst_offset + n..dst_end].fill(0);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -344,6 +344,7 @@ impl DpuSanitizer {
     }
 
     /// Records a kernel WRAM write.
+    #[inline(never)]
     pub fn note_wram_write(&mut self, tasklet: usize, offset: usize, len: usize) {
         self.wram_init.insert(offset, len);
         if let Some(log) = self.logs.get_mut(tasklet) {
@@ -352,6 +353,7 @@ impl DpuSanitizer {
     }
 
     /// Records a kernel WRAM read, flagging uninitialized bytes.
+    #[inline(never)]
     pub fn note_wram_read(&mut self, tasklet: usize, offset: usize, len: usize) {
         if !self.wram_init.covers(offset, len) {
             self.push(Some(tasklet), FindingKind::UninitWramRead { offset, len });
@@ -362,6 +364,7 @@ impl DpuSanitizer {
     }
 
     /// Records a kernel-side MRAM read (DMA into WRAM or a direct buffer).
+    #[inline(never)]
     pub fn note_mram_read(&mut self, tasklet: usize, offset: usize, len: usize) {
         if let Some(log) = self.logs.get_mut(tasklet) {
             log.mram_reads.insert(offset, len);
@@ -369,6 +372,7 @@ impl DpuSanitizer {
     }
 
     /// Records a kernel-side MRAM write.
+    #[inline(never)]
     pub fn note_mram_write(&mut self, tasklet: usize, offset: usize, len: usize) {
         if let Some(log) = self.logs.get_mut(tasklet) {
             log.mram_writes.insert(offset, len);

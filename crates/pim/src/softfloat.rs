@@ -30,10 +30,10 @@ pub const PLUS_INF: u32 = 0x7F80_0000;
 /// Negative infinity bit pattern.
 pub const MINUS_INF: u32 = 0xFF80_0000;
 
-const SIGN_MASK: u32 = 0x8000_0000;
+pub(crate) const SIGN_MASK: u32 = 0x8000_0000;
 const EXP_MASK: u32 = 0x7F80_0000;
 const FRAC_MASK: u32 = 0x007F_FFFF;
-const IMPLICIT_BIT: u32 = 0x0080_0000;
+pub(crate) const IMPLICIT_BIT: u32 = 0x0080_0000;
 
 /// Returns `true` if `bits` encodes a NaN.
 #[inline]
@@ -54,12 +54,12 @@ pub fn is_zero(bits: u32) -> bool {
 }
 
 #[inline]
-fn sign(bits: u32) -> u32 {
+pub(crate) fn sign(bits: u32) -> u32 {
     bits >> 31
 }
 
 #[inline]
-fn biased_exp(bits: u32) -> i32 {
+pub(crate) fn biased_exp(bits: u32) -> i32 {
     ((bits & EXP_MASK) >> 23) as i32
 }
 
@@ -72,7 +72,7 @@ fn fraction(bits: u32) -> u32 {
 /// subnormals as exponent 1 without the implicit bit. Must not be called
 /// on NaN/∞.
 #[inline]
-fn unpack_finite(bits: u32) -> (u32, i32, u32) {
+pub(crate) fn unpack_finite(bits: u32) -> (u32, i32, u32) {
     let e = biased_exp(bits);
     let f = fraction(bits);
     if e == 0 {

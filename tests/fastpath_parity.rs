@@ -1,0 +1,481 @@
+//! Differential proof of the two-tier arithmetic contract (DESIGN.md §10):
+//! the fast tier may never change a bit or a cycle. Every fast-path value
+//! function must be bit-identical to the instrumented soft reference, and
+//! every closed-form tally function must equal the reference's executed-op
+//! count — exhaustively over the special-value lattice, property-tested
+//! over random operands, cycle-for-cycle through `DpuContext` launches in
+//! both charging modes, and end-to-end over all 12 paper variants under
+//! both execution engines.
+
+// Test scaffolding outside `#[test]` bodies may unwrap, matching the
+// allow-unwrap-in-tests policy in clippy.toml.
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::runner::{PimRunner, RunOutcome};
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::env::ExperienceDataset;
+use swiftrl::pim::config::{ArithTier, EmulationCharging, PimConfig};
+use swiftrl::pim::cost::OpTally;
+use swiftrl::pim::host::PimSystem;
+use swiftrl::pim::kernel::{DpuContext, Kernel, KernelError, F32};
+use swiftrl::pim::stats::{LaunchStats, SystemStats};
+use swiftrl::pim::{emul, fastpath, softfloat, ExecutionEngine};
+
+/// Special-value lattice: signed zeros, units, infinities, NaN payloads,
+/// the subnormal range boundaries, `f32::MAX`, assorted normals, and the
+/// exact `f32 → i32` saturation boundary in both directions.
+const F32_LATTICE: &[u32] = &[
+    0x0000_0000, // +0
+    0x8000_0000, // -0
+    0x3F80_0000, // 1.0
+    0xBF80_0000, // -1.0
+    0x7F80_0000, // +inf
+    0xFF80_0000, // -inf
+    0x7FC0_0000, // canonical quiet NaN
+    0x7F80_0001, // signalling NaN payload
+    0xFFC0_0001, // negative NaN with payload
+    0x0000_0001, // smallest subnormal
+    0x0020_0000, // mid subnormal
+    0x007F_FFFF, // largest subnormal
+    0x0080_0000, // smallest normal
+    0x7F7F_FFFF, // f32::MAX
+    0x3DCC_CCCD, // ~0.1 (inexact, exercises rounding)
+    0x4048_F5C3, // ~3.14
+    0xC2F6_E979, // ~-123.456
+    0x3400_0000, // tiny normal (subnormal results under mul/div)
+    0x4EFF_FFFF, // 2147483520.0, largest f32 below 2^31
+    0x4F00_0000, // 2^31 exactly (saturates i32)
+    0xCF00_0000, // -2^31 exactly (fits i32)
+    0xCF00_0001, // first f32 below -2^31 (saturates)
+];
+
+const U32_LATTICE: &[u32] = &[
+    0,
+    1,
+    2,
+    3,
+    7,
+    255,
+    256,
+    9_500,
+    65_535,
+    0x0001_0000,
+    0x7FFF_FFFF,
+    0x8000_0000,
+    0xFFFF_FFFE,
+    u32::MAX,
+];
+
+const I32_LATTICE: &[i32] = &[
+    0,
+    1,
+    -1,
+    2,
+    -7,
+    255,
+    -256,
+    9_500,
+    (1 << 26) - 1,
+    1 << 26,
+    (1 << 26) + 1,
+    i32::MAX,
+    i32::MIN,
+    i32::MIN + 1,
+];
+
+/// Asserts every float op agrees between tiers — result bits AND tally —
+/// for one operand pair.
+#[allow(clippy::type_complexity)]
+fn assert_float_pair(a: u32, b: u32) {
+    let ops: &[(
+        &str,
+        fn(u32, u32, &mut OpTally) -> u32,
+        fn(u32, u32) -> u32,
+        fn(u32, u32) -> u64,
+    )] = &[
+        ("add", softfloat::f32_add, fastpath::f32_add, fastpath::f32_add_tally),
+        ("sub", softfloat::f32_sub, fastpath::f32_sub, fastpath::f32_sub_tally),
+        ("mul", softfloat::f32_mul, fastpath::f32_mul, fastpath::f32_mul_tally),
+        ("div", softfloat::f32_div, fastpath::f32_div, fastpath::f32_div_tally),
+        ("max", softfloat::f32_max, fastpath::f32_max, fastpath::f32_max_tally),
+    ];
+    for (name, soft, fast, fast_tally) in ops {
+        let mut t = OpTally::new();
+        let reference = soft(a, b, &mut t);
+        assert_eq!(
+            fast(a, b),
+            reference,
+            "{name}({a:#010x}, {b:#010x}): result bits diverged"
+        );
+        assert_eq!(
+            fast_tally(a, b),
+            t.count(),
+            "{name}({a:#010x}, {b:#010x}): tally diverged"
+        );
+    }
+    // Comparisons: gt and lt share one tally shape.
+    let mut t = OpTally::new();
+    let gt = softfloat::f32_gt(a, b, &mut t);
+    assert_eq!(fastpath::f32_gt(a, b), gt, "gt({a:#010x}, {b:#010x})");
+    assert_eq!(fastpath::f32_cmp_tally(a, b), t.count(), "gt tally({a:#010x}, {b:#010x})");
+    let mut t = OpTally::new();
+    let lt = softfloat::f32_lt(a, b, &mut t);
+    assert_eq!(fastpath::f32_lt(a, b), lt, "lt({a:#010x}, {b:#010x})");
+    assert_eq!(fastpath::f32_cmp_tally(a, b), t.count(), "lt tally({a:#010x}, {b:#010x})");
+}
+
+/// Asserts the unary float ops agree between tiers for one operand.
+fn assert_float_unary(a: u32) {
+    let mut t = OpTally::new();
+    let neg = softfloat::f32_neg(a, &mut t);
+    assert_eq!(fastpath::f32_neg(a), neg, "neg({a:#010x})");
+    assert_eq!(fastpath::f32_neg_tally(a), t.count(), "neg tally({a:#010x})");
+    let mut t = OpTally::new();
+    let conv = softfloat::f32_to_i32(a, &mut t);
+    assert_eq!(fastpath::f32_to_i32(a), conv, "f32_to_i32({a:#010x})");
+    assert_eq!(
+        fastpath::f32_to_i32_tally(a),
+        t.count(),
+        "f32_to_i32 tally({a:#010x})"
+    );
+}
+
+/// Asserts every integer op agrees between tiers for one operand pair,
+/// including the data-dependent early-exit divide costs (`n < d` returns
+/// after the guard) and the leading-zeros-driven multiply costs.
+fn assert_int_pair(a: u32, b: u32) {
+    let mut t = OpTally::new();
+    let wide = emul::umul32_wide(a, b, &mut t);
+    assert_eq!(fastpath::umul32_wide(a, b), wide, "umul({a:#x}, {b:#x})");
+    assert_eq!(fastpath::umul32_wide_tally(a, b), t.count(), "umul tally({a:#x}, {b:#x})");
+
+    let (ia, ib) = (a as i32, b as i32);
+    let mut t = OpTally::new();
+    let iwide = emul::imul32_wide(ia, ib, &mut t);
+    assert_eq!(fastpath::imul32_wide(ia, ib), iwide, "imul_wide({ia}, {ib})");
+    assert_eq!(
+        fastpath::imul32_wide_tally(ia, ib),
+        t.count(),
+        "imul_wide tally({ia}, {ib})"
+    );
+
+    let mut t = OpTally::new();
+    let narrow = emul::imul32(ia, ib, &mut t);
+    assert_eq!(fastpath::imul32(ia, ib), narrow, "imul32({ia}, {ib})");
+    assert_eq!(fastpath::imul32_tally(ia, ib), t.count(), "imul32 tally({ia}, {ib})");
+
+    if b != 0 {
+        let mut t = OpTally::new();
+        let qr = emul::udiv32(a, b, &mut t);
+        assert_eq!(fastpath::udiv32(a, b), qr, "udiv32({a:#x}, {b:#x})");
+        assert_eq!(fastpath::udiv32_tally(a, b), t.count(), "udiv32 tally({a:#x}, {b:#x})");
+
+        let mut t = OpTally::new();
+        let iqr = emul::idiv32(ia, ib, &mut t);
+        assert_eq!(fastpath::idiv32(ia, ib), iqr, "idiv32({ia}, {ib})");
+        assert_eq!(fastpath::idiv32_tally(ia, ib), t.count(), "idiv32 tally({ia}, {ib})");
+
+        let n64 = ((a as u64) << 32) | b as u64;
+        let mut t = OpTally::new();
+        let qr64 = emul::udiv64(n64, b, &mut t);
+        assert_eq!(fastpath::udiv64(n64, b), qr64, "udiv64({n64:#x}, {b:#x})");
+        assert_eq!(
+            fastpath::udiv64_tally(n64, b),
+            t.count(),
+            "udiv64 tally({n64:#x}, {b:#x})"
+        );
+
+        let i64n = n64 as i64;
+        let mut t = OpTally::new();
+        let q64 = emul::idiv64(i64n, ib, &mut t);
+        assert_eq!(fastpath::idiv64(i64n, ib), q64, "idiv64({i64n}, {ib})");
+        assert_eq!(
+            fastpath::idiv64_tally(i64n, ib),
+            t.count(),
+            "idiv64 tally({i64n}, {ib})"
+        );
+    }
+}
+
+#[test]
+fn float_ops_bit_and_tally_identical_on_the_lattice() {
+    for &a in F32_LATTICE {
+        assert_float_unary(a);
+        for &b in F32_LATTICE {
+            assert_float_pair(a, b);
+        }
+    }
+}
+
+#[test]
+fn integer_ops_bit_and_tally_identical_on_the_lattice() {
+    for &a in U32_LATTICE {
+        for &b in U32_LATTICE {
+            assert_int_pair(a, b);
+        }
+    }
+    // The signed-divide overflow corner the hardware wraps through.
+    let mut t = OpTally::new();
+    assert_eq!(
+        fastpath::idiv32(i32::MIN, -1),
+        emul::idiv32(i32::MIN, -1, &mut t)
+    );
+    assert_eq!(fastpath::idiv32_tally(i32::MIN, -1), t.count());
+}
+
+#[test]
+fn int_to_float_conversion_identical_on_the_lattice() {
+    for &v in I32_LATTICE {
+        let mut t = OpTally::new();
+        let r = softfloat::i32_to_f32(v, &mut t);
+        assert_eq!(fastpath::i32_to_f32(v), r, "i32_to_f32({v})");
+        assert_eq!(fastpath::i32_to_f32_tally(v), t.count(), "i32_to_f32 tally({v})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any pair of raw bit patterns — including NaNs, infinities, and
+    /// subnormals sampled by chance — agrees in bits and tally.
+    #[test]
+    fn random_float_operands_agree(a in any::<u32>(), b in any::<u32>()) {
+        assert_float_pair(a, b);
+        assert_float_unary(a);
+    }
+
+    /// Random integer operands agree, covering the data-dependent
+    /// early-exit divide costs and popcount-driven multiply costs.
+    #[test]
+    fn random_integer_operands_agree(a in any::<u32>(), b in any::<u32>()) {
+        assert_int_pair(a, b);
+    }
+
+    /// Random conversions agree, including magnitudes beyond 2^26 where
+    /// the reference switches to its shift-right-sticky path.
+    #[test]
+    fn random_conversions_agree(v in any::<i32>()) {
+        let mut t = OpTally::new();
+        let r = softfloat::i32_to_f32(v, &mut t);
+        prop_assert_eq!(fastpath::i32_to_f32(v), r);
+        prop_assert_eq!(fastpath::i32_to_f32_tally(v), t.count());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle parity through DpuContext: the charged intrinsics must produce
+// identical CycleCounter values under either tier, in both charging modes.
+// ---------------------------------------------------------------------------
+
+/// Exercises every emulated intrinsic with LCG-generated operands plus
+/// special-value constants, folding all results into an MRAM-visible
+/// checksum so value divergence and charge divergence are both caught.
+struct ArithStressKernel;
+impl Kernel for ArithStressKernel {
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+        let mut state = 0x1234_5678u32 ^ ctx.dpu_id() as u32;
+        let mut ichk = 0u32;
+        let mut fchk = F32::ZERO;
+        for _ in 0..64 {
+            let a = ctx.lcg_next(&mut state);
+            let b = ctx.lcg_next(&mut state);
+            let d = (b | 1) as i32;
+            ichk = ichk.wrapping_add(ctx.mul32(a as i32, b as i32) as u32);
+            ichk = ichk.wrapping_add(ctx.mul_wide(a as i32, b as i32) as u32);
+            ichk = ichk.wrapping_add(ctx.div32(a as i32, d) as u32);
+            ichk = ichk.wrapping_add(ctx.div_wide(((a as u64) << 16) as i64, d) as u32);
+            ichk = ichk.wrapping_add(ctx.lcg_below(&mut state, 1000));
+            let fa = F32(a);
+            let fb = F32(b);
+            let prod = ctx.fmul(fa, fb);
+            fchk = ctx.fadd(fchk, prod);
+            let quot = ctx.fdiv(fa, F32(b | 1));
+            fchk = ctx.fmax(fchk, quot);
+            let diff = ctx.fsub(fa, fb);
+            if ctx.fgt(diff, prod) {
+                ichk = ichk.wrapping_add(1);
+            }
+            let conv = ctx.i32_to_f32(a as i32);
+            ichk = ichk.wrapping_add(ctx.f32_to_i32(conv) as u32);
+            // Special values: infinity and NaN propagation must charge
+            // the same early-exit costs in both tiers.
+            let inf_sum = ctx.fadd(F32(0x7F80_0000), fb);
+            let nan_mul = ctx.fmul(F32(0x7FC0_0000), fa);
+            ichk = ichk.wrapping_add(inf_sum.0).wrapping_add(nan_mul.0);
+        }
+        let word = ((ichk as u64) << 32) | fchk.0 as u64;
+        ctx.mram_write(0, &word.to_le_bytes())?;
+        Ok(())
+    }
+}
+
+fn stress_outcome(
+    tier: ArithTier,
+    charging: EmulationCharging,
+    engine: ExecutionEngine,
+) -> (Vec<u8>, LaunchStats, SystemStats) {
+    let mut platform = PimConfig::builder()
+        .dpus(4)
+        .mram_bytes(1 << 16)
+        .engine(engine)
+        .arith_tier(tier)
+        .build();
+    platform.cost.emulation_charging = charging;
+    let mut sys = PimSystem::new(platform);
+    let mut set = sys.alloc(4).unwrap();
+    set.launch(&ArithStressKernel).unwrap();
+    let mut checksums = vec![0u8; 8 * 4];
+    set.gather_into(0, 8, &mut checksums).unwrap();
+    (checksums, set.last_launch().clone(), set.stats().clone())
+}
+
+/// The tentpole guarantee at the platform level: for every charging mode
+/// and engine, the fast tier's launch is indistinguishable from the
+/// reference tier's — checksum bytes, per-class cycle counters,
+/// max/min/mean cycles, and the full `SystemStats`.
+#[test]
+fn fast_tier_launches_are_bit_and_cycle_identical() {
+    for charging in [EmulationCharging::Calibrated, EmulationCharging::Tally] {
+        for engine in [
+            ExecutionEngine::Serial,
+            ExecutionEngine::Threaded { workers: 2 },
+        ] {
+            let (ref_bytes, ref_launch, ref_stats) =
+                stress_outcome(ArithTier::Reference, charging, engine);
+            let (fast_bytes, fast_launch, fast_stats) =
+                stress_outcome(ArithTier::Fast, charging, engine);
+            assert_eq!(
+                ref_bytes, fast_bytes,
+                "{charging:?}/{engine:?}: checksum bytes diverged between tiers"
+            );
+            assert_eq!(
+                ref_launch, fast_launch,
+                "{charging:?}/{engine:?}: launch statistics diverged between tiers"
+            );
+            assert_eq!(
+                ref_stats, fast_stats,
+                "{charging:?}/{engine:?}: system statistics diverged between tiers"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: all 12 paper variants, both tiers, both engines.
+// ---------------------------------------------------------------------------
+
+fn dataset() -> ExperienceDataset {
+    let mut env = FrozenLake::slippery_4x4();
+    collect_random(&mut env, 2_000, 42)
+}
+
+fn run_tiered(
+    spec: WorkloadSpec,
+    cfg: RunConfig,
+    tier: ArithTier,
+    charging: EmulationCharging,
+    engine: ExecutionEngine,
+    data: &ExperienceDataset,
+) -> RunOutcome {
+    let mut platform = PimConfig::builder()
+        .dpus(cfg.dpus)
+        .engine(engine)
+        .arith_tier(tier)
+        .build();
+    platform.cost.emulation_charging = charging;
+    PimRunner::with_platform(spec, cfg, platform)
+        .unwrap()
+        .run(data)
+        .unwrap()
+}
+
+/// All 12 paper variants produce byte-identical Q-tables and identical
+/// cycle-derived time breakdowns under either arithmetic tier and either
+/// execution engine.
+#[test]
+fn all_paper_variants_identical_across_tiers_and_engines() {
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(2)
+        .with_episodes(4)
+        .with_tau(2);
+    let data = dataset();
+    let threaded = ExecutionEngine::Threaded { workers: 3 };
+    for spec in WorkloadSpec::paper_variants() {
+        let reference = run_tiered(
+            spec,
+            cfg,
+            ArithTier::Reference,
+            EmulationCharging::Calibrated,
+            ExecutionEngine::Serial,
+            &data,
+        );
+        for (tier, engine) in [
+            (ArithTier::Fast, ExecutionEngine::Serial),
+            (ArithTier::Reference, threaded),
+            (ArithTier::Fast, threaded),
+        ] {
+            let other = run_tiered(
+                spec,
+                cfg,
+                tier,
+                EmulationCharging::Calibrated,
+                engine,
+                &data,
+            );
+            assert_eq!(
+                reference.q_table.to_bytes(),
+                other.q_table.to_bytes(),
+                "{spec}: Q-table bytes diverged under {tier:?}/{engine:?}"
+            );
+            assert_eq!(
+                reference.breakdown, other.breakdown,
+                "{spec}: time breakdown diverged under {tier:?}/{engine:?}"
+            );
+            assert_eq!(reference.comm_rounds, other.comm_rounds, "{spec}");
+        }
+    }
+}
+
+/// Same end-to-end identity under tally charging, where the fast tier's
+/// closed-form formulas replace the reference's executed-op counts.
+#[test]
+fn tally_charging_identical_across_tiers_end_to_end() {
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(3)
+        .with_episodes(4)
+        .with_tau(2);
+    let data = dataset();
+    for spec in [
+        WorkloadSpec::q_learning_seq_fp32(),
+        WorkloadSpec::q_learning_seq_int32(),
+    ] {
+        let reference = run_tiered(
+            spec,
+            cfg,
+            ArithTier::Reference,
+            EmulationCharging::Tally,
+            ExecutionEngine::Serial,
+            &data,
+        );
+        let fast = run_tiered(
+            spec,
+            cfg,
+            ArithTier::Fast,
+            EmulationCharging::Tally,
+            ExecutionEngine::Serial,
+            &data,
+        );
+        assert_eq!(
+            reference.q_table.to_bytes(),
+            fast.q_table.to_bytes(),
+            "{spec}: Q-table bytes diverged under tally charging"
+        );
+        assert_eq!(
+            reference.breakdown, fast.breakdown,
+            "{spec}: time breakdown diverged under tally charging"
+        );
+    }
+}
