@@ -28,6 +28,8 @@
 //! platform behaviour; kernels stay oblivious), **K007** no direct
 //! `softfloat`/`emul`/`fastpath` calls in kernel code (arithmetic goes
 //! through the charged, tier-dispatching `DpuContext` intrinsics),
+//! **K008** no telemetry emission in kernel code (the event stream is a
+//! host-side observer recorded after the engine's ordered merge),
 //! **W001** no `unwrap`/`expect` in library code.
 
 pub mod rules;

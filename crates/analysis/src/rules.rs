@@ -20,7 +20,7 @@ pub struct Finding {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: u32,
-    /// Stable rule ID (`K001`..`K007`, `W001`).
+    /// Stable rule ID (`K001`..`K008`, `W001`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -153,6 +153,22 @@ charges nothing, and silently breaks the parity contract.",
 configured arithmetic tier",
     },
     RuleInfo {
+        id: "K008",
+        title: "no telemetry emission in kernel code",
+        explain: "Kernel code must not touch the telemetry layer (the \
+`telemetry` module, the `Telemetry` sink, or its `emit` method). Telemetry \
+is a *host-side* observer: events are recorded after `DpuSet::launch_on` \
+has merged per-DPU results in DPU-index order, which is what makes the \
+event stream byte-identical between the Serial and Threaded engines. A \
+kernel that emits events would observe execution from inside a worker \
+thread — ordering would depend on the engine's scheduling, breaking the \
+determinism contract — and the sink's mutex and event allocation would do \
+host work the cycle model never charges.",
+        fix_hint: "delete the telemetry call; instrument at the host layer \
+instead — `DpuSet` and the runner already emit transfer, launch, and sync \
+events for every kernel execution",
+    },
+    RuleInfo {
         id: "W001",
         title: "no unwrap/expect in library code",
         explain: "Library crates (`crates/*/src/**`, excluding binaries and \
@@ -264,6 +280,7 @@ const K002_NONDET: &[&str] = &["rand", "Instant", "SystemTime", "sleep"];
 const K005_THREADING: &[&str] = &["thread", "spawn", "crossbeam", "rayon"];
 const K006_FAULTS: &[&str] = &["FaultPlan", "faults"];
 const K007_ARITH: &[&str] = &["softfloat", "emul", "fastpath"];
+const K008_TELEMETRY: &[&str] = &["telemetry", "Telemetry", "emit"];
 
 fn check_kernel_regions(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Finding>) {
     for &(start, end) in &kernel_regions(tokens) {
@@ -327,6 +344,20 @@ fn check_kernel_regions(file: &Path, tokens: &[Token<'_>], findings: &mut Vec<Fi
                              call); go through the charged `DpuContext` \
                              intrinsics, which also dispatch the configured \
                              arithmetic tier",
+                            t.text
+                        ),
+                    })
+                }
+                TokenKind::Ident if K008_TELEMETRY.contains(&t.text) => {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: t.line,
+                        rule: "K008",
+                        message: format!(
+                            "`{}` in kernel body (telemetry emission); the \
+                             event stream is a host-side observer recorded \
+                             after the engine's ordered merge — kernels must \
+                             not emit into it",
                             t.text
                         ),
                     })
@@ -905,7 +936,7 @@ pub fn check_charge_coverage(
 // Per-file entry point
 // ---------------------------------------------------------------------------
 
-/// Runs all single-file rules (K001, K002, K004, K005, K006, K007, W001)
+/// Runs all single-file rules (K001, K002, K004, K005, K006, K007, K008, W001)
 /// over one source file.
 /// `file` must be the repo-relative path; it selects which rules apply.
 pub fn check_file(file: &Path, src: &str) -> Vec<Finding> {
@@ -1070,6 +1101,28 @@ mod tests {
     }
 
     #[test]
+    fn k008_flags_telemetry_emission_in_kernels_only() {
+        let src = r#"
+            impl Kernel for Chatty {
+                fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                    self.config.telemetry.emit(|| Event::SyncRound { round: 0, live_dpus: 1 });
+                    Ok(())
+                }
+            }
+            fn host_side(sink: &Telemetry) {
+                sink.emit(|| Event::SyncRound { round: 0, live_dpus: 1 });
+            }
+        "#;
+        let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
+        let k008: Vec<_> = findings.iter().filter(|f| f.rule == "K008").collect();
+        // Flags `telemetry` and `emit` inside the kernel body; the
+        // host-side emission below the impl block is untouched.
+        assert_eq!(k008.len(), 2, "{findings:?}");
+        assert!(k008[0].message.contains("telemetry"), "{k008:?}");
+        assert!(k008[1].message.contains("emit"), "{k008:?}");
+    }
+
+    #[test]
     fn k004_flags_misaligned_layout_constant() {
         let src = r#"
             pub const HEADER_BYTES: usize = 64;
@@ -1179,7 +1232,7 @@ mod tests {
         let ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
         assert_eq!(
             ids,
-            ["K001", "K002", "K003", "K004", "K005", "K006", "K007", "W001"]
+            ["K001", "K002", "K003", "K004", "K005", "K006", "K007", "K008", "W001"]
         );
         for r in RULES {
             assert!(!r.explain.is_empty() && !r.fix_hint.is_empty());

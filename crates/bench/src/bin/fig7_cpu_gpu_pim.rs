@@ -16,7 +16,10 @@
 use std::collections::HashMap;
 use swiftrl_baselines::cpu_model::{CpuModel, CpuVersion};
 use swiftrl_baselines::gpu_model::GpuModel;
-use swiftrl_bench::{fmt_ratio, fmt_secs, print_table, Extrapolation, HarnessArgs};
+use swiftrl_bench::{
+    fmt_ratio, fmt_secs, metrics_sibling, print_table, write_json_artifact, write_trace_artifact,
+    Extrapolation, HarnessArgs,
+};
 use swiftrl_core::backend::{BackendStats, CpuModelBackend, GpuModelBackend, TrainingBackend};
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;
@@ -24,6 +27,7 @@ use swiftrl_env::collect::collect_random;
 use swiftrl_env::frozen_lake::FrozenLake;
 use swiftrl_env::taxi::Taxi;
 use swiftrl_env::ExperienceDataset;
+use swiftrl_telemetry::{chrome_trace_multi, snapshot_bundle, Event, MetricsSnapshot, Telemetry};
 
 const PAPER_EPISODES: u32 = 2_000;
 const TAU: u32 = 50;
@@ -70,6 +74,9 @@ fn main() {
     println!("# Figure 7: CPU vs GPU vs PIM (2,000 PIM cores)\n");
 
     let mut times: TimeTable = HashMap::new();
+    // (label, events) per PIM run when --trace is set; the modelled
+    // CPU/GPU backends have no simulated event stream to record.
+    let mut traced: Vec<(String, Vec<Event>)> = Vec::new();
 
     for case in &cases {
         let extra = Extrapolation::new(
@@ -93,9 +100,18 @@ fn main() {
                 .with_episodes(episodes)
                 .with_tau(TAU)
                 .with_seed(args.seed.unwrap_or(0xC0FFEE));
+            let telemetry = if args.trace.is_some() {
+                Telemetry::enabled()
+            } else {
+                Telemetry::disabled()
+            };
             // The four comparators of the figure, behind one interface.
             let backends: Vec<Box<dyn TrainingBackend>> = vec![
-                Box::new(PimRunner::new(spec, cfg).expect("alloc failed")),
+                Box::new(
+                    PimRunner::new(spec, cfg)
+                        .expect("alloc failed")
+                        .with_telemetry(telemetry.clone()),
+                ),
                 Box::new(
                     CpuModelBackend::new(CpuVersion::V1, cpu.clone(), spec, cfg)
                         .with_total_updates(total_updates),
@@ -124,6 +140,9 @@ fn main() {
                 };
                 times.insert((case.tag, spec.name(), backend.name()), secs);
                 row_secs.push(secs);
+            }
+            if args.trace.is_some() {
+                traced.push((format!("{} {}", case.tag, spec.name()), telemetry.events()));
             }
             let [pim_s, v1, v2, gpu_s] = row_secs[..] else {
                 unreachable!("four backends per workload");
@@ -155,6 +174,28 @@ fn main() {
 
     headline_checks(&times);
     energy_extension(&times);
+
+    if let Some(path) = &args.trace {
+        let runs: Vec<(String, &[Event])> = traced
+            .iter()
+            .map(|(label, events)| (label.clone(), events.as_slice()))
+            .collect();
+        write_trace_artifact(path, &chrome_trace_multi(&runs))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        let snapshots: Vec<MetricsSnapshot> = traced
+            .iter()
+            .map(|(label, events)| MetricsSnapshot::from_events(label.clone(), events))
+            .collect();
+        let metrics_path = metrics_sibling(path);
+        write_json_artifact(&metrics_path, &snapshot_bundle("Figure 7", &snapshots))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", metrics_path.display()));
+        println!(
+            "\ntrace: {} ({} PIM runs); metrics: {}",
+            path.display(),
+            runs.len(),
+            metrics_path.display()
+        );
+    }
 }
 
 /// Looks one (env, workload, backend) time up from the collected table.

@@ -14,6 +14,7 @@
 //! ```
 
 use std::time::Instant;
+use swiftrl_bench::write_json_artifact;
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::{PimRunner, RunOutcome};
 use swiftrl_env::collect::collect_random;
@@ -21,6 +22,7 @@ use swiftrl_env::frozen_lake::FrozenLake;
 use swiftrl_env::taxi::Taxi;
 use swiftrl_env::ExperienceDataset;
 use swiftrl_pim::config::{ArithTier, PimConfig};
+use swiftrl_telemetry::Json;
 
 /// One (environment, workload) point of the sweep.
 struct Case {
@@ -73,10 +75,6 @@ fn run_tier(case: &Case, tier: ArithTier, repeats: usize) -> Measurement {
         sim_total_s: out.breakdown.total_seconds(),
         q_bytes: out.q_table.to_bytes(),
     }
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {
@@ -186,31 +184,27 @@ fn main() {
             swiftrl_bench::fmt_ratio(total_speedup),
         ]);
         for m in [&reference, &fast] {
-            entries.push(format!(
-                "    {{\"env\": \"{}\", \"figure\": \"{}\", \"workload\": \"{}\", \
-                 \"tier\": \"{}\", \"host_kernel_wall_s\": {:.6}, \
-                 \"host_wall_s\": {:.6}, \"sim_kernel_s\": {:.9}, \
-                 \"host_kernel_wall_per_sim_kernel_s\": {:.6}}}",
-                json_escape(case.env),
-                json_escape(case.figure),
-                json_escape(&case.spec.to_string()),
-                tier_name(m.tier),
-                m.kernel_wall_s,
-                m.wall_s,
-                m.sim_kernel_s,
-                m.kernel_wall_s / m.sim_kernel_s,
-            ));
+            entries.push(Json::obj([
+                ("env", Json::str(case.env)),
+                ("figure", Json::str(case.figure)),
+                ("workload", Json::str(case.spec.to_string())),
+                ("tier", Json::str(tier_name(m.tier))),
+                ("host_kernel_wall_s", Json::Num(m.kernel_wall_s)),
+                ("host_wall_s", Json::Num(m.wall_s)),
+                ("sim_kernel_s", Json::Num(m.sim_kernel_s)),
+                (
+                    "host_kernel_wall_per_sim_kernel_s",
+                    Json::Num(m.kernel_wall_s / m.sim_kernel_s),
+                ),
+            ]));
         }
-        speedups.push(format!(
-            "    {{\"env\": \"{}\", \"figure\": \"{}\", \"workload\": \"{}\", \
-             \"kernel_phase_fast_over_reference\": {:.3}, \
-             \"end_to_end_fast_over_reference\": {:.3}}}",
-            json_escape(case.env),
-            json_escape(case.figure),
-            json_escape(&case.spec.to_string()),
-            kernel_speedup,
-            total_speedup
-        ));
+        speedups.push(Json::obj([
+            ("env", Json::str(case.env)),
+            ("figure", Json::str(case.figure)),
+            ("workload", Json::str(case.spec.to_string())),
+            ("kernel_phase_fast_over_reference", Json::Num(kernel_speedup)),
+            ("end_to_end_fast_over_reference", Json::Num(total_speedup)),
+        ]));
         match phase_sums.iter_mut().find(|p| p.1 == case.figure) {
             Some(p) => {
                 p.2 += reference.kernel_wall_s;
@@ -259,29 +253,36 @@ fn main() {
             swiftrl_bench::fmt_secs(*fast_kernel),
             swiftrl_bench::fmt_ratio(ref_kernel / fast_kernel),
         );
-        aggregates.push(format!(
-            "    {{\"env\": \"{}\", \"figure\": \"{}\", \
-             \"ref_kernel_wall_s\": {:.6}, \"fast_kernel_wall_s\": {:.6}, \
-             \"kernel_phase_fast_over_reference\": {:.3}, \
-             \"end_to_end_fast_over_reference\": {:.3}}}",
-            json_escape(env),
-            json_escape(figure),
-            ref_kernel,
-            fast_kernel,
-            ref_kernel / fast_kernel,
-            ref_wall / fast_wall,
-        ));
+        aggregates.push(Json::obj([
+            ("env", Json::str(*env)),
+            ("figure", Json::str(*figure)),
+            ("ref_kernel_wall_s", Json::Num(*ref_kernel)),
+            ("fast_kernel_wall_s", Json::Num(*fast_kernel)),
+            (
+                "kernel_phase_fast_over_reference",
+                Json::Num(ref_kernel / fast_kernel),
+            ),
+            (
+                "end_to_end_fast_over_reference",
+                Json::Num(ref_wall / fast_wall),
+            ),
+        ]));
     }
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"sim_throughput\",\n  \"quick\": {quick},\n  \
-         \"transitions\": {transitions},\n  \"episodes\": {episodes},\n  \
-         \"tau\": {tau},\n  \"dpus\": {dpus},\n  \"entries\": [\n{}\n  ],\n  \
-         \"speedups\": [\n{}\n  ],\n  \"aggregates\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n"),
-        speedups.join(",\n"),
-        aggregates.join(",\n")
-    );
-    std::fs::write("BENCH_SIM_THROUGHPUT.json", json).expect("write BENCH_SIM_THROUGHPUT.json");
+    // Same schema/keys the hand-formatted writer produced before the
+    // shared builder existed; pre-existing artifacts keep parsing.
+    let doc = Json::obj([
+        ("benchmark", Json::str("sim_throughput")),
+        ("quick", Json::Bool(quick)),
+        ("transitions", Json::UInt(transitions as u64)),
+        ("episodes", Json::UInt(u64::from(episodes))),
+        ("tau", Json::UInt(u64::from(tau))),
+        ("dpus", Json::UInt(dpus as u64)),
+        ("entries", Json::Arr(entries)),
+        ("speedups", Json::Arr(speedups)),
+        ("aggregates", Json::Arr(aggregates)),
+    ]);
+    write_json_artifact(std::path::Path::new("BENCH_SIM_THROUGHPUT.json"), &doc)
+        .expect("write BENCH_SIM_THROUGHPUT.json");
     println!("\nWrote BENCH_SIM_THROUGHPUT.json");
 }

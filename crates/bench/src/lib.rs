@@ -26,13 +26,18 @@ pub struct HarnessArgs {
     pub dpus: Option<Vec<usize>>,
     /// Override the RNG seed.
     pub seed: Option<u32>,
+    /// Write a Chrome `trace_event` JSON of the sweep's PIM runs here
+    /// (a metrics snapshot lands next to it with a `.metrics.json`
+    /// extension). `None` leaves telemetry disabled — a true zero on the
+    /// launch hot path.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl HarnessArgs {
     /// Parses `std::env::args()`.
     ///
     /// Supported flags: `--scale <f64>`, `--paper-scale`,
-    /// `--dpus <a,b,c>`, `--seed <u32>`, `--help`.
+    /// `--dpus <a,b,c>`, `--seed <u32>`, `--trace <path>`, `--help`.
     ///
     /// # Panics
     ///
@@ -45,6 +50,7 @@ impl HarnessArgs {
             scale: default_scale,
             dpus: None,
             seed: None,
+            trace: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -73,9 +79,14 @@ impl HarnessArgs {
                     let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
                     out.seed = Some(v.parse().unwrap_or_else(|_| usage("--seed must be a u32")));
                 }
+                "--trace" => {
+                    let v = args.next().unwrap_or_else(|| usage("--trace needs a path"));
+                    out.trace = Some(std::path::PathBuf::from(v));
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale <f in (0,1]> | --paper-scale | --dpus <a,b,c> | --seed <u32>"
+                        "flags: --scale <f in (0,1]> | --paper-scale | --dpus <a,b,c> | \
+                         --seed <u32> | --trace <path>"
                     );
                     std::process::exit(0);
                 }
@@ -160,6 +171,61 @@ impl Extrapolation {
     }
 }
 
+/// Writes a JSON artifact with the shared bench formatting: pretty
+/// rendering (stable key order, trailing newline) self-validated with
+/// the telemetry parser before anything touches disk, so a malformed
+/// document can never be written. Creates parent directories as needed.
+///
+/// # Errors
+///
+/// I/O failures propagate; a render that fails to re-parse (a bug in
+/// the builder, not the caller) surfaces as `InvalidData`.
+pub fn write_json_artifact(path: &std::path::Path, doc: &swiftrl_telemetry::Json) -> std::io::Result<()> {
+    let rendered = doc.render_pretty();
+    if let Err(e) = swiftrl_telemetry::json::parse(&rendered) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("rendered JSON failed self-validation: {e}"),
+        ));
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, rendered)
+}
+
+/// Writes a pre-rendered Chrome `trace_event` document, validating it
+/// with the telemetry parser first (same guarantee as
+/// [`write_json_artifact`], for the exporter's already-serialized
+/// output). Creates parent directories as needed.
+///
+/// # Errors
+///
+/// I/O failures propagate; an exporter bug that yields unparsable JSON
+/// surfaces as `InvalidData`.
+pub fn write_trace_artifact(path: &std::path::Path, rendered: &str) -> std::io::Result<()> {
+    if let Err(e) = swiftrl_telemetry::json::parse(rendered) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("rendered trace failed self-validation: {e}"),
+        ));
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, rendered)
+}
+
+/// The metrics-snapshot path that rides along with a `--trace <path>`
+/// Chrome trace: the same path with a `.metrics.json` extension.
+pub fn metrics_sibling(trace_path: &std::path::Path) -> std::path::PathBuf {
+    trace_path.with_extension("metrics.json")
+}
+
 /// Prints a GitHub-flavoured markdown table.
 ///
 /// # Panics
@@ -225,6 +291,7 @@ mod tests {
             scale: 0.001,
             dpus: None,
             seed: None,
+            trace: None,
         };
         assert_eq!(a.scaled(1_000, 50), 50);
         assert_eq!(a.scaled(1_000_000, 50), 1_000);
@@ -236,6 +303,7 @@ mod tests {
             scale: 0.03,
             dpus: None,
             seed: None,
+            trace: None,
         };
         let e = a.scaled_episodes(2_000, 50);
         assert_eq!(e % 50, 0);

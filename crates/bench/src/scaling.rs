@@ -1,10 +1,14 @@
 //! Shared driver for the strong-scaling figures (Figs. 5 and 6).
 
-use crate::{fmt_secs, print_table, Extrapolation, HarnessArgs};
+use crate::{
+    fmt_secs, metrics_sibling, print_table, write_json_artifact, write_trace_artifact,
+    Extrapolation, HarnessArgs,
+};
 use swiftrl_core::backend::TrainingBackend;
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;
 use swiftrl_env::ExperienceDataset;
+use swiftrl_telemetry::{chrome_trace_multi, snapshot_bundle, Event, MetricsSnapshot, Telemetry};
 
 /// The DPU counts swept by Figures 5 and 6.
 pub const PAPER_DPU_COUNTS: [usize; 5] = [125, 250, 500, 1_000, 2_000];
@@ -77,6 +81,10 @@ pub fn run_scaling_figure(
     );
 
     let mut cells = Vec::new();
+    // One (label, event stream) pair per traced run; empty when tracing
+    // is off, in which case every runner keeps the disabled sink and the
+    // launch hot path stays allocation-free.
+    let mut traced: Vec<(String, Vec<Event>)> = Vec::new();
     for spec in WorkloadSpec::paper_variants() {
         let mut rows = Vec::new();
         let mut first_total = None;
@@ -87,13 +95,22 @@ pub fn run_scaling_figure(
                 .with_episodes(episodes)
                 .with_tau(fig.tau)
                 .with_seed(args.seed.unwrap_or(0xC0FFEE));
+            let telemetry = if args.trace.is_some() {
+                Telemetry::enabled()
+            } else {
+                Telemetry::disabled()
+            };
             let backend: Box<dyn TrainingBackend> = Box::new(
                 PimRunner::new(spec, cfg)
-                    .unwrap_or_else(|e| panic!("DPU allocation failed: {e}")),
+                    .unwrap_or_else(|e| panic!("DPU allocation failed: {e}"))
+                    .with_telemetry(telemetry.clone()),
             );
             let report = backend
                 .train(dataset)
                 .unwrap_or_else(|e| panic!("PIM run failed: {e}"));
+            if args.trace.is_some() {
+                traced.push((format!("{spec} @ {dpus} DPUs"), telemetry.events()));
+            }
             let b = extra.apply(&report.breakdown);
             rows.push(vec![
                 dpus.to_string(),
@@ -129,7 +146,34 @@ pub fn run_scaling_figure(
     }
 
     summarize(&cells, &dpu_counts);
+    if let Some(path) = &args.trace {
+        write_trace_artifacts(fig, path, &traced);
+    }
     cells
+}
+
+/// Writes the Chrome trace (all runs, one process lane each) and the
+/// metrics-snapshot bundle next to it.
+fn write_trace_artifacts(fig: &ScalingFigure, path: &std::path::Path, traced: &[(String, Vec<Event>)]) {
+    let runs: Vec<(String, &[Event])> = traced
+        .iter()
+        .map(|(label, events)| (label.clone(), events.as_slice()))
+        .collect();
+    write_trace_artifact(path, &chrome_trace_multi(&runs))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    let snapshots: Vec<MetricsSnapshot> = traced
+        .iter()
+        .map(|(label, events)| MetricsSnapshot::from_events(label.clone(), events))
+        .collect();
+    let metrics_path = metrics_sibling(path);
+    write_json_artifact(&metrics_path, &snapshot_bundle(fig.figure, &snapshots))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", metrics_path.display()));
+    println!(
+        "\ntrace: {} ({} runs); metrics: {}",
+        path.display(),
+        runs.len(),
+        metrics_path.display()
+    );
 }
 
 fn summarize(cells: &[ScalingCell], dpu_counts: &[usize]) {

@@ -5,7 +5,12 @@ use std::fmt;
 use std::ops::AddAssign;
 
 /// Modelled execution time split into the paper's categories.
+///
+/// Container-level `serde(default)`: artifacts serialized before a
+/// component existed (e.g. `program_load_s` predates some checked-in
+/// bench JSON) still deserialize, with missing fields zeroed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct TimeBreakdown {
     /// PIM kernel execution (slowest DPU per launch, summed over rounds).
     pub pim_kernel_s: f64,

@@ -22,6 +22,7 @@ use swiftrl_pim::report::SanitizerReport;
 use swiftrl_rl::policy::epsilon_threshold;
 use swiftrl_rl::qtable::{FixedQTable, QTable};
 use swiftrl_rl::sampling::SamplingStrategy;
+use swiftrl_telemetry::{Event, Telemetry};
 
 /// Host DRAM bandwidth assumed for the aggregation (averaging) step, in
 /// bytes/second. The averaging of N small Q-tables is bandwidth-bound on
@@ -115,6 +116,16 @@ impl PimRunner {
     /// degrade) applied by every subsequent [`run`](Self::run).
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.resilience = resilience;
+        self
+    }
+
+    /// Attaches a telemetry sink: every subsequent [`run`](Self::run)
+    /// records its full event stream (transfers, launches with per-DPU
+    /// cycle spans, sync rounds, faults and resilience actions) into
+    /// the handle the caller keeps. Equivalent to building the platform
+    /// with [`swiftrl_pim::config::PimConfigBuilder::telemetry`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.platform.telemetry = telemetry;
         self
     }
 
@@ -265,7 +276,13 @@ impl PimRunner {
                 } else {
                     // Host-side aggregation + broadcast of the average.
                     let avg = self.aggregate(&q_scratch[..q_bytes * live], ns, na);
-                    breakdown.inter_pim_s += self.aggregate_seconds(alive.len(), q_bytes);
+                    let agg_s = self.aggregate_seconds(live, q_bytes);
+                    breakdown.inter_pim_s += agg_s;
+                    self.platform.telemetry.emit(|| Event::HostAggregate {
+                        tables: live,
+                        bytes: q_bytes as u64,
+                        seconds: agg_s,
+                    });
                     if alive.len() == ndpus {
                         set.broadcast(Q_TABLE_OFFSET, &avg)?;
                     } else {
@@ -294,6 +311,12 @@ impl PimRunner {
                 breakdown.inter_pim_s += sync_cpu + sync_pim;
             }
 
+            if rollback.is_none() {
+                self.platform.telemetry.emit(|| Event::SyncRound {
+                    round,
+                    live_dpus: alive.len(),
+                });
+            }
             round = match rollback {
                 Some(ck_round) => ck_round,
                 None => round + 1,
@@ -302,7 +325,13 @@ impl PimRunner {
 
         // ---- Phase 4: final aggregation on the host ----
         let avg = self.aggregate(&q_scratch[..q_bytes * final_live], ns, na);
-        breakdown.pim_cpu_s += self.aggregate_seconds(alive.len(), q_bytes);
+        let final_agg_s = self.aggregate_seconds(alive.len(), q_bytes);
+        breakdown.pim_cpu_s += final_agg_s;
+        self.platform.telemetry.emit(|| Event::HostAggregate {
+            tables: final_live,
+            bytes: q_bytes as u64,
+            seconds: final_agg_s,
+        });
         let q_table = match self.spec.dtype {
             DataType::Fp32 => QTable::from_bytes(ns, na, &avg),
             DataType::Int32 => FixedQTable::from_bytes(ns, na, scale, &avg).to_float(),
@@ -352,8 +381,12 @@ impl PimRunner {
         // window included — is untouched and the relaunch replays it.
         let mut pending = set.last_launch().faulted_dpus.clone();
         res.faults_seen += pending.len() as u64;
-        for _ in 0..self.resilience.max_retries {
+        for attempt in 1..=self.resilience.max_retries {
             res.retries += 1;
+            self.platform.telemetry.emit(|| Event::Retry {
+                attempt,
+                dpus: pending.clone(),
+            });
             match set.launch_subset(kernel, &pending) {
                 Ok(_) => return Ok(Vec::new()),
                 Err(e) => {
@@ -393,6 +426,10 @@ impl PimRunner {
     ) -> Result<Option<u32>, PimError> {
         alive.retain(|d| !dead.contains(d));
         res.degraded_dpus.extend_from_slice(dead);
+        self.platform.telemetry.emit(|| Event::Degradation {
+            dead_dpus: dead.to_vec(),
+            survivors: alive.len(),
+        });
         if alive.is_empty() {
             return Err(PimError::BadArgument(
                 "every DPU faulted; no survivors to degrade onto".to_string(),
@@ -435,6 +472,9 @@ impl PimRunner {
             Some((ck_round, snapshot)) => {
                 set.broadcast_subset(Q_TABLE_OFFSET, snapshot, alive)?;
                 res.rollbacks += 1;
+                self.platform.telemetry.emit(|| Event::Rollback {
+                    to_round: *ck_round,
+                });
                 Some(*ck_round)
             }
             None => None,

@@ -56,6 +56,14 @@ pub struct PimConfig {
     /// [`crate::faults::FaultPlan`].
     #[serde(default)]
     pub faults: crate::faults::FaultPlan,
+    /// Telemetry sink recording the typed event stream of every run on
+    /// this platform (default: disabled — a true zero on the hot path).
+    /// Clones of the config share the sink, so the handle the caller
+    /// keeps observes everything a `DpuSet` built from this config does.
+    /// Skipped by serde: a live event buffer is not part of the platform
+    /// description; deserialized configs come back disabled.
+    #[serde(skip)]
+    pub telemetry: swiftrl_telemetry::Telemetry,
 }
 
 impl Default for PimConfig {
@@ -73,6 +81,7 @@ impl Default for PimConfig {
             sanitize: crate::sanitize::SanitizeLevel::Off,
             engine: crate::engine::ExecutionEngine::default(),
             faults: crate::faults::FaultPlan::none(),
+            telemetry: swiftrl_telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -175,6 +184,13 @@ impl PimConfigBuilder {
     /// Attaches a deterministic fault-injection plan to the platform.
     pub fn faults(mut self, plan: crate::faults::FaultPlan) -> Self {
         self.inner.faults = plan;
+        self
+    }
+
+    /// Attaches a telemetry sink; every `DpuSet` built from the config
+    /// records its event stream into it. See [`swiftrl_telemetry`].
+    pub fn telemetry(mut self, telemetry: swiftrl_telemetry::Telemetry) -> Self {
+        self.inner.telemetry = telemetry;
         self
     }
 

@@ -14,6 +14,7 @@ use crate::sanitize::{FindingKind, SanitizeLevel, SanitizerFinding};
 use crate::stats::{LaunchStats, SystemStats};
 use crate::xfer::{Direction, TransferLedger, TransferRecord};
 use std::fmt;
+use swiftrl_telemetry::{CycleClassTotals, Event, TransferFaultKind, TransferKind};
 
 /// Error raised by host-side PIM operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -301,6 +302,11 @@ impl DpuSet {
         }
         if self.config.faults.drop_transfer(seq, dpu) {
             self.stats.injected_transfer_faults += 1;
+            self.config.telemetry.emit(|| Event::TransferFault {
+                kind: TransferFaultKind::Dropped,
+                seq,
+                dpu,
+            });
             return Ok(());
         }
         self.dpus[dpu].mram_mut().write(mram_offset, data)?;
@@ -312,6 +318,11 @@ impl DpuSet {
             byte[0] ^= mask;
             self.dpus[dpu].mram_mut().write(mram_offset + pos, &byte)?;
             self.stats.injected_transfer_faults += 1;
+            self.config.telemetry.emit(|| Event::TransferFault {
+                kind: TransferFaultKind::Corrupted,
+                seq,
+                dpu,
+            });
         }
         Ok(())
     }
@@ -335,6 +346,24 @@ impl DpuSet {
         }
     }
 
+    /// [`Self::record`] for data transfers, plus the telemetry event.
+    /// Direction follows the transfer kind; program loads go through
+    /// plain `record` and emit their own [`Event::ProgramLoad`].
+    fn record_xfer(&mut self, kind: TransferKind, bytes: u64, dpus: usize, seconds: f64) {
+        let direction = if kind.is_cpu_to_pim() {
+            Direction::CpuToPim
+        } else {
+            Direction::PimToCpu
+        };
+        self.record(direction, bytes, dpus, seconds);
+        self.config.telemetry.emit(|| Event::Transfer {
+            kind,
+            bytes,
+            dpus,
+            seconds,
+        });
+    }
+
     // ---- transfers -------------------------------------------------------
 
     /// Copies `data` into one DPU's MRAM at `mram_offset`.
@@ -348,7 +377,7 @@ impl DpuSet {
         let seq = self.next_transfer_seq();
         self.deliver(seq, dpu, mram_offset, data)?;
         let seconds = self.config.transfer.scatter_gather_seconds(data.len(), 1);
-        self.record(Direction::CpuToPim, data.len() as u64, 1, seconds);
+        self.record_xfer(TransferKind::CopyTo, data.len() as u64, 1, seconds);
         Ok(())
     }
 
@@ -368,7 +397,7 @@ impl DpuSet {
         let mut buf = vec![0u8; len];
         self.dpus[dpu].mram().read(mram_offset, &mut buf)?;
         let seconds = self.config.transfer.scatter_gather_seconds(len, 1);
-        self.record(Direction::PimToCpu, len as u64, 1, seconds);
+        self.record_xfer(TransferKind::CopyFrom, len as u64, 1, seconds);
         Ok(buf)
     }
 
@@ -402,7 +431,7 @@ impl DpuSet {
             .transfer
             .scatter_gather_seconds(total as usize, ranks);
         let n = self.dpus.len();
-        self.record(Direction::CpuToPim, total, n, seconds);
+        self.record_xfer(TransferKind::Scatter, total, n, seconds);
         Ok(())
     }
 
@@ -425,7 +454,7 @@ impl DpuSet {
             .config
             .transfer
             .broadcast_seconds(data.len(), n, self.ranks());
-        self.record(Direction::CpuToPim, (data.len() * n) as u64, n, seconds);
+        self.record_xfer(TransferKind::Broadcast, (data.len() * n) as u64, n, seconds);
         Ok(())
     }
 
@@ -455,7 +484,7 @@ impl DpuSet {
             self.config
                 .transfer
                 .broadcast_seconds(data.len(), n, self.config.ranks_for(n));
-        self.record(Direction::CpuToPim, (data.len() * n) as u64, n, seconds);
+        self.record_xfer(TransferKind::Broadcast, (data.len() * n) as u64, n, seconds);
         Ok(())
     }
 
@@ -481,7 +510,7 @@ impl DpuSet {
             .config
             .transfer
             .scatter_gather_seconds(total as usize, self.ranks());
-        self.record(Direction::PimToCpu, total, n, seconds);
+        self.record_xfer(TransferKind::Gather, total, n, seconds);
         Ok(out)
     }
 
@@ -514,7 +543,7 @@ impl DpuSet {
             .config
             .transfer
             .scatter_gather_seconds(total as usize, self.config.ranks_for(n));
-        self.record(Direction::PimToCpu, total, n, seconds);
+        self.record_xfer(TransferKind::Gather, total, n, seconds);
         Ok(out)
     }
 
@@ -555,7 +584,7 @@ impl DpuSet {
             .config
             .transfer
             .scatter_gather_seconds(total as usize, self.ranks());
-        self.record(Direction::PimToCpu, total, n, seconds);
+        self.record_xfer(TransferKind::Gather, total, n, seconds);
         Ok(())
     }
 
@@ -598,7 +627,7 @@ impl DpuSet {
             .config
             .transfer
             .scatter_gather_seconds(total as usize, self.config.ranks_for(n));
-        self.record(Direction::PimToCpu, total, n, seconds);
+        self.record_xfer(TransferKind::Gather, total, n, seconds);
         Ok(())
     }
 
@@ -618,6 +647,11 @@ impl DpuSet {
         self.record(Direction::CpuToPim, bytes, n, seconds);
         self.stats.program_load_seconds += seconds;
         self.program_loaded = true;
+        self.config.telemetry.emit(|| Event::ProgramLoad {
+            dpus: n,
+            bytes,
+            seconds,
+        });
     }
 
     /// Launches `kernel` on every DPU in the set and blocks until all
@@ -729,6 +763,10 @@ impl DpuSet {
         let mut merged = crate::cost::CycleCounter::new();
         let mut faulted_dpus = Vec::new();
         let mut fault = None;
+        // Per-DPU spans are collected only when telemetry is on: with it
+        // off the launch hot path allocates and pushes nothing.
+        let telemetry_on = self.config.telemetry.is_enabled();
+        let mut dpu_cycles: Vec<(usize, u64)> = Vec::new();
         for (i, result) in results.into_iter().enumerate() {
             let idx = match indices {
                 None => i,
@@ -741,6 +779,9 @@ impl DpuSet {
                     min_cycles = min_cycles.min(cycles);
                     sum_cycles += cycles as u128;
                     merged.merge(self.dpus[idx].last_counter());
+                    if telemetry_on {
+                        dpu_cycles.push((idx, cycles));
+                    }
                 }
                 Err(error) => {
                     if fault.is_none() {
@@ -782,6 +823,32 @@ impl DpuSet {
             sanitizer_findings: launch_findings,
             faulted_dpus,
         };
+        if telemetry_on {
+            // Emitted for clean and faulted launches alike, after the
+            // ordered merge above — so the stream is identical for every
+            // execution engine, exactly like `LaunchStats`.
+            let stats = &self.last_launch;
+            let classes = CycleClassTotals {
+                alu_slots: stats.merged.alu_slots,
+                wram_slots: stats.merged.wram_slots,
+                control_slots: stats.merged.control_slots,
+                int_emul_slots: stats.merged.int_emul_slots,
+                float_emul_slots: stats.merged.float_emul_slots,
+                dma_cycles: stats.merged.dma_cycles,
+                dma_bytes: stats.merged.dma_bytes,
+            };
+            self.config.telemetry.emit(|| Event::KernelLaunch {
+                dpus: survivors,
+                max_cycles: stats.max_cycles,
+                min_cycles: stats.min_cycles,
+                mean_cycles: stats.mean_cycles,
+                seconds,
+                dpu_cycles,
+                faulted_dpus: stats.faulted_dpus.clone(),
+                classes,
+                sanitizer_findings: launch_findings,
+            });
+        }
         if let Some(e) = fault {
             self.kernel_running = false;
             // Faulted launches never contribute to `launches` or

@@ -4,7 +4,13 @@ use crate::cost::CycleCounter;
 use serde::{Deserialize, Serialize};
 
 /// Statistics of a single kernel launch across a DPU set.
+///
+/// Container-level `serde(default)`: fields added after an artifact was
+/// written deserialize to their defaults, so pre-existing JSON (e.g. a
+/// checked-in `BENCH_SIM_THROUGHPUT.json`) keeps parsing across schema
+/// growth. The per-field attributes this replaces are kept implicitly.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct LaunchStats {
     /// Number of DPUs that executed the kernel.
     pub dpus: usize,
@@ -20,12 +26,10 @@ pub struct LaunchStats {
     pub merged: CycleCounter,
     /// Sanitizer findings raised during this launch (0 when sanitization
     /// is off or the launch was clean).
-    #[serde(default)]
     pub sanitizer_findings: u64,
     /// DPUs whose kernel faulted during this launch, in DPU-index order
     /// (empty for a clean launch). Cycle fields (`max`/`min`/`mean`,
     /// `merged`) cover only the DPUs that completed.
-    #[serde(default)]
     pub faulted_dpus: Vec<usize>,
 }
 
@@ -51,7 +55,11 @@ impl LaunchStats {
 /// into: PIM kernel time, CPU→PIM transfer, PIM→CPU transfer; inter-PIM
 /// synchronization (which is host-mediated) is accounted by the
 /// orchestration layer on top using these same transfer primitives.
+///
+/// Container-level `serde(default)`, like [`LaunchStats`]: artifacts
+/// written before a field existed still deserialize.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct SystemStats {
     /// Number of kernel launches performed.
     pub launches: u64,
@@ -73,15 +81,12 @@ pub struct SystemStats {
     /// Launches in which at least one DPU faulted. Faulted launches are
     /// not counted in `launches` and their time is kept out of
     /// `kernel_seconds` (tracked in `faulted_kernel_seconds` instead).
-    #[serde(default)]
     pub faulted_launches: u64,
     /// Modelled seconds the host spent waiting on launches that ended in
     /// a fault (the slowest *surviving* DPU of each such launch).
-    #[serde(default)]
     pub faulted_kernel_seconds: f64,
     /// CPU→PIM transfers corrupted or dropped in flight by the fault
     /// plan.
-    #[serde(default)]
     pub injected_transfer_faults: u64,
 }
 

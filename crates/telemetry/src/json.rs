@@ -1,0 +1,496 @@
+//! Minimal JSON tree: deterministic builder/renderer plus a validating
+//! recursive-descent parser.
+//!
+//! The workspace deliberately carries no serialization-format crate, so
+//! every JSON artifact (metrics snapshots, Chrome traces, bench output)
+//! is built through this module. Objects preserve insertion order and
+//! the renderer is byte-deterministic, which is what lets tests compare
+//! whole artifacts with `==`. The parser exists so emitters can
+//! self-validate what they wrote and so tests can parse pre-existing
+//! artifacts (e.g. `BENCH_SIM_THROUGHPUT.json`) structurally.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects keep insertion order; rendering is
+/// byte-deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, rendered without a decimal point.
+    UInt(u64),
+    /// A signed integer, rendered without a decimal point.
+    Int(i64),
+    /// A float; non-finite values render as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Looks up a key in an object (None for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(u) => Some(*u as f64),
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders to a compact JSON string (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders to an indented JSON string (two-space indent, trailing
+    /// newline) — the house style for artifacts meant to be diffed.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(n) => write_f64(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Floats render with enough precision to round-trip; non-finite values
+/// become `null` since JSON cannot represent them.
+fn write_f64(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if n == n.trunc() && n.abs() < 1e15 {
+        // Keep integral floats readable and unambiguous as numbers.
+        let _ = write!(out, "{n:.1}");
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset plus a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+pub fn parse(src: &str) -> Result<Json, ParseError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after document"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: &str) -> ParseError {
+    ParseError {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: Json,
+) -> Result<Json, ParseError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':' after key"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    *pos += 1; // consume '"'
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "invalid \\u escape"))?;
+                        // Surrogate pairs are not needed for our artifacts;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is safe
+                // to do by char boundaries).
+                let rest = &bytes[*pos..];
+                let s = match std::str::from_utf8(rest) {
+                    Ok(s) => s,
+                    Err(_) => return Err(err(*pos, "invalid UTF-8")),
+                };
+                match s.chars().next() {
+                    Some(c) => {
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                    None => return Err(err(*pos, "unterminated string")),
+                }
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "bad number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(err(start, "expected a value"));
+    }
+    if !float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err(start, "invalid number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_ordered() {
+        let doc = Json::obj([
+            ("b", Json::UInt(1)),
+            ("a", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("s", Json::str("he\"llo\n")),
+        ]);
+        assert_eq!(doc.render(), r#"{"b":1,"a":[true,null],"s":"he\"llo\n"}"#);
+        assert_eq!(doc.render(), doc.render());
+    }
+
+    #[test]
+    fn floats_round_trip_and_nan_is_null() {
+        assert_eq!(Json::Num(1.0).render(), "1.0");
+        assert_eq!(Json::Num(0.5).render(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_output() {
+        let doc = Json::obj([
+            ("n", Json::Num(0.125)),
+            ("u", Json::UInt(u64::MAX)),
+            ("i", Json::Int(-3)),
+            ("nested", Json::obj([("k", Json::Arr(vec![Json::UInt(1)]))])),
+        ]);
+        let parsed = parse(&doc.render()).expect("round trip");
+        assert_eq!(parsed, doc);
+        let pretty = parse(&doc.render_pretty()).expect("pretty round trip");
+        assert_eq!(pretty, doc);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn accessors_navigate_documents() {
+        let doc = parse(r#"{"a": {"b": [1, 2.5, "x"]}, "n": -4}"#).expect("parse");
+        let arr = doc
+            .get("a")
+            .and_then(|a| a.get("b"))
+            .and_then(|b| b.as_array())
+            .expect("array");
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert_eq!(doc.get("n").and_then(|n| n.as_f64()), Some(-4.0));
+        assert_eq!(doc.get("n").and_then(|n| n.as_u64()), None);
+    }
+}

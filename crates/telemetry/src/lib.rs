@@ -1,0 +1,41 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `swiftrl-telemetry` — deterministic, engine-invariant observability
+//! for the SwiftRL PIM simulator (DESIGN.md §11).
+//!
+//! The crate provides three layers:
+//!
+//! 1. **Event stream** ([`event::Event`], recorded by a [`Telemetry`]
+//!    sink attached to `PimConfig`): typed host-side events for program
+//!    loads, transfers, kernel launches (with per-DPU cycle spans on
+//!    the simulated clock), sync rounds, fault injections and the
+//!    resilience actions (retry/rollback/degradation). Everything is
+//!    emitted after the engine's ordered merge, so the serial and
+//!    threaded engines produce byte-identical streams.
+//! 2. **Metrics snapshot** ([`MetricsSnapshot`]): cycle-class
+//!    histograms, the per-launch imbalance distribution, transfer
+//!    byte/latency totals and fault/resilience counters, rendered as
+//!    versioned JSON shared by every bench binary.
+//! 3. **Chrome trace export** ([`chrome_trace`]): a Perfetto-loadable
+//!    `trace_event` timeline with one lane per DPU plus a host lane.
+//!
+//! The off switch is a true zero: a default (disabled) [`Telemetry`]
+//! never evaluates event constructors, allocates nothing on the launch
+//! hot path, and changes no simulated observable — pinned by the
+//! differential test in `tests/telemetry.rs`.
+//!
+//! The crate is dependency-free; JSON is built and validated by the
+//! hand-rolled [`json`] module.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use event::{CycleClassTotals, Event, TransferFaultKind, TransferKind};
+pub use json::Json;
+pub use metrics::{snapshot_bundle, MetricsSnapshot, TransferTotals};
+pub use sink::Telemetry;
+pub use trace::{chrome_trace, chrome_trace_multi};

@@ -1,0 +1,151 @@
+//! The [`Telemetry`] handle: a cloneable, optionally-attached event sink.
+//!
+//! Disabled (the default) it is a `None` — emitting is a single branch
+//! and the event constructor closure is never evaluated, so the launch
+//! hot path allocates nothing and observes nothing. Enabled, all clones
+//! share one ordered buffer behind an `Arc<Mutex<…>>`; every emission
+//! happens on the host thread after worker results are merged in
+//! DPU-index order, so the buffer order is deterministic and
+//! engine-invariant.
+
+use crate::event::Event;
+use std::sync::{Arc, Mutex};
+
+/// Shared event buffer (present only when telemetry is enabled).
+type Sink = Arc<Mutex<Vec<Event>>>;
+
+/// A handle to an (optional) telemetry event stream.
+///
+/// `Telemetry::default()` is disabled and costs nothing. An enabled
+/// handle created with [`Telemetry::enabled`] can be cloned freely —
+/// clones share the same buffer, which is how a `PimConfig` carried
+/// into a `DpuSet` keeps feeding the stream the caller holds.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    sink: Option<Sink>,
+}
+
+impl Telemetry {
+    /// A disabled handle: emissions are no-ops, nothing is allocated.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled handle with a fresh, empty event buffer.
+    pub fn enabled() -> Self {
+        Self {
+            sink: Some(Arc::new(Mutex::new(Vec::new()))),
+        }
+    }
+
+    /// Whether events are being recorded. Callers building expensive
+    /// event payloads (e.g. per-DPU span vectors) should gate the work
+    /// on this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Appends an event to the stream. The closure is evaluated only
+    /// when the handle is enabled, so constructing the event (and any
+    /// allocation inside it) is free on the disabled path.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            let event = make();
+            if let Ok(mut events) = sink.lock() {
+                events.push(event);
+            }
+        }
+    }
+
+    /// A snapshot of the events recorded so far, in emission order.
+    /// Empty for a disabled handle.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.sink {
+            Some(sink) => match sink.lock() {
+                Ok(events) => events.clone(),
+                Err(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events recorded so far (0 when disabled).
+    pub fn len(&self) -> usize {
+        match &self.sink {
+            Some(sink) => match sink.lock() {
+                Ok(events) => events.len(),
+                Err(_) => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Whether no events have been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all recorded events, keeping the handle enabled.
+    pub fn clear(&self) {
+        if let Some(sink) = &self.sink {
+            if let Ok(mut events) = sink.lock() {
+                events.clear();
+            }
+        }
+    }
+}
+
+/// Identity equality: two handles are equal when they are both disabled
+/// or share the same buffer. This keeps `PimConfig`'s derived
+/// `PartialEq` meaningful without comparing stream contents.
+impl PartialEq for Telemetry {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.sink, &other.sink) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn disabled_never_evaluates_the_closure() {
+        let t = Telemetry::disabled();
+        let mut evaluated = false;
+        t.emit(|| {
+            evaluated = true;
+            Event::Rollback { to_round: 0 }
+        });
+        assert!(!evaluated);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Telemetry::enabled();
+        let clone = t.clone();
+        clone.emit(|| Event::Rollback { to_round: 7 });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events(), clone.events());
+        assert_eq!(t, clone);
+        t.clear();
+        assert!(clone.is_empty());
+    }
+
+    #[test]
+    fn equality_is_identity_not_contents() {
+        let a = Telemetry::enabled();
+        let b = Telemetry::enabled();
+        assert_ne!(a, b); // both empty, but distinct buffers
+        assert_eq!(Telemetry::disabled(), Telemetry::disabled());
+        assert_ne!(a, Telemetry::disabled());
+    }
+}

@@ -1,0 +1,364 @@
+//! Chrome `trace_event` JSON export: lays the event stream out as host
+//! and per-DPU lanes on the **simulated** timeline, loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Mapping:
+//! - one *process* per run (`pid` = run index + 1, named by its label);
+//! - `tid 0` is the host lane: program loads, transfers, launch
+//!   critical paths and host aggregations as `"X"` complete events;
+//! - `tid i+1` is DPU `i`: each launch contributes one `"X"` span per
+//!   surviving DPU, scaled by its cycle share of the launch critical
+//!   path (`seconds * cycles / max_cycles`) so lane lengths visualise
+//!   load imbalance directly;
+//! - faults, retries, rollbacks, degradations and sync-round boundaries
+//!   are `"i"` instant events on the host lane.
+//!
+//! Timestamps (`ts`) and durations (`dur`) are microseconds of
+//! simulated time accumulated event by event, matching the serialized
+//! host timeline of the cost model. The export is a pure function of
+//! the stream, hence byte-deterministic and engine-invariant.
+
+use crate::event::Event;
+use crate::json::Json;
+
+const US_PER_S: f64 = 1e6;
+
+/// Renders one run's event stream as a Chrome trace JSON string.
+pub fn chrome_trace(label: &str, events: &[Event]) -> String {
+    chrome_trace_multi(&[(label.to_string(), events)])
+}
+
+/// Renders several runs side by side (one trace process per run).
+/// Accepts `(label, events)` pairs; run order fixes `pid` assignment.
+pub fn chrome_trace_multi(runs: &[(String, &[Event])]) -> String {
+    let mut trace_events = Vec::new();
+    for (run_idx, (label, events)) in runs.iter().enumerate() {
+        let pid = run_idx as u64 + 1;
+        emit_run(&mut trace_events, pid, label, events);
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+    .render_pretty()
+}
+
+fn metadata(pid: u64, tid: u64, what: &'static str, name: &str) -> Json {
+    Json::obj([
+        ("ph", Json::str("M")),
+        ("pid", Json::UInt(pid)),
+        ("tid", Json::UInt(tid)),
+        ("name", Json::str(what)),
+        ("args", Json::obj([("name", Json::str(name))])),
+    ])
+}
+
+fn complete(pid: u64, tid: u64, name: &str, ts_us: f64, dur_us: f64, args: Json) -> Json {
+    Json::obj([
+        ("ph", Json::str("X")),
+        ("pid", Json::UInt(pid)),
+        ("tid", Json::UInt(tid)),
+        ("name", Json::str(name)),
+        ("ts", Json::Num(ts_us)),
+        ("dur", Json::Num(dur_us)),
+        ("args", args),
+    ])
+}
+
+fn instant(pid: u64, name: &str, ts_us: f64, args: Json) -> Json {
+    Json::obj([
+        ("ph", Json::str("i")),
+        ("pid", Json::UInt(pid)),
+        ("tid", Json::UInt(0)),
+        ("name", Json::str(name)),
+        ("ts", Json::Num(ts_us)),
+        ("s", Json::str("t")),
+        ("args", args),
+    ])
+}
+
+fn emit_run(out: &mut Vec<Json>, pid: u64, label: &str, events: &[Event]) {
+    out.push(metadata(pid, 0, "process_name", label));
+    out.push(metadata(pid, 0, "thread_name", "host"));
+    // Name each DPU lane once, in index order, by scanning the stream
+    // for the set of DPUs that ever ran a span.
+    let mut named = Vec::new();
+    for event in events {
+        if let Event::KernelLaunch { dpu_cycles, .. } = event {
+            for &(dpu, _) in dpu_cycles {
+                if !named.contains(&dpu) {
+                    named.push(dpu);
+                }
+            }
+        }
+    }
+    named.sort_unstable();
+    for &dpu in &named {
+        out.push(metadata(
+            pid,
+            dpu as u64 + 1,
+            "thread_name",
+            &format!("dpu {dpu}"),
+        ));
+    }
+
+    let mut now_us = 0.0_f64;
+    for event in events {
+        match event {
+            Event::ProgramLoad {
+                dpus,
+                bytes,
+                seconds,
+            } => {
+                let dur = seconds * US_PER_S;
+                out.push(complete(
+                    pid,
+                    0,
+                    "program_load",
+                    now_us,
+                    dur,
+                    Json::obj([("dpus", Json::UInt(*dpus as u64)), ("bytes", Json::UInt(*bytes))]),
+                ));
+                now_us += dur;
+            }
+            Event::Transfer {
+                kind,
+                bytes,
+                dpus,
+                seconds,
+            } => {
+                let dur = seconds * US_PER_S;
+                out.push(complete(
+                    pid,
+                    0,
+                    kind.name(),
+                    now_us,
+                    dur,
+                    Json::obj([("dpus", Json::UInt(*dpus as u64)), ("bytes", Json::UInt(*bytes))]),
+                ));
+                now_us += dur;
+            }
+            Event::TransferFault { kind, seq, dpu } => {
+                out.push(instant(
+                    pid,
+                    &format!("transfer_fault:{}", kind.name()),
+                    now_us,
+                    Json::obj([("seq", Json::UInt(*seq)), ("dpu", Json::UInt(*dpu as u64))]),
+                ));
+            }
+            Event::KernelLaunch {
+                dpus,
+                max_cycles,
+                min_cycles,
+                mean_cycles,
+                seconds,
+                dpu_cycles,
+                faulted_dpus,
+                ..
+            } => {
+                let dur = seconds * US_PER_S;
+                out.push(complete(
+                    pid,
+                    0,
+                    "kernel_launch",
+                    now_us,
+                    dur,
+                    Json::obj([
+                        ("dpus", Json::UInt(*dpus as u64)),
+                        ("max_cycles", Json::UInt(*max_cycles)),
+                        ("min_cycles", Json::UInt(*min_cycles)),
+                        ("mean_cycles", Json::Num(*mean_cycles)),
+                        (
+                            "imbalance",
+                            Json::Num(if *mean_cycles > 0.0 {
+                                *max_cycles as f64 / *mean_cycles
+                            } else {
+                                0.0
+                            }),
+                        ),
+                        (
+                            "faulted_dpus",
+                            Json::Arr(
+                                faulted_dpus.iter().map(|&d| Json::UInt(d as u64)).collect(),
+                            ),
+                        ),
+                    ]),
+                ));
+                for &(dpu, cycles) in dpu_cycles {
+                    // Scale each lane by its cycle share of the critical
+                    // path: the slowest DPU spans the full launch.
+                    let share = if *max_cycles > 0 {
+                        cycles as f64 / *max_cycles as f64
+                    } else {
+                        0.0
+                    };
+                    out.push(complete(
+                        pid,
+                        dpu as u64 + 1,
+                        "kernel",
+                        now_us,
+                        dur * share,
+                        Json::obj([("cycles", Json::UInt(cycles))]),
+                    ));
+                }
+                now_us += dur;
+            }
+            Event::SyncRound { round, live_dpus } => {
+                out.push(instant(
+                    pid,
+                    "sync_round",
+                    now_us,
+                    Json::obj([
+                        ("round", Json::UInt(*round as u64)),
+                        ("live_dpus", Json::UInt(*live_dpus as u64)),
+                    ]),
+                ));
+            }
+            Event::HostAggregate {
+                tables,
+                bytes,
+                seconds,
+            } => {
+                let dur = seconds * US_PER_S;
+                out.push(complete(
+                    pid,
+                    0,
+                    "host_aggregate",
+                    now_us,
+                    dur,
+                    Json::obj([
+                        ("tables", Json::UInt(*tables as u64)),
+                        ("bytes", Json::UInt(*bytes)),
+                    ]),
+                ));
+                now_us += dur;
+            }
+            Event::Retry { attempt, dpus } => {
+                out.push(instant(
+                    pid,
+                    "retry",
+                    now_us,
+                    Json::obj([
+                        ("attempt", Json::UInt(*attempt as u64)),
+                        (
+                            "dpus",
+                            Json::Arr(dpus.iter().map(|&d| Json::UInt(d as u64)).collect()),
+                        ),
+                    ]),
+                ));
+            }
+            Event::Rollback { to_round } => {
+                out.push(instant(
+                    pid,
+                    "rollback",
+                    now_us,
+                    Json::obj([("to_round", Json::UInt(*to_round as u64))]),
+                ));
+            }
+            Event::Degradation {
+                dead_dpus,
+                survivors,
+            } => {
+                out.push(instant(
+                    pid,
+                    "degradation",
+                    now_us,
+                    Json::obj([
+                        (
+                            "dead_dpus",
+                            Json::Arr(dead_dpus.iter().map(|&d| Json::UInt(d as u64)).collect()),
+                        ),
+                        ("survivors", Json::UInt(*survivors as u64)),
+                    ]),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CycleClassTotals, TransferKind};
+    use crate::json::{parse, Json};
+
+    fn stream() -> Vec<Event> {
+        vec![
+            Event::ProgramLoad {
+                dpus: 2,
+                bytes: 64,
+                seconds: 0.001,
+            },
+            Event::Transfer {
+                kind: TransferKind::Scatter,
+                bytes: 512,
+                dpus: 2,
+                seconds: 0.002,
+            },
+            Event::KernelLaunch {
+                dpus: 2,
+                max_cycles: 1000,
+                min_cycles: 500,
+                mean_cycles: 750.0,
+                seconds: 0.004,
+                dpu_cycles: vec![(0, 1000), (1, 500)],
+                faulted_dpus: vec![],
+                classes: CycleClassTotals::default(),
+                sanitizer_findings: 0,
+            },
+            Event::SyncRound {
+                round: 0,
+                live_dpus: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_parses_and_lays_out_lanes() {
+        let rendered = chrome_trace("unit test", &stream());
+        let doc = parse(&rendered).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // 2 process/host metadata + 2 DPU lane names + load + transfer
+        // + launch + 2 spans + sync instant.
+        assert_eq!(events.len(), 10);
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("kernel"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // The slowest DPU spans the full launch; the other is scaled.
+        let durs: Vec<f64> = spans
+            .iter()
+            .map(|s| s.get("dur").and_then(Json::as_f64).expect("dur"))
+            .collect();
+        assert!((durs[0] - 4000.0).abs() < 1e-9);
+        assert!((durs[1] - 2000.0).abs() < 1e-9);
+        // Spans start after load + transfer (3 ms in).
+        assert_eq!(spans[0].get("ts").and_then(Json::as_f64), Some(3000.0));
+    }
+
+    #[test]
+    fn multi_run_assigns_distinct_pids() {
+        let s = stream();
+        let rendered = chrome_trace_multi(&[("a".to_string(), &s[..]), ("b".to_string(), &s[..])]);
+        let doc = parse(&rendered).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("array");
+        let pids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+            .collect();
+        assert!(pids.contains(&1) && pids.contains(&2));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let s = stream();
+        assert_eq!(chrome_trace("x", &s), chrome_trace("x", &s));
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`core`] — the SwiftRL system itself (kernels, partitioning,
 //!   τ-periodic synchronization, multi-agent training, time breakdowns);
 //! * [`baselines`] — CPU-V1/CPU-V2 baselines, CPU/GPU analytical models,
-//!   Table 1 specs and the Figure 2 roofline.
+//!   Table 1 specs and the Figure 2 roofline;
+//! * [`telemetry`] — deterministic run telemetry: typed event stream,
+//!   metrics snapshots and Chrome/Perfetto trace export.
 //!
 //! ## Quickstart
 //!
@@ -57,3 +59,4 @@ pub use swiftrl_core as core;
 pub use swiftrl_env as env;
 pub use swiftrl_pim as pim;
 pub use swiftrl_rl as rl;
+pub use swiftrl_telemetry as telemetry;

@@ -2,7 +2,7 @@
 //! workspace's own sources — the same gate `cargo run -p swiftrl-analysis`
 //! enforces from the command line.
 
-use swiftrl_analysis::{analyze_workspace, find_workspace_root};
+use swiftrl_analysis::{analyze_workspace, check_file, find_workspace_root};
 
 #[test]
 fn workspace_has_no_kernel_discipline_findings() {
@@ -20,4 +20,28 @@ fn workspace_has_no_kernel_discipline_findings() {
         "kernel-discipline violations:\n{}",
         rendered.join("\n")
     );
+}
+
+/// K008 fixture: a kernel that emits telemetry is flagged; the identical
+/// emission on the host side of the same file is not. Pins the rule the
+/// workspace-clean gate above relies on to keep the event stream a
+/// host-side-only observer.
+#[test]
+fn k008_fixture_flags_kernel_side_telemetry() {
+    let src = r#"
+        impl Kernel for Instrumented {
+            fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                self.sink.emit(|| Event::SyncRound { round: 0, live_dpus: 1 });
+                Ok(())
+            }
+        }
+        fn host_side(telemetry: &Telemetry) {
+            telemetry.emit(|| Event::SyncRound { round: 0, live_dpus: 1 });
+        }
+    "#;
+    let findings = check_file(std::path::Path::new("crates/core/src/kernels.rs"), src);
+    let k008: Vec<_> = findings.iter().filter(|f| f.rule == "K008").collect();
+    assert_eq!(k008.len(), 1, "exactly the kernel-side emit: {findings:?}");
+    assert!(k008[0].message.contains("emit"), "{k008:?}");
+    assert_eq!(k008[0].line, 4, "{k008:?}");
 }

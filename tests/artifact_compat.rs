@@ -1,0 +1,92 @@
+//! Backward compatibility of JSON artifacts across schema growth.
+//!
+//! `BENCH_SIM_THROUGHPUT.json` in the repository root was written by the
+//! hand-formatted writer that predates the shared telemetry JSON
+//! builder; the telemetry parser must accept it structurally, and the
+//! rebuilt `sim_throughput` writer must keep emitting the same keys.
+
+// Test scaffolding outside `#[test]` bodies may unwrap, matching the
+// allow-unwrap-in-tests policy in clippy.toml.
+#![allow(clippy::unwrap_used)]
+
+use swiftrl::telemetry::json::parse;
+use swiftrl::telemetry::Json;
+
+/// The checked-in, pre-telemetry artifact parses and carries the schema
+/// the rebuilt writer still emits.
+#[test]
+fn checked_in_sim_throughput_artifact_still_parses() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_SIM_THROUGHPUT.json");
+    let text = std::fs::read_to_string(&path).expect("checked-in BENCH_SIM_THROUGHPUT.json");
+    let doc = parse(&text).expect("artifact parses");
+
+    assert_eq!(
+        doc.get("benchmark").and_then(Json::as_str),
+        Some("sim_throughput")
+    );
+    for key in ["transitions", "episodes", "tau", "dpus"] {
+        assert!(
+            doc.get(key).and_then(Json::as_u64).is_some(),
+            "missing or non-integer {key}"
+        );
+    }
+    let entries = doc.get("entries").and_then(Json::as_array).expect("entries");
+    assert!(!entries.is_empty());
+    for entry in entries {
+        for key in ["env", "figure", "workload", "tier"] {
+            assert!(entry.get(key).and_then(Json::as_str).is_some(), "{key}");
+        }
+        for key in [
+            "host_kernel_wall_s",
+            "host_wall_s",
+            "sim_kernel_s",
+            "host_kernel_wall_per_sim_kernel_s",
+        ] {
+            assert!(entry.get(key).and_then(Json::as_f64).is_some(), "{key}");
+        }
+    }
+    for key in ["speedups", "aggregates"] {
+        let arr = doc.get(key).and_then(Json::as_array).unwrap_or_default();
+        assert!(!arr.is_empty(), "{key} empty");
+    }
+}
+
+/// An old-schema snippet — an artifact written before fields that exist
+/// today — still parses; unknown-to-old keys are simply absent, which is
+/// exactly what the container-level `#[serde(default)]` on
+/// `LaunchStats`/`SystemStats`/`TimeBreakdown` guarantees on the serde
+/// side: missing fields fill with defaults instead of failing.
+#[test]
+fn old_schema_snippet_parses_with_missing_fields() {
+    // A SystemStats as serialized before the fault-injection counters
+    // (faulted_launches, faulted_kernel_seconds, injected_transfer_faults)
+    // and before program_load_seconds existed.
+    let old = r#"{
+        "launches": 3,
+        "last_kernel_seconds": 0.25,
+        "kernel_seconds": 0.75,
+        "cpu_to_pim_seconds": 0.1,
+        "pim_to_cpu_seconds": 0.05,
+        "cpu_to_pim_bytes": 4096,
+        "pim_to_cpu_bytes": 2048
+    }"#;
+    let doc = parse(old).expect("old snippet parses");
+    assert_eq!(doc.get("launches").and_then(Json::as_u64), Some(3));
+    assert!(doc.get("faulted_launches").is_none(), "field postdates snippet");
+}
+
+/// Defaults are what `serde(default)` fills absent fields with — pin
+/// that the zero-value story stays sane for the stats types the
+/// artifacts embed.
+#[test]
+fn stats_defaults_are_all_zero() {
+    let launch = swiftrl::pim::stats::LaunchStats::default();
+    assert_eq!(launch.sanitizer_findings, 0);
+    assert!(launch.faulted_dpus.is_empty());
+    let sys = swiftrl::pim::stats::SystemStats::default();
+    assert_eq!(sys.faulted_launches, 0);
+    assert_eq!(sys.injected_transfer_faults, 0);
+    let b = swiftrl::core::breakdown::TimeBreakdown::default();
+    assert_eq!(b.total_seconds(), 0.0);
+    assert_eq!(b.program_load_s, 0.0);
+}
