@@ -1,0 +1,466 @@
+//! Constant evaluation and the memory-layout rules.
+//!
+//! * **K004** — every `*_OFFSET` / `*_BYTES` layout constant is 8-byte
+//!   aligned (the UPMEM DMA granule).
+//! * **K009** — WRAM region constants (`WRAM_<X>_OFFSET` paired with
+//!   `WRAM_<X>_BYTES` in the same file) describe non-overlapping regions
+//!   that fit the 64 KB per-DPU WRAM.
+//! * **K010** — the same proof for `MRAM_<X>_*` regions against the
+//!   per-bank MRAM capacity.
+//!
+//! Capacities are resolved from the workspace constants
+//! `WRAM_CAPACITY_BYTES` / `MRAM_BANK_CAPACITY_BYTES` (exported by
+//! `crates/pim/src/config.rs`), falling back to the UPMEM defaults
+//! (64 KB / 64 MB) when analyzing an isolated file.
+//!
+//! The evaluator handles the constant-expression subset the workspace
+//! actually uses: integer literals, references to other constants, `+`,
+//! `-`, `*`, `<<`, parentheses, and `as` casts. Anything else resolves to
+//! `None` and is skipped rather than misjudged.
+
+use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
+
+use crate::rules::Finding;
+use crate::scanner::{matching_delim, Token, TokenKind};
+
+/// Default WRAM capacity (bytes) when the workspace constant is absent.
+pub const DEFAULT_WRAM_CAPACITY: u64 = 64 * 1024;
+/// Default per-bank MRAM capacity (bytes) when the workspace constant is absent.
+pub const DEFAULT_MRAM_CAPACITY: u64 = 64 * 1024 * 1024;
+
+/// One `const NAME: TY = EXPR;` definition.
+pub struct ConstDef {
+    /// 1-based line of the name.
+    pub line: u32,
+    /// Token range `[start, end)` of the initializer expression.
+    pub expr: (usize, usize),
+}
+
+/// Collects `const NAME: TY = EXPR;` definitions (at any nesting depth).
+pub fn collect_consts<'s>(tokens: &'s [Token<'s>]) -> HashMap<&'s str, ConstDef> {
+    let mut defs = HashMap::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("const")
+            && tokens[i + 1].kind == TokenKind::Ident
+            && tokens[i + 2].is_punct(':')
+        {
+            let name = tokens[i + 1].text;
+            let line = tokens[i + 1].line;
+            // Skip the type annotation up to the `=` (or bail at `;`).
+            let mut j = i + 3;
+            while j < tokens.len() && !tokens[j].is_punct('=') && !tokens[j].is_punct(';') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('=') {
+                let expr_start = j + 1;
+                let mut k = expr_start;
+                let mut depth = 0i32;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('(') || tokens[k].is_punct('[') {
+                        depth += 1;
+                    } else if tokens[k].is_punct(')') || tokens[k].is_punct(']') {
+                        depth -= 1;
+                    } else if tokens[k].is_punct(';') && depth <= 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                defs.insert(name, ConstDef { line, expr: (expr_start, k) });
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    defs
+}
+
+/// Evaluates a small constant-expression subset: integer literals, names of
+/// other constants (same file first, then the workspace-global map),
+/// parentheses, `+`, `-`, `*`, `<<`. Returns `None` for anything it does
+/// not understand (method calls, paths, ...).
+pub struct ConstEval<'s, 'd> {
+    /// The file's token stream.
+    pub tokens: &'s [Token<'s>],
+    /// Same-file constant definitions.
+    pub defs: &'d HashMap<&'s str, ConstDef>,
+    /// Workspace-global resolved constants (cross-file references).
+    pub globals: &'d HashMap<String, u64>,
+    /// Memoized resolutions.
+    pub memo: HashMap<&'s str, Option<u64>>,
+    /// Cycle guard.
+    pub visiting: BTreeSet<String>,
+}
+
+impl<'s, 'd> ConstEval<'s, 'd> {
+    /// Creates an evaluator over one file's constants.
+    pub fn new(
+        tokens: &'s [Token<'s>],
+        defs: &'d HashMap<&'s str, ConstDef>,
+        globals: &'d HashMap<String, u64>,
+    ) -> Self {
+        ConstEval { tokens, defs, globals, memo: HashMap::new(), visiting: BTreeSet::new() }
+    }
+
+    /// Resolves a constant by name.
+    pub fn resolve(&mut self, name: &'s str) -> Option<u64> {
+        if let Some(v) = self.memo.get(name) {
+            return *v;
+        }
+        if self.visiting.contains(name) {
+            return None; // cycle
+        }
+        self.visiting.insert(name.to_string());
+        let v = match self.defs.get(name).map(|d| d.expr) {
+            Some((s, e)) => self.eval_range(s, e),
+            None => self.globals.get(name).copied(),
+        };
+        self.visiting.remove(name);
+        self.memo.insert(name, v);
+        v
+    }
+
+    fn eval_range(&mut self, start: usize, end: usize) -> Option<u64> {
+        let mut pos = start;
+        let v = self.shift(&mut pos, end)?;
+        if pos == end {
+            Some(v)
+        } else {
+            None // trailing tokens we do not understand
+        }
+    }
+
+    fn shift(&mut self, pos: &mut usize, end: usize) -> Option<u64> {
+        let mut acc = self.additive(pos, end)?;
+        while *pos + 1 < end
+            && self.tokens[*pos].is_punct('<')
+            && self.tokens[*pos + 1].is_punct('<')
+        {
+            *pos += 2;
+            let rhs = self.additive(pos, end)?;
+            acc = acc.checked_shl(u32::try_from(rhs).ok()?)?;
+        }
+        Some(acc)
+    }
+
+    fn additive(&mut self, pos: &mut usize, end: usize) -> Option<u64> {
+        let mut acc = self.multiplicative(pos, end)?;
+        while *pos < end {
+            if self.tokens[*pos].is_punct('+') {
+                *pos += 1;
+                acc = acc.checked_add(self.multiplicative(pos, end)?)?;
+            } else if self.tokens[*pos].is_punct('-') {
+                *pos += 1;
+                acc = acc.checked_sub(self.multiplicative(pos, end)?)?;
+            } else {
+                break;
+            }
+        }
+        Some(acc)
+    }
+
+    fn multiplicative(&mut self, pos: &mut usize, end: usize) -> Option<u64> {
+        let mut acc = self.atom(pos, end)?;
+        while *pos < end && self.tokens[*pos].is_punct('*') {
+            *pos += 1;
+            acc = acc.checked_mul(self.atom(pos, end)?)?;
+        }
+        Some(acc)
+    }
+
+    fn atom(&mut self, pos: &mut usize, end: usize) -> Option<u64> {
+        if *pos >= end {
+            return None;
+        }
+        let t = &self.tokens[*pos];
+        let v = if t.is_punct('(') {
+            let close = matching_delim(self.tokens, *pos, '(', ')');
+            if close >= end {
+                return None;
+            }
+            let inner = self.eval_range(*pos + 1, close)?;
+            *pos = close + 1;
+            inner
+        } else if t.kind == TokenKind::IntLit {
+            *pos += 1;
+            parse_int(t.text)?
+        } else if t.kind == TokenKind::Ident {
+            // Path expressions (`swiftrl_pim::config::CAP`) resolve by
+            // their last segment: constant names are workspace-unique.
+            let mut name = t.text;
+            *pos += 1;
+            while *pos + 2 < end
+                && self.tokens[*pos].is_punct(':')
+                && self.tokens[*pos + 1].is_punct(':')
+                && self.tokens[*pos + 2].kind == TokenKind::Ident
+            {
+                name = self.tokens[*pos + 2].text;
+                *pos += 3;
+            }
+            self.resolve(name)?
+        } else {
+            return None;
+        };
+        // Tolerate a trailing `as <type>` cast.
+        if *pos + 1 < end && self.tokens[*pos].is_ident("as") {
+            if self.tokens[*pos + 1].kind == TokenKind::Ident {
+                *pos += 2;
+            } else {
+                return None;
+            }
+        }
+        Some(v)
+    }
+}
+
+/// Parses a Rust integer literal (underscores, radix prefixes, suffixes).
+pub fn parse_int(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let (body, radix): (&str, u32) = if let Some(rest) = clean.strip_prefix("0x") {
+        (rest, 16)
+    } else if let Some(rest) = clean.strip_prefix("0b") {
+        (rest, 2)
+    } else if let Some(rest) = clean.strip_prefix("0o") {
+        (rest, 8)
+    } else {
+        (clean.as_str(), 10)
+    };
+    // Split the digits from any type suffix (`u32`, `usize`, ...).
+    let end = body
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(body.len());
+    u64::from_str_radix(&body[..end], radix).ok()
+}
+
+/// Evaluates every resolvable constant of a file into `(name, value)` pairs.
+/// Used to build the workspace-global constant map before the budget pass.
+pub fn resolvable_consts(tokens: &[Token<'_>]) -> Vec<(String, u64)> {
+    let defs = collect_consts(tokens);
+    let empty = HashMap::new();
+    let mut eval = ConstEval::new(tokens, &defs, &empty);
+    let mut names: Vec<&str> = defs.keys().copied().collect();
+    names.sort_unstable();
+    names
+        .into_iter()
+        .filter_map(|n| eval.resolve(n).map(|v| (n.to_string(), v)))
+        .collect()
+}
+
+/// K004: flags `*_OFFSET` / `*_BYTES` constants not divisible by 8.
+pub fn check_alignment(
+    file: &Path,
+    tokens: &[Token<'_>],
+    globals: &HashMap<String, u64>,
+    findings: &mut Vec<Finding>,
+) {
+    let defs = collect_consts(tokens);
+    let mut eval = ConstEval::new(tokens, &defs, globals);
+    let mut names: Vec<&str> = defs
+        .keys()
+        .copied()
+        .filter(|n| n.ends_with("_OFFSET") || n.ends_with("_BYTES"))
+        .collect();
+    names.sort_unstable();
+    for name in names {
+        if let Some(v) = eval.resolve(name) {
+            if v % 8 != 0 {
+                let line = eval.defs.get(name).map_or(0, |d| d.line);
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line,
+                    rule: "K004",
+                    message: format!(
+                        "layout constant `{name}` = {v} is not 8-byte aligned \
+                         (DMA granule)",
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// A declared memory region: `<PREFIX>_<X>_OFFSET` + `<PREFIX>_<X>_BYTES`.
+struct Region<'s> {
+    name: &'s str,
+    line: u32,
+    offset: u64,
+    bytes: u64,
+}
+
+/// Gathers the regions a file declares for one prefix (`WRAM` / `MRAM`).
+fn regions_for<'s>(
+    prefix: &str,
+    defs: &HashMap<&'s str, ConstDef>,
+    eval: &mut ConstEval<'s, '_>,
+) -> Vec<Region<'s>> {
+    let mut regions = Vec::new();
+    let mut names: Vec<&str> = defs.keys().copied().collect();
+    names.sort_unstable();
+    for name in names {
+        let Some(middle) = name
+            .strip_prefix(prefix)
+            .and_then(|r| r.strip_prefix('_'))
+            .and_then(|r| r.strip_suffix("_OFFSET"))
+        else {
+            continue;
+        };
+        let bytes_name = format!("{prefix}_{middle}_BYTES");
+        let Some((&sibling, _)) = defs.get_key_value(bytes_name.as_str()) else {
+            continue;
+        };
+        let (Some(offset), Some(bytes)) = (eval.resolve(name), eval.resolve(sibling)) else {
+            continue;
+        };
+        let line = defs.get(name).map_or(0, |d| d.line);
+        regions.push(Region { name, line, offset, bytes });
+    }
+    regions
+}
+
+/// K009/K010: proves the declared WRAM/MRAM regions of one file are within
+/// capacity and pairwise non-overlapping. (Alignment of the same constants
+/// is covered by K004.)
+pub fn check_budget(
+    file: &Path,
+    tokens: &[Token<'_>],
+    globals: &HashMap<String, u64>,
+    findings: &mut Vec<Finding>,
+) {
+    let defs = collect_consts(tokens);
+    let mut eval = ConstEval::new(tokens, &defs, globals);
+    for (prefix, rule, cap_name, default_cap, mem) in [
+        ("WRAM", "K009", "WRAM_CAPACITY_BYTES", DEFAULT_WRAM_CAPACITY, "WRAM"),
+        ("MRAM", "K010", "MRAM_BANK_CAPACITY_BYTES", DEFAULT_MRAM_CAPACITY, "MRAM bank"),
+    ] {
+        let capacity = globals
+            .get(cap_name)
+            .copied()
+            .or_else(|| {
+                let mut e = ConstEval::new(tokens, &defs, globals);
+                defs.get_key_value(cap_name).and_then(|(&n, _)| e.resolve(n))
+            })
+            .unwrap_or(default_cap);
+        let regions = regions_for(prefix, &defs, &mut eval);
+        for r in &regions {
+            let end = r.offset.checked_add(r.bytes);
+            if end.is_none() || end.is_some_and(|e| e > capacity) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: r.line,
+                    rule,
+                    message: format!(
+                        "region `{}` [{}, {}) exceeds the {capacity}-byte {mem} capacity",
+                        r.name,
+                        r.offset,
+                        r.offset.saturating_add(r.bytes),
+                    ),
+                });
+            }
+        }
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                let overlap = a.bytes > 0
+                    && b.bytes > 0
+                    && a.offset < b.offset.saturating_add(b.bytes)
+                    && b.offset < a.offset.saturating_add(a.bytes);
+                if overlap {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: b.line.max(a.line),
+                        rule,
+                        message: format!(
+                            "regions `{}` [{}, {}) and `{}` [{}, {}) overlap",
+                            a.name,
+                            a.offset,
+                            a.offset.saturating_add(a.bytes),
+                            b.name,
+                            b.offset,
+                            b.offset.saturating_add(b.bytes),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::tokenize;
+
+    fn run_budget(src: &str) -> Vec<Finding> {
+        let tokens = tokenize(src);
+        let mut findings = Vec::new();
+        check_budget(Path::new("crates/core/src/kernels.rs"), &tokens, &HashMap::new(), &mut findings);
+        findings
+    }
+
+    #[test]
+    fn overlapping_wram_regions_are_flagged() {
+        let src = r#"
+            pub const WRAM_Q_OFFSET: usize = 0;
+            pub const WRAM_Q_BYTES: usize = 1024;
+            pub const WRAM_BATCH_OFFSET: usize = 512;
+            pub const WRAM_BATCH_BYTES: usize = 256;
+        "#;
+        let f = run_budget(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "K009");
+        assert!(f[0].message.contains("overlap"), "{f:?}");
+    }
+
+    #[test]
+    fn wram_region_beyond_capacity_is_flagged() {
+        let src = r#"
+            pub const WRAM_Q_OFFSET: usize = 0;
+            pub const WRAM_Q_BYTES: usize = 65_544;
+        "#;
+        let f = run_budget(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "K009");
+        assert!(f[0].message.contains("65536-byte WRAM"), "{f:?}");
+    }
+
+    #[test]
+    fn capacity_constant_from_globals_wins_over_default() {
+        let src = r#"
+            pub const MRAM_T_OFFSET: usize = 0;
+            pub const MRAM_T_BYTES: usize = 2048;
+        "#;
+        let tokens = tokenize(src);
+        let mut globals = HashMap::new();
+        globals.insert("MRAM_BANK_CAPACITY_BYTES".to_string(), 1024);
+        let mut findings = Vec::new();
+        check_budget(Path::new("x.rs"), &tokens, &globals, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "K010");
+    }
+
+    #[test]
+    fn disjoint_regions_within_capacity_are_clean() {
+        let src = r#"
+            pub const WRAM_Q_OFFSET: usize = 0;
+            pub const WRAM_Q_BYTES: usize = 12_000;
+            pub const WRAM_BATCH_OFFSET: usize = WRAM_Q_BYTES;
+            pub const WRAM_BATCH_BYTES: usize = 8192;
+            pub const MRAM_HEADER_OFFSET: usize = 0;
+            pub const MRAM_HEADER_BYTES: usize = 64;
+            pub const MRAM_Q_OFFSET: usize = MRAM_HEADER_BYTES;
+            pub const MRAM_Q_BYTES: usize = 12_000;
+        "#;
+        let f = run_budget(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unresolvable_regions_are_skipped() {
+        let src = r#"
+            pub const WRAM_DYN_OFFSET: usize = size_of::<Header>();
+            pub const WRAM_DYN_BYTES: usize = 64;
+        "#;
+        assert!(run_budget(src).is_empty());
+    }
+}

@@ -1,37 +1,43 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-//! `swiftrl-analysis` — a rustc-tidy-style static lint pass for the SwiftRL
+//! `swiftrl-analysis` — a rustc-tidy-style static analyzer for the SwiftRL
 //! workspace, enforcing the *charged-intrinsics contract* that the whole
 //! cycle-accounting argument of the paper rests on.
 //!
-//! The analyzer is deliberately dependency-free (DESIGN.md §5): it lexes
-//! Rust source with a hand-rolled [`scanner`] and applies token-level
-//! [`rules`]. It is not a Rust parser — the rules are designed so the
-//! approximation errs on the side of *no false positives on this codebase*,
-//! and the `tests/analysis_clean.rs` integration test keeps it that way.
+//! The analyzer is dependency-free beyond the workspace's own zero-dep
+//! `swiftrl-telemetry` JSON layer (DESIGN.md §5): it lexes Rust source with
+//! a hand-rolled [`scanner`], recovers items and call sites with a
+//! lightweight [`parse`] pass, builds a workspace [`callgraph`], and applies
+//! [`rules`] over the set of functions transitively reachable from kernel
+//! entry points. It is not a full Rust parser — resolution is deliberately
+//! conservative, and the `tests/analysis_clean.rs` integration test keeps
+//! the approximation free of false positives on this codebase.
 //!
 //! Run it with:
 //!
 //! ```text
-//! cargo run -p swiftrl-analysis              # lint the workspace
-//! cargo run -p swiftrl-analysis -- --explain K001
-//! cargo run -p swiftrl-analysis -- --fix-hints
+//! cargo run -p swiftrl-analysis                    # lint, baseline-gated
+//! cargo run -p swiftrl-analysis -- --explain K001  # rule docs + example
+//! cargo run -p swiftrl-analysis -- --json findings.json --sarif out.sarif
+//! cargo run -p swiftrl-analysis -- --write-baseline
 //! ```
 //!
-//! Rules: **K001** no host floats in kernel code, **K002** no
-//! nondeterminism/free work in kernel bodies, **K003** every `DpuContext`
-//! intrinsic charges a cost (and every `OpCosts` field has a consumer),
-//! **K004** MRAM layout constants are 8-byte aligned, **K005** no host
-//! threading in kernel code (parallelism belongs to the execution
-//! engine), **K006** no fault-plan access in kernel code (faults are a
-//! platform behaviour; kernels stay oblivious), **K007** no direct
-//! `softfloat`/`emul`/`fastpath` calls in kernel code (arithmetic goes
-//! through the charged, tier-dispatching `DpuContext` intrinsics),
-//! **K008** no telemetry emission in kernel code (the event stream is a
-//! host-side observer recorded after the engine's ordered merge),
-//! **W001** no `unwrap`/`expect` in library code.
+//! Rules: **K001** no host floats in kernel-reachable code, **K002** no
+//! nondeterminism/free work, **K003** every `DpuContext` intrinsic charges
+//! a cost (and every `OpCosts` field has a consumer), **K004** layout
+//! constants are 8-byte aligned, **K005** no host threading, **K006** no
+//! fault-plan access, **K007** no direct `softfloat`/`emul`/`fastpath`
+//! calls, **K008** no telemetry emission (K005–K008 all over the
+//! kernel-reachable set), **K009/K010** declared WRAM/MRAM regions fit
+//! their capacities and never overlap, **D001–D003** host-side determinism
+//! (no hashed iteration, ambient time/entropy, or `std::env` in scoped
+//! library code), **W001** no `unwrap`/`expect` in library code.
 
+pub mod budget;
+pub mod callgraph;
+pub mod parse;
+pub mod report;
 pub mod rules;
 pub mod scanner;
 
@@ -39,6 +45,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use parse::{SourceFile, Workspace};
+
+pub use report::{baseline_path, findings_json, sarif_json, severity_of, Baseline, Severity};
 pub use rules::{check_charge_coverage, check_file, rule_info, Finding, RuleInfo, RULES};
 
 /// Result of analyzing a workspace tree.
@@ -77,37 +86,24 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 /// Runs every rule over all `.rs` files under `root` (the workspace root).
 ///
-/// Single-file rules run on each source; the cross-file K003 charge-coverage
-/// check runs on `crates/pim/src/kernel.rs` against
-/// `crates/pim/src/config.rs` when both exist.
+/// The sources are parsed into a single [`Workspace`] so that kernel rules
+/// see the cross-file call graph and budget rules see workspace-global
+/// constants; K003 runs when `crates/pim/src/{kernel,config}.rs` are both
+/// present.
 pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
-    let mut analysis = Analysis::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in &files {
         let src = fs::read_to_string(path)?;
-        let rel = path.strip_prefix(root).unwrap_or(path);
-        analysis.findings.extend(rules::check_file(rel, &src));
-        analysis.files_scanned += 1;
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        sources.push(SourceFile { rel, src });
     }
-
-    let kernel_path = root.join("crates/pim/src/kernel.rs");
-    let config_path = root.join("crates/pim/src/config.rs");
-    if kernel_path.is_file() && config_path.is_file() {
-        let kernel_src = fs::read_to_string(&kernel_path)?;
-        let config_src = fs::read_to_string(&config_path)?;
-        analysis.findings.extend(rules::check_charge_coverage(
-            Path::new("crates/pim/src/kernel.rs"),
-            &kernel_src,
-            Path::new("crates/pim/src/config.rs"),
-            &config_src,
-        ));
-    }
-
-    analysis
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(analysis)
+    let ws = Workspace::build(&sources);
+    Ok(Analysis {
+        files_scanned: sources.len(),
+        findings: rules::check_workspace(&ws),
+    })
 }
 
 /// Walks upward from `start` to the first directory whose `Cargo.toml`

@@ -1,26 +1,45 @@
 //! CLI for the SwiftRL kernel-discipline analyzer.
 //!
 //! ```text
-//! cargo run -p swiftrl-analysis                 # lint the workspace, exit 1 on findings
+//! cargo run -p swiftrl-analysis                 # lint the workspace, baseline-gated
 //! cargo run -p swiftrl-analysis -- --list       # list all rules
 //! cargo run -p swiftrl-analysis -- --explain K003
 //! cargo run -p swiftrl-analysis -- --fix-hints  # findings with fix suggestions
 //! cargo run -p swiftrl-analysis -- --root PATH  # lint a different tree
+//! cargo run -p swiftrl-analysis -- --json [PATH] --sarif PATH
+//! cargo run -p swiftrl-analysis -- --write-baseline
 //! ```
+//!
+//! Exit codes: **0** clean (no findings, or every finding covered by the
+//! baseline), **1** new findings, **2** usage or I/O error.
+//!
+//! A checked-in `analysis-baseline.json` at the workspace root is applied
+//! automatically (opt out with `--no-baseline`, point elsewhere with
+//! `--baseline PATH`); CI therefore fails only on *new* findings.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use swiftrl_analysis::{analyze_workspace, find_workspace_root, rule_info, RULES};
+use swiftrl_analysis::{
+    analyze_workspace, baseline_path, find_workspace_root, findings_json, rule_info, sarif_json,
+    severity_of, Baseline, RULES,
+};
 
 fn usage() -> &'static str {
-    "usage: swiftrl-analysis [--root PATH] [--fix-hints] [--list] [--explain RULE]"
+    "usage: swiftrl-analysis [--root PATH] [--fix-hints] [--list] [--explain RULE]\n\
+     \x20                       [--json [PATH]] [--sarif PATH]\n\
+     \x20                       [--baseline PATH] [--no-baseline] [--write-baseline]"
 }
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut fix_hints = false;
-    let mut args = std::env::args().skip(1);
+    let mut json_out: Option<Option<PathBuf>> = None; // None=off, Some(None)=stdout
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut baseline_file: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--explain" => {
@@ -35,12 +54,21 @@ fn main() -> ExitCode {
                     }
                     return ExitCode::from(2);
                 };
-                println!("{} — {}\n\n{}\n\nfix: {}", info.id, info.title, info.explain, info.fix_hint);
+                println!(
+                    "{} — {} [{}]\nscope: {}\n\n{}\n\nexample:\n{}\n\nfix: {}",
+                    info.id,
+                    info.title,
+                    info.severity.as_str(),
+                    info.scope,
+                    info.explain,
+                    info.example,
+                    info.fix_hint
+                );
                 return ExitCode::SUCCESS;
             }
             "--list" => {
                 for r in RULES {
-                    println!("{} — {}", r.id, r.title);
+                    println!("{} [{}] — {}", r.id, r.severity.as_str(), r.title);
                 }
                 return ExitCode::SUCCESS;
             }
@@ -52,6 +80,34 @@ fn main() -> ExitCode {
                 };
                 root = Some(PathBuf::from(p));
             }
+            "--json" => {
+                // Optional path operand: `--json out.json` writes a file,
+                // bare `--json` prints the document to stdout.
+                let path = args
+                    .peek()
+                    .filter(|a| !a.starts_with("--"))
+                    .map(PathBuf::from);
+                if path.is_some() {
+                    args.next();
+                }
+                json_out = Some(path);
+            }
+            "--sarif" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--sarif needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                sarif_out = Some(PathBuf::from(p));
+            }
+            "--baseline" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--baseline needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                baseline_file = Some(PathBuf::from(p));
+            }
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -91,20 +147,86 @@ fn main() -> ExitCode {
         }
     };
 
-    for f in &analysis.findings {
-        println!("{f}");
-        if fix_hints {
-            if let Some(info) = rule_info(f.rule) {
-                println!("    hint: {}", info.fix_hint);
+    let default_baseline = baseline_path(&root);
+    let baseline_file = baseline_file.or_else(|| default_baseline.is_file().then_some(default_baseline));
+
+    if write_baseline {
+        let target = baseline_file.unwrap_or_else(|| baseline_path(&root));
+        let baseline = Baseline::from_findings(&analysis.findings);
+        if let Err(e) = std::fs::write(&target, baseline.render()) {
+            eprintln!("cannot write baseline {}: {e}", target.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "swiftrl-analysis: wrote {} baseline entr(ies) to {}",
+            analysis.findings.len(),
+            target.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if no_baseline {
+        Baseline::default()
+    } else if let Some(path) = &baseline_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("invalid baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let (new_findings, baselined) = baseline.partition(&analysis.findings);
+
+    if let Some(path) = &sarif_out {
+        let doc = sarif_json(&new_findings);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("cannot write SARIF {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(dest) = &json_out {
+        let doc = findings_json(analysis.files_scanned, &new_findings, baselined);
+        match dest {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+                    eprintln!("cannot write JSON {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            None => println!("{}", doc.render_pretty()),
+        }
+    }
+
+    // Human-readable findings go to stdout unless it is carrying the JSON
+    // document.
+    if !matches!(json_out, Some(None)) {
+        for f in &new_findings {
+            println!("{} [{}]", f, severity_of(f.rule).as_str());
+            if fix_hints {
+                if let Some(info) = rule_info(f.rule) {
+                    println!("    hint: {}", info.fix_hint);
+                }
             }
         }
     }
     eprintln!(
-        "swiftrl-analysis: {} files scanned, {} finding(s)",
+        "swiftrl-analysis: {} files scanned, {} new finding(s), {} baselined",
         analysis.files_scanned,
-        analysis.findings.len()
+        new_findings.len(),
+        baselined
     );
-    if analysis.findings.is_empty() {
+    if new_findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -84,6 +84,15 @@ impl<'s> Scanner<'s> {
     }
 
     fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        // Byte-oriented scans (string escapes, `b'…'`, the bounded
+        // char-literal lookahead) can leave `pos` past the end or in the
+        // middle of a multi-byte code point on garbage input; clamp and
+        // re-align forward so the slice below can never panic. Tokens
+        // simply absorb any trailing continuation bytes.
+        self.pos = self.pos.min(self.bytes.len());
+        while self.pos < self.bytes.len() && (0x80..0xC0).contains(&self.bytes[self.pos]) {
+            self.pos += 1;
+        }
         let text = &self.src[start..self.pos];
         self.out.push(Token { kind, text, line });
     }
@@ -298,10 +307,38 @@ impl<'s> Scanner<'s> {
         }
     }
 
+    /// True if a number starting at the current position is a tuple-index
+    /// field access (`x.0`, `pair.0.1`) rather than a numeric literal: the
+    /// previous token is a single `.` (not part of `..`) whose left-hand
+    /// side is an expression — an identifier, a closing delimiter, or a
+    /// previous tuple index. Float literals after a range (`0.0..0.5`) keep
+    /// the normal float path because their `.` is part of `..`.
+    fn tuple_index_position(&self) -> bool {
+        let n = self.out.len();
+        if n < 2 || !self.out[n - 1].is_punct('.') {
+            return false;
+        }
+        let base = &self.out[n - 2];
+        !base.is_punct('.')
+            && (matches!(base.kind, TokenKind::Ident | TokenKind::IntLit)
+                || base.is_punct(')')
+                || base.is_punct(']'))
+    }
+
     fn scan_number(&mut self) {
         let start = self.pos;
         let line = self.line;
         let mut kind = TokenKind::IntLit;
+        if self.tuple_index_position() {
+            // Tuple-index chains like `x.0.1` are two integer field
+            // accesses; consuming `0.1` as a float here would make K001
+            // flag tuple projections as host-float literals.
+            while self.peek(0).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            self.push(kind, start, line);
+            return;
+        }
         if self.bytes[self.pos] == b'0'
             && matches!(self.peek(1), Some(b'x') | Some(b'b') | Some(b'o'))
         {
@@ -396,6 +433,23 @@ impl<'s> Scanner<'s> {
     }
 }
 
+/// Returns the matching close-delimiter index for the opener at `open_idx`
+/// (e.g. `'('`/`')'`), or `tokens.len()` if unbalanced.
+pub fn matching_delim(tokens: &[Token<'_>], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len()
+}
+
 /// Returns the index of the matching close brace for the open brace at
 /// `open_idx` (which must be a `{` token), or `tokens.len()` if unbalanced.
 pub fn matching_brace(tokens: &[Token<'_>], open_idx: usize) -> usize {
@@ -449,6 +503,32 @@ mod tests {
     }
 
     #[test]
+    fn tuple_index_chains_are_integer_field_accesses() {
+        // `x.0.1` is two integer projections, never a `0.1` float literal.
+        let toks = kinds("let v = x.0.1;");
+        let floats = toks.iter().filter(|(k, _)| *k == TokenKind::FloatLit).count();
+        assert_eq!(floats, 0, "{toks:?}");
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::IntLit)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ints, ["0", "1"]);
+        // Same through closing delimiters and deeper chains.
+        let toks = kinds("(f(a).0, arr[i].0.2, pair.1)");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::FloatLit), "{toks:?}");
+        // Float literals keep their dot — including after a range, where
+        // the preceding token is the second `.` of `..`.
+        let toks = kinds("q.0 + 0.5 + range(0.0..0.5)");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::FloatLit)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(floats, ["0.5", "0.0", "0.5"]);
+    }
+
+    #[test]
     fn lifetimes_vs_char_literals() {
         let toks = kinds("<'a> 'x' '\\n' b'S' &'_ ()");
         let lifetimes: Vec<_> = toks
@@ -470,6 +550,27 @@ mod tests {
         assert!(toks.iter().all(|(k, _)| *k != TokenKind::FloatLit));
         assert!(!toks.iter().any(|(_, s)| s == "unwrap" || s == "vec"));
         assert!(toks.iter().any(|(_, s)| s == "x"));
+    }
+
+    #[test]
+    fn multibyte_garbage_never_splits_code_points() {
+        // Regression: escape skips (`\\` + multi-byte char), `b'…'`
+        // scanning, and the bounded char-literal lookahead used to leave
+        // the cursor mid-code-point and panic slicing the token text.
+        for src in [
+            "\"\\é",                    // escape consumes into a 2-byte char, then EOF
+            "b'é",                      // byte-char scan across a multi-byte char
+            "'ééééé",                   // bounded lookahead stops mid-sequence
+            "\"\\",                     // escape at the last byte (pos past EOF)
+            "é.é '\u{1F600}' r#\"\u{1F600}", // stray + emoji literal + unterminated raw
+        ] {
+            let toks = tokenize(src);
+            let mut last = 1u32;
+            for t in &toks {
+                assert!(t.line >= last);
+                last = t.line;
+            }
+        }
     }
 
     #[test]

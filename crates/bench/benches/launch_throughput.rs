@@ -6,9 +6,6 @@
 //! benchmark measures the only thing the engine choice can change: how
 //! fast the simulator itself gets through launches.
 
-// Benchmark scaffolding may unwrap, same policy as test code.
-#![allow(clippy::unwrap_used)]
-
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;

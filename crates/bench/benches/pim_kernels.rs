@@ -1,9 +1,6 @@
 //! Macro-benchmarks: host wall-clock cost of simulating one PIM kernel
 //! launch per workload variant (simulator throughput, not modelled time).
 
-// Benchmark scaffolding may unwrap, same policy as test code.
-#![allow(clippy::unwrap_used)]
-
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::PimRunner;

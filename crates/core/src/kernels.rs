@@ -27,6 +27,26 @@ use swiftrl_pim::kernel::{DpuContext, Kernel, KernelError, F32};
 const SEQ_BATCH: usize = 32;
 /// Bytes per transition record.
 const RECORD_BYTES: usize = 16;
+/// Most tasklets a kernel can be configured with — the 24 hardware threads
+/// of an UPMEM DPU. Bounds the static WRAM batch budget below.
+pub const MAX_TASKLETS: usize = 24;
+
+/// Static WRAM budget of the kernel, in the `WRAM_<X>_OFFSET`/`_BYTES`
+/// convention the analyzer proves non-overlapping and within the 64-KB
+/// scratchpad (K009). The runtime [`WramMap`] packs tighter (its batch
+/// window starts right after the *actual* Q-table), but never exceeds
+/// these bounds.
+pub const WRAM_Q_TABLE_OFFSET: usize = 0;
+/// Worst-case Q-table slab: Taxi-v3, 500 states × 6 actions × 4 bytes.
+pub const WRAM_Q_TABLE_BYTES: usize = 12_000;
+/// Per-tasklet transition staging windows follow the Q-table slab.
+pub const WRAM_BATCH_OFFSET: usize = WRAM_Q_TABLE_OFFSET + WRAM_Q_TABLE_BYTES;
+/// One SEQ batch window (32 × 16 B) per tasklet.
+pub const WRAM_BATCH_BYTES: usize = MAX_TASKLETS * SEQ_BATCH * RECORD_BYTES;
+
+// The budget must fit the UPMEM scratchpad — checked at compile time here
+// and re-proven (with overlap checks) by `swiftrl-analysis` K009.
+const _: () = assert!(WRAM_BATCH_OFFSET + WRAM_BATCH_BYTES <= swiftrl_pim::config::WRAM_CAPACITY_BYTES);
 /// Bit of the action word carrying the terminal flag
 /// (`Transition::DONE_BIT`).
 const DONE_BIT: u32 = 1 << 31;
@@ -62,9 +82,14 @@ impl SwiftRlKernel {
     ///
     /// # Panics
     ///
-    /// Panics if `tasklets` is zero.
+    /// Panics if `tasklets` is zero or exceeds [`MAX_TASKLETS`] (the DPU's
+    /// 24 hardware threads — also the bound of the static WRAM budget).
     pub fn with_tasklets(spec: WorkloadSpec, tasklets: usize) -> Self {
         assert!(tasklets > 0, "need at least one tasklet");
+        assert!(
+            tasklets <= MAX_TASKLETS,
+            "a DPU has {MAX_TASKLETS} hardware threads, got {tasklets}"
+        );
         Self { spec, tasklets }
     }
 
@@ -86,7 +111,8 @@ impl Kernel for SwiftRlKernel {
         let mut hdr_buf = [0u8; HEADER_BYTES];
         ctx.mram_read(0, &mut hdr_buf)?;
         ctx.charge_alu(13); // unpack the 13 header words into registers
-        let hdr = KernelHeader::from_bytes(&hdr_buf).map_err(KernelError::Fault)?;
+        let hdr = KernelHeader::from_bytes(&hdr_buf)
+            .map_err(|e| KernelError::Fault(format!("{e}")))?;
 
         let body = KernelBody::new(self.spec, hdr, ctx.tasklet_id(), self.tasklets);
         body.run(ctx)
@@ -105,6 +131,10 @@ struct WramMap {
 impl WramMap {
     fn new(hdr: &KernelHeader) -> Self {
         let q_bytes = hdr.q_table_bytes();
+        // The runtime map packs the batch window right after the actual
+        // Q-table. Oversized tables (beyond the static budget K009 proves
+        // for the paper's workloads) are legal inputs: the out-of-range
+        // WRAM access faults the kernel downstream.
         Self {
             q: 0,
             batch: q_bytes.div_ceil(8) * 8,

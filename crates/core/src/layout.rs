@@ -24,6 +24,27 @@ pub const HEADER_BYTES: usize = 64;
 /// MRAM offset of the Q-table.
 pub const Q_TABLE_OFFSET: usize = HEADER_BYTES;
 
+// Static MRAM bank map in the `MRAM_<X>_OFFSET`/`_BYTES` convention the
+// analyzer proves non-overlapping and within the 64-MB bank (K010). The
+// runtime layout ([`KernelHeader::transitions_offset`]) packs the
+// transition store right after the *actual* Q-table; these constants pin
+// the worst case (Taxi-v3's 12 000-byte table) and give the transition
+// store everything that remains.
+
+/// The header occupies the first 64 bytes of every bank.
+pub const MRAM_HEADER_OFFSET: usize = 0;
+/// See [`HEADER_BYTES`].
+pub const MRAM_HEADER_BYTES: usize = HEADER_BYTES;
+/// The Q-table slab follows the header.
+pub const MRAM_Q_TABLE_OFFSET: usize = Q_TABLE_OFFSET;
+/// Worst-case Q-table: Taxi-v3, 500 states × 6 actions × 4 bytes.
+pub const MRAM_Q_TABLE_BYTES: usize = 12_000;
+/// Transition records fill the rest of the bank.
+pub const MRAM_TRANSITIONS_OFFSET: usize = MRAM_Q_TABLE_OFFSET + MRAM_Q_TABLE_BYTES;
+/// Everything after header + worst-case Q-table, up to the 64-MB bank.
+pub const MRAM_TRANSITIONS_BYTES: usize =
+    swiftrl_pim::config::MRAM_BANK_CAPACITY_BYTES - MRAM_TRANSITIONS_OFFSET;
+
 /// Sampling-strategy discriminants in the header.
 pub mod sampling_kind {
     /// Sequential walk.
@@ -33,6 +54,36 @@ pub mod sampling_kind {
     /// Random draws.
     pub const RAN: u32 = 2;
 }
+
+/// Why a serialized [`KernelHeader`] failed to decode.
+///
+/// Plain data (no owned strings): [`KernelHeader::from_bytes`] runs on the
+/// kernel's launch path, where heap allocation is forbidden (K002). The
+/// host formats the message when it surfaces the fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderError {
+    /// The MRAM block was shorter than [`HEADER_BYTES`].
+    TooShort {
+        /// Actual length of the block handed to the decoder.
+        len: usize,
+    },
+    /// The first word did not match [`HEADER_MAGIC`].
+    BadMagic {
+        /// The word actually read.
+        word: u32,
+    },
+}
+
+impl core::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::TooShort { len } => write!(f, "header block too short: {len} bytes"),
+            Self::BadMagic { word } => write!(f, "bad header magic {word:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
 
 /// The per-DPU kernel parameter block.
 ///
@@ -106,17 +157,20 @@ impl KernelHeader {
     ///
     /// # Errors
     ///
-    /// Returns a message if the block is too short or the magic word is
-    /// wrong (kernel launched on an unloaded DPU).
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+    /// Returns a [`HeaderError`] if the block is too short or the magic
+    /// word is wrong (kernel launched on an unloaded DPU). The error is
+    /// plain data — this function is kernel-reachable, so nothing on its
+    /// path allocates; callers format the message on their (exempt) fault
+    /// path.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, HeaderError> {
         if bytes.len() < HEADER_BYTES {
-            return Err(format!("header block too short: {} bytes", bytes.len()));
+            return Err(HeaderError::TooShort { len: bytes.len() });
         }
         let word = |i: usize| {
             u32::from_le_bytes([bytes[4 * i], bytes[4 * i + 1], bytes[4 * i + 2], bytes[4 * i + 3]])
         };
         if word(0) != HEADER_MAGIC {
-            return Err(format!("bad header magic {:#010x}", word(0)));
+            return Err(HeaderError::BadMagic { word: word(0) });
         }
         Ok(Self {
             n_transitions: word(1),

@@ -505,7 +505,8 @@ impl PimRunner {
                 // Read-modify-write the header so the kernel-advanced
                 // episode window survives a pure chunk-count patch.
                 let raw = set.copy_from(dpu, 0, HEADER_BYTES)?;
-                let mut header = KernelHeader::from_bytes(&raw).map_err(PimError::BadArgument)?;
+                let mut header = KernelHeader::from_bytes(&raw)
+                    .map_err(|e| PimError::BadArgument(e.to_string()))?;
                 header.n_transitions = counts[dpu] as u32;
                 if let Some(ck_round) = rollback {
                     header.episode_base = ck_round * self.cfg.tau;

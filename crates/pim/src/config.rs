@@ -9,6 +9,15 @@
 
 use serde::{Deserialize, Serialize};
 
+/// WRAM scratchpad capacity per DPU in bytes (64 KB on UPMEM). One source
+/// of truth for [`PimConfig::default`] and for the analyzer's K009 static
+/// WRAM-budget proof.
+pub const WRAM_CAPACITY_BYTES: usize = 64 * 1024;
+
+/// MRAM bank capacity per DPU in bytes (64 MB on UPMEM); the budget of the
+/// analyzer's K010 MRAM-region proof.
+pub const MRAM_BANK_CAPACITY_BYTES: usize = 64 * 1024 * 1024;
+
 /// Geometry and clocking of the simulated PIM platform.
 ///
 /// Construct with [`PimConfig::default`] for the paper's server, or use
@@ -71,8 +80,8 @@ impl Default for PimConfig {
         Self {
             dpus: 2524,
             frequency_mhz: 425,
-            mram_bytes: 64 * 1024 * 1024,
-            wram_bytes: 64 * 1024,
+            mram_bytes: MRAM_BANK_CAPACITY_BYTES,
+            wram_bytes: WRAM_CAPACITY_BYTES,
             iram_bytes: 24 * 1024,
             tasklets_per_dpu: 24,
             dpus_per_rank: 64,

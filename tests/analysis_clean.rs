@@ -1,12 +1,27 @@
-//! The kernel-discipline analyzer must report zero findings on the
-//! workspace's own sources — the same gate `cargo run -p swiftrl-analysis`
-//! enforces from the command line.
+//! The kernel-discipline analyzer must be self-clean: zero non-baselined
+//! findings on the workspace's own sources — the same gate
+//! `cargo run -p swiftrl-analysis` enforces from the command line — plus
+//! fixture pins for every rule family and a fuzz harness for the lexer.
 
-use swiftrl_analysis::{analyze_workspace, check_file, find_workspace_root};
+use std::path::Path;
+
+use proptest::prelude::*;
+use swiftrl_analysis::{
+    analyze_workspace, check_file, find_workspace_root, scanner, Baseline, Finding,
+};
+
+fn rules_of(file: &str, src: &str) -> Vec<&'static str> {
+    let mut r: Vec<&'static str> = check_file(Path::new(file), src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    r.dedup();
+    r
+}
 
 #[test]
-fn workspace_has_no_kernel_discipline_findings() {
-    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+fn workspace_has_no_new_kernel_discipline_findings() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
         .expect("workspace root with Cargo.toml");
     let analysis = analyze_workspace(&root).expect("workspace scan");
     assert!(
@@ -14,11 +29,37 @@ fn workspace_has_no_kernel_discipline_findings() {
         "suspiciously small scan: {} files",
         analysis.files_scanned
     );
-    let rendered: Vec<String> = analysis.findings.iter().map(|f| f.to_string()).collect();
+    let baseline_text = std::fs::read_to_string(root.join("analysis-baseline.json"))
+        .expect("checked-in analysis-baseline.json");
+    let baseline = Baseline::parse(&baseline_text).expect("valid baseline");
+    let (new_findings, baselined) = baseline.partition(&analysis.findings);
+    let rendered: Vec<String> = new_findings.iter().map(|f| f.to_string()).collect();
     assert!(
-        analysis.findings.is_empty(),
-        "kernel-discipline violations:\n{}",
+        new_findings.is_empty(),
+        "non-baselined kernel-discipline violations:\n{}",
         rendered.join("\n")
+    );
+    // The baseline is a short, curated allowlist (wall-clock measurement
+    // in the runner) — if it quietly grows, someone is hiding findings.
+    assert!(baselined <= 4, "baseline covers {baselined} findings");
+}
+
+#[test]
+fn baseline_entries_all_still_match_a_finding() {
+    // Stale baseline entries (the code they sanctioned is gone) must be
+    // pruned, or the allowlist rots into a blanket suppression.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root with Cargo.toml");
+    let analysis = analyze_workspace(&root).expect("workspace scan");
+    let baseline_text = std::fs::read_to_string(root.join("analysis-baseline.json"))
+        .expect("checked-in analysis-baseline.json");
+    let baseline = Baseline::parse(&baseline_text).expect("valid baseline");
+    let fresh = Baseline::from_findings(&analysis.findings);
+    assert_eq!(
+        baseline.render(),
+        fresh.render(),
+        "analysis-baseline.json is stale; regenerate with \
+         `cargo run -p swiftrl-analysis -- --write-baseline`"
     );
 }
 
@@ -39,9 +80,205 @@ fn k008_fixture_flags_kernel_side_telemetry() {
             telemetry.emit(|| Event::SyncRound { round: 0, live_dpus: 1 });
         }
     "#;
-    let findings = check_file(std::path::Path::new("crates/core/src/kernels.rs"), src);
+    let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
     let k008: Vec<_> = findings.iter().filter(|f| f.rule == "K008").collect();
     assert_eq!(k008.len(), 1, "exactly the kernel-side emit: {findings:?}");
     assert!(k008[0].message.contains("emit"), "{k008:?}");
     assert_eq!(k008[0].line, 4, "{k008:?}");
+}
+
+/// The acceptance pin for the call-graph tentpole: a host float hidden in
+/// a helper the kernel reaches through a plain call — no `DpuContext`
+/// parameter, outside the impl block, invisible to the old region
+/// heuristic — is flagged with a call-chain witness.
+#[test]
+fn transitive_violation_is_caught_through_a_helper() {
+    let src = r#"
+        impl Kernel for Sneaky {
+            fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                let bits = decay_bits(3);
+                Ok(())
+            }
+        }
+        fn decay_bits(round: u32) -> u32 {
+            (0.99f32).to_bits() >> round
+        }
+    "#;
+    let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
+    let k001: Vec<_> = findings.iter().filter(|f| f.rule == "K001").collect();
+    assert_eq!(k001.len(), 1, "{findings:?}");
+    assert!(
+        k001[0]
+            .message
+            .contains("kernel-reachable via Sneaky::run → decay_bits"),
+        "finding lacks its witness chain: {k001:?}"
+    );
+}
+
+/// D001: hashed collections in determinism-scoped library code (violating
+/// and clean variants).
+#[test]
+fn d001_fixture() {
+    let bad = r#"
+        use std::collections::HashMap;
+        pub fn merge(parts: &[u64]) -> HashMap<usize, u64> { HashMap::new() }
+    "#;
+    let findings = check_file(Path::new("crates/telemetry/src/metrics.rs"), bad);
+    assert!(
+        findings.iter().any(|f| f.rule == "D001"),
+        "{findings:?}"
+    );
+
+    let clean = r#"
+        use std::collections::BTreeMap;
+        pub fn merge(parts: &[u64]) -> BTreeMap<usize, u64> { BTreeMap::new() }
+    "#;
+    assert!(rules_of("crates/telemetry/src/metrics.rs", clean).is_empty());
+    // Same source is fine outside the determinism scope.
+    assert!(rules_of("crates/analysis/src/report.rs", bad).is_empty());
+}
+
+/// D002: ambient time/entropy in determinism-scoped library code
+/// (violating and clean variants).
+#[test]
+fn d002_fixture() {
+    let bad = r#"
+        pub fn seed() -> u64 {
+            let t = std::time::Instant::now();
+            thread_rng().next_u64()
+        }
+    "#;
+    let findings = check_file(Path::new("crates/env/src/collect.rs"), bad);
+    let d002: Vec<_> = findings.iter().filter(|f| f.rule == "D002").collect();
+    assert_eq!(d002.len(), 2, "{findings:?}"); // Instant + thread_rng
+
+    let clean = r#"
+        pub fn seed(base: u64, dpu: u64) -> u64 { splitmix64(base ^ dpu) }
+        fn splitmix64(x: u64) -> u64 { x.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    "#;
+    assert!(rules_of("crates/env/src/collect.rs", clean).is_empty());
+    // The CPU baselines measure wall-clock by design — out of scope.
+    assert!(rules_of("crates/baselines/src/cpu_exec.rs", bad).is_empty());
+}
+
+/// D003: `std::env` reads in library code (violating and clean variants).
+#[test]
+fn d003_fixture() {
+    let bad = r#"
+        pub fn dpus() -> usize {
+            std::env::var("SWIFTRL_DPUS").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+        }
+    "#;
+    let findings = check_file(Path::new("crates/rl/src/train.rs"), bad);
+    assert!(findings.iter().any(|f| f.rule == "D003"), "{findings:?}");
+
+    // Binaries and the bench CLI parse the environment at the edge.
+    assert!(!rules_of("crates/bench/src/bin/sweep.rs", bad).contains(&"D003"));
+    assert!(!rules_of("crates/rl/src/main.rs", bad).contains(&"D003"));
+    let clean = r#"
+        pub fn dpus(cfg: &RunConfig) -> usize { cfg.dpus }
+    "#;
+    assert!(rules_of("crates/rl/src/train.rs", clean).is_empty());
+}
+
+/// K009: WRAM region constants beyond capacity or overlapping (violating
+/// and clean variants).
+#[test]
+fn k009_fixture() {
+    let bad = r#"
+        pub const WRAM_Q_OFFSET: usize = 0;
+        pub const WRAM_Q_BYTES: usize = 60 * 1024;
+        pub const WRAM_BATCH_OFFSET: usize = 32 * 1024;
+        pub const WRAM_BATCH_BYTES: usize = 64 * 1024;
+    "#;
+    let findings = check_file(Path::new("crates/core/src/kernels.rs"), bad);
+    let k009: Vec<_> = findings.iter().filter(|f| f.rule == "K009").collect();
+    // BATCH exceeds the 64-KB capacity and overlaps Q.
+    assert_eq!(k009.len(), 2, "{findings:?}");
+    assert!(k009.iter().any(|f| f.message.contains("exceeds")), "{k009:?}");
+    assert!(k009.iter().any(|f| f.message.contains("overlap")), "{k009:?}");
+
+    let clean = r#"
+        pub const WRAM_Q_OFFSET: usize = 0;
+        pub const WRAM_Q_BYTES: usize = 12_000;
+        pub const WRAM_BATCH_OFFSET: usize = WRAM_Q_OFFSET + WRAM_Q_BYTES;
+        pub const WRAM_BATCH_BYTES: usize = 8192;
+    "#;
+    assert!(rules_of("crates/core/src/kernels.rs", clean).is_empty());
+}
+
+/// K010: MRAM region constants overlapping (violating and clean variants).
+#[test]
+fn k010_fixture() {
+    let bad = r#"
+        pub const MRAM_HEADER_OFFSET: usize = 0;
+        pub const MRAM_HEADER_BYTES: usize = 64;
+        pub const MRAM_Q_TABLE_OFFSET: usize = 32;
+        pub const MRAM_Q_TABLE_BYTES: usize = 12_000;
+    "#;
+    let findings = check_file(Path::new("crates/core/src/layout.rs"), bad);
+    let k010: Vec<_> = findings.iter().filter(|f| f.rule == "K010").collect();
+    assert_eq!(k010.len(), 1, "{findings:?}");
+    assert!(k010[0].message.contains("overlap"), "{k010:?}");
+
+    let clean = r#"
+        pub const MRAM_HEADER_OFFSET: usize = 0;
+        pub const MRAM_HEADER_BYTES: usize = 64;
+        pub const MRAM_Q_TABLE_OFFSET: usize = MRAM_HEADER_BYTES;
+        pub const MRAM_Q_TABLE_BYTES: usize = 12_000;
+    "#;
+    assert!(rules_of("crates/core/src/layout.rs", clean).is_empty());
+}
+
+/// W001 scoping: hard in library code, allowed in `#[cfg(test)]` modules,
+/// `tests/`, benches, and binaries — the contract that let the ad-hoc
+/// clippy suppressions be deleted.
+#[test]
+fn w001_scope_fixture() {
+    let src = r#"
+        pub fn lib(v: Option<u32>) -> u32 { v.unwrap() }
+        #[cfg(test)]
+        mod tests {
+            fn t(v: Option<u32>) -> u32 { v.unwrap() }
+        }
+    "#;
+    let lib_findings: Vec<Finding> = check_file(Path::new("crates/rl/src/qtable.rs"), src);
+    let w001: Vec<_> = lib_findings.iter().filter(|f| f.rule == "W001").collect();
+    assert_eq!(w001.len(), 1, "{lib_findings:?}"); // library unwrap only
+    assert!(rules_of("tests/engine_determinism.rs", src).is_empty());
+    assert!(rules_of("crates/bench/benches/fig7.rs", src).is_empty());
+}
+
+proptest! {
+    /// The lexer never panics, whatever bytes arrive.
+    #[test]
+    fn tokenize_never_panics_on_arbitrary_strings(src in ".{0,400}") {
+        let _ = scanner::tokenize(&src);
+    }
+
+    /// ... including invalid-UTF-8-derived byte soup with lots of string /
+    /// comment / raw-string delimiters.
+    #[test]
+    fn tokenize_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = scanner::tokenize(&src);
+    }
+
+    /// Token line numbers are monotonically non-decreasing and 1-based.
+    #[test]
+    fn token_lines_are_monotonic(src in ".{0,400}") {
+        let tokens = scanner::tokenize(&src);
+        let mut last = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= last, "line went backwards: {} < {last}", t.line);
+            last = t.line;
+        }
+    }
+
+    /// check_file terminates without panicking on arbitrary input (the
+    /// parser and call-graph layers inherit the lexer's robustness).
+    #[test]
+    fn check_file_never_panics(src in ".{0,200}") {
+        let _ = check_file(Path::new("crates/core/src/fuzz.rs"), &src);
+    }
 }

@@ -5,10 +5,6 @@
 //! builder; the telemetry parser must accept it structurally, and the
 //! rebuilt `sim_throughput` writer must keep emitting the same keys.
 
-// Test scaffolding outside `#[test]` bodies may unwrap, matching the
-// allow-unwrap-in-tests policy in clippy.toml.
-#![allow(clippy::unwrap_used)]
-
 use swiftrl::telemetry::json::parse;
 use swiftrl::telemetry::Json;
 

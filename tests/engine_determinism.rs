@@ -7,10 +7,6 @@
 //! default: `ExecutionEngine` is a pure scheduling choice, invisible in
 //! every simulated observable.
 
-// Test scaffolding outside `#[test]` bodies may unwrap, matching the
-// allow-unwrap-in-tests policy in clippy.toml.
-#![allow(clippy::unwrap_used)]
-
 use proptest::prelude::*;
 use swiftrl::core::config::{RunConfig, WorkloadSpec};
 use swiftrl::core::runner::{PimRunner, RunOutcome};

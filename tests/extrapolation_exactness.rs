@@ -3,10 +3,6 @@
 //! synchronization rounds (inter-PIM), so a reduced-scale run extrapolates
 //! exactly to what a larger run would report.
 
-// Test scaffolding outside `#[test]` bodies may unwrap, matching the
-// allow-unwrap-in-tests policy in clippy.toml.
-#![allow(clippy::unwrap_used)]
-
 use swiftrl::core::breakdown::TimeBreakdown;
 use swiftrl::core::config::{RunConfig, WorkloadSpec};
 use swiftrl::core::runner::PimRunner;

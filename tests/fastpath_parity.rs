@@ -7,10 +7,6 @@
 //! both charging modes, and end-to-end over all 12 paper variants under
 //! both execution engines.
 
-// Test scaffolding outside `#[test]` bodies may unwrap, matching the
-// allow-unwrap-in-tests policy in clippy.toml.
-#![allow(clippy::unwrap_used)]
-
 use proptest::prelude::*;
 use swiftrl::core::config::{RunConfig, WorkloadSpec};
 use swiftrl::core::runner::{PimRunner, RunOutcome};

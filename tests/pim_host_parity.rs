@@ -3,10 +3,6 @@
 //! trainer for every one of the 12 workload variants — the simulated
 //! kernels compute exactly the paper's algorithms, arithmetic included.
 
-// Test scaffolding outside `#[test]` bodies may unwrap, matching the
-// allow-unwrap-in-tests policy in clippy.toml.
-#![allow(clippy::unwrap_used)]
-
 use swiftrl::core::config::{DataType, RunConfig, WorkloadSpec};
 use swiftrl::core::layout::dpu_seed;
 use swiftrl::core::runner::PimRunner;

@@ -3,10 +3,6 @@
 //! host-side retry / checkpoint / degrade policy of
 //! [`swiftrl::core::resilience::ResilienceConfig`].
 
-// Test scaffolding outside `#[test]` bodies may unwrap, matching the
-// allow-unwrap-in-tests policy in clippy.toml.
-#![allow(clippy::unwrap_used)]
-
 use swiftrl::core::config::{RunConfig, WorkloadSpec};
 use swiftrl::core::resilience::ResilienceConfig;
 use swiftrl::core::runner::PimRunner;

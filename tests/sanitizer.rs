@@ -4,10 +4,6 @@
 //! never perturbs simulation results — sanitized and unsanitized runs are
 //! bit-identical in Q-tables and cycle counts.
 
-// Test scaffolding outside `#[test]` bodies may unwrap, matching the
-// allow-unwrap-in-tests policy in clippy.toml.
-#![allow(clippy::unwrap_used)]
-
 use proptest::prelude::*;
 use swiftrl::core::config::{RunConfig, WorkloadSpec};
 use swiftrl::core::runner::{PimRunner, RunOutcome};

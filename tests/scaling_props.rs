@@ -1,10 +1,6 @@
 //! Property tests on the system-level timing behaviour: strong scaling,
 //! monotonicity, and invariances that the paper's figures rely on.
 
-// Test scaffolding outside `#[test]` bodies may unwrap, matching the
-// allow-unwrap-in-tests policy in clippy.toml.
-#![allow(clippy::unwrap_used)]
-
 use proptest::prelude::*;
 use swiftrl::core::config::{RunConfig, WorkloadSpec};
 use swiftrl::core::runner::PimRunner;

@@ -10,10 +10,6 @@
 //!    sanitizer reports are identical to a telemetry-enabled run across
 //!    all 12 paper variants.
 
-// Test scaffolding outside `#[test]` bodies may unwrap, matching the
-// allow-unwrap-in-tests policy in clippy.toml.
-#![allow(clippy::unwrap_used)]
-
 use swiftrl::core::config::{RunConfig, WorkloadSpec};
 use swiftrl::core::resilience::ResilienceConfig;
 use swiftrl::core::runner::{PimRunner, RunOutcome};
