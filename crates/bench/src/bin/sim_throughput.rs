@@ -17,6 +17,7 @@ use std::time::Instant;
 use swiftrl_bench::write_json_artifact;
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::runner::{PimRunner, RunOutcome};
+use swiftrl_env::cliff_walking::CliffWalking;
 use swiftrl_env::collect::collect_random;
 use swiftrl_env::frozen_lake::FrozenLake;
 use swiftrl_env::taxi::Taxi;
@@ -112,6 +113,8 @@ fn main() {
     let fl_data = collect_random(&mut fl, transitions, 42);
     let mut taxi = Taxi::new();
     let taxi_data = collect_random(&mut taxi, transitions, 42);
+    let mut cliff = CliffWalking::new();
+    let cliff_data = collect_random(&mut cliff, transitions, 42);
 
     let specs = if quick {
         vec![
@@ -122,9 +125,13 @@ fn main() {
         WorkloadSpec::paper_variants()
     };
     let mut cases = Vec::new();
+    // CliffWalking is not one of the paper's figure environments; it
+    // rides along under the "extra" label so the artifact keeps the
+    // per-figure aggregation intact.
     for (env, figure, dataset) in [
         ("frozen_lake", "fig5", &fl_data),
         ("taxi", "fig7", &taxi_data),
+        ("cliff_walking", "extra", &cliff_data),
     ] {
         for &spec in &specs {
             cases.push(Case {

@@ -13,6 +13,11 @@ use swiftrl_telemetry::{chrome_trace_multi, snapshot_bundle, Event, MetricsSnaps
 /// The DPU counts swept by Figures 5 and 6.
 pub const PAPER_DPU_COUNTS: [usize; 5] = [125, 250, 500, 1_000, 2_000];
 
+/// The fleet-scaling sweep: the paper's figure counts extended through
+/// the full 2,524-DPU fleet the paper evaluates on, plus one
+/// past-paper point to show headroom.
+pub const FLEET_DPU_COUNTS: [usize; 7] = [125, 250, 500, 1_000, 2_000, 2_524, 4_096];
+
 /// Parameters of one strong-scaling figure.
 #[derive(Debug, Clone)]
 pub struct ScalingFigure {

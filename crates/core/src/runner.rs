@@ -58,6 +58,13 @@ pub struct RunOutcome {
     /// quantity. Machine- and tier-dependent; excluded from every
     /// determinism comparison.
     pub host_kernel_s: f64,
+    /// Fleet-wide bank-memory accounting at the end of the run: how
+    /// many bank bytes the lazily-materialized banks actually held
+    /// (current and peak) and the footprint of the segment arena
+    /// backing them. Engine-invariant; host-machine-dependent only in
+    /// the sense that it reflects the simulated working set, never
+    /// wall-clock.
+    pub memory: swiftrl_pim::MemoryStats,
 }
 
 /// Drives one workload variant on a simulated PIM platform.
@@ -343,6 +350,14 @@ impl PimRunner {
         breakdown.pim_kernel_s += set.stats().faulted_kernel_seconds;
         res.faulted_kernel_seconds = set.stats().faulted_kernel_seconds;
 
+        let memory = set.memory_stats();
+        self.platform.telemetry.emit(|| Event::MemoryCeilings {
+            bank_bytes: memory.bank_bytes,
+            bank_peak_bytes: memory.bank_peak_bytes,
+            arena_bytes: memory.arena_bytes,
+            arena_peak_bytes: memory.arena_peak_bytes,
+        });
+
         Ok(RunOutcome {
             q_table,
             breakdown,
@@ -351,6 +366,7 @@ impl PimRunner {
             sanitizer: set.sanitizer_report().clone(),
             resilience: res,
             host_kernel_s,
+            memory,
         })
     }
 

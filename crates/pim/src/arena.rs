@@ -1,0 +1,254 @@
+//! Fleet-owned segment arena backing every DPU's MRAM/WRAM banks.
+//!
+//! At paper scale (2,524 DPUs, 64 MB of MRAM each) eager per-DPU
+//! allocation would cost ~160 GB of host memory before a single byte is
+//! written. Instead, [`crate::memory::Bank`] materializes fixed-size
+//! segments on first write and draws every segment buffer from one
+//! `FleetArena` shared by the whole [`crate::host::DpuSet`]. The arena
+//!
+//! * **pools** retired full-size segments so repeated alloc/free cycles
+//!   on one [`crate::host::PimSystem`] reuse buffers instead of hitting
+//!   the host allocator, and
+//! * **accounts** every byte: live bank bytes (current and peak) and the
+//!   arena's total host footprint (live + pooled, current and peak),
+//!   queryable at any quiescent point via [`FleetArena::stats`].
+//!
+//! Accounting is deterministic across execution engines. During a launch
+//! banks are never shared and nothing is released, so the live byte
+//! count only grows — concurrent workers race only on the *order* of
+//! `fetch_add`s, never on the final total or the peak. Releases (bank
+//! drop, copy-on-write replacement) happen host-side between launches.
+//!
+//! The allocation routine is reachable from kernel code through the
+//! `DpuContext` DMA intrinsics, so its tokens must satisfy the analyzer's
+//! kernel-discipline rules (no `vec!`/`Vec` spelled in reachable
+//! signatures or bodies): buffers are cloned from an empty prototype and
+//! `resize`d, and signatures go through type aliases.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Size of one bank segment: 64 KB, the WRAM capacity, so a WRAM bank is
+/// exactly one segment and a 64-MB MRAM bank is 1,024 lazily-filled
+/// slots.
+pub const BANK_SEGMENT_BYTES: usize = 64 * 1024;
+
+/// A segment buffer handed out by the arena. Shared (`Arc`) so banks can
+/// be cloned copy-on-write; uniquely owned for the entire duration of a
+/// launch.
+pub(crate) type SegmentArc = Arc<Vec<u8>>;
+
+type Buf = Vec<u8>;
+type PoolGuard<'a> = std::sync::MutexGuard<'a, Vec<Buf>>;
+
+/// Memory ceilings of one fleet, sampled from its arena.
+///
+/// `bank_*` counts bytes live inside bank segments (what an eager
+/// simulator would have allocated up front, truncated to touched
+/// segments); `arena_*` counts the arena's total host footprint
+/// including pooled-but-idle buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Bytes currently live in bank segments.
+    pub bank_bytes: u64,
+    /// High-water mark of [`MemoryStats::bank_bytes`].
+    pub bank_peak_bytes: u64,
+    /// Total host bytes held by the arena (live segments + pool).
+    pub arena_bytes: u64,
+    /// High-water mark of [`MemoryStats::arena_bytes`].
+    pub arena_peak_bytes: u64,
+}
+
+struct ArenaInner {
+    /// Retired full-size (`BANK_SEGMENT_BYTES`) buffers awaiting reuse.
+    /// Sub-size tail segments are returned to the host allocator instead.
+    pool: Mutex<Vec<Buf>>,
+    /// Empty prototype buffer cloned by the kernel-reachable allocation
+    /// path (see the module docs on token discipline).
+    proto: Buf,
+    bank_bytes: AtomicU64,
+    bank_peak: AtomicU64,
+    pooled_bytes: AtomicU64,
+    footprint: AtomicU64,
+    footprint_peak: AtomicU64,
+}
+
+/// Cheaply-cloneable handle to a shared segment arena.
+#[derive(Clone)]
+pub struct FleetArena {
+    inner: Arc<ArenaInner>,
+}
+
+impl Default for FleetArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FleetArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetArena").field("stats", &self.stats()).finish()
+    }
+}
+
+/// Raises `slot` to at least `value` (a lock-free `fetch_max`).
+fn bump_peak(slot: &AtomicU64, value: u64) {
+    slot.fetch_max(value, Ordering::Relaxed);
+}
+
+impl FleetArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(ArenaInner {
+                pool: Mutex::new(Vec::new()),
+                proto: Vec::new(),
+                bank_bytes: AtomicU64::new(0),
+                bank_peak: AtomicU64::new(0),
+                pooled_bytes: AtomicU64::new(0),
+                footprint: AtomicU64::new(0),
+                footprint_peak: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn lock_pool(&self) -> PoolGuard<'_> {
+        // A poisoned pool only means another worker panicked mid-push;
+        // the buffer list itself is always structurally valid.
+        match self.inner.pool.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Obtains a buffer of exactly `len` bytes (contents unspecified) and
+    /// charges it as live bank bytes.
+    fn obtain(&self, len: usize) -> Buf {
+        let reused = if len == BANK_SEGMENT_BYTES {
+            self.lock_pool().pop()
+        } else {
+            None
+        };
+        let buf = match reused {
+            Some(b) => {
+                self.inner.pooled_bytes.fetch_sub(len as u64, Ordering::Relaxed);
+                b
+            }
+            None => {
+                let now = self.inner.footprint.fetch_add(len as u64, Ordering::Relaxed) + len as u64;
+                bump_peak(&self.inner.footprint_peak, now);
+                let mut b = self.inner.proto.clone();
+                b.resize(len, 0);
+                b
+            }
+        };
+        let now = self.inner.bank_bytes.fetch_add(len as u64, Ordering::Relaxed) + len as u64;
+        bump_peak(&self.inner.bank_peak, now);
+        buf
+    }
+
+    /// Hands out a zero-filled segment of `len` bytes.
+    pub(crate) fn acquire(&self, len: usize) -> SegmentArc {
+        let mut buf = self.obtain(len);
+        buf.fill(0);
+        Arc::new(buf)
+    }
+
+    /// Hands out a segment initialized to a copy of `src` (the
+    /// copy-on-write path).
+    pub(crate) fn acquire_copy(&self, src: &[u8]) -> SegmentArc {
+        let mut buf = self.obtain(src.len());
+        buf.copy_from_slice(src);
+        Arc::new(buf)
+    }
+
+    /// Returns a segment to the arena. Only the *last* holder actually
+    /// releases the bytes; a still-shared segment stays charged to the
+    /// clone that keeps it alive.
+    pub(crate) fn release(&self, segment: SegmentArc) {
+        let Ok(buf) = Arc::try_unwrap(segment) else {
+            return;
+        };
+        let len = buf.len() as u64;
+        self.inner.bank_bytes.fetch_sub(len, Ordering::Relaxed);
+        if buf.len() == BANK_SEGMENT_BYTES {
+            self.inner.pooled_bytes.fetch_add(len, Ordering::Relaxed);
+            self.lock_pool().push(buf);
+        } else {
+            self.inner.footprint.fetch_sub(len, Ordering::Relaxed);
+        }
+    }
+
+    /// Current and peak byte counters. Exact at quiescent points (no
+    /// launch in flight).
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            bank_bytes: self.inner.bank_bytes.load(Ordering::Relaxed),
+            bank_peak_bytes: self.inner.bank_peak.load(Ordering::Relaxed),
+            arena_bytes: self.inner.footprint.load(Ordering::Relaxed),
+            arena_peak_bytes: self.inner.footprint_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_charges_and_release_pools_full_segments() {
+        let arena = FleetArena::new();
+        let seg = arena.acquire(BANK_SEGMENT_BYTES);
+        let s = arena.stats();
+        assert_eq!(s.bank_bytes, BANK_SEGMENT_BYTES as u64);
+        assert_eq!(s.arena_bytes, BANK_SEGMENT_BYTES as u64);
+        arena.release(seg);
+        let s = arena.stats();
+        assert_eq!(s.bank_bytes, 0);
+        // The buffer went to the pool: still part of the host footprint.
+        assert_eq!(s.arena_bytes, BANK_SEGMENT_BYTES as u64);
+        // Re-acquiring reuses it without growing the footprint.
+        let seg = arena.acquire(BANK_SEGMENT_BYTES);
+        assert!(seg.iter().all(|&b| b == 0), "pooled segment not re-zeroed");
+        let s = arena.stats();
+        assert_eq!(s.arena_bytes, BANK_SEGMENT_BYTES as u64);
+        assert_eq!(s.arena_peak_bytes, BANK_SEGMENT_BYTES as u64);
+    }
+
+    #[test]
+    fn sub_size_segments_are_freed_not_pooled() {
+        let arena = FleetArena::new();
+        let seg = arena.acquire(100);
+        assert_eq!(arena.stats().bank_bytes, 100);
+        arena.release(seg);
+        let s = arena.stats();
+        assert_eq!(s.bank_bytes, 0);
+        assert_eq!(s.arena_bytes, 0);
+        assert_eq!(s.arena_peak_bytes, 100);
+    }
+
+    #[test]
+    fn shared_segment_released_only_by_last_holder() {
+        let arena = FleetArena::new();
+        let a = arena.acquire(BANK_SEGMENT_BYTES);
+        let b = Arc::clone(&a);
+        arena.release(a);
+        // Still shared: nothing released.
+        assert_eq!(arena.stats().bank_bytes, BANK_SEGMENT_BYTES as u64);
+        arena.release(b);
+        assert_eq!(arena.stats().bank_bytes, 0);
+    }
+
+    #[test]
+    fn copy_acquire_preserves_contents_and_peak_tracks_max() {
+        let arena = FleetArena::new();
+        let a = arena.acquire(64);
+        let b = arena.acquire_copy(&[7u8; 32]);
+        assert_eq!(&b[..], &[7u8; 32]);
+        assert_eq!(arena.stats().bank_peak_bytes, 96);
+        arena.release(a);
+        arena.release(b);
+        assert_eq!(arena.stats().bank_bytes, 0);
+        assert_eq!(arena.stats().bank_peak_bytes, 96);
+    }
+}

@@ -116,6 +116,31 @@ impl PimConfig {
         dpus.div_ceil(self.dpus_per_rank).max(1)
     }
 
+    /// The rank that DPU `dpu` lives on: DPUs are laid out densely, 64
+    /// per rank (the paper's server), so rank membership is just
+    /// `dpu / dpus_per_rank`.
+    pub fn rank_of(&self, dpu: usize) -> usize {
+        dpu / self.dpus_per_rank.max(1)
+    }
+
+    /// Number of *distinct* ranks addressed by a strictly increasing DPU
+    /// index list — the rank parallelism a transfer to exactly those
+    /// DPUs enjoys. For a dense prefix `0..n` this equals
+    /// [`ranks_for`](Self::ranks_for)`(n)`; a sparse subset spread
+    /// across the machine touches more ranks than its size suggests.
+    pub fn ranks_spanned(&self, indices: &[usize]) -> usize {
+        let mut ranks = 0usize;
+        let mut prev = None;
+        for &dpu in indices {
+            let rank = self.rank_of(dpu);
+            if prev != Some(rank) {
+                ranks += 1;
+                prev = Some(rank);
+            }
+        }
+        ranks.max(1)
+    }
+
     /// Converts a DPU cycle count to seconds at this clock.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / self.frequency_hz()
@@ -156,6 +181,14 @@ impl PimConfigBuilder {
     /// Sets the number of tasklets per DPU.
     pub fn tasklets_per_dpu(mut self, tasklets: usize) -> Self {
         self.inner.tasklets_per_dpu = tasklets;
+        self
+    }
+
+    /// Sets the number of DPUs per memory rank (64 on the paper's
+    /// server). Drives both the bandwidth model and the rank-grouped
+    /// transfer iteration of [`crate::host::DpuSet`].
+    pub fn dpus_per_rank(mut self, dpus: usize) -> Self {
+        self.inner.dpus_per_rank = dpus;
         self
     }
 
@@ -501,6 +534,34 @@ mod tests {
         assert_eq!(cfg.ranks_for(64), 1);
         assert_eq!(cfg.ranks_for(65), 2);
         assert_eq!(cfg.ranks_for(2000), 32);
+    }
+
+    #[test]
+    fn rank_membership_is_dense_64_per_rank() {
+        let cfg = PimConfig::default();
+        assert_eq!(cfg.rank_of(0), 0);
+        assert_eq!(cfg.rank_of(63), 0);
+        assert_eq!(cfg.rank_of(64), 1);
+        assert_eq!(cfg.rank_of(2523), 39);
+        let custom = PimConfig::builder().dpus_per_rank(8).build();
+        assert_eq!(custom.rank_of(15), 1);
+        assert_eq!(custom.ranks_for(16), 2);
+    }
+
+    #[test]
+    fn ranks_spanned_counts_distinct_ranks() {
+        let cfg = PimConfig::default();
+        // A dense prefix matches ranks_for.
+        let dense: Vec<usize> = (0..130).collect();
+        assert_eq!(cfg.ranks_spanned(&dense), cfg.ranks_for(130));
+        // Two DPUs on the same rank span one rank; a sparse pair that
+        // straddles a rank boundary spans two.
+        assert_eq!(cfg.ranks_spanned(&[0, 63]), 1);
+        assert_eq!(cfg.ranks_spanned(&[0, 64]), 2);
+        // Four DPUs scattered over four ranks span four ranks even
+        // though ranks_for(4) == 1.
+        assert_eq!(cfg.ranks_spanned(&[0, 70, 140, 210]), 4);
+        assert_eq!(cfg.ranks_for(4), 1);
     }
 
     #[test]

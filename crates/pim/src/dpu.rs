@@ -21,11 +21,19 @@ pub struct Dpu {
 }
 
 impl Dpu {
-    /// Creates a DPU with the platform's memory capacities.
+    /// Creates a DPU with the platform's memory capacities, backed by a
+    /// private arena (tests and standalone use).
     pub fn new(id: usize, config: &PimConfig) -> Self {
+        Self::with_arena(id, config, &crate::arena::FleetArena::new())
+    }
+
+    /// Creates a DPU whose bank segments come from a fleet-owned arena,
+    /// so per-DPU memory is accounted (and pooled) fleet-wide instead of
+    /// living in per-DPU heap objects.
+    pub fn with_arena(id: usize, config: &PimConfig, arena: &crate::arena::FleetArena) -> Self {
         Self {
             id,
-            memory: DpuMemory::new(config.mram_bytes, config.wram_bytes),
+            memory: DpuMemory::with_arena(config.mram_bytes, config.wram_bytes, arena),
             last_counter: CycleCounter::new(),
             sanitizer: DpuSanitizer::new(id),
             launches: 0,

@@ -38,6 +38,18 @@ pub enum ExecutionEngine {
         /// Worker threads; `0` = available host parallelism.
         workers: usize,
     },
+    /// Fan DPU execution out over `workers` OS threads scheduled through
+    /// work-stealing deques (`crossbeam::deque`) over many small DPU
+    /// chunks. Built for paper-scale fleets: with thousands of DPUs
+    /// running tiny kernels, `Threaded`'s one-contiguous-chunk-per-worker
+    /// split leaves the fast workers idle behind the slowest chunk, while
+    /// stealing rebalances at chunk granularity. Every result still lands
+    /// in its DPU-indexed slot, so the caller's ordered merge — and the
+    /// bit-identity guarantee — is unchanged.
+    WorkStealing {
+        /// Worker threads; `0` = available host parallelism.
+        workers: usize,
+    },
 }
 
 impl Default for ExecutionEngine {
@@ -55,7 +67,7 @@ impl ExecutionEngine {
     pub fn workers_for(&self, dpus: usize) -> usize {
         match *self {
             ExecutionEngine::Serial => 1,
-            ExecutionEngine::Threaded { workers } => {
+            ExecutionEngine::Threaded { workers } | ExecutionEngine::WorkStealing { workers } => {
                 let requested = if workers == 0 {
                     std::thread::available_parallelism()
                         .map(std::num::NonZeroUsize::get)
@@ -120,23 +132,78 @@ impl ExecutionEngine {
         // chunks, so the zipped pairs cover the whole slice.
         let mut results: Vec<Result<u64, KernelError>> =
             vec![Err(KernelError::Fault("engine: DPU not executed".into())); n];
-        let chunk = n.div_ceil(workers);
         let run = &run;
-        let scope_result = crossbeam::scope(|scope| {
-            for (item_chunk, out_chunk) in items.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
-                    for (item, slot) in item_chunk.iter_mut().zip(out_chunk.iter_mut()) {
-                        *slot = run(item);
-                    }
-                });
+        let scope_result = if matches!(self, ExecutionEngine::WorkStealing { .. }) {
+            // Many small chunks (several per worker) flow through a global
+            // injector into per-worker deques; idle workers steal. Each
+            // chunk carries its own result slots, so scheduling order
+            // never leaks into the output.
+            let grain = n.div_ceil(workers * 8).max(1);
+            let injector = crossbeam::deque::Injector::new();
+            for pair in items.chunks_mut(grain).zip(results.chunks_mut(grain)) {
+                injector.push(pair);
             }
-        });
+            let locals: Vec<crossbeam::deque::Worker<ChunkTask<'_, T>>> =
+                (0..workers).map(|_| crossbeam::deque::Worker::new_fifo()).collect();
+            let stealers: Vec<_> = locals.iter().map(|w| w.stealer()).collect();
+            let (injector, stealers) = (&injector, &stealers[..]);
+            crossbeam::scope(|scope| {
+                for local in locals {
+                    scope.spawn(move |_| {
+                        while let Some((item_chunk, out_chunk)) =
+                            find_task(&local, injector, stealers)
+                        {
+                            for (item, slot) in item_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                                *slot = run(item);
+                            }
+                        }
+                    });
+                }
+            })
+        } else {
+            let chunk = n.div_ceil(workers);
+            crossbeam::scope(|scope| {
+                for (item_chunk, out_chunk) in
+                    items.chunks_mut(chunk).zip(results.chunks_mut(chunk))
+                {
+                    scope.spawn(move |_| {
+                        for (item, slot) in item_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                            *slot = run(item);
+                        }
+                    });
+                }
+            })
+        };
         if let Err(payload) = scope_result {
             // A worker panicked (kernel bug): surface it on the caller.
             std::panic::resume_unwind(payload);
         }
         results
     }
+}
+
+/// One stealable unit of work: a chunk of DPUs (or DPU refs) paired with
+/// the result slots they write.
+type ChunkTask<'a, T> = (&'a mut [T], &'a mut [Result<u64, KernelError>]);
+
+/// The classic crossbeam-deque scheduling loop: drain the local deque,
+/// then refill it from the global injector, then steal from a sibling.
+/// Returns `None` only once every queue reports empty — no task is ever
+/// lost because chunks are created up front and never re-enqueued.
+fn find_task<'a, T>(
+    local: &crossbeam::deque::Worker<ChunkTask<'a, T>>,
+    injector: &crossbeam::deque::Injector<ChunkTask<'a, T>>,
+    stealers: &[crossbeam::deque::Stealer<ChunkTask<'a, T>>],
+) -> Option<ChunkTask<'a, T>> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| {
+            injector
+                .steal_batch_and_pop(local)
+                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+        })
+        .find(|s| !s.is_retry())
+        .and_then(|s| s.success())
+    })
 }
 
 #[cfg(test)]
@@ -199,6 +266,35 @@ mod tests {
         assert_eq!(serial, threaded);
         // Side effects (MRAM writes, counters) are also identical per DPU.
         for (s, t) in serial_dpus.iter().zip(threaded_dpus.iter()) {
+            assert_eq!(s.mram().read_u32(0).ok(), t.mram().read_u32(0).ok());
+            assert_eq!(s.last_counter(), t.last_counter());
+        }
+    }
+
+    #[test]
+    fn work_stealing_workers_resolve_like_threaded() {
+        let e = ExecutionEngine::WorkStealing { workers: 16 };
+        assert_eq!(e.workers_for(4), 4);
+        assert_eq!(e.workers_for(64), 16);
+        let auto = ExecutionEngine::WorkStealing { workers: 0 };
+        assert!(auto.workers_for(1_000) >= 1);
+    }
+
+    #[test]
+    fn work_stealing_results_match_serial_in_index_order() {
+        // 37 DPUs over 4 workers: many chunks per worker, an uneven tail,
+        // and per-DPU skew so stealing actually happens.
+        let config = PimConfig::builder().dpus(64).mram_bytes(1 << 16).build();
+        let mut serial_dpus = fresh_dpus(&config, 37);
+        let mut stealing_dpus = fresh_dpus(&config, 37);
+        let serial = ExecutionEngine::Serial.execute_all(&config, &mut serial_dpus, &SkewKernel);
+        let stealing = ExecutionEngine::WorkStealing { workers: 4 }.execute_all(
+            &config,
+            &mut stealing_dpus,
+            &SkewKernel,
+        );
+        assert_eq!(serial, stealing);
+        for (s, t) in serial_dpus.iter().zip(stealing_dpus.iter()) {
             assert_eq!(s.mram().read_u32(0).ok(), t.mram().read_u32(0).ok());
             assert_eq!(s.last_counter(), t.last_counter());
         }

@@ -80,10 +80,18 @@ impl From<MemoryError> for PimError {
 }
 
 /// The whole PIM platform; allocates [`DpuSet`]s.
+///
+/// Owns the [`FleetArena`](crate::arena::FleetArena) that backs every
+/// bank segment of every set it allocates: per-DPU memory is
+/// materialized lazily on first write, accounted fleet-wide, and pooled
+/// for reuse when sets are freed — so a 2,524-DPU platform costs host
+/// memory proportional to the bytes its workloads actually touch, not
+/// to 2,524 × 64 MB of nominal bank capacity.
 #[derive(Debug)]
 pub struct PimSystem {
     config: PimConfig,
     allocated: usize,
+    arena: crate::arena::FleetArena,
 }
 
 impl PimSystem {
@@ -92,12 +100,20 @@ impl PimSystem {
         Self {
             config,
             allocated: 0,
+            arena: crate::arena::FleetArena::new(),
         }
     }
 
     /// The platform configuration.
     pub fn config(&self) -> &PimConfig {
         &self.config
+    }
+
+    /// Fleet-wide bank-memory accounting (current and peak allocated
+    /// bank bytes, arena footprint) across every set this system has
+    /// allocated, live or freed.
+    pub fn memory_stats(&self) -> crate::arena::MemoryStats {
+        self.arena.stats()
     }
 
     /// DPUs not yet allocated to a set.
@@ -123,7 +139,7 @@ impl PimSystem {
             });
         }
         self.allocated += dpus;
-        Ok(DpuSet::new(self.config.clone(), dpus))
+        Ok(DpuSet::new(self.config.clone(), dpus, &self.arena))
     }
 
     /// Returns a set's DPUs to the pool.
@@ -138,6 +154,7 @@ impl PimSystem {
 pub struct DpuSet {
     config: PimConfig,
     dpus: Vec<Dpu>,
+    arena: crate::arena::FleetArena,
     stats: SystemStats,
     ledger: TransferLedger,
     last_launch: LaunchStats,
@@ -151,8 +168,8 @@ pub struct DpuSet {
 }
 
 impl DpuSet {
-    fn new(config: PimConfig, n: usize) -> Self {
-        let dpus = (0..n).map(|i| Dpu::new(i, &config)).collect();
+    fn new(config: PimConfig, n: usize, arena: &crate::arena::FleetArena) -> Self {
+        let dpus = (0..n).map(|i| Dpu::with_arena(i, &config, arena)).collect();
         let sanitizer_report = SanitizerReport {
             level: config.sanitize,
             ..SanitizerReport::default()
@@ -160,6 +177,7 @@ impl DpuSet {
         Self {
             config,
             dpus,
+            arena: arena.clone(),
             stats: SystemStats::default(),
             ledger: TransferLedger::new(),
             last_launch: LaunchStats::default(),
@@ -193,6 +211,14 @@ impl DpuSet {
     /// The transfer ledger (every recorded transfer, in order).
     pub fn ledger(&self) -> &TransferLedger {
         &self.ledger
+    }
+
+    /// Fleet-wide bank-memory accounting of the arena backing this
+    /// set's banks (shared with the owning [`PimSystem`]): current and
+    /// peak allocated bank bytes, and the arena's own footprint
+    /// including pooled segments.
+    pub fn memory_stats(&self) -> crate::arena::MemoryStats {
+        self.arena.stats()
     }
 
     /// Resets cumulative statistics (keeps memory contents and the
@@ -250,6 +276,55 @@ impl DpuSet {
 
     fn ranks(&self) -> usize {
         self.config.ranks_for(self.dpus.len())
+    }
+
+    /// The single rank-aware transfer path: walks the addressed DPUs
+    /// (`None` = the whole set) rank group by rank group in ascending
+    /// order, calling `f(set, pos, dpu)` with `pos` the ordinal of
+    /// `dpu` within the selection, and returns the number of distinct
+    /// ranks visited — the rank parallelism the bandwidth model is
+    /// charged for. Every broadcast/scatter/gather variant routes its
+    /// per-DPU work and its rank count through here, so full-set and
+    /// subset operations share one charging semantics: a transfer is
+    /// charged for the ranks it *actually* addresses. (For a full set
+    /// of `n` DPUs that is exactly `ranks_for(n)`; a sparse subset
+    /// spread across the machine touches — and is charged for — more
+    /// ranks than a dense packing of its size would.)
+    ///
+    /// DPUs are visited in strictly ascending index order, identical to
+    /// a flat iteration, so transfer sequence numbers and fault-plan
+    /// decisions are unaffected by the rank grouping.
+    fn visit_ranks(
+        &mut self,
+        indices: Option<&[usize]>,
+        mut f: impl FnMut(&mut Self, usize, usize) -> Result<(), PimError>,
+    ) -> Result<usize, PimError> {
+        let per = self.config.dpus_per_rank.max(1);
+        match indices {
+            None => {
+                let n = self.dpus.len();
+                let ranks = self.config.ranks_for(n);
+                for rank in 0..ranks {
+                    for dpu in rank * per..((rank + 1) * per).min(n) {
+                        f(self, dpu, dpu)?;
+                    }
+                }
+                Ok(ranks)
+            }
+            Some(indices) => {
+                let mut ranks = 0usize;
+                let mut pos = 0usize;
+                while pos < indices.len() {
+                    let rank = self.config.rank_of(indices[pos]);
+                    ranks += 1;
+                    while pos < indices.len() && self.config.rank_of(indices[pos]) == rank {
+                        f(self, pos, indices[pos])?;
+                        pos += 1;
+                    }
+                }
+                Ok(ranks.max(1))
+            }
+        }
     }
 
     /// Validates a DPU index list for a subset operation: non-empty,
@@ -327,11 +402,12 @@ impl DpuSet {
         Ok(())
     }
 
-    fn record(&mut self, direction: Direction, bytes: u64, dpus: usize, seconds: f64) {
+    fn record(&mut self, direction: Direction, bytes: u64, dpus: usize, ranks: usize, seconds: f64) {
         self.ledger.record(TransferRecord {
             direction,
             bytes,
             dpus,
+            ranks,
             seconds,
         });
         match direction {
@@ -349,13 +425,13 @@ impl DpuSet {
     /// [`Self::record`] for data transfers, plus the telemetry event.
     /// Direction follows the transfer kind; program loads go through
     /// plain `record` and emit their own [`Event::ProgramLoad`].
-    fn record_xfer(&mut self, kind: TransferKind, bytes: u64, dpus: usize, seconds: f64) {
+    fn record_xfer(&mut self, kind: TransferKind, bytes: u64, dpus: usize, ranks: usize, seconds: f64) {
         let direction = if kind.is_cpu_to_pim() {
             Direction::CpuToPim
         } else {
             Direction::PimToCpu
         };
-        self.record(direction, bytes, dpus, seconds);
+        self.record(direction, bytes, dpus, ranks, seconds);
         self.config.telemetry.emit(|| Event::Transfer {
             kind,
             bytes,
@@ -377,7 +453,7 @@ impl DpuSet {
         let seq = self.next_transfer_seq();
         self.deliver(seq, dpu, mram_offset, data)?;
         let seconds = self.config.transfer.scatter_gather_seconds(data.len(), 1);
-        self.record_xfer(TransferKind::CopyTo, data.len() as u64, 1, seconds);
+        self.record_xfer(TransferKind::CopyTo, data.len() as u64, 1, 1, seconds);
         Ok(())
     }
 
@@ -397,7 +473,7 @@ impl DpuSet {
         let mut buf = vec![0u8; len];
         self.dpus[dpu].mram().read(mram_offset, &mut buf)?;
         let seconds = self.config.transfer.scatter_gather_seconds(len, 1);
-        self.record_xfer(TransferKind::CopyFrom, len as u64, 1, seconds);
+        self.record_xfer(TransferKind::CopyFrom, len as u64, 1, 1, seconds);
         Ok(buf)
     }
 
@@ -420,18 +496,16 @@ impl DpuSet {
             self.note_host_access(i, mram_offset, part.len());
         }
         let seq = self.next_transfer_seq();
-        let mut total = 0u64;
-        for (i, part) in parts.iter().enumerate() {
-            self.deliver(seq, i, mram_offset, part)?;
-            total += part.len() as u64;
-        }
-        let ranks = self.ranks();
+        let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let ranks = self.visit_ranks(None, |set, _, dpu| {
+            set.deliver(seq, dpu, mram_offset, &parts[dpu])
+        })?;
         let seconds = self
             .config
             .transfer
             .scatter_gather_seconds(total as usize, ranks);
         let n = self.dpus.len();
-        self.record_xfer(TransferKind::Scatter, total, n, seconds);
+        self.record_xfer(TransferKind::Scatter, total, n, ranks, seconds);
         Ok(())
     }
 
@@ -446,15 +520,13 @@ impl DpuSet {
             self.note_host_access(i, mram_offset, data.len());
         }
         let seq = self.next_transfer_seq();
-        for i in 0..self.dpus.len() {
-            self.deliver(seq, i, mram_offset, data)?;
-        }
+        let ranks = self.visit_ranks(None, |set, _, dpu| set.deliver(seq, dpu, mram_offset, data))?;
         let n = self.dpus.len();
         let seconds = self
             .config
             .transfer
-            .broadcast_seconds(data.len(), n, self.ranks());
-        self.record_xfer(TransferKind::Broadcast, (data.len() * n) as u64, n, seconds);
+            .broadcast_seconds(data.len(), n, ranks);
+        self.record_xfer(TransferKind::Broadcast, (data.len() * n) as u64, n, ranks, seconds);
         Ok(())
     }
 
@@ -476,15 +548,15 @@ impl DpuSet {
             self.note_host_access(i, mram_offset, data.len());
         }
         let seq = self.next_transfer_seq();
-        for &i in indices {
-            self.deliver(seq, i, mram_offset, data)?;
-        }
+        let ranks = self.visit_ranks(Some(indices), |set, _, dpu| {
+            set.deliver(seq, dpu, mram_offset, data)
+        })?;
         let n = indices.len();
-        let seconds =
-            self.config
-                .transfer
-                .broadcast_seconds(data.len(), n, self.config.ranks_for(n));
-        self.record_xfer(TransferKind::Broadcast, (data.len() * n) as u64, n, seconds);
+        let seconds = self
+            .config
+            .transfer
+            .broadcast_seconds(data.len(), n, ranks);
+        self.record_xfer(TransferKind::Broadcast, (data.len() * n) as u64, n, ranks, seconds);
         Ok(())
     }
 
@@ -499,18 +571,19 @@ impl DpuSet {
             self.note_host_access(i, mram_offset, len);
         }
         let mut out = Vec::with_capacity(self.dpus.len());
-        for dpu in &self.dpus {
+        let ranks = self.visit_ranks(None, |set, _, dpu| {
             let mut buf = vec![0u8; len];
-            dpu.mram().read(mram_offset, &mut buf)?;
+            set.dpus[dpu].mram().read(mram_offset, &mut buf)?;
             out.push(buf);
-        }
+            Ok(())
+        })?;
         let n = self.dpus.len();
         let total = (len * n) as u64;
         let seconds = self
             .config
             .transfer
-            .scatter_gather_seconds(total as usize, self.ranks());
-        self.record_xfer(TransferKind::Gather, total, n, seconds);
+            .scatter_gather_seconds(total as usize, ranks);
+        self.record_xfer(TransferKind::Gather, total, n, ranks, seconds);
         Ok(out)
     }
 
@@ -532,18 +605,19 @@ impl DpuSet {
             self.note_host_access(i, mram_offset, len);
         }
         let mut out = Vec::with_capacity(indices.len());
-        for &i in indices {
+        let ranks = self.visit_ranks(Some(indices), |set, _, dpu| {
             let mut buf = vec![0u8; len];
-            self.dpus[i].mram().read(mram_offset, &mut buf)?;
+            set.dpus[dpu].mram().read(mram_offset, &mut buf)?;
             out.push(buf);
-        }
+            Ok(())
+        })?;
         let n = indices.len();
         let total = (len * n) as u64;
         let seconds = self
             .config
             .transfer
-            .scatter_gather_seconds(total as usize, self.config.ranks_for(n));
-        self.record_xfer(TransferKind::Gather, total, n, seconds);
+            .scatter_gather_seconds(total as usize, ranks);
+        self.record_xfer(TransferKind::Gather, total, n, ranks, seconds);
         Ok(out)
     }
 
@@ -573,18 +647,23 @@ impl DpuSet {
         for i in 0..self.dpus.len() {
             self.note_host_access(i, mram_offset, len);
         }
-        if len > 0 {
-            for (dpu, chunk) in self.dpus.iter().zip(out.chunks_exact_mut(len)) {
-                dpu.mram().read(mram_offset, chunk)?;
-            }
-        }
+        let ranks = if len > 0 {
+            self.visit_ranks(None, |set, pos, dpu| {
+                set.dpus[dpu]
+                    .mram()
+                    .read(mram_offset, &mut out[pos * len..(pos + 1) * len])?;
+                Ok(())
+            })?
+        } else {
+            self.ranks()
+        };
         let n = self.dpus.len();
         let total = (len * n) as u64;
         let seconds = self
             .config
             .transfer
-            .scatter_gather_seconds(total as usize, self.ranks());
-        self.record_xfer(TransferKind::Gather, total, n, seconds);
+            .scatter_gather_seconds(total as usize, ranks);
+        self.record_xfer(TransferKind::Gather, total, n, ranks, seconds);
         Ok(())
     }
 
@@ -616,18 +695,23 @@ impl DpuSet {
         for &i in indices {
             self.note_host_access(i, mram_offset, len);
         }
-        if len > 0 {
-            for (&i, chunk) in indices.iter().zip(out.chunks_exact_mut(len)) {
-                self.dpus[i].mram().read(mram_offset, chunk)?;
-            }
-        }
+        let ranks = if len > 0 {
+            self.visit_ranks(Some(indices), |set, pos, dpu| {
+                set.dpus[dpu]
+                    .mram()
+                    .read(mram_offset, &mut out[pos * len..(pos + 1) * len])?;
+                Ok(())
+            })?
+        } else {
+            self.config.ranks_spanned(indices)
+        };
         let n = indices.len();
         let total = (len * n) as u64;
         let seconds = self
             .config
             .transfer
-            .scatter_gather_seconds(total as usize, self.config.ranks_for(n));
-        self.record_xfer(TransferKind::Gather, total, n, seconds);
+            .scatter_gather_seconds(total as usize, ranks);
+        self.record_xfer(TransferKind::Gather, total, n, ranks, seconds);
         Ok(())
     }
 
@@ -644,7 +728,8 @@ impl DpuSet {
         let n = self.dpus.len();
         let seconds = self.config.transfer.program_load_seconds(n);
         let bytes = (self.config.iram_bytes * n) as u64;
-        self.record(Direction::CpuToPim, bytes, n, seconds);
+        let ranks = self.ranks();
+        self.record(Direction::CpuToPim, bytes, n, ranks, seconds);
         self.stats.program_load_seconds += seconds;
         self.program_loaded = true;
         self.config.telemetry.emit(|| Event::ProgramLoad {
@@ -1256,6 +1341,84 @@ mod tests {
         // byte is byte-identical to the source buffer.
         assert_ne!(landed[diffs[0]], payload[diffs[0]]);
         assert_eq!(set.stats().injected_transfer_faults, 1);
+    }
+
+    #[test]
+    fn subset_transfers_charge_distinct_ranks() {
+        // 128 DPUs = 2 ranks of 64. The subset {0, 64} has only two
+        // DPUs but straddles both ranks: the unified charging semantics
+        // bills it for 2 ranks of parallelism, not ranks_for(2) == 1 as
+        // a dense packing of its size would.
+        let mut sys = PimSystem::new(PimConfig::builder().dpus(128).mram_bytes(1 << 16).build());
+        let mut set = sys.alloc(128).unwrap();
+        let t = set.config().transfer.clone();
+        set.broadcast_subset(0, &[1u8; 64], &[0, 64]).unwrap();
+        let rec = *set.ledger().records().last().unwrap();
+        assert_eq!(rec.ranks, 2);
+        assert!((rec.seconds - t.broadcast_seconds(64, 2, 2)).abs() < 1e-15);
+        // A subset confined to one rank is charged one rank.
+        set.gather_subset(0, 8, &[1, 2, 63]).unwrap();
+        let rec = *set.ledger().records().last().unwrap();
+        assert_eq!(rec.ranks, 1);
+        assert!((rec.seconds - t.scatter_gather_seconds(8 * 3, 1)).abs() < 1e-15);
+        // Full-set operations keep the dense count: 128 DPUs, 2 ranks.
+        set.gather(0, 8).unwrap();
+        let rec = *set.ledger().records().last().unwrap();
+        assert_eq!(rec.ranks, 2);
+        assert!((rec.seconds - t.scatter_gather_seconds(8 * 128, 2)).abs() < 1e-15);
+        // The zero-allocation variant charges identically.
+        let mut flat = vec![0u8; 8 * 2];
+        set.gather_subset_into(0, 8, &[0, 64], &mut flat).unwrap();
+        let rec = *set.ledger().records().last().unwrap();
+        assert_eq!(rec.ranks, 2);
+    }
+
+    #[test]
+    fn paper_scale_sparse_workload_stays_lazy() {
+        // Full 64-MB banks at the paper's 2,524-DPU scale: an eager
+        // allocator would commit 2,524 × 64 MB ≈ 158 GB up front. A
+        // sparse workload touching ~4 KB per DPU must materialize well
+        // under 10% of that.
+        let mut sys = PimSystem::new(PimConfig::default());
+        let mut set = sys.alloc(2524).unwrap();
+        let parts: Vec<Vec<u8>> = (0..2524).map(|i| vec![i as u8; 4096]).collect();
+        set.scatter(32 << 20, &parts).unwrap();
+        let stats = set.memory_stats();
+        let eager = 2524u64 * (64 << 20);
+        assert!(
+            stats.bank_peak_bytes < eager / 10,
+            "sparse run materialized {} of {} eager bytes",
+            stats.bank_peak_bytes,
+            eager
+        );
+        // Exactly one 64-KB segment per DPU (4 KB at a segment-aligned
+        // offset), and the data is really there.
+        assert_eq!(stats.bank_bytes, 2524 * 64 * 1024);
+        assert_eq!(set.copy_from(1234, 32 << 20, 4096).unwrap(), parts[1234]);
+    }
+
+    #[test]
+    fn freed_sets_return_segments_to_the_arena_pool() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        set.broadcast(0, &[9u8; 1024]).unwrap();
+        let after_first = sys.memory_stats();
+        assert!(after_first.bank_bytes > 0);
+        assert_eq!(after_first.bank_bytes, set.memory_stats().bank_bytes);
+        sys.free(set);
+        let freed = sys.memory_stats();
+        // Dropping the set released every segment into the pool: no
+        // bank bytes are live, but the arena keeps its footprint for
+        // reuse.
+        assert_eq!(freed.bank_bytes, 0);
+        assert_eq!(freed.arena_bytes, after_first.bank_bytes);
+        // A second set draws from the pool: the footprint peak does not
+        // grow.
+        let mut set = sys.alloc(4).unwrap();
+        set.broadcast(0, &[5u8; 1024]).unwrap();
+        let reused = sys.memory_stats();
+        assert_eq!(reused.bank_bytes, after_first.bank_bytes);
+        assert_eq!(reused.arena_peak_bytes, freed.arena_peak_bytes);
     }
 
     #[test]

@@ -80,6 +80,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod cost;
 pub mod dpu;
@@ -96,6 +97,7 @@ pub mod softfloat;
 pub mod stats;
 pub mod xfer;
 
+pub use arena::{FleetArena, MemoryStats};
 pub use config::{ArithTier, CostModel, PimConfig};
 pub use engine::ExecutionEngine;
 pub use faults::{FaultPlan, MramRegion};

@@ -6,11 +6,26 @@
 //! 8-byte granularity. The host can read and write MRAM (but not WRAM)
 //! while no kernel is running.
 //!
-//! Memories are allocated lazily: a bank only consumes host memory for the
-//! highest offset actually touched, which keeps thousand-DPU simulations
-//! affordable while still enforcing the capacity limits.
+//! Banks are lazily materialized in fixed
+//! [`BANK_SEGMENT_BYTES`]-sized segments drawn from a
+//! [`FleetArena`] shared by the whole DPU set: a segment only consumes
+//! host memory once a byte inside it is written, which keeps
+//! thousand-DPU fleets affordable (an idle 64-MB bank costs a vector of
+//! `None` slots) while still enforcing the capacity limits. Unwritten
+//! bytes read as zero. Cloning a bank is cheap — segments are shared and
+//! copied on write — and every allocated byte is accounted by the arena,
+//! so fleet-wide memory ceilings are queryable at any quiescent point.
+//!
+//! The read/write paths here are reachable from kernel code through the
+//! `DpuContext` DMA intrinsics, so their tokens must satisfy the
+//! analyzer's kernel-discipline rules; buffer creation lives in the
+//! arena (see its module docs).
 
 use std::fmt;
+use std::sync::Arc;
+
+use crate::arena::{FleetArena, SegmentArc};
+pub use crate::arena::BANK_SEGMENT_BYTES;
 
 /// Error raised by out-of-range or misaligned memory accesses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,21 +100,32 @@ impl fmt::Display for MemoryError {
 
 impl std::error::Error for MemoryError {}
 
-/// A lazily-grown byte bank with a hard capacity.
+/// A lazily-segmented byte bank with a hard capacity.
+///
+/// Cloning shares the materialized segments copy-on-write.
 #[derive(Debug, Clone)]
 pub struct Bank {
-    data: Vec<u8>,
+    segments: Vec<Option<SegmentArc>>,
     capacity: usize,
     kind: MemoryKind,
+    arena: FleetArena,
 }
 
 impl Bank {
-    /// Creates an empty bank with the given capacity.
+    /// Creates an empty bank with the given capacity, backed by its own
+    /// private arena (tests and standalone use).
     pub fn new(capacity: usize, kind: MemoryKind) -> Self {
+        Self::with_arena(capacity, kind, FleetArena::new())
+    }
+
+    /// Creates an empty bank drawing segments from `arena`.
+    pub fn with_arena(capacity: usize, kind: MemoryKind, arena: FleetArena) -> Self {
+        let slots = capacity.div_ceil(BANK_SEGMENT_BYTES);
         Self {
-            data: Vec::new(),
+            segments: vec![None; slots],
             capacity,
             kind,
+            arena,
         }
     }
 
@@ -108,9 +134,44 @@ impl Bank {
         self.capacity
     }
 
-    /// Bytes currently backed by host memory (high-water mark).
-    pub fn resident_bytes(&self) -> usize {
-        self.data.len()
+    /// Bytes currently backed by host memory (whole segments touched by
+    /// at least one write).
+    pub fn allocated_bytes(&self) -> usize {
+        self.segments.iter().flatten().map(|seg| seg.len()).sum()
+    }
+
+    /// Length of segment `index`: the fixed granule, except for a
+    /// sub-granule tail.
+    fn seg_len(&self, index: usize) -> usize {
+        BANK_SEGMENT_BYTES.min(self.capacity - index * BANK_SEGMENT_BYTES)
+    }
+
+    /// Materializes (and, if shared with a clone, un-shares) segment
+    /// `index`, returning its bytes.
+    fn segment_mut(&mut self, index: usize) -> &mut [u8] {
+        let len = self.seg_len(index);
+        let arena = &self.arena;
+        let slot = &mut self.segments[index];
+        let unique = match slot {
+            Some(seg) => Arc::get_mut(seg).is_some(),
+            None => false,
+        };
+        if !unique {
+            let fresh = match slot.take() {
+                // Copy-on-write: the segment is shared with a clone.
+                Some(shared) => {
+                    let copy = arena.acquire_copy(&shared);
+                    arena.release(shared);
+                    copy
+                }
+                None => arena.acquire(len),
+            };
+            *slot = Some(fresh);
+        }
+        match slot.as_mut().and_then(Arc::get_mut) {
+            Some(buf) => buf,
+            None => &mut [],
+        }
     }
 
     fn check(&self, offset: usize, len: usize) -> Result<usize, MemoryError> {
@@ -138,27 +199,39 @@ impl Bank {
     #[inline]
     pub fn read(&self, offset: usize, dst: &mut [u8]) -> Result<(), MemoryError> {
         self.check(offset, dst.len())?;
-        let have = self.data.len().saturating_sub(offset);
-        let n = have.min(dst.len());
-        if n > 0 {
-            dst[..n].copy_from_slice(&self.data[offset..offset + n]);
+        let mut done = 0;
+        while done < dst.len() {
+            let at = offset + done;
+            let index = at / BANK_SEGMENT_BYTES;
+            let within = at % BANK_SEGMENT_BYTES;
+            let n = (self.seg_len(index) - within).min(dst.len() - done);
+            match &self.segments[index] {
+                Some(seg) => dst[done..done + n].copy_from_slice(&seg[within..within + n]),
+                None => dst[done..done + n].fill(0),
+            }
+            done += n;
         }
-        dst[n..].fill(0);
         Ok(())
     }
 
-    /// Writes `src` starting at `offset`, growing the resident region.
+    /// Writes `src` starting at `offset`, materializing the segments it
+    /// touches.
     ///
     /// # Errors
     ///
     /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
     #[inline]
     pub fn write(&mut self, offset: usize, src: &[u8]) -> Result<(), MemoryError> {
-        let end = self.check(offset, src.len())?;
-        if end > self.data.len() {
-            self.data.resize(end, 0);
+        self.check(offset, src.len())?;
+        let mut done = 0;
+        while done < src.len() {
+            let at = offset + done;
+            let index = at / BANK_SEGMENT_BYTES;
+            let within = at % BANK_SEGMENT_BYTES;
+            let n = (self.seg_len(index) - within).min(src.len() - done);
+            self.segment_mut(index)[within..within + n].copy_from_slice(&src[done..done + n]);
+            done += n;
         }
-        self.data[offset..end].copy_from_slice(src);
         Ok(())
     }
 
@@ -169,14 +242,16 @@ impl Bank {
     /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
     #[inline]
     pub fn read_u32(&self, offset: usize) -> Result<u32, MemoryError> {
-        // Hot path: the word is fully resident — one unchecked-growth,
+        // Hot path: the word sits inside one materialized segment — one
         // bounds-checked slice load.
-        if let Some(bytes) = self
-            .data
-            .get(offset..offset.wrapping_add(4))
-            .and_then(|s| <[u8; 4]>::try_from(s).ok())
-        {
-            return Ok(u32::from_le_bytes(bytes));
+        let within = offset % BANK_SEGMENT_BYTES;
+        if let Some(Some(seg)) = self.segments.get(offset / BANK_SEGMENT_BYTES) {
+            if let Some(bytes) = seg
+                .get(within..within.wrapping_add(4))
+                .and_then(|s| <[u8; 4]>::try_from(s).ok())
+            {
+                return Ok(u32::from_le_bytes(bytes));
+            }
         }
         let mut buf = [0u8; 4];
         self.read(offset, &mut buf)?;
@@ -190,12 +265,28 @@ impl Bank {
     /// Returns [`MemoryError::OutOfRange`] if the access exceeds capacity.
     #[inline]
     pub fn write_u32(&mut self, offset: usize, value: u32) -> Result<(), MemoryError> {
-        // Hot path: the word is already resident — store in place.
-        if let Some(slot) = self.data.get_mut(offset..offset.wrapping_add(4)) {
-            slot.copy_from_slice(&value.to_le_bytes());
-            return Ok(());
+        // Hot path: the word sits inside one already-materialized,
+        // unshared segment — store in place.
+        let within = offset % BANK_SEGMENT_BYTES;
+        if let Some(Some(seg)) = self.segments.get_mut(offset / BANK_SEGMENT_BYTES) {
+            if let Some(slot) = Arc::get_mut(seg)
+                .and_then(|buf| buf.get_mut(within..within.wrapping_add(4)))
+            {
+                slot.copy_from_slice(&value.to_le_bytes());
+                return Ok(());
+            }
         }
         self.write(offset, &value.to_le_bytes())
+    }
+}
+
+impl Drop for Bank {
+    fn drop(&mut self) {
+        for slot in &mut self.segments {
+            if let Some(seg) = slot.take() {
+                self.arena.release(seg);
+            }
+        }
     }
 }
 
@@ -209,16 +300,23 @@ pub struct DpuMemory {
 }
 
 impl DpuMemory {
-    /// Creates the memory pair with the given capacities.
+    /// Creates the memory pair with the given capacities, backed by a
+    /// private arena shared between the two banks.
     pub fn new(mram_bytes: usize, wram_bytes: usize) -> Self {
+        Self::with_arena(mram_bytes, wram_bytes, &FleetArena::new())
+    }
+
+    /// Creates the memory pair drawing segments from a fleet-owned arena.
+    pub fn with_arena(mram_bytes: usize, wram_bytes: usize, arena: &FleetArena) -> Self {
         Self {
-            mram: Bank::new(mram_bytes, MemoryKind::Mram),
-            wram: Bank::new(wram_bytes, MemoryKind::Wram),
+            mram: Bank::with_arena(mram_bytes, MemoryKind::Mram, arena.clone()),
+            wram: Bank::with_arena(wram_bytes, MemoryKind::Wram, arena.clone()),
         }
     }
 
     /// Copies `len` bytes MRAM → WRAM without a staging buffer,
-    /// preserving [`Bank::read`]'s zero-fill of unresident source bytes.
+    /// preserving [`Bank::read`]'s zero-fill of unmaterialized source
+    /// bytes.
     ///
     /// # Errors
     ///
@@ -235,7 +333,8 @@ impl DpuMemory {
     }
 
     /// Copies `len` bytes WRAM → MRAM without a staging buffer,
-    /// preserving [`Bank::read`]'s zero-fill of unresident source bytes.
+    /// preserving [`Bank::read`]'s zero-fill of unmaterialized source
+    /// bytes.
     ///
     /// # Errors
     ///
@@ -254,7 +353,10 @@ impl DpuMemory {
 
 /// Direct bank-to-bank copy with the exact semantics of a `read` into a
 /// zeroed buffer followed by a `write`: both ranges are validated before
-/// any byte moves, and source bytes past the resident region read as zero.
+/// any byte moves, and source bytes in unmaterialized segments read as
+/// zero. Copying zeroes into a destination segment that was never
+/// materialized leaves it unmaterialized — the bytes read back as zero
+/// either way, so only the allocation counters can tell the difference.
 fn copy_between(
     src: &Bank,
     dst: &mut Bank,
@@ -263,16 +365,28 @@ fn copy_between(
     len: usize,
 ) -> Result<(), MemoryError> {
     src.check(src_offset, len)?;
-    let dst_end = dst.check(dst_offset, len)?;
-    if dst_end > dst.data.len() {
-        dst.data.resize(dst_end, 0);
+    dst.check(dst_offset, len)?;
+    let mut done = 0;
+    while done < len {
+        let s_at = src_offset + done;
+        let d_at = dst_offset + done;
+        let s_index = s_at / BANK_SEGMENT_BYTES;
+        let s_within = s_at % BANK_SEGMENT_BYTES;
+        let d_index = d_at / BANK_SEGMENT_BYTES;
+        let d_within = d_at % BANK_SEGMENT_BYTES;
+        let n = (src.seg_len(s_index) - s_within)
+            .min(dst.seg_len(d_index) - d_within)
+            .min(len - done);
+        match &src.segments[s_index] {
+            Some(seg) => dst.segment_mut(d_index)[d_within..d_within + n]
+                .copy_from_slice(&seg[s_within..s_within + n]),
+            None if dst.segments[d_index].is_some() => {
+                dst.segment_mut(d_index)[d_within..d_within + n].fill(0);
+            }
+            None => {}
+        }
+        done += n;
     }
-    let have = src.data.len().saturating_sub(src_offset);
-    let n = have.min(len);
-    if n > 0 {
-        dst.data[dst_offset..dst_offset + n].copy_from_slice(&src.data[src_offset..src_offset + n]);
-    }
-    dst.data[dst_offset + n..dst_end].fill(0);
     Ok(())
 }
 
@@ -286,7 +400,7 @@ mod tests {
         let mut buf = [0xFFu8; 8];
         bank.read(16, &mut buf).unwrap();
         assert_eq!(buf, [0u8; 8]);
-        assert_eq!(bank.resident_bytes(), 0);
+        assert_eq!(bank.allocated_bytes(), 0);
     }
 
     #[test]
@@ -296,7 +410,57 @@ mod tests {
         let mut buf = [0u8; 6];
         bank.read(7, &mut buf).unwrap();
         assert_eq!(buf, [0, 1, 2, 3, 4, 0]);
-        assert_eq!(bank.resident_bytes(), 12);
+        // One (sub-granule) segment spanning the whole 64-byte bank.
+        assert_eq!(bank.allocated_bytes(), 64);
+    }
+
+    #[test]
+    fn only_touched_segments_materialize() {
+        let mut bank = Bank::new(16 * BANK_SEGMENT_BYTES, MemoryKind::Mram);
+        assert_eq!(bank.allocated_bytes(), 0);
+        bank.write(0, &[1u8; 4]).unwrap();
+        assert_eq!(bank.allocated_bytes(), BANK_SEGMENT_BYTES);
+        // A far-away write materializes just its own segment.
+        bank.write(10 * BANK_SEGMENT_BYTES + 100, &[2u8; 4]).unwrap();
+        assert_eq!(bank.allocated_bytes(), 2 * BANK_SEGMENT_BYTES);
+        assert_eq!(bank.read_u32(0).unwrap(), u32::from_le_bytes([1, 1, 1, 1]));
+        assert_eq!(bank.read_u32(5 * BANK_SEGMENT_BYTES).unwrap(), 0);
+    }
+
+    #[test]
+    fn writes_spanning_segments_round_trip() {
+        let mut bank = Bank::new(2 * BANK_SEGMENT_BYTES, MemoryKind::Mram);
+        let boundary = BANK_SEGMENT_BYTES - 2;
+        bank.write(boundary, &[9, 8, 7, 6]).unwrap();
+        let mut buf = [0u8; 4];
+        bank.read(boundary, &mut buf).unwrap();
+        assert_eq!(buf, [9, 8, 7, 6]);
+        bank.write_u32(boundary, 0x0102_0304).unwrap();
+        assert_eq!(bank.read_u32(boundary).unwrap(), 0x0102_0304);
+        assert_eq!(bank.allocated_bytes(), 2 * BANK_SEGMENT_BYTES);
+    }
+
+    #[test]
+    fn cloned_banks_copy_on_write() {
+        let arena = FleetArena::new();
+        let mut a = Bank::with_arena(4 * BANK_SEGMENT_BYTES, MemoryKind::Mram, arena.clone());
+        a.write_u32(16, 0xAAAA_AAAA).unwrap();
+        let seg = BANK_SEGMENT_BYTES as u64;
+        assert_eq!(arena.stats().bank_bytes, seg);
+
+        // The clone shares the segment: no new bytes.
+        let b = a.clone();
+        assert_eq!(arena.stats().bank_bytes, seg);
+        // Writing un-shares it.
+        a.write_u32(16, 0xBBBB_BBBB).unwrap();
+        assert_eq!(arena.stats().bank_bytes, 2 * seg);
+        assert_eq!(a.read_u32(16).unwrap(), 0xBBBB_BBBB);
+        assert_eq!(b.read_u32(16).unwrap(), 0xAAAA_AAAA);
+
+        drop(b);
+        assert_eq!(arena.stats().bank_bytes, seg);
+        drop(a);
+        assert_eq!(arena.stats().bank_bytes, 0);
     }
 
     #[test]
@@ -336,6 +500,26 @@ mod tests {
         bank.write_u32(4, 0xDEAD_BEEF).unwrap();
         assert_eq!(bank.read_u32(4).unwrap(), 0xDEAD_BEEF);
         assert_eq!(bank.read_u32(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn copy_between_zero_fills_without_materializing() {
+        let mut mem = DpuMemory::new(4 * BANK_SEGMENT_BYTES, 1 << 16);
+        // Source untouched, destination untouched: stays unmaterialized.
+        mem.copy_mram_to_wram(BANK_SEGMENT_BYTES, 0, 64).unwrap();
+        assert_eq!(mem.wram.allocated_bytes(), 0);
+        // A materialized destination really gets the zeroes.
+        mem.wram.write(0, &[0xFFu8; 64]).unwrap();
+        mem.copy_mram_to_wram(BANK_SEGMENT_BYTES, 0, 64).unwrap();
+        let mut buf = [0xAAu8; 64];
+        mem.wram.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+        // And copying real data round-trips.
+        mem.mram.write(8, &[5u8; 16]).unwrap();
+        mem.copy_mram_to_wram(8, 128, 16).unwrap();
+        let mut out = [0u8; 16];
+        mem.wram.read(128, &mut out).unwrap();
+        assert_eq!(out, [5u8; 16]);
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct TransferRecord {
     pub bytes: u64,
     /// Number of DPUs involved.
     pub dpus: usize,
+    /// Number of hardware ranks the transfer actually touched (what the
+    /// bandwidth model was charged for). Defaults to 0 in records
+    /// deserialized from pre-rank artifacts.
+    #[serde(default)]
+    pub ranks: usize,
     /// Modelled duration in seconds.
     pub seconds: f64,
 }
@@ -86,18 +91,21 @@ mod tests {
             direction: Direction::CpuToPim,
             bytes: 100,
             dpus: 4,
+            ranks: 1,
             seconds: 0.5,
         });
         ledger.record(TransferRecord {
             direction: Direction::PimToCpu,
             bytes: 40,
             dpus: 4,
+            ranks: 1,
             seconds: 0.2,
         });
         ledger.record(TransferRecord {
             direction: Direction::CpuToPim,
             bytes: 10,
             dpus: 1,
+            ranks: 1,
             seconds: 0.1,
         });
         assert_eq!(ledger.bytes(Direction::CpuToPim), 110);

@@ -206,6 +206,23 @@ pub enum Event {
         /// DPUs remaining after the remap.
         survivors: usize,
     },
+    /// Fleet-wide bank-memory ceilings observed by the run: how many
+    /// bank bytes the lazily-materialized banks actually held (current
+    /// and peak) and the footprint of the segment arena backing them.
+    /// Emitted host-side at the end of a run; engine-invariant because
+    /// launches only ever *allocate* segments (copy-on-write releases
+    /// happen on the single-threaded host paths), so the peak is a
+    /// monotone function of the touched working set.
+    MemoryCeilings {
+        /// Bank bytes currently materialized across the fleet.
+        bank_bytes: u64,
+        /// Peak bank bytes materialized at any point in the run.
+        bank_peak_bytes: u64,
+        /// Arena footprint (live + pooled segments) in bytes.
+        arena_bytes: u64,
+        /// Peak arena footprint in bytes.
+        arena_peak_bytes: u64,
+    },
 }
 
 impl Event {
@@ -222,6 +239,7 @@ impl Event {
             Event::Retry { .. } => "retry",
             Event::Rollback { .. } => "rollback",
             Event::Degradation { .. } => "degradation",
+            Event::MemoryCeilings { .. } => "memory_ceilings",
         }
     }
 
@@ -281,5 +299,13 @@ mod tests {
         let i = Event::Rollback { to_round: 3 };
         assert_eq!(i.name(), "rollback");
         assert_eq!(i.seconds(), 0.0);
+        let m = Event::MemoryCeilings {
+            bank_bytes: 1,
+            bank_peak_bytes: 2,
+            arena_bytes: 3,
+            arena_peak_bytes: 4,
+        };
+        assert_eq!(m.name(), "memory_ceilings");
+        assert_eq!(m.seconds(), 0.0);
     }
 }

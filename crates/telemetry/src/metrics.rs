@@ -74,6 +74,16 @@ pub struct MetricsSnapshot {
     pub rollbacks: u64,
     /// DPUs dropped by graceful degradation.
     pub degraded_dpus: u64,
+    /// Bank bytes materialized across the fleet when the run's last
+    /// [`Event::MemoryCeilings`] was emitted.
+    pub bank_bytes: u64,
+    /// Peak bank bytes materialized at any point in the run (max over
+    /// all `MemoryCeilings` events).
+    pub bank_peak_bytes: u64,
+    /// Segment-arena footprint (live + pooled) at the last ceiling.
+    pub arena_bytes: u64,
+    /// Peak segment-arena footprint (max over all ceilings).
+    pub arena_peak_bytes: u64,
     /// Sanitizer findings attributed to launches.
     pub sanitizer_findings: u64,
 }
@@ -139,18 +149,29 @@ impl MetricsSnapshot {
                 Event::Degradation { dead_dpus, .. } => {
                     snap.degraded_dpus += dead_dpus.len() as u64;
                 }
+                Event::MemoryCeilings {
+                    bank_bytes,
+                    bank_peak_bytes,
+                    arena_bytes,
+                    arena_peak_bytes,
+                } => {
+                    snap.bank_bytes = *bank_bytes;
+                    snap.arena_bytes = *arena_bytes;
+                    snap.bank_peak_bytes = snap.bank_peak_bytes.max(*bank_peak_bytes);
+                    snap.arena_peak_bytes = snap.arena_peak_bytes.max(*arena_peak_bytes);
+                }
             }
         }
         snap
     }
 
     /// Renders the snapshot as a versioned JSON object (schema
-    /// `swiftrl-metrics-v1`). Key order is fixed; rendering is
-    /// byte-deterministic.
+    /// `swiftrl-metrics-v2`; v2 adds the `memory` ceilings object).
+    /// Key order is fixed; rendering is byte-deterministic.
     pub fn to_json(&self) -> Json {
         let (imb_min, imb_mean, imb_max) = distribution(&self.imbalance);
         Json::obj([
-            ("schema", Json::str("swiftrl-metrics-v1")),
+            ("schema", Json::str("swiftrl-metrics-v2")),
             ("label", Json::str(self.label.clone())),
             ("launches", Json::UInt(self.launches)),
             ("faulted_launches", Json::UInt(self.faulted_launches)),
@@ -200,6 +221,15 @@ impl MetricsSnapshot {
                     ("retries", Json::UInt(self.retries)),
                     ("rollbacks", Json::UInt(self.rollbacks)),
                     ("degraded_dpus", Json::UInt(self.degraded_dpus)),
+                ]),
+            ),
+            (
+                "memory",
+                Json::obj([
+                    ("bank_bytes", Json::UInt(self.bank_bytes)),
+                    ("bank_peak_bytes", Json::UInt(self.bank_peak_bytes)),
+                    ("arena_bytes", Json::UInt(self.arena_bytes)),
+                    ("arena_peak_bytes", Json::UInt(self.arena_peak_bytes)),
                 ]),
             ),
             ("sanitizer_findings", Json::UInt(self.sanitizer_findings)),
@@ -302,6 +332,12 @@ mod tests {
                 dead_dpus: vec![0],
                 survivors: 1,
             },
+            Event::MemoryCeilings {
+                bank_bytes: 4096,
+                bank_peak_bytes: 8192,
+                arena_bytes: 8192,
+                arena_peak_bytes: 8192,
+            },
         ]
     }
 
@@ -321,6 +357,9 @@ mod tests {
         assert_eq!(snap.retries, 1);
         assert_eq!(snap.rollbacks, 1);
         assert_eq!(snap.degraded_dpus, 1);
+        assert_eq!(snap.bank_bytes, 4096);
+        assert_eq!(snap.bank_peak_bytes, 8192);
+        assert_eq!(snap.arena_peak_bytes, 8192);
         assert_eq!(snap.sanitizer_findings, 2);
     }
 
@@ -332,9 +371,15 @@ mod tests {
         let doc = crate::json::parse(&rendered).expect("self-parse");
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("swiftrl-metrics-v1")
+            Some("swiftrl-metrics-v2")
         );
         assert_eq!(doc.get("launches").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            doc.get("memory")
+                .and_then(|m| m.get("bank_peak_bytes"))
+                .and_then(Json::as_u64),
+            Some(8192)
+        );
         let bundle = snapshot_bundle("trace_run", &[snap]);
         let parsed = crate::json::parse(&bundle.render_pretty()).expect("bundle parses");
         assert_eq!(

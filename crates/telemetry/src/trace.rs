@@ -272,6 +272,24 @@ fn emit_run(out: &mut Vec<Json>, pid: u64, label: &str, events: &[Event]) {
                     ]),
                 ));
             }
+            Event::MemoryCeilings {
+                bank_bytes,
+                bank_peak_bytes,
+                arena_bytes,
+                arena_peak_bytes,
+            } => {
+                out.push(instant(
+                    pid,
+                    "memory_ceilings",
+                    now_us,
+                    Json::obj([
+                        ("bank_bytes", Json::UInt(*bank_bytes)),
+                        ("bank_peak_bytes", Json::UInt(*bank_peak_bytes)),
+                        ("arena_bytes", Json::UInt(*arena_bytes)),
+                        ("arena_peak_bytes", Json::UInt(*arena_peak_bytes)),
+                    ]),
+                ));
+            }
         }
     }
 }

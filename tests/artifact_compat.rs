@@ -47,6 +47,45 @@ fn checked_in_sim_throughput_artifact_still_parses() {
     }
 }
 
+/// The checked-in fleet-scaling artifact parses, covers the paper's
+/// 2,524-DPU fleet, and keeps the lazy-bank contract: peak materialized
+/// bank bytes stay under 10% of the eager `dpus × 64 MiB` footprint at
+/// every sweep point.
+#[test]
+fn checked_in_fleet_scaling_artifact_still_parses() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_FLEET_SCALING.json");
+    let text = std::fs::read_to_string(&path).expect("checked-in BENCH_FLEET_SCALING.json");
+    let doc = parse(&text).expect("artifact parses");
+
+    assert_eq!(
+        doc.get("benchmark").and_then(Json::as_str),
+        Some("fleet_scaling")
+    );
+    let points = doc.get("points").and_then(Json::as_array).expect("points");
+    assert!(!points.is_empty());
+    let mut saw_paper_fleet = false;
+    for point in points {
+        let dpus = point.get("dpus").and_then(Json::as_u64).expect("dpus");
+        saw_paper_fleet |= dpus == 2_524;
+        let peak = point
+            .get("bank_peak_bytes")
+            .and_then(Json::as_u64)
+            .expect("bank_peak_bytes");
+        let eager = point
+            .get("eager_bank_bytes")
+            .and_then(Json::as_u64)
+            .expect("eager_bank_bytes");
+        assert!(
+            peak > 0 && peak * 10 < eager,
+            "lazy banks past 10% of the eager footprint at {dpus} DPUs"
+        );
+        for key in ["host_wall_s", "sim_kernel_s", "sim_total_s", "lazy_fraction"] {
+            assert!(point.get(key).and_then(Json::as_f64).is_some(), "{key}");
+        }
+    }
+    assert!(saw_paper_fleet, "sweep missing the 2,524-DPU point");
+}
+
 /// An old-schema snippet — an artifact written before fields that exist
 /// today — still parses; unknown-to-old keys are simply absent, which is
 /// exactly what the container-level `#[serde(default)]` on

@@ -1,14 +1,16 @@
-//! Cross-crate determinism of the execution engines: the threaded engine
-//! must be bit-identical to the serial reference in everything except
-//! wall-clock — Q-tables, cycle statistics, time breakdowns, and
-//! sanitizer finding order — across every paper workload variant.
+//! Cross-crate determinism of the execution engines: the threaded and
+//! work-stealing engines must be bit-identical to the serial reference
+//! in everything except wall-clock — Q-tables, cycle statistics, time
+//! breakdowns, and sanitizer finding order — across every paper
+//! workload variant, and at paper-scale fleet sizes (2,524 DPUs).
 //!
-//! This is the contract that makes the parallel engine safe to enable by
-//! default: `ExecutionEngine` is a pure scheduling choice, invisible in
-//! every simulated observable.
+//! This is the contract that makes the parallel engines safe to enable
+//! by default: `ExecutionEngine` is a pure scheduling choice, invisible
+//! in every simulated observable.
 
 use proptest::prelude::*;
 use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::resilience::ResilienceConfig;
 use swiftrl::core::runner::{PimRunner, RunOutcome};
 use swiftrl::env::collect::collect_random;
 use swiftrl::env::frozen_lake::FrozenLake;
@@ -42,34 +44,89 @@ fn run_with_engine(
 }
 
 /// The headline guarantee: all 12 paper variants produce bit-identical
-/// outcomes under the serial and threaded engines.
+/// outcomes under the serial, threaded, and work-stealing engines.
 #[test]
-fn threaded_engine_is_bit_identical_across_all_paper_variants() {
+fn parallel_engines_are_bit_identical_across_all_paper_variants() {
     let cfg = RunConfig::paper_defaults()
         .with_dpus(6)
         .with_episodes(4)
         .with_tau(2);
     for spec in WorkloadSpec::paper_variants() {
         let serial = run_with_engine(spec, cfg, ExecutionEngine::Serial);
-        let threaded = run_with_engine(spec, cfg, ExecutionEngine::Threaded { workers: 3 });
-        assert_eq!(
-            serial.q_table, threaded.q_table,
-            "{spec}: Q-tables diverged between engines"
-        );
-        assert_eq!(
-            serial.breakdown, threaded.breakdown,
-            "{spec}: time breakdowns diverged between engines"
-        );
-        assert_eq!(serial.comm_rounds, threaded.comm_rounds, "{spec}");
-        assert_eq!(
-            serial.sanitizer.findings, threaded.sanitizer.findings,
-            "{spec}: sanitizer findings (or their order) diverged"
-        );
-        assert_eq!(
-            serial.sanitizer.sanitized_launches,
-            threaded.sanitizer.sanitized_launches,
-            "{spec}"
-        );
+        for engine in [
+            ExecutionEngine::Threaded { workers: 3 },
+            ExecutionEngine::WorkStealing { workers: 3 },
+        ] {
+            let parallel = run_with_engine(spec, cfg, engine);
+            assert_eq!(
+                serial.q_table, parallel.q_table,
+                "{spec}/{engine:?}: Q-tables diverged between engines"
+            );
+            assert_eq!(
+                serial.breakdown, parallel.breakdown,
+                "{spec}/{engine:?}: time breakdowns diverged between engines"
+            );
+            assert_eq!(serial.comm_rounds, parallel.comm_rounds, "{spec}/{engine:?}");
+            assert_eq!(
+                serial.sanitizer.findings, parallel.sanitizer.findings,
+                "{spec}/{engine:?}: sanitizer findings (or their order) diverged"
+            );
+            assert_eq!(
+                serial.sanitizer.sanitized_launches, parallel.sanitizer.sanitized_launches,
+                "{spec}/{engine:?}"
+            );
+            assert_eq!(
+                serial.memory, parallel.memory,
+                "{spec}/{engine:?}: memory ceilings diverged between engines"
+            );
+        }
+    }
+}
+
+/// The same guarantee under an active fault plan: every paper variant,
+/// run with seeded transient aborts recovered by the retry loop, is
+/// byte-identical across all three engines — fault decisions key on
+/// pure data, never on the schedule.
+#[test]
+fn faulted_paper_variants_are_bit_identical_across_engines() {
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(6)
+        .with_episodes(4)
+        .with_tau(2);
+    let run = |spec, engine| {
+        let platform = PimConfig::builder()
+            .dpus(cfg.dpus)
+            .engine(engine)
+            .sanitize(SanitizeLevel::Full)
+            .faults(FaultPlan::seeded(7).with_dpu_fail_rate(0.1))
+            .build();
+        PimRunner::with_platform(spec, cfg, platform)
+            .unwrap()
+            .with_resilience(ResilienceConfig::none().with_max_retries(4))
+            .run(&dataset(2_000))
+            .unwrap()
+    };
+    for spec in WorkloadSpec::paper_variants() {
+        let serial = run(spec, ExecutionEngine::Serial);
+        for engine in [
+            ExecutionEngine::Threaded { workers: 3 },
+            ExecutionEngine::WorkStealing { workers: 3 },
+        ] {
+            let parallel = run(spec, engine);
+            assert_eq!(
+                serial.q_table, parallel.q_table,
+                "{spec}/{engine:?}: Q-tables diverged under faults"
+            );
+            assert_eq!(
+                serial.breakdown, parallel.breakdown,
+                "{spec}/{engine:?}: time breakdowns diverged under faults"
+            );
+            assert_eq!(
+                serial.resilience, parallel.resilience,
+                "{spec}/{engine:?}: resilience stats diverged under faults"
+            );
+            assert_eq!(serial.memory, parallel.memory, "{spec}/{engine:?}");
+        }
     }
 }
 
@@ -115,10 +172,14 @@ fn launch_on_engine(engine: ExecutionEngine, dpus: usize) -> (swiftrl::pim::stat
 #[test]
 fn launch_stats_and_finding_order_match_serial() {
     let (serial_stats, serial_findings) = launch_on_engine(ExecutionEngine::Serial, 9);
-    let (threaded_stats, threaded_findings) =
-        launch_on_engine(ExecutionEngine::Threaded { workers: 4 }, 9);
-    assert_eq!(serial_stats, threaded_stats);
-    assert_eq!(serial_findings, threaded_findings);
+    for engine in [
+        ExecutionEngine::Threaded { workers: 4 },
+        ExecutionEngine::WorkStealing { workers: 4 },
+    ] {
+        let (parallel_stats, parallel_findings) = launch_on_engine(engine, 9);
+        assert_eq!(serial_stats, parallel_stats, "{engine:?}");
+        assert_eq!(serial_findings, parallel_findings, "{engine:?}");
+    }
     // Findings are in DPU-index order, one per DPU.
     assert_eq!(serial_findings.len(), 9);
     for (dpu, finding) in serial_findings.iter().enumerate() {
@@ -126,6 +187,61 @@ fn launch_stats_and_finding_order_match_serial() {
             finding.starts_with(&format!("dpu {dpu} ")),
             "finding {dpu} out of order: {finding}"
         );
+    }
+}
+
+/// Byte-identity holds at paper-scale fleet sizes too: 128 DPUs (two
+/// full ranks) and the paper's 2,524-DPU fleet produce identical
+/// statistics and finding order under all three engines. Lazy bank
+/// materialization is what makes allocating a 2,524-DPU set cheap
+/// enough to exercise in a unit test.
+#[test]
+fn fleet_scale_launches_match_across_engines() {
+    for dpus in [128, 2_524] {
+        let (serial_stats, serial_findings) = launch_on_engine(ExecutionEngine::Serial, dpus);
+        assert_eq!(serial_findings.len(), dpus);
+        for engine in [
+            ExecutionEngine::Threaded { workers: 4 },
+            ExecutionEngine::WorkStealing { workers: 4 },
+        ] {
+            let (parallel_stats, parallel_findings) = launch_on_engine(engine, dpus);
+            assert_eq!(serial_stats, parallel_stats, "{dpus} dpus / {engine:?}");
+            assert_eq!(serial_findings, parallel_findings, "{dpus} dpus / {engine:?}");
+        }
+    }
+}
+
+/// Fault decisions key on pure data, so even at the paper's fleet size
+/// a seeded fault plan aborts the *same* DPUs — and reports the same
+/// first-faulting DPU — under every engine.
+#[test]
+fn fleet_scale_faulted_launches_match_across_engines() {
+    let launch = |engine| {
+        let mut sys = PimSystem::new(
+            PimConfig::builder()
+                .dpus(2_524)
+                .mram_bytes(1 << 16)
+                .engine(engine)
+                .faults(FaultPlan::seeded(11).with_dpu_fail_rate(0.01))
+                .build(),
+        );
+        let mut set = sys.alloc(2_524).unwrap();
+        let err = match set.launch(&SkewedDirtyKernel) {
+            Err(e) => format!("{e:?}"),
+            Ok(stats) => panic!("expected a faulted launch, got clean stats {stats:?}"),
+        };
+        (err, set.last_launch().clone(), set.stats().clone())
+    };
+    let (serial_err, serial_launch, serial_stats) = launch(ExecutionEngine::Serial);
+    assert!(serial_launch.is_faulted());
+    for engine in [
+        ExecutionEngine::Threaded { workers: 4 },
+        ExecutionEngine::WorkStealing { workers: 4 },
+    ] {
+        let (err, launch_stats, stats) = launch(engine);
+        assert_eq!(serial_err, err, "{engine:?}");
+        assert_eq!(serial_launch, launch_stats, "{engine:?}");
+        assert_eq!(serial_stats, stats, "{engine:?}");
     }
 }
 
@@ -153,20 +269,25 @@ fn faulted_launches_match_across_engines() {
         (err, set.last_launch().clone(), set.stats().clone())
     };
     let (serial_err, serial_launch, serial_stats) = launch(ExecutionEngine::Serial);
-    let (threaded_err, threaded_launch, threaded_stats) =
-        launch(ExecutionEngine::Threaded { workers: 3 });
     assert!(serial_launch.is_faulted());
-    assert_eq!(serial_err, threaded_err);
-    assert_eq!(serial_launch, threaded_launch);
-    assert_eq!(serial_stats, threaded_stats);
     assert_eq!(serial_stats.faulted_launches, 1);
     assert_eq!(serial_stats.launches, 0);
+    for engine in [
+        ExecutionEngine::Threaded { workers: 3 },
+        ExecutionEngine::WorkStealing { workers: 3 },
+    ] {
+        let (err, launch_stats, stats) = launch(engine);
+        assert_eq!(serial_err, err, "{engine:?}");
+        assert_eq!(serial_launch, launch_stats, "{engine:?}");
+        assert_eq!(serial_stats, stats, "{engine:?}");
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// Any (DPU count, worker count) pair reproduces the serial outcome.
+    /// Any (DPU count, worker count) pair reproduces the serial outcome
+    /// under both parallel engines.
     #[test]
     fn any_worker_count_matches_serial(dpus in 1usize..12, workers in 1usize..8) {
         let cfg = RunConfig::paper_defaults()
@@ -175,9 +296,14 @@ proptest! {
             .with_tau(2);
         let spec = WorkloadSpec::q_learning_seq_int32();
         let serial = run_with_engine(spec, cfg, ExecutionEngine::Serial);
-        let threaded = run_with_engine(spec, cfg, ExecutionEngine::Threaded { workers });
-        prop_assert_eq!(serial.q_table, threaded.q_table);
-        prop_assert_eq!(serial.breakdown, threaded.breakdown);
-        prop_assert_eq!(serial.sanitizer.findings, threaded.sanitizer.findings);
+        for engine in [
+            ExecutionEngine::Threaded { workers },
+            ExecutionEngine::WorkStealing { workers },
+        ] {
+            let parallel = run_with_engine(spec, cfg, engine);
+            prop_assert_eq!(&serial.q_table, &parallel.q_table);
+            prop_assert_eq!(&serial.breakdown, &parallel.breakdown);
+            prop_assert_eq!(&serial.sanitizer.findings, &parallel.sanitizer.findings);
+        }
     }
 }
