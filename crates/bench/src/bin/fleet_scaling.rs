@@ -104,7 +104,12 @@ fn main() {
             ("bank_peak_bytes", Json::UInt(out.memory.bank_peak_bytes)),
             ("arena_peak_bytes", Json::UInt(out.memory.arena_peak_bytes)),
             ("eager_bank_bytes", Json::UInt(eager_bank_bytes)),
-            ("lazy_fraction", Json::Num(lazy_fraction)),
+            // `null` rather than a non-finite number if the eager
+            // denominator ever degenerates to zero.
+            (
+                "lazy_fraction",
+                swiftrl_bench::ratio_json(out.memory.bank_peak_bytes as f64, eager_bank_bytes as f64),
+            ),
         ]));
     }
 

@@ -1,0 +1,222 @@
+//! Service throughput: multi-tenant job multiplexing over one fleet.
+//!
+//! Submits a batch of heterogeneous training jobs — mixed workloads,
+//! DPU counts, and fault plans — to the [`TrainingService`] job queue
+//! and measures end-to-end drain time against running the same batch
+//! serially on a dedicated platform. Reports per-batch throughput
+//! (jobs/s), aggregate simulated kernel time, and the fault/resilience
+//! totals across tenants. Results land in `BENCH_SERVICE.json` in the
+//! current directory.
+//!
+//! ```text
+//! cargo run --release -p swiftrl-bench --bin service_throughput
+//! cargo run --release -p swiftrl-bench --bin service_throughput -- --quick
+//! ```
+
+use std::time::Instant;
+use swiftrl_bench::write_json_artifact;
+use swiftrl_core::config::{RunConfig, WorkloadSpec};
+use swiftrl_core::resilience::ResilienceConfig;
+use swiftrl_core::runner::PimRunner;
+use swiftrl_core::service::{JobOutcome, JobRequest, TrainingService};
+use swiftrl_env::collect::collect_random;
+use swiftrl_env::frozen_lake::FrozenLake;
+use swiftrl_env::taxi::Taxi;
+use swiftrl_env::ExperienceDataset;
+use swiftrl_pim::config::PimConfig;
+use swiftrl_pim::faults::FaultPlan;
+use swiftrl_telemetry::Json;
+
+/// Builds the heterogeneous tenant batch: four workload variants,
+/// 2–4-DPU slices, a quarter of the tenants with transient faults and
+/// a quarter with a dead DPU recovered by checkpointed degradation.
+fn build_requests(jobs: usize, episodes: u32) -> Vec<JobRequest> {
+    let specs = [
+        WorkloadSpec::q_learning_seq_fp32(),
+        WorkloadSpec::q_learning_seq_int32(),
+        WorkloadSpec::sarsa_seq_fp32(),
+        WorkloadSpec::sarsa_seq_int32(),
+    ];
+    (0..jobs)
+        .map(|i| {
+            let spec = specs[i % 4];
+            let dpus = 2 + i % 3;
+            let transitions = 600 + 60 * (i % 5);
+            let dataset: ExperienceDataset = if i % 2 == 0 {
+                let mut env = Taxi::new();
+                collect_random(&mut env, transitions, 1_000 + i as u64)
+            } else {
+                let mut env = FrozenLake::slippery_4x4();
+                collect_random(&mut env, transitions, 1_000 + i as u64)
+            };
+            let cfg = RunConfig::paper_defaults()
+                .with_dpus(dpus)
+                .with_episodes(episodes)
+                .with_tau(2)
+                .with_seed(i as u32);
+            let (faults, resilience) = match i % 4 {
+                1 => (
+                    FaultPlan::seeded(i as u64).with_dpu_fail_rate(0.2),
+                    ResilienceConfig::none().with_max_retries(8),
+                ),
+                3 => (
+                    FaultPlan::seeded(i as u64).with_dead_dpus(vec![i % dpus], 1),
+                    ResilienceConfig::none()
+                        .with_max_retries(1)
+                        .with_checkpoint_every(1)
+                        .with_degrade(true),
+                ),
+                _ => (FaultPlan::none(), ResilienceConfig::none()),
+            };
+            JobRequest::new(format!("tenant-{i}"), spec, cfg, dataset)
+                .with_faults(faults)
+                .with_resilience(resilience)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("flags: --quick (fewer jobs and episodes for CI)");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (jobs, episodes, worker_sweep): (usize, u32, Vec<usize>) = if quick {
+        (24, 8, vec![1, 4])
+    } else {
+        (120, 16, vec![1, 2, 4, 8])
+    };
+    // 16 ranks of 4 DPUs: single-rank jobs multiplex heavily without
+    // the host cost of simulating the full 2,524-DPU machine per job.
+    let fleet = PimConfig::builder().dpus(64).dpus_per_rank(4).build();
+    let requests = build_requests(jobs, episodes);
+
+    println!("# Service throughput: multi-tenant multiplexing over one shared fleet\n");
+    println!(
+        "{jobs} jobs, {episodes} episodes each, fleet of {} DPUs in {} ranks{}\n",
+        fleet.dpus,
+        fleet.ranks_for(fleet.dpus),
+        if quick { " (--quick)" } else { "" }
+    );
+
+    // Baseline: the same batch run serially on dedicated platforms.
+    let serial_started = Instant::now();
+    let mut serial_sim_kernel_s = 0.0_f64;
+    for request in &requests {
+        let mut platform = fleet.clone();
+        platform.dpus = request.cfg.dpus;
+        platform.faults = request.faults.clone();
+        let out = PimRunner::with_platform(request.spec, request.cfg, platform)
+            .expect("runner")
+            .with_resilience(request.resilience)
+            .run(&request.dataset)
+            .expect("serial run");
+        serial_sim_kernel_s += out.breakdown.pim_kernel_s;
+    }
+    let serial_wall_s = serial_started.elapsed().as_secs_f64();
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for &workers in &worker_sweep {
+        let service = TrainingService::new(fleet.clone(), workers);
+        let started = Instant::now();
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|r| service.submit(r.clone()).expect("admission"))
+            .collect();
+        let mut completed = 0usize;
+        let mut sim_kernel_s = 0.0_f64;
+        let mut faulted_launches = 0u64;
+        let mut retries = 0u64;
+        let mut rollbacks = 0u64;
+        for handle in &handles {
+            match handle.wait() {
+                JobOutcome::Completed(out) => {
+                    completed += 1;
+                    sim_kernel_s += out.breakdown.pim_kernel_s;
+                }
+                other => panic!("job {} did not complete: {other:?}", handle.id()),
+            }
+            let metrics = handle.metrics();
+            faulted_launches += metrics.faulted_launches;
+            retries += metrics.retries;
+            rollbacks += metrics.rollbacks;
+        }
+        let wall_s = started.elapsed().as_secs_f64();
+        let jobs_per_s = if wall_s > 0.0 {
+            completed as f64 / wall_s
+        } else {
+            0.0
+        };
+
+        rows.push(vec![
+            workers.to_string(),
+            completed.to_string(),
+            swiftrl_bench::fmt_secs(wall_s),
+            format!("{jobs_per_s:.1}"),
+            swiftrl_bench::fmt_secs(sim_kernel_s),
+            faulted_launches.to_string(),
+            retries.to_string(),
+            rollbacks.to_string(),
+        ]);
+        points.push(Json::obj([
+            ("workers", Json::UInt(workers as u64)),
+            ("jobs", Json::UInt(completed as u64)),
+            ("host_wall_s", Json::Num(wall_s)),
+            // `null` instead of a non-finite value on a degenerate
+            // zero-wall measurement.
+            ("jobs_per_s", swiftrl_bench::ratio_json(completed as f64, wall_s)),
+            (
+                "speedup_vs_serial",
+                swiftrl_bench::ratio_json(serial_wall_s, wall_s),
+            ),
+            ("sim_kernel_s", Json::Num(sim_kernel_s)),
+            ("faulted_launches", Json::UInt(faulted_launches)),
+            ("retries", Json::UInt(retries)),
+            ("rollbacks", Json::UInt(rollbacks)),
+        ]));
+    }
+
+    swiftrl_bench::print_table(
+        &[
+            "Workers",
+            "Jobs",
+            "Drain wall",
+            "Jobs/s",
+            "Sim kernel",
+            "Faulted",
+            "Retries",
+            "Rollbacks",
+        ],
+        &rows,
+    );
+    println!(
+        "\nSerial baseline (dedicated platform per job): {}\n",
+        swiftrl_bench::fmt_secs(serial_wall_s)
+    );
+
+    let doc = Json::obj([
+        ("benchmark", Json::str("service_throughput")),
+        ("quick", Json::Bool(quick)),
+        ("jobs", Json::UInt(jobs as u64)),
+        ("episodes", Json::UInt(u64::from(episodes))),
+        ("fleet_dpus", Json::UInt(fleet.dpus as u64)),
+        ("fleet_ranks", Json::UInt(fleet.ranks_for(fleet.dpus) as u64)),
+        ("serial_wall_s", Json::Num(serial_wall_s)),
+        ("serial_sim_kernel_s", Json::Num(serial_sim_kernel_s)),
+        ("points", Json::Arr(points)),
+    ]);
+    write_json_artifact(std::path::Path::new("BENCH_SERVICE.json"), &doc)
+        .expect("write BENCH_SERVICE.json");
+    println!("\nWrote BENCH_SERVICE.json");
+}

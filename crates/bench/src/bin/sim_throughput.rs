@@ -201,7 +201,10 @@ fn main() {
                 ("sim_kernel_s", Json::Num(m.sim_kernel_s)),
                 (
                     "host_kernel_wall_per_sim_kernel_s",
-                    Json::Num(m.kernel_wall_s / m.sim_kernel_s),
+                    // `null` when the modelled kernel time is zero (a
+                    // degenerate run): the artifact must never carry a
+                    // non-finite number.
+                    swiftrl_bench::ratio_json(m.kernel_wall_s, m.sim_kernel_s),
                 ),
             ]));
         }

@@ -281,6 +281,21 @@ pub fn fmt_ratio(r: f64) -> String {
     format!("{r:.2}×")
 }
 
+/// A `num / den` ratio as a JSON value, with the division-by-zero and
+/// NaN cases made explicit: any non-finite result (zero or non-finite
+/// denominator, non-finite numerator) is emitted as `null` rather than
+/// relying on the renderer's non-finite fallback. Benchmark artifacts
+/// must never contain non-finite numbers — `tests/artifact_compat.rs`
+/// rejects them.
+pub fn ratio_json(num: f64, den: f64) -> swiftrl_telemetry::Json {
+    let ratio = num / den;
+    if ratio.is_finite() {
+        swiftrl_telemetry::Json::Num(ratio)
+    } else {
+        swiftrl_telemetry::Json::Null
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

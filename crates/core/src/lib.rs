@@ -67,9 +67,13 @@ pub mod multi_agent;
 pub mod partition;
 pub mod resilience;
 pub mod runner;
+pub mod service;
 
 pub use backend::{BackendStats, MultiAgentRunner, TrainingBackend, TrainingReport};
 pub use breakdown::TimeBreakdown;
 pub use config::{Algorithm, DataType, RunConfig, WorkloadSpec};
 pub use resilience::{ResilienceConfig, ResilienceStats};
 pub use runner::{PimRunner, RunOutcome};
+pub use service::{
+    CancelToken, JobHandle, JobOutcome, JobRequest, JobStatus, ServiceError, TrainingService,
+};

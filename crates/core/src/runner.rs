@@ -164,10 +164,44 @@ impl PimRunner {
     /// Returns a [`PimError`] on kernel faults or transfer failures
     /// (e.g. a chunk that does not fit in MRAM).
     pub fn run(&self, dataset: &ExperienceDataset) -> Result<RunOutcome, PimError> {
-        let rounds = self.cfg.comm_rounds()?;
         let mut system = PimSystem::new(self.platform.clone());
         let mut set = system.alloc(self.cfg.dpus)?;
+        self.run_on(&mut set, dataset, None)
+    }
+
+    /// [`Self::run`] on a caller-allocated DPU set. Multi-tenant hosts
+    /// lease sets from one shared [`PimSystem`] (see
+    /// [`crate::service::TrainingService`]) and drive each tenant's run
+    /// on its own set; because the set carries its own
+    /// [`PimConfig`] — fault plan and telemetry sink included — the run
+    /// is bit-identical to a solo [`Self::run`] on an identically
+    /// configured private platform (only fleet-wide memory accounting
+    /// is shared).
+    ///
+    /// When `cancel` is given, the token is checked at every round
+    /// boundary; a cancelled run stops before its next launch and
+    /// returns [`PimError::Cancelled`], leaving `set` consistent (and
+    /// reusable or freeable by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::BadArgument`] if the set's size differs from
+    /// the configured DPU count, [`PimError::Cancelled`] on
+    /// cancellation, or any [`PimError`] a plain run can produce.
+    pub fn run_on(
+        &self,
+        set: &mut DpuSet,
+        dataset: &ExperienceDataset,
+        cancel: Option<&crate::service::CancelToken>,
+    ) -> Result<RunOutcome, PimError> {
+        let rounds = self.cfg.comm_rounds()?;
         let ndpus = set.ndpus();
+        if ndpus != self.cfg.dpus {
+            return Err(PimError::BadArgument(format!(
+                "run_on expects a set of {} DPUs, got {ndpus}",
+                self.cfg.dpus
+            )));
+        }
         let ns = dataset.num_states();
         let na = dataset.num_actions();
         let q_bytes = ns * na * 4;
@@ -192,7 +226,7 @@ impl PimRunner {
 
         // Zero-initialized Q-tables need no transfer (fresh MRAM reads as
         // zero); an arbitrary initial value is broadcast to every DPU.
-        if self.cfg.initial_q != 0.0 {
+        let initial_q_bytes: Vec<u8> = if self.cfg.initial_q != 0.0 {
             let init = match self.spec.dtype {
                 DataType::Fp32 => QTable::filled(ns, na, self.cfg.initial_q).to_bytes(),
                 DataType::Int32 => FixedQTable::filled(
@@ -204,7 +238,10 @@ impl PimRunner {
                 .to_bytes(),
             };
             set.broadcast(Q_TABLE_OFFSET, &init)?;
-        }
+            init
+        } else {
+            vec![0u8; q_bytes]
+        };
         let trans_offset = headers[0].transitions_offset();
         let chunk_parts: Vec<Vec<u8>> = ranges
             .iter()
@@ -231,7 +268,15 @@ impl PimRunner {
         let mut assignments: Vec<Vec<Range<usize>>> =
             ranges.iter().map(|r| vec![r.clone()]).collect();
         let mut counts: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
-        let mut checkpoint: Option<(u32, Vec<u8>)> = None;
+        // The checkpoint is never absent: before `checkpoint_every`
+        // first fires (or when it is 0), the snapshot is the *initial*
+        // Q-table at round 0, so a degradation in the first window rolls
+        // survivors back to a from-scratch replay instead of keeping the
+        // partially-updated tables the dead DPU contributed to. The
+        // implicit round-0 snapshot is not counted in
+        // `ResilienceStats::checkpoints`/`checkpoint_bytes` (those count
+        // explicit periodic checkpoints only).
+        let mut checkpoint: Option<(u32, Vec<u8>)> = Some((0, initial_q_bytes));
         // One flat gather buffer reused every sync round (stride
         // `q_bytes` per live DPU) — the per-round Vec-of-Vec allocation
         // the gather used to make is gone.
@@ -239,6 +284,11 @@ impl PimRunner {
         let mut final_live = 0usize;
         let mut round: u32 = 0;
         while round < rounds {
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    return Err(PimError::Cancelled);
+                }
+            }
             // The kernel advances its own episode window in MRAM, so no
             // header re-arm is needed between rounds.
             let kernel_before = set.stats().kernel_seconds;
@@ -246,13 +296,13 @@ impl PimRunner {
             let sync_pim_before = set.stats().pim_to_cpu_seconds;
 
             let launch_started = Instant::now();
-            let dead = self.launch_with_retry(&mut set, &kernel, &alive, ndpus, &mut res)?;
+            let dead = self.launch_with_retry(set, &kernel, &alive, ndpus, &mut res)?;
             host_kernel_s += launch_started.elapsed().as_secs_f64();
             let rollback = if dead.is_empty() {
                 None
             } else {
                 self.degrade(
-                    &mut set,
+                    set,
                     dataset,
                     &mut alive,
                     &mut assignments,
@@ -421,12 +471,13 @@ impl PimRunner {
 
     /// Drops `dead` from the run and remaps their dataset chunks onto
     /// the survivors (appended behind each survivor's own records, with
-    /// a header patch for the new transition count). With a checkpoint
-    /// available the survivors are also rolled back to it — Q-table
-    /// snapshot re-broadcast, episode windows re-armed — and the
-    /// checkpointed round index is returned so the caller replays from
-    /// there; without one, training simply continues degraded (episodes
-    /// the dead DPUs would have run on their chunks are lost).
+    /// a header patch for the new transition count). The survivors are
+    /// rolled back to the latest checkpoint — Q-table snapshot
+    /// re-broadcast, episode windows re-armed — and the checkpointed
+    /// round index is returned so the caller replays from there. Before
+    /// the first periodic checkpoint fires (or with `checkpoint_every`
+    /// 0) the snapshot is the initial round-0 Q-table, so the replay is
+    /// a from-scratch run on the survivors.
     #[allow(clippy::too_many_arguments)]
     fn degrade(
         &self,

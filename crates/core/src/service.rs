@@ -1,0 +1,702 @@
+//! Multi-tenant training service: an async job queue multiplexing many
+//! concurrent training jobs over one shared simulated PIM fleet.
+//!
+//! The paper's machine is a single 2,524-DPU fleet, but a deployment
+//! rarely dedicates it to one workload: tuning sweeps, per-team
+//! experiments and fault-injection campaigns all want slices of the
+//! same ranks at the same time. [`TrainingService`] provides that
+//! multiplexing with *fault isolation by construction*:
+//!
+//! - **Admission control** leases whole 64-DPU ranks (the transfer
+//!   bandwidth granularity) to each job from a shared rank bitmap.
+//!   Leases never overlap, so a job's CPU↔PIM traffic is modelled on
+//!   its own ranks exactly as a solo run would be.
+//! - **Per-job platform views**: every admitted job gets its own
+//!   [`DpuSet`] built from its own [`PimConfig`] — its own
+//!   [`FaultPlan`](swiftrl_pim::faults::FaultPlan), its own
+//!   [`Telemetry`] sink, local DPU indices `0..n`. The only shared
+//!   pieces of machinery are the fleet's memory arena (accounting) and
+//!   the DPU/rank capacity counters, neither of which feeds any
+//!   simulated observable of the run. One tenant's injected faults
+//!   therefore cannot perturb another tenant's bit-exact Q-tables.
+//! - **Fair scheduling with cancellation**: jobs are admitted strictly
+//!   in submission order (FIFO; a job that does not fit blocks the
+//!   queue rather than being starved by smaller late arrivals), and
+//!   every job carries a [`CancelToken`] checked by the runner at each
+//!   sync-round boundary, so a cancelled job frees its lease within
+//!   one round.
+//!
+//! The isolation claim is pinned by `tests/service.rs`, which runs 100+
+//! concurrent jobs with mixed fault plans and diffs every tenant's
+//! Q-table byte-for-byte against its solo run.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use swiftrl_env::dataset::ExperienceDataset;
+use swiftrl_pim::config::PimConfig;
+use swiftrl_pim::faults::FaultPlan;
+use swiftrl_pim::host::{PimError, PimSystem};
+use swiftrl_telemetry::{MetricsSnapshot, Telemetry};
+
+use crate::config::{RunConfig, WorkloadSpec};
+use crate::resilience::ResilienceConfig;
+use crate::runner::{PimRunner, RunOutcome};
+
+/// Cooperative cancellation flag shared between a [`JobHandle`] and the
+/// worker driving the job.
+///
+/// The runner polls the token at every sync-round boundary; a cancelled
+/// run stops before its next launch and surfaces
+/// [`PimError::Cancelled`], leaving the leased DPU set consistent so
+/// the service can free it immediately.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the job's
+    /// next round boundary (or immediately if the job is still queued).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Errors surfaced by [`TrainingService`] admission and job handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The job wants more rank capacity than the whole fleet has.
+    TooLarge {
+        /// DPUs the job asked for.
+        requested_dpus: usize,
+        /// DPUs the fleet has in total.
+        fleet_dpus: usize,
+    },
+    /// A pinned-rank request overlaps a lease already promised to
+    /// another live (queued or running) job.
+    LeaseOverlap {
+        /// The first contested rank index.
+        rank: usize,
+    },
+    /// A pinned-rank request is malformed: a rank index out of range,
+    /// a duplicate rank, or pinned capacity below the job's DPU count.
+    BadPin(String),
+    /// The service is shutting down and no longer accepts jobs.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::TooLarge {
+                requested_dpus,
+                fleet_dpus,
+            } => write!(
+                f,
+                "job wants {requested_dpus} DPUs but the fleet has only {fleet_dpus}"
+            ),
+            ServiceError::LeaseOverlap { rank } => {
+                write!(f, "pinned rank {rank} is already leased to another job")
+            }
+            ServiceError::BadPin(msg) => write!(f, "invalid rank pin: {msg}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Everything a tenant submits to run one training job.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Tenant label; stamped on the job's [`MetricsSnapshot`].
+    pub tenant: String,
+    /// Workload variant (algorithm × data type).
+    pub spec: WorkloadSpec,
+    /// Run configuration; `cfg.dpus` is the job's fleet slice size.
+    pub cfg: RunConfig,
+    /// Host-side resilience policy for this job.
+    pub resilience: ResilienceConfig,
+    /// The job's private fault-injection plan. Applied only to the
+    /// job's own DPU set; other tenants never observe it.
+    pub faults: FaultPlan,
+    /// Offline experience dataset to train on.
+    pub dataset: ExperienceDataset,
+    /// Optional explicit rank lease. `None` lets the scheduler pick
+    /// the lowest free ranks at admission time; `Some(ranks)` reserves
+    /// exactly those ranks for the job's lifetime and rejects the
+    /// submission synchronously if they overlap another live pin.
+    pub pinned_ranks: Option<Vec<usize>>,
+}
+
+impl JobRequest {
+    /// Convenience constructor for an unpinned, fault-free job with no
+    /// resilience policy.
+    pub fn new(
+        tenant: impl Into<String>,
+        spec: WorkloadSpec,
+        cfg: RunConfig,
+        dataset: ExperienceDataset,
+    ) -> Self {
+        Self {
+            tenant: tenant.into(),
+            spec,
+            cfg,
+            resilience: ResilienceConfig::none(),
+            faults: FaultPlan::none(),
+            dataset,
+            pinned_ranks: None,
+        }
+    }
+
+    /// Sets the job's fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the job's resilience policy.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Pins the job to an explicit set of ranks.
+    pub fn with_pinned_ranks(mut self, ranks: Vec<usize>) -> Self {
+        self.pinned_ranks = Some(ranks);
+        self
+    }
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The job trained to completion.
+    Completed(Box<RunOutcome>),
+    /// The job failed with a PIM error (unrecovered kernel fault,
+    /// transfer failure, ...).
+    Failed(PimError),
+    /// The job was cancelled — either while still queued or at a
+    /// round boundary mid-run.
+    Cancelled,
+}
+
+impl JobOutcome {
+    /// The completed run outcome, if the job finished training.
+    pub fn completed(&self) -> Option<&RunOutcome> {
+        match self {
+            JobOutcome::Completed(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// Whether the job ended by cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, JobOutcome::Cancelled)
+    }
+}
+
+/// Where a job currently is in its lifecycle, as observed through
+/// [`JobHandle::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the FIFO queue for a worker and a rank lease.
+    Queued,
+    /// Admitted: holding a lease and training on its own DPU set.
+    Running,
+    /// Reached a terminal state ([`JobHandle::wait`] returns it).
+    Done,
+}
+
+/// Where a job currently is in its lifecycle.
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running,
+    Done(JobOutcome),
+}
+
+/// Shared cell a worker publishes job progress into and a
+/// [`JobHandle`] waits on.
+#[derive(Debug)]
+struct JobCell {
+    state: Mutex<JobState>,
+    done_cv: Condvar,
+}
+
+impl JobCell {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(JobState::Queued),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn set(&self, state: JobState) {
+        *lock_recover(&self.state) = state;
+        self.done_cv.notify_all();
+    }
+}
+
+/// Caller-side handle to a submitted job: wait for the outcome, cancel
+/// it, and read its private telemetry.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    id: u64,
+    tenant: String,
+    token: CancelToken,
+    cell: Arc<JobCell>,
+    telemetry: Telemetry,
+}
+
+impl JobHandle {
+    /// Service-assigned job id (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The tenant label the job was submitted under.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Requests cancellation: a queued job is discarded before it ever
+    /// touches the fleet; a running job stops at its next sync-round
+    /// boundary and frees its lease.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// A non-blocking snapshot of where the job is in its lifecycle.
+    pub fn status(&self) -> JobStatus {
+        match &*lock_recover(&self.cell.state) {
+            JobState::Queued => JobStatus::Queued,
+            JobState::Running => JobStatus::Running,
+            JobState::Done(_) => JobStatus::Done,
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state and returns it.
+    /// Safe to call from several clones of the handle; each receives
+    /// the same outcome.
+    pub fn wait(&self) -> JobOutcome {
+        let mut state = lock_recover(&self.cell.state);
+        loop {
+            if let JobState::Done(outcome) = &*state {
+                return outcome.clone();
+            }
+            state = self
+                .cell
+                .done_cv
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The job's private telemetry sink. Contains only this job's
+    /// events — launches, transfers, faults, resilience actions — and
+    /// nothing from any other tenant.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Per-tenant metrics snapshot aggregated from the job's private
+    /// event stream, labelled `tenant/job-<id>`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::from_events(
+            format!("{}/job-{}", self.tenant, self.id),
+            &self.telemetry.events(),
+        )
+    }
+}
+
+/// A job sitting in the FIFO queue, waiting for a worker.
+struct QueuedJob {
+    id: u64,
+    request: JobRequest,
+    token: CancelToken,
+    cell: Arc<JobCell>,
+    telemetry: Telemetry,
+}
+
+/// The fleet-side state every admission decision reads and writes.
+struct FleetState {
+    /// The one shared machine. Tracks DPU capacity and fleet-wide
+    /// memory accounting; per-job sets draw from it via
+    /// [`PimSystem::alloc_with_config`].
+    system: PimSystem,
+    /// `true` for each rank currently leased to a *running* job.
+    rank_leased: Vec<bool>,
+    /// Rank sets promised to live pinned jobs (queued or running),
+    /// keyed by job id. Pinned submissions are rejected synchronously
+    /// when they overlap an entry here.
+    pinned: Vec<(u64, Vec<usize>)>,
+}
+
+/// Scheduler shared state: FIFO queue + fleet + coordination.
+struct Shared {
+    fleet: Mutex<FleetState>,
+    /// Signalled when a lease is released (capacity may now fit the
+    /// head-of-line job).
+    lease_cv: Condvar,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    /// Signalled when a job is enqueued or shutdown begins.
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Locks a mutex, recovering the guard if a worker panicked while
+/// holding it (the state itself stays consistent: every critical
+/// section is a small, non-panicking bookkeeping update).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Multi-tenant training service over one shared simulated fleet.
+///
+/// Construct with [`TrainingService::new`], submit jobs with
+/// [`submit`](Self::submit), and stop with
+/// [`shutdown`](Self::shutdown) (also run on drop). Worker threads the
+/// service owns admit jobs strictly in submission order, lease each
+/// one a disjoint slice of 64-DPU ranks, and drive the training run on
+/// a private [`DpuSet`](swiftrl_pim::host::DpuSet) with the job's own
+/// fault plan and telemetry sink.
+pub struct TrainingService {
+    config: PimConfig,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: Mutex<u64>,
+}
+
+impl TrainingService {
+    /// Builds a service over a fleet described by `config`, with
+    /// `workers` concurrent admission/execution threads.
+    ///
+    /// `workers` is clamped to at least 1. More workers means more
+    /// jobs training concurrently (each on its own lease); one worker
+    /// serializes the fleet.
+    pub fn new(config: PimConfig, workers: usize) -> Self {
+        let ranks = config.ranks_for(config.dpus);
+        let shared = Arc::new(Shared {
+            fleet: Mutex::new(FleetState {
+                system: PimSystem::new(config.clone()),
+                rank_leased: vec![false; ranks],
+                pinned: Vec::new(),
+            }),
+            lease_cv: Condvar::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = workers.max(1);
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let config = config.clone();
+                std::thread::spawn(move || worker_loop(&shared, &config))
+            })
+            .collect();
+        Self {
+            config,
+            shared,
+            workers: handles,
+            next_id: Mutex::new(0),
+        }
+    }
+
+    /// The fleet's platform configuration.
+    pub fn fleet_config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// Number of ranks in the fleet.
+    pub fn fleet_ranks(&self) -> usize {
+        self.config.ranks_for(self.config.dpus)
+    }
+
+    /// DPU capacity of rank `rank` (the last rank of a fleet whose DPU
+    /// count is not a rank multiple is partial).
+    fn rank_capacity(&self, rank: usize) -> usize {
+        rank_capacity(&self.config, rank)
+    }
+
+    /// The platform configuration a job submitted as `request` runs
+    /// under: the fleet platform with the job's own DPU count and
+    /// fault plan. A solo [`PimRunner`] run on this exact platform is
+    /// bit-identical to the job's in-service run — the equivalence the
+    /// service's isolation tests pin.
+    pub fn job_platform(&self, request: &JobRequest) -> PimConfig {
+        let mut platform = self.config.clone();
+        platform.dpus = request.cfg.dpus;
+        platform.faults = request.faults.clone();
+        platform.telemetry = Telemetry::disabled();
+        platform
+    }
+
+    /// Submits a job. Admission control runs synchronously: a job that
+    /// can never fit the fleet, or whose pinned ranks overlap another
+    /// live pin, is rejected here; everything else is queued FIFO and
+    /// picked up by a worker as capacity frees.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::TooLarge`] if `cfg.dpus` exceeds the fleet,
+    /// [`ServiceError::BadPin`] for a malformed pin,
+    /// [`ServiceError::LeaseOverlap`] for a contested pin, and
+    /// [`ServiceError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit(&self, request: JobRequest) -> Result<JobHandle, ServiceError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let fleet_dpus = self.config.dpus;
+        if request.cfg.dpus == 0 || request.cfg.dpus > fleet_dpus {
+            return Err(ServiceError::TooLarge {
+                requested_dpus: request.cfg.dpus,
+                fleet_dpus,
+            });
+        }
+        let id = {
+            let mut next = lock_recover(&self.next_id);
+            let id = *next;
+            *next += 1;
+            id
+        };
+        if let Some(ranks) = &request.pinned_ranks {
+            self.validate_pin(ranks, request.cfg.dpus)?;
+            let mut fleet = lock_recover(&self.shared.fleet);
+            for (_, held) in &fleet.pinned {
+                if let Some(&rank) = ranks.iter().find(|r| held.contains(r)) {
+                    return Err(ServiceError::LeaseOverlap { rank });
+                }
+            }
+            fleet.pinned.push((id, ranks.clone()));
+        }
+        let token = CancelToken::new();
+        let cell = Arc::new(JobCell::new());
+        let telemetry = Telemetry::enabled();
+        let handle = JobHandle {
+            id,
+            tenant: request.tenant.clone(),
+            token: token.clone(),
+            cell: Arc::clone(&cell),
+            telemetry: telemetry.clone(),
+        };
+        let mut queue = lock_recover(&self.shared.queue);
+        queue.push_back(QueuedJob {
+            id,
+            request,
+            token,
+            cell,
+            telemetry,
+        });
+        drop(queue);
+        self.shared.queue_cv.notify_one();
+        Ok(handle)
+    }
+
+    /// Checks a pinned-rank list: in range, duplicate-free, and with
+    /// enough DPU capacity for the job.
+    fn validate_pin(&self, ranks: &[usize], dpus: usize) -> Result<(), ServiceError> {
+        let fleet_ranks = self.fleet_ranks();
+        let mut capacity = 0usize;
+        for (i, &rank) in ranks.iter().enumerate() {
+            if rank >= fleet_ranks {
+                return Err(ServiceError::BadPin(format!(
+                    "rank {rank} out of range for a {fleet_ranks}-rank fleet"
+                )));
+            }
+            if ranks[..i].contains(&rank) {
+                return Err(ServiceError::BadPin(format!("rank {rank} pinned twice")));
+            }
+            capacity += self.rank_capacity(rank);
+        }
+        if capacity < dpus {
+            return Err(ServiceError::BadPin(format!(
+                "pinned ranks hold {capacity} DPUs but the job wants {dpus}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Stops accepting jobs, drains the queue (every queued and
+    /// running job still reaches a terminal state), and joins the
+    /// workers. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        self.shared.lease_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            drop(handle.join());
+        }
+    }
+}
+
+impl Drop for TrainingService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// DPU capacity of rank `rank` on `config`'s fleet.
+fn rank_capacity(config: &PimConfig, rank: usize) -> usize {
+    let per_rank = config.dpus_per_rank.max(1);
+    let start = rank * per_rank;
+    config.dpus.saturating_sub(start).min(per_rank)
+}
+
+/// Picks the lowest free ranks whose combined DPU capacity covers
+/// `dpus`, or returns `None` if the free set is currently too small.
+fn pick_free_ranks(config: &PimConfig, leased: &[bool], dpus: usize) -> Option<Vec<usize>> {
+    let mut chosen = Vec::new();
+    let mut capacity = 0usize;
+    for (rank, &held) in leased.iter().enumerate() {
+        if held {
+            continue;
+        }
+        chosen.push(rank);
+        capacity += rank_capacity(config, rank);
+        if capacity >= dpus {
+            return Some(chosen);
+        }
+    }
+    None
+}
+
+/// One worker: pop jobs FIFO, lease ranks, run, release.
+fn worker_loop(shared: &Shared, fleet_config: &PimConfig) {
+    loop {
+        let job = {
+            let mut queue = lock_recover(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_job(shared, fleet_config, job);
+    }
+}
+
+/// Admits and executes one job end-to-end, publishing its terminal
+/// state and releasing every fleet resource it held.
+fn run_job(shared: &Shared, fleet_config: &PimConfig, job: QueuedJob) {
+    if job.token.is_cancelled() {
+        release_pin(shared, job.id);
+        job.cell.set(JobState::Done(JobOutcome::Cancelled));
+        return;
+    }
+
+    // ---- Admission: lease ranks and allocate the job's private set ----
+    let dpus = job.request.cfg.dpus;
+    let (lease, mut set) = {
+        let mut fleet = lock_recover(&shared.fleet);
+        let lease = loop {
+            if job.token.is_cancelled() {
+                drop(fleet);
+                release_pin(shared, job.id);
+                job.cell.set(JobState::Done(JobOutcome::Cancelled));
+                return;
+            }
+            let candidate = match &job.request.pinned_ranks {
+                Some(ranks) => {
+                    // The pin is registered; wait for the ranks to be
+                    // physically free (an unpinned job may still hold
+                    // them).
+                    if ranks.iter().all(|&r| !fleet.rank_leased[r]) {
+                        Some(ranks.clone())
+                    } else {
+                        None
+                    }
+                }
+                None => pick_free_ranks(fleet_config, &fleet.rank_leased, dpus),
+            };
+            if let Some(ranks) = candidate {
+                break ranks;
+            }
+            fleet = shared
+                .lease_cv
+                .wait(fleet)
+                .unwrap_or_else(|e| e.into_inner());
+        };
+        for &rank in &lease {
+            fleet.rank_leased[rank] = true;
+        }
+        let mut platform = fleet_config.clone();
+        platform.dpus = dpus;
+        platform.faults = job.request.faults.clone();
+        platform.telemetry = job.telemetry.clone();
+        match fleet.system.alloc_with_config(dpus, platform) {
+            Ok(set) => (lease, set),
+            Err(err) => {
+                // Unreachable by construction (leases bound capacity),
+                // but fail the job cleanly rather than poisoning the
+                // fleet if the invariant is ever broken.
+                for &rank in &lease {
+                    fleet.rank_leased[rank] = false;
+                }
+                drop(fleet);
+                shared.lease_cv.notify_all();
+                release_pin(shared, job.id);
+                job.cell.set(JobState::Done(JobOutcome::Failed(err)));
+                return;
+            }
+        }
+    };
+
+    job.cell.set(JobState::Running);
+
+    // ---- Execution: drive the run outside every lock ----
+    let outcome = match PimRunner::with_platform(
+        job.request.spec,
+        job.request.cfg,
+        set.config().clone(),
+    ) {
+        Ok(runner) => {
+            let runner = runner.with_resilience(job.request.resilience);
+            match runner.run_on(&mut set, &job.request.dataset, Some(&job.token)) {
+                Ok(out) => JobOutcome::Completed(Box::new(out)),
+                Err(PimError::Cancelled) => JobOutcome::Cancelled,
+                Err(err) => JobOutcome::Failed(err),
+            }
+        }
+        Err(err) => JobOutcome::Failed(err),
+    };
+
+    // ---- Release: return DPUs and ranks, wake waiting admissions ----
+    {
+        let mut fleet = lock_recover(&shared.fleet);
+        fleet.system.free(set);
+        for &rank in &lease {
+            fleet.rank_leased[rank] = false;
+        }
+    }
+    shared.lease_cv.notify_all();
+    release_pin(shared, job.id);
+    job.cell.set(JobState::Done(outcome));
+}
+
+/// Drops job `id`'s pinned-rank registration, if any.
+fn release_pin(shared: &Shared, id: u64) {
+    let mut fleet = lock_recover(&shared.fleet);
+    fleet.pinned.retain(|(job, _)| *job != id);
+}

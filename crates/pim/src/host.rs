@@ -44,6 +44,10 @@ pub enum PimError {
     },
     /// An argument was invalid (e.g. mismatched scatter part count).
     BadArgument(String),
+    /// The host abandoned the run at a round boundary (job cancellation
+    /// in a multi-tenant service). The DPU set is left in a consistent
+    /// state and can be freed or reused.
+    Cancelled,
 }
 
 impl fmt::Display for PimError {
@@ -59,6 +63,7 @@ impl fmt::Display for PimError {
             PimError::Memory(e) => write!(f, "host MRAM access failed: {e}"),
             PimError::Kernel { dpu, error } => write!(f, "kernel fault on DPU {dpu}: {error}"),
             PimError::BadArgument(msg) => write!(f, "invalid argument: {msg}"),
+            PimError::Cancelled => write!(f, "run cancelled by the host"),
         }
     }
 }
@@ -128,6 +133,24 @@ impl PimSystem {
     /// Returns [`PimError::Alloc`] if fewer than `dpus` remain, or
     /// [`PimError::BadArgument`] for an empty request.
     pub fn alloc(&mut self, dpus: usize) -> Result<DpuSet, PimError> {
+        self.alloc_with_config(dpus, self.config.clone())
+    }
+
+    /// [`Self::alloc`], but the set runs under `config` — its own fault
+    /// plan, telemetry sink, and arithmetic tier — while still drawing
+    /// bank segments from (and counting against) this system's shared
+    /// fleet arena and DPU capacity. Multi-tenant hosts use this to give
+    /// every job an isolated platform view over one shared machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Alloc`] if fewer than `dpus` remain, or
+    /// [`PimError::BadArgument`] for an empty request.
+    pub fn alloc_with_config(
+        &mut self,
+        dpus: usize,
+        config: PimConfig,
+    ) -> Result<DpuSet, PimError> {
         if dpus == 0 {
             return Err(PimError::BadArgument("cannot allocate 0 DPUs".into()));
         }
@@ -139,7 +162,7 @@ impl PimSystem {
             });
         }
         self.allocated += dpus;
-        Ok(DpuSet::new(self.config.clone(), dpus, &self.arena))
+        Ok(DpuSet::new(config, dpus, &self.arena))
     }
 
     /// Returns a set's DPUs to the pool.
@@ -493,19 +516,38 @@ impl DpuSet {
             )));
         }
         for (i, part) in parts.iter().enumerate() {
-            self.note_host_access(i, mram_offset, part.len());
+            if !part.is_empty() {
+                self.note_host_access(i, mram_offset, part.len());
+            }
         }
         let seq = self.next_transfer_seq();
         let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
-        let ranks = self.visit_ranks(None, |set, _, dpu| {
-            set.deliver(seq, dpu, mram_offset, &parts[dpu])
-        })?;
-        let seconds = self
-            .config
-            .transfer
-            .scatter_gather_seconds(total as usize, ranks);
-        let n = self.dpus.len();
-        self.record_xfer(TransferKind::Scatter, total, n, ranks, seconds);
+        // Empty parts carry no payload: their DPUs are not addressed by
+        // the transfer at all (`partition_even` with more DPUs than
+        // items yields empty tail chunks), so they see no delivery —
+        // and no in-flight fault decisions — and their ranks don't
+        // count toward the rank parallelism the bandwidth model is
+        // charged for.
+        let addressed: Vec<usize> = (0..parts.len()).filter(|&i| !parts[i].is_empty()).collect();
+        let ranks = if addressed.len() == parts.len() {
+            self.visit_ranks(None, |set, _, dpu| {
+                set.deliver(seq, dpu, mram_offset, &parts[dpu])
+            })?
+        } else if addressed.is_empty() {
+            0
+        } else {
+            self.visit_ranks(Some(&addressed), |set, _, dpu| {
+                set.deliver(seq, dpu, mram_offset, &parts[dpu])
+            })?
+        };
+        let seconds = if ranks == 0 {
+            0.0
+        } else {
+            self.config
+                .transfer
+                .scatter_gather_seconds(total as usize, ranks)
+        };
+        self.record_xfer(TransferKind::Scatter, total, addressed.len(), ranks, seconds);
         Ok(())
     }
 
@@ -1004,6 +1046,65 @@ mod tests {
         assert_eq!(set.stats().cpu_to_pim_bytes, 64);
         assert_eq!(set.stats().pim_to_cpu_bytes, 64);
         assert!(set.stats().cpu_to_pim_seconds > 0.0);
+    }
+
+    #[test]
+    fn scatter_skips_empty_parts_in_time_and_rank_accounting() {
+        // 6 DPUs at 2 per rank: parts for DPUs 0..3 carry data, 4..6
+        // are empty (the `partition_even` tail when parts > items), so
+        // only ranks 0–1 are addressed and rank 2 must not inflate the
+        // modelled bandwidth parallelism.
+        let mut sys = PimSystem::new(
+            PimConfig::builder()
+                .dpus(6)
+                .dpus_per_rank(2)
+                .mram_bytes(1 << 16)
+                .build(),
+        );
+        let mut set = sys.alloc(6).unwrap();
+        let parts = vec![
+            vec![1u8; 8],
+            vec![2u8; 8],
+            vec![3u8; 8],
+            vec![],
+            vec![],
+            vec![],
+        ];
+        set.scatter(0, &parts).unwrap();
+        let rec = set.ledger().records().last().unwrap().clone();
+        assert_eq!(rec.bytes, 24);
+        assert_eq!(rec.dpus, 3, "empty parts are not addressed");
+        assert_eq!(rec.ranks, 2, "the all-empty rank is not touched");
+        assert!(rec.seconds > 0.0);
+
+        // Same payload scattered to a 3-DPU set spans the same 2 ranks
+        // and must cost exactly the same modelled time: the empty tail
+        // is free.
+        let mut dense_sys = PimSystem::new(
+            PimConfig::builder()
+                .dpus(3)
+                .dpus_per_rank(2)
+                .mram_bytes(1 << 16)
+                .build(),
+        );
+        let mut dense = dense_sys.alloc(3).unwrap();
+        dense.scatter(0, &parts[..3]).unwrap();
+        let dense_rec = dense.ledger().records().last().unwrap();
+        assert_eq!(rec.seconds, dense_rec.seconds);
+    }
+
+    #[test]
+    fn all_empty_scatter_is_free() {
+        let mut sys = tiny_system();
+        let mut set = sys.alloc(4).unwrap();
+        let parts = vec![Vec::new(); 4];
+        set.scatter(0, &parts).unwrap();
+        let rec = set.ledger().records().last().unwrap();
+        assert_eq!(rec.bytes, 0);
+        assert_eq!(rec.dpus, 0);
+        assert_eq!(rec.ranks, 0);
+        assert_eq!(rec.seconds, 0.0);
+        assert_eq!(set.stats().cpu_to_pim_seconds, 0.0);
     }
 
     #[test]

@@ -8,6 +8,58 @@
 use swiftrl::telemetry::json::parse;
 use swiftrl::telemetry::Json;
 
+/// Recursively asserts that every number in `doc` is finite. JSON has
+/// no NaN/Infinity literal, but `1e999` (and friends) parse to `inf`,
+/// and an unguarded ratio in a bench writer could smuggle one into a
+/// checked-in artifact; `path` names the offending value on failure.
+fn assert_finite_numbers(doc: &Json, path: &str) {
+    match doc {
+        Json::Num(n) => assert!(n.is_finite(), "non-finite number at {path}: {n}"),
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                assert_finite_numbers(item, &format!("{path}[{i}]"));
+            }
+        }
+        Json::Obj(fields) => {
+            for (key, value) in fields {
+                assert_finite_numbers(value, &format!("{path}.{key}"));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Every checked-in benchmark artifact is free of non-finite numbers:
+/// division-by-zero guards in the writers emit `null`, never NaN/inf.
+#[test]
+fn checked_in_artifacts_contain_only_finite_numbers() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(root).expect("repo root") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("artifact readable");
+        let doc = parse(&text).expect("artifact parses");
+        assert_finite_numbers(&doc, name);
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected at least two BENCH_*.json artifacts");
+}
+
+/// The parser accepts an overflowing float literal as infinity — which
+/// is exactly what the finite-number walk must reject.
+#[test]
+fn finite_walk_rejects_overflowing_literals() {
+    let doc = parse(r#"{"ratio": 1e999}"#).expect("parses");
+    let n = doc.get("ratio").and_then(Json::as_f64).expect("number");
+    assert!(!n.is_finite());
+    let result = std::panic::catch_unwind(|| assert_finite_numbers(&doc, "synthetic"));
+    assert!(result.is_err(), "non-finite number must be rejected");
+}
+
 /// The checked-in, pre-telemetry artifact parses and carries the schema
 /// the rebuilt writer still emits.
 #[test]

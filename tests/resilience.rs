@@ -80,9 +80,70 @@ fn degraded_run_completes_without_the_dead_dpu() {
     // The dead DPU faulted in the initial launch and again in the retry.
     assert_eq!(out.resilience.faults_seen, 2);
     assert_eq!(out.resilience.retries, 1);
-    assert_eq!(out.resilience.rollbacks, 0, "no checkpoint was configured");
+    // No periodic checkpoint was configured, so the survivors roll back
+    // to the implicit round-0 snapshot (the initial Q-table) and replay
+    // from scratch.
+    assert_eq!(out.resilience.rollbacks, 1);
+    assert_eq!(out.resilience.checkpoints, 0, "no periodic checkpoint fired");
     assert!(out.resilience.faulted_kernel_seconds > 0.0);
     assert!(out.q_table.values().iter().any(|&v| v != 0.0));
+}
+
+/// Regression test: a degradation *before the first periodic
+/// checkpoint* (here: none configured at all) must roll the survivors
+/// back to the initial Q-table, not keep the partially-updated tables
+/// the faulted round produced. The degraded run is pinned byte-for-byte
+/// against an explicit from-scratch survivor run on the remapped
+/// dataset.
+#[test]
+fn degradation_before_first_checkpoint_replays_from_scratch() {
+    use swiftrl::core::partition::partition_even;
+
+    let d = dataset();
+    let spec = WorkloadSpec::q_learning_seq_fp32();
+    let dead = 2usize;
+
+    // DPU 2 is dead from its very first launch; no checkpoint_every.
+    let platform = PimConfig::builder()
+        .dpus(4)
+        .faults(FaultPlan::seeded(1).with_dead_dpus(vec![dead], 0))
+        .build();
+    let degraded = PimRunner::with_platform(spec, cfg(4), platform)
+        .unwrap()
+        .with_resilience(
+            ResilienceConfig::none()
+                .with_max_retries(1)
+                .with_degrade(true),
+        )
+        .run(&d)
+        .unwrap();
+    assert_eq!(degraded.resilience.rollbacks, 1);
+    assert_eq!(degraded.resilience.degraded_dpus, vec![dead]);
+
+    // Reconstruct the survivors' remapped dataset exactly as `degrade`
+    // lays it out: each survivor keeps its own chunk and appends its
+    // even share of the dead DPU's chunk behind it.
+    let chunks = partition_even(d.len(), 4);
+    let survivors = [0usize, 1, 3];
+    let orphan = chunks[dead].clone();
+    let shares = partition_even(orphan.len(), survivors.len());
+    let mut remapped = ExperienceDataset::new("frozen_lake", d.num_states(), d.num_actions());
+    for (slot, &dpu) in survivors.iter().enumerate() {
+        for &t in &d.transitions()[chunks[dpu].clone()] {
+            remapped.push(t);
+        }
+        let share = orphan.start + shares[slot].start..orphan.start + shares[slot].end;
+        for &t in &d.transitions()[share] {
+            remapped.push(t);
+        }
+    }
+    assert_eq!(remapped.len(), d.len());
+
+    // A from-scratch 3-DPU run on the remapped dataset must land on
+    // the identical Q-table: the rollback to the round-0 snapshot means
+    // no survivor carries any state from the faulted round.
+    let fresh = PimRunner::new(spec, cfg(3)).unwrap().run(&remapped).unwrap();
+    assert_eq!(degraded.q_table, fresh.q_table);
 }
 
 /// With checkpointing enabled, losing a DPU mid-run rolls the survivors

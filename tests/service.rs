@@ -1,0 +1,416 @@
+//! Multi-tenant training-service tests: fault isolation, lease
+//! admission, cancellation, and per-tenant telemetry.
+//!
+//! The headline test runs 100+ concurrent jobs with mixed fault plans
+//! over one shared fleet and diffs every tenant's Q-table byte-for-byte
+//! against its solo run — one tenant's `FaultPlan` must never perturb
+//! another tenant's results.
+
+use swiftrl::core::config::{RunConfig, WorkloadSpec};
+use swiftrl::core::resilience::ResilienceConfig;
+use swiftrl::core::runner::PimRunner;
+use swiftrl::core::service::{JobOutcome, JobRequest, JobStatus, ServiceError, TrainingService};
+use swiftrl::env::collect::collect_random;
+use swiftrl::env::frozen_lake::FrozenLake;
+use swiftrl::env::taxi::Taxi;
+use swiftrl::env::ExperienceDataset;
+use swiftrl::pim::config::PimConfig;
+use swiftrl::pim::faults::FaultPlan;
+
+fn frozen_dataset(transitions: usize, seed: u32) -> ExperienceDataset {
+    let mut env = FrozenLake::slippery_4x4();
+    collect_random(&mut env, transitions, u64::from(seed))
+}
+
+fn taxi_dataset(transitions: usize, seed: u32) -> ExperienceDataset {
+    let mut env = Taxi::new();
+    collect_random(&mut env, transitions, u64::from(seed))
+}
+
+/// A small fleet for tests: 16 ranks of 4 DPUs, so single-rank jobs
+/// multiplex heavily.
+fn small_fleet() -> PimConfig {
+    PimConfig::builder().dpus(64).dpus_per_rank(4).build()
+}
+
+fn cfg(dpus: usize, episodes: u32, seed: u32) -> RunConfig {
+    RunConfig::paper_defaults()
+        .with_dpus(dpus)
+        .with_episodes(episodes)
+        .with_tau(2)
+        .with_seed(seed)
+}
+
+/// The tentpole correctness claim: 100+ jobs from different tenants —
+/// different workloads, datasets, seeds, and fault plans (including
+/// dead DPUs absorbed by degradation and transient faults absorbed by
+/// retries) — run concurrently over one shared fleet, and every
+/// tenant's final Q-table and time breakdown are bit-identical to the
+/// same job run solo on a private platform.
+#[test]
+fn hundred_concurrent_tenants_match_their_solo_runs_bit_exactly() {
+    let specs = [
+        WorkloadSpec::q_learning_seq_fp32(),
+        WorkloadSpec::q_learning_seq_int32(),
+        WorkloadSpec::sarsa_seq_fp32(),
+        WorkloadSpec::sarsa_seq_int32(),
+    ];
+    let service = TrainingService::new(small_fleet(), 8);
+
+    let mut requests = Vec::new();
+    for i in 0..104u32 {
+        let spec = specs[(i % 4) as usize];
+        let dpus = 2 + (i as usize % 3); // 2..=4 DPUs, single-rank jobs
+        let transitions = 400 + 40 * (i as usize % 5);
+        let dataset = if i % 2 == 0 {
+            frozen_dataset(transitions, 100 + i)
+        } else {
+            taxi_dataset(transitions, 100 + i)
+        };
+        let (faults, resilience) = match i % 4 {
+            // Clean tenant.
+            0 => (FaultPlan::none(), ResilienceConfig::none()),
+            // Transient faults, absorbed by retries.
+            1 => (
+                FaultPlan::seeded(u64::from(i)).with_dpu_fail_rate(0.25),
+                ResilienceConfig::none().with_max_retries(8),
+            ),
+            // A DPU dead from its second launch, absorbed by
+            // checkpointed degradation.
+            2 => (
+                FaultPlan::seeded(u64::from(i)).with_dead_dpus(vec![i as usize % dpus], 1),
+                ResilienceConfig::none()
+                    .with_max_retries(1)
+                    .with_checkpoint_every(1)
+                    .with_degrade(true),
+            ),
+            // Stragglers: timing-only faults.
+            _ => (
+                FaultPlan::seeded(u64::from(i)).with_stragglers(0.3, 2.0),
+                ResilienceConfig::none(),
+            ),
+        };
+        let request = JobRequest::new(format!("tenant-{i}"), spec, cfg(dpus, 8, i), dataset)
+            .with_faults(faults)
+            .with_resilience(resilience);
+        requests.push(request);
+    }
+
+    // Submit everything up front so the queue really is concurrent,
+    // then wait for all jobs.
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| service.submit(r.clone()).expect("admission"))
+        .collect();
+
+    let mut mismatches = Vec::new();
+    for (request, handle) in requests.iter().zip(&handles) {
+        let outcome = handle.wait();
+        let JobOutcome::Completed(service_out) = outcome else {
+            panic!("job {} did not complete: {:?}", handle.id(), outcome);
+        };
+
+        // The same job, solo, on a private platform with the identical
+        // per-job configuration the service derived.
+        let solo_out = PimRunner::with_platform(
+            request.spec,
+            request.cfg,
+            service.job_platform(request),
+        )
+        .expect("solo runner")
+        .with_resilience(request.resilience)
+        .run(&request.dataset)
+        .expect("solo run");
+
+        // Byte-for-byte Q-table equality, exact breakdown equality.
+        if service_out.q_table != solo_out.q_table
+            || service_out.breakdown != solo_out.breakdown
+            || service_out.resilience != solo_out.resilience
+        {
+            mismatches.push(handle.tenant().to_string());
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "tenants diverged from their solo runs: {mismatches:?}"
+    );
+
+    // Sanity: the sweep actually exercised faults and resilience.
+    let faulted = handles
+        .iter()
+        .filter(|h| h.metrics().faulted_launches > 0)
+        .count();
+    assert!(faulted > 20, "fault plans never fired; the test is vacuous");
+}
+
+/// Lease admission rejects overlapping pinned rank sets synchronously,
+/// and malformed pins never reach the queue.
+#[test]
+fn lease_admission_rejects_overlapping_pins() {
+    // One worker: the first (unpinned) job occupies it, so the pinned
+    // jobs stay queued — their pins must still exclude each other.
+    let service = TrainingService::new(small_fleet(), 1);
+
+    let busy = service
+        .submit(JobRequest::new(
+            "busy",
+            WorkloadSpec::q_learning_seq_fp32(),
+            cfg(4, 8, 1),
+            frozen_dataset(600, 1),
+        ))
+        .expect("unpinned job admitted");
+
+    let pinned = service
+        .submit(
+            JobRequest::new(
+                "pinned",
+                WorkloadSpec::q_learning_seq_fp32(),
+                cfg(4, 4, 2),
+                frozen_dataset(400, 2),
+            )
+            .with_pinned_ranks(vec![0, 1]),
+        )
+        .expect("first pin accepted");
+
+    // Overlap with a queued pin is rejected before queueing.
+    let overlap = service.submit(
+        JobRequest::new(
+            "overlap",
+            WorkloadSpec::q_learning_seq_fp32(),
+            cfg(4, 4, 3),
+            frozen_dataset(400, 3),
+        )
+        .with_pinned_ranks(vec![1, 2]),
+    );
+    assert_eq!(overlap.unwrap_err(), ServiceError::LeaseOverlap { rank: 1 });
+
+    // Disjoint pins are fine.
+    let disjoint = service
+        .submit(
+            JobRequest::new(
+                "disjoint",
+                WorkloadSpec::q_learning_seq_fp32(),
+                cfg(4, 4, 4),
+                frozen_dataset(400, 4),
+            )
+            .with_pinned_ranks(vec![2, 3]),
+        )
+        .expect("disjoint pin accepted");
+
+    // Malformed pins: out-of-range rank, duplicate rank, and a pin too
+    // small for the job's DPU count.
+    for (ranks, dpus) in [(vec![99], 4), (vec![0, 0], 4), (vec![0], 5)] {
+        let err = service
+            .submit(
+                JobRequest::new(
+                    "bad-pin",
+                    WorkloadSpec::q_learning_seq_fp32(),
+                    cfg(dpus, 4, 5),
+                    frozen_dataset(400, 5),
+                )
+                .with_pinned_ranks(ranks),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::BadPin(_)), "{err}");
+    }
+
+    // A job larger than the whole fleet is rejected outright.
+    let err = service
+        .submit(JobRequest::new(
+            "giant",
+            WorkloadSpec::q_learning_seq_fp32(),
+            cfg(65, 4, 6),
+            frozen_dataset(400, 6),
+        ))
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::TooLarge { .. }));
+
+    for h in [busy, pinned, disjoint] {
+        assert!(h.wait().completed().is_some(), "{} failed", h.tenant());
+    }
+
+    // Completed pins release their reservation: the once-contested
+    // ranks are pinnable again.
+    let repinned = service
+        .submit(
+            JobRequest::new(
+                "repinned",
+                WorkloadSpec::q_learning_seq_fp32(),
+                cfg(4, 4, 7),
+                frozen_dataset(400, 7),
+            )
+            .with_pinned_ranks(vec![0, 1]),
+        )
+        .expect("released pin is reusable");
+    assert!(repinned.wait().completed().is_some());
+}
+
+/// Cancelling a running job stops it at a round boundary and frees its
+/// lease; the fleet stays fully reusable afterwards. Cancelling a
+/// queued job discards it before it ever touches the fleet.
+#[test]
+fn cancellation_mid_round_leaves_the_fleet_reusable() {
+    let service = TrainingService::new(small_fleet(), 2);
+
+    // A job far too long to finish on its own: cancellation is the
+    // only way it ends.
+    let marathon = service
+        .submit(JobRequest::new(
+            "marathon",
+            WorkloadSpec::q_learning_seq_fp32(),
+            cfg(4, 200_000, 1),
+            frozen_dataset(800, 1),
+        ))
+        .expect("admitted");
+
+    // Wait until it is actually running (holding its lease), then
+    // cancel mid-run.
+    while marathon.status() != JobStatus::Running {
+        std::thread::yield_now();
+    }
+    marathon.cancel();
+    let outcome = marathon.wait();
+    assert!(outcome.is_cancelled(), "expected cancellation: {outcome:?}");
+    // The cancelled job did real work before stopping.
+    assert!(marathon.metrics().launches > 0);
+
+    // Cancel a queued job before any worker picks it up: submit enough
+    // work to keep both workers busy, cancel the last submission
+    // immediately.
+    let fillers: Vec<_> = (0..2)
+        .map(|i| {
+            service
+                .submit(JobRequest::new(
+                    format!("filler-{i}"),
+                    WorkloadSpec::q_learning_seq_fp32(),
+                    cfg(4, 8, 10 + i),
+                    frozen_dataset(600, 10 + i),
+                ))
+                .expect("admitted")
+        })
+        .collect();
+    let queued = service
+        .submit(JobRequest::new(
+            "queued-cancel",
+            WorkloadSpec::q_learning_seq_fp32(),
+            cfg(4, 8, 20),
+            frozen_dataset(600, 20),
+        ))
+        .expect("admitted");
+    queued.cancel();
+    assert!(queued.wait().is_cancelled());
+
+    for f in fillers {
+        assert!(f.wait().completed().is_some());
+    }
+
+    // The whole fleet is allocatable again: a job spanning every rank
+    // completes.
+    let full = service
+        .submit(JobRequest::new(
+            "full-fleet",
+            WorkloadSpec::q_learning_seq_int32(),
+            cfg(64, 4, 30),
+            frozen_dataset(1_000, 30),
+        ))
+        .expect("full-fleet job admitted");
+    assert!(full.wait().completed().is_some());
+}
+
+/// Every tenant's telemetry sink contains only its own events: fault
+/// and resilience counters from a faulty neighbour never leak into a
+/// clean tenant's metrics, and each tenant's sync rounds match its own
+/// schedule.
+#[test]
+fn per_tenant_metrics_are_isolated() {
+    let service = TrainingService::new(small_fleet(), 4);
+
+    let clean = service
+        .submit(JobRequest::new(
+            "clean",
+            WorkloadSpec::q_learning_seq_fp32(),
+            cfg(4, 8, 1),
+            frozen_dataset(800, 1),
+        ))
+        .expect("admitted");
+    let faulty = service
+        .submit(
+            JobRequest::new(
+                "faulty",
+                WorkloadSpec::q_learning_seq_fp32(),
+                cfg(4, 8, 2),
+                frozen_dataset(800, 2),
+            )
+            .with_faults(FaultPlan::seeded(3).with_dead_dpus(vec![1], 1))
+            .with_resilience(
+                ResilienceConfig::none()
+                    .with_max_retries(1)
+                    .with_checkpoint_every(1)
+                    .with_degrade(true),
+            ),
+        )
+        .expect("admitted");
+
+    let clean_out = clean.wait().completed().cloned().expect("clean completes");
+    let faulty_out = faulty.wait().completed().cloned().expect("faulty recovers");
+
+    let clean_metrics = clean.metrics();
+    let faulty_metrics = faulty.metrics();
+    assert_eq!(clean_metrics.label, "clean/job-0");
+    assert_eq!(faulty_metrics.label, "faulty/job-1");
+
+    // The faulty tenant's story shows up in its own metrics...
+    assert!(faulty_out.resilience.faults_seen > 0);
+    assert!(faulty_metrics.faulted_launches > 0);
+    assert_eq!(faulty_metrics.retries, faulty_out.resilience.retries);
+    assert_eq!(faulty_metrics.rollbacks, faulty_out.resilience.rollbacks);
+    assert_eq!(
+        faulty_metrics.degraded_dpus as usize,
+        faulty_out.resilience.degraded_dpus.len()
+    );
+
+    // ...and leaves no trace in the clean tenant's.
+    assert!(clean_out.resilience.is_clean());
+    assert_eq!(clean_metrics.faulted_launches, 0);
+    assert_eq!(clean_metrics.retries, 0);
+    assert_eq!(clean_metrics.rollbacks, 0);
+    assert_eq!(clean_metrics.degraded_dpus, 0);
+    assert_eq!(clean_metrics.faulted_dpu_events, 0);
+
+    // Each tenant sees exactly its own schedule: 8 episodes at τ=2 is
+    // 4 sync rounds and 4 launches — nothing more, nothing less.
+    assert_eq!(clean_metrics.sync_rounds, u64::from(clean_out.comm_rounds));
+    assert_eq!(clean_metrics.launches, u64::from(clean_out.comm_rounds));
+}
+
+/// Submissions after shutdown are rejected; jobs already queued still
+/// drain to a terminal state.
+#[test]
+fn shutdown_drains_and_rejects_new_jobs() {
+    let mut service = TrainingService::new(small_fleet(), 2);
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            service
+                .submit(JobRequest::new(
+                    format!("drain-{i}"),
+                    WorkloadSpec::q_learning_seq_fp32(),
+                    cfg(2, 4, i),
+                    frozen_dataset(300, i),
+                ))
+                .expect("admitted")
+        })
+        .collect();
+    service.shutdown();
+    for h in &handles {
+        assert!(h.wait().completed().is_some(), "{} failed", h.tenant());
+    }
+    let err = service
+        .submit(JobRequest::new(
+            "late",
+            WorkloadSpec::q_learning_seq_fp32(),
+            cfg(2, 4, 99),
+            frozen_dataset(300, 99),
+        ))
+        .unwrap_err();
+    assert_eq!(err, ServiceError::ShuttingDown);
+}
