@@ -1,0 +1,1 @@
+//! Offline dev stub (resolution only; unused by workspace code).

@@ -1,0 +1,2 @@
+//! Offline dev stub for criterion (resolution only; benches are not
+//! built locally).

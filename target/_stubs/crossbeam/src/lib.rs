@@ -1,0 +1,188 @@
+//! Offline dev stub for the crossbeam APIs this workspace uses:
+//! `crossbeam::scope` (delegating to `std::thread::scope`) and a
+//! mutex-based `crossbeam::deque` work-stealing triple. Functional —
+//! semantics match what the engine relies on (every pushed task is
+//! eventually returned exactly once; child panics surface as `Err`).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+pub type ThreadResult<T> = Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Placeholder for the nested-scope handle crossbeam passes to spawned
+/// closures; every call site in this workspace ignores it (`|_|`).
+pub struct SpawnArg;
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&SpawnArg) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&SpawnArg)),
+        }
+    }
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+pub mod deque {
+    use super::*;
+
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+        pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+            match self {
+                Steal::Empty => f(),
+                other => other,
+            }
+        }
+    }
+
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+            let mut retry = false;
+            for s in iter {
+                match s {
+                    Steal::Success(t) => return Steal::Success(t),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+        pub fn push(&self, t: T) {
+            if let Ok(mut q) = self.q.lock() {
+                q.push_back(t);
+            }
+        }
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(_) => Steal::Retry,
+            }
+        }
+        pub fn steal_batch_and_pop(&self, _dest: &Worker<T>) -> Steal<T> {
+            self.steal()
+        }
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().map(|q| q.is_empty()).unwrap_or(true)
+        }
+    }
+
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_fifo() -> Self {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+        pub fn new_lifo() -> Self {
+            Self::new_fifo()
+        }
+        pub fn push(&self, t: T) {
+            if let Ok(mut q) = self.q.lock() {
+                q.push_back(t);
+            }
+        }
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().ok().and_then(|mut q| q.pop_front())
+        }
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { q: self.q.clone() }
+        }
+    }
+
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { q: self.q.clone() }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(_) => Steal::Retry,
+            }
+        }
+    }
+}

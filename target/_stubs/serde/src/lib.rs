@@ -1,0 +1,7 @@
+//! Offline dev stub for serde: derive macros expand to nothing; the
+//! traits exist so `use serde::{Serialize, Deserialize}` resolves.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-36c4ba4bd169d3b0.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-36c4ba4bd169d3b0: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

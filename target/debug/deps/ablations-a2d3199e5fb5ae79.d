@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablations-a2d3199e5fb5ae79.d: /root/repo/clippy.toml crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-a2d3199e5fb5ae79.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

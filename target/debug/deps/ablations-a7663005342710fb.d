@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a7663005342710fb.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-a7663005342710fb: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

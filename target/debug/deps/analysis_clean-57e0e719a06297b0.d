@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/analysis_clean-57e0e719a06297b0.d: tests/analysis_clean.rs
+
+/root/repo/target/debug/deps/analysis_clean-57e0e719a06297b0: tests/analysis_clean.rs
+
+tests/analysis_clean.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/analysis_clean-721f0ab3c7f5c2ec.d: /root/repo/clippy.toml tests/analysis_clean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_clean-721f0ab3c7f5c2ec.rmeta: /root/repo/clippy.toml tests/analysis_clean.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/analysis_clean.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

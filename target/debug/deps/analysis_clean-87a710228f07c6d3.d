@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/analysis_clean-87a710228f07c6d3.d: tests/analysis_clean.rs
+
+/root/repo/target/debug/deps/analysis_clean-87a710228f07c6d3: tests/analysis_clean.rs
+
+tests/analysis_clean.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

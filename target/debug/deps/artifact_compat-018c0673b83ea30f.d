@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/artifact_compat-018c0673b83ea30f.d: /root/repo/clippy.toml tests/artifact_compat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libartifact_compat-018c0673b83ea30f.rmeta: /root/repo/clippy.toml tests/artifact_compat.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/artifact_compat.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/artifact_compat-8b5d17a8ff55d58e.d: tests/artifact_compat.rs
+
+/root/repo/target/debug/deps/artifact_compat-8b5d17a8ff55d58e: tests/artifact_compat.rs
+
+tests/artifact_compat.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/artifact_compat-cba7653cdcc061a4.d: tests/artifact_compat.rs
+
+/root/repo/target/debug/deps/artifact_compat-cba7653cdcc061a4: tests/artifact_compat.rs
+
+tests/artifact_compat.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

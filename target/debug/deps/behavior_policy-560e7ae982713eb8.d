@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior_policy-560e7ae982713eb8.d: crates/bench/src/bin/behavior_policy.rs
+
+/root/repo/target/debug/deps/behavior_policy-560e7ae982713eb8: crates/bench/src/bin/behavior_policy.rs
+
+crates/bench/src/bin/behavior_policy.rs:

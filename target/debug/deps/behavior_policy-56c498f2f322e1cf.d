@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/behavior_policy-56c498f2f322e1cf.d: /root/repo/clippy.toml crates/bench/src/bin/behavior_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbehavior_policy-56c498f2f322e1cf.rmeta: /root/repo/clippy.toml crates/bench/src/bin/behavior_policy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/behavior_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior_policy-b86811024afeeb17.d: crates/bench/src/bin/behavior_policy.rs
+
+/root/repo/target/debug/deps/behavior_policy-b86811024afeeb17: crates/bench/src/bin/behavior_policy.rs
+
+crates/bench/src/bin/behavior_policy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-3892ff4ac0d6f796.d: crates/analysis/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-3892ff4ac0d6f796: crates/analysis/tests/cli.rs
+
+crates/analysis/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_swiftrl-analysis=/root/repo/target/debug/swiftrl-analysis
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

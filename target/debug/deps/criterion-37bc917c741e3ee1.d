@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-37bc917c741e3ee1.d: target/_stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-37bc917c741e3ee1.rlib: target/_stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-37bc917c741e3ee1.rmeta: target/_stubs/criterion/src/lib.rs
+
+target/_stubs/criterion/src/lib.rs:

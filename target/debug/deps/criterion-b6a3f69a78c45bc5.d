@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b6a3f69a78c45bc5.d: target/_stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b6a3f69a78c45bc5.rmeta: target/_stubs/criterion/src/lib.rs
+
+target/_stubs/criterion/src/lib.rs:

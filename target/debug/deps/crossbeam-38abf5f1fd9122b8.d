@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-38abf5f1fd9122b8.d: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-38abf5f1fd9122b8.rmeta: target/_stubs/crossbeam/src/lib.rs
+
+target/_stubs/crossbeam/src/lib.rs:

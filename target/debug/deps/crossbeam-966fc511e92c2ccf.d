@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-966fc511e92c2ccf.d: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-966fc511e92c2ccf.rlib: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-966fc511e92c2ccf.rmeta: target/_stubs/crossbeam/src/lib.rs
+
+target/_stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/emul_props-b59e1ae7575b517c.d: crates/pim/tests/emul_props.rs
+
+/root/repo/target/debug/deps/emul_props-b59e1ae7575b517c: crates/pim/tests/emul_props.rs
+
+crates/pim/tests/emul_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/emul_props-e3525722e3f6f5d5.d: crates/pim/tests/emul_props.rs
+
+/root/repo/target/debug/deps/emul_props-e3525722e3f6f5d5: crates/pim/tests/emul_props.rs
+
+crates/pim/tests/emul_props.rs:

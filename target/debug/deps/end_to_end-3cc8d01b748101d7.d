@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/end_to_end-3cc8d01b748101d7.d: /root/repo/clippy.toml tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-3cc8d01b748101d7.rmeta: /root/repo/clippy.toml tests/end_to_end.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

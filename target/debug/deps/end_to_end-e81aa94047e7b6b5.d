@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e81aa94047e7b6b5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e81aa94047e7b6b5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

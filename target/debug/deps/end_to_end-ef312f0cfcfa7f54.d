@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ef312f0cfcfa7f54.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ef312f0cfcfa7f54: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_determinism-2643b3ff3184673f.d: tests/engine_determinism.rs
+
+/root/repo/target/debug/deps/engine_determinism-2643b3ff3184673f: tests/engine_determinism.rs
+
+tests/engine_determinism.rs:

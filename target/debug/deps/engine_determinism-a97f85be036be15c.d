@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_determinism-a97f85be036be15c.d: tests/engine_determinism.rs
+
+/root/repo/target/debug/deps/engine_determinism-a97f85be036be15c: tests/engine_determinism.rs
+
+tests/engine_determinism.rs:

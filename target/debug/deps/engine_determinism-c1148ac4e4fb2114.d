@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/engine_determinism-c1148ac4e4fb2114.d: /root/repo/clippy.toml tests/engine_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_determinism-c1148ac4e4fb2114.rmeta: /root/repo/clippy.toml tests/engine_determinism.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/engine_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

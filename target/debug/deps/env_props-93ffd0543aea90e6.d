@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/env_props-93ffd0543aea90e6.d: crates/env/tests/env_props.rs
+
+/root/repo/target/debug/deps/env_props-93ffd0543aea90e6: crates/env/tests/env_props.rs
+
+crates/env/tests/env_props.rs:

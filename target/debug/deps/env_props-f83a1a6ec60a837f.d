@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/env_props-f83a1a6ec60a837f.d: crates/env/tests/env_props.rs
+
+/root/repo/target/debug/deps/env_props-f83a1a6ec60a837f: crates/env/tests/env_props.rs
+
+crates/env/tests/env_props.rs:

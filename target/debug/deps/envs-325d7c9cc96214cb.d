@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/envs-325d7c9cc96214cb.d: /root/repo/clippy.toml crates/bench/benches/envs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenvs-325d7c9cc96214cb.rmeta: /root/repo/clippy.toml crates/bench/benches/envs.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/envs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_envs-0115b830e96c889b.d: crates/bench/src/bin/extension_envs.rs
+
+/root/repo/target/debug/deps/extension_envs-0115b830e96c889b: crates/bench/src/bin/extension_envs.rs
+
+crates/bench/src/bin/extension_envs.rs:

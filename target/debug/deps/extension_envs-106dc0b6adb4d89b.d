@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_envs-106dc0b6adb4d89b.d: crates/bench/src/bin/extension_envs.rs
+
+/root/repo/target/debug/deps/extension_envs-106dc0b6adb4d89b: crates/bench/src/bin/extension_envs.rs
+
+crates/bench/src/bin/extension_envs.rs:

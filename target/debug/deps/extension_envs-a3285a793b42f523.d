@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extension_envs-a3285a793b42f523.d: /root/repo/clippy.toml crates/bench/src/bin/extension_envs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_envs-a3285a793b42f523.rmeta: /root/repo/clippy.toml crates/bench/src/bin/extension_envs.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/extension_envs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_weak_scaling-9574921937ab0307.d: crates/bench/src/bin/extension_weak_scaling.rs
+
+/root/repo/target/debug/deps/extension_weak_scaling-9574921937ab0307: crates/bench/src/bin/extension_weak_scaling.rs
+
+crates/bench/src/bin/extension_weak_scaling.rs:

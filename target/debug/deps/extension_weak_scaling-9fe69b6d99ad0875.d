@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extension_weak_scaling-9fe69b6d99ad0875.d: /root/repo/clippy.toml crates/bench/src/bin/extension_weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_weak_scaling-9fe69b6d99ad0875.rmeta: /root/repo/clippy.toml crates/bench/src/bin/extension_weak_scaling.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/extension_weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

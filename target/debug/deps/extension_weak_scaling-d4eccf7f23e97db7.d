@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_weak_scaling-d4eccf7f23e97db7.d: crates/bench/src/bin/extension_weak_scaling.rs
+
+/root/repo/target/debug/deps/extension_weak_scaling-d4eccf7f23e97db7: crates/bench/src/bin/extension_weak_scaling.rs
+
+crates/bench/src/bin/extension_weak_scaling.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extrapolation_exactness-07e79c9bea2ee1b5.d: /root/repo/clippy.toml tests/extrapolation_exactness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrapolation_exactness-07e79c9bea2ee1b5.rmeta: /root/repo/clippy.toml tests/extrapolation_exactness.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/extrapolation_exactness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrapolation_exactness-8e191f64b00e7c15.d: tests/extrapolation_exactness.rs
+
+/root/repo/target/debug/deps/extrapolation_exactness-8e191f64b00e7c15: tests/extrapolation_exactness.rs
+
+tests/extrapolation_exactness.rs:

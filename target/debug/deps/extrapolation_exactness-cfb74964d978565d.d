@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrapolation_exactness-cfb74964d978565d.d: tests/extrapolation_exactness.rs
+
+/root/repo/target/debug/deps/extrapolation_exactness-cfb74964d978565d: tests/extrapolation_exactness.rs
+
+tests/extrapolation_exactness.rs:

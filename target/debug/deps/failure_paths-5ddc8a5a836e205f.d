@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/failure_paths-5ddc8a5a836e205f.d: /root/repo/clippy.toml tests/failure_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_paths-5ddc8a5a836e205f.rmeta: /root/repo/clippy.toml tests/failure_paths.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/failure_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

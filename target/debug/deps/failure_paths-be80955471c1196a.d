@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_paths-be80955471c1196a.d: tests/failure_paths.rs
+
+/root/repo/target/debug/deps/failure_paths-be80955471c1196a: tests/failure_paths.rs
+
+tests/failure_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_paths-db3d468e82d24fb1.d: tests/failure_paths.rs
+
+/root/repo/target/debug/deps/failure_paths-db3d468e82d24fb1: tests/failure_paths.rs
+
+tests/failure_paths.rs:

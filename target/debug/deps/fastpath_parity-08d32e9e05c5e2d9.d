@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastpath_parity-08d32e9e05c5e2d9.d: /root/repo/clippy.toml tests/fastpath_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastpath_parity-08d32e9e05c5e2d9.rmeta: /root/repo/clippy.toml tests/fastpath_parity.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/fastpath_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

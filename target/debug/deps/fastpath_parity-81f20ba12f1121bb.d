@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastpath_parity-81f20ba12f1121bb.d: tests/fastpath_parity.rs
+
+/root/repo/target/debug/deps/fastpath_parity-81f20ba12f1121bb: tests/fastpath_parity.rs
+
+tests/fastpath_parity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastpath_parity-9ffa4e6e38e6eb2f.d: tests/fastpath_parity.rs
+
+/root/repo/target/debug/deps/fastpath_parity-9ffa4e6e38e6eb2f: tests/fastpath_parity.rs
+
+tests/fastpath_parity.rs:

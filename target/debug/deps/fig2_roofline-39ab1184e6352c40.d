@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig2_roofline-39ab1184e6352c40.d: /root/repo/clippy.toml crates/bench/src/bin/fig2_roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_roofline-39ab1184e6352c40.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig2_roofline.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig2_roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

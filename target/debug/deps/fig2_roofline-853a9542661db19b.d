@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_roofline-853a9542661db19b.d: crates/bench/src/bin/fig2_roofline.rs
+
+/root/repo/target/debug/deps/fig2_roofline-853a9542661db19b: crates/bench/src/bin/fig2_roofline.rs
+
+crates/bench/src/bin/fig2_roofline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_roofline-882ed234f6326710.d: crates/bench/src/bin/fig2_roofline.rs
+
+/root/repo/target/debug/deps/fig2_roofline-882ed234f6326710: crates/bench/src/bin/fig2_roofline.rs
+
+crates/bench/src/bin/fig2_roofline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_frozenlake_scaling-43623272c7b8847a.d: crates/bench/src/bin/fig5_frozenlake_scaling.rs
+
+/root/repo/target/debug/deps/fig5_frozenlake_scaling-43623272c7b8847a: crates/bench/src/bin/fig5_frozenlake_scaling.rs
+
+crates/bench/src/bin/fig5_frozenlake_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_frozenlake_scaling-5aa8f332dcd4caa4.d: crates/bench/src/bin/fig5_frozenlake_scaling.rs
+
+/root/repo/target/debug/deps/fig5_frozenlake_scaling-5aa8f332dcd4caa4: crates/bench/src/bin/fig5_frozenlake_scaling.rs
+
+crates/bench/src/bin/fig5_frozenlake_scaling.rs:

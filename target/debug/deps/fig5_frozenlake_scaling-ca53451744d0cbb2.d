@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5_frozenlake_scaling-ca53451744d0cbb2.d: /root/repo/clippy.toml crates/bench/src/bin/fig5_frozenlake_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_frozenlake_scaling-ca53451744d0cbb2.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig5_frozenlake_scaling.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig5_frozenlake_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_taxi_scaling-4a162f68e1f5e667.d: crates/bench/src/bin/fig6_taxi_scaling.rs
+
+/root/repo/target/debug/deps/fig6_taxi_scaling-4a162f68e1f5e667: crates/bench/src/bin/fig6_taxi_scaling.rs
+
+crates/bench/src/bin/fig6_taxi_scaling.rs:

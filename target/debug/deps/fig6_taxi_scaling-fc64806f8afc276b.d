@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_taxi_scaling-fc64806f8afc276b.d: crates/bench/src/bin/fig6_taxi_scaling.rs
+
+/root/repo/target/debug/deps/fig6_taxi_scaling-fc64806f8afc276b: crates/bench/src/bin/fig6_taxi_scaling.rs
+
+crates/bench/src/bin/fig6_taxi_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_cpu_gpu_pim-12d7d09967eb560e.d: crates/bench/src/bin/fig7_cpu_gpu_pim.rs
+
+/root/repo/target/debug/deps/fig7_cpu_gpu_pim-12d7d09967eb560e: crates/bench/src/bin/fig7_cpu_gpu_pim.rs
+
+crates/bench/src/bin/fig7_cpu_gpu_pim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7_cpu_gpu_pim-765246da570d6302.d: /root/repo/clippy.toml crates/bench/src/bin/fig7_cpu_gpu_pim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_cpu_gpu_pim-765246da570d6302.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig7_cpu_gpu_pim.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig7_cpu_gpu_pim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_cpu_gpu_pim-e0d4ed52e59ed734.d: crates/bench/src/bin/fig7_cpu_gpu_pim.rs
+
+/root/repo/target/debug/deps/fig7_cpu_gpu_pim-e0d4ed52e59ed734: crates/bench/src/bin/fig7_cpu_gpu_pim.rs
+
+crates/bench/src/bin/fig7_cpu_gpu_pim.rs:

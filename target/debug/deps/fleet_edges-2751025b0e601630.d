@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_edges-2751025b0e601630.d: tests/fleet_edges.rs
+
+/root/repo/target/debug/deps/fleet_edges-2751025b0e601630: tests/fleet_edges.rs
+
+tests/fleet_edges.rs:

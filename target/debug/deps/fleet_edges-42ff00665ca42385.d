@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fleet_edges-42ff00665ca42385.d: /root/repo/clippy.toml tests/fleet_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_edges-42ff00665ca42385.rmeta: /root/repo/clippy.toml tests/fleet_edges.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/fleet_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_scaling-7727d90084a6aba8.d: crates/bench/src/bin/fleet_scaling.rs
+
+/root/repo/target/debug/deps/fleet_scaling-7727d90084a6aba8: crates/bench/src/bin/fleet_scaling.rs
+
+crates/bench/src/bin/fleet_scaling.rs:

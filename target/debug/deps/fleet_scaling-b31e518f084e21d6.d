@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_scaling-b31e518f084e21d6.d: crates/bench/src/bin/fleet_scaling.rs
+
+/root/repo/target/debug/deps/fleet_scaling-b31e518f084e21d6: crates/bench/src/bin/fleet_scaling.rs
+
+crates/bench/src/bin/fleet_scaling.rs:

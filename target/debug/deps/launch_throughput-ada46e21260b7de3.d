@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/launch_throughput-ada46e21260b7de3.d: /root/repo/clippy.toml crates/bench/benches/launch_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaunch_throughput-ada46e21260b7de3.rmeta: /root/repo/clippy.toml crates/bench/benches/launch_throughput.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/launch_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lcg_consistency-089848f5b89e2a3f.d: tests/lcg_consistency.rs
+
+/root/repo/target/debug/deps/lcg_consistency-089848f5b89e2a3f: tests/lcg_consistency.rs
+
+tests/lcg_consistency.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lcg_consistency-b1c225eb3ff3a6cf.d: /root/repo/clippy.toml tests/lcg_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblcg_consistency-b1c225eb3ff3a6cf.rmeta: /root/repo/clippy.toml tests/lcg_consistency.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/lcg_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lcg_consistency-cbdfc95eda88e1ac.d: tests/lcg_consistency.rs
+
+/root/repo/target/debug/deps/lcg_consistency-cbdfc95eda88e1ac: tests/lcg_consistency.rs
+
+tests/lcg_consistency.rs:

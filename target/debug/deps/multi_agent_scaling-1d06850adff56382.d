@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_agent_scaling-1d06850adff56382.d: crates/bench/src/bin/multi_agent_scaling.rs
+
+/root/repo/target/debug/deps/multi_agent_scaling-1d06850adff56382: crates/bench/src/bin/multi_agent_scaling.rs
+
+crates/bench/src/bin/multi_agent_scaling.rs:

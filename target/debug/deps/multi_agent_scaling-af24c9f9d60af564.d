@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_agent_scaling-af24c9f9d60af564.d: crates/bench/src/bin/multi_agent_scaling.rs
+
+/root/repo/target/debug/deps/multi_agent_scaling-af24c9f9d60af564: crates/bench/src/bin/multi_agent_scaling.rs
+
+crates/bench/src/bin/multi_agent_scaling.rs:

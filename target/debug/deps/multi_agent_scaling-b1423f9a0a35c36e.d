@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/multi_agent_scaling-b1423f9a0a35c36e.d: /root/repo/clippy.toml crates/bench/src/bin/multi_agent_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_agent_scaling-b1423f9a0a35c36e.rmeta: /root/repo/clippy.toml crates/bench/src/bin/multi_agent_scaling.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/multi_agent_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

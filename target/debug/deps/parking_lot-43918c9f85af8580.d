@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-43918c9f85af8580.d: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-43918c9f85af8580.rlib: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-43918c9f85af8580.rmeta: target/_stubs/parking_lot/src/lib.rs
+
+target/_stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-fe07ff0e5e76580e.d: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-fe07ff0e5e76580e.rmeta: target/_stubs/parking_lot/src/lib.rs
+
+target/_stubs/parking_lot/src/lib.rs:

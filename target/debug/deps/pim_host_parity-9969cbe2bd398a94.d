@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pim_host_parity-9969cbe2bd398a94.d: tests/pim_host_parity.rs
+
+/root/repo/target/debug/deps/pim_host_parity-9969cbe2bd398a94: tests/pim_host_parity.rs
+
+tests/pim_host_parity.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pim_host_parity-c6f4a74a432c0308.d: /root/repo/clippy.toml tests/pim_host_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpim_host_parity-c6f4a74a432c0308.rmeta: /root/repo/clippy.toml tests/pim_host_parity.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/pim_host_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pim_host_parity-f6948b659540a405.d: tests/pim_host_parity.rs
+
+/root/repo/target/debug/deps/pim_host_parity-f6948b659540a405: tests/pim_host_parity.rs
+
+tests/pim_host_parity.rs:

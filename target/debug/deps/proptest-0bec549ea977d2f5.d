@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0bec549ea977d2f5.d: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0bec549ea977d2f5.rmeta: target/_stubs/proptest/src/lib.rs
+
+target/_stubs/proptest/src/lib.rs:

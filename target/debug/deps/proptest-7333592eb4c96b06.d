@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-7333592eb4c96b06.d: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7333592eb4c96b06.rlib: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7333592eb4c96b06.rmeta: target/_stubs/proptest/src/lib.rs
+
+target/_stubs/proptest/src/lib.rs:

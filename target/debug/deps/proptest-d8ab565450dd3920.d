@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-d8ab565450dd3920.d: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d8ab565450dd3920.rlib: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d8ab565450dd3920.rmeta: target/_stubs/proptest/src/lib.rs
+
+target/_stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quality_band-0e2727c1339c5c42.d: tests/quality_band.rs
+
+/root/repo/target/debug/deps/quality_band-0e2727c1339c5c42: tests/quality_band.rs
+
+tests/quality_band.rs:

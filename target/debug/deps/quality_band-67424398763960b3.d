@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quality_band-67424398763960b3.d: tests/quality_band.rs
+
+/root/repo/target/debug/deps/quality_band-67424398763960b3: tests/quality_band.rs
+
+tests/quality_band.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quality_band-be03a161cdfa99bb.d: /root/repo/clippy.toml tests/quality_band.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquality_band-be03a161cdfa99bb.rmeta: /root/repo/clippy.toml tests/quality_band.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/quality_band.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

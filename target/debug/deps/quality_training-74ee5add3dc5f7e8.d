@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quality_training-74ee5add3dc5f7e8.d: crates/bench/src/bin/quality_training.rs
+
+/root/repo/target/debug/deps/quality_training-74ee5add3dc5f7e8: crates/bench/src/bin/quality_training.rs
+
+crates/bench/src/bin/quality_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quality_training-7cdf8a7f209c6e10.d: crates/bench/src/bin/quality_training.rs
+
+/root/repo/target/debug/deps/quality_training-7cdf8a7f209c6e10: crates/bench/src/bin/quality_training.rs
+
+crates/bench/src/bin/quality_training.rs:

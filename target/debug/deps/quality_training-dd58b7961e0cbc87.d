@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quality_training-dd58b7961e0cbc87.d: /root/repo/clippy.toml crates/bench/src/bin/quality_training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquality_training-dd58b7961e0cbc87.rmeta: /root/repo/clippy.toml crates/bench/src/bin/quality_training.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/quality_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

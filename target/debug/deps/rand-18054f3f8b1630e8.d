@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-18054f3f8b1630e8.d: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-18054f3f8b1630e8.rlib: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-18054f3f8b1630e8.rmeta: target/_stubs/rand/src/lib.rs
+
+target/_stubs/rand/src/lib.rs:

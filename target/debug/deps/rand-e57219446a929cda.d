@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-e57219446a929cda.d: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e57219446a929cda.rmeta: target/_stubs/rand/src/lib.rs
+
+target/_stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-5fcb8bf3b325cfcc.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-5fcb8bf3b325cfcc: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

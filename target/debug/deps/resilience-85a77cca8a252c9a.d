@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-85a77cca8a252c9a.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-85a77cca8a252c9a: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-9ceb62b6d5ad65b1.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-9ceb62b6d5ad65b1: tests/resilience.rs
+
+tests/resilience.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/resilience-d971e175fda145cb.d: /root/repo/clippy.toml tests/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-d971e175fda145cb.rmeta: /root/repo/clippy.toml tests/resilience.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-fb2e55604962847b.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-fb2e55604962847b: tests/resilience.rs
+
+tests/resilience.rs:

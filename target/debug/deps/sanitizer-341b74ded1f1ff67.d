@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sanitizer-341b74ded1f1ff67.d: /root/repo/clippy.toml tests/sanitizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsanitizer-341b74ded1f1ff67.rmeta: /root/repo/clippy.toml tests/sanitizer.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/sanitizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sanitizer-633a957099fd38ce.d: tests/sanitizer.rs
+
+/root/repo/target/debug/deps/sanitizer-633a957099fd38ce: tests/sanitizer.rs
+
+tests/sanitizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sanitizer-b5525226967f1091.d: tests/sanitizer.rs
+
+/root/repo/target/debug/deps/sanitizer-b5525226967f1091: tests/sanitizer.rs
+
+tests/sanitizer.rs:

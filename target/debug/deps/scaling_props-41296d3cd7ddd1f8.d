@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scaling_props-41296d3cd7ddd1f8.d: /root/repo/clippy.toml tests/scaling_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_props-41296d3cd7ddd1f8.rmeta: /root/repo/clippy.toml tests/scaling_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/scaling_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

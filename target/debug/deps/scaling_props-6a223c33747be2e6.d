@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_props-6a223c33747be2e6.d: tests/scaling_props.rs
+
+/root/repo/target/debug/deps/scaling_props-6a223c33747be2e6: tests/scaling_props.rs
+
+tests/scaling_props.rs:

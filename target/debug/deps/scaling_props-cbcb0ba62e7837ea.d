@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_props-cbcb0ba62e7837ea.d: tests/scaling_props.rs
+
+/root/repo/target/debug/deps/scaling_props-cbcb0ba62e7837ea: tests/scaling_props.rs
+
+tests/scaling_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2fce664edceb83d7.d: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2fce664edceb83d7.rmeta: target/_stubs/serde/src/lib.rs
+
+target/_stubs/serde/src/lib.rs:

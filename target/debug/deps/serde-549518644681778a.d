@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-549518644681778a.d: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-549518644681778a.rlib: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-549518644681778a.rmeta: target/_stubs/serde/src/lib.rs
+
+target/_stubs/serde/src/lib.rs:

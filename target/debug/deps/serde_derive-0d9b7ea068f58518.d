@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-0d9b7ea068f58518.d: target/_stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-0d9b7ea068f58518.so: target/_stubs/serde_derive/src/lib.rs
+
+target/_stubs/serde_derive/src/lib.rs:

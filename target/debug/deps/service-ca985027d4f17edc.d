@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/service-ca985027d4f17edc.d: /root/repo/clippy.toml tests/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice-ca985027d4f17edc.rmeta: /root/repo/clippy.toml tests/service.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-d365c7da195a5286.d: tests/service.rs
+
+/root/repo/target/debug/deps/service-d365c7da195a5286: tests/service.rs
+
+tests/service.rs:

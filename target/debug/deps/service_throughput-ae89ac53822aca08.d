@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/service_throughput-ae89ac53822aca08.d: /root/repo/clippy.toml crates/bench/src/bin/service_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_throughput-ae89ac53822aca08.rmeta: /root/repo/clippy.toml crates/bench/src/bin/service_throughput.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/service_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_throughput-fa3670034fe6bac2.d: crates/bench/src/bin/service_throughput.rs
+
+/root/repo/target/debug/deps/service_throughput-fa3670034fe6bac2: crates/bench/src/bin/service_throughput.rs
+
+crates/bench/src/bin/service_throughput.rs:

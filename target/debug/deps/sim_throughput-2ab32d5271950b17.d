@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sim_throughput-2ab32d5271950b17.d: /root/repo/clippy.toml crates/bench/src/bin/sim_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_throughput-2ab32d5271950b17.rmeta: /root/repo/clippy.toml crates/bench/src/bin/sim_throughput.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/sim_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_throughput-2bebf03e2d981e8c.d: crates/bench/src/bin/sim_throughput.rs
+
+/root/repo/target/debug/deps/sim_throughput-2bebf03e2d981e8c: crates/bench/src/bin/sim_throughput.rs
+
+crates/bench/src/bin/sim_throughput.rs:

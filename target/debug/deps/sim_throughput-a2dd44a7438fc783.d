@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_throughput-a2dd44a7438fc783.d: crates/bench/src/bin/sim_throughput.rs
+
+/root/repo/target/debug/deps/sim_throughput-a2dd44a7438fc783: crates/bench/src/bin/sim_throughput.rs
+
+crates/bench/src/bin/sim_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softfloat_props-01bcad885dd58c97.d: crates/pim/tests/softfloat_props.rs
+
+/root/repo/target/debug/deps/softfloat_props-01bcad885dd58c97: crates/pim/tests/softfloat_props.rs
+
+crates/pim/tests/softfloat_props.rs:

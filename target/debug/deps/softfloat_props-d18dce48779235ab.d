@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softfloat_props-d18dce48779235ab.d: crates/pim/tests/softfloat_props.rs
+
+/root/repo/target/debug/deps/softfloat_props-d18dce48779235ab: crates/pim/tests/softfloat_props.rs
+
+crates/pim/tests/softfloat_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swiftrl-6f7ea3827d620f64.d: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswiftrl-6f7ea3827d620f64.rmeta: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

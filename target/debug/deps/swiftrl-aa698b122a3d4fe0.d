@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swiftrl-aa698b122a3d4fe0.d: src/lib.rs
+
+/root/repo/target/debug/deps/swiftrl-aa698b122a3d4fe0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swiftrl-cf65bb46f53f2a88.d: src/lib.rs
+
+/root/repo/target/debug/deps/libswiftrl-cf65bb46f53f2a88.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libswiftrl-cf65bb46f53f2a88.rmeta: src/lib.rs
+
+src/lib.rs:

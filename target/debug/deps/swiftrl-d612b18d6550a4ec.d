@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swiftrl-d612b18d6550a4ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/swiftrl-d612b18d6550a4ec: src/lib.rs
+
+src/lib.rs:

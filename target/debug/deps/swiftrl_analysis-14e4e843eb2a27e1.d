@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swiftrl_analysis-14e4e843eb2a27e1.d: crates/analysis/src/main.rs
+
+/root/repo/target/debug/deps/swiftrl_analysis-14e4e843eb2a27e1: crates/analysis/src/main.rs
+
+crates/analysis/src/main.rs:

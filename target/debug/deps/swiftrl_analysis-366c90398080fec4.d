@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swiftrl_analysis-366c90398080fec4.d: crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs
+
+/root/repo/target/debug/deps/libswiftrl_analysis-366c90398080fec4.rlib: crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs
+
+/root/repo/target/debug/deps/libswiftrl_analysis-366c90398080fec4.rmeta: crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/budget.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/parse.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/rules.rs:
+crates/analysis/src/scanner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swiftrl_analysis-5042f552cfad4e1b.d: crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs
+
+/root/repo/target/debug/deps/swiftrl_analysis-5042f552cfad4e1b: crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/budget.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/parse.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/rules.rs:
+crates/analysis/src/scanner.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/swiftrl_analysis-59bd1389760605ef.d: /root/repo/clippy.toml crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswiftrl_analysis-59bd1389760605ef.rmeta: /root/repo/clippy.toml crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/analysis/src/lib.rs:
+crates/analysis/src/budget.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/parse.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/rules.rs:
+crates/analysis/src/scanner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

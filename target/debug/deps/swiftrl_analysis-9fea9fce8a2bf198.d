@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swiftrl_analysis-9fea9fce8a2bf198.d: crates/analysis/src/main.rs
+
+/root/repo/target/debug/deps/swiftrl_analysis-9fea9fce8a2bf198: crates/analysis/src/main.rs
+
+crates/analysis/src/main.rs:

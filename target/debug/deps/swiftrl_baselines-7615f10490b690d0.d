@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/swiftrl_baselines-7615f10490b690d0.d: /root/repo/clippy.toml crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswiftrl_baselines-7615f10490b690d0.rmeta: /root/repo/clippy.toml crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu_exec.rs:
+crates/baselines/src/cpu_model.rs:
+crates/baselines/src/energy.rs:
+crates/baselines/src/gpu_model.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/specs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

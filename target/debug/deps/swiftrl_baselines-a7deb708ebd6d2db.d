@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swiftrl_baselines-a7deb708ebd6d2db.d: crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs
+
+/root/repo/target/debug/deps/libswiftrl_baselines-a7deb708ebd6d2db.rlib: crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs
+
+/root/repo/target/debug/deps/libswiftrl_baselines-a7deb708ebd6d2db.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu_exec.rs:
+crates/baselines/src/cpu_model.rs:
+crates/baselines/src/energy.rs:
+crates/baselines/src/gpu_model.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/specs.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swiftrl_baselines-d466326d496ba88e.d: crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs
+
+/root/repo/target/debug/deps/swiftrl_baselines-d466326d496ba88e: crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu_exec.rs:
+crates/baselines/src/cpu_model.rs:
+crates/baselines/src/energy.rs:
+crates/baselines/src/gpu_model.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/specs.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swiftrl_bench-2a64d172efb8f8b5.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswiftrl_bench-2a64d172efb8f8b5.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/scaling.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

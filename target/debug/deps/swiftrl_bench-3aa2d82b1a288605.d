@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/swiftrl_bench-3aa2d82b1a288605.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/debug/deps/swiftrl_bench-3aa2d82b1a288605: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swiftrl_bench-6229bd4069357aa8.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswiftrl_bench-6229bd4069357aa8.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/scaling.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

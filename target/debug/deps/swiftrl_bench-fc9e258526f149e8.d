@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/swiftrl_bench-fc9e258526f149e8.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/debug/deps/libswiftrl_bench-fc9e258526f149e8.rlib: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/debug/deps/libswiftrl_bench-fc9e258526f149e8.rmeta: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:

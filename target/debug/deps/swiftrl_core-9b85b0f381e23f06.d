@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/swiftrl_core-9b85b0f381e23f06.d: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/breakdown.rs crates/core/src/config.rs crates/core/src/kernels.rs crates/core/src/layout.rs crates/core/src/multi_agent.rs crates/core/src/partition.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/service.rs
+
+/root/repo/target/debug/deps/swiftrl_core-9b85b0f381e23f06: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/breakdown.rs crates/core/src/config.rs crates/core/src/kernels.rs crates/core/src/layout.rs crates/core/src/multi_agent.rs crates/core/src/partition.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/service.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backend.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/config.rs:
+crates/core/src/kernels.rs:
+crates/core/src/layout.rs:
+crates/core/src/multi_agent.rs:
+crates/core/src/partition.rs:
+crates/core/src/resilience.rs:
+crates/core/src/runner.rs:
+crates/core/src/service.rs:

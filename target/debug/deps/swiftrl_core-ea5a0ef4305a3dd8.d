@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/swiftrl_core-ea5a0ef4305a3dd8.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/breakdown.rs crates/core/src/config.rs crates/core/src/kernels.rs crates/core/src/layout.rs crates/core/src/multi_agent.rs crates/core/src/partition.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswiftrl_core-ea5a0ef4305a3dd8.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/breakdown.rs crates/core/src/config.rs crates/core/src/kernels.rs crates/core/src/layout.rs crates/core/src/multi_agent.rs crates/core/src/partition.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/service.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/backend.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/config.rs:
+crates/core/src/kernels.rs:
+crates/core/src/layout.rs:
+crates/core/src/multi_agent.rs:
+crates/core/src/partition.rs:
+crates/core/src/resilience.rs:
+crates/core/src/runner.rs:
+crates/core/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swiftrl_env-7af0aa72aa328b5b.d: crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs
+
+/root/repo/target/debug/deps/libswiftrl_env-7af0aa72aa328b5b.rlib: crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs
+
+/root/repo/target/debug/deps/libswiftrl_env-7af0aa72aa328b5b.rmeta: crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs
+
+crates/env/src/lib.rs:
+crates/env/src/cliff_walking.rs:
+crates/env/src/collect.rs:
+crates/env/src/dataset.rs:
+crates/env/src/env.rs:
+crates/env/src/frozen_lake.rs:
+crates/env/src/taxi.rs:

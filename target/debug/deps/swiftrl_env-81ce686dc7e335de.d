@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/swiftrl_env-81ce686dc7e335de.d: /root/repo/clippy.toml crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswiftrl_env-81ce686dc7e335de.rmeta: /root/repo/clippy.toml crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/env/src/lib.rs:
+crates/env/src/cliff_walking.rs:
+crates/env/src/collect.rs:
+crates/env/src/dataset.rs:
+crates/env/src/env.rs:
+crates/env/src/frozen_lake.rs:
+crates/env/src/taxi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

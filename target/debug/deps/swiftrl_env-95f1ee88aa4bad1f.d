@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swiftrl_env-95f1ee88aa4bad1f.d: crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs
+
+/root/repo/target/debug/deps/swiftrl_env-95f1ee88aa4bad1f: crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs
+
+crates/env/src/lib.rs:
+crates/env/src/cliff_walking.rs:
+crates/env/src/collect.rs:
+crates/env/src/dataset.rs:
+crates/env/src/env.rs:
+crates/env/src/frozen_lake.rs:
+crates/env/src/taxi.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/swiftrl_pim-3a096ec9c67f778a.d: crates/pim/src/lib.rs crates/pim/src/arena.rs crates/pim/src/config.rs crates/pim/src/cost.rs crates/pim/src/dpu.rs crates/pim/src/emul.rs crates/pim/src/engine.rs crates/pim/src/fastpath.rs crates/pim/src/faults.rs crates/pim/src/host.rs crates/pim/src/kernel.rs crates/pim/src/memory.rs crates/pim/src/report.rs crates/pim/src/sanitize.rs crates/pim/src/softfloat.rs crates/pim/src/stats.rs crates/pim/src/xfer.rs
+
+/root/repo/target/debug/deps/libswiftrl_pim-3a096ec9c67f778a.rlib: crates/pim/src/lib.rs crates/pim/src/arena.rs crates/pim/src/config.rs crates/pim/src/cost.rs crates/pim/src/dpu.rs crates/pim/src/emul.rs crates/pim/src/engine.rs crates/pim/src/fastpath.rs crates/pim/src/faults.rs crates/pim/src/host.rs crates/pim/src/kernel.rs crates/pim/src/memory.rs crates/pim/src/report.rs crates/pim/src/sanitize.rs crates/pim/src/softfloat.rs crates/pim/src/stats.rs crates/pim/src/xfer.rs
+
+/root/repo/target/debug/deps/libswiftrl_pim-3a096ec9c67f778a.rmeta: crates/pim/src/lib.rs crates/pim/src/arena.rs crates/pim/src/config.rs crates/pim/src/cost.rs crates/pim/src/dpu.rs crates/pim/src/emul.rs crates/pim/src/engine.rs crates/pim/src/fastpath.rs crates/pim/src/faults.rs crates/pim/src/host.rs crates/pim/src/kernel.rs crates/pim/src/memory.rs crates/pim/src/report.rs crates/pim/src/sanitize.rs crates/pim/src/softfloat.rs crates/pim/src/stats.rs crates/pim/src/xfer.rs
+
+crates/pim/src/lib.rs:
+crates/pim/src/arena.rs:
+crates/pim/src/config.rs:
+crates/pim/src/cost.rs:
+crates/pim/src/dpu.rs:
+crates/pim/src/emul.rs:
+crates/pim/src/engine.rs:
+crates/pim/src/fastpath.rs:
+crates/pim/src/faults.rs:
+crates/pim/src/host.rs:
+crates/pim/src/kernel.rs:
+crates/pim/src/memory.rs:
+crates/pim/src/report.rs:
+crates/pim/src/sanitize.rs:
+crates/pim/src/softfloat.rs:
+crates/pim/src/stats.rs:
+crates/pim/src/xfer.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/swiftrl_rl-00d866ae14555b7c.d: /root/repo/clippy.toml crates/rl/src/lib.rs crates/rl/src/eval.rs crates/rl/src/fixed.rs crates/rl/src/io.rs crates/rl/src/online.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rng.rs crates/rl/src/sampling.rs crates/rl/src/sarsa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswiftrl_rl-00d866ae14555b7c.rmeta: /root/repo/clippy.toml crates/rl/src/lib.rs crates/rl/src/eval.rs crates/rl/src/fixed.rs crates/rl/src/io.rs crates/rl/src/online.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rng.rs crates/rl/src/sampling.rs crates/rl/src/sarsa.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/rl/src/lib.rs:
+crates/rl/src/eval.rs:
+crates/rl/src/fixed.rs:
+crates/rl/src/io.rs:
+crates/rl/src/online.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/qlearning.rs:
+crates/rl/src/qtable.rs:
+crates/rl/src/rng.rs:
+crates/rl/src/sampling.rs:
+crates/rl/src/sarsa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/swiftrl_rl-6eadcaafadcc48d1.d: crates/rl/src/lib.rs crates/rl/src/eval.rs crates/rl/src/fixed.rs crates/rl/src/io.rs crates/rl/src/online.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rng.rs crates/rl/src/sampling.rs crates/rl/src/sarsa.rs
+
+/root/repo/target/debug/deps/libswiftrl_rl-6eadcaafadcc48d1.rlib: crates/rl/src/lib.rs crates/rl/src/eval.rs crates/rl/src/fixed.rs crates/rl/src/io.rs crates/rl/src/online.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rng.rs crates/rl/src/sampling.rs crates/rl/src/sarsa.rs
+
+/root/repo/target/debug/deps/libswiftrl_rl-6eadcaafadcc48d1.rmeta: crates/rl/src/lib.rs crates/rl/src/eval.rs crates/rl/src/fixed.rs crates/rl/src/io.rs crates/rl/src/online.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rng.rs crates/rl/src/sampling.rs crates/rl/src/sarsa.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/eval.rs:
+crates/rl/src/fixed.rs:
+crates/rl/src/io.rs:
+crates/rl/src/online.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/qlearning.rs:
+crates/rl/src/qtable.rs:
+crates/rl/src/rng.rs:
+crates/rl/src/sampling.rs:
+crates/rl/src/sarsa.rs:

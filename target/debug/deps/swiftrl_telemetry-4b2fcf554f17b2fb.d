@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/swiftrl_telemetry-4b2fcf554f17b2fb.d: /root/repo/clippy.toml crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswiftrl_telemetry-4b2fcf554f17b2fb.rmeta: /root/repo/clippy.toml crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swiftrl_telemetry-c7e0440061c548cc.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/swiftrl_telemetry-c7e0440061c548cc: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/trace.rs:

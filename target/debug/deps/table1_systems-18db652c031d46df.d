@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_systems-18db652c031d46df.d: crates/bench/src/bin/table1_systems.rs
+
+/root/repo/target/debug/deps/table1_systems-18db652c031d46df: crates/bench/src/bin/table1_systems.rs
+
+crates/bench/src/bin/table1_systems.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table1_systems-7da00ce25aef6719.d: /root/repo/clippy.toml crates/bench/src/bin/table1_systems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_systems-7da00ce25aef6719.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table1_systems.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table1_systems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

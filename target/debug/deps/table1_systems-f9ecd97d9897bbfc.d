@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_systems-f9ecd97d9897bbfc.d: crates/bench/src/bin/table1_systems.rs
+
+/root/repo/target/debug/deps/table1_systems-f9ecd97d9897bbfc: crates/bench/src/bin/table1_systems.rs
+
+crates/bench/src/bin/table1_systems.rs:

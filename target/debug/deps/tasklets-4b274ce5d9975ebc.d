@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tasklets-4b274ce5d9975ebc.d: tests/tasklets.rs
+
+/root/repo/target/debug/deps/tasklets-4b274ce5d9975ebc: tests/tasklets.rs
+
+tests/tasklets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tasklets-92467db87afccc1c.d: tests/tasklets.rs
+
+/root/repo/target/debug/deps/tasklets-92467db87afccc1c: tests/tasklets.rs
+
+tests/tasklets.rs:

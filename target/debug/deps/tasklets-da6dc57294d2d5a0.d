@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tasklets-da6dc57294d2d5a0.d: /root/repo/clippy.toml tests/tasklets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtasklets-da6dc57294d2d5a0.rmeta: /root/repo/clippy.toml tests/tasklets.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/tasklets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-16a6cd009978cf0b.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-16a6cd009978cf0b: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-6d332e7a6f9139b3.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-6d332e7a6f9139b3: tests/telemetry.rs
+
+tests/telemetry.rs:

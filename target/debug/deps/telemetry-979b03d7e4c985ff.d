@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/telemetry-979b03d7e4c985ff.d: /root/repo/clippy.toml tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-979b03d7e4c985ff.rmeta: /root/repo/clippy.toml tests/telemetry.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

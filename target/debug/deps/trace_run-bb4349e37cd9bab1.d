@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_run-bb4349e37cd9bab1.d: crates/bench/src/bin/trace_run.rs
+
+/root/repo/target/debug/deps/trace_run-bb4349e37cd9bab1: crates/bench/src/bin/trace_run.rs
+
+crates/bench/src/bin/trace_run.rs:

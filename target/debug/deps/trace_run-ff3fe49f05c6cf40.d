@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_run-ff3fe49f05c6cf40.d: crates/bench/src/bin/trace_run.rs
+
+/root/repo/target/debug/deps/trace_run-ff3fe49f05c6cf40: crates/bench/src/bin/trace_run.rs
+
+crates/bench/src/bin/trace_run.rs:

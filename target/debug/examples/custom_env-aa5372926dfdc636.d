@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_env-aa5372926dfdc636.d: examples/custom_env.rs
+
+/root/repo/target/debug/examples/custom_env-aa5372926dfdc636: examples/custom_env.rs
+
+examples/custom_env.rs:

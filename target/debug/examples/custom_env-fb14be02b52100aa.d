@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/custom_env-fb14be02b52100aa.d: /root/repo/clippy.toml examples/custom_env.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_env-fb14be02b52100aa.rmeta: /root/repo/clippy.toml examples/custom_env.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/custom_env.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

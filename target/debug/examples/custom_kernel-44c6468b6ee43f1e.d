@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/custom_kernel-44c6468b6ee43f1e.d: /root/repo/clippy.toml examples/custom_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_kernel-44c6468b6ee43f1e.rmeta: /root/repo/clippy.toml examples/custom_kernel.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/custom_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

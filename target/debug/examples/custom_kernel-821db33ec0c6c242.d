@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-821db33ec0c6c242.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-821db33ec0c6c242: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

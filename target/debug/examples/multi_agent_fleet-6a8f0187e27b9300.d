@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_agent_fleet-6a8f0187e27b9300.d: examples/multi_agent_fleet.rs
+
+/root/repo/target/debug/examples/multi_agent_fleet-6a8f0187e27b9300: examples/multi_agent_fleet.rs
+
+examples/multi_agent_fleet.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/multi_agent_fleet-f8af4240d1f6588d.d: /root/repo/clippy.toml examples/multi_agent_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_agent_fleet-f8af4240d1f6588d.rmeta: /root/repo/clippy.toml examples/multi_agent_fleet.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/multi_agent_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

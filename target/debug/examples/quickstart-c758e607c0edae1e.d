@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c758e607c0edae1e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c758e607c0edae1e: examples/quickstart.rs
+
+examples/quickstart.rs:

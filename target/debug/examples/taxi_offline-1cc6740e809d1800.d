@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/taxi_offline-1cc6740e809d1800.d: examples/taxi_offline.rs
+
+/root/repo/target/debug/examples/taxi_offline-1cc6740e809d1800: examples/taxi_offline.rs
+
+examples/taxi_offline.rs:

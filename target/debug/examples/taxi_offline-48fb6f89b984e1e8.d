@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/taxi_offline-48fb6f89b984e1e8.d: /root/repo/clippy.toml examples/taxi_offline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtaxi_offline-48fb6f89b984e1e8.rmeta: /root/repo/clippy.toml examples/taxi_offline.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/taxi_offline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/artifact_compat-e33b45617023a84d.d: tests/artifact_compat.rs
+
+/root/repo/target/release/deps/artifact_compat-e33b45617023a84d: tests/artifact_compat.rs
+
+tests/artifact_compat.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

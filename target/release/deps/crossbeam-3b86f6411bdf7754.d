@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-3b86f6411bdf7754.d: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-3b86f6411bdf7754.rlib: target/_stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-3b86f6411bdf7754.rmeta: target/_stubs/crossbeam/src/lib.rs
+
+target/_stubs/crossbeam/src/lib.rs:

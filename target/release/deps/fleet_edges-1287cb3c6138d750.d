@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_edges-1287cb3c6138d750.d: tests/fleet_edges.rs
+
+/root/repo/target/release/deps/fleet_edges-1287cb3c6138d750: tests/fleet_edges.rs
+
+tests/fleet_edges.rs:

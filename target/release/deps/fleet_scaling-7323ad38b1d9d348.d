@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_scaling-7323ad38b1d9d348.d: crates/bench/src/bin/fleet_scaling.rs
+
+/root/repo/target/release/deps/fleet_scaling-7323ad38b1d9d348: crates/bench/src/bin/fleet_scaling.rs
+
+crates/bench/src/bin/fleet_scaling.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-4ec1ef9d9a4669ef.d: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-4ec1ef9d9a4669ef.rlib: target/_stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-4ec1ef9d9a4669ef.rmeta: target/_stubs/parking_lot/src/lib.rs
+
+target/_stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-bcaaa97cea0e9f18.d: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bcaaa97cea0e9f18.rlib: target/_stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bcaaa97cea0e9f18.rmeta: target/_stubs/proptest/src/lib.rs
+
+target/_stubs/proptest/src/lib.rs:

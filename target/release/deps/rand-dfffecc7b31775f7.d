@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-dfffecc7b31775f7.d: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dfffecc7b31775f7.rlib: target/_stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dfffecc7b31775f7.rmeta: target/_stubs/rand/src/lib.rs
+
+target/_stubs/rand/src/lib.rs:

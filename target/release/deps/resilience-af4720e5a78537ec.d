@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-af4720e5a78537ec.d: tests/resilience.rs
+
+/root/repo/target/release/deps/resilience-af4720e5a78537ec: tests/resilience.rs
+
+tests/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-ed1c8b44d8d2c7e4.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/release/deps/resilience-ed1c8b44d8d2c7e4: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-a3b75aabaaa95044.d: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a3b75aabaaa95044.rlib: target/_stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a3b75aabaaa95044.rmeta: target/_stubs/serde/src/lib.rs
+
+target/_stubs/serde/src/lib.rs:

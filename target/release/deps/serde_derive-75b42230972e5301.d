@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-75b42230972e5301.d: target/_stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-75b42230972e5301.so: target/_stubs/serde_derive/src/lib.rs
+
+target/_stubs/serde_derive/src/lib.rs:

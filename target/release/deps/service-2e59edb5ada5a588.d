@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service-2e59edb5ada5a588.d: tests/service.rs
+
+/root/repo/target/release/deps/service-2e59edb5ada5a588: tests/service.rs
+
+tests/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_throughput-a828b6764712c126.d: crates/bench/src/bin/service_throughput.rs
+
+/root/repo/target/release/deps/service_throughput-a828b6764712c126: crates/bench/src/bin/service_throughput.rs
+
+crates/bench/src/bin/service_throughput.rs:

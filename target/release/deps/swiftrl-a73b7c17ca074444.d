@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swiftrl-a73b7c17ca074444.d: src/lib.rs
+
+/root/repo/target/release/deps/libswiftrl-a73b7c17ca074444.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libswiftrl-a73b7c17ca074444.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/swiftrl_analysis-0a520126da7c0213.d: crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs
+
+/root/repo/target/release/deps/libswiftrl_analysis-0a520126da7c0213.rlib: crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs
+
+/root/repo/target/release/deps/libswiftrl_analysis-0a520126da7c0213.rmeta: crates/analysis/src/lib.rs crates/analysis/src/budget.rs crates/analysis/src/callgraph.rs crates/analysis/src/parse.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/scanner.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/budget.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/parse.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/rules.rs:
+crates/analysis/src/scanner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/swiftrl_baselines-ad5ed44bc865249c.d: crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs
+
+/root/repo/target/release/deps/libswiftrl_baselines-ad5ed44bc865249c.rlib: crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs
+
+/root/repo/target/release/deps/libswiftrl_baselines-ad5ed44bc865249c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cpu_exec.rs crates/baselines/src/cpu_model.rs crates/baselines/src/energy.rs crates/baselines/src/gpu_model.rs crates/baselines/src/roofline.rs crates/baselines/src/specs.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu_exec.rs:
+crates/baselines/src/cpu_model.rs:
+crates/baselines/src/energy.rs:
+crates/baselines/src/gpu_model.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/specs.rs:

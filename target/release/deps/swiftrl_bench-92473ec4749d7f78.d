@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/swiftrl_bench-92473ec4749d7f78.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/release/deps/libswiftrl_bench-92473ec4749d7f78.rlib: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/release/deps/libswiftrl_bench-92473ec4749d7f78.rmeta: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/swiftrl_core-24081e9ac99901e7.d: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/breakdown.rs crates/core/src/config.rs crates/core/src/kernels.rs crates/core/src/layout.rs crates/core/src/multi_agent.rs crates/core/src/partition.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/service.rs
+
+/root/repo/target/release/deps/libswiftrl_core-24081e9ac99901e7.rlib: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/breakdown.rs crates/core/src/config.rs crates/core/src/kernels.rs crates/core/src/layout.rs crates/core/src/multi_agent.rs crates/core/src/partition.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/service.rs
+
+/root/repo/target/release/deps/libswiftrl_core-24081e9ac99901e7.rmeta: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/breakdown.rs crates/core/src/config.rs crates/core/src/kernels.rs crates/core/src/layout.rs crates/core/src/multi_agent.rs crates/core/src/partition.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/service.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backend.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/config.rs:
+crates/core/src/kernels.rs:
+crates/core/src/layout.rs:
+crates/core/src/multi_agent.rs:
+crates/core/src/partition.rs:
+crates/core/src/resilience.rs:
+crates/core/src/runner.rs:
+crates/core/src/service.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/swiftrl_env-c537da0ac748a1e3.d: crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs
+
+/root/repo/target/release/deps/libswiftrl_env-c537da0ac748a1e3.rlib: crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs
+
+/root/repo/target/release/deps/libswiftrl_env-c537da0ac748a1e3.rmeta: crates/env/src/lib.rs crates/env/src/cliff_walking.rs crates/env/src/collect.rs crates/env/src/dataset.rs crates/env/src/env.rs crates/env/src/frozen_lake.rs crates/env/src/taxi.rs
+
+crates/env/src/lib.rs:
+crates/env/src/cliff_walking.rs:
+crates/env/src/collect.rs:
+crates/env/src/dataset.rs:
+crates/env/src/env.rs:
+crates/env/src/frozen_lake.rs:
+crates/env/src/taxi.rs:

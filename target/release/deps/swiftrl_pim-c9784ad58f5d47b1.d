@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/swiftrl_pim-c9784ad58f5d47b1.d: crates/pim/src/lib.rs crates/pim/src/arena.rs crates/pim/src/config.rs crates/pim/src/cost.rs crates/pim/src/dpu.rs crates/pim/src/emul.rs crates/pim/src/engine.rs crates/pim/src/fastpath.rs crates/pim/src/faults.rs crates/pim/src/host.rs crates/pim/src/kernel.rs crates/pim/src/memory.rs crates/pim/src/report.rs crates/pim/src/sanitize.rs crates/pim/src/softfloat.rs crates/pim/src/stats.rs crates/pim/src/xfer.rs
+
+/root/repo/target/release/deps/libswiftrl_pim-c9784ad58f5d47b1.rlib: crates/pim/src/lib.rs crates/pim/src/arena.rs crates/pim/src/config.rs crates/pim/src/cost.rs crates/pim/src/dpu.rs crates/pim/src/emul.rs crates/pim/src/engine.rs crates/pim/src/fastpath.rs crates/pim/src/faults.rs crates/pim/src/host.rs crates/pim/src/kernel.rs crates/pim/src/memory.rs crates/pim/src/report.rs crates/pim/src/sanitize.rs crates/pim/src/softfloat.rs crates/pim/src/stats.rs crates/pim/src/xfer.rs
+
+/root/repo/target/release/deps/libswiftrl_pim-c9784ad58f5d47b1.rmeta: crates/pim/src/lib.rs crates/pim/src/arena.rs crates/pim/src/config.rs crates/pim/src/cost.rs crates/pim/src/dpu.rs crates/pim/src/emul.rs crates/pim/src/engine.rs crates/pim/src/fastpath.rs crates/pim/src/faults.rs crates/pim/src/host.rs crates/pim/src/kernel.rs crates/pim/src/memory.rs crates/pim/src/report.rs crates/pim/src/sanitize.rs crates/pim/src/softfloat.rs crates/pim/src/stats.rs crates/pim/src/xfer.rs
+
+crates/pim/src/lib.rs:
+crates/pim/src/arena.rs:
+crates/pim/src/config.rs:
+crates/pim/src/cost.rs:
+crates/pim/src/dpu.rs:
+crates/pim/src/emul.rs:
+crates/pim/src/engine.rs:
+crates/pim/src/fastpath.rs:
+crates/pim/src/faults.rs:
+crates/pim/src/host.rs:
+crates/pim/src/kernel.rs:
+crates/pim/src/memory.rs:
+crates/pim/src/report.rs:
+crates/pim/src/sanitize.rs:
+crates/pim/src/softfloat.rs:
+crates/pim/src/stats.rs:
+crates/pim/src/xfer.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/swiftrl_rl-bf85d436af2fc867.d: crates/rl/src/lib.rs crates/rl/src/eval.rs crates/rl/src/fixed.rs crates/rl/src/io.rs crates/rl/src/online.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rng.rs crates/rl/src/sampling.rs crates/rl/src/sarsa.rs
+
+/root/repo/target/release/deps/libswiftrl_rl-bf85d436af2fc867.rlib: crates/rl/src/lib.rs crates/rl/src/eval.rs crates/rl/src/fixed.rs crates/rl/src/io.rs crates/rl/src/online.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rng.rs crates/rl/src/sampling.rs crates/rl/src/sarsa.rs
+
+/root/repo/target/release/deps/libswiftrl_rl-bf85d436af2fc867.rmeta: crates/rl/src/lib.rs crates/rl/src/eval.rs crates/rl/src/fixed.rs crates/rl/src/io.rs crates/rl/src/online.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rng.rs crates/rl/src/sampling.rs crates/rl/src/sarsa.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/eval.rs:
+crates/rl/src/fixed.rs:
+crates/rl/src/io.rs:
+crates/rl/src/online.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/qlearning.rs:
+crates/rl/src/qtable.rs:
+crates/rl/src/rng.rs:
+crates/rl/src/sampling.rs:
+crates/rl/src/sarsa.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swiftrl_telemetry-758c086f77bd5d8d.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libswiftrl_telemetry-758c086f77bd5d8d.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libswiftrl_telemetry-758c086f77bd5d8d.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/trace.rs:
