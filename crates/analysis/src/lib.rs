@@ -30,7 +30,10 @@
 //! fault-plan access, **K007** no direct `softfloat`/`emul`/`fastpath`
 //! calls, **K008** no telemetry emission (K005–K008 all over the
 //! kernel-reachable set), **K009/K010** declared WRAM/MRAM regions fit
-//! their capacities and never overlap, **D001–D003** host-side determinism
+//! their capacities and never overlap, **K011** no batched-tier access
+//! (`batch::`, `BatchContext`, `run_batched`) from kernel-reachable code —
+//! the fused sweep is host-side and kernels may only advertise it via
+//! `Kernel::batch`, **D001–D003** host-side determinism
 //! (no hashed iteration, ambient time/entropy, or `std::env` in scoped
 //! library code), **W001** no `unwrap`/`expect` in library code.
 

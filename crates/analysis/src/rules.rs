@@ -8,7 +8,7 @@
 //! contents are opaque, so violations quoted inside strings (e.g. in this
 //! file's own tests) never trip the analyzer.
 //!
-//! Kernel rules (K001/K002/K005–K008) are enforced over the set of
+//! Kernel rules (K001/K002/K005–K008/K011) are enforced over the set of
 //! functions *transitively reachable* from kernel entry points
 //! ([`crate::callgraph`]), not over syntactic regions: a helper three calls
 //! away from `SwiftRlKernel::run` is held to the same discipline as the
@@ -31,7 +31,7 @@ pub struct Finding {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: u32,
-    /// Stable rule ID (`K001`..`K010`, `D001`..`D003`, `W001`).
+    /// Stable rule ID (`K001`..`K011`, `D001`..`D003`, `W001`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -299,6 +299,36 @@ clean: `MRAM_Q_TABLE_OFFSET = MRAM_HEADER_BYTES`.",
 end at or below MRAM_BANK_CAPACITY_BYTES",
     },
     RuleInfo {
+        id: "K011",
+        title: "no batched-tier access in kernel-reachable code",
+        severity: Severity::Error,
+        scope: "functions reachable from kernel entry points",
+        explain: "Kernel-reachable code must not reach into the batched \
+execution tier (`pim::batch`, `BatchContext`, `run_batched`). The batched \
+tier is a *host-side* fusion of the per-transition update loop: the host \
+proves preflight eligibility, runs the fused sweep, and charges a \
+closed-form aggregate cycle tally. A per-transition kernel that calls into \
+the batch layer would nest host-aggregate charging inside per-intrinsic \
+charging — double-counting cycles — and would let the interpreted path \
+observe host buffers the real DPU never sees. The only legal seam is \
+`Kernel::batch()` *advertising* a `BatchKernel` implementation for the \
+platform to invoke; the fused sweep itself runs from `Dpu::execute`, never \
+from kernel code.",
+        example: "violation:\n\
+    impl Kernel for Fused {\n\
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {\n\
+            let plan = batch::plan(ctx);     // <- K011\n\
+            self.run_batched(&mut bctx);     // <- K011\n\
+            Ok(())\n\
+        }\n\
+    }\n\
+clean: `fn batch(&self) -> Option<&dyn BatchKernel> { Some(self) }` — \
+advertising eligibility only; the platform invokes the fused sweep.",
+        fix_hint: "keep the fused sweep host-side: implement `BatchKernel` \
+in a separate impl block and advertise it via `Kernel::batch`; the \
+per-transition `run` path must stay pure charged-intrinsic code",
+    },
+    RuleInfo {
         id: "D001",
         title: "no HashMap/HashSet in determinism-scoped library code",
         severity: Severity::Warning,
@@ -389,7 +419,7 @@ pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
 }
 
 // ---------------------------------------------------------------------------
-// Kernel-reachable token discipline (K001, K002, K005, K006, K007, K008)
+// Kernel-reachable token discipline (K001, K002, K005–K008, K011)
 // ---------------------------------------------------------------------------
 
 const K002_ALLOC: &[&str] = &[
@@ -402,10 +432,16 @@ const K005_THREADING: &[&str] = &["thread", "spawn", "crossbeam", "rayon"];
 const K006_FAULTS: &[&str] = &["FaultPlan", "faults"];
 const K007_ARITH: &[&str] = &["softfloat", "emul", "fastpath"];
 const K008_TELEMETRY: &[&str] = &["telemetry", "Telemetry", "emit"];
+// `BatchKernel` is deliberately absent: `Kernel::batch` must *name* the
+// trait in its `Option<&dyn BatchKernel>` signature to advertise the fused
+// path, and that advertisement is the one legal seam. The bare ident
+// `batch` is gated on a following `::` so the advertising method's own
+// name never trips the rule.
+const K011_BATCH: &[&str] = &["BatchContext", "run_batched"];
 
 /// Scans one kernel-reachable function (signature + body tokens) and emits
-/// K001/K002/K005–K008 findings, each suffixed with the call-chain witness
-/// when the function is not itself an entry point.
+/// K001/K002/K005–K008/K011 findings, each suffixed with the call-chain
+/// witness when the function is not itself an entry point.
 fn scan_kernel_fn(
     file: &Path,
     tokens: &[Token<'_>],
@@ -485,6 +521,30 @@ fn scan_kernel_fn(
                     t.text
                 ),
             ),
+            TokenKind::Ident if K011_BATCH.contains(&t.text) => push(
+                t.line,
+                "K011",
+                format!(
+                    "`{}` in kernel body (batched-tier access); the fused \
+                     sweep is host-side — kernels may only advertise a \
+                     `BatchKernel` impl via `Kernel::batch`",
+                    t.text
+                ),
+            ),
+            TokenKind::Ident
+                if t.text == "batch"
+                    && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(k + 2).is_some_and(|n| n.is_punct(':')) =>
+            {
+                push(
+                    t.line,
+                    "K011",
+                    "`batch::` path in kernel body (batched-tier access); \
+                     the fused sweep is host-side — kernels may only \
+                     advertise a `BatchKernel` impl via `Kernel::batch`"
+                        .to_string(),
+                )
+            }
             TokenKind::Ident => {
                 let reason = if K002_ALLOC.contains(&t.text) {
                     Some("heap allocation")
@@ -1179,6 +1239,34 @@ mod tests {
     }
 
     #[test]
+    fn k011_flags_batched_tier_access_in_kernels_only() {
+        let src = r#"
+            impl Kernel for Fusing {
+                fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                    let plan = batch::granule_plan(8);
+                    let w = BatchContext::wram_len(plan);
+                    self.run_batched(w);
+                    Ok(())
+                }
+                fn batch(&self) -> Option<&dyn BatchKernel> {
+                    Some(self)
+                }
+            }
+            fn host_side(b: &mut BatchContext<'_>) -> bool {
+                batch::granule_plan(8) == b.run_batched_granule()
+            }
+        "#;
+        let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
+        let k011: Vec<_> = findings.iter().filter(|f| f.rule == "K011").collect();
+        // batch::, BatchContext, run_batched — inside `run` only; the
+        // advertising `Kernel::batch` method and the host-side helper
+        // below the impl are clean.
+        assert_eq!(k011.len(), 3, "{findings:?}");
+        assert!(k011.iter().all(|f| f.line <= 7), "{k011:?}");
+        assert!(k011[0].message.contains("batch::"), "{k011:?}");
+    }
+
+    #[test]
     fn k004_flags_misaligned_layout_constant() {
         let src = r#"
             pub const HEADER_BYTES: usize = 64;
@@ -1381,7 +1469,7 @@ mod tests {
             ids,
             [
                 "K001", "K002", "K003", "K004", "K005", "K006", "K007", "K008", "K009", "K010",
-                "D001", "D002", "D003", "W001"
+                "K011", "D001", "D002", "D003", "W001"
             ]
         );
         for r in RULES {

@@ -2,11 +2,13 @@
 //!
 //! Sweeps the DPU count from the smallest figure point (125) through
 //! the paper's 2,524-DPU fleet and one past-paper point (4,096),
-//! recording for each point the host wall-clock of a fixed workload,
-//! the simulated time breakdown, and the *peak materialized bank
-//! bytes* — the number that lazy bank segments keep small while an
-//! eager fleet would pin `dpus × 64 MiB` up front. Results land in
-//! `BENCH_FLEET_SCALING.json` in the current directory.
+//! recording for each point the host wall-clock of a fixed workload
+//! under the fast and batched execution tiers (asserted bit- and
+//! cycle-identical at every size), the simulated time breakdown, and
+//! the *peak materialized bank bytes* — the number that lazy bank
+//! segments keep small while an eager fleet would pin `dpus × 64 MiB`
+//! up front. Results land in `BENCH_FLEET_SCALING.json` in the current
+//! directory.
 //!
 //! ```text
 //! cargo run --release -p swiftrl-bench --bin fleet_scaling
@@ -71,23 +73,40 @@ fn main() {
             .with_dpus(dpus)
             .with_episodes(episodes)
             .with_tau(tau);
-        let platform = PimConfig::builder()
-            .dpus(dpus)
-            .arith_tier(ArithTier::Fast)
-            .engine(ExecutionEngine::WorkStealing { workers })
-            .build();
-        let ranks = platform.ranks_for(dpus);
-        let runner = PimRunner::with_platform(spec, cfg, platform).expect("runner");
-        let start = Instant::now();
-        let out = runner.run(&dataset).expect("run");
-        let host_wall_s = start.elapsed().as_secs_f64();
+        let run_tier = |tier| {
+            let platform = PimConfig::builder()
+                .dpus(dpus)
+                .arith_tier(tier)
+                .engine(ExecutionEngine::WorkStealing { workers })
+                .build();
+            let runner = PimRunner::with_platform(spec, cfg, platform).expect("runner");
+            let start = Instant::now();
+            let out = runner.run(&dataset).expect("run");
+            (out, start.elapsed().as_secs_f64())
+        };
+        let (out, host_wall_s) = run_tier(ArithTier::Fast);
+        let (batched_out, host_wall_batched_s) = run_tier(ArithTier::Batched);
+        // The tier contract at every fleet size: same bits, same cycles.
+        assert_eq!(
+            out.q_table.to_bytes(),
+            batched_out.q_table.to_bytes(),
+            "{dpus} DPUs: Q-tables diverged between fast and batched tiers"
+        );
+        assert_eq!(
+            out.breakdown, batched_out.breakdown,
+            "{dpus} DPUs: breakdowns diverged between fast and batched tiers"
+        );
 
+        let platform = PimConfig::builder().dpus(dpus).build();
+        let ranks = platform.ranks_for(dpus);
         let eager_bank_bytes = (dpus as u64) * (MRAM_BANK_CAPACITY_BYTES as u64);
         let lazy_fraction = out.memory.bank_peak_bytes as f64 / eager_bank_bytes as f64;
         rows.push(vec![
             dpus.to_string(),
             ranks.to_string(),
             swiftrl_bench::fmt_secs(host_wall_s),
+            swiftrl_bench::fmt_secs(host_wall_batched_s),
+            swiftrl_bench::fmt_ratio(host_wall_s / host_wall_batched_s),
             swiftrl_bench::fmt_secs(out.breakdown.pim_kernel_s),
             swiftrl_bench::fmt_secs(out.breakdown.total_seconds()),
             format!("{:.1} MiB", out.memory.bank_peak_bytes as f64 / (1u64 << 20) as f64),
@@ -99,6 +118,11 @@ fn main() {
             ("ranks", Json::UInt(ranks as u64)),
             ("workload", Json::str(spec.to_string())),
             ("host_wall_s", Json::Num(host_wall_s)),
+            ("host_wall_batched_s", Json::Num(host_wall_batched_s)),
+            (
+                "end_to_end_batched_over_fast",
+                swiftrl_bench::ratio_json(host_wall_s, host_wall_batched_s),
+            ),
             ("sim_kernel_s", Json::Num(out.breakdown.pim_kernel_s)),
             ("sim_total_s", Json::Num(out.breakdown.total_seconds())),
             ("bank_peak_bytes", Json::UInt(out.memory.bank_peak_bytes)),
@@ -117,7 +141,9 @@ fn main() {
         &[
             "DPUs",
             "Ranks",
-            "Host wall",
+            "Fast wall",
+            "Batched wall",
+            "Batched/fast",
             "Sim kernel",
             "Sim total",
             "Peak bank",

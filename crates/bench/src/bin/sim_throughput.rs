@@ -1,12 +1,14 @@
 //! Simulator throughput: host wall-clock cost per simulated kernel-second
-//! under the reference (instrumented soft-float) and fast (host-native
-//! arithmetic, closed-form cycle tallies) tiers, across FrozenLake and
-//! Taxi workload variants.
+//! under the reference (instrumented soft-float), fast (host-native
+//! arithmetic, per-intrinsic charges) and batched (fused per-launch
+//! sweep, aggregate charges) execution tiers, across FrozenLake and Taxi
+//! workload variants.
 //!
-//! Both tiers produce bit-identical Q-tables and cycle totals (enforced
+//! All tiers produce bit-identical Q-tables and cycle totals (enforced
 //! here and proven in `tests/fastpath_parity.rs`); the only difference is
-//! how fast the host gets there. Results land in
-//! `BENCH_SIM_THROUGHPUT.json` in the current directory.
+//! how fast the host gets there. A final fleet-scale sweep runs the
+//! paper's 2,524-DPU configuration under the fast and batched tiers.
+//! Results land in `BENCH_SIM_THROUGHPUT.json` in the current directory.
 //!
 //! ```text
 //! cargo run --release -p swiftrl-bench --bin sim_throughput
@@ -22,8 +24,11 @@ use swiftrl_env::collect::collect_random;
 use swiftrl_env::frozen_lake::FrozenLake;
 use swiftrl_env::taxi::Taxi;
 use swiftrl_env::ExperienceDataset;
-use swiftrl_pim::config::{ArithTier, PimConfig};
+use swiftrl_pim::config::{ExecTier, PimConfig};
 use swiftrl_telemetry::Json;
+
+/// The paper platform's DPU count, for the fleet-scale sweep.
+const FLEET_DPUS: usize = 2_524;
 
 /// One (environment, workload) point of the sweep.
 struct Case {
@@ -36,7 +41,7 @@ struct Case {
 
 /// One tier's measurement for a case.
 struct Measurement {
-    tier: ArithTier,
+    tier: ExecTier,
     wall_s: f64,
     kernel_wall_s: f64,
     sim_kernel_s: f64,
@@ -44,17 +49,18 @@ struct Measurement {
     q_bytes: Vec<u8>,
 }
 
-fn tier_name(tier: ArithTier) -> &'static str {
+fn tier_name(tier: ExecTier) -> &'static str {
     match tier {
-        ArithTier::Reference => "reference",
-        ArithTier::Fast => "fast",
+        ExecTier::Reference => "reference",
+        ExecTier::Fast => "fast",
+        ExecTier::Batched => "batched",
     }
 }
 
-fn run_tier(case: &Case, tier: ArithTier, repeats: usize) -> Measurement {
+fn run_tier(case: &Case, tier: ExecTier, repeats: usize) -> Measurement {
     let platform = PimConfig::builder()
         .dpus(case.cfg.dpus)
-        .arith_tier(tier)
+        .exec_tier(tier)
         .build();
     let runner = PimRunner::with_platform(case.spec, case.cfg, platform).expect("runner");
     let mut best_wall = f64::INFINITY;
@@ -78,6 +84,57 @@ fn run_tier(case: &Case, tier: ArithTier, repeats: usize) -> Measurement {
     }
 }
 
+/// Asserts the tier-identity contract between a reference measurement and
+/// a faster tier: same bytes, same simulated cycles.
+fn assert_identical(case: &Case, want: &Measurement, got: &Measurement) {
+    assert_eq!(
+        want.q_bytes,
+        got.q_bytes,
+        "{} {}: Q-table bytes diverged between {} and {} tiers",
+        case.env,
+        case.spec,
+        tier_name(want.tier),
+        tier_name(got.tier)
+    );
+    assert_eq!(
+        want.sim_kernel_s,
+        got.sim_kernel_s,
+        "{} {}: simulated kernel seconds diverged between {} and {} tiers",
+        case.env,
+        case.spec,
+        tier_name(want.tier),
+        tier_name(got.tier)
+    );
+    assert_eq!(
+        want.sim_total_s,
+        got.sim_total_s,
+        "{} {}: simulated total seconds diverged between {} and {} tiers",
+        case.env,
+        case.spec,
+        tier_name(want.tier),
+        tier_name(got.tier)
+    );
+}
+
+fn entry_json(case: &Case, dpus: usize, m: &Measurement) -> Json {
+    Json::obj([
+        ("env", Json::str(case.env)),
+        ("figure", Json::str(case.figure)),
+        ("workload", Json::str(case.spec.to_string())),
+        ("tier", Json::str(tier_name(m.tier))),
+        ("dpus", Json::UInt(dpus as u64)),
+        ("host_kernel_wall_s", Json::Num(m.kernel_wall_s)),
+        ("host_wall_s", Json::Num(m.wall_s)),
+        ("sim_kernel_s", Json::Num(m.sim_kernel_s)),
+        (
+            "host_kernel_wall_per_sim_kernel_s",
+            // `null` when the modelled kernel time is zero (a degenerate
+            // run): the artifact must never carry a non-finite number.
+            swiftrl_bench::ratio_json(m.kernel_wall_s, m.sim_kernel_s),
+        ),
+    ])
+}
+
 fn main() {
     let mut quick = false;
     for arg in std::env::args().skip(1) {
@@ -95,7 +152,7 @@ fn main() {
     }
 
     // Best-of-N wall clock per tier: on a busy host only the cleanest
-    // run reflects the simulator's cost, and both tiers get the same
+    // run reflects the simulator's cost, and every tier gets the same
     // treatment. `--quick` covers the Q-learner SEQ variants only; the
     // full sweep runs every paper variant, because the fig5/fig7 kernel
     // phase is the sum over all twelve.
@@ -144,7 +201,7 @@ fn main() {
         }
     }
 
-    println!("# Simulator throughput: reference vs fast arithmetic tier\n");
+    println!("# Simulator throughput: reference vs fast vs batched execution tier\n");
     println!(
         "{} transitions, {episodes} episodes, tau {tau}, {dpus} DPUs{}\n",
         transitions,
@@ -154,82 +211,84 @@ fn main() {
     let mut rows = Vec::new();
     let mut entries = Vec::new();
     let mut speedups = Vec::new();
-    // figure -> (ref kernel, fast kernel, ref wall, fast wall) sums.
-    let mut phase_sums: Vec<(&str, &str, f64, f64, f64, f64)> = Vec::new();
+    // figure -> (ref kernel, fast kernel, batched kernel,
+    //            ref wall, fast wall, batched wall) sums.
+    struct PhaseSum {
+        env: &'static str,
+        figure: &'static str,
+        ref_kernel: f64,
+        fast_kernel: f64,
+        batched_kernel: f64,
+        ref_wall: f64,
+        fast_wall: f64,
+        batched_wall: f64,
+    }
+    let mut phase_sums: Vec<PhaseSum> = Vec::new();
     for case in &cases {
-        let reference = run_tier(case, ArithTier::Reference, repeats);
-        let fast = run_tier(case, ArithTier::Fast, repeats);
-        // The contract the speedup rests on: same bits, same cycles.
-        assert_eq!(
-            reference.q_bytes, fast.q_bytes,
-            "{} {}: Q-table bytes diverged between tiers",
-            case.env,
-            case.spec
-        );
-        assert_eq!(
-            reference.sim_kernel_s, fast.sim_kernel_s,
-            "{} {}: simulated kernel seconds diverged between tiers",
-            case.env,
-            case.spec
-        );
-        assert_eq!(
-            reference.sim_total_s, fast.sim_total_s,
-            "{} {}: simulated total seconds diverged between tiers",
-            case.env,
-            case.spec
-        );
+        let reference = run_tier(case, ExecTier::Reference, repeats);
+        let fast = run_tier(case, ExecTier::Fast, repeats);
+        let batched = run_tier(case, ExecTier::Batched, repeats);
+        // The contract the speedups rest on: same bits, same cycles.
+        assert_identical(case, &reference, &fast);
+        assert_identical(case, &reference, &batched);
         let kernel_speedup = reference.kernel_wall_s / fast.kernel_wall_s;
-        let total_speedup = reference.wall_s / fast.wall_s;
+        let batched_over_fast = fast.kernel_wall_s / batched.kernel_wall_s;
         rows.push(vec![
             format!("{} ({})", case.env, case.figure),
             case.spec.to_string(),
             swiftrl_bench::fmt_secs(reference.kernel_wall_s),
             swiftrl_bench::fmt_secs(fast.kernel_wall_s),
+            swiftrl_bench::fmt_secs(batched.kernel_wall_s),
             swiftrl_bench::fmt_ratio(kernel_speedup),
-            swiftrl_bench::fmt_secs(reference.wall_s),
-            swiftrl_bench::fmt_secs(fast.wall_s),
-            swiftrl_bench::fmt_ratio(total_speedup),
+            swiftrl_bench::fmt_ratio(batched_over_fast),
         ]);
-        for m in [&reference, &fast] {
-            entries.push(Json::obj([
-                ("env", Json::str(case.env)),
-                ("figure", Json::str(case.figure)),
-                ("workload", Json::str(case.spec.to_string())),
-                ("tier", Json::str(tier_name(m.tier))),
-                ("host_kernel_wall_s", Json::Num(m.kernel_wall_s)),
-                ("host_wall_s", Json::Num(m.wall_s)),
-                ("sim_kernel_s", Json::Num(m.sim_kernel_s)),
-                (
-                    "host_kernel_wall_per_sim_kernel_s",
-                    // `null` when the modelled kernel time is zero (a
-                    // degenerate run): the artifact must never carry a
-                    // non-finite number.
-                    swiftrl_bench::ratio_json(m.kernel_wall_s, m.sim_kernel_s),
-                ),
-            ]));
+        for m in [&reference, &fast, &batched] {
+            entries.push(entry_json(case, case.cfg.dpus, m));
         }
         speedups.push(Json::obj([
             ("env", Json::str(case.env)),
             ("figure", Json::str(case.figure)),
             ("workload", Json::str(case.spec.to_string())),
-            ("kernel_phase_fast_over_reference", Json::Num(kernel_speedup)),
-            ("end_to_end_fast_over_reference", Json::Num(total_speedup)),
+            (
+                "kernel_phase_fast_over_reference",
+                swiftrl_bench::ratio_json(reference.kernel_wall_s, fast.kernel_wall_s),
+            ),
+            (
+                "kernel_phase_batched_over_fast",
+                swiftrl_bench::ratio_json(fast.kernel_wall_s, batched.kernel_wall_s),
+            ),
+            (
+                "kernel_phase_batched_over_reference",
+                swiftrl_bench::ratio_json(reference.kernel_wall_s, batched.kernel_wall_s),
+            ),
+            (
+                "end_to_end_fast_over_reference",
+                swiftrl_bench::ratio_json(reference.wall_s, fast.wall_s),
+            ),
+            (
+                "end_to_end_batched_over_fast",
+                swiftrl_bench::ratio_json(fast.wall_s, batched.wall_s),
+            ),
         ]));
-        match phase_sums.iter_mut().find(|p| p.1 == case.figure) {
+        match phase_sums.iter_mut().find(|p| p.figure == case.figure) {
             Some(p) => {
-                p.2 += reference.kernel_wall_s;
-                p.3 += fast.kernel_wall_s;
-                p.4 += reference.wall_s;
-                p.5 += fast.wall_s;
+                p.ref_kernel += reference.kernel_wall_s;
+                p.fast_kernel += fast.kernel_wall_s;
+                p.batched_kernel += batched.kernel_wall_s;
+                p.ref_wall += reference.wall_s;
+                p.fast_wall += fast.wall_s;
+                p.batched_wall += batched.wall_s;
             }
-            None => phase_sums.push((
-                case.env,
-                case.figure,
-                reference.kernel_wall_s,
-                fast.kernel_wall_s,
-                reference.wall_s,
-                fast.wall_s,
-            )),
+            None => phase_sums.push(PhaseSum {
+                env: case.env,
+                figure: case.figure,
+                ref_kernel: reference.kernel_wall_s,
+                fast_kernel: fast.kernel_wall_s,
+                batched_kernel: batched.kernel_wall_s,
+                ref_wall: reference.wall_s,
+                fast_wall: fast.wall_s,
+                batched_wall: batched.wall_s,
+            }),
         }
     }
 
@@ -239,45 +298,102 @@ fn main() {
             "Workload",
             "Ref kernel",
             "Fast kernel",
-            "Kernel speedup",
-            "Ref total",
-            "Fast total",
-            "Total speedup",
+            "Batched kernel",
+            "Fast/ref",
+            "Batched/fast",
         ],
         &rows,
     );
     println!(
-        "\nBoth tiers produced byte-identical Q-tables and identical simulated \
-         times in every case; the speedup is pure host wall-clock.\n"
+        "\nAll tiers produced byte-identical Q-tables and identical simulated \
+         times in every case; the speedups are pure host wall-clock.\n"
     );
 
     // The figure-level kernel phase is the sum over its variants: this is
     // the number that answers "how much faster does the whole fig5/fig7
-    // kernel phase run under the fast tier".
+    // kernel phase run under each tier".
     let mut aggregates = Vec::new();
-    for (env, figure, ref_kernel, fast_kernel, ref_wall, fast_wall) in &phase_sums {
+    for p in &phase_sums {
         println!(
-            "{figure} ({env}) kernel phase over {} variant(s): {} -> {} ({} speedup)",
-            cases.iter().filter(|c| c.figure == *figure).count(),
-            swiftrl_bench::fmt_secs(*ref_kernel),
-            swiftrl_bench::fmt_secs(*fast_kernel),
-            swiftrl_bench::fmt_ratio(ref_kernel / fast_kernel),
+            "{} ({}) kernel phase over {} variant(s): {} -> {} -> {} \
+             ({} fast/ref, {} batched/fast)",
+            p.figure,
+            p.env,
+            cases.iter().filter(|c| c.figure == p.figure).count(),
+            swiftrl_bench::fmt_secs(p.ref_kernel),
+            swiftrl_bench::fmt_secs(p.fast_kernel),
+            swiftrl_bench::fmt_secs(p.batched_kernel),
+            swiftrl_bench::fmt_ratio(p.ref_kernel / p.fast_kernel),
+            swiftrl_bench::fmt_ratio(p.fast_kernel / p.batched_kernel),
         );
         aggregates.push(Json::obj([
-            ("env", Json::str(*env)),
-            ("figure", Json::str(*figure)),
-            ("ref_kernel_wall_s", Json::Num(*ref_kernel)),
-            ("fast_kernel_wall_s", Json::Num(*fast_kernel)),
+            ("env", Json::str(p.env)),
+            ("figure", Json::str(p.figure)),
+            ("ref_kernel_wall_s", Json::Num(p.ref_kernel)),
+            ("fast_kernel_wall_s", Json::Num(p.fast_kernel)),
+            ("batched_kernel_wall_s", Json::Num(p.batched_kernel)),
             (
                 "kernel_phase_fast_over_reference",
-                Json::Num(ref_kernel / fast_kernel),
+                swiftrl_bench::ratio_json(p.ref_kernel, p.fast_kernel),
+            ),
+            (
+                "kernel_phase_batched_over_fast",
+                swiftrl_bench::ratio_json(p.fast_kernel, p.batched_kernel),
             ),
             (
                 "end_to_end_fast_over_reference",
-                Json::Num(ref_wall / fast_wall),
+                swiftrl_bench::ratio_json(p.ref_wall, p.fast_wall),
+            ),
+            (
+                "end_to_end_batched_over_fast",
+                swiftrl_bench::ratio_json(p.fast_wall, p.batched_wall),
             ),
         ]));
     }
+
+    // Fleet-scale sweep: the paper platform's 2,524 DPUs, fast vs
+    // batched (the reference tier is impractical at this scale — that is
+    // the point of the faster tiers). One workload variant suffices: the
+    // entry exists to pin host cost per simulated kernel-second at fleet
+    // width.
+    let fleet_cfg = RunConfig::paper_defaults()
+        .with_dpus(FLEET_DPUS)
+        .with_episodes(episodes)
+        .with_tau(tau);
+    let fleet_case = Case {
+        env: "frozen_lake",
+        figure: "fleet",
+        spec: WorkloadSpec::q_learning_seq_fp32(),
+        dataset: fl_data.clone(),
+        cfg: fleet_cfg,
+    };
+    println!("\n# Fleet-scale sweep: {FLEET_DPUS} DPUs, fast vs batched\n");
+    let fleet_fast = run_tier(&fleet_case, ExecTier::Fast, 1);
+    let fleet_batched = run_tier(&fleet_case, ExecTier::Batched, 1);
+    assert_identical(&fleet_case, &fleet_fast, &fleet_batched);
+    println!(
+        "{} {} @ {FLEET_DPUS} DPUs: fast kernel {} -> batched kernel {} ({})",
+        fleet_case.env,
+        fleet_case.spec,
+        swiftrl_bench::fmt_secs(fleet_fast.kernel_wall_s),
+        swiftrl_bench::fmt_secs(fleet_batched.kernel_wall_s),
+        swiftrl_bench::fmt_ratio(fleet_fast.kernel_wall_s / fleet_batched.kernel_wall_s),
+    );
+    entries.push(entry_json(&fleet_case, FLEET_DPUS, &fleet_fast));
+    entries.push(entry_json(&fleet_case, FLEET_DPUS, &fleet_batched));
+    speedups.push(Json::obj([
+        ("env", Json::str(fleet_case.env)),
+        ("figure", Json::str(fleet_case.figure)),
+        ("workload", Json::str(fleet_case.spec.to_string())),
+        (
+            "kernel_phase_batched_over_fast",
+            swiftrl_bench::ratio_json(fleet_fast.kernel_wall_s, fleet_batched.kernel_wall_s),
+        ),
+        (
+            "end_to_end_batched_over_fast",
+            swiftrl_bench::ratio_json(fleet_fast.wall_s, fleet_batched.wall_s),
+        ),
+    ]));
 
     // Same schema/keys the hand-formatted writer produced before the
     // shared builder existed; pre-existing artifacts keep parsing.
@@ -288,6 +404,7 @@ fn main() {
         ("episodes", Json::UInt(u64::from(episodes))),
         ("tau", Json::UInt(u64::from(tau))),
         ("dpus", Json::UInt(dpus as u64)),
+        ("fleet_dpus", Json::UInt(FLEET_DPUS as u64)),
         ("entries", Json::Arr(entries)),
         ("speedups", Json::Arr(speedups)),
         ("aggregates", Json::Arr(aggregates)),

@@ -22,6 +22,7 @@
 use crate::config::{Algorithm, DataType, WorkloadSpec};
 use crate::layout::{episode_seed, sampling_kind, KernelHeader, HEADER_BYTES, Q_TABLE_OFFSET};
 use swiftrl_pim::kernel::{DpuContext, Kernel, KernelError, F32};
+use swiftrl_pim::{BatchContext, BatchKernel};
 
 /// Transition records DMA'd per batch in SEQ order (32 records = 512 B).
 const SEQ_BATCH: usize = 32;
@@ -60,6 +61,10 @@ const DONE_BIT: u32 = 1 << 31;
 pub struct SwiftRlKernel {
     spec: WorkloadSpec,
     tasklets: usize,
+    /// Batch-eligibility flag: when true (the default) the kernel offers
+    /// its fused whole-launch form to the executor under
+    /// [`ExecTier::Batched`](swiftrl_pim::config::ExecTier::Batched).
+    batching: bool,
 }
 
 impl SwiftRlKernel {
@@ -90,7 +95,19 @@ impl SwiftRlKernel {
             tasklets <= MAX_TASKLETS,
             "a DPU has {MAX_TASKLETS} hardware threads, got {tasklets}"
         );
-        Self { spec, tasklets }
+        Self {
+            spec,
+            tasklets,
+            batching: true,
+        }
+    }
+
+    /// Sets the batch-eligibility flag. Disabling it forces per-intrinsic
+    /// interpretation even under the batched execution tier — useful for
+    /// differential testing and for pinning the per-op charge stream.
+    pub fn with_batching(mut self, enabled: bool) -> Self {
+        self.batching = enabled;
+        self
     }
 
     /// The workload variant this kernel implements.
@@ -116,6 +133,14 @@ impl Kernel for SwiftRlKernel {
 
         let body = KernelBody::new(self.spec, hdr, ctx.tasklet_id(), self.tasklets);
         body.run(ctx)
+    }
+
+    fn batch(&self) -> Option<&dyn BatchKernel> {
+        if self.batching {
+            Some(self)
+        } else {
+            None
+        }
     }
 }
 
@@ -568,6 +593,709 @@ impl KernelBody {
         let new = ctx.iadd(old, delta);
         ctx.wram_write_i32(entry, new)?;
         Ok(())
+    }
+}
+
+// ---- Batched (fused) execution -----------------------------------------
+//
+// Under `ExecTier::Batched` the executor offers the whole launch to the
+// kernel as one host-native sweep per DPU instead of interpreting it one
+// charged intrinsic at a time per tasklet. Values are computed with the
+// same `swiftrl_pim::fastpath` bit-exact routines the fast tier uses, so
+// Q-tables stay bit-identical; charges are deposited per tasklet as
+// *aggregates* — loop-trip counts multiplied by the pinned per-intrinsic
+// slot costs under calibrated charging, or summed data-dependent tallies
+// (plus the per-call FP overhead) under tally charging. The parity suite
+// (`tests/fastpath_parity.rs`, `tests/engine_determinism.rs`) proves both
+// the bytes and the cycle accounting identical to the per-intrinsic
+// tiers; any launch this sweep cannot reproduce exactly is declined
+// (`Ok(false)`), which falls back to the canonical interpreter.
+
+use swiftrl_pim::config::{EmulationCharging, OpCosts};
+use swiftrl_pim::cost::CycleCounter;
+use swiftrl_pim::emul::Lcg32;
+use swiftrl_pim::fastpath;
+
+/// Aggregate charge accumulator for one tasklet of a fused launch.
+///
+/// Mirrors every charging intrinsic of `DpuContext`, but instead of
+/// touching a cycle counter per operation it counts operations by charge
+/// class (`TALLY = false`, calibrated charging: the closed form is
+/// `count × slots` per class) or sums the exact data-dependent fastpath
+/// tallies (`TALLY = true`). `flush_into` deposits the totals.
+struct Em<'a, const TALLY: bool> {
+    ops: &'a OpCosts,
+    alu: u64,
+    control: u64,
+    wram: u64,
+    /// Calibrated-mode loop-trip counts per op kind.
+    n_fadd: u64,
+    n_fmul: u64,
+    n_fcmp: u64,
+    n_mul32: u64,
+    n_mul64: u64,
+    n_div64: u64,
+    /// Tally-mode slot sums (FP sums include the per-call overhead).
+    int_slots: u64,
+    float_slots: u64,
+}
+
+impl<'a, const TALLY: bool> Em<'a, TALLY> {
+    fn new(ops: &'a OpCosts) -> Self {
+        Self {
+            ops,
+            alu: 0,
+            control: 0,
+            wram: 0,
+            n_fadd: 0,
+            n_fmul: 0,
+            n_fcmp: 0,
+            n_mul32: 0,
+            n_mul64: 0,
+            n_div64: 0,
+            int_slots: 0,
+            float_slots: 0,
+        }
+    }
+
+    #[inline]
+    fn alu(&mut self, n: u64) {
+        self.alu += n;
+    }
+
+    #[inline]
+    fn control(&mut self, n: u64) {
+        self.control += n;
+    }
+
+    #[inline]
+    fn wram(&mut self, n: u64) {
+        self.wram += n;
+    }
+
+    #[inline]
+    fn fadd(&mut self, a: u32, b: u32) -> u32 {
+        if TALLY {
+            self.float_slots += fastpath::f32_add_tally(a, b) + self.ops.fp_call_overhead_slots;
+        } else {
+            self.n_fadd += 1;
+        }
+        fastpath::f32_add(a, b)
+    }
+
+    #[inline]
+    fn fsub(&mut self, a: u32, b: u32) -> u32 {
+        if TALLY {
+            self.float_slots += fastpath::f32_sub_tally(a, b) + self.ops.fp_call_overhead_slots;
+        } else {
+            // Charged at the add cost, exactly like `DpuContext::fsub`.
+            self.n_fadd += 1;
+        }
+        fastpath::f32_sub(a, b)
+    }
+
+    #[inline]
+    fn fmul(&mut self, a: u32, b: u32) -> u32 {
+        if TALLY {
+            self.float_slots += fastpath::f32_mul_tally(a, b) + self.ops.fp_call_overhead_slots;
+        } else {
+            self.n_fmul += 1;
+        }
+        fastpath::f32_mul(a, b)
+    }
+
+    #[inline]
+    fn fmax(&mut self, a: u32, b: u32) -> u32 {
+        if TALLY {
+            self.float_slots += fastpath::f32_max_tally(a, b) + self.ops.fp_call_overhead_slots;
+        } else {
+            self.n_fcmp += 1;
+        }
+        fastpath::f32_max(a, b)
+    }
+
+    #[inline]
+    fn fgt(&mut self, a: u32, b: u32) -> bool {
+        if TALLY {
+            self.float_slots += fastpath::f32_cmp_tally(a, b) + self.ops.fp_call_overhead_slots;
+        } else {
+            self.n_fcmp += 1;
+        }
+        fastpath::f32_gt(a, b)
+    }
+
+    #[inline]
+    fn iadd(&mut self, a: i32, b: i32) -> i32 {
+        self.alu += 1;
+        a.wrapping_add(b)
+    }
+
+    #[inline]
+    fn isub(&mut self, a: i32, b: i32) -> i32 {
+        self.alu += 1;
+        a.wrapping_sub(b)
+    }
+
+    #[inline]
+    fn igt(&mut self, a: i32, b: i32) -> bool {
+        self.alu += 1;
+        a > b
+    }
+
+    #[inline]
+    fn mul_wide(&mut self, a: i32, b: i32) -> i64 {
+        if TALLY {
+            self.int_slots += fastpath::imul32_wide_tally(a, b);
+        } else {
+            self.n_mul64 += 1;
+        }
+        fastpath::imul32_wide(a, b)
+    }
+
+    #[inline]
+    fn div_wide(&mut self, n: i64, d: i32) -> i64 {
+        if TALLY {
+            self.int_slots += fastpath::idiv64_tally(n, d);
+        } else {
+            self.n_div64 += 1;
+        }
+        fastpath::idiv64(n, d)
+    }
+
+    /// LCG advance: one mul32-class emulated multiply + one native add,
+    /// exactly like `DpuContext::lcg_next`.
+    #[inline]
+    fn lcg_next(&mut self, state: &mut u32) -> u32 {
+        if TALLY {
+            self.int_slots += fastpath::umul32_wide_tally(*state, Lcg32::MULTIPLIER);
+        } else {
+            self.n_mul32 += 1;
+        }
+        let m = fastpath::umul32_wide(*state, Lcg32::MULTIPLIER) as u32;
+        self.alu += 1;
+        *state = m.wrapping_add(Lcg32::INCREMENT);
+        *state
+    }
+
+    /// Uniform draw in `[0, bound)`: `lcg_next` plus one mul64-class
+    /// emulated wide multiply, exactly like `DpuContext::lcg_below`.
+    #[inline]
+    fn lcg_below(&mut self, state: &mut u32, bound: u32) -> u32 {
+        let raw = self.lcg_next(state);
+        if TALLY {
+            self.int_slots += fastpath::umul32_wide_tally(raw, bound);
+        } else {
+            self.n_mul64 += 1;
+        }
+        self.alu += 1;
+        let wide = fastpath::umul32_wide(raw, bound);
+        (wide >> 32) as u32
+    }
+
+    /// Deposits the aggregate charges into a tasklet's cycle counter.
+    fn flush_into(&self, counter: &mut CycleCounter) {
+        counter.alu_slots += self.alu;
+        counter.control_slots += self.control;
+        counter.wram_slots += self.wram;
+        if TALLY {
+            counter.int_emul_slots += self.int_slots;
+            counter.float_emul_slots += self.float_slots;
+        } else {
+            counter.int_emul_slots += self.n_mul32 * self.ops.mul32_slots
+                + self.n_mul64 * self.ops.mul64_slots
+                + self.n_div64 * self.ops.div64_slots;
+            counter.float_emul_slots += self.n_fadd * self.ops.fadd_slots
+                + self.n_fmul * self.ops.fmul_slots
+                + self.n_fcmp * self.ops.fcmp_slots;
+        }
+    }
+}
+
+/// Header-derived parameters of one fused launch, shared by all tasklets.
+struct FusedParams {
+    algorithm: Algorithm,
+    dtype: DataType,
+    na: u32,
+    alpha: u32,
+    gamma: u32,
+    epsilon_threshold: u32,
+    scale: i32,
+}
+
+impl FusedParams {
+    /// Q-table word index of `(state, action)` (the fused sweep holds the
+    /// WRAM Q-table image as a `u32` slice, so `q_entry / 4`).
+    #[inline]
+    fn qi(&self, state: u32, action: u32) -> usize {
+        (state * self.na + action) as usize
+    }
+
+    /// One Q-update on the shared table image, mirroring `apply_update`
+    /// and the per-variant update routines charge for charge.
+    #[inline]
+    fn update<const TALLY: bool>(
+        &self,
+        em: &mut Em<'_, TALLY>,
+        q: &mut [u32],
+        rec: &Record,
+        policy_state: &mut u32,
+    ) {
+        em.control(1); // update-call overhead
+        match (self.algorithm, self.dtype) {
+            (Algorithm::QLearning, DataType::Fp32) => self.q_update_fp32(em, q, rec),
+            (Algorithm::QLearning, DataType::Int32) => self.q_update_int32(em, q, rec),
+            (Algorithm::Sarsa, DataType::Fp32) => self.sarsa_update_fp32(em, q, rec, policy_state),
+            (Algorithm::Sarsa, DataType::Int32) => {
+                self.sarsa_update_int32(em, q, rec, policy_state)
+            }
+        }
+    }
+
+    fn q_update_fp32<const TALLY: bool>(&self, em: &mut Em<'_, TALLY>, q: &mut [u32], rec: &Record) {
+        em.control(1); // terminal-flag branch
+        let target = if rec.done {
+            rec.reward_raw
+        } else {
+            // max_next_fp32
+            em.alu(2);
+            em.wram(1);
+            let mut best = q[self.qi(rec.next_state, 0)];
+            for a in 1..self.na {
+                em.alu(1);
+                em.wram(1);
+                let v = q[self.qi(rec.next_state, a)];
+                best = em.fmax(best, v);
+            }
+            let discounted = em.fmul(self.gamma, best);
+            em.fadd(rec.reward_raw, discounted)
+        };
+        em.alu(2);
+        let e = self.qi(rec.state, rec.action);
+        em.wram(1);
+        let old = q[e];
+        let delta = em.fsub(target, old);
+        let scaled = em.fmul(self.alpha, delta);
+        let new = em.fadd(old, scaled);
+        em.wram(1);
+        q[e] = new;
+    }
+
+    fn epsilon_greedy_fp32<const TALLY: bool>(
+        &self,
+        em: &mut Em<'_, TALLY>,
+        q: &[u32],
+        state: u32,
+        policy_state: &mut u32,
+    ) -> u32 {
+        let draw = em.lcg_next(policy_state);
+        em.alu(1);
+        if draw < self.epsilon_threshold {
+            return em.lcg_below(policy_state, self.na);
+        }
+        em.alu(2);
+        let mut best_a = 0u32;
+        em.wram(1);
+        let mut best_v = q[self.qi(state, 0)];
+        for a in 1..self.na {
+            em.alu(1);
+            em.wram(1);
+            let v = q[self.qi(state, a)];
+            if em.fgt(v, best_v) {
+                best_v = v;
+                best_a = a;
+            }
+        }
+        best_a
+    }
+
+    fn sarsa_update_fp32<const TALLY: bool>(
+        &self,
+        em: &mut Em<'_, TALLY>,
+        q: &mut [u32],
+        rec: &Record,
+        policy_state: &mut u32,
+    ) {
+        em.control(1); // terminal-flag branch
+        let target = if rec.done {
+            rec.reward_raw
+        } else {
+            let a_next = self.epsilon_greedy_fp32(em, q, rec.next_state, policy_state);
+            em.alu(2);
+            em.wram(1);
+            let q_next = q[self.qi(rec.next_state, a_next)];
+            let discounted = em.fmul(self.gamma, q_next);
+            em.fadd(rec.reward_raw, discounted)
+        };
+        em.alu(2);
+        let e = self.qi(rec.state, rec.action);
+        em.wram(1);
+        let old = q[e];
+        let delta = em.fsub(target, old);
+        let scaled = em.fmul(self.alpha, delta);
+        let new = em.fadd(old, scaled);
+        em.wram(1);
+        q[e] = new;
+    }
+
+    /// `(a * b) / scale` with the emulated wide multiply + divide,
+    /// exactly like `KernelBody::fixed_mul`.
+    #[inline]
+    fn fixed_mul<const TALLY: bool>(&self, em: &mut Em<'_, TALLY>, a: i32, b: i32) -> i32 {
+        let wide = em.mul_wide(a, b);
+        em.div_wide(wide, self.scale) as i32
+    }
+
+    fn q_update_int32<const TALLY: bool>(
+        &self,
+        em: &mut Em<'_, TALLY>,
+        q: &mut [u32],
+        rec: &Record,
+    ) {
+        em.control(1); // terminal-flag branch
+        let target = if rec.done {
+            rec.reward_raw as i32
+        } else {
+            // max_next_int32
+            em.alu(2);
+            em.wram(1);
+            let mut best = q[self.qi(rec.next_state, 0)] as i32;
+            for a in 1..self.na {
+                em.alu(1);
+                em.wram(1);
+                let v = q[self.qi(rec.next_state, a)] as i32;
+                if em.igt(v, best) {
+                    best = v;
+                }
+            }
+            let discounted = self.fixed_mul(em, self.gamma as i32, best);
+            em.iadd(rec.reward_raw as i32, discounted)
+        };
+        em.alu(2);
+        let e = self.qi(rec.state, rec.action);
+        em.wram(1);
+        let old = q[e] as i32;
+        let diff = em.isub(target, old);
+        let delta = self.fixed_mul(em, self.alpha as i32, diff);
+        let new = em.iadd(old, delta);
+        em.wram(1);
+        q[e] = new as u32;
+    }
+
+    fn epsilon_greedy_int32<const TALLY: bool>(
+        &self,
+        em: &mut Em<'_, TALLY>,
+        q: &[u32],
+        state: u32,
+        policy_state: &mut u32,
+    ) -> u32 {
+        let draw = em.lcg_next(policy_state);
+        em.alu(1);
+        if draw < self.epsilon_threshold {
+            return em.lcg_below(policy_state, self.na);
+        }
+        em.alu(2);
+        let mut best_a = 0u32;
+        em.wram(1);
+        let mut best_v = q[self.qi(state, 0)] as i32;
+        for a in 1..self.na {
+            em.alu(1);
+            em.wram(1);
+            let v = q[self.qi(state, a)] as i32;
+            if em.igt(v, best_v) {
+                best_v = v;
+                best_a = a;
+            }
+        }
+        best_a
+    }
+
+    fn sarsa_update_int32<const TALLY: bool>(
+        &self,
+        em: &mut Em<'_, TALLY>,
+        q: &mut [u32],
+        rec: &Record,
+        policy_state: &mut u32,
+    ) {
+        em.control(1); // terminal-flag branch
+        let target = if rec.done {
+            rec.reward_raw as i32
+        } else {
+            let a_next = self.epsilon_greedy_int32(em, q, rec.next_state, policy_state);
+            em.alu(2);
+            em.wram(1);
+            let q_next = q[self.qi(rec.next_state, a_next)] as i32;
+            let discounted = self.fixed_mul(em, self.gamma as i32, q_next);
+            em.iadd(rec.reward_raw as i32, discounted)
+        };
+        em.alu(2);
+        let e = self.qi(rec.state, rec.action);
+        em.wram(1);
+        let old = q[e] as i32;
+        let diff = em.isub(target, old);
+        let delta = self.fixed_mul(em, self.alpha as i32, diff);
+        let new = em.iadd(old, delta);
+        em.wram(1);
+        q[e] = new as u32;
+    }
+}
+
+impl SwiftRlKernel {
+    /// The fused per-DPU sweep: every tasklet's episodes, in tasklet
+    /// order (the per-intrinsic executor serializes tasklet bodies over
+    /// the shared WRAM Q-table), charging per-tasklet aggregates.
+    fn fused_sweep<const TALLY: bool>(
+        &self,
+        ctx: &mut BatchContext<'_>,
+        hdr: &KernelHeader,
+        q: &mut [u32],
+        records: &[Record],
+        q_dma_bytes: usize,
+    ) {
+        let cost = ctx.cost().clone();
+        let p = FusedParams {
+            algorithm: self.spec.algorithm,
+            dtype: self.spec.dtype,
+            na: hdr.num_actions,
+            alpha: hdr.alpha,
+            gamma: hdr.gamma,
+            epsilon_threshold: hdr.epsilon_threshold,
+            scale: hdr.scale as i32,
+        };
+        // DMA cycle costs, hoisted per transfer length.
+        let c_hdr = cost.dma_cycles(HEADER_BYTES);
+        let c_rec = cost.dma_cycles(RECORD_BYTES);
+        let c_batch = cost.dma_cycles(SEQ_BATCH * RECORD_BYTES);
+        let c_q = cost.dma_cycles(q_dma_bytes);
+
+        let n = hdr.n_transitions as usize;
+        let tasklets = self.tasklets;
+        for t in 0..tasklets {
+            // This tasklet's contiguous sub-range (as in `KernelBody::new`).
+            let base = n / tasklets;
+            let extra = n % tasklets;
+            let start = t * base + t.min(extra);
+            let rn = base + usize::from(t < extra);
+
+            let mut em = Em::<TALLY>::new(&cost.ops);
+            let mut dma_bytes = 0u64;
+            let mut dma_cycles = 0u64;
+
+            // Header load + field decodes.
+            dma_bytes += HEADER_BYTES as u64;
+            dma_cycles += c_hdr;
+            em.alu(13);
+
+            // Tasklet 0 stages the Q-table; the others hit the barrier.
+            if t == 0 {
+                dma_bytes += q_dma_bytes as u64;
+                dma_cycles += c_q;
+            } else {
+                em.control(2);
+            }
+
+            let mut policy_state = (hdr.seed ^ 0x5A85_AA11)
+                .wrapping_add((t as u32).wrapping_mul(0x9E37_79B9));
+
+            for ep in 0..hdr.episodes {
+                em.control(2); // episode loop bookkeeping + barrier
+                if rn == 0 {
+                    continue;
+                }
+                let ep_seed = episode_seed(hdr.seed, hdr.episode_base + ep)
+                    .wrapping_add(t as u32);
+                match hdr.sampling {
+                    sampling_kind::SEQ => {
+                        // Batched streaming: one DMA per 32-record window.
+                        let mut i = 0usize;
+                        while i < rn {
+                            let count = SEQ_BATCH.min(rn - i);
+                            let len = count * RECORD_BYTES;
+                            dma_bytes += len as u64;
+                            dma_cycles += if count == SEQ_BATCH {
+                                c_batch
+                            } else {
+                                cost.dma_cycles(len)
+                            };
+                            i += count;
+                        }
+                        for rec in &records[start..start + rn] {
+                            em.wram(4);
+                            em.alu(2);
+                            p.update(&mut em, q, rec, &mut policy_state);
+                        }
+                    }
+                    sampling_kind::STR => {
+                        let k = hdr.stride as usize;
+                        let mut cursor = 0usize;
+                        let mut offset = 0usize;
+                        for _ in 0..rn {
+                            let i = cursor;
+                            cursor += k;
+                            if cursor >= rn {
+                                offset += 1;
+                                cursor = offset;
+                            }
+                            em.alu(3); // stride bookkeeping
+                            dma_bytes += RECORD_BYTES as u64;
+                            dma_cycles += c_rec;
+                            em.wram(4);
+                            em.alu(2);
+                            p.update(&mut em, q, &records[start + i], &mut policy_state);
+                        }
+                    }
+                    _ => {
+                        // RAN (preflight rejected every other kind).
+                        let mut sample_state = ep_seed;
+                        for _ in 0..rn {
+                            let i = em.lcg_below(&mut sample_state, rn as u32) as usize;
+                            dma_bytes += RECORD_BYTES as u64;
+                            dma_cycles += c_rec;
+                            em.wram(4);
+                            em.alu(2);
+                            p.update(&mut em, q, &records[start + i], &mut policy_state);
+                        }
+                    }
+                }
+            }
+
+            // The last tasklet publishes the table and re-arms the header.
+            if t + 1 == tasklets {
+                dma_bytes += q_dma_bytes as u64;
+                dma_cycles += c_q;
+                dma_bytes += HEADER_BYTES as u64;
+                dma_cycles += c_hdr;
+                em.alu(2);
+            }
+
+            let counter = ctx.counter_mut(t);
+            em.flush_into(counter);
+            counter.charge_dma(dma_bytes, dma_cycles);
+        }
+    }
+}
+
+impl BatchKernel for SwiftRlKernel {
+    fn run_batched(&self, ctx: &mut BatchContext<'_>) -> Result<bool, KernelError> {
+        // ---- preflight: decline (`Ok(false)`) on anything the fused
+        // sweep cannot reproduce exactly, including every input the
+        // per-intrinsic path would fault on — the fallback then raises
+        // the canonical error with the canonical partial charges.
+        if ctx.tasklets() != self.tasklets {
+            // The platform clamped the tasklet count; the per-intrinsic
+            // partition (which keys on the kernel's own count) is the
+            // reference behaviour for that corner.
+            return Ok(false);
+        }
+        // Every DMA this kernel issues is 8-byte aligned; coarser
+        // granules would fault some of them mid-launch.
+        let granule = ctx.cost().dma_granule_bytes.max(1);
+        if 8 % granule != 0 {
+            return Ok(false);
+        }
+        let mut hdr_buf = [0u8; HEADER_BYTES];
+        if ctx.mram().read(0, &mut hdr_buf).is_err() {
+            return Ok(false);
+        }
+        let Ok(hdr) = KernelHeader::from_bytes(&hdr_buf) else {
+            return Ok(false);
+        };
+        if hdr.num_states == 0 || hdr.num_actions == 0 {
+            return Ok(false);
+        }
+        match hdr.sampling {
+            sampling_kind::SEQ | sampling_kind::RAN => {}
+            sampling_kind::STR => {
+                if hdr.stride == 0 {
+                    return Ok(false);
+                }
+            }
+            _ => return Ok(false),
+        }
+        if self.spec.dtype == DataType::Int32 && hdr.scale == 0 {
+            return Ok(false);
+        }
+        let map = WramMap::new(&hdr);
+        let q_dma_bytes = map.q_dma_bytes();
+        // Modelled WRAM working set (Q-table image + every tasklet's
+        // staging window) must fit the scratchpad, as it must for the
+        // per-intrinsic path.
+        if map.batch + self.tasklets * SEQ_BATCH * RECORD_BYTES > ctx.wram_capacity() {
+            return Ok(false);
+        }
+        // MRAM ranges touched by the launch must be in-bank.
+        let cap = ctx.mram().capacity() as u64;
+        let n = hdr.n_transitions as usize;
+        if (Q_TABLE_OFFSET + q_dma_bytes) as u64 > cap {
+            return Ok(false);
+        }
+        let records_end = hdr.transitions_offset() as u64 + (n as u64) * RECORD_BYTES as u64;
+        if records_end > cap {
+            return Ok(false);
+        }
+
+        // Stage the Q-table image and decode the replay chunk once.
+        let mut q_image = vec![0u8; q_dma_bytes];
+        if ctx.mram().read(Q_TABLE_OFFSET, &mut q_image).is_err() {
+            return Ok(false);
+        }
+        let mut rec_bytes = vec![0u8; n * RECORD_BYTES];
+        if ctx.mram().read(hdr.transitions_offset(), &mut rec_bytes).is_err() {
+            return Ok(false);
+        }
+        let mut records = Vec::with_capacity(n);
+        for raw in rec_bytes.chunks_exact(RECORD_BYTES) {
+            let word = |i: usize| {
+                u32::from_le_bytes([raw[4 * i], raw[4 * i + 1], raw[4 * i + 2], raw[4 * i + 3]])
+            };
+            let action_word = word(1);
+            let rec = Record {
+                state: word(0),
+                action: action_word & !DONE_BIT,
+                reward_raw: word(2),
+                next_state: word(3),
+                done: action_word & DONE_BIT != 0,
+            };
+            if rec.state >= hdr.num_states
+                || rec.next_state >= hdr.num_states
+                || rec.action >= hdr.num_actions
+            {
+                // A record the per-intrinsic path may fault on mid-sweep.
+                return Ok(false);
+            }
+            records.push(rec);
+        }
+
+        let mut q: Vec<u32> = q_image
+            .chunks_exact(4)
+            .map(|w| u32::from_le_bytes([w[0], w[1], w[2], w[3]]))
+            .collect();
+
+        // ---- committed: the fused sweep cannot fail past this point.
+        match ctx.cost().emulation_charging {
+            EmulationCharging::Tally => {
+                self.fused_sweep::<true>(ctx, &hdr, &mut q, &records, q_dma_bytes)
+            }
+            EmulationCharging::Calibrated => {
+                self.fused_sweep::<false>(ctx, &hdr, &mut q, &records, q_dma_bytes)
+            }
+        }
+
+        // Publish: Q-table image (including the staged pad bytes, exactly
+        // like the WRAM write-back) and the re-armed header.
+        for (w, chunk) in q.iter().zip(q_image.chunks_exact_mut(4)) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        if ctx.mram_mut().write(Q_TABLE_OFFSET, &q_image).is_err() {
+            return Ok(false);
+        }
+        let mut next_hdr = hdr;
+        next_hdr.episode_base = hdr.episode_base.wrapping_add(hdr.episodes);
+        let mut hdr_out = [0u8; HEADER_BYTES];
+        next_hdr.encode_into(&mut hdr_out);
+        if ctx.mram_mut().write(0, &hdr_out).is_err() {
+            return Ok(false);
+        }
+        Ok(true)
     }
 }
 

@@ -5,6 +5,13 @@
 //! synchronization through the host, and final retrieval (PIM→CPU) +
 //! aggregation. It reports the trained Q-table and a
 //! [`TimeBreakdown`] with the same four categories as Figures 5–6.
+//!
+//! The runner is execution-tier agnostic: it stages headers and replay
+//! chunks the same way under every [`ArithTier`](swiftrl_pim::config::ArithTier),
+//! and [`SwiftRlKernel`] advertises its fused batched implementation via
+//! `Kernel::batch` — whether a launch interprets per-intrinsic or takes
+//! the host-fused sweep is decided per DPU inside the platform
+//! (DESIGN.md §14), never here.
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::{DataType, RunConfig, WorkloadSpec};

@@ -36,7 +36,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use swiftrl_env::dataset::ExperienceDataset;
-use swiftrl_pim::config::PimConfig;
+use swiftrl_pim::config::{ExecTier, PimConfig};
 use swiftrl_pim::faults::FaultPlan;
 use swiftrl_pim::host::{PimError, PimSystem};
 use swiftrl_telemetry::{MetricsSnapshot, Telemetry};
@@ -140,6 +140,12 @@ pub struct JobRequest {
     /// exactly those ranks for the job's lifetime and rejects the
     /// submission synchronously if they overlap another live pin.
     pub pinned_ranks: Option<Vec<usize>>,
+    /// Optional per-job execution-tier override. `None` inherits the
+    /// fleet platform's tier; `Some(tier)` runs this job's DPU set
+    /// under `tier` without affecting any other tenant — every tier
+    /// produces bit- and cycle-identical observables (DESIGN.md §14),
+    /// so mixing tiers across tenants only changes host wall-clock.
+    pub exec_tier: Option<ExecTier>,
 }
 
 impl JobRequest {
@@ -159,6 +165,7 @@ impl JobRequest {
             faults: FaultPlan::none(),
             dataset,
             pinned_ranks: None,
+            exec_tier: None,
         }
     }
 
@@ -177,6 +184,13 @@ impl JobRequest {
     /// Pins the job to an explicit set of ranks.
     pub fn with_pinned_ranks(mut self, ranks: Vec<usize>) -> Self {
         self.pinned_ranks = Some(ranks);
+        self
+    }
+
+    /// Overrides the execution tier for this job only (the fleet
+    /// default applies when unset).
+    pub fn with_exec_tier(mut self, tier: ExecTier) -> Self {
+        self.exec_tier = Some(tier);
         self
     }
 }
@@ -443,6 +457,9 @@ impl TrainingService {
         platform.dpus = request.cfg.dpus;
         platform.faults = request.faults.clone();
         platform.telemetry = Telemetry::disabled();
+        if let Some(tier) = request.exec_tier {
+            platform.cost.arith_tier = tier;
+        }
         platform
     }
 
@@ -645,6 +662,9 @@ fn run_job(shared: &Shared, fleet_config: &PimConfig, job: QueuedJob) {
         platform.dpus = dpus;
         platform.faults = job.request.faults.clone();
         platform.telemetry = job.telemetry.clone();
+        if let Some(tier) = job.request.exec_tier {
+            platform.cost.arith_tier = tier;
+        }
         match fleet.system.alloc_with_config(dpus, platform) {
             Ok(set) => (lease, set),
             Err(err) => {

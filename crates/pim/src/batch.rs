@@ -1,0 +1,189 @@
+//! Batched kernel execution: the third tier of
+//! [`ExecTier`](crate::config::ExecTier).
+//!
+//! The reference and fast tiers interpret a kernel one charged intrinsic
+//! at a time per tasklet. At paper scale (2,524 DPUs) that per-op
+//! dispatch — not the simulated cycles — dominates host wall-clock. The
+//! batched tier exploits that every DPU of a SwiftRL launch runs the
+//! *same* tiny program over its own replay chunk: a kernel that
+//! implements [`BatchKernel`] fuses its whole per-launch update loop into
+//! one host-native sweep per DPU, computing values with
+//! [`crate::fastpath`] and charging **closed-form aggregate cycle
+//! tallies** — per-tasklet loop-trip counts multiplied by the same
+//! per-intrinsic costs [`DpuContext`](crate::kernel::DpuContext) would
+//! have charged one by one.
+//!
+//! The contract mirrors the fast tier's, one level up: a batched launch
+//! must leave *identical observables* to the per-intrinsic execution —
+//! bit-identical MRAM (Q-tables, advanced header) and cycle-identical
+//! per-class [`CycleCounter`]s per tasklet — in both
+//! [`EmulationCharging`](crate::config::EmulationCharging) modes. It is
+//! proven differentially by `tests/fastpath_parity.rs` and
+//! `tests/engine_determinism.rs`; the reference tier stays the oracle.
+//!
+//! Batching is strictly opportunistic. [`Dpu::execute`](crate::dpu::Dpu)
+//! attempts it only when the tier is `Batched`, the sanitizer is off,
+//! the fault plan does not touch this `(dpu, launch)`
+//! ([`FaultPlan::touches_execution`](crate::faults::FaultPlan::touches_execution)),
+//! and the kernel opts in via
+//! [`Kernel::batch`](crate::kernel::Kernel::batch). A [`BatchKernel`]
+//! may additionally *decline* any launch (`Ok(false)`) — e.g. on a
+//! malformed header or an out-of-range record — so every error path runs
+//! through the per-intrinsic interpreter and reproduces its exact error
+//! message and partial charges.
+
+use crate::config::CostModel;
+use crate::cost::CycleCounter;
+use crate::kernel::KernelError;
+use crate::memory::{Bank, DpuMemory};
+
+/// A kernel that can execute a whole launch as one fused host-native
+/// sweep under [`ExecTier::Batched`](crate::config::ExecTier::Batched).
+pub trait BatchKernel {
+    /// Executes one launch in batched form, or declines.
+    ///
+    /// Returns `Ok(true)` when the launch was executed: MRAM holds
+    /// exactly the bytes the per-intrinsic path would have left, and the
+    /// per-tasklet counters in `ctx` hold exactly the charges it would
+    /// have accumulated. Returns `Ok(false)` to decline — the caller
+    /// falls back to the per-intrinsic path, so a declining
+    /// implementation must not have written MRAM or charged anything.
+    ///
+    /// # Errors
+    ///
+    /// A returned [`KernelError`] must be byte-identical to the one the
+    /// per-intrinsic path would raise; implementations should prefer
+    /// declining (`Ok(false)`) on any anomaly, which is always safe.
+    fn run_batched(&self, ctx: &mut BatchContext<'_>) -> Result<bool, KernelError>;
+}
+
+/// Execution context handed to [`BatchKernel::run_batched`]: raw
+/// (uncharged) access to the DPU's MRAM bank, the cost model, and one
+/// [`CycleCounter`] per tasklet for the aggregate charges.
+///
+/// Unlike [`DpuContext`](crate::kernel::DpuContext) there are no charged
+/// intrinsics here — the batch kernel computes closed-form charge totals
+/// itself and deposits them in the per-tasklet counters. The WRAM bank is
+/// deliberately *not* exposed: a batched launch models the WRAM working
+/// set arithmetically (trip counts × access costs) without materializing
+/// bank segments, which is part of where its speedup comes from. Memory
+/// ceilings are therefore pinned across engines, never across tiers.
+#[derive(Debug)]
+pub struct BatchContext<'a> {
+    dpu_id: usize,
+    tasklets: usize,
+    memory: &'a mut DpuMemory,
+    cost: &'a CostModel,
+    counters: Vec<CycleCounter>,
+}
+
+impl<'a> BatchContext<'a> {
+    /// Builds the context for one launch of `tasklets` tasklets on DPU
+    /// `dpu_id`.
+    pub fn new(
+        dpu_id: usize,
+        tasklets: usize,
+        memory: &'a mut DpuMemory,
+        cost: &'a CostModel,
+    ) -> Self {
+        let counters = vec![CycleCounter::new(); tasklets.max(1)];
+        Self {
+            dpu_id,
+            tasklets: tasklets.max(1),
+            memory,
+            cost,
+            counters,
+        }
+    }
+
+    /// Index of the DPU within its set.
+    pub fn dpu_id(&self) -> usize {
+        self.dpu_id
+    }
+
+    /// Number of tasklets this launch runs with (already clamped to the
+    /// platform's per-DPU tasklet capacity).
+    pub fn tasklets(&self) -> usize {
+        self.tasklets
+    }
+
+    /// The platform cost model (op costs, DMA parameters, charging
+    /// mode).
+    pub fn cost(&self) -> &CostModel {
+        self.cost
+    }
+
+    /// WRAM capacity in bytes of this DPU — batched kernels preflight
+    /// their modelled WRAM working set against it instead of
+    /// materializing scratchpad segments.
+    pub fn wram_capacity(&self) -> usize {
+        self.memory.wram.capacity()
+    }
+
+    /// Raw read access to the MRAM bank. Uncharged: DMA charges are the
+    /// batch kernel's responsibility, folded into the aggregate tallies.
+    pub fn mram(&self) -> &Bank {
+        &self.memory.mram
+    }
+
+    /// Raw write access to the MRAM bank (see [`Self::mram`]).
+    pub fn mram_mut(&mut self) -> &mut Bank {
+        &mut self.memory.mram
+    }
+
+    /// The charge accumulator for one tasklet's aggregate tallies.
+    pub fn counter_mut(&mut self, tasklet: usize) -> &mut CycleCounter {
+        &mut self.counters[tasklet]
+    }
+
+    /// Folds the per-tasklet counters exactly like the per-intrinsic
+    /// tasklet loop in [`Dpu::execute`](crate::dpu::Dpu): the DPU's
+    /// launch-wide counter is the merge over tasklets, its wall cycles
+    /// the per-tasklet maximum at the given issue `interval`.
+    pub fn finish(self, interval: u64) -> (CycleCounter, u64) {
+        let mut merged = CycleCounter::new();
+        let mut max_cycles = 0u64;
+        for counter in &self.counters {
+            max_cycles = max_cycles.max(counter.cycles(interval));
+            merged.merge(counter);
+        }
+        (merged, max_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimConfig;
+
+    #[test]
+    fn finish_merges_counters_and_takes_the_slowest_tasklet() {
+        let cfg = PimConfig::builder().mram_bytes(1 << 20).build();
+        let mut memory = DpuMemory::new(cfg.mram_bytes, cfg.wram_bytes);
+        let mut ctx = BatchContext::new(3, 2, &mut memory, &cfg.cost);
+        assert_eq!(ctx.dpu_id(), 3);
+        assert_eq!(ctx.tasklets(), 2);
+        ctx.counter_mut(0).alu_slots += 10;
+        ctx.counter_mut(1).alu_slots += 25;
+        ctx.counter_mut(1).charge_dma(16, 85);
+        let (merged, max_cycles) = ctx.finish(11);
+        assert_eq!(merged.alu_slots, 35);
+        assert_eq!(merged.dma_bytes, 16);
+        // Tasklet 1 is the slowest: 25 slots × interval 11 + 85 DMA cycles.
+        assert_eq!(max_cycles, 25 * 11 + 85);
+    }
+
+    #[test]
+    fn mram_access_is_raw_and_uncharged() {
+        let cfg = PimConfig::builder().mram_bytes(1 << 20).build();
+        let mut memory = DpuMemory::new(cfg.mram_bytes, cfg.wram_bytes);
+        let mut ctx = BatchContext::new(0, 1, &mut memory, &cfg.cost);
+        ctx.mram_mut().write(8, &[7u8; 4]).expect("write");
+        let mut back = [0u8; 4];
+        ctx.mram().read(8, &mut back).expect("read");
+        assert_eq!(back, [7u8; 4]);
+        let (merged, cycles) = ctx.finish(11);
+        assert_eq!(merged.total_slots(), 0);
+        assert_eq!(cycles, 0);
+    }
+}

@@ -204,11 +204,18 @@ impl PimConfigBuilder {
         self
     }
 
-    /// Selects the arithmetic tier (fast closed-form charging vs. the
-    /// instrumented reference loops). See [`ArithTier`].
-    pub fn arith_tier(mut self, tier: ArithTier) -> Self {
+    /// Selects the execution tier (batched aggregate charging, fast
+    /// per-intrinsic charging, or the instrumented reference loops). See
+    /// [`ExecTier`].
+    pub fn exec_tier(mut self, tier: ExecTier) -> Self {
         self.inner.cost.arith_tier = tier;
         self
+    }
+
+    /// Pre-PR-9 name of [`Self::exec_tier`], kept for existing call
+    /// sites.
+    pub fn arith_tier(self, tier: ArithTier) -> Self {
+        self.exec_tier(tier)
     }
 
     /// Sets the execution engine used to schedule DPU execution.
@@ -289,26 +296,41 @@ impl Default for CostModel {
     }
 }
 
-/// Which implementation tier computes emulated arithmetic (integer
-/// multiply/divide and all floating point) inside
-/// [`DpuContext`](crate::kernel::DpuContext) intrinsics.
+/// Which execution tier runs kernels and computes their emulated
+/// arithmetic (integer multiply/divide and all floating point).
 ///
-/// Both tiers produce bit-identical results and charge identical cycles in
-/// both [`EmulationCharging`] modes — the contract "the fast path may never
-/// change a bit or a cycle" is enforced differentially by
-/// `tests/fastpath_parity.rs`. Only host wall-clock differs.
+/// Every tier produces bit-identical results and charges identical cycles
+/// in both [`EmulationCharging`] modes — the contract "a faster tier may
+/// never change a bit or a cycle" is enforced differentially by
+/// `tests/fastpath_parity.rs` and `tests/engine_determinism.rs`. Only host
+/// wall-clock differs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ArithTier {
+pub enum ExecTier {
     /// Execute the instrumented soft-float / shift-add loops in
     /// [`crate::softfloat`] and [`crate::emul`], tallying every primitive
     /// op. The ground truth; keep for audits and the parity suite.
     Reference,
     /// Compute results with host-native arithmetic and charge cycles from
     /// the closed-form tally formulas in [`crate::fastpath`]. The default:
-    /// same bits, same cycles, a fraction of the host time.
+    /// same bits, same cycles, a fraction of the host time. Still
+    /// interprets the kernel one charged intrinsic at a time.
     #[default]
     Fast,
+    /// Fuse the whole per-launch update loop into one host-native sweep
+    /// per DPU (see [`crate::batch`]): kernels that opt in via
+    /// [`Kernel::batch`](crate::kernel::Kernel::batch) compute all values
+    /// with [`crate::fastpath`] and charge closed-form *aggregate* cycle
+    /// tallies (loop-trip counts × per-intrinsic costs) instead of being
+    /// interpreted per intrinsic. A launch that a fault plan touches, a
+    /// sanitizing run, or a kernel without a batch implementation falls
+    /// back to the per-intrinsic fast path, so resilience and sanitizer
+    /// semantics are untouched.
+    Batched,
 }
+
+/// The pre-PR-9 name of [`ExecTier`], kept as an alias so existing
+/// `arith_tier(ArithTier::Fast)` call sites keep compiling.
+pub type ArithTier = ExecTier;
 
 /// Charging policy for emulated arithmetic (integer multiply/divide and
 /// floating point).

@@ -5,6 +5,12 @@
 //! cycles using the tasklet issue interval (11 cycles for a lone tasklet on
 //! UPMEM) and tracks DMA cycles separately, since the DMA engine stalls the
 //! issuing tasklet for the full transfer duration.
+//!
+//! Charging does not have to happen one intrinsic at a time: the batched
+//! execution tier (DESIGN.md §14) accumulates loop-trip counts for a whole
+//! fused sweep and charges the closed-form aggregate — the same slot and
+//! DMA totals, delivered in bulk — into the same counters, which is why
+//! per-launch cycle statistics cannot distinguish the tiers.
 
 use serde::{Deserialize, Serialize};
 

@@ -110,6 +110,33 @@ impl Dpu {
         let tasklets = kernel.tasklets().clamp(1, config.tasklets_per_dpu);
         let interval = config.cost.tasklet_issue_interval(tasklets);
         let sanitize = config.sanitize;
+        // Batched tier: try the fused whole-launch sweep first. It is
+        // attempted only when nothing that the per-intrinsic path models
+        // specially applies — the sanitizer is off and the fault plan
+        // does not touch this (dpu, launch) — so falling through below
+        // on a decline (or skipping here) reproduces identical
+        // observables through the per-intrinsic fast path.
+        if config.cost.arith_tier == crate::config::ExecTier::Batched
+            && !sanitize.enabled()
+            && !config.faults.touches_execution(self.id, launch)
+        {
+            if let Some(batched) = kernel.batch() {
+                let mut ctx =
+                    crate::batch::BatchContext::new(self.id, tasklets, &mut self.memory, &config.cost);
+                match batched.run_batched(&mut ctx) {
+                    Ok(true) => {
+                        let (merged, max_cycles) = ctx.finish(interval);
+                        self.last_counter = merged;
+                        // No straggler fired on this launch (checked
+                        // above), so the scale is an identity — applied
+                        // anyway for uniformity with the path below.
+                        return Ok(config.faults.scale_cycles(self.id, launch, max_cycles));
+                    }
+                    Ok(false) => {} // declined: interpret per-intrinsic
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         self.sanitizer.begin_launch(sanitize, tasklets);
         let mut max_cycles = 0u64;
         let mut merged = CycleCounter::new();

@@ -17,7 +17,13 @@
 //!   attribution, and report ordering are bit-identical to
 //!   [`ExecutionEngine::Serial`].
 //!
-//! Wall-clock is the only observable difference between engines.
+//! Wall-clock is the only observable difference between engines. The
+//! guarantee is orthogonal to the execution *tier*
+//! ([`ArithTier`](crate::config::ArithTier)): whether a DPU interprets
+//! its kernel per-intrinsic (reference/fast) or runs the fused batched
+//! sweep inside [`Dpu::execute`], the engine only ever sees the finished
+//! per-DPU result, so every (tier, engine) pairing produces the same
+//! bits and cycles — `tests/engine_determinism.rs` pins the full matrix.
 
 use crate::config::PimConfig;
 use crate::dpu::Dpu;

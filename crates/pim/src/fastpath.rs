@@ -25,6 +25,16 @@
 //!   the soft-float routines (including the subnormal pre-normalization
 //!   and sticky-shift cases).
 //!
+//! The **batched tier** ([`ArithTier::Batched`](crate::config::ArithTier))
+//! reuses the value functions of this module verbatim: the fused host
+//! sweep in `swiftrl-core`'s kernels computes every Q-update through the
+//! same host-native routines, so batched values are bit-identical to fast
+//! (and hence reference) values by construction. What the batched tier
+//! replaces is the *charging* — instead of tallying per intrinsic call,
+//! it accumulates loop-trip counts and multiplies by the pinned
+//! per-intrinsic slot costs at flush (DESIGN.md §14). The tally functions
+//! here remain the per-call ground truth that charging is proven against.
+//!
 //! The contract is strict: **the fast path may never change a bit or a
 //! cycle**. `tests/fastpath_parity.rs` proves it differentially —
 //! exhaustively over the special-value lattice and by property testing

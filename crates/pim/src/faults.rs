@@ -218,6 +218,23 @@ impl FaultPlan {
         (cycles as f64 * (1.0 + extra)).round() as u64
     }
 
+    /// Does this plan touch the *execution* of DPU `dpu`'s launch
+    /// `launch` in any way — injected abort, MRAM bit flip, or straggler
+    /// slowdown? The batched execution tier uses this to fall back to
+    /// the per-intrinsic path for exactly the launches whose fault
+    /// semantics it must not re-implement; like every other decision
+    /// here it is pure data keyed on `(seed, dpu, launch)`, so the
+    /// answer is engine-invariant.
+    pub fn touches_execution(&self, dpu: usize, launch: u64) -> bool {
+        if self.is_none() {
+            return false;
+        }
+        let straggles = self.straggler_rate > 0.0
+            && self.straggler_slowdown > 1.0
+            && self.unit(STREAM_STRAGGLE, dpu as u64, launch) < self.straggler_rate;
+        straggles || self.kernel_fault(dpu, launch) || self.bitflip(dpu, launch).is_some()
+    }
+
     /// The MRAM bit flip (byte offset, bit mask) to apply before DPU
     /// `dpu` executes launch `launch`, if any.
     pub fn bitflip(&self, dpu: usize, launch: u64) -> Option<(usize, u8)> {

@@ -4,6 +4,12 @@
 //! `dpu_copy_to`, parallel `dpu_push_xfer` scatter/gather,
 //! `dpu_launch`): the host can touch MRAM between launches, kernels run
 //! to completion, and all timing is accumulated in [`SystemStats`].
+//!
+//! Launches are tier-oblivious: whether a DPU interpreted its kernel
+//! per-intrinsic or took the fused batched sweep (DESIGN.md §14), the
+//! per-DPU cycle counters merged into [`LaunchStats`] here are
+//! identical, so `last_launch()` and the accumulated [`SystemStats`]
+//! never reveal which tier ran.
 
 use crate::config::PimConfig;
 use crate::dpu::Dpu;
@@ -1071,7 +1077,7 @@ mod tests {
             vec![],
         ];
         set.scatter(0, &parts).unwrap();
-        let rec = set.ledger().records().last().unwrap().clone();
+        let rec = *set.ledger().records().last().unwrap();
         assert_eq!(rec.bytes, 24);
         assert_eq!(rec.dpus, 3, "empty parts are not addressed");
         assert_eq!(rec.ranks, 2, "the all-empty rank is not touched");

@@ -127,6 +127,17 @@ pub trait Kernel: Sync {
     /// Returns a [`KernelError`] on memory faults or kernel-defined
     /// failures; the launch reports it to the host.
     fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError>;
+
+    /// The fused batched form of this kernel, if it has one and the
+    /// current configuration makes it eligible.
+    ///
+    /// Under [`ExecTier::Batched`](crate::config::ExecTier::Batched) the
+    /// DPU executor asks for this before falling back to the
+    /// per-intrinsic `run` loop; `None` (the default) means the kernel
+    /// always executes per-intrinsic, which is correct for every kernel.
+    fn batch(&self) -> Option<&dyn crate::batch::BatchKernel> {
+        None
+    }
 }
 
 /// Pre-resolved arithmetic dispatch mode: the cross product of
@@ -166,10 +177,19 @@ impl<'a> DpuContext<'a> {
         mem: &'a mut DpuMemory,
         cost: &'a CostModel,
     ) -> Self {
+        // Under the batched tier, any launch that does not (or cannot)
+        // take the fused path — ineligible kernel, sanitizer on, fault
+        // plan touching the launch, or a declined batch — executes
+        // per-intrinsic on the fast modes, which are proven bit- and
+        // cycle-identical to the reference.
         let arith = match (cost.arith_tier, cost.emulation_charging) {
             (ArithTier::Reference, _) => ArithMode::Reference,
-            (ArithTier::Fast, EmulationCharging::Calibrated) => ArithMode::FastCalibrated,
-            (ArithTier::Fast, EmulationCharging::Tally) => ArithMode::FastTally,
+            (ArithTier::Fast | ArithTier::Batched, EmulationCharging::Calibrated) => {
+                ArithMode::FastCalibrated
+            }
+            (ArithTier::Fast | ArithTier::Batched, EmulationCharging::Tally) => {
+                ArithMode::FastTally
+            }
         };
         Self {
             dpu_id,

@@ -81,6 +81,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod batch;
 pub mod config;
 pub mod cost;
 pub mod dpu;
@@ -98,7 +99,8 @@ pub mod stats;
 pub mod xfer;
 
 pub use arena::{FleetArena, MemoryStats};
-pub use config::{ArithTier, CostModel, PimConfig};
+pub use batch::{BatchContext, BatchKernel};
+pub use config::{ArithTier, CostModel, ExecTier, PimConfig};
 pub use engine::ExecutionEngine;
 pub use faults::{FaultPlan, MramRegion};
 pub use host::{DpuSet, PimError, PimSystem};

@@ -115,6 +115,31 @@ fn transitive_violation_is_caught_through_a_helper() {
     );
 }
 
+/// K011 fixture: a kernel reaching into the batched tier is flagged; the
+/// advertising `Kernel::batch` method and host-side batch code are not.
+/// Pins the seam the three-tier contract (DESIGN.md §14) rests on: the
+/// fused sweep runs host-side from `Dpu::execute`, never from kernel code.
+#[test]
+fn k011_fixture_flags_kernel_side_batch_access() {
+    let src = r#"
+        impl Kernel for Fused {
+            fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), KernelError> {
+                self.run_batched(ctx);
+                Ok(())
+            }
+            fn batch(&self) -> Option<&dyn BatchKernel> { Some(self) }
+        }
+        fn host_side(b: &mut BatchContext<'_>) -> u32 {
+            batch::granule_plan(8)
+        }
+    "#;
+    let findings = check_file(Path::new("crates/core/src/kernels.rs"), src);
+    let k011: Vec<_> = findings.iter().filter(|f| f.rule == "K011").collect();
+    assert_eq!(k011.len(), 1, "exactly the kernel-side call: {findings:?}");
+    assert!(k011[0].message.contains("run_batched"), "{k011:?}");
+    assert_eq!(k011[0].line, 4, "{k011:?}");
+}
+
 /// D001: hashed collections in determinism-scoped library code (violating
 /// and clean variants).
 #[test]

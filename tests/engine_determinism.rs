@@ -15,7 +15,7 @@ use swiftrl::core::runner::{PimRunner, RunOutcome};
 use swiftrl::env::collect::collect_random;
 use swiftrl::env::frozen_lake::FrozenLake;
 use swiftrl::env::ExperienceDataset;
-use swiftrl::pim::config::PimConfig;
+use swiftrl::pim::config::{ArithTier, PimConfig};
 use swiftrl::pim::faults::FaultPlan;
 use swiftrl::pim::host::PimSystem;
 use swiftrl::pim::kernel::{DpuContext, Kernel, KernelError};
@@ -126,6 +126,72 @@ fn faulted_paper_variants_are_bit_identical_across_engines() {
                 "{spec}/{engine:?}: resilience stats diverged under faults"
             );
             assert_eq!(serial.memory, parallel.memory, "{spec}/{engine:?}");
+        }
+    }
+}
+
+/// The batched execution tier is as engine-invariant as the others: the
+/// fused whole-launch sweep runs per DPU, so which worker executes it is
+/// still a pure scheduling choice. With the sanitizer off (the fused
+/// path is only taken when nothing needs per-access observation), every
+/// paper variant — with and without an active fault plan forcing touched
+/// launches back onto the per-intrinsic path — produces identical
+/// Q-tables, breakdowns, resilience stats, and memory ceilings across
+/// the serial, threaded, and work-stealing engines.
+#[test]
+fn batched_tier_is_engine_invariant_with_and_without_faults() {
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(6)
+        .with_episodes(4)
+        .with_tau(2);
+    let data = dataset(2_000);
+    let run = |spec, engine, faults: Option<FaultPlan>| {
+        let mut builder = PimConfig::builder()
+            .dpus(cfg.dpus)
+            .engine(engine)
+            .arith_tier(ArithTier::Batched);
+        if let Some(plan) = faults {
+            builder = builder.faults(plan);
+        }
+        PimRunner::with_platform(spec, cfg, builder.build())
+            .unwrap()
+            .with_resilience(ResilienceConfig::none().with_max_retries(4))
+            .run(&data)
+            .unwrap()
+    };
+    let plans: [Option<FaultPlan>; 2] = [
+        None,
+        Some(FaultPlan::seeded(7).with_dpu_fail_rate(0.1).with_stragglers(0.3, 2.5)),
+    ];
+    for spec in WorkloadSpec::paper_variants() {
+        for plan in &plans {
+            let serial = run(spec, ExecutionEngine::Serial, plan.clone());
+            for engine in [
+                ExecutionEngine::Threaded { workers: 3 },
+                ExecutionEngine::WorkStealing { workers: 3 },
+            ] {
+                let parallel = run(spec, engine, plan.clone());
+                assert_eq!(
+                    serial.q_table, parallel.q_table,
+                    "{spec}/{engine:?} (faults: {}): batched Q-tables diverged",
+                    plan.is_some()
+                );
+                assert_eq!(
+                    serial.breakdown, parallel.breakdown,
+                    "{spec}/{engine:?} (faults: {}): batched breakdowns diverged",
+                    plan.is_some()
+                );
+                assert_eq!(
+                    serial.resilience, parallel.resilience,
+                    "{spec}/{engine:?} (faults: {}): batched resilience stats diverged",
+                    plan.is_some()
+                );
+                assert_eq!(
+                    serial.memory, parallel.memory,
+                    "{spec}/{engine:?} (faults: {}): batched memory ceilings diverged",
+                    plan.is_some()
+                );
+            }
         }
     }
 }

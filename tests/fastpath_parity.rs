@@ -1,11 +1,16 @@
-//! Differential proof of the two-tier arithmetic contract (DESIGN.md §10):
-//! the fast tier may never change a bit or a cycle. Every fast-path value
-//! function must be bit-identical to the instrumented soft reference, and
-//! every closed-form tally function must equal the reference's executed-op
-//! count — exhaustively over the special-value lattice, property-tested
-//! over random operands, cycle-for-cycle through `DpuContext` launches in
-//! both charging modes, and end-to-end over all 12 paper variants under
-//! both execution engines.
+//! Differential proof of the tiered execution contract (DESIGN.md §10,
+//! §14): neither the fast tier nor the batched tier may ever change a bit
+//! or a cycle. Every fast-path value function must be bit-identical to the
+//! instrumented soft reference, and every closed-form tally function must
+//! equal the reference's executed-op count — exhaustively over the
+//! special-value lattice, property-tested over random operands,
+//! cycle-for-cycle through `DpuContext` launches in both charging modes,
+//! and end-to-end over all 12 paper variants under every execution
+//! engine. The batched tier (one fused host sweep per launch, aggregate
+//! cycle tallies) is additionally pinned at the host level — `LaunchStats`
+//! and `SystemStats` identical to the reference — and under active fault
+//! plans, where touched (dpu, launch) pairs fall back to the
+//! per-intrinsic path.
 
 use proptest::prelude::*;
 use swiftrl::core::config::{RunConfig, WorkloadSpec};
@@ -412,6 +417,9 @@ fn all_paper_variants_identical_across_tiers_and_engines() {
             (ArithTier::Fast, ExecutionEngine::Serial),
             (ArithTier::Reference, threaded),
             (ArithTier::Fast, threaded),
+            (ArithTier::Batched, ExecutionEngine::Serial),
+            (ArithTier::Batched, threaded),
+            (ArithTier::Batched, ExecutionEngine::WorkStealing { workers: 3 }),
         ] {
             let other = run_tiered(
                 spec,
@@ -456,22 +464,200 @@ fn tally_charging_identical_across_tiers_end_to_end() {
             ExecutionEngine::Serial,
             &data,
         );
-        let fast = run_tiered(
-            spec,
-            cfg,
-            ArithTier::Fast,
-            EmulationCharging::Tally,
-            ExecutionEngine::Serial,
-            &data,
-        );
-        assert_eq!(
-            reference.q_table.to_bytes(),
-            fast.q_table.to_bytes(),
-            "{spec}: Q-table bytes diverged under tally charging"
-        );
-        assert_eq!(
-            reference.breakdown, fast.breakdown,
-            "{spec}: time breakdown diverged under tally charging"
-        );
+        for tier in [ArithTier::Fast, ArithTier::Batched] {
+            let other = run_tiered(
+                spec,
+                cfg,
+                tier,
+                EmulationCharging::Tally,
+                ExecutionEngine::Serial,
+                &data,
+            );
+            assert_eq!(
+                reference.q_table.to_bytes(),
+                other.q_table.to_bytes(),
+                "{spec}: Q-table bytes diverged under tally charging ({tier:?})"
+            );
+            assert_eq!(
+                reference.breakdown, other.breakdown,
+                "{spec}: time breakdown diverged under tally charging ({tier:?})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched tier: host-level LaunchStats/SystemStats identity, and identity
+// under active fault plans (touched launches fall back per-intrinsic).
+// ---------------------------------------------------------------------------
+
+/// Stages a SwiftRL MRAM image by hand (headers + encoded transitions, as
+/// the runner does), launches the training kernel twice so the episode
+/// window advances through a header rewrite, and returns everything a
+/// launch observably produces.
+fn swiftrl_host_outcome(
+    spec: WorkloadSpec,
+    tier: ArithTier,
+    charging: EmulationCharging,
+    data: &ExperienceDataset,
+) -> (Vec<u8>, LaunchStats, SystemStats) {
+    use swiftrl::core::config::DataType;
+    use swiftrl::core::kernels::SwiftRlKernel;
+    use swiftrl::core::layout::{dpu_seed, sampling_kind, KernelHeader, Q_TABLE_OFFSET};
+    use swiftrl::rl::policy::epsilon_threshold;
+    use swiftrl::rl::sampling::SamplingStrategy;
+
+    let cfg = RunConfig::paper_defaults();
+    let scale = cfg.scale();
+    let ndpus = 3usize;
+    let mut platform = PimConfig::builder().dpus(ndpus).arith_tier(tier).build();
+    platform.cost.emulation_charging = charging;
+    let mut sys = PimSystem::new(platform);
+    let mut set = sys.alloc(ndpus).unwrap();
+
+    let (ns, na) = (data.num_states(), data.num_actions());
+    let (alpha, gamma) = match spec.dtype {
+        DataType::Fp32 => (cfg.alpha.to_bits(), cfg.gamma.to_bits()),
+        DataType::Int32 => (
+            scale.to_fixed(cfg.alpha) as u32,
+            scale.to_fixed(cfg.gamma) as u32,
+        ),
+    };
+    let (sampling, stride) = match spec.sampling {
+        SamplingStrategy::Sequential => (sampling_kind::SEQ, 0),
+        SamplingStrategy::Stride(k) => (sampling_kind::STR, k as u32),
+        SamplingStrategy::Random => (sampling_kind::RAN, 0),
+    };
+    let chunk = data.len() / ndpus;
+    for dpu in 0..ndpus {
+        let header = KernelHeader {
+            n_transitions: chunk as u32,
+            num_states: ns as u32,
+            num_actions: na as u32,
+            episodes: 4,
+            episode_base: 0,
+            sampling,
+            stride,
+            seed: dpu_seed(cfg.seed, dpu),
+            alpha,
+            gamma,
+            epsilon_threshold: epsilon_threshold(cfg.epsilon).min(u32::MAX as u64) as u32,
+            scale: scale.factor() as u32,
+        };
+        set.copy_to(dpu, 0, &header.to_bytes()).unwrap();
+        let range = dpu * chunk..(dpu + 1) * chunk;
+        let chunk_bytes = match spec.dtype {
+            DataType::Fp32 => data.encode_range_fp32(range),
+            DataType::Int32 => data.encode_range_int32(range, scale.factor()),
+        };
+        set.copy_to(dpu, header.transitions_offset(), &chunk_bytes)
+            .unwrap();
+    }
+    // Three tasklets exercise the chunk partitioning and the shared
+    // WRAM Q-table; two launches exercise the continued episode window.
+    let kernel = SwiftRlKernel::with_tasklets(spec, 3);
+    set.launch(&kernel).unwrap();
+    set.launch(&kernel).unwrap();
+    let mut q = vec![0u8; ns * na * 4 * ndpus];
+    set.gather_into(Q_TABLE_OFFSET, ns * na * 4, &mut q).unwrap();
+    (q, set.last_launch().clone(), set.stats().clone())
+}
+
+/// The batched tier's aggregate cycle tallies are indistinguishable from
+/// interpreting every intrinsic: for all 12 paper variants, in both
+/// charging modes, a host-level launch produces identical per-DPU
+/// Q-table bytes, identical `LaunchStats` (merged per-class counters,
+/// max/min/mean cycles, modelled seconds), and identical `SystemStats`.
+#[test]
+fn batched_launch_stats_identical_at_host_level() {
+    let data = dataset();
+    for charging in [EmulationCharging::Calibrated, EmulationCharging::Tally] {
+        for spec in WorkloadSpec::paper_variants() {
+            let (ref_q, ref_launch, ref_stats) =
+                swiftrl_host_outcome(spec, ArithTier::Reference, charging, &data);
+            for tier in [ArithTier::Fast, ArithTier::Batched] {
+                let (q, launch, stats) = swiftrl_host_outcome(spec, tier, charging, &data);
+                assert_eq!(
+                    ref_q, q,
+                    "{spec}/{charging:?}: Q-table bytes diverged under {tier:?}"
+                );
+                assert_eq!(
+                    ref_launch, launch,
+                    "{spec}/{charging:?}: LaunchStats diverged under {tier:?}"
+                );
+                assert_eq!(
+                    ref_stats, stats,
+                    "{spec}/{charging:?}: SystemStats diverged under {tier:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Identity holds under an active fault plan: bitflips and stragglers
+/// force the touched (dpu, launch) pairs back onto the per-intrinsic
+/// path, transient aborts ride the retry loop, and the run remains
+/// bit- and cycle-identical across all three tiers and both engines.
+#[test]
+fn batched_identical_under_fault_plans() {
+    use swiftrl::core::layout::Q_TABLE_OFFSET;
+    use swiftrl::core::resilience::ResilienceConfig;
+    use swiftrl::pim::{FaultPlan, MramRegion};
+
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(6)
+        .with_episodes(4)
+        .with_tau(2);
+    let data = dataset();
+    let faults = || {
+        FaultPlan::seeded(21)
+            .with_dpu_fail_rate(0.15)
+            .with_stragglers(0.4, 3.0)
+            .with_bitflips(
+                0.4,
+                MramRegion {
+                    offset: Q_TABLE_OFFSET,
+                    len: 256,
+                },
+            )
+    };
+    let run = |spec, tier, engine| {
+        let mut platform = PimConfig::builder()
+            .dpus(cfg.dpus)
+            .engine(engine)
+            .arith_tier(tier)
+            .faults(faults())
+            .build();
+        platform.cost.emulation_charging = EmulationCharging::Calibrated;
+        PimRunner::with_platform(spec, cfg, platform)
+            .unwrap()
+            .with_resilience(ResilienceConfig::none().with_max_retries(4))
+            .run(&data)
+            .unwrap()
+    };
+    for spec in WorkloadSpec::paper_variants() {
+        let reference = run(spec, ArithTier::Reference, ExecutionEngine::Serial);
+        for tier in [ArithTier::Fast, ArithTier::Batched] {
+            for engine in [
+                ExecutionEngine::Serial,
+                ExecutionEngine::WorkStealing { workers: 3 },
+            ] {
+                let other = run(spec, tier, engine);
+                assert_eq!(
+                    reference.q_table.to_bytes(),
+                    other.q_table.to_bytes(),
+                    "{spec}: Q-table bytes diverged under faults ({tier:?}/{engine:?})"
+                );
+                assert_eq!(
+                    reference.breakdown, other.breakdown,
+                    "{spec}: time breakdown diverged under faults ({tier:?}/{engine:?})"
+                );
+                assert_eq!(
+                    reference.resilience, other.resilience,
+                    "{spec}: resilience stats diverged under faults ({tier:?}/{engine:?})"
+                );
+                assert_eq!(reference.comm_rounds, other.comm_rounds, "{spec}");
+            }
+        }
     }
 }

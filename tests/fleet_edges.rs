@@ -7,7 +7,7 @@ use swiftrl::core::config::{RunConfig, WorkloadSpec};
 use swiftrl::core::runner::PimRunner;
 use swiftrl::env::collect::collect_random;
 use swiftrl::env::frozen_lake::FrozenLake;
-use swiftrl::pim::config::PimConfig;
+use swiftrl::pim::config::{ArithTier, PimConfig};
 use swiftrl::pim::host::PimSystem;
 use swiftrl::pim::xfer::Direction;
 use swiftrl::telemetry::TransferKind;
@@ -68,6 +68,70 @@ fn run_with_more_dpus_than_transitions_completes() {
     let out = PimRunner::new(spec, cfg).unwrap().run(&dataset).unwrap();
     assert_eq!(out.comm_rounds, 2);
     assert!(out.q_table.values().iter().any(|&v| v != 0.0));
+}
+
+/// The batched tier handles empty replay chunks: with more DPUs than
+/// transitions, the tail DPUs' fused sweeps see `n_transitions == 0`
+/// and still charge the per-episode control slots the interpreter
+/// charges, so the run is bit- and cycle-identical to the reference
+/// tier — empty-chunk DPUs included.
+#[test]
+fn batched_tier_identical_with_empty_replay_chunks() {
+    let mut env = FrozenLake::slippery_4x4();
+    // 6 transitions over 10 DPUs: DPUs 6..10 hold empty chunks.
+    let dataset = collect_random(&mut env, 6, 42);
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(10)
+        .with_episodes(4)
+        .with_tau(2);
+    let run = |tier| {
+        let platform = PimConfig::builder()
+            .dpus(10)
+            .dpus_per_rank(4)
+            .arith_tier(tier)
+            .build();
+        PimRunner::with_platform(WorkloadSpec::q_learning_seq_fp32(), cfg, platform)
+            .unwrap()
+            .run(&dataset)
+            .unwrap()
+    };
+    let reference = run(ArithTier::Reference);
+    let batched = run(ArithTier::Batched);
+    assert_eq!(
+        reference.q_table.to_bytes(),
+        batched.q_table.to_bytes(),
+        "empty-chunk run: Q-tables diverged under the batched tier"
+    );
+    assert_eq!(
+        reference.breakdown, batched.breakdown,
+        "empty-chunk run: time breakdowns diverged under the batched tier"
+    );
+}
+
+/// More DPUs than transitions under the batched tier completes, learns,
+/// and matches the fast tier byte-for-byte — including the all-zero
+/// contributions of the idle tail DPUs to the aggregated average.
+#[test]
+fn batched_run_with_more_dpus_than_transitions_matches_fast() {
+    let mut env = swiftrl::env::taxi::Taxi::new();
+    let dataset = collect_random(&mut env, 40, 7);
+    let cfg = RunConfig::paper_defaults()
+        .with_dpus(64)
+        .with_episodes(4)
+        .with_tau(2);
+    let run = |tier| {
+        let platform = PimConfig::builder().dpus(64).arith_tier(tier).build();
+        PimRunner::with_platform(WorkloadSpec::q_learning_seq_int32(), cfg, platform)
+            .unwrap()
+            .run(&dataset)
+            .unwrap()
+    };
+    let fast = run(ArithTier::Fast);
+    let batched = run(ArithTier::Batched);
+    assert_eq!(batched.comm_rounds, 2);
+    assert!(batched.q_table.values().iter().any(|&v| v != 0.0));
+    assert_eq!(fast.q_table.to_bytes(), batched.q_table.to_bytes());
+    assert_eq!(fast.breakdown, batched.breakdown);
 }
 
 /// Telemetry cross-check: the scatter event stream agrees with the

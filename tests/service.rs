@@ -14,7 +14,7 @@ use swiftrl::env::collect::collect_random;
 use swiftrl::env::frozen_lake::FrozenLake;
 use swiftrl::env::taxi::Taxi;
 use swiftrl::env::ExperienceDataset;
-use swiftrl::pim::config::PimConfig;
+use swiftrl::pim::config::{ExecTier, PimConfig};
 use swiftrl::pim::faults::FaultPlan;
 
 fn frozen_dataset(transitions: usize, seed: u32) -> ExperienceDataset {
@@ -315,6 +315,103 @@ fn cancellation_mid_round_leaves_the_fleet_reusable() {
         ))
         .expect("full-fleet job admitted");
     assert!(full.wait().completed().is_some());
+}
+
+/// Cancelling a batched-tier job works exactly like cancelling a
+/// per-intrinsic one: the `CancelToken` is checked at round boundaries
+/// regardless of how the launch between them executed, so a marathon
+/// batched job stops mid-run, reports real work, and frees its lease.
+#[test]
+fn batched_job_cancellation_mid_round_frees_the_lease() {
+    let service = TrainingService::new(small_fleet(), 1);
+    let marathon = service
+        .submit(
+            JobRequest::new(
+                "batched-marathon",
+                WorkloadSpec::q_learning_seq_fp32(),
+                cfg(4, 200_000, 1),
+                frozen_dataset(800, 1),
+            )
+            .with_exec_tier(ExecTier::Batched),
+        )
+        .expect("admitted");
+    while marathon.status() != JobStatus::Running {
+        std::thread::yield_now();
+    }
+    marathon.cancel();
+    let outcome = marathon.wait();
+    assert!(outcome.is_cancelled(), "expected cancellation: {outcome:?}");
+    assert!(marathon.metrics().launches > 0);
+
+    // The lease is free: a follow-up batched job completes.
+    let follow_up = service
+        .submit(
+            JobRequest::new(
+                "follow-up",
+                WorkloadSpec::q_learning_seq_int32(),
+                cfg(4, 8, 2),
+                frozen_dataset(600, 2),
+            )
+            .with_exec_tier(ExecTier::Batched),
+        )
+        .expect("admitted");
+    assert!(follow_up.wait().completed().is_some());
+}
+
+/// Execution tiers are a per-tenant choice: a batched-tier job running
+/// next to a reference-tier tenant on the same shared fleet leaves both
+/// bit-identical to their solo runs — the tier changes host wall-clock
+/// only, never a simulated observable, even across tenants.
+#[test]
+fn batched_tenant_next_to_reference_tenant_matches_solo_runs() {
+    let service = TrainingService::new(small_fleet(), 2);
+    let requests = [
+        JobRequest::new(
+            "batched-tenant",
+            WorkloadSpec::sarsa_seq_fp32(),
+            cfg(4, 8, 1),
+            frozen_dataset(800, 1),
+        )
+        .with_exec_tier(ExecTier::Batched),
+        JobRequest::new(
+            "reference-tenant",
+            WorkloadSpec::q_learning_seq_int32(),
+            cfg(4, 8, 2),
+            taxi_dataset(800, 2),
+        )
+        .with_exec_tier(ExecTier::Reference),
+    ];
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| service.submit(r.clone()).expect("admission"))
+        .collect();
+    for (request, handle) in requests.iter().zip(&handles) {
+        let outcome = handle.wait();
+        let JobOutcome::Completed(service_out) = outcome else {
+            panic!("job {} did not complete: {:?}", handle.id(), outcome);
+        };
+        // The solo platform carries the same per-job tier override.
+        let platform = service.job_platform(request);
+        assert_eq!(
+            platform.cost.arith_tier,
+            request.exec_tier.expect("tier set"),
+            "job_platform must carry the per-job tier override"
+        );
+        let solo_out = PimRunner::with_platform(request.spec, request.cfg, platform)
+            .expect("solo runner")
+            .run(&request.dataset)
+            .expect("solo run");
+        assert_eq!(
+            service_out.q_table, solo_out.q_table,
+            "{}: in-service Q-table diverged from solo run",
+            handle.tenant()
+        );
+        assert_eq!(
+            service_out.breakdown, solo_out.breakdown,
+            "{}: in-service breakdown diverged from solo run",
+            handle.tenant()
+        );
+    }
 }
 
 /// Every tenant's telemetry sink contains only its own events: fault
