@@ -100,7 +100,7 @@ fn main() {
                 .with_episodes(episodes)
                 .with_tau(TAU)
                 .with_seed(args.seed.unwrap_or(0xC0FFEE));
-            let telemetry = if args.trace.is_some() {
+            let telemetry = if args.observability_on() {
                 Telemetry::enabled()
             } else {
                 Telemetry::disabled()
@@ -141,7 +141,7 @@ fn main() {
                 times.insert((case.tag, spec.name(), backend.name()), secs);
                 row_secs.push(secs);
             }
-            if args.trace.is_some() {
+            if args.observability_on() {
                 traced.push((format!("{} {}", case.tag, spec.name()), telemetry.events()));
             }
             let [pim_s, v1, v2, gpu_s] = row_secs[..] else {
@@ -195,6 +195,15 @@ fn main() {
             runs.len(),
             metrics_path.display()
         );
+    }
+    if let Some(path) = &args.metrics {
+        let snapshots: Vec<MetricsSnapshot> = traced
+            .iter()
+            .map(|(label, events)| MetricsSnapshot::from_events(label.clone(), events))
+            .collect();
+        write_json_artifact(path, &snapshot_bundle("Figure 7", &snapshots))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("\nmetrics: {} ({} PIM runs)", path.display(), snapshots.len());
     }
 }
 

@@ -11,10 +11,21 @@
 //! ```text
 //! cargo run --release -p swiftrl-bench --bin service_throughput
 //! cargo run --release -p swiftrl-bench --bin service_throughput -- --quick
+//! cargo run --release -p swiftrl-bench --bin service_throughput -- \
+//!     --quick --trace service.trace.json --metrics service.metrics.json
 //! ```
+//!
+//! `--trace` / `--metrics` run one extra *observed* drain after the
+//! measured sweep (which stays un-instrumented so the ratcheted
+//! `BENCH_SERVICE.json` numbers are untouched): a service built with
+//! [`TrainingService::with_observability`] records the full
+//! [`ServiceEvent`](swiftrl_telemetry::ServiceEvent) stream, from which
+//! the fleet-wide Chrome trace, the `swiftrl-service-metrics-v1`
+//! snapshot and a Prometheus text exposition (`.prom` sibling of the
+//! metrics path) are derived.
 
 use std::time::Instant;
-use swiftrl_bench::write_json_artifact;
+use swiftrl_bench::{write_json_artifact, write_trace_artifact};
 use swiftrl_core::config::{RunConfig, WorkloadSpec};
 use swiftrl_core::resilience::ResilienceConfig;
 use swiftrl_core::runner::PimRunner;
@@ -25,7 +36,7 @@ use swiftrl_env::taxi::Taxi;
 use swiftrl_env::ExperienceDataset;
 use swiftrl_pim::config::PimConfig;
 use swiftrl_pim::faults::FaultPlan;
-use swiftrl_telemetry::Json;
+use swiftrl_telemetry::{service_trace, Event, Json, ServiceMetrics, ServiceTelemetry};
 
 /// Builds the heterogeneous tenant batch: four workload variants,
 /// 2–4-DPU slices, a quarter of the tenants with transient faults and
@@ -77,11 +88,32 @@ fn build_requests(jobs: usize, episodes: u32) -> Vec<JobRequest> {
 
 fn main() {
     let mut quick = false;
-    for arg in std::env::args().skip(1) {
+    let mut trace: Option<std::path::PathBuf> = None;
+    let mut metrics: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--trace" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs a path; try --help");
+                    std::process::exit(2);
+                });
+                trace = Some(std::path::PathBuf::from(v));
+            }
+            "--metrics" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics needs a path; try --help");
+                    std::process::exit(2);
+                });
+                metrics = Some(std::path::PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                eprintln!("flags: --quick (fewer jobs and episodes for CI)");
+                eprintln!(
+                    "flags: --quick (fewer jobs and episodes for CI) | \
+                     --trace <path> (fleet-wide Chrome trace from an observed drain) | \
+                     --metrics <path> (service metrics JSON + .prom exposition sibling)"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -219,4 +251,69 @@ fn main() {
     write_json_artifact(std::path::Path::new("BENCH_SERVICE.json"), &doc)
         .expect("write BENCH_SERVICE.json");
     println!("\nWrote BENCH_SERVICE.json");
+
+    if trace.is_some() || metrics.is_some() {
+        observed_drain(&fleet, &requests, *worker_sweep.last().unwrap_or(&4), trace, metrics);
+    }
+}
+
+/// One extra drain with service observability on, separate from the
+/// measured sweep above so the ratcheted numbers never pay for it.
+/// Writes the fleet-wide Chrome trace (worker/rank/per-job lanes), the
+/// `swiftrl-service-metrics-v1` snapshot, and its Prometheus text
+/// exposition as a `.prom` sibling of the metrics path.
+fn observed_drain(
+    fleet: &PimConfig,
+    requests: &[JobRequest],
+    workers: usize,
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+) {
+    let service =
+        TrainingService::with_observability(fleet.clone(), workers, ServiceTelemetry::enabled());
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| service.submit(r.clone()).expect("admission"))
+        .collect();
+    for handle in &handles {
+        match handle.wait() {
+            JobOutcome::Completed(_) => {}
+            other => panic!("observed job {} did not complete: {other:?}", handle.id()),
+        }
+    }
+    let records = service.service_telemetry().records();
+    println!(
+        "\nObserved drain: {} jobs on {workers} workers, {} service events",
+        handles.len(),
+        records.len()
+    );
+
+    if let Some(path) = &trace {
+        let jobs: Vec<(u64, String, Vec<Event>)> = handles
+            .iter()
+            .map(|h| {
+                (
+                    h.id(),
+                    format!("{}/job-{}", h.tenant(), h.id()),
+                    h.telemetry().events(),
+                )
+            })
+            .collect();
+        write_trace_artifact(path, &service_trace(&records, &jobs))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("service trace: {}", path.display());
+    }
+    if let Some(path) = &metrics {
+        let registry = ServiceMetrics::from_records(&records);
+        write_json_artifact(path, &registry.to_json())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        let prom_path = path.with_extension("prom");
+        std::fs::write(&prom_path, registry.to_prometheus())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", prom_path.display()));
+        println!(
+            "service metrics: {}; exposition: {}",
+            path.display(),
+            prom_path.display()
+        );
+    }
 }

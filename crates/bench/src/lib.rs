@@ -31,13 +31,25 @@ pub struct HarnessArgs {
     /// extension). `None` leaves telemetry disabled — a true zero on the
     /// launch hot path.
     pub trace: Option<std::path::PathBuf>,
+    /// Write the sweep's `MetricsSnapshot` bundle (schema
+    /// `swiftrl-metrics-bundle-v1`, per-run `swiftrl-metrics-v3`
+    /// snapshots) to this exact path, independent of `--trace`.
+    /// Either flag enables telemetry; neither leaves it a true zero.
+    pub metrics: Option<std::path::PathBuf>,
 }
 
 impl HarnessArgs {
+    /// Whether any observability output was requested (telemetry must
+    /// be recorded for the sweep).
+    pub fn observability_on(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
     /// Parses `std::env::args()`.
     ///
     /// Supported flags: `--scale <f64>`, `--paper-scale`,
-    /// `--dpus <a,b,c>`, `--seed <u32>`, `--trace <path>`, `--help`.
+    /// `--dpus <a,b,c>`, `--seed <u32>`, `--trace <path>`,
+    /// `--metrics <path>`, `--help`.
     ///
     /// # Panics
     ///
@@ -51,6 +63,7 @@ impl HarnessArgs {
             dpus: None,
             seed: None,
             trace: None,
+            metrics: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -83,10 +96,16 @@ impl HarnessArgs {
                     let v = args.next().unwrap_or_else(|| usage("--trace needs a path"));
                     out.trace = Some(std::path::PathBuf::from(v));
                 }
+                "--metrics" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--metrics needs a path"));
+                    out.metrics = Some(std::path::PathBuf::from(v));
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale <f in (0,1]> | --paper-scale | --dpus <a,b,c> | \
-                         --seed <u32> | --trace <path>"
+                         --seed <u32> | --trace <path> | --metrics <path>"
                     );
                     std::process::exit(0);
                 }
@@ -307,6 +326,7 @@ mod tests {
             dpus: None,
             seed: None,
             trace: None,
+            metrics: None,
         };
         assert_eq!(a.scaled(1_000, 50), 50);
         assert_eq!(a.scaled(1_000_000, 50), 1_000);
@@ -319,6 +339,7 @@ mod tests {
             dpus: None,
             seed: None,
             trace: None,
+            metrics: None,
         };
         let e = a.scaled_episodes(2_000, 50);
         assert_eq!(e % 50, 0);

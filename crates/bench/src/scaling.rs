@@ -100,7 +100,7 @@ pub fn run_scaling_figure(
                 .with_episodes(episodes)
                 .with_tau(fig.tau)
                 .with_seed(args.seed.unwrap_or(0xC0FFEE));
-            let telemetry = if args.trace.is_some() {
+            let telemetry = if args.observability_on() {
                 Telemetry::enabled()
             } else {
                 Telemetry::disabled()
@@ -113,7 +113,7 @@ pub fn run_scaling_figure(
             let report = backend
                 .train(dataset)
                 .unwrap_or_else(|e| panic!("PIM run failed: {e}"));
-            if args.trace.is_some() {
+            if args.observability_on() {
                 traced.push((format!("{spec} @ {dpus} DPUs"), telemetry.events()));
             }
             let b = extra.apply(&report.breakdown);
@@ -154,6 +154,9 @@ pub fn run_scaling_figure(
     if let Some(path) = &args.trace {
         write_trace_artifacts(fig, path, &traced);
     }
+    if let Some(path) = &args.metrics {
+        write_metrics_bundle(fig, path, &traced);
+    }
     cells
 }
 
@@ -179,6 +182,18 @@ fn write_trace_artifacts(fig: &ScalingFigure, path: &std::path::Path, traced: &[
         runs.len(),
         metrics_path.display()
     );
+}
+
+/// Writes the metrics-snapshot bundle at an explicit `--metrics` path
+/// (independent of `--trace`, which writes a sibling bundle of its own).
+fn write_metrics_bundle(fig: &ScalingFigure, path: &std::path::Path, traced: &[(String, Vec<Event>)]) {
+    let snapshots: Vec<MetricsSnapshot> = traced
+        .iter()
+        .map(|(label, events)| MetricsSnapshot::from_events(label.clone(), events))
+        .collect();
+    write_json_artifact(path, &snapshot_bundle(fig.figure, &snapshots))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\nmetrics: {} ({} runs)", path.display(), snapshots.len());
 }
 
 fn summarize(cells: &[ScalingCell], dpu_counts: &[usize]) {

@@ -39,7 +39,7 @@ use swiftrl_env::dataset::ExperienceDataset;
 use swiftrl_pim::config::{ExecTier, PimConfig};
 use swiftrl_pim::faults::FaultPlan;
 use swiftrl_pim::host::{PimError, PimSystem};
-use swiftrl_telemetry::{MetricsSnapshot, Telemetry};
+use swiftrl_telemetry::{MetricsSnapshot, ServiceEvent, ServiceTelemetry, Telemetry};
 
 use crate::config::{RunConfig, WorkloadSpec};
 use crate::resilience::ResilienceConfig;
@@ -370,6 +370,50 @@ struct Shared {
     /// Signalled when a job is enqueued or shutdown begins.
     queue_cv: Condvar,
     shutdown: AtomicBool,
+    /// Service observability sink + wall-clock anchor. Disabled by
+    /// default; a disabled observer emits nothing and allocates
+    /// nothing.
+    observer: Observer,
+}
+
+/// The service's observability emitter: a [`ServiceTelemetry`] sink
+/// plus the **one wall-clock anchor** in the service (DESIGN.md §15).
+///
+/// ---- Non-deterministic section ----
+/// `started` is host wall-clock; elapsed seconds stamp every record's
+/// `wall_s` for timeline layout and latency histograms. Wall time
+/// never feeds a simulated observable, and a sink created with
+/// [`ServiceTelemetry::deterministic`] zeroes it at recording time so
+/// rendered streams can be pinned byte-exactly. Everything else on a
+/// [`ServiceEvent`] is logical-clock data (job id, round, rank id) or
+/// a simulated quantity.
+struct Observer {
+    sink: ServiceTelemetry,
+    started: std::time::Instant,
+}
+
+impl Observer {
+    fn new(sink: ServiceTelemetry) -> Self {
+        Self {
+            sink,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Whether expensive payload construction should run at all.
+    #[inline]
+    fn on(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// Records an event stamped with the current wall-clock offset.
+    /// The closure is evaluated only when the sink is enabled.
+    #[inline]
+    fn emit(&self, make: impl FnOnce() -> ServiceEvent) {
+        if self.sink.is_enabled() {
+            self.sink.emit(self.started.elapsed().as_secs_f64(), make);
+        }
+    }
 }
 
 /// Locks a mutex, recovering the guard if a worker panicked while
@@ -402,7 +446,22 @@ impl TrainingService {
     /// `workers` is clamped to at least 1. More workers means more
     /// jobs training concurrently (each on its own lease); one worker
     /// serializes the fleet.
+    ///
+    /// Observability is off: the service emits no [`ServiceEvent`]s
+    /// and pays nothing for the instrumentation. Use
+    /// [`with_observability`](Self::with_observability) to attach a
+    /// sink.
     pub fn new(config: PimConfig, workers: usize) -> Self {
+        Self::with_observability(config, workers, ServiceTelemetry::disabled())
+    }
+
+    /// Builds a service like [`new`](Self::new) with a service-event
+    /// sink attached: every job-lifecycle transition, worker busy/idle
+    /// change, rank-lease change and queue-depth sample is recorded
+    /// into `sink` (see [`ServiceTelemetry`]). A
+    /// [`ServiceTelemetry::deterministic`] sink zeroes the wall-clock
+    /// section for byte-exact stream pins.
+    pub fn with_observability(config: PimConfig, workers: usize, sink: ServiceTelemetry) -> Self {
         let ranks = config.ranks_for(config.dpus);
         let shared = Arc::new(Shared {
             fleet: Mutex::new(FleetState {
@@ -414,13 +473,14 @@ impl TrainingService {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            observer: Observer::new(sink),
         });
         let workers = workers.max(1);
         let handles = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
                 let config = config.clone();
-                std::thread::spawn(move || worker_loop(&shared, &config))
+                std::thread::spawn(move || worker_loop(&shared, &config, worker))
             })
             .collect();
         Self {
@@ -429,6 +489,13 @@ impl TrainingService {
             workers: handles,
             next_id: Mutex::new(0),
         }
+    }
+
+    /// The service-event sink attached at construction (disabled for
+    /// [`new`](Self::new)). Snapshot it with
+    /// [`ServiceTelemetry::records`] to read the stream.
+    pub fn service_telemetry(&self) -> &ServiceTelemetry {
+        &self.shared.observer.sink
     }
 
     /// The fleet's platform configuration.
@@ -511,6 +578,15 @@ impl TrainingService {
             cell: Arc::clone(&cell),
             telemetry: telemetry.clone(),
         };
+        // Clone the tenant label only when someone is listening:
+        // `String::new()` does not allocate, keeping the disabled
+        // path a true zero.
+        let tenant = if self.shared.observer.on() {
+            request.tenant.clone()
+        } else {
+            String::new()
+        };
+        let dpus = request.cfg.dpus;
         let mut queue = lock_recover(&self.shared.queue);
         queue.push_back(QueuedJob {
             id,
@@ -519,8 +595,17 @@ impl TrainingService {
             cell,
             telemetry,
         });
+        let depth = queue.len();
         drop(queue);
         self.shared.queue_cv.notify_one();
+        self.shared.observer.emit(|| ServiceEvent::JobSubmitted {
+            job: id,
+            tenant,
+            dpus,
+        });
+        self.shared
+            .observer
+            .emit(|| ServiceEvent::QueueDepth { depth });
         Ok(handle)
     }
 
@@ -593,13 +678,13 @@ fn pick_free_ranks(config: &PimConfig, leased: &[bool], dpus: usize) -> Option<V
 }
 
 /// One worker: pop jobs FIFO, lease ranks, run, release.
-fn worker_loop(shared: &Shared, fleet_config: &PimConfig) {
+fn worker_loop(shared: &Shared, fleet_config: &PimConfig, worker: usize) {
     loop {
-        let job = {
+        let (job, depth) = {
             let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
-                    break job;
+                    break (job, queue.len());
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -610,7 +695,13 @@ fn worker_loop(shared: &Shared, fleet_config: &PimConfig) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
+        let id = job.id;
+        shared
+            .observer
+            .emit(|| ServiceEvent::WorkerBusy { worker, job: id });
+        shared.observer.emit(|| ServiceEvent::QueueDepth { depth });
         run_job(shared, fleet_config, job);
+        shared.observer.emit(|| ServiceEvent::WorkerIdle { worker });
     }
 }
 
@@ -619,6 +710,10 @@ fn worker_loop(shared: &Shared, fleet_config: &PimConfig) {
 fn run_job(shared: &Shared, fleet_config: &PimConfig, job: QueuedJob) {
     if job.token.is_cancelled() {
         release_pin(shared, job.id);
+        let id = job.id;
+        shared
+            .observer
+            .emit(|| ServiceEvent::JobCancelled { job: id });
         job.cell.set(JobState::Done(JobOutcome::Cancelled));
         return;
     }
@@ -631,6 +726,10 @@ fn run_job(shared: &Shared, fleet_config: &PimConfig, job: QueuedJob) {
             if job.token.is_cancelled() {
                 drop(fleet);
                 release_pin(shared, job.id);
+                let id = job.id;
+                shared
+                    .observer
+                    .emit(|| ServiceEvent::JobCancelled { job: id });
                 job.cell.set(JobState::Done(JobOutcome::Cancelled));
                 return;
             }
@@ -658,6 +757,16 @@ fn run_job(shared: &Shared, fleet_config: &PimConfig, job: QueuedJob) {
         for &rank in &lease {
             fleet.rank_leased[rank] = true;
         }
+        if shared.observer.on() {
+            let leased_ranks = fleet.rank_leased.iter().filter(|&&l| l).count();
+            let ranks = lease.clone();
+            let id = job.id;
+            shared.observer.emit(|| ServiceEvent::LeaseGranted {
+                job: id,
+                ranks,
+                leased_ranks,
+            });
+        }
         let mut platform = fleet_config.clone();
         platform.dpus = dpus;
         platform.faults = job.request.faults.clone();
@@ -674,6 +783,20 @@ fn run_job(shared: &Shared, fleet_config: &PimConfig, job: QueuedJob) {
                 for &rank in &lease {
                     fleet.rank_leased[rank] = false;
                 }
+                if shared.observer.on() {
+                    let leased_ranks = fleet.rank_leased.iter().filter(|&&l| l).count();
+                    let ranks = lease.clone();
+                    let id = job.id;
+                    let error = err.to_string();
+                    shared.observer.emit(|| ServiceEvent::LeaseReleased {
+                        job: id,
+                        ranks,
+                        leased_ranks,
+                    });
+                    shared
+                        .observer
+                        .emit(|| ServiceEvent::JobFailed { job: id, error });
+                }
                 drop(fleet);
                 shared.lease_cv.notify_all();
                 release_pin(shared, job.id);
@@ -684,6 +807,12 @@ fn run_job(shared: &Shared, fleet_config: &PimConfig, job: QueuedJob) {
     };
 
     job.cell.set(JobState::Running);
+    {
+        let id = job.id;
+        shared
+            .observer
+            .emit(|| ServiceEvent::JobAdmitted { job: id, dpus });
+    }
 
     // ---- Execution: drive the run outside every lock ----
     let outcome = match PimRunner::with_platform(
@@ -702,12 +831,68 @@ fn run_job(shared: &Shared, fleet_config: &PimConfig, job: QueuedJob) {
         Err(err) => JobOutcome::Failed(err),
     };
 
+    // ---- Observability: re-emit the job's simulated timeline onto
+    // the service stream, then its terminal event. Everything here is
+    // folded from the job's private telemetry (simulated observables),
+    // and the whole block is skipped when no sink is attached.
+    if shared.observer.on() {
+        let id = job.id;
+        let events = job.telemetry.events();
+        for event in &events {
+            if let swiftrl_telemetry::Event::SyncRound { round, live_dpus } = event {
+                let (round, live_dpus) = (*round, *live_dpus);
+                shared.observer.emit(|| ServiceEvent::SyncRound {
+                    job: id,
+                    round,
+                    live_dpus,
+                });
+            }
+        }
+        match &outcome {
+            JobOutcome::Completed(_) => {
+                let snap = MetricsSnapshot::from_events("", &events);
+                shared.observer.emit(|| ServiceEvent::JobCompleted {
+                    job: id,
+                    sync_rounds: snap.sync_rounds,
+                    launches: snap.launches,
+                    faulted_launches: snap.faulted_launches,
+                    retries: snap.retries,
+                    rollbacks: snap.rollbacks,
+                    degraded_dpus: snap.degraded_dpus,
+                    kernel_seconds: snap.kernel_seconds,
+                    launch_cycles: snap.launch_cycles,
+                });
+            }
+            JobOutcome::Cancelled => {
+                shared
+                    .observer
+                    .emit(|| ServiceEvent::JobCancelled { job: id });
+            }
+            JobOutcome::Failed(err) => {
+                let error = err.to_string();
+                shared
+                    .observer
+                    .emit(|| ServiceEvent::JobFailed { job: id, error });
+            }
+        }
+    }
+
     // ---- Release: return DPUs and ranks, wake waiting admissions ----
     {
         let mut fleet = lock_recover(&shared.fleet);
         fleet.system.free(set);
         for &rank in &lease {
             fleet.rank_leased[rank] = false;
+        }
+        if shared.observer.on() {
+            let leased_ranks = fleet.rank_leased.iter().filter(|&&l| l).count();
+            let ranks = lease.clone();
+            let id = job.id;
+            shared.observer.emit(|| ServiceEvent::LeaseReleased {
+                job: id,
+                ranks,
+                leased_ranks,
+            });
         }
     }
     shared.lease_cv.notify_all();

@@ -19,6 +19,13 @@
 //!    versioned JSON shared by every bench binary.
 //! 3. **Chrome trace export** ([`chrome_trace`]): a Perfetto-loadable
 //!    `trace_event` timeline with one lane per DPU plus a host lane.
+//! 4. **Service observability** ([`service`]): the typed
+//!    [`ServiceEvent`] lifecycle/occupancy stream emitted by the
+//!    multi-tenant training service, its logical-clock deterministic
+//!    projection, the aggregated [`ServiceMetrics`] registry with
+//!    Prometheus-style text exposition, and a fleet-wide
+//!    [`service_trace`] timeline merging every tenant onto worker,
+//!    rank and per-job lanes.
 //!
 //! The off switch is a true zero: a default (disabled) [`Telemetry`]
 //! never evaluates event constructors, allocates nothing on the launch
@@ -31,11 +38,16 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod service;
 pub mod sink;
 pub mod trace;
 
 pub use event::{CycleClassTotals, Event, TransferFaultKind, TransferKind};
 pub use json::Json;
-pub use metrics::{snapshot_bundle, MetricsSnapshot, TransferTotals};
+pub use metrics::{percentile, percentiles, snapshot_bundle, Histogram, MetricsSnapshot, TransferTotals};
+pub use service::{
+    deterministic_projection, render_deterministic, ServiceEvent, ServiceMetrics, ServiceRecord,
+    ServiceTelemetry,
+};
 pub use sink::Telemetry;
-pub use trace::{chrome_trace, chrome_trace_multi};
+pub use trace::{chrome_trace, chrome_trace_jobs, chrome_trace_multi, service_trace};

@@ -10,6 +10,137 @@
 use crate::event::{CycleClassTotals, Event, TransferFaultKind, TransferKind};
 use crate::json::Json;
 
+/// Nearest-rank percentile of a sample set: the smallest sample such
+/// that at least `q · n` samples are ≤ it (`q` in `(0, 1]`). Returns
+/// 0.0 for an empty set. Deterministic: ties and NaN-free inputs sort
+/// totally via `f64::total_cmp`.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// `(p50, p95, p99)` nearest-rank percentiles of a sample set; all
+/// zeros when empty.
+pub fn percentiles(samples: &[f64]) -> (f64, f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let at = |q: f64| {
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    };
+    (at(0.50), at(0.95), at(0.99))
+}
+
+/// An exact-sample histogram: records every observation and answers
+/// count/sum/min/mean/max plus nearest-rank p50/p95/p99.
+///
+/// The simulator's distributions are small (one sample per launch or
+/// per job), so exact samples beat bucketed approximations: percentiles
+/// are reproducible to the bit, which is what lets rendered metrics
+/// artifacts be compared with `==`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Smallest observation (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .min_by(f64::total_cmp)
+            .unwrap_or(0.0)
+    }
+
+    /// Largest observation (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile (`q` in `(0, 1]`; 0.0 when empty).
+    pub fn percentile(&self, q: f64) -> f64 {
+        percentile(&self.samples, q)
+    }
+
+    /// The median (nearest-rank p50).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// Nearest-rank p95.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// Nearest-rank p99.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// The raw samples, in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Renders the summary statistics as a JSON object with fixed key
+    /// order (`count`, `sum`, `min`, `mean`, `max`, `p50`, `p95`,
+    /// `p99`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::UInt(self.count())),
+            ("sum", Json::Num(self.sum())),
+            ("min", Json::Num(self.min())),
+            ("mean", Json::Num(self.mean())),
+            ("max", Json::Num(self.max())),
+            ("p50", Json::Num(self.p50())),
+            ("p95", Json::Num(self.p95())),
+            ("p99", Json::Num(self.p99())),
+        ])
+    }
+}
+
 /// Count/bytes/seconds totals for one transfer kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TransferTotals {
@@ -54,6 +185,8 @@ pub struct MetricsSnapshot {
     /// Per-launch load imbalance (`max_cycles / mean_cycles`), in
     /// launch order. Empty if no launch had survivors.
     pub imbalance: Vec<f64>,
+    /// Per-launch critical-path cycles (`max_cycles`), in launch order.
+    pub launch_cycles: Vec<f64>,
     /// Program-load totals (bytes pushed × simulated load time).
     pub program_load: TransferTotals,
     /// Per-kind transfer totals, in `TransferKind` declaration order.
@@ -132,6 +265,7 @@ impl MetricsSnapshot {
                     snap.kernel_seconds += *seconds;
                     snap.classes.merge(classes);
                     snap.sanitizer_findings += *sanitizer_findings;
+                    snap.launch_cycles.push(*max_cycles as f64);
                     if *mean_cycles > 0.0 {
                         snap.imbalance.push(*max_cycles as f64 / *mean_cycles);
                     }
@@ -166,12 +300,17 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot as a versioned JSON object (schema
-    /// `swiftrl-metrics-v2`; v2 adds the `memory` ceilings object).
+    /// `swiftrl-metrics-v3`; v2 added the `memory` ceilings object, v3
+    /// adds nearest-rank p50/p95/p99 to `imbalance` and the
+    /// `launch_cycles` summary over per-launch critical paths).
     /// Key order is fixed; rendering is byte-deterministic.
     pub fn to_json(&self) -> Json {
         let (imb_min, imb_mean, imb_max) = distribution(&self.imbalance);
+        let (imb_p50, imb_p95, imb_p99) = percentiles(&self.imbalance);
+        let (lc_min, lc_mean, lc_max) = distribution(&self.launch_cycles);
+        let (lc_p50, lc_p95, lc_p99) = percentiles(&self.launch_cycles);
         Json::obj([
-            ("schema", Json::str("swiftrl-metrics-v2")),
+            ("schema", Json::str("swiftrl-metrics-v3")),
             ("label", Json::str(self.label.clone())),
             ("launches", Json::UInt(self.launches)),
             ("faulted_launches", Json::UInt(self.faulted_launches)),
@@ -194,10 +333,25 @@ impl MetricsSnapshot {
                     ("min", Json::Num(imb_min)),
                     ("mean", Json::Num(imb_mean)),
                     ("max", Json::Num(imb_max)),
+                    ("p50", Json::Num(imb_p50)),
+                    ("p95", Json::Num(imb_p95)),
+                    ("p99", Json::Num(imb_p99)),
                     (
                         "per_launch",
                         Json::Arr(self.imbalance.iter().map(|&x| Json::Num(x)).collect()),
                     ),
+                ]),
+            ),
+            (
+                "launch_cycles",
+                Json::obj([
+                    ("count", Json::UInt(self.launch_cycles.len() as u64)),
+                    ("min", Json::Num(lc_min)),
+                    ("mean", Json::Num(lc_mean)),
+                    ("max", Json::Num(lc_max)),
+                    ("p50", Json::Num(lc_p50)),
+                    ("p95", Json::Num(lc_p95)),
+                    ("p99", Json::Num(lc_p99)),
                 ]),
             ),
             ("program_load", self.program_load.to_json()),
@@ -349,6 +503,7 @@ mod tests {
         assert_eq!(snap.kernel_seconds, 2.5);
         assert_eq!(snap.classes.alu_slots, 10);
         assert_eq!(snap.imbalance, vec![200.0 / 150.0, 1.0]);
+        assert_eq!(snap.launch_cycles, vec![200.0, 300.0]);
         assert_eq!(snap.program_load.bytes, 128);
         assert_eq!(snap.transfers.len(), 1);
         assert_eq!(snap.transfers[0].0, TransferKind::Scatter);
@@ -371,9 +526,27 @@ mod tests {
         let doc = crate::json::parse(&rendered).expect("self-parse");
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("swiftrl-metrics-v2")
+            Some("swiftrl-metrics-v3")
         );
         assert_eq!(doc.get("launches").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            doc.get("imbalance")
+                .and_then(|i| i.get("p99"))
+                .and_then(Json::as_f64),
+            Some(200.0 / 150.0)
+        );
+        assert_eq!(
+            doc.get("launch_cycles")
+                .and_then(|l| l.get("p50"))
+                .and_then(Json::as_f64),
+            Some(200.0)
+        );
+        assert_eq!(
+            doc.get("launch_cycles")
+                .and_then(|l| l.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
         assert_eq!(
             doc.get("memory")
                 .and_then(|m| m.get("bank_peak_bytes"))
@@ -389,6 +562,47 @@ mod tests {
                 .map(|r| r.len()),
             Some(1)
         );
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_match_hand_computation() {
+        // 1..=100: nearest-rank pQ of n=100 is exactly the Q-th value.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 0.50), 50.0);
+        assert_eq!(percentile(&samples, 0.95), 95.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        assert_eq!(percentiles(&samples), (50.0, 95.0, 99.0));
+        // Small sets: p50 of [3,1] is the 1st sorted sample, p95/p99 the 2nd.
+        assert_eq!(percentiles(&[3.0, 1.0]), (1.0, 3.0, 3.0));
+        // Singleton: every percentile is the sample.
+        assert_eq!(percentiles(&[7.5]), (7.5, 7.5, 7.5));
+        // Empty: zeros, no panic.
+        assert_eq!(percentiles(&[]), (0.0, 0.0, 0.0));
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), 0.0);
+        for v in [4.0, 2.0, 8.0, 6.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 20.0);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 8.0);
+        assert_eq!(h.mean(), 5.0);
+        assert_eq!(h.p50(), 4.0);
+        assert_eq!(h.p95(), 8.0);
+        assert_eq!(h.p99(), 8.0);
+        assert_eq!(h.samples(), &[4.0, 2.0, 8.0, 6.0]);
+        let doc = crate::json::parse(&h.to_json().render()).expect("parse");
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("p50").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(doc.get("sum").and_then(Json::as_f64), Some(20.0));
     }
 
     #[test]

@@ -20,8 +20,20 @@
 
 use crate::event::Event;
 use crate::json::Json;
+use crate::service::{ServiceEvent, ServiceRecord};
 
 const US_PER_S: f64 = 1e6;
+
+/// Trace process id of the service scheduler/worker lanes in a merged
+/// service timeline.
+pub const SERVICE_PID: u64 = 1;
+/// Trace process id of the rank-occupancy lanes in a merged service
+/// timeline.
+pub const RANKS_PID: u64 = 2;
+/// First trace process id available to per-job processes: job `j` maps
+/// to `pid = JOB_PID_BASE + j`, which is stable across exports and can
+/// never collide with the service or rank processes.
+pub const JOB_PID_BASE: u64 = 10;
 
 /// Renders one run's event stream as a Chrome trace JSON string.
 pub fn chrome_trace(label: &str, events: &[Event]) -> String {
@@ -34,13 +46,212 @@ pub fn chrome_trace_multi(runs: &[(String, &[Event])]) -> String {
     let mut trace_events = Vec::new();
     for (run_idx, (label, events)) in runs.iter().enumerate() {
         let pid = run_idx as u64 + 1;
-        emit_run(&mut trace_events, pid, label, events);
+        emit_run(&mut trace_events, pid, label, events, 0.0);
     }
+    wrap(trace_events)
+}
+
+/// Renders several *jobs* side by side with **stable** lane identity:
+/// each `(job_id, label, events)` run gets `pid = JOB_PID_BASE +
+/// job_id`, so merged traces keep one distinct process per job no
+/// matter which subset of jobs is exported or in what order — unlike
+/// [`chrome_trace_multi`], whose pids follow slice order.
+pub fn chrome_trace_jobs(runs: &[(u64, String, &[Event])]) -> String {
+    let mut trace_events = Vec::new();
+    for (job, label, events) in runs {
+        emit_run(&mut trace_events, JOB_PID_BASE + job, label, events, 0.0);
+    }
+    wrap(trace_events)
+}
+
+fn wrap(trace_events: Vec<Json>) -> String {
     Json::obj([
         ("traceEvents", Json::Arr(trace_events)),
         ("displayTimeUnit", Json::str("ms")),
     ])
     .render_pretty()
+}
+
+/// Renders the fleet-wide service timeline: every tenant merged onto
+/// one trace with lanes per worker, per rank, and per job.
+///
+/// Layout:
+/// - process [`SERVICE_PID`] (`service`): `tid 0` is the scheduler lane
+///   (job lifecycle instants and the `queue_depth` counter series);
+///   `tid w+1` is worker `w`, with one `"X"` span per job it drove
+///   (from its `WorkerBusy` to the matching `WorkerIdle`);
+/// - process [`RANKS_PID`] (`ranks`): `tid r+1` is rank `r`, with one
+///   span per lease it served (from `LeaseGranted` to
+///   `LeaseReleased`);
+/// - one process per job at the stable `pid = JOB_PID_BASE + job_id`
+///   (via [`chrome_trace_jobs`]'s mapping), laying the job's private
+///   event stream out exactly like [`chrome_trace`] but offset by the
+///   job's admission wall time, so per-job simulated timelines sit in
+///   service wall-clock context.
+///
+/// Service lanes are on the **wall clock** ([`ServiceRecord::wall_s`],
+/// all-zero under a deterministic sink); job lanes are simulated time
+/// offset by admission. `jobs` supplies `(job_id, label, events)` for
+/// every job process to render.
+pub fn service_trace(records: &[ServiceRecord], jobs: &[(u64, String, Vec<Event>)]) -> String {
+    let mut out = Vec::new();
+    out.push(metadata(SERVICE_PID, 0, "process_name", "service"));
+    out.push(metadata(SERVICE_PID, 0, "thread_name", "scheduler"));
+
+    // Name worker and rank lanes once each, in index order.
+    let mut workers = Vec::new();
+    let mut ranks = Vec::new();
+    for record in records {
+        match &record.event {
+            ServiceEvent::WorkerBusy { worker, .. } | ServiceEvent::WorkerIdle { worker }
+                if !workers.contains(worker) =>
+            {
+                workers.push(*worker);
+            }
+            ServiceEvent::LeaseGranted { ranks: r, .. }
+            | ServiceEvent::LeaseReleased { ranks: r, .. } => {
+                for rank in r {
+                    if !ranks.contains(rank) {
+                        ranks.push(*rank);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    workers.sort_unstable();
+    ranks.sort_unstable();
+    for &worker in &workers {
+        out.push(metadata(
+            SERVICE_PID,
+            worker as u64 + 1,
+            "thread_name",
+            &format!("worker {worker}"),
+        ));
+    }
+    if !ranks.is_empty() {
+        out.push(metadata(RANKS_PID, 0, "process_name", "ranks"));
+        for &rank in &ranks {
+            out.push(metadata(
+                RANKS_PID,
+                rank as u64 + 1,
+                "thread_name",
+                &format!("rank {rank}"),
+            ));
+        }
+    }
+
+    // Occupancy spans: track open worker-busy and rank-lease intervals
+    // keyed by the logical ids, closing each on its matching release.
+    let mut open_workers: Vec<(usize, f64, u64)> = Vec::new();
+    let mut open_ranks: Vec<(usize, f64, u64)> = Vec::new();
+    let mut last_ts = 0.0_f64;
+    for record in records {
+        let ts = record.wall_s * US_PER_S;
+        last_ts = last_ts.max(ts);
+        match &record.event {
+            ServiceEvent::WorkerBusy { worker, job } => {
+                open_workers.push((*worker, ts, *job));
+            }
+            ServiceEvent::WorkerIdle { worker } => {
+                if let Some(pos) = open_workers.iter().position(|(w, _, _)| w == worker) {
+                    let (worker, start, job) = open_workers.remove(pos);
+                    out.push(complete(
+                        SERVICE_PID,
+                        worker as u64 + 1,
+                        &format!("job {job}"),
+                        start,
+                        ts - start,
+                        Json::obj([("job", Json::UInt(job))]),
+                    ));
+                }
+            }
+            ServiceEvent::LeaseGranted { job, ranks, .. } => {
+                for &rank in ranks {
+                    open_ranks.push((rank, ts, *job));
+                }
+            }
+            ServiceEvent::LeaseReleased { job, ranks, .. } => {
+                for &rank in ranks {
+                    if let Some(pos) = open_ranks
+                        .iter()
+                        .position(|(r, _, j)| *r == rank && j == job)
+                    {
+                        let (rank, start, job) = open_ranks.remove(pos);
+                        out.push(complete(
+                            RANKS_PID,
+                            rank as u64 + 1,
+                            &format!("job {job}"),
+                            start,
+                            ts - start,
+                            Json::obj([("job", Json::UInt(job))]),
+                        ));
+                    }
+                }
+            }
+            ServiceEvent::QueueDepth { depth } => {
+                out.push(Json::obj([
+                    ("ph", Json::str("C")),
+                    ("pid", Json::UInt(SERVICE_PID)),
+                    ("tid", Json::UInt(0)),
+                    ("name", Json::str("queue_depth")),
+                    ("ts", Json::Num(ts)),
+                    ("args", Json::obj([("depth", Json::UInt(*depth as u64))])),
+                ]));
+            }
+            ServiceEvent::JobSubmitted { .. }
+            | ServiceEvent::JobAdmitted { .. }
+            | ServiceEvent::JobCompleted { .. }
+            | ServiceEvent::JobCancelled { .. }
+            | ServiceEvent::JobFailed { .. } => {
+                let job = record.event.job().unwrap_or(0);
+                out.push(instant(
+                    SERVICE_PID,
+                    record.event.name(),
+                    ts,
+                    Json::obj([("job", Json::UInt(job))]),
+                ));
+            }
+            // Per-job sync rounds already appear on the job's own lanes.
+            ServiceEvent::SyncRound { .. } => {}
+        }
+    }
+    // Close intervals still open when the stream was snapshotted.
+    for (worker, start, job) in open_workers {
+        out.push(complete(
+            SERVICE_PID,
+            worker as u64 + 1,
+            &format!("job {job}"),
+            start,
+            last_ts - start,
+            Json::obj([("job", Json::UInt(job))]),
+        ));
+    }
+    for (rank, start, job) in open_ranks {
+        out.push(complete(
+            RANKS_PID,
+            rank as u64 + 1,
+            &format!("job {job}"),
+            start,
+            last_ts - start,
+            Json::obj([("job", Json::UInt(job))]),
+        ));
+    }
+
+    // Per-job processes at stable pids, offset by admission wall time.
+    for (job, label, events) in jobs {
+        let admitted_us = records
+            .iter()
+            .find_map(|r| match &r.event {
+                ServiceEvent::JobAdmitted { job: j, .. } if j == job => {
+                    Some(r.wall_s * US_PER_S)
+                }
+                _ => None,
+            })
+            .unwrap_or(0.0);
+        emit_run(&mut out, JOB_PID_BASE + job, label, events, admitted_us);
+    }
+    wrap(out)
 }
 
 fn metadata(pid: u64, tid: u64, what: &'static str, name: &str) -> Json {
@@ -77,7 +288,7 @@ fn instant(pid: u64, name: &str, ts_us: f64, args: Json) -> Json {
     ])
 }
 
-fn emit_run(out: &mut Vec<Json>, pid: u64, label: &str, events: &[Event]) {
+fn emit_run(out: &mut Vec<Json>, pid: u64, label: &str, events: &[Event], start_us: f64) {
     out.push(metadata(pid, 0, "process_name", label));
     out.push(metadata(pid, 0, "thread_name", "host"));
     // Name each DPU lane once, in index order, by scanning the stream
@@ -102,7 +313,7 @@ fn emit_run(out: &mut Vec<Json>, pid: u64, label: &str, events: &[Event]) {
         ));
     }
 
-    let mut now_us = 0.0_f64;
+    let mut now_us = start_us;
     for event in events {
         match event {
             Event::ProgramLoad {
@@ -378,5 +589,139 @@ mod tests {
     fn export_is_deterministic() {
         let s = stream();
         assert_eq!(chrome_trace("x", &s), chrome_trace("x", &s));
+    }
+
+    #[test]
+    fn job_traces_get_stable_pids_regardless_of_order() {
+        let s = stream();
+        let fwd = chrome_trace_jobs(&[(3, "job-3".into(), &s[..]), (7, "job-7".into(), &s[..])]);
+        let doc = parse(&fwd).expect("valid JSON");
+        let pids: Vec<u64> = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("array")
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+            .collect();
+        assert!(pids.contains(&(JOB_PID_BASE + 3)));
+        assert!(pids.contains(&(JOB_PID_BASE + 7)));
+        // Same jobs in the opposite order keep the same pids.
+        let rev = chrome_trace_jobs(&[(7, "job-7".into(), &s[..]), (3, "job-3".into(), &s[..])]);
+        let rev_doc = parse(&rev).expect("valid JSON");
+        let rev_pids: Vec<u64> = rev_doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("array")
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+            .collect();
+        assert!(rev_pids.contains(&(JOB_PID_BASE + 3)));
+        assert!(rev_pids.contains(&(JOB_PID_BASE + 7)));
+    }
+
+    #[test]
+    fn service_trace_lays_out_worker_rank_and_job_lanes() {
+        let records = vec![
+            ServiceRecord {
+                seq: 0,
+                wall_s: 0.0,
+                event: ServiceEvent::JobSubmitted {
+                    job: 0,
+                    tenant: "t".into(),
+                    dpus: 2,
+                },
+            },
+            ServiceRecord {
+                seq: 1,
+                wall_s: 0.0,
+                event: ServiceEvent::QueueDepth { depth: 1 },
+            },
+            ServiceRecord {
+                seq: 2,
+                wall_s: 0.001,
+                event: ServiceEvent::WorkerBusy { worker: 0, job: 0 },
+            },
+            ServiceRecord {
+                seq: 3,
+                wall_s: 0.001,
+                event: ServiceEvent::LeaseGranted {
+                    job: 0,
+                    ranks: vec![2],
+                    leased_ranks: 1,
+                },
+            },
+            ServiceRecord {
+                seq: 4,
+                wall_s: 0.001,
+                event: ServiceEvent::JobAdmitted { job: 0, dpus: 2 },
+            },
+            ServiceRecord {
+                seq: 5,
+                wall_s: 0.004,
+                event: ServiceEvent::JobCompleted {
+                    job: 0,
+                    sync_rounds: 1,
+                    launches: 1,
+                    faulted_launches: 0,
+                    retries: 0,
+                    rollbacks: 0,
+                    degraded_dpus: 0,
+                    kernel_seconds: 0.004,
+                    launch_cycles: vec![1000.0],
+                },
+            },
+            ServiceRecord {
+                seq: 6,
+                wall_s: 0.004,
+                event: ServiceEvent::LeaseReleased {
+                    job: 0,
+                    ranks: vec![2],
+                    leased_ranks: 0,
+                },
+            },
+            ServiceRecord {
+                seq: 7,
+                wall_s: 0.004,
+                event: ServiceEvent::WorkerIdle { worker: 0 },
+            },
+        ];
+        let jobs = vec![(0u64, "tenant/job-0".to_string(), stream())];
+        let rendered = service_trace(&records, &jobs);
+        let doc = parse(&rendered).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("array");
+        let by = |pred: &dyn Fn(&&Json) -> bool| events.iter().filter(pred).count();
+        // Worker span on the service process, lane 1.
+        assert_eq!(
+            by(&|e| e.get("pid").and_then(Json::as_u64) == Some(SERVICE_PID)
+                && e.get("tid").and_then(Json::as_u64) == Some(1)
+                && e.get("ph").and_then(Json::as_str) == Some("X")),
+            1
+        );
+        // Rank lease span on the ranks process, lane rank+1 = 3.
+        assert_eq!(
+            by(&|e| e.get("pid").and_then(Json::as_u64) == Some(RANKS_PID)
+                && e.get("tid").and_then(Json::as_u64) == Some(3)
+                && e.get("ph").and_then(Json::as_str) == Some("X")),
+            1
+        );
+        // Queue-depth counter sample.
+        assert_eq!(by(&|e| e.get("ph").and_then(Json::as_str) == Some("C")), 1);
+        // The job's own process is present at its stable pid and its
+        // spans are offset by the admission wall time (1 ms).
+        let job_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("pid").and_then(Json::as_u64) == Some(JOB_PID_BASE))
+            .collect();
+        assert!(!job_events.is_empty());
+        let first_span_ts = job_events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("program_load"))
+            .and_then(|e| e.get("ts").and_then(Json::as_f64))
+            .expect("program_load span");
+        assert!((first_span_ts - 1000.0).abs() < 1e-9);
+        assert_eq!(rendered, service_trace(&records, &jobs), "deterministic");
     }
 }

@@ -40,8 +40,9 @@ fn workspace_has_no_new_kernel_discipline_findings() {
         rendered.join("\n")
     );
     // The baseline is a short, curated allowlist (wall-clock measurement
-    // in the runner) — if it quietly grows, someone is hiding findings.
-    assert!(baselined <= 4, "baseline covers {baselined} findings");
+    // in the runner, the service observer's marked non-deterministic
+    // section) — if it quietly grows, someone is hiding findings.
+    assert!(baselined <= 6, "baseline covers {baselined} findings");
 }
 
 #[test]

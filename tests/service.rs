@@ -16,6 +16,8 @@ use swiftrl::env::taxi::Taxi;
 use swiftrl::env::ExperienceDataset;
 use swiftrl::pim::config::{ExecTier, PimConfig};
 use swiftrl::pim::faults::FaultPlan;
+use swiftrl::pim::ExecutionEngine;
+use swiftrl::telemetry::{render_deterministic, ServiceMetrics, ServiceTelemetry};
 
 fn frozen_dataset(transitions: usize, seed: u32) -> ExperienceDataset {
     let mut env = FrozenLake::slippery_4x4();
@@ -510,4 +512,237 @@ fn shutdown_drains_and_rejects_new_jobs() {
         ))
         .unwrap_err();
     assert_eq!(err, ServiceError::ShuttingDown);
+}
+
+/// The mixed-fault tenant batch used by the observability tests: clean,
+/// transient-fault, dead-DPU (degradation) and straggler tenants, as in
+/// the headline isolation test but smaller episodes.
+fn observability_requests(jobs: u32) -> Vec<JobRequest> {
+    let specs = [
+        WorkloadSpec::q_learning_seq_fp32(),
+        WorkloadSpec::q_learning_seq_int32(),
+        WorkloadSpec::sarsa_seq_fp32(),
+        WorkloadSpec::sarsa_seq_int32(),
+    ];
+    (0..jobs)
+        .map(|i| {
+            let spec = specs[(i % 4) as usize];
+            let dpus = 2 + (i as usize % 3);
+            let transitions = 300 + 30 * (i as usize % 5);
+            let dataset = if i % 2 == 0 {
+                frozen_dataset(transitions, 500 + i)
+            } else {
+                taxi_dataset(transitions, 500 + i)
+            };
+            let (faults, resilience) = match i % 4 {
+                1 => (
+                    FaultPlan::seeded(u64::from(i)).with_dpu_fail_rate(0.25),
+                    ResilienceConfig::none().with_max_retries(8),
+                ),
+                2 => (
+                    FaultPlan::seeded(u64::from(i)).with_dead_dpus(vec![i as usize % dpus], 1),
+                    ResilienceConfig::none()
+                        .with_max_retries(1)
+                        .with_checkpoint_every(1)
+                        .with_degrade(true),
+                ),
+                _ => (FaultPlan::none(), ResilienceConfig::none()),
+            };
+            JobRequest::new(format!("tenant-{i}"), spec, cfg(dpus, 6, i), dataset)
+                .with_faults(faults)
+                .with_resilience(resilience)
+        })
+        .collect()
+}
+
+/// The observability determinism contract (DESIGN.md §15): the
+/// deterministic projection of the service-event stream — lifecycle
+/// events keyed by the logical clock, occupancy dropped, cancelled
+/// jobs' sync rounds dropped — renders byte-identically across the
+/// serial, threaded, and work-stealing engines *and* across worker
+/// counts, for a 100-tenant mixed-fault batch that includes dead-DPU
+/// tenants and a job cancelled mid-round.
+#[test]
+fn deterministic_service_stream_is_byte_identical_across_engines() {
+    let requests = observability_requests(100);
+    let marathon = JobRequest::new(
+        "marathon",
+        WorkloadSpec::q_learning_seq_fp32(),
+        cfg(4, 200_000, 7),
+        frozen_dataset(600, 7),
+    );
+
+    let mut rendered: Vec<(String, String)> = Vec::new();
+    for (engine, workers, tag) in [
+        (ExecutionEngine::Serial, 8, "serial"),
+        (ExecutionEngine::Threaded { workers: 3 }, 5, "threaded"),
+        (ExecutionEngine::WorkStealing { workers: 3 }, 3, "stealing"),
+    ] {
+        let fleet = PimConfig::builder()
+            .dpus(64)
+            .dpus_per_rank(4)
+            .engine(engine)
+            .build();
+        let service =
+            TrainingService::with_observability(fleet, workers, ServiceTelemetry::deterministic());
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|r| service.submit(r.clone()).expect("admission"))
+            .collect();
+        // One tenant is cancelled mid-round: wait until it is running
+        // (so its admission is deterministic), then cancel. How many
+        // rounds it completed first is a race the projection drops.
+        let cancelled = service.submit(marathon.clone()).expect("admission");
+        while cancelled.status() != JobStatus::Running {
+            std::thread::yield_now();
+        }
+        cancelled.cancel();
+        assert!(cancelled.wait().is_cancelled());
+        for handle in &handles {
+            assert!(
+                handle.wait().completed().is_some(),
+                "{tag}: job {} did not complete",
+                handle.id()
+            );
+        }
+        rendered.push((
+            tag.to_string(),
+            render_deterministic(&service.service_telemetry().records()),
+        ));
+    }
+
+    let (base_tag, baseline) = &rendered[0];
+    assert!(
+        baseline.contains("\"schema\": \"swiftrl-service-events-v1\""),
+        "rendered stream must carry the schema tag"
+    );
+    // Every lifecycle phase of the fixture appears in the projection.
+    for needle in ["job_submitted", "job_admitted", "sync_round", "job_completed", "job_cancelled"]
+    {
+        assert!(baseline.contains(needle), "projection lost {needle} events");
+    }
+    for (tag, stream) in &rendered[1..] {
+        assert_eq!(
+            stream, baseline,
+            "deterministic stream diverged between {base_tag} and {tag} engines"
+        );
+    }
+}
+
+/// The service metrics registry is an exact fold of the event stream:
+/// its counters reconcile with the per-tenant metrics snapshots and
+/// outcome totals, and the Prometheus exposition carries the same
+/// numbers.
+#[test]
+fn service_metrics_reconcile_with_per_tenant_totals() {
+    let requests = observability_requests(16);
+    let service = TrainingService::with_observability(
+        small_fleet(),
+        4,
+        ServiceTelemetry::enabled(),
+    );
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| service.submit(r.clone()).expect("admission"))
+        .collect();
+    let mut kernel_seconds = 0.0_f64;
+    for handle in &handles {
+        let outcome = handle.wait();
+        let out = outcome.completed().expect("job completes");
+        kernel_seconds += out.breakdown.pim_kernel_s;
+    }
+
+    let records = service.service_telemetry().records();
+    let registry = ServiceMetrics::from_records(&records);
+
+    assert_eq!(registry.jobs_submitted, 16);
+    assert_eq!(registry.jobs_admitted, 16);
+    assert_eq!(registry.jobs_completed, 16);
+    assert_eq!(registry.jobs_cancelled, 0);
+    assert_eq!(registry.jobs_failed, 0);
+
+    // Counter totals match the sum of every tenant's private snapshot.
+    let mut launches = 0u64;
+    let mut faulted = 0u64;
+    let mut retries = 0u64;
+    let mut rollbacks = 0u64;
+    let mut degraded = 0u64;
+    let mut sync_rounds = 0u64;
+    for handle in &handles {
+        let m = handle.metrics();
+        launches += m.launches;
+        faulted += m.faulted_launches;
+        retries += m.retries;
+        rollbacks += m.rollbacks;
+        degraded += m.degraded_dpus;
+        sync_rounds += m.sync_rounds;
+    }
+    assert_eq!(registry.launches, launches);
+    assert_eq!(registry.faulted_launches, faulted);
+    assert_eq!(registry.retries, retries);
+    assert_eq!(registry.rollbacks, rollbacks);
+    assert_eq!(registry.degraded_dpus, degraded);
+    assert_eq!(registry.sync_rounds, sync_rounds);
+    assert!(faulted > 0, "fault plans never fired; reconciliation is vacuous");
+    assert!(
+        (registry.kernel_seconds - kernel_seconds).abs() < 1e-9,
+        "kernel seconds diverged: registry {} vs outcomes {kernel_seconds}",
+        registry.kernel_seconds
+    );
+
+    // The latency histograms saw every job once.
+    assert_eq!(registry.admission_wait_s.count(), 16);
+    assert_eq!(registry.run_duration_s.count(), 16);
+    assert_eq!(registry.launch_cycles.count(), launches);
+
+    // The exposition carries the same totals.
+    let prom = registry.to_prometheus();
+    for line in [
+        "swiftrl_service_jobs_completed_total 16".to_string(),
+        format!("swiftrl_service_launches_total {launches}"),
+        format!("swiftrl_service_retries_total {retries}"),
+    ] {
+        assert!(prom.contains(&line), "exposition missing `{line}`:\n{prom}");
+    }
+}
+
+/// Observability off is the default and costs nothing: a service built
+/// with [`TrainingService::new`] records no service events, and its
+/// tenants' simulated results are byte-identical to an observed run —
+/// the observer never touches a simulated observable.
+#[test]
+fn disabled_observability_records_nothing_and_changes_no_observable() {
+    let requests = observability_requests(8);
+
+    let run = |service: &TrainingService| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|r| service.submit(r.clone()).expect("admission"))
+            .collect();
+        handles
+            .iter()
+            .map(|h| h.wait().completed().cloned().expect("job completes"))
+            .collect::<Vec<_>>()
+    };
+
+    let plain = TrainingService::new(small_fleet(), 4);
+    let plain_outs = run(&plain);
+    assert!(
+        plain.service_telemetry().records().is_empty(),
+        "a default service must record no service events"
+    );
+
+    let observed =
+        TrainingService::with_observability(small_fleet(), 4, ServiceTelemetry::enabled());
+    let observed_outs = run(&observed);
+    assert!(
+        !observed.service_telemetry().records().is_empty(),
+        "the observed run recorded nothing; the comparison is vacuous"
+    );
+
+    for (i, (a, b)) in plain_outs.iter().zip(&observed_outs).enumerate() {
+        assert_eq!(a.q_table, b.q_table, "job {i}: observer changed the Q-table");
+        assert_eq!(a.breakdown, b.breakdown, "job {i}: observer changed timing");
+        assert_eq!(a.resilience, b.resilience, "job {i}: observer changed resilience");
+    }
 }
